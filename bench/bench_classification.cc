@@ -1,0 +1,96 @@
+// E5 — Definition 4 / §4: syntactic classification of the TGD sets an RPS
+// compiles to. Verifies the paper's classification claims on the
+// paper-derived sets, and measures the cost of the stickiness /
+// weak-acyclicity / linearity tests as the mapping set grows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rps/rps.h"
+
+namespace {
+
+void Report(const char* name, const std::vector<rps::Tgd>& tgds,
+            const rps::PredTable& preds) {
+  rps::TgdClassReport report = rps::ClassifyTgds(tgds, preds);
+  std::printf("%-38s %-4zu  %s\n", name, tgds.size(),
+              report.Summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  rps_bench::PrintHeader(
+      "E5  §4 classification — sticky / linear / weakly-acyclic / guarded",
+      "E is sticky+linear; GMA join example is not sticky; RPS sets are "
+      "incomparable to known classes");
+
+  // (a) The equivalence TGDs of the paper example.
+  {
+    rps::PaperExample ex = rps::BuildPaperExample();
+    rps::PredTable preds;
+    rps::PredId tt = preds.Intern("tt", 3);
+    std::vector<rps::Tgd> eq_tgds = rps::CompileEquivalenceTgds(
+        ex.system->equivalences(), tt, ex.system->vars());
+    Report("E (equivalence TGDs, Example 2)", eq_tgds, preds);
+
+    rps::PredId rt = preds.Intern("rt", 1);
+    std::vector<rps::Tgd> gma_tgds = rps::CompileGmaTgds(
+        ex.system->graph_mappings(), tt, rt, ex.system->vars());
+    Report("G with rt guards (Example 2)", gma_tgds, preds);
+    std::vector<rps::Tgd> stripped = rps::StripGuardAtoms(gma_tgds, rt);
+    Report("G guard-stripped (Example 2)", stripped, preds);
+
+    std::vector<rps::Tgd> all = eq_tgds;
+    all.insert(all.end(), gma_tgds.begin(), gma_tgds.end());
+    Report("E ∪ G (full Example 2 target set)", all, preds);
+  }
+
+  // (b) The paper's §4 non-sticky join mapping and the Prop. 3 mapping.
+  {
+    std::unique_ptr<rps::RpsSystem> tc =
+        rps::GenerateTransitiveClosureSystem(4);
+    rps::PredTable preds;
+    std::vector<rps::Tgd> target;
+    tc->CompileToTgds(&preds, nullptr, &target);
+    Report("transitive closure (Prop. 3)", target, preds);
+    rps::PredId rt = preds.Intern("rt", 1);
+    Report("transitive closure, guard-stripped",
+           rps::StripGuardAtoms(target, rt), preds);
+  }
+
+  // (c) Cost of the tests on growing generated mapping sets.
+  std::printf("\n%-8s %-8s %-12s %-12s %-12s %-12s\n", "peers", "tgds",
+              "sticky_ms", "wacyclic_ms", "linear_ms", "guarded_ms");
+  for (size_t peers : {4u, 8u, 16u, 32u, 64u}) {
+    rps::LodConfig config;
+    config.num_peers = peers;
+    config.films_per_peer = 2;
+    config.topology = rps::LodConfig::MappingTopology::kRandom;
+    config.random_edge_prob = 0.3;
+    config.seed = 21;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    rps::PredTable preds;
+    std::vector<rps::Tgd> target;
+    sys->CompileToTgds(&preds, nullptr, &target);
+
+    rps_bench::Timer t1;
+    bool sticky = rps::IsSticky(target, preds);
+    double sticky_ms = t1.ElapsedMs();
+    rps_bench::Timer t2;
+    bool wa = rps::IsWeaklyAcyclic(target, preds);
+    double wa_ms = t2.ElapsedMs();
+    rps_bench::Timer t3;
+    bool linear = rps::IsLinear(target);
+    double linear_ms = t3.ElapsedMs();
+    rps_bench::Timer t4;
+    bool guarded = rps::IsGuarded(target);
+    double guarded_ms = t4.ElapsedMs();
+
+    std::printf("%-8zu %-8zu %-12.3f %-12.3f %-12.3f %-12.3f  "
+                "(sticky=%d wa=%d linear=%d guarded=%d)\n",
+                peers, target.size(), sticky_ms, wa_ms, linear_ms,
+                guarded_ms, sticky, wa, linear, guarded);
+  }
+  return 0;
+}

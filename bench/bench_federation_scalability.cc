@@ -1,0 +1,164 @@
+// E9 — §5 item 4: scalability of the prototype's federated query
+// processing. A query in peer 0's dialect is rewritten and executed over
+// N simulated peers: we report sub-queries, messages, bytes and simulated
+// latency as N grows, ablate the mapping/network topology, and compare
+// against the ship-everything centralized baseline.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rps/rps.h"
+
+int main() {
+  rps_bench::PrintHeader(
+      "E9  federated query processing scalability (§5 prototype, simulated)",
+      "\"sub-queries are posed to the relevant RDF sources and sub-query "
+      "results are joined\"");
+
+  std::printf("Sweep 1: peer count (chain topology, 30 films/peer)\n");
+  std::printf("%-7s %-9s %-9s %-10s %-10s %-11s %-12s %-10s\n", "peers",
+              "answers", "branches", "subqueries", "messages", "KB",
+              "latency_ms", "==chase");
+  for (size_t peers : {2u, 4u, 8u, 12u, 16u}) {
+    rps::LodConfig config;
+    config.num_peers = peers;
+    config.films_per_peer = 30;
+    config.seed = 51;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    rps::GraphPatternQuery q = rps::LodDemoQuery(sys.get(), config);
+
+    rps::Federator fed(sys.get(), rps::LodTopology(config));
+    rps::Result<rps::FederatedQueryResult> r = fed.Execute(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    // Ground truth only for small systems (keeps the harness fast).
+    const char* equal = "-";
+    if (peers <= 8) {
+      rps::Result<rps::CertainAnswerResult> chase =
+          rps::CertainAnswers(*sys, q);
+      if (!chase.ok()) return 1;
+      equal = (r->answers == chase->answers) ? "yes" : "NO";
+    }
+    std::printf("%-7zu %-9zu %-9zu %-10zu %-10zu %-11.1f %-12.2f %-10s\n",
+                peers, r->answers.size(), r->branches, r->subqueries,
+                r->network.messages,
+                static_cast<double>(r->network.bytes) / 1024.0,
+                r->network.latency_ms, equal);
+  }
+
+  std::printf("\nSweep 2: topology ablation (8 peers, 30 films/peer)\n");
+  std::printf("%-10s %-9s %-10s %-10s %-11s %-12s\n", "topology", "answers",
+              "subqueries", "messages", "KB", "latency_ms");
+  for (auto kind : {rps::LodConfig::MappingTopology::kChain,
+                    rps::LodConfig::MappingTopology::kStar,
+                    rps::LodConfig::MappingTopology::kRing,
+                    rps::LodConfig::MappingTopology::kRandom}) {
+    rps::LodConfig config;
+    config.num_peers = 8;
+    config.films_per_peer = 30;
+    config.topology = kind;
+    config.seed = 52;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    rps::GraphPatternQuery q = rps::LodDemoQuery(sys.get(), config);
+    rps::Topology topo = rps::LodTopology(config);
+    rps::Federator fed(sys.get(), topo);
+    rps::Result<rps::FederatedQueryResult> r = fed.Execute(q);
+    if (!r.ok()) return 1;
+    std::printf("%-10s %-9zu %-10zu %-10zu %-11.1f %-12.2f\n",
+                topo.Describe().c_str(), r->answers.size(), r->subqueries,
+                r->network.messages,
+                static_cast<double>(r->network.bytes) / 1024.0,
+                r->network.latency_ms);
+  }
+
+  std::printf(
+      "\nSweep 2b: join strategy ablation (§5: \"efficiency of the join "
+      "operations\") — selective 2-pattern query, 6 peers\n");
+  std::printf("%-18s %-9s %-10s %-11s %-12s\n", "strategy", "answers",
+              "messages", "KB", "latency_ms");
+  {
+    rps::LodConfig config;
+    config.num_peers = 6;
+    config.films_per_peer = 80;
+    config.single_triple_dialect = false;
+    config.seed = 54;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    rps::Dictionary* dict = sys->dict();
+    rps::VarPool* vars = sys->vars();
+    rps::GraphPatternQuery q;
+    rps::VarId x = vars->Intern("j_x"), z = vars->Intern("j_z");
+    q.head = {x};
+    q.body.Add(rps::TriplePattern{
+        rps::PatternTerm::Const(
+            dict->InternIri("http://peer1.example.org/film5")),
+        rps::PatternTerm::Const(
+            dict->InternIri("http://peer1.example.org/starring")),
+        rps::PatternTerm::Var(z)});
+    q.body.Add(rps::TriplePattern{
+        rps::PatternTerm::Var(z),
+        rps::PatternTerm::Const(
+            dict->InternIri("http://peer1.example.org/artist")),
+        rps::PatternTerm::Var(x)});
+
+    rps::Federator fed(sys.get(), rps::LodTopology(config));
+    for (auto strategy : {rps::JoinStrategy::kShipExtensions,
+                          rps::JoinStrategy::kBindJoin}) {
+      rps::FederationOptions opts;
+      opts.join_strategy = strategy;
+      rps::Result<rps::FederatedQueryResult> r = fed.Execute(q, opts);
+      if (!r.ok()) return 1;
+      std::printf("%-18s %-9zu %-10zu %-11.1f %-12.2f\n",
+                  strategy == rps::JoinStrategy::kBindJoin
+                      ? "bind-join"
+                      : "ship-extensions",
+                  r->answers.size(), r->network.messages,
+                  static_cast<double>(r->network.bytes) / 1024.0,
+                  r->network.latency_ms);
+    }
+  }
+
+  std::printf(
+      "\nSweep 3: federated vs centralized baseline (selective query, "
+      "8 peers)\n");
+  std::printf("%-14s %-9s %-10s %-11s %-12s\n", "strategy", "answers",
+              "messages", "KB", "latency_ms");
+  {
+    rps::LodConfig config;
+    config.num_peers = 8;
+    config.films_per_peer = 60;
+    config.single_triple_dialect = true;
+    config.seed = 53;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    // Selective: one specific film.
+    rps::Dictionary* dict = sys->dict();
+    rps::VarPool* vars = sys->vars();
+    rps::GraphPatternQuery q;
+    rps::VarId x = vars->Intern("sx");
+    q.head = {x};
+    q.body.Add(rps::TriplePattern{
+        rps::PatternTerm::Const(
+            dict->InternIri("http://peer0.example.org/film3")),
+        rps::PatternTerm::Const(
+            dict->InternIri("http://peer0.example.org/actor")),
+        rps::PatternTerm::Var(x)});
+
+    rps::Federator fed(sys.get(), rps::LodTopology(config));
+    rps::Result<rps::FederatedQueryResult> distributed = fed.Execute(q);
+    rps::Result<rps::FederatedQueryResult> centralized =
+        fed.ExecuteCentralized(q);
+    if (!distributed.ok() || !centralized.ok()) return 1;
+    std::printf("%-14s %-9zu %-10zu %-11.1f %-12.2f\n", "federated",
+                distributed->answers.size(), distributed->network.messages,
+                static_cast<double>(distributed->network.bytes) / 1024.0,
+                distributed->network.latency_ms);
+    std::printf("%-14s %-9zu %-10zu %-11.1f %-12.2f\n", "centralized",
+                centralized->answers.size(), centralized->network.messages,
+                static_cast<double>(centralized->network.bytes) / 1024.0,
+                centralized->network.latency_ms);
+    std::printf("answers equal: %s\n",
+                distributed->answers == centralized->answers ? "yes" : "NO");
+  }
+  return 0;
+}

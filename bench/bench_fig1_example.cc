@@ -1,0 +1,46 @@
+// E1 — Figure 1 / Example 1: the three-source film/person graph, and the
+// demonstration that plain SPARQL evaluation over the raw sources returns
+// the empty result (sameAs and mappings are invisible to it).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rps/rps.h"
+
+int main() {
+  rps_bench::PrintHeader(
+      "E1  Figure 1 + Example 1 — raw-source evaluation",
+      "\"This query returns an empty result on the data of Figure 1\"");
+
+  rps::PaperExample ex = rps::BuildPaperExample();
+  rps::Graph stored = ex.system->StoredDatabase();
+
+  std::printf("source          triples\n");
+  for (const auto& [name, graph] : ex.system->dataset().graphs()) {
+    std::printf("%-15s %zu\n", name.c_str(), graph.size());
+  }
+  std::printf("merged D        %zu\n\n", stored.size());
+
+  rps_bench::Timer timer;
+  std::vector<rps::Tuple> raw =
+      rps::EvalQuery(stored, ex.query, rps::QuerySemantics::kDropBlanks);
+  double eval_ms = timer.ElapsedMs();
+
+  std::printf("query: %s\n",
+              rps::ToString(ex.query, *ex.system->dict(),
+                            *ex.system->vars())
+                  .c_str());
+  std::printf("rows over raw sources : %zu   (paper: 0)   [%s]\n",
+              raw.size(), raw.empty() ? "MATCH" : "MISMATCH");
+  std::printf("evaluation time       : %.3f ms\n", eval_ms);
+
+  // Round-trip check: the Figure 1 data survives N-Triples serialization.
+  std::string text = rps::WriteNTriples(stored);
+  rps::Dictionary dict2;
+  rps::Graph reparsed(&dict2);
+  rps::Result<size_t> n = rps::ParseNTriples(text, &reparsed);
+  std::printf("N-Triples round trip  : %s (%zu triples)\n",
+              n.ok() && reparsed.size() == stored.size() ? "ok" : "FAILED",
+              reparsed.size());
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Micro-benchmarks of the core primitives (google-benchmark): dictionary
+// interning, indexed triple matching, solution-mapping joins, BGP
+// evaluation, Algorithm 1 chase and UCQ rewriting. These are the
+// building blocks whose costs the experiment harnesses (E2, E4, E6-E10)
+// aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include "rps/rps.h"
+
+namespace {
+
+rps::LodConfig SmallConfig() {
+  rps::LodConfig config;
+  config.num_peers = 4;
+  config.films_per_peer = 50;
+  config.actors_per_film = 2;
+  config.overlap_fraction = 0.25;
+  config.seed = 71;
+  return config;
+}
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  for (auto _ : state) {
+    rps::Dictionary dict;
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(
+          dict.InternIri("http://example.org/term" + std::to_string(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_GraphInsert(benchmark::State& state) {
+  rps::Dictionary dict;
+  std::vector<rps::Triple> triples;
+  rps::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    triples.push_back(rps::Triple{
+        dict.InternIri("s" + std::to_string(rng.Index(200))),
+        dict.InternIri("p" + std::to_string(rng.Index(10))),
+        dict.InternIri("o" + std::to_string(rng.Index(200)))});
+  }
+  for (auto _ : state) {
+    rps::Graph graph(&dict);
+    for (const rps::Triple& t : triples) {
+      benchmark::DoNotOptimize(graph.InsertUnchecked(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_GraphInsert);
+
+void BM_GraphMatchByPredicate(benchmark::State& state) {
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(SmallConfig());
+  rps::Graph merged = sys->StoredDatabase();
+  rps::TermId actor = sys->dict()->InternIri("http://peer0.example.org/actor");
+  for (auto _ : state) {
+    size_t count = 0;
+    merged.Match(std::nullopt, actor, std::nullopt,
+                 [&](const rps::Triple&) {
+                   ++count;
+                   return true;
+                 });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_GraphMatchByPredicate);
+
+void BM_BindingJoin(benchmark::State& state) {
+  rps::Rng rng(7);
+  rps::BindingSet left, right;
+  for (int i = 0; i < 500; ++i) {
+    rps::Binding b;
+    b.Bind(0, static_cast<rps::TermId>(rng.Index(100)));
+    b.Bind(1, static_cast<rps::TermId>(rng.Index(100)));
+    left.push_back(b);
+    rps::Binding c;
+    c.Bind(1, static_cast<rps::TermId>(rng.Index(100)));
+    c.Bind(2, static_cast<rps::TermId>(rng.Index(100)));
+    right.push_back(c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rps::Join(left, right));
+  }
+}
+BENCHMARK(BM_BindingJoin);
+
+void BM_BgpEvaluation(benchmark::State& state) {
+  rps::LodConfig config = SmallConfig();
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+  rps::Graph merged = sys->StoredDatabase();
+  rps::GraphPatternQuery q = rps::LodDemoQuery(sys.get(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rps::EvalQuery(merged, q, rps::QuerySemantics::kDropBlanks));
+  }
+}
+BENCHMARK(BM_BgpEvaluation);
+
+void BM_UniversalSolutionChase(benchmark::State& state) {
+  rps::LodConfig config = SmallConfig();
+  config.films_per_peer = static_cast<size_t>(state.range(0));
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+  for (auto _ : state) {
+    rps::Graph universal(sys->dict());
+    auto stats = rps::BuildUniversalSolution(*sys, &universal);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetComplexityN(static_cast<int64_t>(sys->StoredDatabase().size()));
+}
+BENCHMARK(BM_UniversalSolutionChase)->Arg(10)->Arg(20)->Arg(40)->Arg(80)
+    ->Complexity();
+
+void BM_RewriteChainQuery(benchmark::State& state) {
+  size_t peers = static_cast<size_t>(state.range(0));
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateChainRps(peers, 2, 72);
+  rps::GraphPatternQuery q = rps::ChainQuery(sys.get(), peers);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rps::RewriteGraphQuery(*sys, q));
+  }
+}
+BENCHMARK(BM_RewriteChainQuery)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_NTriplesParse(benchmark::State& state) {
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(SmallConfig());
+  std::string text = rps::WriteNTriples(sys->StoredDatabase());
+  for (auto _ : state) {
+    rps::Dictionary dict;
+    rps::Graph graph(&dict);
+    benchmark::DoNotOptimize(rps::ParseNTriples(text, &graph));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_NTriplesParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

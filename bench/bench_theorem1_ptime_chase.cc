@@ -1,0 +1,139 @@
+// E4 — Theorem 1: computing certain answers has PTIME data complexity.
+// We grow the stored database (synthetic LOD systems with fixed mapping
+// structure) and measure chase time and universal-solution size. The
+// paper proves a polynomial bound; the measured log-log slopes should
+// stay small and roughly constant (≈ linear-to-quadratic), never
+// exponential.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rps/rps.h"
+
+int main() {
+  rps_bench::PrintHeader(
+      "E4  Theorem 1 — PTIME data complexity of the chase",
+      "\"finding all certain answers ... has PTIME data complexity\"");
+
+  std::printf(
+      "Sweep 1: |D| grows (4 peers, chain mappings, sameAs links)\n");
+  std::printf("%-10s %-10s %-12s %-10s %-12s %-12s %-10s\n", "films/peer",
+              "|D|", "|J|", "rounds", "chase_ms", "answers", "slope");
+
+  double prev_ms = 0.0;
+  size_t prev_d = 0;
+  for (size_t films : {25u, 50u, 100u, 200u, 400u}) {
+    rps::LodConfig config;
+    config.num_peers = 4;
+    config.films_per_peer = films;
+    config.actors_per_film = 2;
+    config.overlap_fraction = 0.25;
+    config.seed = 11;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    size_t d_size = sys->StoredDatabase().size();
+
+    rps_bench::Timer timer;
+    rps::Result<rps::CertainAnswerResult> result =
+        rps::CertainAnswers(*sys, rps::LodDemoQuery(sys.get(), config));
+    double ms = timer.ElapsedMs();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    double slope = 0.0;
+    if (prev_d > 0 && prev_ms > 0.0 && ms > 0.0) {
+      slope = std::log(ms / prev_ms) /
+              std::log(static_cast<double>(d_size) /
+                       static_cast<double>(prev_d));
+    }
+    std::printf("%-10zu %-10zu %-12zu %-10zu %-12.2f %-12zu %-10.2f\n",
+                films, d_size, result->universal_solution_size,
+                result->chase_stats.rounds, ms, result->answers.size(),
+                slope);
+    prev_ms = ms;
+    prev_d = d_size;
+  }
+  std::printf(
+      "(slope = d log(time) / d log(|D|); polynomial behaviour keeps it "
+      "bounded by a small constant)\n\n");
+
+  std::printf("Sweep 2: peer count grows (20 films/peer)\n");
+  std::printf("%-8s %-10s %-12s %-10s %-12s %-12s\n", "peers", "|D|", "|J|",
+              "rounds", "chase_ms", "answers");
+  for (size_t peers : {2u, 4u, 8u, 12u, 16u}) {
+    rps::LodConfig config;
+    config.num_peers = peers;
+    config.films_per_peer = 20;
+    config.actors_per_film = 2;
+    config.overlap_fraction = 0.25;
+    config.seed = 12;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    size_t d_size = sys->StoredDatabase().size();
+    rps_bench::Timer timer;
+    rps::Result<rps::CertainAnswerResult> result =
+        rps::CertainAnswers(*sys, rps::LodDemoQuery(sys.get(), config));
+    double ms = timer.ElapsedMs();
+    if (!result.ok()) return 1;
+    std::printf("%-8zu %-10zu %-12zu %-10zu %-12.2f %-12zu\n", peers, d_size,
+                result->universal_solution_size, result->chase_stats.rounds,
+                ms, result->answers.size());
+  }
+
+  std::printf(
+      "\nSweep 2b: chase scheduling ablation — naive rounds vs semi-naive "
+      "deltas (DESIGN.md §5.3)\n");
+  std::printf("%-12s %-10s %-12s %-14s %-12s %-12s\n", "films/peer", "|D|",
+              "naive_ms", "seminaive_ms", "|J|naive", "|J|semi");
+  for (size_t films : {50u, 100u, 200u, 400u}) {
+    rps::LodConfig config;
+    config.num_peers = 4;
+    config.films_per_peer = films;
+    config.actors_per_film = 2;
+    config.overlap_fraction = 0.25;
+    config.seed = 14;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+
+    rps_bench::Timer t1;
+    rps::Graph naive(sys->dict());
+    if (!rps::BuildUniversalSolution(*sys, &naive).ok()) return 1;
+    double naive_ms = t1.ElapsedMs();
+
+    rps::RpsChaseOptions semi;
+    semi.semi_naive = true;
+    rps_bench::Timer t2;
+    rps::Graph delta(sys->dict());
+    if (!rps::BuildUniversalSolution(*sys, &delta, semi).ok()) return 1;
+    double semi_ms = t2.ElapsedMs();
+
+    // Sizes may differ by homomorphically redundant nulls; both are
+    // universal solutions (answer equality is property-tested).
+    std::printf("%-12zu %-10zu %-12.2f %-14.2f %-12zu %-12zu\n", films,
+                sys->StoredDatabase().size(), naive_ms, semi_ms,
+                naive.size(), delta.size());
+  }
+
+  std::printf(
+      "\nSweep 3: mapping-cycle stress — ring topology (cyclic mappings "
+      "terminate, as Theorem 1 requires)\n");
+  std::printf("%-8s %-10s %-12s %-10s %-12s %-10s\n", "peers", "|D|", "|J|",
+              "rounds", "chase_ms", "completed");
+  for (size_t peers : {3u, 6u, 9u}) {
+    rps::LodConfig config;
+    config.num_peers = peers;
+    config.films_per_peer = 20;
+    config.topology = rps::LodConfig::MappingTopology::kRing;
+    config.seed = 13;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    rps::Graph universal(sys->dict());
+    rps_bench::Timer timer;
+    rps::Result<rps::RpsChaseStats> stats =
+        rps::BuildUniversalSolution(*sys, &universal);
+    double ms = timer.ElapsedMs();
+    if (!stats.ok()) return 1;
+    std::printf("%-8zu %-10zu %-12zu %-10zu %-12.2f %-10s\n", peers,
+                sys->StoredDatabase().size(), universal.size(),
+                stats->rounds, ms, stats->completed ? "yes" : "no");
+  }
+  return 0;
+}

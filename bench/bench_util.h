@@ -1,0 +1,34 @@
+#ifndef RPS_BENCH_BENCH_UTIL_H_
+#define RPS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+
+namespace rps_bench {
+
+/// Wall-clock stopwatch for the experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedMs() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rps_bench
+
+#endif  // RPS_BENCH_BENCH_UTIL_H_

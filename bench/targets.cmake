@@ -1,0 +1,14 @@
+# One benchmark binary per bench/bench_*.cc file. Included from the
+# top-level CMakeLists (not add_subdirectory) so that build/bench/
+# contains ONLY the benchmark executables — the experiment runner
+# iterates `for b in build/bench/*`.
+file(GLOB RPS_BENCH_SOURCES CONFIGURE_DEPENDS
+     ${CMAKE_SOURCE_DIR}/bench/bench_*.cc)
+
+foreach(bench_src ${RPS_BENCH_SOURCES})
+  get_filename_component(bench_name ${bench_src} NAME_WE)
+  add_executable(${bench_name} ${bench_src})
+  target_link_libraries(${bench_name} PRIVATE rps benchmark::benchmark)
+  set_target_properties(${bench_name} PROPERTIES
+                        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

@@ -1,0 +1,39 @@
+// Provenance walkthrough: *why* is (DB2:Willem_Dafoe, "59") a certain
+// answer of the Example 1 query? The explanation unfolds the witness in
+// the universal solution back to the peers' stored triples — through the
+// graph mapping assertion Q2 ⇝ Q1 and two owl:sameAs equivalences.
+//
+//   $ ./explain_demo
+
+#include <cstdio>
+
+#include "rps/rps.h"
+
+int main() {
+  rps::PaperExample ex = rps::BuildPaperExample();
+
+  rps::Result<rps::CertainAnswerResult> answers =
+      rps::CertainAnswers(*ex.system, ex.query);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("The Example 1 query has %zu certain answers.\n\n",
+              answers->answers.size());
+
+  for (const rps::Tuple& tuple : answers->answers) {
+    rps::Result<rps::Explanation> explanation =
+        rps::ExplainAnswer(*ex.system, ex.query, tuple);
+    if (!explanation.ok()) {
+      std::fprintf(stderr, "explain failed: %s\n",
+                   explanation.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", explanation->text.c_str());
+  }
+
+  std::printf(
+      "Every line bottoms out in a [stored by ...] fact: the integration\n"
+      "is fully auditable back to the peers.\n");
+  return 0;
+}

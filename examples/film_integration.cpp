@@ -1,0 +1,107 @@
+// The paper's running example, end to end (Example 1, Example 2,
+// Figures 1-2, Listing 1): three film/person sources, one graph mapping
+// assertion Q2 ⇝ Q1 and sameAs-derived equivalence mappings; the Example 1
+// SPARQL query returns nothing on the raw data and the full Listing 1
+// result under certain-answer semantics.
+//
+//   $ ./film_integration
+
+#include <cstdio>
+
+#include "rps/rps.h"
+
+namespace {
+
+void PrintAnswers(const char* title, const std::vector<rps::Tuple>& answers,
+                  const rps::Dictionary& dict) {
+  std::printf("%s (%zu row(s)):\n", title, answers.size());
+  if (answers.empty()) {
+    std::printf("  (empty)\n");
+    return;
+  }
+  std::string rendered = rps::FormatAnswers(answers, dict);
+  // Indent.
+  std::printf("  ");
+  for (char c : rendered) {
+    std::putchar(c);
+    if (c == '\n') std::printf("  ");
+  }
+  std::printf("\r");
+}
+
+}  // namespace
+
+int main() {
+  rps::PaperExample ex = rps::BuildPaperExample();
+  rps::RpsSystem& system = *ex.system;
+  rps::Dictionary& dict = *system.dict();
+
+  std::printf("=== Figure 1: the three sources ===\n");
+  for (const auto& [name, graph] : system.dataset().graphs()) {
+    std::printf("--- %s (%zu triples) ---\n%s", name.c_str(), graph.size(),
+                rps::WriteTurtle(graph, ex.prefixes).c_str());
+  }
+
+  std::printf("\n=== The Example 1 query ===\n%s\n",
+              rps::WriteSparql(rps::ToParsedQuery(ex.query), dict,
+                               *system.vars(), ex.prefixes)
+                  .c_str());
+
+  rps::Graph raw = system.StoredDatabase();
+  std::vector<rps::Tuple> raw_answers =
+      rps::EvalQuery(raw, ex.query, rps::QuerySemantics::kDropBlanks);
+  PrintAnswers("\nPlain SPARQL over the raw sources", raw_answers, dict);
+
+  std::printf("\n=== Example 2: the RPS ===\n");
+  std::printf("graph mapping assertions : %zu (Q2 ~> Q1)\n",
+              system.graph_mappings().size());
+  std::printf("equivalence mappings     : %zu (from owl:sameAs)\n",
+              system.equivalences().size());
+
+  // Figure 2: materialize the universal solution.
+  rps::Graph universal(&dict);
+  rps::Result<rps::RpsChaseStats> stats =
+      rps::BuildUniversalSolution(system, &universal);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "chase failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n=== Figure 2: universal solution ===\n"
+      "stored triples  : %zu\n"
+      "inferred triples: %zu (%zu via equivalences, %zu GMA firing(s), "
+      "%zu fresh blank(s))\n"
+      "total           : %zu triples in %zu round(s)\n",
+      raw.size(), stats->triples_added, stats->eq_triples,
+      stats->gma_firings, stats->blanks_created, universal.size(),
+      stats->rounds);
+
+  // Listing 1.
+  rps::Result<rps::CertainAnswerResult> redundant =
+      rps::CertainAnswers(system, ex.query);
+  if (!redundant.ok()) {
+    std::fprintf(stderr, "%s\n", redundant.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== Listing 1 ===\n");
+  PrintAnswers("#Result", redundant->answers, dict);
+
+  rps::CertainAnswerOptions compact;
+  compact.equivalence_mode = rps::EquivalenceMode::kUnionFind;
+  compact.expand_equivalent_answers = false;
+  rps::Result<rps::CertainAnswerResult> deduplicated =
+      rps::CertainAnswers(system, ex.query, compact);
+  if (!deduplicated.ok()) {
+    std::fprintf(stderr, "%s\n", deduplicated.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n");
+  PrintAnswers("#Result without redundancy", deduplicated->answers, dict);
+
+  std::printf(
+      "\nThe user queried Sources 1 and 3 only, yet Willem Dafoe's row "
+      "arrived from Source 2\nthrough the mapping assertion — integration "
+      "is transparent, as the paper promises.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Federated querying over a synthetic Linked-Open-Data cloud — the §5
+// prototype, simulated: N film databases with different dialects,
+// sameAs links for overlapping entities, graph mapping assertions along
+// a configurable topology. A query in peer 0's vocabulary is rewritten
+// (module a), decomposed into sub-queries, sent to the relevant peers and
+// joined at the coordinator (module b), with network accounting.
+//
+//   $ ./lod_federation
+
+#include <cstdio>
+
+#include "rps/rps.h"
+
+int main() {
+  rps::LodConfig config;
+  config.num_peers = 6;
+  config.films_per_peer = 60;
+  config.actors_per_film = 2;
+  config.overlap_fraction = 0.3;
+  config.topology = rps::LodConfig::MappingTopology::kChain;
+  config.seed = 2026;
+
+  rps::LodStats stats;
+  std::unique_ptr<rps::RpsSystem> system = rps::GenerateLod(config, &stats);
+
+  std::printf("=== Synthetic LOD cloud ===\n");
+  std::printf("peers            : %zu (alternating dialects)\n",
+              system->PeerCount());
+  std::printf("triples          : %zu\n", stats.triples);
+  std::printf("sameAs links     : %zu\n", stats.sameas_links);
+  std::printf("mapping asserts  : %zu\n", stats.graph_mappings);
+
+  rps::GraphPatternQuery query = rps::LodDemoQuery(system.get(), config);
+  std::printf("\nQuery (peer 0's dialect): %s\n",
+              rps::ToString(query, *system->dict(), *system->vars())
+                  .c_str());
+
+  // Ground truth via Algorithm 1.
+  rps::Result<rps::CertainAnswerResult> chase =
+      rps::CertainAnswers(*system, query);
+  if (!chase.ok()) {
+    std::fprintf(stderr, "%s\n", chase.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("certain answers  : %zu (chase over %zu-triple universal "
+              "solution)\n",
+              chase->answers.size(), chase->universal_solution_size);
+
+  // Federated execution over the peer topology.
+  rps::Topology topo = rps::LodTopology(config);
+  rps::Federator federator(system.get(), topo);
+  std::printf("\n=== Federated execution over %s ===\n",
+              topo.Describe().c_str());
+
+  rps::Result<rps::FederatedQueryResult> fed = federator.Execute(query);
+  if (!fed.ok()) {
+    std::fprintf(stderr, "%s\n", fed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("answers          : %zu (%s chase)\n", fed->answers.size(),
+              fed->answers == chase->answers ? "== " : "!= ");
+  std::printf("UCQ branches     : %zu\n", fed->branches);
+  std::printf("sub-queries      : %zu\n", fed->subqueries);
+  std::printf("messages         : %zu\n", fed->network.messages);
+  std::printf("bytes            : %zu\n", fed->network.bytes);
+  std::printf("sim. latency     : %.2f ms\n", fed->network.latency_ms);
+
+  rps::Result<rps::FederatedQueryResult> central =
+      federator.ExecuteCentralized(query);
+  if (!central.ok()) {
+    std::fprintf(stderr, "%s\n", central.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== Centralized baseline (ship all sources) ===\n");
+  std::printf("answers          : %zu (%s chase)\n", central->answers.size(),
+              central->answers == chase->answers ? "== " : "!= ");
+  std::printf("messages         : %zu\n", central->network.messages);
+  std::printf("bytes            : %zu\n", central->network.bytes);
+  std::printf("sim. latency     : %.2f ms\n", central->network.latency_ms);
+
+  // Topology ablation.
+  std::printf("\n=== Topology ablation (same data, same query) ===\n");
+  std::printf("%-10s %-10s %-12s %-12s %-12s\n", "topology", "answers",
+              "subqueries", "messages", "latency_ms");
+  for (auto kind : {rps::LodConfig::MappingTopology::kChain,
+                    rps::LodConfig::MappingTopology::kStar,
+                    rps::LodConfig::MappingTopology::kRing,
+                    rps::LodConfig::MappingTopology::kRandom}) {
+    rps::LodConfig variant = config;
+    variant.topology = kind;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(variant);
+    rps::GraphPatternQuery q = rps::LodDemoQuery(sys.get(), variant);
+    rps::Topology t = rps::LodTopology(variant);
+    rps::Federator fed_variant(sys.get(), t);
+    rps::Result<rps::FederatedQueryResult> r = fed_variant.Execute(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s %-10zu %-12zu %-12zu %-12.2f\n",
+                t.Describe().c_str(), r->answers.size(), r->subqueries,
+                r->network.messages, r->network.latency_ms);
+  }
+  return 0;
+}

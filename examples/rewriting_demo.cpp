@@ -1,0 +1,110 @@
+// Query rewriting walkthrough (§4 of the paper):
+//  * Listing 2 — a Boolean query rewritten under the RPS mappings turns
+//    from false (raw sources) to true (rewritten union);
+//  * Proposition 2 — the Example 2 mapping set is linear, so a perfect
+//    UCQ rewriting exists and matches the chase;
+//  * Proposition 3 — the transitive-closure mapping admits no finite
+//    rewriting: the UCQ keeps growing with the budget while the chase
+//    answers exactly.
+//
+//   $ ./rewriting_demo
+
+#include <cstdio>
+
+#include "rps/rps.h"
+
+int main() {
+  rps::PaperExample ex = rps::BuildPaperExample();
+  rps::RpsSystem& system = *ex.system;
+  rps::Dictionary& dict = *system.dict();
+  rps::VarPool& vars = *system.vars();
+
+  std::printf("=== Listing 2: Boolean query rewriting ===\n");
+  std::printf(
+      "Ask whether (DB1:Toby_Maguire, \"39\") is a certain answer of the "
+      "Example 1 query.\n\n");
+
+  rps::RpsRewriteOptions literal_mode;
+  literal_mode.equivalence_mode =
+      rps::EquivalenceRewriteMode::kTgdResolution;
+  rps::Result<rps::BooleanRewriteCheck> check = rps::CheckTupleByRewriting(
+      system, ex.query, {ex.db1_toby, ex.age_39}, literal_mode);
+  if (!check.ok()) {
+    std::fprintf(stderr, "%s\n", check.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("#Boolean query\n%s=> %s\n\n",
+              rps::WriteSparql(rps::ToParsedQuery(check->boolean_query),
+                               dict, vars, ex.prefixes)
+                  .c_str(),
+              check->value_before ? "true" : "false");
+
+  std::printf("#Rewritten query (%zu branch(es), %zu explored, %zu pruned)\n",
+              check->rewritten_union.size(), check->stats.generated,
+              check->stats.pruned);
+  // Print the union as one ASK (may be long; show up to 6 branches).
+  size_t shown = std::min<size_t>(check->rewritten_union.size(), 6);
+  std::vector<rps::GraphPatternQuery> sample(
+      check->rewritten_union.begin(), check->rewritten_union.begin() + shown);
+  std::printf("%s", rps::WriteSparql(rps::ToParsedQuery(sample), dict, vars,
+                                     ex.prefixes)
+                        .c_str());
+  if (shown < check->rewritten_union.size()) {
+    std::printf("  ... (%zu more branches)\n",
+                check->rewritten_union.size() - shown);
+  }
+  std::printf("=> %s\n", check->value_after ? "true" : "false");
+
+  std::printf("\n=== Proposition 2: perfect rewriting (linear G) ===\n");
+  rps::Result<rps::RewriteAnswers> rewritten =
+      rps::CertainAnswersViaRewriting(system, ex.query);
+  rps::Result<rps::CertainAnswerResult> chased =
+      rps::CertainAnswers(system, ex.query);
+  if (!rewritten.ok() || !chased.ok()) {
+    std::fprintf(stderr, "answering failed\n");
+    return 1;
+  }
+  std::printf(
+      "rewriting complete: %s | answers via rewriting: %zu | via chase: %zu "
+      "| equal: %s\n",
+      rewritten->stats.complete ? "yes" : "no", rewritten->answers.size(),
+      chased->answers.size(),
+      rewritten->answers == chased->answers ? "yes" : "no");
+
+  std::printf("\n=== Proposition 3: no FO rewriting in general ===\n");
+  std::printf(
+      "Mapping: (x A z) AND (z A y) ~> (x A y)  over an A-chain of 10 "
+      "edges.\n");
+  std::unique_ptr<rps::RpsSystem> tc =
+      rps::GenerateTransitiveClosureSystem(10);
+  rps::GraphPatternQuery tq = rps::TransitiveQuery(tc.get());
+
+  rps::Result<rps::CertainAnswerResult> tc_chase =
+      rps::CertainAnswers(*tc, tq);
+  if (!tc_chase.ok()) {
+    std::fprintf(stderr, "%s\n", tc_chase.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("chase: %zu certain answers (= 10*11/2, the closure)\n",
+              tc_chase->answers.size());
+
+  std::printf("%-14s %-12s %-10s\n", "UCQ budget", "branches", "complete");
+  for (size_t budget : {16u, 64u, 256u, 1024u}) {
+    rps::RpsRewriteOptions options;
+    options.rewrite.max_queries = budget;
+    options.rewrite.minimize = false;
+    rps::Result<rps::RpsRewriteResult> r =
+        rps::RewriteGraphQuery(*tc, tq, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14zu %-12zu %-10s\n", budget, r->ucq.size(),
+                r->stats.complete ? "yes" : "no");
+  }
+  std::printf(
+      "The union never converges — exactly Proposition 3's non-FO-"
+      "rewritability.\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// rps_shell — the §5 prototype as a command-line tool: load an RDF Peer
+// System from a mapping-DSL configuration, then answer SPARQL queries
+// over it with certain-answer semantics.
+//
+//   rps_shell <config.rps> [query.sparql | -e 'SPARQL'] [options]
+//
+//   --engine=chase|unionfind|rewrite|datalog   answering engine
+//   --extended                                 allow OPTIONAL / FILTER
+//   --show-mappings                            print the loaded system
+//
+// Examples:
+//   rps_shell data/paper.rps data/listing1.sparql
+//   rps_shell data/paper.rps -e 'SELECT ?x ?y WHERE { ... }' --engine=rewrite
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "rps/rps.h"
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage: rps_shell <config.rps> [query.sparql | -e 'SPARQL'] "
+      "[--engine=chase|unionfind|rewrite|datalog] [--extended] "
+      "[--show-mappings]\n\n"
+      "Loads an RDF Peer System from a mapping-DSL configuration and\n"
+      "answers SPARQL queries with certain-answer semantics.\n"
+      "Try: rps_shell data/paper.rps data/listing1.sparql\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  std::string config_path;
+  std::string query_text;
+  std::string engine = "chase";
+  bool extended = false;
+  bool show_mappings = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-e" && i + 1 < argc) {
+      query_text = argv[++i];
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine = arg.substr(9);
+    } else if (arg == "--extended") {
+      extended = true;
+    } else if (arg == "--show-mappings") {
+      show_mappings = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else if (query_text.empty()) {
+      rps::Result<std::string> content = rps::ReadFileToString(arg);
+      if (!content.ok()) {
+        std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+        return 1;
+      }
+      query_text = *content;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config_path.empty()) return Usage();
+
+  rps::Result<std::unique_ptr<rps::RpsSystem>> loaded =
+      rps::LoadRpsConfigFile(config_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "config: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  rps::RpsSystem& system = **loaded;
+  std::printf("loaded %zu peer(s), %zu triple(s), %zu mapping(s), "
+              "%zu equivalence(s)\n",
+              system.PeerCount(), system.dataset().TotalTriples(),
+              system.graph_mappings().size(), system.equivalences().size());
+
+  if (show_mappings) {
+    for (const rps::GraphMappingAssertion& gma : system.graph_mappings()) {
+      std::printf("MAPPING %s:\n  FROM %s\n  TO   %s\n",
+                  gma.label.c_str(),
+                  rps::ToString(gma.from, *system.dict(), *system.vars())
+                      .c_str(),
+                  rps::ToString(gma.to, *system.dict(), *system.vars())
+                      .c_str());
+    }
+    for (const rps::EquivalenceMapping& eq : system.equivalences()) {
+      std::printf("EQUIV %s %s\n",
+                  system.dict()->ToString(eq.left).c_str(),
+                  system.dict()->ToString(eq.right).c_str());
+    }
+  }
+  if (query_text.empty()) return 0;
+
+  if (extended) {
+    rps::Result<rps::ParsedExtendedQuery> parsed = rps::ParseSparqlExtended(
+        query_text, system.dict(), system.vars());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "query: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    rps::Result<rps::ExtendedAnswerResult> result =
+        rps::ExtendedCertainAnswers(system, parsed->query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "answering: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu row(s)\n", result->answers.size());
+    for (const rps::PartialTuple& row : result->answers) {
+      std::printf("%s\n",
+                  rps::FormatPartialTuple(row, *system.dict()).c_str());
+    }
+    return 0;
+  }
+
+  rps::Result<rps::ParsedQuery> parsed =
+      rps::ParseSparql(query_text, system.dict(), system.vars());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "query: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  rps::Result<std::vector<rps::GraphPatternQuery>> queries =
+      parsed->ToQueries();
+  if (!queries.ok() || queries->size() != 1) {
+    std::fprintf(stderr, "query: expected a single conjunctive query\n");
+    return 1;
+  }
+  const rps::GraphPatternQuery& query = (*queries)[0];
+
+  std::vector<rps::Tuple> answers;
+  if (engine == "chase" || engine == "unionfind") {
+    rps::CertainAnswerOptions options;
+    if (engine == "unionfind") {
+      options.equivalence_mode = rps::EquivalenceMode::kUnionFind;
+    }
+    rps::Result<rps::CertainAnswerResult> result =
+        rps::CertainAnswers(system, query, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "answering: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    answers = std::move(result->answers);
+  } else if (engine == "rewrite") {
+    rps::Result<rps::RewriteAnswers> result =
+        rps::CertainAnswersViaRewriting(system, query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "answering: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (!result->stats.complete) {
+      std::fprintf(stderr,
+                   "warning: rewriting hit its budget; answers may be "
+                   "incomplete (Proposition 3 territory)\n");
+    }
+    answers = std::move(result->answers);
+  } else if (engine == "datalog") {
+    rps::Result<std::vector<rps::Tuple>> result =
+        rps::DatalogCertainAnswers(system, query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "answering: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    answers = std::move(*result);
+  } else {
+    std::fprintf(stderr, "unknown engine: %s\n", engine.c_str());
+    return 1;
+  }
+
+  std::printf("%zu row(s)\n", answers.size());
+  std::printf("%s", rps::FormatAnswers(answers, *system.dict()).c_str());
+  return 0;
+}

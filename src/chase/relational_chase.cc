@@ -1,0 +1,295 @@
+#include "chase/relational_chase.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps {
+
+bool RelationalInstance::Insert(PredId pred, std::vector<TermId> args) {
+  assert(args.size() == preds_->arity(pred));
+  PredStore& store = StoreFor(pred);
+  auto [it, inserted] = store.set.insert(args);
+  if (!inserted) return false;
+  uint32_t row_idx = static_cast<uint32_t>(store.rows.size());
+  store.rows.push_back(args);
+  for (size_t i = 0; i < args.size(); ++i) {
+    store.index[i][args[i]].push_back(row_idx);
+  }
+  ++fact_count_;
+  return true;
+}
+
+bool RelationalInstance::Contains(PredId pred,
+                                  const std::vector<TermId>& args) const {
+  const PredStore* store = StoreFor(pred);
+  if (store == nullptr) return false;
+  return store->set.count(args) > 0;
+}
+
+const std::vector<std::vector<TermId>>& RelationalInstance::Facts(
+    PredId pred) const {
+  const PredStore* store = StoreFor(pred);
+  if (store == nullptr) return empty_;
+  return store->rows;
+}
+
+RelationalInstance::PredStore& RelationalInstance::StoreFor(PredId pred) {
+  if (pred >= stores_.size()) {
+    stores_.resize(pred + 1);
+  }
+  PredStore& store = stores_[pred];
+  if (store.index.empty()) {
+    store.index.resize(preds_->arity(pred));
+  }
+  return store;
+}
+
+const RelationalInstance::PredStore* RelationalInstance::StoreFor(
+    PredId pred) const {
+  if (pred >= stores_.size()) return nullptr;
+  return &stores_[pred];
+}
+
+namespace {
+
+// Resolves an atom argument under the current assignment: returns the
+// bound constant, or nullopt for an unbound variable.
+std::optional<TermId> ResolveArg(const AtomArg& arg,
+                                 const VarAssignment& assignment) {
+  if (arg.is_const()) return arg.term();
+  auto it = assignment.find(arg.var());
+  if (it == assignment.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace
+
+void RelationalInstance::FindHomomorphisms(
+    const std::vector<Atom>& atoms, const VarAssignment& seed,
+    const std::function<bool(const VarAssignment&)>& fn) const {
+  VarAssignment assignment = seed;
+  std::vector<bool> done(atoms.size(), false);
+
+  // Recursive backtracking; returns false to stop the whole search.
+  std::function<bool(size_t)> solve = [&](size_t remaining) -> bool {
+    if (remaining == 0) {
+      return fn(assignment);
+    }
+    // Pick the undone atom with the most bound arguments; tie-break on the
+    // smallest candidate estimate.
+    size_t best = atoms.size();
+    size_t best_bound = 0;
+    size_t best_estimate = SIZE_MAX;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (done[i]) continue;
+      const Atom& atom = atoms[i];
+      const PredStore* store = StoreFor(atom.pred);
+      // A store created by resize for another predicate has no index yet;
+      // treat it as empty.
+      if (store != nullptr && store->index.empty()) store = nullptr;
+      size_t rows = store == nullptr ? 0 : store->rows.size();
+      size_t bound = 0;
+      size_t estimate = rows;
+      for (size_t j = 0; j < atom.args.size(); ++j) {
+        std::optional<TermId> v = ResolveArg(atom.args[j], assignment);
+        if (!v.has_value()) continue;
+        ++bound;
+        if (store != nullptr) {
+          auto it = store->index[j].find(*v);
+          size_t n = it == store->index[j].end() ? 0 : it->second.size();
+          estimate = std::min(estimate, n);
+        }
+      }
+      if (best == atoms.size() || bound > best_bound ||
+          (bound == best_bound && estimate < best_estimate)) {
+        best = i;
+        best_bound = bound;
+        best_estimate = estimate;
+      }
+    }
+
+    const Atom& atom = atoms[best];
+    const PredStore* store = StoreFor(atom.pred);
+    if (store == nullptr || store->rows.empty() || store->index.empty()) {
+      return true;  // predicate has no facts: no match on this branch
+    }
+
+    // Candidate rows: smallest posting list among bound positions, else
+    // all rows.
+    const std::vector<uint32_t>* postings = nullptr;
+    size_t postings_size = SIZE_MAX;
+    for (size_t j = 0; j < atom.args.size(); ++j) {
+      std::optional<TermId> v = ResolveArg(atom.args[j], assignment);
+      if (!v.has_value()) continue;
+      auto it = store->index[j].find(*v);
+      if (it == store->index[j].end()) return true;  // no candidate rows
+      if (it->second.size() < postings_size) {
+        postings = &it->second;
+        postings_size = it->second.size();
+      }
+    }
+
+    done[best] = true;
+    auto try_row = [&](const std::vector<TermId>& row) -> bool {
+      // Attempt to extend the assignment with this row.
+      std::vector<VarId> newly_bound;
+      bool match = true;
+      for (size_t j = 0; j < atom.args.size(); ++j) {
+        const AtomArg& arg = atom.args[j];
+        if (arg.is_const()) {
+          if (arg.term() != row[j]) {
+            match = false;
+            break;
+          }
+          continue;
+        }
+        auto it = assignment.find(arg.var());
+        if (it != assignment.end()) {
+          if (it->second != row[j]) {
+            match = false;
+            break;
+          }
+        } else {
+          assignment.emplace(arg.var(), row[j]);
+          newly_bound.push_back(arg.var());
+        }
+      }
+      bool keep_going = true;
+      if (match) {
+        keep_going = solve(remaining - 1);
+      }
+      for (VarId v : newly_bound) assignment.erase(v);
+      return keep_going;
+    };
+
+    bool keep_going = true;
+    if (postings != nullptr) {
+      for (uint32_t row_idx : *postings) {
+        if (!try_row(store->rows[row_idx])) {
+          keep_going = false;
+          break;
+        }
+      }
+    } else {
+      for (const std::vector<TermId>& row : store->rows) {
+        if (!try_row(row)) {
+          keep_going = false;
+          break;
+        }
+      }
+    }
+    done[best] = false;
+    return keep_going;
+  };
+
+  solve(atoms.size());
+}
+
+bool RelationalInstance::HasHomomorphism(const std::vector<Atom>& atoms,
+                                         const VarAssignment& seed) const {
+  bool found = false;
+  FindHomomorphisms(atoms, seed, [&](const VarAssignment&) {
+    found = true;
+    return false;  // stop at the first witness
+  });
+  return found;
+}
+
+Result<ChaseStats> ChaseTgds(const std::vector<Tgd>& tgds,
+                             RelationalInstance* instance, Dictionary* dict,
+                             const ChaseOptions& options) {
+  ChaseStats stats;
+
+  // Pre-compute per-TGD frontier and existential variable lists.
+  struct TgdInfo {
+    std::vector<VarId> frontier;
+    std::vector<VarId> existential;
+  };
+  std::vector<TgdInfo> infos;
+  infos.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) {
+    TgdInfo info;
+    for (VarId v : tgd.FrontierVars()) info.frontier.push_back(v);
+    for (VarId v : tgd.ExistentialVars()) info.existential.push_back(v);
+    infos.push_back(std::move(info));
+  }
+
+  struct FrontierHash {
+    size_t operator()(const std::vector<TermId>& key) const {
+      size_t h = 1469598103934665603ULL;
+      for (TermId t : key) h = (h ^ t) * 1099511628211ULL;
+      return h;
+    }
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (stats.rounds >= options.max_rounds) {
+      return Status::ResourceExhausted("chase: max_rounds reached");
+    }
+    ++stats.rounds;
+
+    for (size_t t = 0; t < tgds.size(); ++t) {
+      const Tgd& tgd = tgds[t];
+      const TgdInfo& info = infos[t];
+
+      // Snapshot the distinct frontier assignments of all body
+      // homomorphisms (facts added while firing this TGD must not be
+      // matched until the next round — that keeps rounds fair).
+      std::unordered_set<std::vector<TermId>, FrontierHash> triggers;
+      std::vector<std::vector<TermId>> trigger_list;
+      instance->FindHomomorphisms(
+          tgd.body, {}, [&](const VarAssignment& assignment) {
+            std::vector<TermId> key;
+            key.reserve(info.frontier.size());
+            for (VarId v : info.frontier) key.push_back(assignment.at(v));
+            if (triggers.insert(key).second) {
+              trigger_list.push_back(std::move(key));
+            }
+            return true;
+          });
+
+      for (const std::vector<TermId>& key : trigger_list) {
+        VarAssignment frontier_assignment;
+        for (size_t i = 0; i < info.frontier.size(); ++i) {
+          frontier_assignment.emplace(info.frontier[i], key[i]);
+        }
+        // Restricted chase: fire only if the head is not already
+        // satisfiable under this frontier assignment.
+        if (instance->HasHomomorphism(tgd.head, frontier_assignment)) {
+          continue;
+        }
+        if (stats.applications >= options.max_applications) {
+          return Status::ResourceExhausted("chase: max_applications reached");
+        }
+        if (instance->FactCount() >= options.max_facts) {
+          return Status::ResourceExhausted("chase: max_facts reached");
+        }
+        // Mint fresh labelled nulls (blank nodes) for existential vars.
+        VarAssignment extended = frontier_assignment;
+        for (VarId v : info.existential) {
+          extended.emplace(v, dict->NewBlank());
+          ++stats.nulls_created;
+        }
+        for (const Atom& head_atom : tgd.head) {
+          std::vector<TermId> row;
+          row.reserve(head_atom.args.size());
+          for (const AtomArg& arg : head_atom.args) {
+            row.push_back(arg.is_const() ? arg.term()
+                                         : extended.at(arg.var()));
+          }
+          if (instance->Insert(head_atom.pred, std::move(row))) {
+            ++stats.facts_created;
+          }
+        }
+        ++stats.applications;
+        progress = true;
+      }
+    }
+  }
+  stats.completed = true;
+  return stats;
+}
+
+}  // namespace rps

@@ -1,0 +1,110 @@
+#ifndef RPS_CHASE_RELATIONAL_CHASE_H_
+#define RPS_CHASE_RELATIONAL_CHASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "tgd/tgd.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// A ground assignment of variables produced by homomorphism search.
+using VarAssignment = std::unordered_map<VarId, TermId>;
+
+/// A set of ground relational facts over interned predicates, with
+/// per-position inverted indexes for conjunctive matching. Constants are
+/// TermIds; labelled nulls are TermIds of blank nodes minted through
+/// Dictionary::NewBlank, exactly as in §3 of the paper ("the chase
+/// generates new blank nodes as labelled nulls").
+class RelationalInstance {
+ public:
+  explicit RelationalInstance(const PredTable* preds) : preds_(preds) {}
+
+  /// Inserts a fact; returns true if it was new. The argument count must
+  /// match the predicate arity.
+  bool Insert(PredId pred, std::vector<TermId> args);
+
+  bool Contains(PredId pred, const std::vector<TermId>& args) const;
+
+  /// All facts of `pred`, in insertion order.
+  const std::vector<std::vector<TermId>>& Facts(PredId pred) const;
+
+  /// Total number of facts across predicates.
+  size_t FactCount() const { return fact_count_; }
+
+  /// Enumerates homomorphisms from the conjunction `atoms` into this
+  /// instance, extending `seed`. Invokes `fn` for each complete
+  /// assignment; if `fn` returns false, enumeration stops early.
+  void FindHomomorphisms(const std::vector<Atom>& atoms,
+                         const VarAssignment& seed,
+                         const std::function<bool(const VarAssignment&)>& fn)
+      const;
+
+  /// True if at least one homomorphism extending `seed` exists.
+  bool HasHomomorphism(const std::vector<Atom>& atoms,
+                       const VarAssignment& seed) const;
+
+  const PredTable* preds() const { return preds_; }
+
+ private:
+  struct RowHash {
+    size_t operator()(const std::vector<TermId>& row) const {
+      size_t h = 1469598103934665603ULL;
+      for (TermId t : row) h = (h ^ t) * 1099511628211ULL;
+      return h;
+    }
+  };
+
+  struct PredStore {
+    std::vector<std::vector<TermId>> rows;
+    std::unordered_set<std::vector<TermId>, RowHash> set;
+    // index[position][term] = row indices
+    std::vector<std::unordered_map<TermId, std::vector<uint32_t>>> index;
+  };
+
+  PredStore& StoreFor(PredId pred);
+  const PredStore* StoreFor(PredId pred) const;
+
+  const PredTable* preds_;
+  std::vector<PredStore> stores_;
+  size_t fact_count_ = 0;
+  std::vector<std::vector<TermId>> empty_;
+};
+
+/// Budgets for a chase run. The RPS-derived dependency sets always
+/// terminate (Theorem 1), but the generic engine also accepts arbitrary
+/// TGDs (e.g. the transitive-closure set of Proposition 3), so callers can
+/// bound work.
+struct ChaseOptions {
+  size_t max_applications = 10'000'000;
+  size_t max_facts = 50'000'000;
+  size_t max_rounds = SIZE_MAX;
+};
+
+/// Statistics of a chase run.
+struct ChaseStats {
+  size_t applications = 0;    // TGD trigger firings that added facts
+  size_t facts_created = 0;   // facts added
+  size_t nulls_created = 0;   // fresh labelled nulls minted
+  size_t rounds = 0;          // fixpoint iterations over the TGD set
+  bool completed = false;     // reached fixpoint within budget
+};
+
+/// Runs the restricted (standard) chase of `tgds` over `*instance`:
+/// for every homomorphism h of a TGD body, if no extension of h satisfies
+/// the head, head atoms are added with fresh labelled nulls for the
+/// existential variables (minted via `dict->NewBlank()`).
+///
+/// Returns ResourceExhausted if a budget was hit (instance holds the
+/// partial chase); otherwise the stats with completed=true.
+Result<ChaseStats> ChaseTgds(const std::vector<Tgd>& tgds,
+                             RelationalInstance* instance, Dictionary* dict,
+                             const ChaseOptions& options = ChaseOptions());
+
+}  // namespace rps
+
+#endif  // RPS_CHASE_RELATIONAL_CHASE_H_

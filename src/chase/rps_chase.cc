@@ -1,0 +1,344 @@
+#include "chase/rps_chase.h"
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+namespace rps {
+
+namespace {
+
+// Substitutes the head variables of `q` with the constants of `tuple` in
+// the body, leaving other variables untouched.
+GraphPattern SubstituteHead(const GraphPatternQuery& q, const Tuple& tuple) {
+  std::unordered_map<VarId, TermId> map;
+  for (size_t i = 0; i < q.head.size(); ++i) {
+    map[q.head[i]] = tuple[i];
+  }
+  auto substitute = [&](const PatternTerm& pt) {
+    if (pt.is_var()) {
+      auto it = map.find(pt.var());
+      if (it != map.end()) return PatternTerm::Const(it->second);
+    }
+    return pt;
+  };
+  GraphPattern out;
+  for (const TriplePattern& tp : q.body.patterns()) {
+    out.Add(TriplePattern{substitute(tp.s), substitute(tp.p),
+                          substitute(tp.o)});
+  }
+  return out;
+}
+
+// Instantiates the body of `q` under head tuple `t` plus the witness
+// binding of the remaining variables — the premise triples of a GMA
+// firing, for provenance recording.
+std::vector<Triple> InstantiateBody(const GraphPatternQuery& q,
+                                    const Tuple& tuple,
+                                    const Binding& witness) {
+  std::unordered_map<VarId, TermId> head_map;
+  for (size_t i = 0; i < q.head.size(); ++i) head_map[q.head[i]] = tuple[i];
+  auto resolve = [&](const PatternTerm& pt) -> TermId {
+    if (pt.is_const()) return pt.term();
+    auto it = head_map.find(pt.var());
+    if (it != head_map.end()) return it->second;
+    std::optional<TermId> bound = witness.Get(pt.var());
+    return bound.value_or(kInvalidTermId);
+  };
+  std::vector<Triple> out;
+  for (const TriplePattern& tp : q.body.patterns()) {
+    out.push_back(Triple{resolve(tp.s), resolve(tp.p), resolve(tp.o)});
+  }
+  return out;
+}
+
+void Record(ProvenanceMap* provenance, const Triple& t,
+            TripleDerivation derivation) {
+  if (provenance != nullptr) provenance->emplace(t, std::move(derivation));
+}
+
+std::string EquivalenceLabel(const Dictionary& dict,
+                             const EquivalenceMapping& eq) {
+  return dict.ToString(eq.left) + " = " + dict.ToString(eq.right);
+}
+
+}  // namespace
+
+Result<RpsChaseStats> BuildUniversalSolution(const RpsSystem& system,
+                                             Graph* out,
+                                             const RpsChaseOptions& options) {
+  if (out->dict() != system.dict()) {
+    return Status::InvalidArgument(
+        "output graph must share the system's dictionary");
+  }
+  if (!out->empty()) {
+    return Status::InvalidArgument("output graph must start empty");
+  }
+
+  // Seed: d ⊆ J for every stored peer database d.
+  for (const auto& [name, graph] : system.dataset().graphs()) {
+    for (const Triple& t : graph.triples()) {
+      if (out->InsertUnchecked(t)) {
+        Record(options.provenance, t,
+               TripleDerivation{TripleDerivation::Kind::kStored, name, {}});
+      }
+    }
+  }
+  if (options.semi_naive) {
+    // The whole stored database is the initial delta.
+    return ChaseGraphDelta(out, out->triples(), system.graph_mappings(),
+                           system.equivalences(), options);
+  }
+  return ChaseGraph(out, system.graph_mappings(), system.equivalences(),
+                    options);
+}
+
+Result<RpsChaseStats> ChaseGraph(
+    Graph* out, const std::vector<GraphMappingAssertion>& graph_mappings,
+    const std::vector<EquivalenceMapping>& equivalences,
+    const RpsChaseOptions& options) {
+  Dictionary* dict = out->dict();
+  RpsChaseStats stats;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (stats.rounds >= options.max_rounds) {
+      return Status::ResourceExhausted("rps chase: max_rounds reached");
+    }
+    ++stats.rounds;
+
+    // Graph mapping assertions: Q_J ⊆ Q'_J.
+    for (const GraphMappingAssertion& gma : graph_mappings) {
+      // Q_J under the blank-dropping semantics: the rt(x) guard atoms of
+      // the §3 encoding are exactly "head values are not blank nodes".
+      std::vector<Tuple> q_result =
+          EvalQuery(*out, gma.from, QuerySemantics::kDropBlanks,
+                    options.eval);
+      for (const Tuple& t : q_result) {
+        // Membership of t in Q'_J: does the body of Q' with head := t
+        // match J (existentials may bind anything, including blanks)?
+        GraphPattern check = SubstituteHead(gma.to, t);
+        BindingSet witnesses = EvalGraphPattern(*out, check, options.eval);
+        if (!witnesses.empty()) continue;
+
+        if (out->size() >= options.max_triples) {
+          return Status::ResourceExhausted("rps chase: max_triples reached");
+        }
+        // Provenance: one witness instantiation of the Q body.
+        std::vector<Triple> premises;
+        if (options.provenance != nullptr) {
+          GraphPattern from_check = SubstituteHead(gma.from, t);
+          BindingSet from_witnesses =
+              EvalGraphPattern(*out, from_check, options.eval);
+          if (!from_witnesses.empty()) {
+            premises = InstantiateBody(gma.from, t, from_witnesses.front());
+          }
+        }
+        // Fire: instantiate Q' with fresh blank nodes for existentials.
+        std::unordered_map<VarId, TermId> assignment;
+        for (size_t i = 0; i < gma.to.head.size(); ++i) {
+          assignment[gma.to.head[i]] = t[i];
+        }
+        for (const TriplePattern& tp : gma.to.body.patterns()) {
+          auto materialize = [&](const PatternTerm& pt) -> TermId {
+            if (pt.is_const()) return pt.term();
+            auto it = assignment.find(pt.var());
+            if (it != assignment.end()) return it->second;
+            TermId fresh = dict->NewBlank();
+            ++stats.blanks_created;
+            assignment.emplace(pt.var(), fresh);
+            return fresh;
+          };
+          Triple triple{materialize(tp.s), materialize(tp.p),
+                        materialize(tp.o)};
+          if (out->InsertUnchecked(triple)) {
+            ++stats.triples_added;
+            Record(options.provenance, triple,
+                   TripleDerivation{TripleDerivation::Kind::kGma, gma.label,
+                                    premises});
+          }
+        }
+        ++stats.gma_firings;
+        progress = true;
+      }
+    }
+
+    // Equivalence mappings: mutual neighbourhood copying (Q* semantics —
+    // blank nodes are copied as-is).
+    for (const EquivalenceMapping& eq : equivalences) {
+      auto copy_position = [&](TermId from, TermId to, int position) {
+        std::optional<TermId> s, p, o;
+        if (position == 0) s = from;
+        if (position == 1) p = from;
+        if (position == 2) o = from;
+        // Materialize matches first: we mutate `out` while copying.
+        std::vector<Triple> matches = out->MatchAll(s, p, o);
+        for (const Triple& t : matches) {
+          Triple copied = t;
+          if (position == 0) copied.s = to;
+          if (position == 1) copied.p = to;
+          if (position == 2) copied.o = to;
+          if (out->InsertUnchecked(copied)) {
+            ++stats.triples_added;
+            ++stats.eq_triples;
+            progress = true;
+            Record(options.provenance, copied,
+                   TripleDerivation{TripleDerivation::Kind::kEquivalence,
+                                    EquivalenceLabel(*dict, eq), {t}});
+          }
+        }
+      };
+      if (out->size() >= options.max_triples) {
+        return Status::ResourceExhausted("rps chase: max_triples reached");
+      }
+      for (int position = 0; position < 3; ++position) {
+        copy_position(eq.left, eq.right, position);
+        copy_position(eq.right, eq.left, position);
+      }
+    }
+  }
+
+  stats.completed = true;
+  return stats;
+}
+
+Result<RpsChaseStats> ChaseGraphDelta(
+    Graph* out, std::vector<Triple> delta,
+    const std::vector<GraphMappingAssertion>& graph_mappings,
+    const std::vector<EquivalenceMapping>& equivalences,
+    const RpsChaseOptions& options) {
+  Dictionary* dict = out->dict();
+  const Dictionary& cdict = *dict;
+  RpsChaseStats stats;
+
+  while (!delta.empty()) {
+    if (stats.rounds >= options.max_rounds) {
+      return Status::ResourceExhausted("delta chase: max_rounds reached");
+    }
+    ++stats.rounds;
+    std::vector<Triple> next_delta;
+    // `derive` is only invoked when the triple is new and provenance is
+    // being recorded.
+    auto emit = [&](const Triple& t,
+                    const std::function<TripleDerivation()>& derive) {
+      if (out->InsertUnchecked(t)) {
+        ++stats.triples_added;
+        next_delta.push_back(t);
+        if (options.provenance != nullptr) {
+          options.provenance->emplace(t, derive());
+        }
+      }
+    };
+
+    // Equivalence mappings: copy only the neighbourhood entries the delta
+    // contributes.
+    for (const EquivalenceMapping& eq : equivalences) {
+      size_t before = stats.triples_added;
+      for (const Triple& t : delta) {
+        // One position at a time, matching Algorithm 1's per-position
+        // copy rules.
+        auto copy_if = [&](TermId from, TermId to) {
+          auto derive = [&]() {
+            return TripleDerivation{TripleDerivation::Kind::kEquivalence,
+                                    EquivalenceLabel(cdict, eq), {t}};
+          };
+          if (t.s == from) emit(Triple{to, t.p, t.o}, derive);
+          if (t.p == from) emit(Triple{t.s, to, t.o}, derive);
+          if (t.o == from) emit(Triple{t.s, t.p, to}, derive);
+        };
+        copy_if(eq.left, eq.right);
+        copy_if(eq.right, eq.left);
+      }
+      stats.eq_triples += stats.triples_added - before;
+      if (out->size() >= options.max_triples) {
+        return Status::ResourceExhausted("delta chase: max_triples reached");
+      }
+    }
+
+    // Graph mapping assertions, semi-naive: one body pattern is matched
+    // against the delta, the rest against the full J.
+    for (const GraphMappingAssertion& gma : graph_mappings) {
+      const std::vector<TriplePattern>& patterns =
+          gma.from.body.patterns();
+      for (size_t di = 0; di < patterns.size(); ++di) {
+        // Seed bindings: delta triples matching pattern di.
+        BindingSet seeds;
+        for (const Triple& t : delta) {
+          std::optional<Binding> b = MatchTriple(patterns[di], t);
+          if (b.has_value()) seeds.push_back(std::move(*b));
+        }
+        if (seeds.empty()) continue;
+        std::vector<TriplePattern> rest;
+        for (size_t j = 0; j < patterns.size(); ++j) {
+          if (j != di) rest.push_back(patterns[j]);
+        }
+        BindingSet solutions =
+            ExtendBindings(*out, rest, std::move(seeds), options.eval);
+
+        // Distinct head tuples with non-blank values (the rt guards).
+        std::set<Tuple> tuples;
+        for (const Binding& b : solutions) {
+          Tuple tuple;
+          bool keep = true;
+          for (VarId v : gma.from.head) {
+            std::optional<TermId> value = b.Get(v);
+            if (!value.has_value() || cdict.IsBlank(*value)) {
+              keep = false;
+              break;
+            }
+            tuple.push_back(*value);
+          }
+          if (keep) tuples.insert(std::move(tuple));
+        }
+
+        for (const Tuple& t : tuples) {
+          GraphPattern check = SubstituteHead(gma.to, t);
+          if (!EvalGraphPattern(*out, check, options.eval).empty()) continue;
+          if (out->size() >= options.max_triples) {
+            return Status::ResourceExhausted(
+                "delta chase: max_triples reached");
+          }
+          std::vector<Triple> premises;
+          if (options.provenance != nullptr) {
+            GraphPattern from_check = SubstituteHead(gma.from, t);
+            BindingSet from_witnesses =
+                EvalGraphPattern(*out, from_check, options.eval);
+            if (!from_witnesses.empty()) {
+              premises =
+                  InstantiateBody(gma.from, t, from_witnesses.front());
+            }
+          }
+          std::unordered_map<VarId, TermId> assignment;
+          for (size_t i = 0; i < gma.to.head.size(); ++i) {
+            assignment[gma.to.head[i]] = t[i];
+          }
+          for (const TriplePattern& tp : gma.to.body.patterns()) {
+            auto materialize = [&](const PatternTerm& pt) -> TermId {
+              if (pt.is_const()) return pt.term();
+              auto it = assignment.find(pt.var());
+              if (it != assignment.end()) return it->second;
+              TermId fresh = dict->NewBlank();
+              ++stats.blanks_created;
+              assignment.emplace(pt.var(), fresh);
+              return fresh;
+            };
+            emit(Triple{materialize(tp.s), materialize(tp.p),
+                        materialize(tp.o)},
+                 [&]() {
+                   return TripleDerivation{TripleDerivation::Kind::kGma,
+                                           gma.label, premises};
+                 });
+          }
+          ++stats.gma_firings;
+        }
+      }
+    }
+
+    delta = std::move(next_delta);
+  }
+  stats.completed = true;
+  return stats;
+}
+
+}  // namespace rps

@@ -1,0 +1,106 @@
+#ifndef RPS_CHASE_RPS_CHASE_H_
+#define RPS_CHASE_RPS_CHASE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "peer/rps_system.h"
+#include "query/eval.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// How one triple of the universal solution came to be: stored by a peer,
+/// produced by a graph mapping assertion firing, or copied by an
+/// equivalence mapping. Recorded (optionally) by the chase and consumed by
+/// the explanation module (peer/provenance.h).
+struct TripleDerivation {
+  enum class Kind { kStored, kGma, kEquivalence };
+  Kind kind = Kind::kStored;
+  /// kStored: the contributing peer's name. kGma / kEquivalence: the
+  /// mapping's diagnostic label.
+  std::string source;
+  /// The premise triples the step consumed (empty for stored triples).
+  std::vector<Triple> premises;
+};
+
+/// First derivation recorded per triple (the chase may re-derive a triple
+/// later; the original justification is kept).
+using ProvenanceMap =
+    std::unordered_map<Triple, TripleDerivation, TripleHash>;
+
+/// Budgets and knobs for the RPS chase (Algorithm 1 of the paper).
+struct RpsChaseOptions {
+  size_t max_rounds = SIZE_MAX;
+  size_t max_triples = 50'000'000;
+  /// Use the semi-naive (delta-driven) schedule for the full chase:
+  /// instead of re-evaluating every mapping over all of J each round,
+  /// only homomorphisms touching the previous round's new triples are
+  /// considered. Same fixpoint, usually far fewer joins (scheduling
+  /// ablation, DESIGN.md §5.3).
+  bool semi_naive = false;
+  /// When non-null, the chase records one derivation per triple of J
+  /// (including the stored seeds). Slows GMA firings slightly: a witness
+  /// body instantiation is computed per fired tuple.
+  ProvenanceMap* provenance = nullptr;
+  EvalOptions eval;
+};
+
+/// Statistics of an Algorithm 1 run.
+struct RpsChaseStats {
+  size_t rounds = 0;
+  size_t triples_added = 0;    // beyond the stored database
+  size_t blanks_created = 0;   // labelled nulls minted by GMA heads
+  size_t gma_firings = 0;      // graph-mapping-assertion chase steps
+  size_t eq_triples = 0;       // triples added by equivalence copying
+  bool completed = false;      // reached fixpoint within budget
+};
+
+/// Algorithm 1 (Appendix): materializes a universal solution for `system`
+/// into `*out` by chasing the stored database with the graph mapping
+/// assertions and equivalence mappings until fixpoint:
+///  * seed: every stored triple is copied into J;
+///  * per graph mapping assertion Q ⇝ Q': for each tuple t ∈ Q_J \ Q'_J,
+///    the body of Q' is instantiated with t (head variables) and fresh
+///    blank nodes (existential variables) and added to J;
+///  * per equivalence mapping c ≡ₑ c': the subject / predicate / object
+///    neighbourhoods of c and c' are mutually copied (the six switch
+///    blocks of Algorithm 1), preserving blank nodes (Q* semantics).
+///
+/// `out` must be empty and share the system's dictionary. Termination is
+/// guaranteed (Theorem 1): newly created blank nodes never satisfy the
+/// rt-guards of GMA bodies, so the chase is bounded; budgets exist to cap
+/// runaway configurations in experiments.
+///
+/// Note on generalized RDF: a GMA whose head has an existential variable
+/// in predicate position makes the chase mint a blank-node predicate, as
+/// in the relational data-exchange semantics. Such triples are stored
+/// (generalized RDF) and — being blank — never surface in certain answers.
+Result<RpsChaseStats> BuildUniversalSolution(
+    const RpsSystem& system, Graph* out,
+    const RpsChaseOptions& options = RpsChaseOptions());
+
+/// The chase loop proper, exposed for callers that prepare `j` themselves
+/// (e.g. the union-find equivalence mode chases a canonicalized graph with
+/// the graph mapping assertions only). `j` is chased in place to fixpoint.
+Result<RpsChaseStats> ChaseGraph(
+    Graph* j, const std::vector<GraphMappingAssertion>& graph_mappings,
+    const std::vector<EquivalenceMapping>& equivalences,
+    const RpsChaseOptions& options = RpsChaseOptions());
+
+/// Delta-driven (semi-naive) chase: `j` must already be closed under the
+/// mappings except for the triples in `delta` (which must already be
+/// inserted into `j`). Only homomorphisms that use at least one delta
+/// triple are considered per round; triples produced by a round form the
+/// next round's delta. Equivalent to re-running ChaseGraph, at a cost
+/// proportional to the consequences of the delta rather than to |J|.
+Result<RpsChaseStats> ChaseGraphDelta(
+    Graph* j, std::vector<Triple> delta,
+    const std::vector<GraphMappingAssertion>& graph_mappings,
+    const std::vector<EquivalenceMapping>& equivalences,
+    const RpsChaseOptions& options = RpsChaseOptions());
+
+}  // namespace rps
+
+#endif  // RPS_CHASE_RPS_CHASE_H_

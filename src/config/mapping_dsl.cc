@@ -1,0 +1,284 @@
+#include "config/mapping_dsl.h"
+
+#include <fstream>
+#include <unordered_map>
+#include <sstream>
+
+#include "parser/cursor.h"
+#include "parser/ntriples.h"
+#include "parser/sparql.h"
+#include "parser/turtle.h"
+#include "util/string_util.h"
+
+namespace rps {
+
+namespace {
+
+class ConfigParser {
+ public:
+  ConfigParser(std::string_view text, const RpsConfigOptions& options)
+      : cursor_(text), options_(options) {}
+
+  Result<std::unique_ptr<RpsSystem>> Run() {
+    auto system = std::make_unique<RpsSystem>();
+    system_ = system.get();
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.AtEnd()) break;
+      if (cursor_.TryConsumeKeyword("PREFIX")) {
+        RPS_RETURN_IF_ERROR(ParsePrefix());
+      } else if (cursor_.TryConsumeKeyword("PEER")) {
+        RPS_RETURN_IF_ERROR(ParsePeer());
+      } else if (cursor_.TryConsumeKeyword("MAPPING")) {
+        RPS_RETURN_IF_ERROR(ParseMapping());
+      } else if (cursor_.TryConsumeKeyword("EQUIV")) {
+        RPS_RETURN_IF_ERROR(ParseEquiv());
+      } else if (cursor_.TryConsumeKeyword("SAMEAS")) {
+        system_->AddEquivalencesFromSameAs();
+      } else {
+        return cursor_.Error(
+            "expected PREFIX, PEER, MAPPING, EQUIV or SAMEAS");
+      }
+    }
+    return system;
+  }
+
+ private:
+  Status ParsePrefix() {
+    cursor_.SkipWhitespaceAndComments();
+    std::string prefix;
+    while (!cursor_.AtEnd() && IsPnChar(cursor_.Peek())) {
+      prefix.push_back(cursor_.Peek());
+      cursor_.Advance();
+    }
+    if (!cursor_.TryConsume(':')) {
+      return cursor_.Error("expected ':' after prefix name");
+    }
+    cursor_.SkipWhitespaceAndComments();
+    RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+    prefixes_[prefix] = std::move(iri);
+    return Status::OK();
+  }
+
+  // Reads a bare word (peer names, file paths).
+  Result<std::string> ReadWord() {
+    cursor_.SkipWhitespaceAndComments();
+    std::string word;
+    while (!cursor_.AtEnd()) {
+      char c = cursor_.Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#') break;
+      word.push_back(c);
+      cursor_.Advance();
+    }
+    if (word.empty()) return cursor_.Error("expected a word");
+    return word;
+  }
+
+  Status ParsePeer() {
+    RPS_ASSIGN_OR_RETURN(std::string name, ReadWord());
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsumeKeyword("FROM")) {
+      return cursor_.Error("expected FROM after the peer name");
+    }
+    RPS_ASSIGN_OR_RETURN(std::string path, ReadWord());
+    std::string resolved = path;
+    if (!options_.base_dir.empty() && !path.empty() && path[0] != '/') {
+      resolved = options_.base_dir + "/" + path;
+    }
+    RPS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(resolved));
+    Graph& graph = system_->AddPeer(name);
+    if (EndsWith(path, ".nt") || EndsWith(path, ".ntriples")) {
+      RPS_ASSIGN_OR_RETURN(size_t n, ParseNTriples(content, &graph));
+      (void)n;
+    } else {
+      RPS_ASSIGN_OR_RETURN(size_t n, ParseTurtle(content, &graph));
+      (void)n;
+    }
+    return Status::OK();
+  }
+
+  // Reads `{ ... }` verbatim (braces not nested inside BGPs).
+  Result<std::string> ReadBraceBlock() {
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume('{')) {
+      return cursor_.Error("expected '{'");
+    }
+    std::string body;
+    while (!cursor_.AtEnd() && cursor_.Peek() != '}') {
+      body.push_back(cursor_.Peek());
+      cursor_.Advance();
+    }
+    if (!cursor_.TryConsume('}')) {
+      return cursor_.Error("unterminated '{' block");
+    }
+    return body;
+  }
+
+  Status ParseMapping() {
+    cursor_.SkipWhitespaceAndComments();
+    std::string label;
+    if (cursor_.Peek() == '"') {
+      RPS_ASSIGN_OR_RETURN(label, cursor_.ReadQuotedString());
+    }
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsumeKeyword("HEAD")) {
+      return cursor_.Error("expected HEAD ?vars after MAPPING");
+    }
+    std::vector<VarId> head;
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.Peek() != '?' && cursor_.Peek() != '$') break;
+      RPS_ASSIGN_OR_RETURN(std::string name, cursor_.ReadVarName());
+      head.push_back(system_->vars()->Intern(name));
+    }
+    if (head.empty()) {
+      return cursor_.Error("MAPPING HEAD requires at least one variable");
+    }
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsumeKeyword("FROM")) {
+      return cursor_.Error("expected FROM { pattern }");
+    }
+    RPS_ASSIGN_OR_RETURN(std::string from_text, ReadBraceBlock());
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsumeKeyword("TO")) {
+      return cursor_.Error("expected TO { pattern }");
+    }
+    RPS_ASSIGN_OR_RETURN(std::string to_text, ReadBraceBlock());
+
+    GraphMappingAssertion gma;
+    gma.label = label;
+    RPS_ASSIGN_OR_RETURN(
+        gma.from.body,
+        ParseBgpText(from_text, prefixes_, system_->dict(),
+                     system_->vars()));
+    RPS_ASSIGN_OR_RETURN(
+        gma.to.body,
+        ParseBgpText(to_text, prefixes_, system_->dict(), system_->vars()));
+    gma.from.head = head;
+    gma.to.head = head;
+    return system_->AddGraphMapping(std::move(gma));
+  }
+
+  // Reads an IRI or prefixed name as a TermId.
+  Result<TermId> ReadIriTerm() {
+    cursor_.SkipWhitespaceAndComments();
+    if (cursor_.Peek() == '<') {
+      RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+      return system_->dict()->InternIri(iri);
+    }
+    RPS_ASSIGN_OR_RETURN(std::string token, cursor_.ReadPrefixedName());
+    size_t colon = token.find(':');
+    std::string prefix = token.substr(0, colon);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return cursor_.Error("undefined prefix '" + prefix + ":'");
+    }
+    return system_->dict()->InternIri(it->second + token.substr(colon + 1));
+  }
+
+  Status ParseEquiv() {
+    RPS_ASSIGN_OR_RETURN(TermId left, ReadIriTerm());
+    RPS_ASSIGN_OR_RETURN(TermId right, ReadIriTerm());
+    return system_->AddEquivalence(left, right);
+  }
+
+  TextCursor cursor_;
+  const RpsConfigOptions& options_;
+  RpsSystem* system_ = nullptr;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<std::unique_ptr<RpsSystem>> LoadRpsConfig(
+    std::string_view text, const RpsConfigOptions& options) {
+  ConfigParser parser(text, options);
+  return parser.Run();
+}
+
+Result<std::string> SaveRpsConfig(
+    const RpsSystem& system, const std::string& out_dir,
+    const std::map<std::string, std::string>& prefixes) {
+  auto write_file = [](const std::string& path,
+                       const std::string& content) -> Status {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot write file: " + path);
+    out << content;
+    return Status::OK();
+  };
+
+  std::string config;
+  for (const auto& [prefix, ns] : prefixes) {
+    config += "PREFIX " + prefix + ": <" + ns + ">\n";
+  }
+  if (!prefixes.empty()) config += "\n";
+
+  for (const auto& [name, graph] : system.dataset().graphs()) {
+    std::string file_name = name + ".ttl";
+    RPS_RETURN_IF_ERROR(
+        write_file(out_dir + "/" + file_name, WriteTurtle(graph, prefixes)));
+    config += "PEER " + name + " FROM " + file_name + "\n";
+  }
+  config += "\n";
+
+  const Dictionary& dict = *system.dict();
+  const VarPool& vars = *system.vars();
+  for (const GraphMappingAssertion& gma : system.graph_mappings()) {
+    config += "MAPPING \"" + gma.label + "\" HEAD";
+    for (VarId v : gma.from.head) config += " ?" + vars.name(v);
+    config += "\n  FROM { " +
+              WriteBgpText(gma.from.body, dict, vars, prefixes) + " }\n";
+    // The DSL identifies the two sides' heads by NAME, so rewrite the TO
+    // body's head variables to the FROM head variables before printing.
+    std::unordered_map<VarId, VarId> renaming;
+    for (size_t i = 0; i < gma.to.head.size(); ++i) {
+      renaming[gma.to.head[i]] = gma.from.head[i];
+    }
+    GraphPattern to_body;
+    for (const TriplePattern& tp : gma.to.body.patterns()) {
+      auto rename = [&](const PatternTerm& pt) {
+        if (pt.is_var()) {
+          auto it = renaming.find(pt.var());
+          if (it != renaming.end()) return PatternTerm::Var(it->second);
+        }
+        return pt;
+      };
+      to_body.Add(TriplePattern{rename(tp.s), rename(tp.p), rename(tp.o)});
+    }
+    config += "  TO   { " + WriteBgpText(to_body, dict, vars, prefixes) +
+              " }\n";
+  }
+  if (!system.graph_mappings().empty()) config += "\n";
+
+  for (const EquivalenceMapping& eq : system.equivalences()) {
+    config += "EQUIV " + dict.ToString(eq.left) + " " +
+              dict.ToString(eq.right) + "\n";
+  }
+
+  std::string config_path = out_dir + "/config.rps";
+  RPS_RETURN_IF_ERROR(write_file(config_path, config));
+  return config_path;
+}
+
+Result<std::unique_ptr<RpsSystem>> LoadRpsConfigFile(
+    const std::string& path) {
+  RPS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  RpsConfigOptions options;
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    options.base_dir = path.substr(0, slash);
+  }
+  return LoadRpsConfig(content, options);
+}
+
+}  // namespace rps

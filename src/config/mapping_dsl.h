@@ -1,0 +1,59 @@
+#ifndef RPS_CONFIG_MAPPING_DSL_H_
+#define RPS_CONFIG_MAPPING_DSL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "peer/rps_system.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// Options for loading an RPS configuration.
+struct RpsConfigOptions {
+  /// Directory against which relative `PEER ... FROM <path>` paths are
+  /// resolved. Empty = current working directory.
+  std::string base_dir;
+};
+
+/// Loads an RDF Peer System from the declarative mapping DSL — the
+/// configuration front-end of the §5 prototype. Syntax (one directive per
+/// statement, `#` comments):
+///
+///   PREFIX voc: <http://example.org/voc/>
+///   PEER source1 FROM data/source1.ttl      # .ttl or .nt by extension
+///   MAPPING "Q2->Q1" HEAD ?x ?y
+///     FROM { ?x voc:actor ?y }
+///     TO   { ?x voc:starring ?z . ?z voc:artist ?y }
+///   EQUIV db1:Spiderman db2:Spiderman2002
+///   SAMEAS                                  # register stored owl:sameAs
+///
+/// `HEAD` lists the shared free variables of the two sides; every other
+/// variable is existentially quantified on its side. `EQUIV` takes IRIs
+/// or prefixed names. `SAMEAS` scans all loaded peers.
+Result<std::unique_ptr<RpsSystem>> LoadRpsConfig(
+    std::string_view text, const RpsConfigOptions& options =
+                               RpsConfigOptions());
+
+/// Reads `path` and calls LoadRpsConfig with base_dir = dirname(path).
+Result<std::unique_ptr<RpsSystem>> LoadRpsConfigFile(const std::string& path);
+
+/// Reads an entire file into a string (shared helper; also used by the
+/// CLI for query files).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Materializes a system as an on-disk workspace: writes one Turtle file
+/// per peer into `out_dir` (which must exist) plus `config.rps`
+/// referencing them, with every graph mapping assertion and equivalence
+/// mapping serialized in the DSL. The result round-trips through
+/// LoadRpsConfigFile. `prefixes` compacts IRIs in both the Turtle files
+/// and the mapping patterns. Returns the config file's path.
+Result<std::string> SaveRpsConfig(
+    const RpsSystem& system, const std::string& out_dir,
+    const std::map<std::string, std::string>& prefixes = {});
+
+}  // namespace rps
+
+#endif  // RPS_CONFIG_MAPPING_DSL_H_

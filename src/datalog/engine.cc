@@ -1,0 +1,116 @@
+#include "datalog/engine.h"
+
+#include <algorithm>
+
+namespace rps {
+
+namespace {
+
+// Matches `atom` against a concrete `row`, extending `assignment`.
+// Returns false on mismatch; records newly bound vars in `newly_bound`
+// so the caller can undo.
+bool BindRow(const Atom& atom, const std::vector<TermId>& row,
+             VarAssignment* assignment, std::vector<VarId>* newly_bound) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const AtomArg& arg = atom.args[i];
+    if (arg.is_const()) {
+      if (arg.term() != row[i]) return false;
+      continue;
+    }
+    auto it = assignment->find(arg.var());
+    if (it != assignment->end()) {
+      if (it->second != row[i]) return false;
+    } else {
+      assignment->emplace(arg.var(), row[i]);
+      newly_bound->push_back(arg.var());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<DatalogEvalStats> EvaluateDatalog(const DatalogProgram& program,
+                                         RelationalInstance* database,
+                                         const DatalogEvalOptions& options) {
+  RPS_RETURN_IF_ERROR(program.Validate());
+  DatalogEvalStats stats;
+  const PredTable* preds = database->preds();
+
+  // delta: the facts derived in the previous round (seeded with the whole
+  // EDB so first-round joins see everything).
+  RelationalInstance delta(preds);
+  for (PredId p = 0; p < preds->size(); ++p) {
+    for (const std::vector<TermId>& row : database->Facts(p)) {
+      delta.Insert(p, row);
+    }
+  }
+
+  while (true) {
+    if (stats.rounds >= options.max_rounds) {
+      return Status::ResourceExhausted("datalog: max_rounds reached");
+    }
+    ++stats.rounds;
+
+    RelationalInstance next_delta(preds);
+    for (const DatalogRule& rule : program.rules) {
+      // Semi-naive: one body atom ranges over delta, the rest over the
+      // full database. Iterate the choice of delta atom.
+      for (size_t dj = 0; dj < rule.body.size(); ++dj) {
+        const Atom& delta_atom = rule.body[dj];
+        const auto& delta_rows = delta.Facts(delta_atom.pred);
+        if (delta_rows.empty()) continue;
+
+        std::vector<Atom> rest;
+        rest.reserve(rule.body.size() - 1);
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          if (j != dj) rest.push_back(rule.body[j]);
+        }
+
+        for (const std::vector<TermId>& row : delta_rows) {
+          VarAssignment assignment;
+          std::vector<VarId> bound;
+          if (!BindRow(delta_atom, row, &assignment, &bound)) continue;
+
+          auto fire = [&](const VarAssignment& h) {
+            ++stats.rule_firings;
+            std::vector<TermId> head_row;
+            head_row.reserve(rule.head.args.size());
+            for (const AtomArg& arg : rule.head.args) {
+              head_row.push_back(arg.is_const() ? arg.term()
+                                                : h.at(arg.var()));
+            }
+            if (!database->Contains(rule.head.pred, head_row)) {
+              next_delta.Insert(rule.head.pred, std::move(head_row));
+            }
+            return true;
+          };
+          if (rest.empty()) {
+            fire(assignment);
+          } else {
+            database->FindHomomorphisms(rest, assignment, fire);
+          }
+        }
+      }
+    }
+
+    // Merge the new facts; stop at fixpoint.
+    size_t added = 0;
+    for (PredId p = 0; p < preds->size(); ++p) {
+      for (const std::vector<TermId>& row : next_delta.Facts(p)) {
+        if (database->Insert(p, row)) ++added;
+      }
+    }
+    stats.facts_derived += added;
+    if (database->FactCount() > options.max_facts) {
+      return Status::ResourceExhausted("datalog: max_facts reached");
+    }
+    if (added == 0) break;
+    delta = std::move(next_delta);
+  }
+
+  stats.completed = true;
+  return stats;
+}
+
+}  // namespace rps

@@ -1,0 +1,34 @@
+#ifndef RPS_DATALOG_ENGINE_H_
+#define RPS_DATALOG_ENGINE_H_
+
+#include "chase/relational_chase.h"
+#include "datalog/program.h"
+
+namespace rps {
+
+/// Statistics of a Datalog fixpoint computation.
+struct DatalogEvalStats {
+  size_t rounds = 0;
+  size_t facts_derived = 0;
+  size_t rule_firings = 0;  // head instantiations attempted
+  bool completed = false;
+};
+
+/// Budgets for the fixpoint.
+struct DatalogEvalOptions {
+  size_t max_rounds = SIZE_MAX;
+  size_t max_facts = 50'000'000;
+};
+
+/// Bottom-up semi-naive evaluation of a positive Datalog program:
+/// `database` holds the EDB facts on entry and the full fixpoint (EDB +
+/// IDB) on exit. Each round joins every rule body with at least one atom
+/// ranging over the previous round's delta, so already-derived
+/// combinations are never re-joined.
+Result<DatalogEvalStats> EvaluateDatalog(
+    const DatalogProgram& program, RelationalInstance* database,
+    const DatalogEvalOptions& options = DatalogEvalOptions());
+
+}  // namespace rps
+
+#endif  // RPS_DATALOG_ENGINE_H_

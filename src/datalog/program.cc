@@ -1,0 +1,62 @@
+#include "datalog/program.h"
+
+#include <set>
+
+namespace rps {
+
+Status DatalogRule::Validate() const {
+  if (body.empty()) {
+    return Status::InvalidArgument("Datalog rule '" + label +
+                                   "' has an empty body");
+  }
+  std::set<VarId> body_vars;
+  for (const Atom& atom : body) {
+    for (VarId v : atom.Vars()) body_vars.insert(v);
+  }
+  for (VarId v : head.Vars()) {
+    if (body_vars.find(v) == body_vars.end()) {
+      return Status::InvalidArgument(
+          "Datalog rule '" + label +
+          "' is not range-restricted: a head variable is missing from the "
+          "body");
+    }
+  }
+  return Status::OK();
+}
+
+Status DatalogProgram::Validate() const {
+  for (const DatalogRule& rule : rules) {
+    RPS_RETURN_IF_ERROR(rule.Validate());
+  }
+  return Status::OK();
+}
+
+bool DatalogProgram::IsIntensional(PredId pred) const {
+  for (const DatalogRule& rule : rules) {
+    if (rule.head.pred == pred) return true;
+  }
+  return false;
+}
+
+std::string ToString(const DatalogRule& rule, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars) {
+  std::string out = ToString(rule.head, preds, dict, vars) + " :- ";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(rule.body[i], preds, dict, vars);
+  }
+  out += ".";
+  if (!rule.label.empty()) out += "   % " + rule.label;
+  return out;
+}
+
+std::string ToString(const DatalogProgram& program, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars) {
+  std::string out;
+  for (const DatalogRule& rule : program.rules) {
+    out += ToString(rule, preds, dict, vars) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rps

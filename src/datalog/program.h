@@ -1,0 +1,46 @@
+#ifndef RPS_DATALOG_PROGRAM_H_
+#define RPS_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "tgd/atom.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// A positive Datalog rule `head :- body1, ..., bodyn`. Pure Datalog: the
+/// head may not introduce variables absent from the body (no value
+/// invention — that is the chase's job).
+struct DatalogRule {
+  Atom head;
+  std::vector<Atom> body;
+  std::string label;
+
+  /// Range restriction check: every head variable occurs in the body and
+  /// the body is non-empty.
+  Status Validate() const;
+};
+
+/// A positive Datalog program: rules plus the query predicates the caller
+/// cares about. Predicates written by some rule head are intensional
+/// (IDB); the rest are extensional (EDB).
+struct DatalogProgram {
+  std::vector<DatalogRule> rules;
+
+  /// Validates every rule.
+  Status Validate() const;
+
+  /// True if `pred` appears in some rule head.
+  bool IsIntensional(PredId pred) const;
+};
+
+/// Renders a rule / program in conventional syntax for diagnostics.
+std::string ToString(const DatalogRule& rule, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars);
+std::string ToString(const DatalogProgram& program, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars);
+
+}  // namespace rps
+
+#endif  // RPS_DATALOG_PROGRAM_H_

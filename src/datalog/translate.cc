@@ -1,0 +1,144 @@
+#include "datalog/translate.h"
+
+#include <algorithm>
+
+namespace rps {
+
+Result<DatalogRewriting> CompileRpsToDatalog(const RpsSystem& system,
+                                             PredTable* preds) {
+  DatalogRewriting out;
+  out.tt = preds->Intern("tt", 3);
+  out.ts = preds->Intern("ts", 3);
+  out.nonblank = preds->Intern("nonblank", 1);
+  VarPool* vars = system.vars();
+
+  // tt(x,y,z) :- ts(x,y,z).
+  {
+    VarId x = vars->Fresh("dl_x");
+    VarId y = vars->Fresh("dl_y");
+    VarId z = vars->Fresh("dl_z");
+    DatalogRule copy;
+    copy.label = "edb";
+    copy.head = Atom{out.tt,
+                     {AtomArg::Var(x), AtomArg::Var(y), AtomArg::Var(z)}};
+    copy.body = {Atom{out.ts,
+                      {AtomArg::Var(x), AtomArg::Var(y), AtomArg::Var(z)}}};
+    out.program.rules.push_back(std::move(copy));
+  }
+
+  // Graph mapping assertions: require existential-free Q'.
+  for (const GraphMappingAssertion& gma : system.graph_mappings()) {
+    // Variables of Q' must all be covered by Q'-head; Q'-head vars are
+    // identified with Q-head vars, which Q binds.
+    std::vector<VarId> to_existentials = gma.to.ExistentialVars();
+    if (!to_existentials.empty()) {
+      return Status::FailedPrecondition(
+          "graph mapping assertion '" + gma.label +
+          "' has existential variables in Q'; Datalog has no value "
+          "invention — use the chase for this system");
+    }
+    // Rename Q'-head vars to Q-head vars.
+    std::unordered_map<VarId, VarId> renaming;
+    for (size_t i = 0; i < gma.to.head.size(); ++i) {
+      renaming[gma.to.head[i]] = gma.from.head[i];
+    }
+    std::vector<Atom> body;
+    for (const TriplePattern& tp : gma.from.body.patterns()) {
+      body.push_back(TriplePatternToAtom(tp, out.tt));
+    }
+    for (VarId head_var : gma.from.head) {
+      body.push_back(Atom{out.nonblank, {AtomArg::Var(head_var)}});
+    }
+    for (size_t i = 0; i < gma.to.body.patterns().size(); ++i) {
+      Atom head = TriplePatternToAtom(gma.to.body.patterns()[i], out.tt);
+      for (AtomArg& arg : head.args) {
+        if (arg.is_var()) {
+          auto it = renaming.find(arg.var());
+          arg = AtomArg::Var(it == renaming.end() ? arg.var() : it->second);
+        }
+      }
+      DatalogRule rule;
+      rule.label = (gma.label.empty() ? "gma" : gma.label) + ":" +
+                   std::to_string(i);
+      rule.head = std::move(head);
+      rule.body = body;
+      out.program.rules.push_back(std::move(rule));
+    }
+  }
+
+  // Equivalence mappings: six copy rules each (blanks copied as-is, per
+  // the Q* semantics of Definition 2 item 3 — no nonblank guards).
+  for (const EquivalenceMapping& eq : system.equivalences()) {
+    VarId y = vars->Fresh("dl_eq_y");
+    VarId z = vars->Fresh("dl_eq_z");
+    AtomArg vy = AtomArg::Var(y), vz = AtomArg::Var(z);
+    AtomArg c = AtomArg::Const(eq.left), c2 = AtomArg::Const(eq.right);
+    auto add = [&](const char* label, AtomArg b0, AtomArg b1, AtomArg b2,
+                   AtomArg h0, AtomArg h1, AtomArg h2) {
+      DatalogRule rule;
+      rule.label = label;
+      rule.head = Atom{out.tt, {h0, h1, h2}};
+      rule.body = {Atom{out.tt, {b0, b1, b2}}};
+      out.program.rules.push_back(std::move(rule));
+    };
+    add("eq:subj:l->r", c, vy, vz, c2, vy, vz);
+    add("eq:subj:r->l", c2, vy, vz, c, vy, vz);
+    add("eq:pred:l->r", vy, c, vz, vy, c2, vz);
+    add("eq:pred:r->l", vy, c2, vz, vy, c, vz);
+    add("eq:obj:l->r", vy, vz, c, vy, vz, c2);
+    add("eq:obj:r->l", vy, vz, c2, vy, vz, c);
+  }
+
+  RPS_RETURN_IF_ERROR(out.program.Validate());
+  return out;
+}
+
+Result<std::vector<Tuple>> DatalogCertainAnswers(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    DatalogEvalStats* stats, const DatalogEvalOptions& options) {
+  RPS_RETURN_IF_ERROR(query.Validate());
+  PredTable preds;
+  RPS_ASSIGN_OR_RETURN(DatalogRewriting rewriting,
+                       CompileRpsToDatalog(system, &preds));
+
+  // EDB: stored triples and non-blank terms.
+  RelationalInstance database(&preds);
+  Graph stored = system.StoredDatabase();
+  const Dictionary& dict = *system.dict();
+  for (const Triple& t : stored.triples()) {
+    database.Insert(rewriting.ts, {t.s, t.p, t.o});
+  }
+  for (TermId id : stored.TermsInUse()) {
+    if (!dict.IsBlank(id)) {
+      database.Insert(rewriting.nonblank, {id});
+    }
+  }
+
+  RPS_ASSIGN_OR_RETURN(DatalogEvalStats local_stats,
+                       EvaluateDatalog(rewriting.program, &database,
+                                       options));
+  if (stats != nullptr) *stats = local_stats;
+
+  // Evaluate the query over the tt relation, dropping blank answers.
+  std::vector<Atom> body;
+  for (const TriplePattern& tp : query.body.patterns()) {
+    body.push_back(TriplePatternToAtom(tp, rewriting.tt));
+  }
+  std::vector<Tuple> answers;
+  database.FindHomomorphisms(body, {}, [&](const VarAssignment& h) {
+    Tuple tuple;
+    tuple.reserve(query.head.size());
+    for (VarId v : query.head) {
+      TermId value = h.at(v);
+      if (dict.IsBlank(value)) return true;  // drop
+      tuple.push_back(value);
+    }
+    answers.push_back(std::move(tuple));
+    return true;
+  });
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+}  // namespace rps

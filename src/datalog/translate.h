@@ -1,0 +1,53 @@
+#ifndef RPS_DATALOG_TRANSLATE_H_
+#define RPS_DATALOG_TRANSLATE_H_
+
+#include <memory>
+
+#include "datalog/engine.h"
+#include "peer/rps_system.h"
+#include "query/eval.h"
+
+namespace rps {
+
+/// The Datalog rewriting of an RPS (§5 item 1 of the paper: "a rewriting
+/// algorithm that produces rewritten queries in a language more
+/// expressive than FO-queries, for instance Datalog").
+///
+/// Applicability: every graph mapping assertion must be existential-free
+/// (each variable of Q' also occurs in Q's head or body). Datalog has no
+/// value invention, so existential heads need the chase; for
+/// existential-free systems — including the transitive-closure mapping of
+/// Proposition 3, which *no* FO rewriting can express — the Datalog
+/// program computes exactly the universal solution's triples.
+///
+/// Rules produced over predicates {ts/3 (EDB), nonblank/1 (EDB),
+/// tt/3 (IDB)}:
+///   tt(x,y,z)      :- ts(x,y,z).
+///   per GMA        : Q'body_i(x)  :- Qbody(x,y), nonblank(x1), ...
+///   per c ≡ₑ c'    : six tt-copying rules.
+struct DatalogRewriting {
+  DatalogProgram program;
+  PredId tt = 0;
+  PredId ts = 0;
+  PredId nonblank = 0;
+};
+
+/// Compiles the RPS into a Datalog program over `preds`. Fails with
+/// FailedPrecondition if some graph mapping assertion has existential
+/// variables in Q'.
+Result<DatalogRewriting> CompileRpsToDatalog(const RpsSystem& system,
+                                             PredTable* preds);
+
+/// End-to-end certain answers through the Datalog engine: compile, load
+/// the stored database as EDB facts (ts triples + nonblank terms),
+/// evaluate to fixpoint, and evaluate the query over the tt relation
+/// (blank-valued answers dropped). Identical to Algorithm 1 on
+/// existential-free systems (property-tested).
+Result<std::vector<Tuple>> DatalogCertainAnswers(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    DatalogEvalStats* stats = nullptr,
+    const DatalogEvalOptions& options = DatalogEvalOptions());
+
+}  // namespace rps
+
+#endif  // RPS_DATALOG_TRANSLATE_H_

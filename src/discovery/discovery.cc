@@ -1,0 +1,235 @@
+#include "discovery/discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rps {
+
+namespace {
+
+// The literal attribute profile of each IRI subject in one peer graph:
+// subject -> set of literal object ids.
+std::unordered_map<TermId, std::set<TermId>> LiteralProfiles(
+    const Graph& graph) {
+  const Dictionary& dict = *graph.dict();
+  std::unordered_map<TermId, std::set<TermId>> profiles;
+  for (const Triple& t : graph.triples()) {
+    if (dict.IsLiteral(t.o) && dict.IsIri(t.s)) {
+      profiles[t.s].insert(t.o);
+    }
+  }
+  return profiles;
+}
+
+struct PairHash {
+  size_t operator()(const std::pair<TermId, TermId>& p) const {
+    return (static_cast<size_t>(p.first) << 32) ^ p.second;
+  }
+};
+
+}  // namespace
+
+std::vector<EquivalenceCandidate> DiscoverEquivalences(
+    const RpsSystem& system, const DiscoveryOptions& options) {
+  std::vector<EquivalenceCandidate> out;
+
+  // Pre-compute per-peer profiles and literal -> entities inverted index.
+  struct PeerData {
+    std::string name;
+    std::unordered_map<TermId, std::set<TermId>> profiles;
+    std::unordered_map<TermId, std::vector<TermId>> by_literal;
+  };
+  std::vector<PeerData> peers;
+  for (const auto& [name, graph] : system.dataset().graphs()) {
+    PeerData data;
+    data.name = name;
+    data.profiles = LiteralProfiles(graph);
+    for (const auto& [subject, literals] : data.profiles) {
+      for (TermId literal : literals) {
+        data.by_literal[literal].push_back(subject);
+      }
+    }
+    peers.push_back(std::move(data));
+  }
+
+  // For each ordered peer pair, collect candidate entity pairs via shared
+  // literals and score by Jaccard.
+  for (size_t a = 0; a < peers.size(); ++a) {
+    for (size_t b = a + 1; b < peers.size(); ++b) {
+      std::unordered_map<std::pair<TermId, TermId>, size_t, PairHash>
+          shared_counts;
+      for (const auto& [literal, left_entities] : peers[a].by_literal) {
+        if (left_entities.size() > options.max_literal_frequency) continue;
+        auto it = peers[b].by_literal.find(literal);
+        if (it == peers[b].by_literal.end()) continue;
+        if (it->second.size() > options.max_literal_frequency) continue;
+        for (TermId l : left_entities) {
+          for (TermId r : it->second) {
+            if (l == r) continue;  // shared IRIs are already co-referent
+            ++shared_counts[{l, r}];
+          }
+        }
+      }
+      for (const auto& [pair, shared] : shared_counts) {
+        if (shared < options.min_shared_literals) continue;
+        size_t left_size = peers[a].profiles.at(pair.first).size();
+        size_t right_size = peers[b].profiles.at(pair.second).size();
+        double jaccard =
+            static_cast<double>(shared) /
+            static_cast<double>(left_size + right_size - shared);
+        if (jaccard < options.min_jaccard) continue;
+        EquivalenceCandidate candidate;
+        candidate.left = pair.first;
+        candidate.right = pair.second;
+        candidate.score = jaccard;
+        candidate.shared = shared;
+        candidate.left_peer = peers[a].name;
+        candidate.right_peer = peers[b].name;
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const EquivalenceCandidate& x, const EquivalenceCandidate& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.left != y.left) return x.left < y.left;
+              return x.right < y.right;
+            });
+  return out;
+}
+
+std::vector<PropertyAlignment> DiscoverPropertyAlignments(
+    const RpsSystem& system, const EquivalenceClosure& closure,
+    const DiscoveryOptions& options) {
+  const Dictionary& dict = *system.dict();
+  std::optional<TermId> same_as =
+      dict.Lookup(Term::Iri(std::string(kOwlSameAs)));
+
+  // Canonicalized (subject, object) pair sets per (peer, property).
+  struct PropData {
+    std::string peer;
+    TermId prop;
+    std::set<std::pair<TermId, TermId>> pairs;
+  };
+  std::vector<PropData> properties;
+  for (const auto& [name, graph] : system.dataset().graphs()) {
+    std::map<TermId, std::set<std::pair<TermId, TermId>>> local;
+    for (const Triple& t : graph.triples()) {
+      if (same_as.has_value() && t.p == *same_as) continue;
+      if (dict.IsLiteral(t.o)) continue;  // structural properties only
+      local[t.p].insert({closure.Canon(t.s), closure.Canon(t.o)});
+    }
+    for (auto& [prop, pairs] : local) {
+      properties.push_back(PropData{name, prop, std::move(pairs)});
+    }
+  }
+
+  std::vector<PropertyAlignment> out;
+  for (const PropData& from : properties) {
+    if (from.pairs.size() < options.min_support) continue;
+    for (const PropData& to : properties) {
+      if (from.peer == to.peer) continue;  // cross-peer alignments only
+      if (from.prop == to.prop) continue;
+      size_t overlap = 0;
+      for (const auto& pair : from.pairs) {
+        if (to.pairs.count(pair) > 0) ++overlap;
+      }
+      if (overlap < options.min_support) continue;
+      double containment =
+          static_cast<double>(overlap) / static_cast<double>(from.pairs.size());
+      if (containment < options.min_containment) continue;
+      PropertyAlignment alignment;
+      alignment.from_prop = from.prop;
+      alignment.to_prop = to.prop;
+      alignment.containment = containment;
+      alignment.support = overlap;
+      alignment.from_peer = from.peer;
+      alignment.to_peer = to.peer;
+      out.push_back(std::move(alignment));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PropertyAlignment& x, const PropertyAlignment& y) {
+              if (x.containment != y.containment) {
+                return x.containment > y.containment;
+              }
+              if (x.from_prop != y.from_prop) return x.from_prop < y.from_prop;
+              return x.to_prop < y.to_prop;
+            });
+  return out;
+}
+
+Result<size_t> ApplyDiscovery(
+    RpsSystem* system, const std::vector<EquivalenceCandidate>& equivalences,
+    const std::vector<PropertyAlignment>& alignments) {
+  size_t added = 0;
+  for (const EquivalenceCandidate& candidate : equivalences) {
+    RPS_RETURN_IF_ERROR(system->AddEquivalence(candidate.left,
+                                               candidate.right));
+    ++added;
+  }
+  VarPool* vars = system->vars();
+  for (const PropertyAlignment& alignment : alignments) {
+    VarId x = vars->Fresh("disc_x");
+    VarId y = vars->Fresh("disc_y");
+    GraphMappingAssertion gma;
+    gma.label = "discovered:" + alignment.from_peer + "->" +
+                alignment.to_peer;
+    gma.from.head = {x, y};
+    gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                    PatternTerm::Const(alignment.from_prop),
+                                    PatternTerm::Var(y)});
+    gma.to.head = {x, y};
+    gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(alignment.to_prop),
+                                  PatternTerm::Var(y)});
+    RPS_RETURN_IF_ERROR(system->AddGraphMapping(std::move(gma)));
+    ++added;
+  }
+  return added;
+}
+
+DiscoveryEvaluation EvaluateEquivalences(
+    const std::vector<EquivalenceCandidate>& proposed,
+    const std::vector<EquivalenceMapping>& truth) {
+  auto normalize = [](TermId a, TermId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  std::set<std::pair<TermId, TermId>> truth_pairs;
+  for (const EquivalenceMapping& eq : truth) {
+    truth_pairs.insert(normalize(eq.left, eq.right));
+  }
+  std::set<std::pair<TermId, TermId>> proposed_pairs;
+  for (const EquivalenceCandidate& c : proposed) {
+    proposed_pairs.insert(normalize(c.left, c.right));
+  }
+
+  DiscoveryEvaluation eval;
+  for (const auto& pair : proposed_pairs) {
+    if (truth_pairs.count(pair) > 0) {
+      ++eval.true_positives;
+    } else {
+      ++eval.false_positives;
+    }
+  }
+  for (const auto& pair : truth_pairs) {
+    if (proposed_pairs.count(pair) == 0) ++eval.false_negatives;
+  }
+  size_t proposed_total = eval.true_positives + eval.false_positives;
+  size_t truth_total = eval.true_positives + eval.false_negatives;
+  eval.precision = proposed_total == 0
+                       ? 1.0
+                       : static_cast<double>(eval.true_positives) /
+                             static_cast<double>(proposed_total);
+  eval.recall = truth_total == 0
+                    ? 1.0
+                    : static_cast<double>(eval.true_positives) /
+                          static_cast<double>(truth_total);
+  return eval;
+}
+
+}  // namespace rps

@@ -1,0 +1,96 @@
+#ifndef RPS_DISCOVERY_DISCOVERY_H_
+#define RPS_DISCOVERY_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "peer/equivalence.h"
+#include "peer/rps_system.h"
+
+namespace rps {
+
+/// Tuning knobs for automatic mapping discovery (§5 item 3 of the paper:
+/// "We want to be able to discover mappings between peers automatically",
+/// via techniques for schema/ontology alignment and uncertain mappings).
+struct DiscoveryOptions {
+  /// Minimum Jaccard similarity of two entities' literal-attribute sets
+  /// for an equivalence proposal.
+  double min_jaccard = 0.5;
+  /// Minimum number of shared literal values (evidence floor).
+  size_t min_shared_literals = 1;
+  /// Literals occurring in more than this many entities per peer are
+  /// treated as stop words and ignored during candidate generation.
+  size_t max_literal_frequency = 50;
+  /// Minimum containment |pairs(p) ∩ pairs(q)| / |pairs(p)| for a
+  /// property-alignment proposal p ⇝ q.
+  double min_containment = 0.8;
+  /// Minimum number of witnessing pairs for a property alignment.
+  size_t min_support = 2;
+};
+
+/// A proposed equivalence mapping with its evidence.
+struct EquivalenceCandidate {
+  TermId left = kInvalidTermId;
+  TermId right = kInvalidTermId;
+  /// Jaccard similarity of the two entities' literal sets.
+  double score = 0.0;
+  /// Number of shared literal values.
+  size_t shared = 0;
+  std::string left_peer;
+  std::string right_peer;
+};
+
+/// A proposed single-triple graph mapping assertion
+/// (x, from_prop, y) ⇝ (x, to_prop, y).
+struct PropertyAlignment {
+  TermId from_prop = kInvalidTermId;
+  TermId to_prop = kInvalidTermId;
+  /// |canonical pairs of from ∩ canonical pairs of to| / |pairs of from|.
+  double containment = 0.0;
+  size_t support = 0;
+  std::string from_peer;
+  std::string to_peer;
+};
+
+/// Proposes equivalence mappings between entities of different peers by
+/// matching their literal attribute values: two IRIs whose literal
+/// neighbourhoods overlap strongly (Jaccard ≥ min_jaccard, at least
+/// min_shared_literals shared values) are proposed as co-referent.
+/// Deterministic; candidates are sorted by descending score.
+std::vector<EquivalenceCandidate> DiscoverEquivalences(
+    const RpsSystem& system, const DiscoveryOptions& options =
+                                 DiscoveryOptions());
+
+/// Proposes single-triple graph mapping assertions between properties of
+/// different peers: p (in peer A) aligns to q (in peer B) when, modulo
+/// the given equivalence closure, almost every (subject, object) pair of
+/// p also occurs under q. Both directions are tested independently
+/// (containment is asymmetric, matching the ⇝ semantics).
+std::vector<PropertyAlignment> DiscoverPropertyAlignments(
+    const RpsSystem& system, const EquivalenceClosure& closure,
+    const DiscoveryOptions& options = DiscoveryOptions());
+
+/// Registers discovered mappings on the system: candidates become
+/// equivalence mappings, alignments become graph mapping assertions
+/// q(x,y) ← (x, from, y)  ⇝  q(x,y) ← (x, to, y).
+/// Returns the number of mappings added.
+Result<size_t> ApplyDiscovery(
+    RpsSystem* system, const std::vector<EquivalenceCandidate>& equivalences,
+    const std::vector<PropertyAlignment>& alignments);
+
+/// Precision/recall of proposed equivalences against a ground truth
+/// (order-insensitive pair matching).
+struct DiscoveryEvaluation {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+DiscoveryEvaluation EvaluateEquivalences(
+    const std::vector<EquivalenceCandidate>& proposed,
+    const std::vector<EquivalenceMapping>& truth);
+
+}  // namespace rps
+
+#endif  // RPS_DISCOVERY_DISCOVERY_H_

@@ -1,0 +1,219 @@
+#include "federation/federator.h"
+
+#include <algorithm>
+
+namespace rps {
+
+Federator::Federator(const RpsSystem* system, Topology topology)
+    : system_(system),
+      topology_(std::move(topology)),
+      closure_(system->equivalences(), *system->dict()) {
+  // Reserve so the PeerNodes' graph pointers stay stable.
+  canonical_graphs_.reserve(system_->dataset().graphs().size());
+  for (const auto& [name, graph] : system_->dataset().graphs()) {
+    peers_.emplace_back(name, &graph);
+    canonical_graphs_.push_back(closure_.CanonicalizeGraph(graph));
+    canonical_peers_.emplace_back(name, &canonical_graphs_.back());
+  }
+}
+
+Result<FederatedQueryResult> Federator::Execute(
+    const GraphPatternQuery& query, const FederationOptions& options) {
+  if (peers_.size() > topology_.NodeCount()) {
+    return Status::InvalidArgument(
+        "topology has fewer nodes than the system has peers");
+  }
+  FederatedQueryResult result;
+
+  RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
+                       RewriteGraphQuery(*system_, query, options.rewrite));
+  result.rewrite_stats = std::move(rewritten.stats);
+  result.branches = rewritten.ucq.size();
+
+  // Canonical-mode sub-queries are answered from the peers' locally
+  // canonicalized graphs; raw-mode from the raw graphs.
+  std::vector<PeerNode>& endpoints =
+      rewritten.canonical_terms ? canonical_peers_ : peers_;
+
+  const Dictionary& dict = *system_->dict();
+  std::vector<Tuple> answers;
+
+  for (const ConjunctiveQuery& cq : rewritten.ucq) {
+    // Branch body as triple patterns.
+    std::vector<TriplePattern> patterns;
+    bool convertible = true;
+    for (const Atom& atom : cq.body) {
+      if (atom.args.size() != 3) {
+        convertible = false;
+        break;
+      }
+      patterns.push_back(AtomToTriplePattern(atom));
+    }
+    if (!convertible) continue;
+
+    // Fetch each pattern's extension from the peers that may answer it,
+    // most selective (fewest estimated candidates) first, and join at the
+    // coordinator.
+    std::vector<size_t> order(patterns.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    auto estimate = [&](const TriplePattern& tp) {
+      size_t total = 0;
+      for (const PeerNode& peer : endpoints) {
+        total += peer.graph().EstimateMatches(
+            tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey());
+      }
+      return total;
+    };
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return estimate(patterns[a]) < estimate(patterns[b]);
+    });
+
+    BindingSet current = {Binding()};
+    bool first_pattern = true;
+    for (size_t idx : order) {
+      const TriplePattern& tp = patterns[idx];
+
+      bool use_bind_join =
+          options.join_strategy == JoinStrategy::kBindJoin && !first_pattern;
+      if (!use_bind_join) {
+        // Ship the pattern's full extension and join at the coordinator.
+        BindingSet pattern_results;
+        for (size_t p = 0; p < endpoints.size(); ++p) {
+          PeerNode& peer = endpoints[p];
+          if (!peer.MayAnswer(tp)) continue;
+          BindingSet local = peer.Answer(tp);
+          ++result.subqueries;
+          size_t hops = topology_.HopDistance(options.coordinator, p);
+          double payload = static_cast<double>(local.size()) *
+                           static_cast<double>(tp.Vars().size()) *
+                           options.cost.bytes_per_term;
+          result.network.AddExchange(payload, hops, options.cost);
+          for (Binding& b : local) pattern_results.push_back(std::move(b));
+        }
+        Dedup(&pattern_results);
+        current = Join(current, pattern_results);
+      } else {
+        // Bind join: send batched bound sub-queries; peers return only
+        // the rows compatible with the accumulated bindings.
+        BindingSet next;
+        size_t batch = std::max<size_t>(options.bind_join_batch, 1);
+        for (size_t start = 0; start < current.size(); start += batch) {
+          size_t end = std::min(current.size(), start + batch);
+          for (size_t p = 0; p < endpoints.size(); ++p) {
+            PeerNode& peer = endpoints[p];
+            if (!peer.MayAnswer(tp)) continue;
+            size_t rows_returned = 0;
+            for (size_t i = start; i < end; ++i) {
+              const Binding& b = current[i];
+              // Substitute the bound variables into the pattern.
+              auto bind_term = [&](const PatternTerm& pt) {
+                if (pt.is_var()) {
+                  std::optional<TermId> value = b.Get(pt.var());
+                  if (value.has_value()) return PatternTerm::Const(*value);
+                }
+                return pt;
+              };
+              TriplePattern bound{bind_term(tp.s), bind_term(tp.p),
+                                  bind_term(tp.o)};
+              if (!peer.MayAnswer(bound)) continue;
+              BindingSet local = peer.Answer(bound);
+              rows_returned += local.size();
+              for (const Binding& r : local) {
+                std::optional<Binding> merged = Binding::Merge(b, r);
+                if (merged.has_value()) next.push_back(std::move(*merged));
+              }
+            }
+            // One batched request/response exchange per (batch, peer):
+            // the request carries the binding batch, the response the
+            // matching rows.
+            ++result.subqueries;
+            size_t hops = topology_.HopDistance(options.coordinator, p);
+            double request_payload =
+                static_cast<double>(end - start) *
+                static_cast<double>(tp.Vars().size()) *
+                options.cost.bytes_per_term;
+            double response_payload =
+                static_cast<double>(rows_returned) *
+                static_cast<double>(tp.Vars().size()) *
+                options.cost.bytes_per_term;
+            result.network.AddExchange(request_payload + response_payload,
+                                       hops, options.cost);
+          }
+        }
+        Dedup(&next);
+        current = std::move(next);
+      }
+      first_pattern = false;
+      if (current.empty()) break;
+    }
+
+    // Project the branch head.
+    for (const Binding& b : current) {
+      Tuple tuple;
+      tuple.reserve(cq.head.size());
+      bool keep = true;
+      for (const AtomArg& arg : cq.head) {
+        TermId value;
+        if (arg.is_const()) {
+          value = arg.term();
+        } else {
+          std::optional<TermId> bound = b.Get(arg.var());
+          if (!bound.has_value()) {
+            keep = false;
+            break;
+          }
+          value = *bound;
+        }
+        if (dict.IsBlank(value)) {
+          keep = false;
+          break;
+        }
+        tuple.push_back(value);
+      }
+      if (keep) answers.push_back(std::move(tuple));
+    }
+  }
+
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  if (rewritten.canonical_terms) {
+    answers = closure_.ExpandTuples(answers);
+  }
+  result.answers = std::move(answers);
+  return result;
+}
+
+Result<FederatedQueryResult> Federator::ExecuteCentralized(
+    const GraphPatternQuery& query, const FederationOptions& options) {
+  if (peers_.size() > topology_.NodeCount()) {
+    return Status::InvalidArgument(
+        "topology has fewer nodes than the system has peers");
+  }
+  FederatedQueryResult result;
+
+  RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
+                       RewriteGraphQuery(*system_, query, options.rewrite));
+  result.rewrite_stats = std::move(rewritten.stats);
+  result.branches = rewritten.ucq.size();
+
+  // Ship every peer graph to the coordinator.
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    ++result.subqueries;
+    size_t hops = topology_.HopDistance(options.coordinator, p);
+    double payload = static_cast<double>(peers_[p].graph().size()) * 3.0 *
+                     options.cost.bytes_per_term;
+    result.network.AddExchange(payload, hops, options.cost);
+  }
+
+  Graph merged = system_->StoredDatabase();
+  if (rewritten.canonical_terms) {
+    Graph canonical = closure_.CanonicalizeGraph(merged);
+    result.answers =
+        closure_.ExpandTuples(EvalUcqOverGraph(canonical, rewritten.ucq));
+  } else {
+    result.answers = EvalUcqOverGraph(merged, rewritten.ucq);
+  }
+  return result;
+}
+
+}  // namespace rps

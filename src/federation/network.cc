@@ -1,0 +1,92 @@
+#include "federation/network.h"
+
+#include <deque>
+
+#include "util/rng.h"
+
+namespace rps {
+
+void NetworkStats::AddExchange(double payload_bytes, size_t hops,
+                               const NetworkCostModel& model) {
+  messages += 2;  // request + response
+  double total_bytes = payload_bytes + model.bytes_per_request;
+  bytes += static_cast<size_t>(total_bytes);
+  double propagation = 2.0 * model.latency_ms_per_hop *
+                       static_cast<double>(hops == SIZE_MAX ? 0 : hops);
+  double transfer = total_bytes / model.bandwidth_bytes_per_ms;
+  latency_ms += propagation + transfer;
+}
+
+void Topology::AddEdge(size_t a, size_t b) {
+  if (a == b || a >= adjacency_.size() || b >= adjacency_.size()) return;
+  for (size_t n : adjacency_[a]) {
+    if (n == b) return;
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edges_;
+}
+
+size_t Topology::HopDistance(size_t from, size_t to) const {
+  if (from >= adjacency_.size() || to >= adjacency_.size()) return SIZE_MAX;
+  if (from == to) return 0;
+  std::vector<size_t> dist(adjacency_.size(), SIZE_MAX);
+  dist[from] = 0;
+  std::deque<size_t> frontier = {from};
+  while (!frontier.empty()) {
+    size_t cur = frontier.front();
+    frontier.pop_front();
+    for (size_t next : adjacency_[cur]) {
+      if (dist[next] != SIZE_MAX) continue;
+      dist[next] = dist[cur] + 1;
+      if (next == to) return dist[next];
+      frontier.push_back(next);
+    }
+  }
+  return SIZE_MAX;
+}
+
+Topology MakeLabeled(Topology t, std::string label) {
+  t.label_ = std::move(label);
+  return t;
+}
+
+Topology Topology::Chain(size_t nodes) {
+  Topology t(nodes);
+  for (size_t i = 0; i + 1 < nodes; ++i) t.AddEdge(i, i + 1);
+  return MakeLabeled(std::move(t), "chain");
+}
+
+Topology Topology::Star(size_t nodes) {
+  Topology t(nodes);
+  for (size_t i = 1; i < nodes; ++i) t.AddEdge(0, i);
+  return MakeLabeled(std::move(t), "star");
+}
+
+Topology Topology::Ring(size_t nodes) {
+  Topology t(nodes);
+  for (size_t i = 0; i + 1 < nodes; ++i) t.AddEdge(i, i + 1);
+  if (nodes > 2) t.AddEdge(nodes - 1, 0);
+  return MakeLabeled(std::move(t), "ring");
+}
+
+Topology Topology::Random(size_t nodes, double edge_prob, uint64_t seed) {
+  Topology t(nodes);
+  Rng rng(seed);
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t j = i + 1; j < nodes; ++j) {
+      if (rng.Chance(edge_prob)) t.AddEdge(i, j);
+    }
+  }
+  // Keep it connected: chain up isolated prefixes.
+  for (size_t i = 0; i + 1 < nodes; ++i) {
+    if (t.HopDistance(i, i + 1) == SIZE_MAX) t.AddEdge(i, i + 1);
+  }
+  return MakeLabeled(std::move(t), "random");
+}
+
+std::string Topology::Describe() const {
+  return label_ + "(" + std::to_string(NodeCount()) + ")";
+}
+
+}  // namespace rps

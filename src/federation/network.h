@@ -1,0 +1,75 @@
+#ifndef RPS_FEDERATION_NETWORK_H_
+#define RPS_FEDERATION_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rps {
+
+/// Cost model for the simulated peer network. The paper's prototype (§5,
+/// item 4) federates live SPARQL endpoints; we simulate the transport so
+/// the federation experiments can report network-shaped metrics
+/// deterministically (DESIGN.md §2, substitution table).
+struct NetworkCostModel {
+  /// One-way propagation delay per hop on the peer topology.
+  double latency_ms_per_hop = 5.0;
+  /// Serialized size of one RDF term in a result message.
+  double bytes_per_term = 16.0;
+  /// Fixed request overhead per sub-query message.
+  double bytes_per_request = 256.0;
+  /// Throughput used to convert payload bytes into transfer time.
+  double bandwidth_bytes_per_ms = 10000.0;
+};
+
+/// Accumulated traffic statistics of a federated query execution.
+struct NetworkStats {
+  size_t messages = 0;
+  size_t bytes = 0;
+  double latency_ms = 0.0;
+
+  /// Records a request/response exchange of `payload_bytes` over a path
+  /// of `hops` edges.
+  void AddExchange(double payload_bytes, size_t hops,
+                   const NetworkCostModel& model);
+};
+
+/// An undirected peer topology over node indices 0..n-1.
+class Topology {
+ public:
+  explicit Topology(size_t nodes) : adjacency_(nodes) {}
+
+  size_t NodeCount() const { return adjacency_.size(); }
+  size_t EdgeCount() const { return edges_; }
+
+  /// Adds an undirected edge (idempotent; self-loops ignored).
+  void AddEdge(size_t a, size_t b);
+
+  const std::vector<size_t>& Neighbors(size_t node) const {
+    return adjacency_[node];
+  }
+
+  /// BFS hop distance; returns SIZE_MAX if unreachable.
+  size_t HopDistance(size_t from, size_t to) const;
+
+  /// Standard shapes used by the experiments.
+  static Topology Chain(size_t nodes);
+  static Topology Star(size_t nodes);   // node 0 is the hub
+  static Topology Ring(size_t nodes);
+  static Topology Random(size_t nodes, double edge_prob, uint64_t seed);
+
+  /// One-line description ("chain(8)").
+  std::string Describe() const;
+
+ private:
+  std::vector<std::vector<size_t>> adjacency_;
+  size_t edges_ = 0;
+  std::string label_ = "custom";
+
+  friend Topology MakeLabeled(Topology t, std::string label);
+};
+
+}  // namespace rps
+
+#endif  // RPS_FEDERATION_NETWORK_H_

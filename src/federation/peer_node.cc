@@ -1,0 +1,20 @@
+#include "federation/peer_node.h"
+
+namespace rps {
+
+bool PeerNode::MayAnswer(const TriplePattern& tp) const {
+  const Dictionary& dict = *graph_->dict();
+  for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
+    if (pt->is_var()) continue;
+    TermId id = pt->term();
+    if (dict.IsIri(id) && !schema_.Contains(id)) return false;
+  }
+  return true;
+}
+
+BindingSet PeerNode::Answer(const TriplePattern& tp) {
+  ++queries_served_;
+  return EvalTriplePattern(*graph_, tp);
+}
+
+}  // namespace rps

@@ -1,0 +1,47 @@
+#ifndef RPS_FEDERATION_PEER_NODE_H_
+#define RPS_FEDERATION_PEER_NODE_H_
+
+#include <string>
+
+#include "peer/schema.h"
+#include "query/eval.h"
+
+namespace rps {
+
+/// A simulated peer endpoint: wraps one peer's stored graph and answers
+/// triple-pattern sub-queries against it, with request accounting. This
+/// stands in for a remote SPARQL access point in the §5 prototype.
+class PeerNode {
+ public:
+  PeerNode(std::string name, const Graph* graph)
+      : name_(std::move(name)),
+        graph_(graph),
+        schema_(PeerSchema::FromGraph(name_, *graph)) {}
+
+  const std::string& name() const { return name_; }
+  const Graph& graph() const { return *graph_; }
+  const PeerSchema& schema() const { return schema_; }
+
+  /// True if this peer can possibly contribute matches for the pattern:
+  /// every constant IRI of the pattern occurs in the peer's schema. (A
+  /// pattern mentioning an IRI the peer has never used cannot match its
+  /// data.) Literal constants are not filtered — schemas contain IRIs
+  /// only.
+  bool MayAnswer(const TriplePattern& tp) const;
+
+  /// Evaluates the triple pattern against the local graph.
+  BindingSet Answer(const TriplePattern& tp);
+
+  /// Number of sub-queries served so far.
+  size_t queries_served() const { return queries_served_; }
+
+ private:
+  std::string name_;
+  const Graph* graph_;
+  PeerSchema schema_;
+  size_t queries_served_ = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_FEDERATION_PEER_NODE_H_

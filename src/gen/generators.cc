@@ -1,0 +1,367 @@
+#include "gen/generators.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace rps {
+
+namespace {
+
+std::string PeerNs(size_t i) {
+  return "http://peer" + std::to_string(i) + ".example.org/";
+}
+
+// Builds the dialect query of peer `i` with the given head variables:
+// single dialect:  q(f, x) ← (f, actor_i, x)
+// double dialect:  q(f, x) ← (f, starring_i, z) AND (z, artist_i, x)
+GraphPatternQuery DialectQuery(Dictionary* dict, VarPool* vars, size_t peer,
+                               bool double_dialect, VarId f, VarId x) {
+  GraphPatternQuery q;
+  q.head = {f, x};
+  std::string ns = PeerNs(peer);
+  if (!double_dialect) {
+    TermId actor = dict->InternIri(ns + "actor");
+    q.body.Add(TriplePattern{PatternTerm::Var(f), PatternTerm::Const(actor),
+                             PatternTerm::Var(x)});
+  } else {
+    TermId starring = dict->InternIri(ns + "starring");
+    TermId artist = dict->InternIri(ns + "artist");
+    VarId z = vars->Fresh("cast_");
+    q.body.Add(TriplePattern{PatternTerm::Var(f),
+                             PatternTerm::Const(starring),
+                             PatternTerm::Var(z)});
+    q.body.Add(TriplePattern{PatternTerm::Var(z), PatternTerm::Const(artist),
+                             PatternTerm::Var(x)});
+  }
+  return q;
+}
+
+bool UsesDoubleDialect(const LodConfig& config, size_t peer) {
+  return !config.single_triple_dialect && (peer % 2 == 1);
+}
+
+}  // namespace
+
+Topology LodTopology(const LodConfig& config) {
+  switch (config.topology) {
+    case LodConfig::MappingTopology::kChain:
+      return Topology::Chain(config.num_peers);
+    case LodConfig::MappingTopology::kStar:
+      return Topology::Star(config.num_peers);
+    case LodConfig::MappingTopology::kRing:
+      return Topology::Ring(config.num_peers);
+    case LodConfig::MappingTopology::kRandom:
+      return Topology::Random(config.num_peers, config.random_edge_prob,
+                              config.seed);
+  }
+  return Topology::Chain(config.num_peers);
+}
+
+std::unique_ptr<RpsSystem> GenerateLod(
+    const LodConfig& config, LodStats* stats,
+    std::vector<EquivalenceMapping>* ground_truth) {
+  auto system = std::make_unique<RpsSystem>();
+  Dictionary* dict = system->dict();
+  VarPool* vars = system->vars();
+  Rng rng(config.seed);
+  LodStats local_stats;
+
+  TermId same_as = dict->Intern(Term::Iri(std::string(kOwlSameAs)));
+
+  // Per-peer data: every peer describes the same logical film universe
+  // under its own IRIs.
+  for (size_t p = 0; p < config.num_peers; ++p) {
+    Graph& g = system->AddPeer("peer" + std::to_string(p));
+    std::string ns = PeerNs(p);
+    bool double_dialect = UsesDoubleDialect(config, p);
+    TermId actor = dict->InternIri(ns + "actor");
+    TermId starring = dict->InternIri(ns + "starring");
+    TermId artist = dict->InternIri(ns + "artist");
+    TermId title = dict->InternIri(ns + "title");
+    TermId name = dict->InternIri(ns + "name");
+    // Peer-local attribute corruption: an attribute is either the shared
+    // global value ("Film 3") or a peer-specific spelling.
+    auto attribute = [&](const std::string& base) {
+      if (config.attribute_noise > 0.0 && rng.Chance(config.attribute_noise)) {
+        return dict->Intern(
+            Term::Literal(base + " [peer" + std::to_string(p) + "]"));
+      }
+      return dict->Intern(Term::Literal(base));
+    };
+    TermId year = dict->InternIri(ns + "year");
+    TermId birth = dict->InternIri(ns + "birth");
+    for (size_t f = 0; f < config.films_per_peer; ++f) {
+      TermId film = dict->InternIri(ns + "film" + std::to_string(f));
+      ++local_stats.films;
+      if (config.with_attributes) {
+        // Two attributes per entity: under independent corruption the
+        // Jaccard of co-referent entities takes intermediate values,
+        // giving discovery thresholds something to trade off.
+        g.InsertUnchecked(
+            Triple{film, title, attribute("Film " + std::to_string(f))});
+        g.InsertUnchecked(
+            Triple{film, year, attribute("Year " + std::to_string(f))});
+        local_stats.triples += 2;
+      }
+      for (size_t a = 0; a < config.actors_per_film; ++a) {
+        size_t person_idx = f * config.actors_per_film + a;
+        TermId person =
+            dict->InternIri(ns + "person" + std::to_string(person_idx));
+        ++local_stats.persons;
+        if (config.with_attributes) {
+          g.InsertUnchecked(Triple{
+              person, name,
+              attribute("Person " + std::to_string(person_idx))});
+          g.InsertUnchecked(Triple{
+              person, birth,
+              attribute("Born " + std::to_string(person_idx))});
+          local_stats.triples += 2;
+        }
+        if (!double_dialect) {
+          g.InsertUnchecked(Triple{film, actor, person});
+          ++local_stats.triples;
+        } else {
+          TermId cast = dict->InternBlank(
+              "cast_p" + std::to_string(p) + "_" + std::to_string(f) + "_" +
+              std::to_string(a));
+          g.InsertUnchecked(Triple{film, starring, cast});
+          g.InsertUnchecked(Triple{cast, artist, person});
+          local_stats.triples += 2;
+        }
+      }
+    }
+  }
+
+  // Mapping topology: graph mapping assertions (both directions) plus
+  // sameAs links for overlapping entities, per edge.
+  Topology topo = LodTopology(config);
+  for (size_t a = 0; a < topo.NodeCount(); ++a) {
+    for (size_t b : topo.Neighbors(a)) {
+      if (b < a) continue;  // one pass per undirected edge
+      // GMAs in both directions.
+      for (auto [src, dst] : {std::pair<size_t, size_t>{a, b},
+                              std::pair<size_t, size_t>{b, a}}) {
+        VarId f = vars->Fresh("f_");
+        VarId x = vars->Fresh("x_");
+        GraphMappingAssertion gma;
+        gma.label = "peer" + std::to_string(src) + "->peer" +
+                    std::to_string(dst);
+        gma.from = DialectQuery(dict, vars, src,
+                                UsesDoubleDialect(config, src), f, x);
+        gma.to = DialectQuery(dict, vars, dst,
+                              UsesDoubleDialect(config, dst), f, x);
+        Status st = system->AddGraphMapping(std::move(gma));
+        assert(st.ok());
+        (void)st;
+        ++local_stats.graph_mappings;
+      }
+      // sameAs links between the two peers' IRIs for overlapping films
+      // and their actors. Stored in the lower-indexed peer's graph (or
+      // only reported as ground truth when emit_sameas is off).
+      Graph& store = *system->dataset().Find("peer" + std::to_string(a));
+      size_t overlapped = static_cast<size_t>(
+          config.overlap_fraction * static_cast<double>(config.films_per_peer));
+      auto link = [&](TermId left, TermId right) {
+        if (!config.emit_sameas) return;
+        store.InsertUnchecked(Triple{left, same_as, right});
+        ++local_stats.sameas_links;
+        ++local_stats.triples;
+      };
+      for (size_t f = 0; f < overlapped; ++f) {
+        if (!rng.Chance(config.sameas_rate)) continue;
+        link(dict->InternIri(PeerNs(a) + "film" + std::to_string(f)),
+             dict->InternIri(PeerNs(b) + "film" + std::to_string(f)));
+        for (size_t ac = 0; ac < config.actors_per_film; ++ac) {
+          size_t person_idx = f * config.actors_per_film + ac;
+          link(dict->InternIri(PeerNs(a) + "person" +
+                               std::to_string(person_idx)),
+               dict->InternIri(PeerNs(b) + "person" +
+                               std::to_string(person_idx)));
+        }
+      }
+    }
+  }
+
+  if (config.emit_sameas) {
+    system->AddEquivalencesFromSameAs();
+  }
+
+  // The semantic co-reference relation of the generator's world model:
+  // every peer describes the same logical films and persons, so ALL
+  // same-index cross-peer pairs are co-referent — not just the subset
+  // that got a sameAs link. This is the ground truth the discovery
+  // experiments score against.
+  if (ground_truth != nullptr) {
+    for (size_t a = 0; a < config.num_peers; ++a) {
+      for (size_t b = a + 1; b < config.num_peers; ++b) {
+        for (size_t f = 0; f < config.films_per_peer; ++f) {
+          ground_truth->push_back(EquivalenceMapping{
+              dict->InternIri(PeerNs(a) + "film" + std::to_string(f)),
+              dict->InternIri(PeerNs(b) + "film" + std::to_string(f))});
+          for (size_t ac = 0; ac < config.actors_per_film; ++ac) {
+            size_t person_idx = f * config.actors_per_film + ac;
+            ground_truth->push_back(EquivalenceMapping{
+                dict->InternIri(PeerNs(a) + "person" +
+                                std::to_string(person_idx)),
+                dict->InternIri(PeerNs(b) + "person" +
+                                std::to_string(person_idx))});
+          }
+        }
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return system;
+}
+
+GraphPatternQuery LodDemoQuery(RpsSystem* system, const LodConfig& config) {
+  VarId f = system->vars()->Intern("film");
+  VarId x = system->vars()->Intern("person");
+  return DialectQuery(system->dict(), system->vars(), 0,
+                      UsesDoubleDialect(config, 0), f, x);
+}
+
+std::unique_ptr<RpsSystem> GenerateTransitiveClosureSystem(
+    size_t chain_length) {
+  auto system = std::make_unique<RpsSystem>();
+  Dictionary* dict = system->dict();
+  VarPool* vars = system->vars();
+
+  TermId a_prop = dict->InternIri("http://example.org/voc/A");
+  Graph& g = system->AddPeer("peer0");
+  for (size_t k = 0; k < chain_length; ++k) {
+    TermId from = dict->InternIri("http://example.org/n" + std::to_string(k));
+    TermId to =
+        dict->InternIri("http://example.org/n" + std::to_string(k + 1));
+    g.InsertUnchecked(Triple{from, a_prop, to});
+  }
+
+  VarId x = vars->Fresh("tc_x");
+  VarId y = vars->Fresh("tc_y");
+  VarId z = vars->Fresh("tc_z");
+  GraphMappingAssertion gma;
+  gma.label = "transitive-closure";
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(a_prop),
+                                  PatternTerm::Var(z)});
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(z),
+                                  PatternTerm::Const(a_prop),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                PatternTerm::Const(a_prop),
+                                PatternTerm::Var(y)});
+  Status st = system->AddGraphMapping(std::move(gma));
+  assert(st.ok());
+  (void)st;
+  return system;
+}
+
+GraphPatternQuery TransitiveQuery(RpsSystem* system) {
+  Dictionary* dict = system->dict();
+  VarPool* vars = system->vars();
+  TermId a_prop = dict->InternIri("http://example.org/voc/A");
+  VarId x = vars->Intern("x");
+  VarId y = vars->Intern("y");
+  GraphPatternQuery q;
+  q.head = {x, y};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(a_prop),
+                           PatternTerm::Var(y)});
+  return q;
+}
+
+std::unique_ptr<RpsSystem> GenerateSameAsCliques(size_t num_cliques,
+                                                 size_t clique_size,
+                                                 size_t triples_per_member,
+                                                 uint64_t seed) {
+  auto system = std::make_unique<RpsSystem>();
+  Dictionary* dict = system->dict();
+  Rng rng(seed);
+
+  TermId same_as = dict->Intern(Term::Iri(std::string(kOwlSameAs)));
+  Graph& g = system->AddPeer("peer0");
+  std::string ns = "http://example.org/";
+  std::vector<TermId> props;
+  for (size_t j = 0; j < 3; ++j) {
+    props.push_back(dict->InternIri(ns + "prop" + std::to_string(j)));
+  }
+  for (size_t c = 0; c < num_cliques; ++c) {
+    TermId prev = kInvalidTermId;
+    for (size_t m = 0; m < clique_size; ++m) {
+      TermId member = dict->InternIri(ns + "e" + std::to_string(c) + "_" +
+                                      std::to_string(m));
+      if (prev != kInvalidTermId) {
+        g.InsertUnchecked(Triple{prev, same_as, member});
+      }
+      prev = member;
+      for (size_t j = 0; j < triples_per_member; ++j) {
+        TermId value = dict->Intern(Term::Literal(
+            "val" + std::to_string(c) + "_" + std::to_string(m) + "_" +
+            std::to_string(j)));
+        g.InsertUnchecked(Triple{member, props[rng.Index(props.size())],
+                                 value});
+      }
+    }
+  }
+  system->AddEquivalencesFromSameAs();
+  return system;
+}
+
+std::unique_ptr<RpsSystem> GenerateChainRps(size_t num_peers,
+                                            size_t facts_per_peer,
+                                            uint64_t seed) {
+  auto system = std::make_unique<RpsSystem>();
+  Dictionary* dict = system->dict();
+  VarPool* vars = system->vars();
+  Rng rng(seed);
+
+  std::vector<TermId> props;
+  for (size_t p = 0; p < num_peers; ++p) {
+    props.push_back(dict->InternIri(PeerNs(p) + "p"));
+  }
+  for (size_t p = 0; p < num_peers; ++p) {
+    Graph& g = system->AddPeer("peer" + std::to_string(p));
+    std::string ns = PeerNs(p);
+    for (size_t k = 0; k < facts_per_peer; ++k) {
+      TermId e = dict->InternIri(ns + "e" + std::to_string(rng.Uniform(
+                                          0, facts_per_peer * 2)));
+      TermId f = dict->InternIri(ns + "f" + std::to_string(k));
+      g.InsertUnchecked(Triple{e, props[p], f});
+    }
+  }
+  for (size_t p = 0; p + 1 < num_peers; ++p) {
+    VarId x = vars->Fresh("ch_x");
+    VarId y = vars->Fresh("ch_y");
+    GraphMappingAssertion gma;
+    gma.label = "p" + std::to_string(p) + "->p" + std::to_string(p + 1);
+    gma.from.head = {x, y};
+    gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                    PatternTerm::Const(props[p]),
+                                    PatternTerm::Var(y)});
+    gma.to.head = {x, y};
+    gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(props[p + 1]),
+                                  PatternTerm::Var(y)});
+    Status st = system->AddGraphMapping(std::move(gma));
+    assert(st.ok());
+    (void)st;
+  }
+  return system;
+}
+
+GraphPatternQuery ChainQuery(RpsSystem* system, size_t num_peers) {
+  Dictionary* dict = system->dict();
+  VarPool* vars = system->vars();
+  TermId prop = dict->InternIri(PeerNs(num_peers - 1) + "p");
+  VarId x = vars->Intern("x");
+  VarId y = vars->Intern("y");
+  GraphPatternQuery q;
+  q.head = {x, y};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(prop),
+                           PatternTerm::Var(y)});
+  return q;
+}
+
+}  // namespace rps

@@ -1,0 +1,111 @@
+#ifndef RPS_GEN_GENERATORS_H_
+#define RPS_GEN_GENERATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "federation/network.h"
+#include "peer/rps_system.h"
+
+namespace rps {
+
+/// Configuration for the synthetic LOD-cloud generator. The generated
+/// systems mimic the paper's motivating scenario: several film databases
+/// with overlapping content, different vocabularies (dialects), sameAs
+/// links between co-referent IRIs, and graph mapping assertions along an
+/// arbitrary mapping topology.
+struct LodConfig {
+  size_t num_peers = 4;
+  size_t films_per_peer = 50;
+  size_t actors_per_film = 2;
+  /// Fraction of a peer's films that are also described (under its own
+  /// IRIs) by the topologically adjacent peer.
+  double overlap_fraction = 0.3;
+  /// Fraction of overlapping entities that get an owl:sameAs link.
+  double sameas_rate = 1.0;
+  /// Shape of the mapping topology over the peers.
+  enum class MappingTopology { kChain, kStar, kRing, kRandom } topology =
+      MappingTopology::kChain;
+  double random_edge_prob = 0.3;
+  /// When true, every peer uses the single-triple (film actor person)
+  /// dialect, making all graph mapping assertions linear TGDs
+  /// (FO-rewritable, Proposition 2). When false, peers alternate between
+  /// the actor dialect and the two-triple starring/artist dialect of the
+  /// paper's Example 1, producing existential mappings.
+  bool single_triple_dialect = false;
+  /// When true, peers attach literal attributes (names/titles) to their
+  /// entities; co-referent entities share attribute values across peers —
+  /// the evidence the mapping-discovery module (§5 item 3) exploits.
+  bool with_attributes = false;
+  /// Fraction of attribute values corrupted per peer (peer-specific
+  /// spellings): injects discovery false negatives.
+  double attribute_noise = 0.0;
+  /// When false, the generator neither stores owl:sameAs triples nor
+  /// registers equivalence mappings; the ground-truth co-reference pairs
+  /// are only reported through GenerateLod's `ground_truth` parameter.
+  /// Used to evaluate mapping discovery against a hidden truth.
+  bool emit_sameas = true;
+  uint64_t seed = 1;
+};
+
+/// Size statistics of a generated system.
+struct LodStats {
+  size_t triples = 0;
+  size_t sameas_links = 0;
+  size_t graph_mappings = 0;
+  size_t films = 0;
+  size_t persons = 0;
+};
+
+/// Generates a synthetic LOD peer system. The peer graphs, mappings and
+/// sameAs links are deterministic in `config.seed`. When `ground_truth`
+/// is non-null it receives every co-reference pair the generator created
+/// (whether or not sameAs triples were emitted, see
+/// LodConfig::emit_sameas).
+std::unique_ptr<RpsSystem> GenerateLod(const LodConfig& config,
+                                       LodStats* stats = nullptr,
+                                       std::vector<EquivalenceMapping>*
+                                           ground_truth = nullptr);
+
+/// A benchmark query in peer 0's dialect: all (person, film) pairs, i.e.
+/// q(x, f) ← (f, actor0, x) — or the starring/artist equivalent when
+/// peer 0 uses the two-triple dialect. Integration through the mappings
+/// pulls in answers from every reachable peer.
+GraphPatternQuery LodDemoQuery(RpsSystem* system, const LodConfig& config);
+
+/// The Topology matching config.topology (for federation experiments).
+Topology LodTopology(const LodConfig& config);
+
+/// A single-peer system whose only mapping is the transitive-closure
+/// assertion of Proposition 3:
+///   ∀x∀y∃z (x, A, z) AND (z, A, y) ⇝ (x, A, y)
+/// over an A-chain x_0 → x_1 → ... → x_{chain_length}. Query answering is
+/// still PTIME via the chase, but no FO rewriting exists.
+std::unique_ptr<RpsSystem> GenerateTransitiveClosureSystem(
+    size_t chain_length);
+
+/// The A-edge query q(x, y) ← (x, A, y) over the transitive system.
+GraphPatternQuery TransitiveQuery(RpsSystem* system);
+
+/// A system of `num_cliques` owl:sameAs cliques of `clique_size` IRIs,
+/// each member carrying `triples_per_member` property triples — the
+/// stress workload for the equivalence-handling ablation (E10).
+std::unique_ptr<RpsSystem> GenerateSameAsCliques(size_t num_cliques,
+                                                 size_t clique_size,
+                                                 size_t triples_per_member,
+                                                 uint64_t seed);
+
+/// A chain of `num_peers` peers where peer i stores facts (e_k, p_i, f_k)
+/// and maps them to peer i+1's property: (x, p_i, y) ⇝ (x, p_{i+1}, y).
+/// All mappings are linear TGDs. Used by the rewriting experiments: a
+/// query over p_{n-1} rewrites into a union of n queries.
+std::unique_ptr<RpsSystem> GenerateChainRps(size_t num_peers,
+                                            size_t facts_per_peer,
+                                            uint64_t seed);
+
+/// The query q(x, y) ← (x, p_{last}, y) over a chain system.
+GraphPatternQuery ChainQuery(RpsSystem* system, size_t num_peers);
+
+}  // namespace rps
+
+#endif  // RPS_GEN_GENERATORS_H_

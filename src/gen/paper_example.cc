@@ -1,0 +1,131 @@
+#include "gen/paper_example.h"
+
+#include <cassert>
+
+namespace rps {
+
+PaperExample BuildPaperExample() {
+  PaperExample ex;
+  ex.system = std::make_unique<RpsSystem>();
+  RpsSystem& sys = *ex.system;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+
+  auto iri = [&](const std::string& ns, const std::string& local) {
+    return dict.Intern(Term::Iri(ns + local));
+  };
+  auto lit = [&](const std::string& lexical) {
+    return dict.Intern(Term::Literal(lexical));
+  };
+
+  // Vocabulary.
+  TermId starring = iri(kVocNs, "starring");
+  TermId artist = iri(kVocNs, "artist");
+  TermId actor = iri(kVocNs, "actor");
+  TermId age = iri(kVocNs, "age");
+  TermId same_as = dict.Intern(Term::Iri(std::string(kOwlSameAs)));
+  ex.prop_starring = starring;
+  ex.prop_artist = artist;
+  ex.prop_actor = actor;
+  ex.prop_age = age;
+
+  // Entities.
+  TermId db1_spiderman = iri(kDb1Ns, "Spiderman");
+  TermId db1_toby = iri(kDb1Ns, "Toby_Maguire");
+  TermId db1_kirsten = iri(kDb1Ns, "Kirsten_Dunst");
+  TermId db2_spiderman = iri(kDb2Ns, "Spiderman2002");
+  TermId db2_willem = iri(kDb2Ns, "Willem_Dafoe");
+  TermId db2_pleasantville = iri(kDb2Ns, "Pleasantville");
+  TermId foaf_toby = iri(kFoafNs, "Toby_Maguire");
+  TermId foaf_kirsten = iri(kFoafNs, "Kirsten_Dunst");
+  TermId foaf_willem = iri(kFoafNs, "Willem_Dafoe");
+  ex.db1_spiderman = db1_spiderman;
+  ex.db1_toby = db1_toby;
+  ex.foaf_toby = foaf_toby;
+  ex.db2_willem = db2_willem;
+  ex.age_39 = lit("39");
+
+  // Source 1: starring/artist dialect, with intermediate casting nodes
+  // (blank nodes), plus the owl:sameAs links the paper stores here.
+  Graph& s1 = sys.AddPeer("source1");
+  TermId c1 = dict.InternBlank("cast1");
+  TermId c2 = dict.InternBlank("cast2");
+  auto add = [](Graph& g, TermId s, TermId p, TermId o) {
+    Result<bool> r = g.Insert(Triple{s, p, o});
+    assert(r.ok());
+    (void)r;
+  };
+  add(s1, db1_spiderman, starring, c1);
+  add(s1, c1, artist, db1_toby);
+  add(s1, db1_spiderman, starring, c2);
+  add(s1, c2, artist, db1_kirsten);
+  add(s1, db1_spiderman, same_as, db2_spiderman);
+  add(s1, db1_toby, same_as, foaf_toby);
+  add(s1, db1_kirsten, same_as, foaf_kirsten);
+
+  // Source 2: actor dialect.
+  Graph& s2 = sys.AddPeer("source2");
+  add(s2, db2_spiderman, actor, db2_willem);
+  add(s2, db2_pleasantville, actor, db2_willem);
+
+  // Source 3: people with ages, plus its sameAs link.
+  Graph& s3 = sys.AddPeer("source3");
+  add(s3, foaf_toby, age, lit("39"));
+  add(s3, foaf_kirsten, age, lit("32"));
+  add(s3, foaf_willem, age, lit("59"));
+  add(s3, db2_willem, same_as, foaf_willem);
+
+  // G: the single graph mapping assertion Q2 ⇝ Q1 of Example 2.
+  {
+    VarId x = vars.Intern("gma_x");
+    VarId y = vars.Intern("gma_y");
+    VarId z = vars.Intern("gma_z");
+    GraphMappingAssertion gma;
+    gma.label = "Q2->Q1";
+    gma.from.head = {x, y};
+    gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                    PatternTerm::Const(actor),
+                                    PatternTerm::Var(y)});
+    gma.to.head = {x, y};
+    gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(starring),
+                                  PatternTerm::Var(z)});
+    gma.to.body.Add(TriplePattern{PatternTerm::Var(z),
+                                  PatternTerm::Const(artist),
+                                  PatternTerm::Var(y)});
+    Status st = sys.AddGraphMapping(std::move(gma));
+    assert(st.ok());
+    (void)st;
+  }
+
+  // E: one equivalence mapping per stored owl:sameAs triple.
+  sys.AddEquivalencesFromSameAs();
+
+  // The Example 1 / Listing 1 query.
+  {
+    VarId x = vars.Intern("x");
+    VarId y = vars.Intern("y");
+    VarId z = vars.Intern("z");
+    ex.query.head = {x, y};
+    ex.query.body.Add(TriplePattern{PatternTerm::Const(db1_spiderman),
+                                    PatternTerm::Const(starring),
+                                    PatternTerm::Var(z)});
+    ex.query.body.Add(TriplePattern{PatternTerm::Var(z),
+                                    PatternTerm::Const(artist),
+                                    PatternTerm::Var(x)});
+    ex.query.body.Add(TriplePattern{PatternTerm::Var(x),
+                                    PatternTerm::Const(age),
+                                    PatternTerm::Var(y)});
+  }
+
+  ex.prefixes = {
+      {"DB1", kDb1Ns},
+      {"DB2", kDb2Ns},
+      {"foaf", kFoafNs},
+      {"voc", kVocNs},
+      {"owl", "http://www.w3.org/2002/07/owl#"},
+  };
+  return ex;
+}
+
+}  // namespace rps

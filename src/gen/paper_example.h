@@ -1,0 +1,50 @@
+#ifndef RPS_GEN_PAPER_EXAMPLE_H_
+#define RPS_GEN_PAPER_EXAMPLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "peer/rps_system.h"
+
+namespace rps {
+
+/// The paper's running example, reconstructed exactly:
+///  * Figure 1 — three sources: Source 1 (films in starring/artist
+///    dialect + sameAs links), Source 2 (films in actor dialect),
+///    Source 3 (people and ages, foaf naming);
+///  * Example 2 — the RPS with one graph mapping assertion Q2 ⇝ Q1 and
+///    one equivalence mapping per stored owl:sameAs triple;
+///  * the SPARQL query of Example 1 / Listing 1.
+struct PaperExample {
+  std::unique_ptr<RpsSystem> system;
+  /// The Example 1 query: SELECT ?x ?y WHERE { DB1:Spiderman starring ?z .
+  /// ?z artist ?x . ?x age ?y }.
+  GraphPatternQuery query;
+  /// Prefix map for rendering results the way the paper prints them.
+  std::map<std::string, std::string> prefixes;
+
+  /// Frequently referenced terms.
+  TermId db1_spiderman = kInvalidTermId;
+  TermId db1_toby = kInvalidTermId;
+  TermId foaf_toby = kInvalidTermId;
+  TermId db2_willem = kInvalidTermId;
+  TermId age_39 = kInvalidTermId;
+  TermId prop_starring = kInvalidTermId;
+  TermId prop_artist = kInvalidTermId;
+  TermId prop_actor = kInvalidTermId;
+  TermId prop_age = kInvalidTermId;
+};
+
+/// Namespaces used by the fixture.
+inline constexpr const char* kDb1Ns = "http://example.org/db1/";
+inline constexpr const char* kDb2Ns = "http://example.org/db2/";
+inline constexpr const char* kFoafNs = "http://xmlns.com/foaf/0.1/";
+inline constexpr const char* kVocNs = "http://example.org/voc/";
+
+/// Builds the fixture. Never fails (data is static), so plain return.
+PaperExample BuildPaperExample();
+
+}  // namespace rps
+
+#endif  // RPS_GEN_PAPER_EXAMPLE_H_

@@ -1,0 +1,200 @@
+#include "parser/cursor.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace rps {
+
+bool IsPnChar(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  return std::isalnum(uc) || c == '_' || c == '-' || c == '.' || uc >= 0x80;
+}
+
+void TextCursor::Advance() {
+  if (pos_ >= text_.size()) return;
+  if (text_[pos_] == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  ++pos_;
+}
+
+void TextCursor::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '#') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+bool TextCursor::TryConsume(char expected) {
+  if (Peek() != expected) return false;
+  Advance();
+  return true;
+}
+
+bool TextCursor::TryConsumeKeyword(std::string_view word) {
+  if (pos_ + word.size() > text_.size()) return false;
+  for (size_t i = 0; i < word.size(); ++i) {
+    char a = text_[pos_ + i];
+    char b = word[i];
+    if (std::toupper(static_cast<unsigned char>(a)) !=
+        std::toupper(static_cast<unsigned char>(b))) {
+      return false;
+    }
+  }
+  // Keyword must not run into a name character.
+  char next = PeekAt(word.size());
+  if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+    return false;
+  }
+  for (size_t i = 0; i < word.size(); ++i) Advance();
+  return true;
+}
+
+Result<std::string> TextCursor::ReadIriRef() {
+  if (Peek() != '<') return Error("expected '<' at start of IRI");
+  Advance();
+  std::string raw;
+  while (!AtEnd() && Peek() != '>') {
+    char c = Peek();
+    if (c == '\n') return Error("newline inside IRI");
+    raw.push_back(c);
+    Advance();
+  }
+  if (AtEnd()) return Error("unterminated IRI");
+  Advance();  // '>'
+  // Decode \u escapes inside IRIs.
+  if (raw.find('\\') != std::string::npos) {
+    std::string decoded;
+    if (!UnescapeLiteral(raw, &decoded)) {
+      return Error("malformed escape in IRI");
+    }
+    return decoded;
+  }
+  return raw;
+}
+
+Result<std::string> TextCursor::ReadQuotedString() {
+  if (Peek() != '"') return Error("expected '\"' at start of literal");
+  Advance();
+  std::string raw;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '"') {
+      Advance();
+      std::string decoded;
+      if (!UnescapeLiteral(raw, &decoded)) {
+        return Error("malformed escape in literal");
+      }
+      return decoded;
+    }
+    if (c == '\\') {
+      raw.push_back(c);
+      Advance();
+      if (AtEnd()) return Error("unterminated escape in literal");
+      raw.push_back(Peek());
+      Advance();
+      continue;
+    }
+    if (c == '\n') return Error("newline inside literal");
+    raw.push_back(c);
+    Advance();
+  }
+  return Error("unterminated literal");
+}
+
+Result<std::string> TextCursor::ReadBlankLabel() {
+  if (Peek() != '_' || PeekAt(1) != ':') {
+    return Error("expected '_:' at start of blank node label");
+  }
+  Advance();
+  Advance();
+  std::string label;
+  while (!AtEnd() && IsPnChar(Peek())) {
+    label.push_back(Peek());
+    Advance();
+  }
+  if (label.empty()) return Error("empty blank node label");
+  // Trailing '.' belongs to the statement terminator, not the label.
+  while (!label.empty() && label.back() == '.') {
+    label.pop_back();
+    pos_ -= 1;
+    column_ -= 1;
+  }
+  if (label.empty()) return Error("empty blank node label");
+  return label;
+}
+
+Result<std::string> TextCursor::ReadLangTag() {
+  if (Peek() != '@') return Error("expected '@' at start of language tag");
+  Advance();
+  std::string tag;
+  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '-')) {
+    tag.push_back(Peek());
+    Advance();
+  }
+  if (tag.empty()) return Error("empty language tag");
+  return tag;
+}
+
+Result<std::string> TextCursor::ReadPrefixedName() {
+  std::string token;
+  while (!AtEnd() && (IsPnChar(Peek()) || Peek() == ':')) {
+    token.push_back(Peek());
+    Advance();
+  }
+  if (token.empty()) return Error("expected prefixed name");
+  // A trailing '.' is the statement terminator unless followed by a name
+  // character (e.g. `ex:v1.0` keeps the dot).
+  while (!token.empty() && token.back() == '.') {
+    token.pop_back();
+    pos_ -= 1;
+    column_ -= 1;
+  }
+  if (token.find(':') == std::string::npos) {
+    return Error("prefixed name missing ':': '" + token + "'");
+  }
+  return token;
+}
+
+Result<std::string> TextCursor::ReadVarName() {
+  if (Peek() != '?' && Peek() != '$') {
+    return Error("expected '?' at start of variable");
+  }
+  Advance();
+  std::string name;
+  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '_')) {
+    name.push_back(Peek());
+    Advance();
+  }
+  if (name.empty()) return Error("empty variable name");
+  return name;
+}
+
+std::string TextCursor::ReadDigits() {
+  std::string out;
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+    out.push_back(Peek());
+    Advance();
+  }
+  return out;
+}
+
+Status TextCursor::Error(std::string_view message) const {
+  return Status::ParseError(std::string(message) + " at line " +
+                            std::to_string(line_) + ", column " +
+                            std::to_string(column_));
+}
+
+}  // namespace rps

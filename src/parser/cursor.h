@@ -1,0 +1,83 @@
+#ifndef RPS_PARSER_CURSOR_H_
+#define RPS_PARSER_CURSOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace rps {
+
+/// Character cursor shared by the N-Triples, Turtle and SPARQL parsers.
+/// Tracks line/column for error messages and provides the token-level
+/// primitives the three grammars share (IRIREF, STRING, BLANK_NODE_LABEL,
+/// PNAME, numbers, comments).
+class TextCursor {
+ public:
+  explicit TextCursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+  void Advance();
+
+  size_t pos() const { return pos_; }
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+  /// Skips whitespace and '#' line comments.
+  void SkipWhitespaceAndComments();
+
+  /// Consumes `expected` if it is next (no whitespace skipping). Returns
+  /// false otherwise.
+  bool TryConsume(char expected);
+
+  /// Consumes the keyword `word` case-insensitively if it is next and is
+  /// followed by a non-name character. Returns false otherwise.
+  bool TryConsumeKeyword(std::string_view word);
+
+  /// Reads an IRIREF: `<...>` with \u/\U escapes. The cursor must be on
+  /// '<'. Returns the IRI without brackets.
+  Result<std::string> ReadIriRef();
+
+  /// Reads a quoted string: `"..."` or `'''...'''`-free subset (single
+  /// double-quoted form, with standard escapes). The cursor must be on '"'.
+  Result<std::string> ReadQuotedString();
+
+  /// Reads a blank node label `_:label`. The cursor must be on '_'.
+  Result<std::string> ReadBlankLabel();
+
+  /// Reads a language tag after '@' (cursor on '@'): `@[a-zA-Z]+(-\w+)*`.
+  Result<std::string> ReadLangTag();
+
+  /// Reads a prefixed-name token `prefix:local` (either part may be
+  /// empty). Cursor must be on a PN char or ':'. Returns "prefix:local"
+  /// verbatim; splitting is the caller's job.
+  Result<std::string> ReadPrefixedName();
+
+  /// Reads a variable name after '?' or '$' (cursor on the sigil).
+  Result<std::string> ReadVarName();
+
+  /// Reads an unsigned integer token [0-9]+. Cursor must be on a digit.
+  std::string ReadDigits();
+
+  /// Builds a parse error annotated with the current line and column.
+  Status Error(std::string_view message) const;
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+/// True for characters allowed in the local/prefix part of a prefixed name
+/// (simplified PN_CHARS: ASCII letters, digits, '_', '-', '.', and any
+/// non-ASCII byte).
+bool IsPnChar(char c);
+
+}  // namespace rps
+
+#endif  // RPS_PARSER_CURSOR_H_

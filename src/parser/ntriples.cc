@@ -1,0 +1,87 @@
+#include "parser/ntriples.h"
+
+#include <algorithm>
+
+#include "parser/cursor.h"
+
+namespace rps {
+
+namespace {
+
+// Reads one term in N-Triples syntax at the cursor.
+Result<Term> ReadTerm(TextCursor* cursor) {
+  char c = cursor->Peek();
+  if (c == '<') {
+    RPS_ASSIGN_OR_RETURN(std::string iri, cursor->ReadIriRef());
+    return Term::Iri(std::move(iri));
+  }
+  if (c == '_') {
+    RPS_ASSIGN_OR_RETURN(std::string label, cursor->ReadBlankLabel());
+    return Term::Blank(std::move(label));
+  }
+  if (c == '"') {
+    RPS_ASSIGN_OR_RETURN(std::string lexical, cursor->ReadQuotedString());
+    if (cursor->Peek() == '@') {
+      RPS_ASSIGN_OR_RETURN(std::string lang, cursor->ReadLangTag());
+      return Term::LangLiteral(std::move(lexical), std::move(lang));
+    }
+    if (cursor->Peek() == '^' && cursor->PeekAt(1) == '^') {
+      cursor->Advance();
+      cursor->Advance();
+      RPS_ASSIGN_OR_RETURN(std::string datatype, cursor->ReadIriRef());
+      return Term::TypedLiteral(std::move(lexical), std::move(datatype));
+    }
+    return Term::Literal(std::move(lexical));
+  }
+  return cursor->Error("expected IRI, blank node or literal");
+}
+
+}  // namespace
+
+Result<Term> ParseNTriplesTerm(std::string_view text) {
+  TextCursor cursor(text);
+  cursor.SkipWhitespaceAndComments();
+  return ReadTerm(&cursor);
+}
+
+Result<size_t> ParseNTriples(std::string_view text, Graph* graph) {
+  TextCursor cursor(text);
+  Dictionary* dict = graph->dict();
+  size_t added = 0;
+  while (true) {
+    cursor.SkipWhitespaceAndComments();
+    if (cursor.AtEnd()) break;
+
+    RPS_ASSIGN_OR_RETURN(Term subject, ReadTerm(&cursor));
+    cursor.SkipWhitespaceAndComments();
+    RPS_ASSIGN_OR_RETURN(Term predicate, ReadTerm(&cursor));
+    cursor.SkipWhitespaceAndComments();
+    RPS_ASSIGN_OR_RETURN(Term object, ReadTerm(&cursor));
+    cursor.SkipWhitespaceAndComments();
+    if (!cursor.TryConsume('.')) {
+      return cursor.Error("expected '.' at end of triple");
+    }
+
+    Triple t{dict->Intern(subject), dict->Intern(predicate),
+             dict->Intern(object)};
+    RPS_ASSIGN_OR_RETURN(bool fresh, graph->Insert(t));
+    if (fresh) ++added;
+  }
+  return added;
+}
+
+std::string WriteNTriples(const Graph& graph) {
+  const Dictionary& dict = *graph.dict();
+  std::vector<std::string> lines;
+  lines.reserve(graph.size());
+  for (const Triple& t : graph.triples()) {
+    lines.push_back(dict.ToString(t.s) + " " + dict.ToString(t.p) + " " +
+                    dict.ToString(t.o) + " .\n");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) out += line;
+  return out;
+}
+
+}  // namespace rps

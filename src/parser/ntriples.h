@@ -1,0 +1,29 @@
+#ifndef RPS_PARSER_NTRIPLES_H_
+#define RPS_PARSER_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// Parses an N-Triples document into `graph`, interning terms in the
+/// graph's dictionary. Supports comments, \u/\U escapes, language tags and
+/// datatyped literals. Returns the number of triples added (duplicates in
+/// the input are collapsed).
+Result<size_t> ParseNTriples(std::string_view text, Graph* graph);
+
+/// Serializes `graph` as N-Triples. Triples are emitted in lexicographic
+/// term-string order so output is deterministic and diff-friendly.
+std::string WriteNTriples(const Graph& graph);
+
+/// Parses a single N-Triples term (IRI, blank node or literal) starting at
+/// the cursor position of `text`; used by tests and by the Turtle parser's
+/// fallback paths.
+Result<Term> ParseNTriplesTerm(std::string_view text);
+
+}  // namespace rps
+
+#endif  // RPS_PARSER_NTRIPLES_H_

@@ -1,0 +1,596 @@
+#include "parser/sparql.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "parser/cursor.h"
+#include "util/string_util.h"
+
+namespace rps {
+
+namespace {
+
+class SparqlParser {
+ public:
+  SparqlParser(std::string_view text, Dictionary* dict, VarPool* vars)
+      : cursor_(text), dict_(dict), vars_(vars) {}
+
+  /// Parses the whole input as one bare BGP under `prefixes`.
+  Result<GraphPattern> RunBareBgp(
+      const std::map<std::string, std::string>& prefixes) {
+    prefixes_ = prefixes;
+    RPS_ASSIGN_OR_RETURN(GraphPattern bgp, ParseBgp());
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.AtEnd()) {
+      return cursor_.Error("unexpected trailing content after pattern");
+    }
+    return bgp;
+  }
+
+  Result<ParsedQuery> Run() {
+    RPS_RETURN_IF_ERROR(ParsePrologue());
+    cursor_.SkipWhitespaceAndComments();
+    ParsedQuery query;
+    if (cursor_.TryConsumeKeyword("SELECT")) {
+      query.is_ask = false;
+      RPS_RETURN_IF_ERROR(ParseProjection(&query));
+      cursor_.SkipWhitespaceAndComments();
+      cursor_.TryConsumeKeyword("WHERE");  // optional
+    } else if (cursor_.TryConsumeKeyword("ASK")) {
+      query.is_ask = true;
+    } else {
+      return cursor_.Error("expected SELECT or ASK");
+    }
+    cursor_.SkipWhitespaceAndComments();
+    RPS_ASSIGN_OR_RETURN(std::vector<GraphPattern> branches, ParseGroup());
+    query.branches = std::move(branches);
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.AtEnd()) {
+      return cursor_.Error("unexpected trailing content after query");
+    }
+    if (query.select_all) {
+      RPS_RETURN_IF_ERROR(ResolveSelectAll(&query));
+    }
+    return query;
+  }
+
+  Result<ParsedExtendedQuery> RunExtended() {
+    RPS_RETURN_IF_ERROR(ParsePrologue());
+    cursor_.SkipWhitespaceAndComments();
+    ParsedExtendedQuery out;
+    ParsedQuery projection_holder;
+    if (cursor_.TryConsumeKeyword("SELECT")) {
+      RPS_RETURN_IF_ERROR(ParseProjection(&projection_holder));
+      cursor_.SkipWhitespaceAndComments();
+      cursor_.TryConsumeKeyword("WHERE");
+    } else if (cursor_.TryConsumeKeyword("ASK")) {
+      out.is_ask = true;
+    } else {
+      return cursor_.Error("expected SELECT or ASK");
+    }
+    out.select_all = projection_holder.select_all;
+
+    cursor_.SkipWhitespaceAndComments();
+    RPS_RETURN_IF_ERROR(ParseExtendedGroup(&out.query));
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.AtEnd()) {
+      return cursor_.Error("unexpected trailing content after query");
+    }
+    if (out.query.required.empty()) {
+      return cursor_.Error("extended query requires a non-optional pattern");
+    }
+
+    if (out.select_all) {
+      // SELECT *: the variables of the required part, in appearance order.
+      std::vector<VarId> ordered;
+      for (const TriplePattern& tp : out.query.required.patterns()) {
+        for (VarId v : tp.Vars()) {
+          if (std::find(ordered.begin(), ordered.end(), v) == ordered.end()) {
+            ordered.push_back(v);
+          }
+        }
+      }
+      out.query.head = std::move(ordered);
+    } else {
+      out.query.head = projection_holder.projection;
+      // Projection variables must occur somewhere in the query.
+      std::set<VarId> known = out.query.required.Vars();
+      for (const GraphPattern& gp : out.query.optionals) {
+        for (VarId v : gp.Vars()) known.insert(v);
+      }
+      for (VarId v : out.query.head) {
+        if (known.find(v) == known.end()) {
+          return Status::ParseError(
+              "projected variable ?" + vars_->name(v) +
+              " does not occur in the query");
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  Status ParseExtendedGroup(ExtendedQuery* query) {
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume('{')) {
+      return cursor_.Error("expected '{'");
+    }
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.TryConsume('}')) break;
+      if (cursor_.AtEnd()) return cursor_.Error("unterminated group");
+      if (cursor_.TryConsumeKeyword("OPTIONAL")) {
+        cursor_.SkipWhitespaceAndComments();
+        if (!cursor_.TryConsume('{')) {
+          return cursor_.Error("expected '{' after OPTIONAL");
+        }
+        RPS_ASSIGN_OR_RETURN(GraphPattern bgp, ParseBgp());
+        cursor_.SkipWhitespaceAndComments();
+        if (!cursor_.TryConsume('}')) {
+          return cursor_.Error("expected '}' closing OPTIONAL");
+        }
+        query->optionals.push_back(std::move(bgp));
+        cursor_.SkipWhitespaceAndComments();
+        cursor_.TryConsume('.');  // tolerated separator
+        continue;
+      }
+      if (cursor_.TryConsumeKeyword("FILTER")) {
+        RPS_ASSIGN_OR_RETURN(FilterCondition filter, ParseFilter());
+        query->filters.push_back(filter);
+        cursor_.SkipWhitespaceAndComments();
+        cursor_.TryConsume('.');
+        continue;
+      }
+      if (cursor_.TryConsumeKeyword("UNION")) {
+        return cursor_.Error(
+            "UNION cannot be combined with OPTIONAL/FILTER in this parser; "
+            "use ParseSparql for unions of conjunctive queries");
+      }
+      // One triple pattern of the required part.
+      TriplePattern tp;
+      RPS_ASSIGN_OR_RETURN(tp.s, ParsePatternTerm(/*predicate=*/false));
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(tp.p, ParsePatternTerm(/*predicate=*/true));
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(tp.o, ParsePatternTerm(/*predicate=*/false));
+      query->required.Add(tp);
+      cursor_.SkipWhitespaceAndComments();
+      cursor_.TryConsume('.');
+    }
+    return Status::OK();
+  }
+
+  Result<FilterCondition> ParseFilter() {
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume('(')) {
+      return cursor_.Error("expected '(' after FILTER");
+    }
+    cursor_.SkipWhitespaceAndComments();
+    FilterCondition filter;
+
+    bool negated = cursor_.TryConsume('!');
+    cursor_.SkipWhitespaceAndComments();
+
+    auto unary = [&](const char* keyword,
+                     FilterCondition::Op op) -> Result<bool> {
+      if (!cursor_.TryConsumeKeyword(keyword)) return false;
+      cursor_.SkipWhitespaceAndComments();
+      if (!cursor_.TryConsume('(')) {
+        return cursor_.Error("expected '(' in filter function");
+      }
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(std::string name, cursor_.ReadVarName());
+      filter.lhs = vars_->Intern(name);
+      filter.op = op;
+      cursor_.SkipWhitespaceAndComments();
+      if (!cursor_.TryConsume(')')) {
+        return cursor_.Error("expected ')' in filter function");
+      }
+      return true;
+    };
+
+    RPS_ASSIGN_OR_RETURN(bool is_bound,
+                         unary("BOUND", negated
+                                            ? FilterCondition::Op::kNotBound
+                                            : FilterCondition::Op::kBound));
+    bool matched = is_bound;
+    if (!matched) {
+      RPS_ASSIGN_OR_RETURN(matched,
+                           unary("isIRI", FilterCondition::Op::kIsIri));
+    }
+    if (!matched) {
+      RPS_ASSIGN_OR_RETURN(
+          matched, unary("isLiteral", FilterCondition::Op::kIsLiteral));
+    }
+    if (!matched) {
+      RPS_ASSIGN_OR_RETURN(matched,
+                           unary("isBlank", FilterCondition::Op::kIsBlank));
+    }
+    if (negated && !is_bound) {
+      return cursor_.Error("'!' is only supported before BOUND(...)");
+    }
+    if (!matched) {
+      // Binary comparison: ?x op (term | ?y).
+      if (cursor_.Peek() != '?' && cursor_.Peek() != '$') {
+        return cursor_.Error(
+            "filter must start with a variable or a supported function");
+      }
+      RPS_ASSIGN_OR_RETURN(std::string name, cursor_.ReadVarName());
+      filter.lhs = vars_->Intern(name);
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.TryConsume('!')) {
+        if (!cursor_.TryConsume('=')) {
+          return cursor_.Error("expected '!=' in filter");
+        }
+        filter.op = FilterCondition::Op::kNe;
+      } else if (cursor_.TryConsume('<')) {
+        filter.op = cursor_.TryConsume('=') ? FilterCondition::Op::kLe
+                                            : FilterCondition::Op::kLt;
+      } else if (cursor_.TryConsume('>')) {
+        filter.op = cursor_.TryConsume('=') ? FilterCondition::Op::kGe
+                                            : FilterCondition::Op::kGt;
+      } else if (cursor_.TryConsume('=')) {
+        filter.op = FilterCondition::Op::kEq;
+      } else {
+        return cursor_.Error("expected a comparison operator in filter");
+      }
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(filter.rhs,
+                           ParsePatternTerm(/*predicate=*/false));
+    }
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume(')')) {
+      return cursor_.Error("expected ')' closing FILTER");
+    }
+    return filter;
+  }
+
+  Status ParsePrologue() {
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (!cursor_.TryConsumeKeyword("PREFIX")) return Status::OK();
+      cursor_.SkipWhitespaceAndComments();
+      std::string prefix;
+      while (!cursor_.AtEnd() && IsPnChar(cursor_.Peek())) {
+        prefix.push_back(cursor_.Peek());
+        cursor_.Advance();
+      }
+      if (!cursor_.TryConsume(':')) {
+        return cursor_.Error("expected ':' after prefix name");
+      }
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+      prefixes_[prefix] = std::move(iri);
+    }
+  }
+
+  Status ParseProjection(ParsedQuery* query) {
+    cursor_.SkipWhitespaceAndComments();
+    if (cursor_.TryConsume('*')) {
+      query->select_all = true;
+      return Status::OK();
+    }
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.Peek() != '?' && cursor_.Peek() != '$') break;
+      RPS_ASSIGN_OR_RETURN(std::string name, cursor_.ReadVarName());
+      query->projection.push_back(vars_->Intern(name));
+    }
+    if (query->projection.empty()) {
+      return cursor_.Error("SELECT requires '*' or at least one variable");
+    }
+    return Status::OK();
+  }
+
+  // Parses '{' ... '}' where the contents are either a UNION chain of
+  // groups or a basic graph pattern. Returns the UCQ branches.
+  Result<std::vector<GraphPattern>> ParseGroup() {
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume('{')) {
+      return cursor_.Error("expected '{'");
+    }
+    cursor_.SkipWhitespaceAndComments();
+    std::vector<GraphPattern> branches;
+    if (cursor_.Peek() == '{') {
+      // UNION chain of nested groups; nested unions are flattened.
+      while (true) {
+        RPS_ASSIGN_OR_RETURN(std::vector<GraphPattern> inner, ParseGroup());
+        for (GraphPattern& gp : inner) branches.push_back(std::move(gp));
+        cursor_.SkipWhitespaceAndComments();
+        if (cursor_.TryConsumeKeyword("UNION")) {
+          cursor_.SkipWhitespaceAndComments();
+          continue;
+        }
+        break;
+      }
+    } else {
+      RPS_ASSIGN_OR_RETURN(GraphPattern bgp, ParseBgp());
+      branches.push_back(std::move(bgp));
+    }
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume('}')) {
+      return cursor_.Error("expected '}'");
+    }
+    return branches;
+  }
+
+  Result<GraphPattern> ParseBgp() {
+    GraphPattern gp;
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.Peek() == '}' || cursor_.AtEnd()) break;
+      TriplePattern tp;
+      RPS_ASSIGN_OR_RETURN(tp.s, ParsePatternTerm(/*predicate=*/false));
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(tp.p, ParsePatternTerm(/*predicate=*/true));
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(tp.o, ParsePatternTerm(/*predicate=*/false));
+      gp.Add(tp);
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.TryConsume('.')) continue;
+      break;
+    }
+    if (gp.empty()) {
+      return cursor_.Error("empty graph pattern");
+    }
+    return gp;
+  }
+
+  Result<PatternTerm> ParsePatternTerm(bool predicate) {
+    char c = cursor_.Peek();
+    if (c == '?' || c == '$') {
+      RPS_ASSIGN_OR_RETURN(std::string name, cursor_.ReadVarName());
+      return PatternTerm::Var(vars_->Intern(name));
+    }
+    if (c == '<') {
+      RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+      return PatternTerm::Const(dict_->Intern(Term::Iri(std::move(iri))));
+    }
+    if (c == '_') {
+      return cursor_.Error(
+          "blank nodes are not supported in query patterns; use a variable");
+    }
+    if (c == '"') {
+      if (predicate) return cursor_.Error("literal in predicate position");
+      RPS_ASSIGN_OR_RETURN(std::string lexical, cursor_.ReadQuotedString());
+      if (cursor_.Peek() == '@') {
+        RPS_ASSIGN_OR_RETURN(std::string lang, cursor_.ReadLangTag());
+        return PatternTerm::Const(dict_->Intern(
+            Term::LangLiteral(std::move(lexical), std::move(lang))));
+      }
+      if (cursor_.Peek() == '^' && cursor_.PeekAt(1) == '^') {
+        cursor_.Advance();
+        cursor_.Advance();
+        if (cursor_.Peek() == '<') {
+          RPS_ASSIGN_OR_RETURN(std::string dt, cursor_.ReadIriRef());
+          return PatternTerm::Const(dict_->Intern(
+              Term::TypedLiteral(std::move(lexical), std::move(dt))));
+        }
+        RPS_ASSIGN_OR_RETURN(Term dt_term, ParsePrefixedIri());
+        return PatternTerm::Const(dict_->Intern(
+            Term::TypedLiteral(std::move(lexical), dt_term.lexical())));
+      }
+      return PatternTerm::Const(
+          dict_->Intern(Term::Literal(std::move(lexical))));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-') {
+      if (predicate) return cursor_.Error("number in predicate position");
+      std::string token;
+      if (c == '+' || c == '-') {
+        token.push_back(c);
+        cursor_.Advance();
+      }
+      token += cursor_.ReadDigits();
+      bool is_decimal = false;
+      if (cursor_.Peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(cursor_.PeekAt(1)))) {
+        is_decimal = true;
+        token.push_back('.');
+        cursor_.Advance();
+        token += cursor_.ReadDigits();
+      }
+      return PatternTerm::Const(dict_->Intern(Term::TypedLiteral(
+          token, is_decimal ? "http://www.w3.org/2001/XMLSchema#decimal"
+                            : std::string(kXsdInteger))));
+    }
+    if (predicate && c == 'a') {
+      char next = cursor_.PeekAt(1);
+      if (next == ' ' || next == '\t' || next == '\n' || next == '\r') {
+        cursor_.Advance();
+        return PatternTerm::Const(
+            dict_->Intern(Term::Iri(std::string(kRdfType))));
+      }
+    }
+    RPS_ASSIGN_OR_RETURN(Term term, ParsePrefixedIri());
+    return PatternTerm::Const(dict_->Intern(term));
+  }
+
+  Result<Term> ParsePrefixedIri() {
+    RPS_ASSIGN_OR_RETURN(std::string token, cursor_.ReadPrefixedName());
+    size_t colon = token.find(':');
+    std::string prefix = token.substr(0, colon);
+    std::string local = token.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return cursor_.Error("undefined prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  // SELECT *: project the variables of the first branch in order of first
+  // appearance; all branches must bind the same variable set.
+  Status ResolveSelectAll(ParsedQuery* query) {
+    std::vector<VarId> ordered;
+    for (const TriplePattern& tp : query->branches[0].patterns()) {
+      for (VarId v : tp.Vars()) {
+        if (std::find(ordered.begin(), ordered.end(), v) == ordered.end()) {
+          ordered.push_back(v);
+        }
+      }
+    }
+    std::set<VarId> expected(ordered.begin(), ordered.end());
+    for (const GraphPattern& gp : query->branches) {
+      if (gp.Vars() != expected) {
+        return Status::ParseError(
+            "SELECT * requires all UNION branches to bind the same "
+            "variables");
+      }
+    }
+    query->projection = std::move(ordered);
+    return Status::OK();
+  }
+
+  TextCursor cursor_;
+  Dictionary* dict_;
+  VarPool* vars_;
+  std::map<std::string, std::string> prefixes_;
+};
+
+// Compacts an IRI with prefixes, or emits <iri>.
+std::string SparqlIri(const std::string& iri,
+                      const std::map<std::string, std::string>& prefixes) {
+  const std::string* best_ns = nullptr;
+  const std::string* best_prefix = nullptr;
+  for (const auto& [prefix, ns] : prefixes) {
+    if (StartsWith(iri, ns) &&
+        (best_ns == nullptr || ns.size() > best_ns->size())) {
+      best_ns = &ns;
+      best_prefix = &prefix;
+    }
+  }
+  if (best_ns != nullptr) {
+    std::string local = iri.substr(best_ns->size());
+    bool ok = true;
+    for (char c : local) {
+      if (!IsPnChar(c)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return *best_prefix + ":" + local;
+  }
+  return "<" + iri + ">";
+}
+
+std::string PatternTermToSparql(
+    const PatternTerm& pt, const Dictionary& dict, const VarPool& vars,
+    const std::map<std::string, std::string>& prefixes) {
+  if (pt.is_var()) return "?" + vars.name(pt.var());
+  const Term& t = dict.term(pt.term());
+  if (t.is_iri()) return SparqlIri(t.lexical(), prefixes);
+  return t.ToString();
+}
+
+std::string BgpToSparql(const GraphPattern& gp, const Dictionary& dict,
+                        const VarPool& vars,
+                        const std::map<std::string, std::string>& prefixes,
+                        const std::string& indent) {
+  std::string out;
+  for (size_t i = 0; i < gp.patterns().size(); ++i) {
+    const TriplePattern& tp = gp.patterns()[i];
+    out += indent;
+    out += PatternTermToSparql(tp.s, dict, vars, prefixes) + " " +
+           PatternTermToSparql(tp.p, dict, vars, prefixes) + " " +
+           PatternTermToSparql(tp.o, dict, vars, prefixes);
+    out += (i + 1 < gp.patterns().size()) ? " .\n" : "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<GraphPatternQuery>> ParsedQuery::ToQueries() const {
+  std::vector<GraphPatternQuery> out;
+  out.reserve(branches.size());
+  for (const GraphPattern& gp : branches) {
+    GraphPatternQuery q;
+    q.head = projection;
+    q.body = gp;
+    RPS_RETURN_IF_ERROR(q.Validate());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<ParsedQuery> ParseSparql(std::string_view text, Dictionary* dict,
+                                VarPool* vars) {
+  SparqlParser parser(text, dict, vars);
+  return parser.Run();
+}
+
+Result<ParsedExtendedQuery> ParseSparqlExtended(std::string_view text,
+                                                Dictionary* dict,
+                                                VarPool* vars) {
+  SparqlParser parser(text, dict, vars);
+  return parser.RunExtended();
+}
+
+Result<GraphPattern> ParseBgpText(
+    std::string_view text, const std::map<std::string, std::string>& prefixes,
+    Dictionary* dict, VarPool* vars) {
+  SparqlParser parser(text, dict, vars);
+  return parser.RunBareBgp(prefixes);
+}
+
+std::string WriteBgpText(const GraphPattern& gp, const Dictionary& dict,
+                         const VarPool& vars,
+                         const std::map<std::string, std::string>& prefixes) {
+  std::string out;
+  for (size_t i = 0; i < gp.patterns().size(); ++i) {
+    const TriplePattern& tp = gp.patterns()[i];
+    if (i > 0) out += " . ";
+    out += PatternTermToSparql(tp.s, dict, vars, prefixes) + " " +
+           PatternTermToSparql(tp.p, dict, vars, prefixes) + " " +
+           PatternTermToSparql(tp.o, dict, vars, prefixes);
+  }
+  return out;
+}
+
+std::string WriteSparql(const ParsedQuery& query, const Dictionary& dict,
+                        const VarPool& vars,
+                        const std::map<std::string, std::string>& prefixes) {
+  std::string out;
+  for (const auto& [prefix, ns] : prefixes) {
+    out += "PREFIX " + prefix + ": <" + ns + ">\n";
+  }
+  if (query.is_ask) {
+    out += "ASK {\n";
+  } else {
+    out += "SELECT";
+    for (VarId v : query.projection) out += " ?" + vars.name(v);
+    out += "\nWHERE {\n";
+  }
+  if (query.branches.size() == 1) {
+    out += BgpToSparql(query.branches[0], dict, vars, prefixes, "  ");
+  } else {
+    for (size_t i = 0; i < query.branches.size(); ++i) {
+      if (i > 0) out += "  UNION\n";
+      out += "  {\n";
+      out += BgpToSparql(query.branches[i], dict, vars, prefixes, "    ");
+      out += "  }\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+ParsedQuery ToParsedQuery(const GraphPatternQuery& q) {
+  ParsedQuery out;
+  out.is_ask = q.head.empty();
+  out.projection = q.head;
+  out.branches.push_back(q.body);
+  return out;
+}
+
+ParsedQuery ToParsedQuery(const std::vector<GraphPatternQuery>& ucq) {
+  ParsedQuery out;
+  if (ucq.empty()) return out;
+  out.is_ask = ucq[0].head.empty();
+  out.projection = ucq[0].head;
+  for (const GraphPatternQuery& q : ucq) {
+    out.branches.push_back(q.body);
+  }
+  return out;
+}
+
+}  // namespace rps

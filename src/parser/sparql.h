@@ -1,0 +1,94 @@
+#ifndef RPS_PARSER_SPARQL_H_
+#define RPS_PARSER_SPARQL_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/algebra.h"
+#include "query/query.h"
+#include "rdf/dictionary.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// A parsed conjunctive SPARQL query: a union of basic graph patterns with
+/// a single projection list. This is exactly the query language of the
+/// paper (graph pattern queries, §2.1) closed under the UNIONs produced by
+/// query rewriting (§4).
+struct ParsedQuery {
+  /// True for ASK queries (arity 0).
+  bool is_ask = false;
+  /// Head variables in projection order. Empty for ASK.
+  std::vector<VarId> projection;
+  /// True if the query was written `SELECT *` (projection was inferred).
+  bool select_all = false;
+  /// UCQ branches; a plain conjunctive query has exactly one.
+  std::vector<GraphPattern> branches;
+
+  /// One GraphPatternQuery per branch, all sharing the projection.
+  /// Fails if a projected variable is missing from some branch.
+  Result<std::vector<GraphPatternQuery>> ToQueries() const;
+};
+
+/// Parses the conjunctive SPARQL subset:
+///   PREFIX ns: <iri> ...
+///   SELECT (?v... | *) WHERE? { pattern }   |   ASK { pattern }
+/// where pattern is either a basic graph pattern (triple patterns joined
+/// with '.') or a UNION chain of braced groups. Terms may be IRIs,
+/// prefixed names, `a`, literals, numbers, or variables. Variables are
+/// interned into `vars`, terms into `dict`.
+Result<ParsedQuery> ParseSparql(std::string_view text, Dictionary* dict,
+                                VarPool* vars);
+
+/// Serializes a query back to SPARQL text. `prefixes` (prefix → namespace
+/// IRI) compacts IRIs; pass an empty map for fully spelled-out IRIs.
+std::string WriteSparql(const ParsedQuery& query, const Dictionary& dict,
+                        const VarPool& vars,
+                        const std::map<std::string, std::string>& prefixes);
+
+/// An extended parsed query: the conjunctive core plus OPTIONAL blocks
+/// and FILTER conditions (§5 item 2 of the paper — a larger SPARQL
+/// subset). UNION is not combinable with OPTIONAL/FILTER in this parser.
+struct ParsedExtendedQuery {
+  bool is_ask = false;
+  bool select_all = false;
+  /// The algebra query; its head equals the resolved projection.
+  ExtendedQuery query;
+};
+
+/// Parses the extended subset:
+///   SELECT (?v... | *) WHERE? { triples (FILTER(...) | OPTIONAL{...})* }
+/// FILTER supports ?x (=|!=|<|<=|>|>=) (term|?y), BOUND(?x), !BOUND(?x),
+/// isIRI(?x), isLiteral(?x), isBlank(?x). OPTIONAL blocks contain plain
+/// BGPs and are left-joined in order.
+Result<ParsedExtendedQuery> ParseSparqlExtended(std::string_view text,
+                                                Dictionary* dict,
+                                                VarPool* vars);
+
+/// Serializes a bare BGP as SPARQL-style triple patterns on one line
+/// ("?x voc:actor ?y . ?y voc:age ?a"), compacting IRIs with `prefixes`.
+/// Inverse of ParseBgpText.
+std::string WriteBgpText(const GraphPattern& gp, const Dictionary& dict,
+                         const VarPool& vars,
+                         const std::map<std::string, std::string>& prefixes);
+
+/// Parses a bare basic graph pattern ("?x voc:actor ?y . ?y voc:age ?a")
+/// with the given prefix map — the building block the mapping DSL uses to
+/// express the two sides of a graph mapping assertion.
+Result<GraphPattern> ParseBgpText(
+    std::string_view text, const std::map<std::string, std::string>& prefixes,
+    Dictionary* dict, VarPool* vars);
+
+/// Convenience: wraps a single conjunctive query as a ParsedQuery
+/// (SELECT if it has head variables, ASK otherwise).
+ParsedQuery ToParsedQuery(const GraphPatternQuery& q);
+
+/// Convenience: wraps a UCQ (all branches must share the head of the
+/// first).
+ParsedQuery ToParsedQuery(const std::vector<GraphPatternQuery>& ucq);
+
+}  // namespace rps
+
+#endif  // RPS_PARSER_SPARQL_H_

@@ -1,0 +1,396 @@
+#include "parser/turtle.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "parser/cursor.h"
+#include "util/string_util.h"
+
+namespace rps {
+
+namespace {
+
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view text, Graph* graph)
+      : cursor_(text), graph_(graph), dict_(graph->dict()) {}
+
+  Result<size_t> Run() {
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.AtEnd()) break;
+      RPS_RETURN_IF_ERROR(ParseStatement());
+    }
+    return added_;
+  }
+
+ private:
+  Status ParseStatement() {
+    if (cursor_.Peek() == '@') {
+      return ParseAtDirective();
+    }
+    if (cursor_.TryConsumeKeyword("PREFIX")) {
+      return ParsePrefixBody(/*expect_dot=*/false);
+    }
+    if (cursor_.TryConsumeKeyword("BASE")) {
+      return ParseBaseBody(/*expect_dot=*/false);
+    }
+    return ParseTriples();
+  }
+
+  Status ParseAtDirective() {
+    cursor_.Advance();  // '@'
+    if (cursor_.TryConsumeKeyword("prefix")) {
+      return ParsePrefixBody(/*expect_dot=*/true);
+    }
+    if (cursor_.TryConsumeKeyword("base")) {
+      return ParseBaseBody(/*expect_dot=*/true);
+    }
+    return cursor_.Error("unknown @directive");
+  }
+
+  Status ParsePrefixBody(bool expect_dot) {
+    cursor_.SkipWhitespaceAndComments();
+    std::string prefix;
+    while (!cursor_.AtEnd() && IsPnChar(cursor_.Peek())) {
+      prefix.push_back(cursor_.Peek());
+      cursor_.Advance();
+    }
+    if (!cursor_.TryConsume(':')) {
+      return cursor_.Error("expected ':' after prefix name");
+    }
+    cursor_.SkipWhitespaceAndComments();
+    RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+    prefixes_[prefix] = Resolve(iri);
+    if (expect_dot) {
+      cursor_.SkipWhitespaceAndComments();
+      if (!cursor_.TryConsume('.')) {
+        return cursor_.Error("expected '.' after @prefix directive");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseBaseBody(bool expect_dot) {
+    cursor_.SkipWhitespaceAndComments();
+    RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+    base_ = Resolve(iri);
+    if (expect_dot) {
+      cursor_.SkipWhitespaceAndComments();
+      if (!cursor_.TryConsume('.')) {
+        return cursor_.Error("expected '.' after @base directive");
+      }
+    }
+    return Status::OK();
+  }
+
+  // Minimal relative-reference resolution: absolute IRIs (with a scheme)
+  // pass through; anything else is concatenated onto the base.
+  std::string Resolve(const std::string& iri) const {
+    if (iri.find("://") != std::string::npos || base_.empty()) return iri;
+    // Scheme-only check, e.g. "urn:x" or "mailto:a@b".
+    size_t colon = iri.find(':');
+    size_t slash = iri.find('/');
+    if (colon != std::string::npos &&
+        (slash == std::string::npos || colon < slash)) {
+      return iri;
+    }
+    return base_ + iri;
+  }
+
+  Status ParseTriples() {
+    bool bracketed_subject = cursor_.Peek() == '[';
+    RPS_ASSIGN_OR_RETURN(Term subject, ParseSubject());
+    TermId s = dict_->Intern(subject);
+    cursor_.SkipWhitespaceAndComments();
+    // `[ p o ] .` is a complete statement on its own.
+    if (!(bracketed_subject && cursor_.Peek() == '.')) {
+      RPS_RETURN_IF_ERROR(ParsePredicateObjectList(s));
+    }
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume('.')) {
+      return cursor_.Error("expected '.' at end of statement");
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicateObjectList(TermId s) {
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      RPS_ASSIGN_OR_RETURN(Term predicate, ParsePredicate());
+      TermId p = dict_->Intern(predicate);
+      while (true) {
+        cursor_.SkipWhitespaceAndComments();
+        RPS_ASSIGN_OR_RETURN(Term object, ParseObject());
+        TermId o = dict_->Intern(object);
+        RPS_ASSIGN_OR_RETURN(bool fresh, graph_->Insert(Triple{s, p, o}));
+        if (fresh) ++added_;
+        cursor_.SkipWhitespaceAndComments();
+        if (cursor_.TryConsume(',')) continue;
+        break;
+      }
+      if (cursor_.TryConsume(';')) {
+        cursor_.SkipWhitespaceAndComments();
+        // Turtle allows a dangling ';' before '.' / ']'.
+        if (cursor_.Peek() == '.' || cursor_.Peek() == ']') break;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<Term> ParseSubject() {
+    char c = cursor_.Peek();
+    if (c == '<') {
+      RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+      return Term::Iri(Resolve(iri));
+    }
+    if (c == '_') {
+      RPS_ASSIGN_OR_RETURN(std::string label, cursor_.ReadBlankLabel());
+      return Term::Blank(std::move(label));
+    }
+    if (c == '[') {
+      return ParseAnonBlank();
+    }
+    if (c == '(') {
+      return ParseCollection();
+    }
+    return ParsePrefixedTerm();
+  }
+
+  Result<Term> ParsePredicate() {
+    if (cursor_.Peek() == '<') {
+      RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+      return Term::Iri(Resolve(iri));
+    }
+    // The `a` keyword.
+    if (cursor_.Peek() == 'a') {
+      char next = cursor_.PeekAt(1);
+      if (next == ' ' || next == '\t' || next == '\n' || next == '\r') {
+        cursor_.Advance();
+        return Term::Iri(std::string(kRdfType));
+      }
+    }
+    return ParsePrefixedTerm();
+  }
+
+  Result<Term> ParseObject() {
+    char c = cursor_.Peek();
+    if (c == '<') {
+      RPS_ASSIGN_OR_RETURN(std::string iri, cursor_.ReadIriRef());
+      return Term::Iri(Resolve(iri));
+    }
+    if (c == '_') {
+      RPS_ASSIGN_OR_RETURN(std::string label, cursor_.ReadBlankLabel());
+      return Term::Blank(std::move(label));
+    }
+    if (c == '[') {
+      return ParseAnonBlank();
+    }
+    if (c == '(') {
+      return ParseCollection();
+    }
+    if (c == '"') {
+      return ParseLiteral();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-') {
+      return ParseNumber();
+    }
+    if (cursor_.TryConsumeKeyword("true")) {
+      return Term::TypedLiteral("true",
+                                "http://www.w3.org/2001/XMLSchema#boolean");
+    }
+    if (cursor_.TryConsumeKeyword("false")) {
+      return Term::TypedLiteral("false",
+                                "http://www.w3.org/2001/XMLSchema#boolean");
+    }
+    return ParsePrefixedTerm();
+  }
+
+  // `[]` (a fresh blank node) or `[ p o ; ... ]` (a blank node property
+  // list — the inner triples are emitted with the fresh blank as subject).
+  Result<Term> ParseAnonBlank() {
+    cursor_.Advance();  // '['
+    cursor_.SkipWhitespaceAndComments();
+    TermId blank = dict_->NewBlank();
+    if (cursor_.TryConsume(']')) {
+      return dict_->term(blank);
+    }
+    RPS_RETURN_IF_ERROR(ParsePredicateObjectList(blank));
+    cursor_.SkipWhitespaceAndComments();
+    if (!cursor_.TryConsume(']')) {
+      return cursor_.Error("expected ']' closing a blank node property list");
+    }
+    return dict_->term(blank);
+  }
+
+  // `( e1 e2 ... )` — an RDF collection, expanded into the standard
+  // rdf:first / rdf:rest / rdf:nil list structure. Returns the list head
+  // (rdf:nil for the empty collection).
+  Result<Term> ParseCollection() {
+    cursor_.Advance();  // '('
+    const std::string rdf_ns =
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    TermId first = dict_->InternIri(rdf_ns + "first");
+    TermId rest = dict_->InternIri(rdf_ns + "rest");
+    TermId nil = dict_->InternIri(rdf_ns + "nil");
+
+    std::vector<TermId> elements;
+    while (true) {
+      cursor_.SkipWhitespaceAndComments();
+      if (cursor_.TryConsume(')')) break;
+      if (cursor_.AtEnd()) return cursor_.Error("unterminated collection");
+      RPS_ASSIGN_OR_RETURN(Term element, ParseObject());
+      elements.push_back(dict_->Intern(element));
+    }
+    if (elements.empty()) return dict_->term(nil);
+
+    TermId head = dict_->NewBlank();
+    TermId node = head;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      RPS_ASSIGN_OR_RETURN(bool fresh,
+                           graph_->Insert(Triple{node, first, elements[i]}));
+      if (fresh) ++added_;
+      TermId next = (i + 1 < elements.size()) ? dict_->NewBlank() : nil;
+      RPS_ASSIGN_OR_RETURN(bool fresh2,
+                           graph_->Insert(Triple{node, rest, next}));
+      if (fresh2) ++added_;
+      node = next;
+    }
+    return dict_->term(head);
+  }
+
+  Result<Term> ParseLiteral() {
+    RPS_ASSIGN_OR_RETURN(std::string lexical, cursor_.ReadQuotedString());
+    if (cursor_.Peek() == '@') {
+      RPS_ASSIGN_OR_RETURN(std::string lang, cursor_.ReadLangTag());
+      return Term::LangLiteral(std::move(lexical), std::move(lang));
+    }
+    if (cursor_.Peek() == '^' && cursor_.PeekAt(1) == '^') {
+      cursor_.Advance();
+      cursor_.Advance();
+      if (cursor_.Peek() == '<') {
+        RPS_ASSIGN_OR_RETURN(std::string datatype, cursor_.ReadIriRef());
+        return Term::TypedLiteral(std::move(lexical), Resolve(datatype));
+      }
+      RPS_ASSIGN_OR_RETURN(Term dt, ParsePrefixedTerm());
+      return Term::TypedLiteral(std::move(lexical), dt.lexical());
+    }
+    return Term::Literal(std::move(lexical));
+  }
+
+  Result<Term> ParseNumber() {
+    std::string token;
+    if (cursor_.Peek() == '+' || cursor_.Peek() == '-') {
+      token.push_back(cursor_.Peek());
+      cursor_.Advance();
+    }
+    token += cursor_.ReadDigits();
+    bool is_decimal = false;
+    if (cursor_.Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(cursor_.PeekAt(1)))) {
+      is_decimal = true;
+      token.push_back('.');
+      cursor_.Advance();
+      token += cursor_.ReadDigits();
+    }
+    if (token.empty() || token == "+" || token == "-") {
+      return cursor_.Error("malformed number");
+    }
+    return Term::TypedLiteral(
+        token, is_decimal ? "http://www.w3.org/2001/XMLSchema#decimal"
+                          : std::string(kXsdInteger));
+  }
+
+  Result<Term> ParsePrefixedTerm() {
+    RPS_ASSIGN_OR_RETURN(std::string token, cursor_.ReadPrefixedName());
+    size_t colon = token.find(':');
+    std::string prefix = token.substr(0, colon);
+    std::string local = token.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return cursor_.Error("undefined prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  TextCursor cursor_;
+  Graph* graph_;
+  Dictionary* dict_;
+  std::map<std::string, std::string> prefixes_;
+  std::string base_;
+  size_t added_ = 0;
+};
+
+// Compacts `iri` using the longest matching namespace, or falls back to
+// `<iri>`.
+std::string CompactIri(const std::string& iri,
+                       const std::map<std::string, std::string>& prefixes) {
+  const std::string* best_ns = nullptr;
+  const std::string* best_prefix = nullptr;
+  for (const auto& [prefix, ns] : prefixes) {
+    if (StartsWith(iri, ns) && (best_ns == nullptr || ns.size() > best_ns->size())) {
+      best_ns = &ns;
+      best_prefix = &prefix;
+    }
+  }
+  if (best_ns != nullptr) {
+    std::string local = iri.substr(best_ns->size());
+    // Local part must be a plain name for the compact form to reparse.
+    bool ok = !local.empty();
+    for (char c : local) {
+      if (!IsPnChar(c)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return *best_prefix + ":" + local;
+  }
+  return "<" + iri + ">";
+}
+
+std::string TermToTurtle(const Term& t,
+                         const std::map<std::string, std::string>& prefixes) {
+  if (t.is_iri()) return CompactIri(t.lexical(), prefixes);
+  return t.ToString();
+}
+
+}  // namespace
+
+Result<size_t> ParseTurtle(std::string_view text, Graph* graph) {
+  TurtleParser parser(text, graph);
+  return parser.Run();
+}
+
+std::string WriteTurtle(const Graph& graph,
+                        const std::map<std::string, std::string>& prefixes) {
+  const Dictionary& dict = *graph.dict();
+  std::string out;
+  for (const auto& [prefix, ns] : prefixes) {
+    out += "@prefix " + prefix + ": <" + ns + "> .\n";
+  }
+  if (!prefixes.empty()) out += "\n";
+
+  // Group triples by subject, deterministically.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      by_subject;
+  for (const Triple& t : graph.triples()) {
+    by_subject[TermToTurtle(dict.term(t.s), prefixes)].push_back(
+        {TermToTurtle(dict.term(t.p), prefixes),
+         TermToTurtle(dict.term(t.o), prefixes)});
+  }
+  for (auto& [subject, pos] : by_subject) {
+    std::sort(pos.begin(), pos.end());
+    out += subject;
+    for (size_t i = 0; i < pos.size(); ++i) {
+      out += (i == 0 ? " " : " ;\n    ");
+      out += pos[i].first + " " + pos[i].second;
+    }
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace rps

@@ -1,0 +1,35 @@
+#ifndef RPS_PARSER_TURTLE_H_
+#define RPS_PARSER_TURTLE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// Parses a Turtle document into `graph`, interning terms in the graph's
+/// dictionary. Supported subset (sufficient for Linked-Data-style inputs):
+///  * `@prefix` / `@base` directives and their SPARQL-style `PREFIX`/`BASE`
+///    forms;
+///  * prefixed names, the `a` keyword, IRIREFs (resolved against the base
+///    IRI when relative);
+///  * predicate-object lists (`;`) and object lists (`,`);
+///  * blank node labels `_:x` and anonymous nodes `[]` (no property lists
+///    inside brackets);
+///  * literals: quoted strings with optional language tag or `^^` datatype,
+///    bare integers, decimals, and booleans.
+/// Returns the number of distinct triples added.
+Result<size_t> ParseTurtle(std::string_view text, Graph* graph);
+
+/// Serializes `graph` as Turtle, using `prefixes` (prefix → namespace IRI)
+/// to compact IRIs. Triples are grouped by subject with `;` separators and
+/// emitted in deterministic order.
+std::string WriteTurtle(const Graph& graph,
+                        const std::map<std::string, std::string>& prefixes);
+
+}  // namespace rps
+
+#endif  // RPS_PARSER_TURTLE_H_

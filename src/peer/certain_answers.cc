@@ -1,0 +1,92 @@
+#include "peer/certain_answers.h"
+
+#include <algorithm>
+
+namespace rps {
+
+Result<CertainAnswerResult> CertainAnswers(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const CertainAnswerOptions& options) {
+  RPS_RETURN_IF_ERROR(query.Validate());
+  CertainAnswerResult result;
+
+  if (options.equivalence_mode == EquivalenceMode::kChase) {
+    Graph universal(system.dict());
+    RPS_ASSIGN_OR_RETURN(result.chase_stats,
+                         BuildUniversalSolution(system, &universal,
+                                                options.chase));
+    result.universal_solution_size = universal.size();
+    result.answers =
+        EvalQuery(universal, query, QuerySemantics::kDropBlanks,
+                  options.chase.eval);
+    SortTuples(&result.answers);
+    return result;
+  }
+
+  // kUnionFind: canonicalize data, mappings and query; chase the graph
+  // mapping assertions only; expand answers over the cliques.
+  EquivalenceClosure closure(system.equivalences(), *system.dict());
+
+  Graph canonical(system.dict());
+  Graph stored = system.StoredDatabase();
+  for (const Triple& t : stored.triples()) {
+    canonical.InsertUnchecked(Triple{closure.Canon(t.s), closure.Canon(t.p),
+                                     closure.Canon(t.o)});
+  }
+
+  std::vector<GraphMappingAssertion> canonical_gmas;
+  canonical_gmas.reserve(system.graph_mappings().size());
+  for (const GraphMappingAssertion& gma : system.graph_mappings()) {
+    canonical_gmas.push_back(closure.CanonicalizeMapping(gma));
+  }
+
+  RPS_ASSIGN_OR_RETURN(
+      result.chase_stats,
+      ChaseGraph(&canonical, canonical_gmas, /*equivalences=*/{},
+                 options.chase));
+  result.universal_solution_size = canonical.size();
+
+  GraphPatternQuery canonical_query = closure.CanonicalizeQuery(query);
+  std::vector<Tuple> canonical_answers =
+      EvalQuery(canonical, canonical_query, QuerySemantics::kDropBlanks,
+                options.chase.eval);
+
+  if (options.expand_equivalent_answers) {
+    result.answers = closure.ExpandTuples(canonical_answers);
+  } else {
+    result.answers = std::move(canonical_answers);
+    SortTuples(&result.answers);
+  }
+  return result;
+}
+
+
+Result<ExtendedAnswerResult> ExtendedCertainAnswers(
+    const RpsSystem& system, const ExtendedQuery& query,
+    const CertainAnswerOptions& options) {
+  ExtendedAnswerResult result;
+  Graph universal(system.dict());
+  RPS_ASSIGN_OR_RETURN(
+      result.chase_stats,
+      BuildUniversalSolution(system, &universal, options.chase));
+  result.universal_solution_size = universal.size();
+  result.answers = EvalExtendedQuery(universal, query,
+                                     QuerySemantics::kDropBlanks,
+                                     options.chase.eval);
+  return result;
+}
+
+std::string FormatAnswers(const std::vector<Tuple>& answers,
+                          const Dictionary& dict) {
+  std::string out;
+  for (const Tuple& tuple : answers) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out += "\t";
+      out += dict.ToString(tuple[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rps

@@ -1,0 +1,78 @@
+#ifndef RPS_PEER_CERTAIN_ANSWERS_H_
+#define RPS_PEER_CERTAIN_ANSWERS_H_
+
+#include <vector>
+
+#include "chase/rps_chase.h"
+#include "peer/equivalence.h"
+#include "peer/rps_system.h"
+#include "query/algebra.h"
+#include "query/eval.h"
+
+namespace rps {
+
+/// How the certain-answer engine handles equivalence mappings.
+enum class EquivalenceMode {
+  /// Naive Algorithm 1: the six copying rules per mapping are chased into
+  /// the universal solution. Faithful to the paper; the solution grows by
+  /// a factor of the clique size per position.
+  kChase,
+  /// Optimized: terms are canonicalized by their equivalence clique before
+  /// the chase (one representative per clique), only the graph mapping
+  /// assertions are chased, and answers are expanded back over the
+  /// cliques. Produces the same certain answers (ablation E10).
+  kUnionFind,
+};
+
+/// Options for CertainAnswers.
+struct CertainAnswerOptions {
+  EquivalenceMode equivalence_mode = EquivalenceMode::kChase;
+  /// In kUnionFind mode: expand each answer position over its clique
+  /// (matching the redundant answer set of the naive chase, e.g.
+  /// Listing 1 "with redundancy"). When false, answers use canonical
+  /// representatives only (Listing 1 "without redundancy").
+  bool expand_equivalent_answers = true;
+  RpsChaseOptions chase;
+};
+
+/// Output of CertainAnswers.
+struct CertainAnswerResult {
+  /// Certain answers, sorted lexicographically by TermId for determinism.
+  std::vector<Tuple> answers;
+  /// Statistics of the chase that built the universal solution.
+  RpsChaseStats chase_stats;
+  /// Triples in the (possibly canonicalized) universal solution.
+  size_t universal_solution_size = 0;
+};
+
+/// Computes ans(q, P, D) (Definition 3) by Algorithm 1: materializes a
+/// universal solution and evaluates `q` over it under the blank-dropping
+/// semantics. PTIME in the size of the stored database (Theorem 1).
+Result<CertainAnswerResult> CertainAnswers(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const CertainAnswerOptions& options = CertainAnswerOptions());
+
+/// Renders answers as tab-separated lines using the dictionary.
+std::string FormatAnswers(const std::vector<Tuple>& answers,
+                          const Dictionary& dict);
+
+/// Answers of an extended (OPTIONAL/FILTER) query over the universal
+/// solution.
+struct ExtendedAnswerResult {
+  std::vector<PartialTuple> answers;
+  RpsChaseStats chase_stats;
+  size_t universal_solution_size = 0;
+};
+
+/// Evaluates an extended query over the materialized universal solution
+/// (naive Algorithm 1 chase). The conjunctive core yields certain
+/// answers; OPTIONAL parts and !BOUND filters are evaluated under the
+/// universal solution's completion (non-monotone constructs fall outside
+/// the paper's certain-answer development — §5 item 2 future work).
+Result<ExtendedAnswerResult> ExtendedCertainAnswers(
+    const RpsSystem& system, const ExtendedQuery& query,
+    const CertainAnswerOptions& options = CertainAnswerOptions());
+
+}  // namespace rps
+
+#endif  // RPS_PEER_CERTAIN_ANSWERS_H_

@@ -1,0 +1,124 @@
+#include "peer/equivalence.h"
+
+#include <algorithm>
+
+#include "util/union_find.h"
+
+namespace rps {
+
+EquivalenceClosure::EquivalenceClosure(
+    const std::vector<EquivalenceMapping>& mappings, const Dictionary& dict) {
+  UnionFind uf;
+  for (const EquivalenceMapping& eq : mappings) {
+    uf.Union(eq.left, eq.right);
+  }
+
+  // Group members by union-find root.
+  std::unordered_map<TermId, std::vector<TermId>> groups;
+  for (const EquivalenceMapping& eq : mappings) {
+    groups[uf.Find(eq.left)];  // ensure the group exists
+  }
+  // Collect every term mentioned in some mapping into its group.
+  std::unordered_map<TermId, bool> seen;
+  for (const EquivalenceMapping& eq : mappings) {
+    for (TermId id : {eq.left, eq.right}) {
+      if (seen[id]) continue;
+      seen[id] = true;
+      groups[uf.Find(id)].push_back(id);
+    }
+  }
+
+  for (auto& [root, members] : groups) {
+    if (members.size() < 2) continue;
+    // Canonical representative: lexicographically smallest term.
+    std::sort(members.begin(), members.end(), [&](TermId a, TermId b) {
+      return dict.term(a) < dict.term(b);
+    });
+    TermId canon = members.front();
+    for (TermId member : members) {
+      canon_[member] = canon;
+    }
+    cliques_[canon] = members;
+  }
+}
+
+TermId EquivalenceClosure::Canon(TermId id) const {
+  auto it = canon_.find(id);
+  if (it == canon_.end()) return id;
+  return it->second;
+}
+
+std::vector<TermId> EquivalenceClosure::Clique(TermId id) const {
+  auto it = cliques_.find(Canon(id));
+  if (it == cliques_.end()) return {id};
+  return it->second;
+}
+
+size_t EquivalenceClosure::LargestClique() const {
+  size_t largest = 1;
+  for (const auto& [canon, members] : cliques_) {
+    largest = std::max(largest, members.size());
+  }
+  return largest;
+}
+
+Graph EquivalenceClosure::CanonicalizeGraph(const Graph& graph) const {
+  Graph out(graph.dict());
+  for (const Triple& t : graph.triples()) {
+    out.InsertUnchecked(Triple{Canon(t.s), Canon(t.p), Canon(t.o)});
+  }
+  return out;
+}
+
+GraphPatternQuery EquivalenceClosure::CanonicalizeQuery(
+    const GraphPatternQuery& q) const {
+  auto canon_term = [&](const PatternTerm& pt) {
+    if (pt.is_var()) return pt;
+    return PatternTerm::Const(Canon(pt.term()));
+  };
+  GraphPatternQuery out;
+  out.head = q.head;
+  for (const TriplePattern& tp : q.body.patterns()) {
+    out.body.Add(TriplePattern{canon_term(tp.s), canon_term(tp.p),
+                               canon_term(tp.o)});
+  }
+  return out;
+}
+
+GraphMappingAssertion EquivalenceClosure::CanonicalizeMapping(
+    const GraphMappingAssertion& gma) const {
+  GraphMappingAssertion out;
+  out.label = gma.label;
+  out.from = CanonicalizeQuery(gma.from);
+  out.to = CanonicalizeQuery(gma.to);
+  return out;
+}
+
+std::vector<Tuple> EquivalenceClosure::ExpandTuples(
+    const std::vector<Tuple>& tuples) const {
+  std::vector<Tuple> out;
+  for (const Tuple& tuple : tuples) {
+    // Cartesian product of the cliques of each position.
+    std::vector<std::vector<TermId>> options;
+    options.reserve(tuple.size());
+    size_t combinations = 1;
+    for (TermId id : tuple) {
+      options.push_back(Clique(id));
+      combinations *= options.back().size();
+    }
+    Tuple current(tuple.size());
+    for (size_t k = 0; k < combinations; ++k) {
+      size_t rest = k;
+      for (size_t i = 0; i < options.size(); ++i) {
+        current[i] = options[i][rest % options[i].size()];
+        rest /= options[i].size();
+      }
+      out.push_back(current);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace rps

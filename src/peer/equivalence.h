@@ -1,0 +1,65 @@
+#ifndef RPS_PEER_EQUIVALENCE_H_
+#define RPS_PEER_EQUIVALENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "peer/mapping.h"
+#include "query/eval.h"
+#include "rdf/graph.h"
+
+namespace rps {
+
+/// The reflexive-symmetric-transitive closure of a set of equivalence
+/// mappings, with one canonical representative per clique (the term with
+/// the lexicographically smallest rendering, so output is deterministic
+/// and matches the paper's "result without redundancy" in Listing 1).
+///
+/// This is the optimized alternative to chasing the six tt-copying TGDs
+/// per equivalence mapping (DESIGN.md §5, ablation E10): canonicalize the
+/// data and queries upfront, chase only the graph mapping assertions, and
+/// expand answers back over the cliques on demand.
+class EquivalenceClosure {
+ public:
+  EquivalenceClosure(const std::vector<EquivalenceMapping>& mappings,
+                     const Dictionary& dict);
+
+  /// Canonical representative of `id` (identity for terms that are in no
+  /// clique).
+  TermId Canon(TermId id) const;
+
+  /// True if `id` is its own representative.
+  bool IsCanonical(TermId id) const { return Canon(id) == id; }
+
+  /// All members of `id`'s clique, sorted by term rendering; `{id}` if the
+  /// term participates in no equivalence.
+  std::vector<TermId> Clique(TermId id) const;
+
+  /// Number of non-trivial cliques (size ≥ 2).
+  size_t CliqueCount() const { return cliques_.size(); }
+
+  /// Size of the largest clique (1 if there are none).
+  size_t LargestClique() const;
+
+  /// Rewrites every term of `graph` to its canonical representative.
+  Graph CanonicalizeGraph(const Graph& graph) const;
+
+  /// Rewrites the constant terms of a query / mapping to canonical form.
+  GraphPatternQuery CanonicalizeQuery(const GraphPatternQuery& q) const;
+  GraphMappingAssertion CanonicalizeMapping(
+      const GraphMappingAssertion& gma) const;
+
+  /// Expands canonical answer tuples to all combinations of clique
+  /// members per position — reconstructing the redundant answer set the
+  /// full chase would produce (Listing 1 "with redundancy").
+  std::vector<Tuple> ExpandTuples(const std::vector<Tuple>& tuples) const;
+
+ private:
+  std::unordered_map<TermId, TermId> canon_;
+  // canonical representative -> sorted members (only cliques of size ≥ 2)
+  std::unordered_map<TermId, std::vector<TermId>> cliques_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_PEER_EQUIVALENCE_H_

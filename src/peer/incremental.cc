@@ -1,0 +1,88 @@
+#include "peer/incremental.h"
+
+namespace rps {
+
+IncrementalUniversalSolution::IncrementalUniversalSolution(
+    RpsSystem* system, RpsChaseOptions options)
+    : system_(system), options_(options), universal_(system->dict()) {}
+
+Result<RpsChaseStats> IncrementalUniversalSolution::Initialize() {
+  if (initialized_) {
+    return Status::FailedPrecondition("already initialized");
+  }
+  RPS_ASSIGN_OR_RETURN(RpsChaseStats stats,
+                       BuildUniversalSolution(*system_, &universal_,
+                                              options_));
+  initialized_ = true;
+  return stats;
+}
+
+Result<RpsChaseStats> IncrementalUniversalSolution::Reclose() {
+  RPS_ASSIGN_OR_RETURN(
+      RpsChaseStats stats,
+      ChaseGraph(&universal_, system_->graph_mappings(),
+                 system_->equivalences(), options_));
+  ++update_count_;
+  return stats;
+}
+
+Result<RpsChaseStats> IncrementalUniversalSolution::AddTriple(
+    const std::string& peer_name, const Triple& triple) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  Graph* peer = system_->dataset().Find(peer_name);
+  if (peer == nullptr) {
+    return Status::NotFound("unknown peer: " + peer_name);
+  }
+  RPS_ASSIGN_OR_RETURN(bool fresh, peer->Insert(triple));
+  if (!fresh) {
+    RpsChaseStats noop;
+    noop.completed = true;
+    return noop;  // already stored; J unchanged
+  }
+  bool new_in_j = universal_.InsertUnchecked(triple);
+  if (!new_in_j) {
+    // J had already derived this triple; it is closed under it.
+    RpsChaseStats noop;
+    noop.completed = true;
+    ++update_count_;
+    return noop;
+  }
+  // Semi-naive propagation: only consequences of the new triple.
+  RPS_ASSIGN_OR_RETURN(
+      RpsChaseStats stats,
+      ChaseGraphDelta(&universal_, {triple}, system_->graph_mappings(),
+                      system_->equivalences(), options_));
+  ++update_count_;
+  return stats;
+}
+
+Result<RpsChaseStats> IncrementalUniversalSolution::AddGraphMapping(
+    GraphMappingAssertion assertion) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  RPS_RETURN_IF_ERROR(system_->AddGraphMapping(std::move(assertion)));
+  return Reclose();
+}
+
+Result<RpsChaseStats> IncrementalUniversalSolution::AddEquivalence(
+    TermId left, TermId right) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  RPS_RETURN_IF_ERROR(system_->AddEquivalence(left, right));
+  return Reclose();
+}
+
+std::vector<Tuple> IncrementalUniversalSolution::Answer(
+    const GraphPatternQuery& query) const {
+  std::vector<Tuple> answers =
+      EvalQuery(universal_, query, QuerySemantics::kDropBlanks,
+                options_.eval);
+  SortTuples(&answers);
+  return answers;
+}
+
+}  // namespace rps

@@ -1,0 +1,66 @@
+#ifndef RPS_PEER_INCREMENTAL_H_
+#define RPS_PEER_INCREMENTAL_H_
+
+#include <string>
+
+#include "chase/rps_chase.h"
+#include "peer/certain_answers.h"
+
+namespace rps {
+
+/// An incrementally maintained universal solution — §5 item 1 of the
+/// paper: "mappings may be subject to change and we might need to compute
+/// the information inferred from the TGDs dynamically".
+///
+/// The restricted chase is monotone and idempotent on a closed instance:
+/// once J is a universal solution, inserting new stored triples (or
+/// registering new mappings) and re-running the chase fires only the
+/// triggers the new information enables — everything else is already
+/// satisfied. This class owns a chased J and exposes update operations
+/// that propagate deltas instead of rebuilding from scratch.
+///
+/// The wrapped system is mutated in place (stored triples are appended to
+/// the peer graphs; mappings to the mapping lists) so that J stays the
+/// universal solution *of the system*.
+class IncrementalUniversalSolution {
+ public:
+  /// Does not take ownership; `system` must outlive this object.
+  explicit IncrementalUniversalSolution(
+      RpsSystem* system, RpsChaseOptions options = RpsChaseOptions());
+
+  /// Runs the initial full chase. Must be called once before updates.
+  Result<RpsChaseStats> Initialize();
+
+  /// Inserts a stored triple into `peer_name`'s graph and propagates its
+  /// consequences into J. Returns the statistics of the delta chase.
+  Result<RpsChaseStats> AddTriple(const std::string& peer_name,
+                                  const Triple& triple);
+
+  /// Registers a new graph mapping assertion and closes J under it.
+  Result<RpsChaseStats> AddGraphMapping(GraphMappingAssertion assertion);
+
+  /// Registers a new equivalence mapping and closes J under it.
+  Result<RpsChaseStats> AddEquivalence(TermId left, TermId right);
+
+  /// The maintained universal solution.
+  const Graph& universal() const { return universal_; }
+
+  /// Certain answers over the maintained J (no re-chase).
+  std::vector<Tuple> Answer(const GraphPatternQuery& query) const;
+
+  /// Cumulative number of delta-chase runs (for experiment reporting).
+  size_t update_count() const { return update_count_; }
+
+ private:
+  Result<RpsChaseStats> Reclose();
+
+  RpsSystem* system_;
+  RpsChaseOptions options_;
+  Graph universal_;
+  bool initialized_ = false;
+  size_t update_count_ = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_PEER_INCREMENTAL_H_

@@ -1,0 +1,18 @@
+#include "peer/mapping.h"
+
+namespace rps {
+
+Status GraphMappingAssertion::Validate() const {
+  if (from.arity() != to.arity()) {
+    return Status::InvalidArgument(
+        "graph mapping assertion '" + label +
+        "': Q and Q' must have the same arity (got " +
+        std::to_string(from.arity()) + " and " + std::to_string(to.arity()) +
+        ")");
+  }
+  RPS_RETURN_IF_ERROR(from.Validate());
+  RPS_RETURN_IF_ERROR(to.Validate());
+  return Status::OK();
+}
+
+}  // namespace rps

@@ -1,0 +1,43 @@
+#ifndef RPS_PEER_MAPPING_H_
+#define RPS_PEER_MAPPING_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "rdf/dictionary.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// A graph mapping assertion Q ⇝ Q' (§2.2): two graph pattern queries of
+/// equal arity over the schemas of two (not necessarily distinct) peers.
+/// Semantics (Definition 2, item 2): in every solution I, Q_I ⊆ Q'_I.
+struct GraphMappingAssertion {
+  /// Diagnostic name ("films:Q2->Q1").
+  std::string label;
+  /// The source query Q.
+  GraphPatternQuery from;
+  /// The target query Q'.
+  GraphPatternQuery to;
+
+  /// Checks equal arity and head-variable validity on both sides.
+  Status Validate() const;
+};
+
+/// An equivalence mapping c ≡ₑ c' (§2.2) between two schema constants.
+/// Semantics (Definition 2, item 3): in every solution, c and c' have
+/// identical subject / predicate / object neighbourhoods under the
+/// blank-node-preserving semantics Q*.
+struct EquivalenceMapping {
+  TermId left = kInvalidTermId;
+  TermId right = kInvalidTermId;
+
+  friend bool operator==(const EquivalenceMapping& a,
+                         const EquivalenceMapping& b) {
+    return a.left == b.left && a.right == b.right;
+  }
+};
+
+}  // namespace rps
+
+#endif  // RPS_PEER_MAPPING_H_

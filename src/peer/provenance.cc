@@ -1,0 +1,112 @@
+#include "peer/provenance.h"
+
+#include <unordered_set>
+
+namespace rps {
+
+namespace {
+
+std::string TripleText(const Triple& t, const Dictionary& dict) {
+  return dict.ToString(t.s) + " " + dict.ToString(t.p) + " " +
+         dict.ToString(t.o);
+}
+
+void RenderRec(const Triple& t, const ProvenanceMap& provenance,
+               const Dictionary& dict, int depth,
+               std::unordered_set<Triple, TripleHash>* seen,
+               std::string* out) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  *out += indent + TripleText(t, dict);
+
+  if (!seen->insert(t).second) {
+    *out += "   (seen above)\n";
+    return;
+  }
+  auto it = provenance.find(t);
+  if (it == provenance.end()) {
+    *out += "   [no derivation recorded]\n";
+    return;
+  }
+  const TripleDerivation& d = it->second;
+  switch (d.kind) {
+    case TripleDerivation::Kind::kStored:
+      *out += "   [stored by " + d.source + "]\n";
+      return;
+    case TripleDerivation::Kind::kGma:
+      *out += "   [mapping " + d.source + "]\n";
+      break;
+    case TripleDerivation::Kind::kEquivalence:
+      *out += "   [equivalence " + d.source + "]\n";
+      break;
+  }
+  for (const Triple& premise : d.premises) {
+    RenderRec(premise, provenance, dict, depth + 1, seen, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderDerivation(const Triple& triple,
+                             const ProvenanceMap& provenance,
+                             const Dictionary& dict) {
+  std::string out;
+  std::unordered_set<Triple, TripleHash> seen;
+  RenderRec(triple, provenance, dict, 0, &seen, &out);
+  return out;
+}
+
+Result<Explanation> ExplainAnswer(const RpsSystem& system,
+                                  const GraphPatternQuery& query,
+                                  const Tuple& tuple,
+                                  const RpsChaseOptions& chase_options) {
+  RPS_RETURN_IF_ERROR(query.Validate());
+  if (tuple.size() != query.arity()) {
+    return Status::InvalidArgument("tuple arity does not match the query");
+  }
+
+  ProvenanceMap provenance;
+  RpsChaseOptions options = chase_options;
+  options.provenance = &provenance;
+
+  Graph universal(system.dict());
+  RPS_RETURN_IF_ERROR(
+      BuildUniversalSolution(system, &universal, options).status());
+
+  // Locate a witness: bind the head to the tuple and match the body
+  // (existential variables may bind blanks).
+  GraphPatternQuery bound = BindHead(query, tuple);
+  BindingSet witnesses =
+      EvalGraphPattern(universal, bound.body, options.eval);
+  if (witnesses.empty()) {
+    return Status::NotFound(
+        "the tuple is not a certain answer of the query");
+  }
+  const Binding& witness = witnesses.front();
+
+  Explanation explanation;
+  explanation.tuple = tuple;
+  const Dictionary& dict = *system.dict();
+
+  // Instantiate the bound body under the witness.
+  for (const TriplePattern& tp : bound.body.patterns()) {
+    auto resolve = [&](const PatternTerm& pt) -> TermId {
+      if (pt.is_const()) return pt.term();
+      return witness.Get(pt.var()).value_or(kInvalidTermId);
+    };
+    explanation.witness.push_back(
+        Triple{resolve(tp.s), resolve(tp.p), resolve(tp.o)});
+  }
+
+  explanation.text = "answer (";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) explanation.text += ", ";
+    explanation.text += dict.ToString(tuple[i]);
+  }
+  explanation.text += ") is certain because:\n";
+  for (const Triple& t : explanation.witness) {
+    explanation.text += RenderDerivation(t, provenance, dict);
+  }
+  return explanation;
+}
+
+}  // namespace rps

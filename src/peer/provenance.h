@@ -1,0 +1,45 @@
+#ifndef RPS_PEER_PROVENANCE_H_
+#define RPS_PEER_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/rps_chase.h"
+#include "peer/rps_system.h"
+#include "query/eval.h"
+
+namespace rps {
+
+/// An explanation of why a tuple is a certain answer: the witness body
+/// instantiation in the universal solution, plus each witness triple's
+/// derivation chain down to stored facts.
+struct Explanation {
+  Tuple tuple;
+  /// The instantiated query body (one witness homomorphism).
+  std::vector<Triple> witness;
+  /// Human-readable derivation tree.
+  std::string text;
+};
+
+/// Explains why `tuple` belongs to ans(q, P, D): materializes the
+/// universal solution with provenance recording, locates a witness
+/// binding whose head projection equals the tuple, and unfolds every
+/// witness triple's derivation back to the peers' stored triples.
+///
+/// Returns NotFound if the tuple is not a certain answer.
+Result<Explanation> ExplainAnswer(const RpsSystem& system,
+                                  const GraphPatternQuery& query,
+                                  const Tuple& tuple,
+                                  const RpsChaseOptions& chase_options =
+                                      RpsChaseOptions());
+
+/// Renders one triple's derivation chain from a provenance map (shared by
+/// ExplainAnswer and tooling that keeps its own chased graph). Cycles
+/// (e.g. mutual equivalence copies) are cut with a "(seen above)" marker.
+std::string RenderDerivation(const Triple& triple,
+                             const ProvenanceMap& provenance,
+                             const Dictionary& dict);
+
+}  // namespace rps
+
+#endif  // RPS_PEER_PROVENANCE_H_

@@ -1,0 +1,261 @@
+#include "peer/rps_system.h"
+
+#include <cassert>
+
+#include "chase/relational_chase.h"
+
+namespace rps {
+
+RpsSystem::RpsSystem()
+    : dict_(std::make_unique<Dictionary>()),
+      vars_(std::make_unique<VarPool>()),
+      dataset_(std::make_unique<Dataset>(dict_.get())) {}
+
+Graph& RpsSystem::AddPeer(const std::string& name) {
+  return dataset_->GetOrCreate(name);
+}
+
+PeerSchema RpsSystem::SchemaOf(const std::string& peer_name) const {
+  const Graph* graph = dataset_->Find(peer_name);
+  if (graph == nullptr) {
+    return PeerSchema(peer_name);
+  }
+  return PeerSchema::FromGraph(peer_name, *graph);
+}
+
+Status RpsSystem::AddGraphMapping(GraphMappingAssertion assertion) {
+  RPS_RETURN_IF_ERROR(assertion.Validate());
+  graph_mappings_.push_back(std::move(assertion));
+  return Status::OK();
+}
+
+Status RpsSystem::AddEquivalence(TermId left, TermId right) {
+  if (!dict_->IsIri(left) || !dict_->IsIri(right)) {
+    return Status::InvalidArgument(
+        "equivalence mappings relate schema constants (IRIs)");
+  }
+  if (left == right) return Status::OK();  // trivially satisfied
+  equivalences_.push_back(EquivalenceMapping{left, right});
+  return Status::OK();
+}
+
+size_t RpsSystem::AddEquivalencesFromSameAs() {
+  std::optional<TermId> same_as =
+      dict_->Lookup(Term::Iri(std::string(kOwlSameAs)));
+  if (!same_as.has_value()) return 0;
+  size_t added = 0;
+  for (const auto& [name, graph] : dataset_->graphs()) {
+    for (const Triple& t : graph.MatchAll(std::nullopt, *same_as,
+                                          std::nullopt)) {
+      if (!dict_->IsIri(t.s) || !dict_->IsIri(t.o)) continue;
+      if (AddEquivalence(t.s, t.o).ok() && t.s != t.o) ++added;
+    }
+  }
+  return added;
+}
+
+std::vector<std::string> RpsSystem::SchemaDiagnostics() const {
+  std::vector<std::string> out;
+
+  // Collect schemas once.
+  std::vector<PeerSchema> schemas;
+  for (const auto& [name, graph] : dataset_->graphs()) {
+    schemas.push_back(PeerSchema::FromGraph(name, graph));
+  }
+
+  // IRI constants of one query side.
+  auto query_iris = [&](const GraphPatternQuery& q) {
+    std::vector<TermId> iris;
+    for (const TriplePattern& tp : q.body.patterns()) {
+      for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
+        if (pt->is_const() && dict_->IsIri(pt->term())) {
+          iris.push_back(pt->term());
+        }
+      }
+    }
+    return iris;
+  };
+  // True if some single peer schema contains every IRI of the list.
+  auto covered_by_one_peer = [&](const std::vector<TermId>& iris) {
+    if (iris.empty()) return true;
+    for (const PeerSchema& schema : schemas) {
+      bool all = true;
+      for (TermId iri : iris) {
+        if (!schema.Contains(iri)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  };
+
+  for (const GraphMappingAssertion& gma : graph_mappings_) {
+    if (!covered_by_one_peer(query_iris(gma.from))) {
+      out.push_back("mapping '" + gma.label +
+                    "': Q uses IRIs not covered by any single peer schema");
+    }
+    if (!covered_by_one_peer(query_iris(gma.to))) {
+      out.push_back("mapping '" + gma.label +
+                    "': Q' uses IRIs not covered by any single peer schema");
+    }
+  }
+  for (const EquivalenceMapping& eq : equivalences_) {
+    for (TermId side : {eq.left, eq.right}) {
+      bool known = false;
+      for (const PeerSchema& schema : schemas) {
+        if (schema.Contains(side)) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        out.push_back("equivalence mapping relates unknown IRI " +
+                      dict_->ToString(side));
+      }
+    }
+  }
+  return out;
+}
+
+Atom TriplePatternToAtom(const TriplePattern& tp, PredId tt) {
+  Atom atom;
+  atom.pred = tt;
+  auto convert = [](const PatternTerm& pt) {
+    return pt.is_var() ? AtomArg::Var(pt.var()) : AtomArg::Const(pt.term());
+  };
+  atom.args = {convert(tp.s), convert(tp.p), convert(tp.o)};
+  return atom;
+}
+
+TriplePattern AtomToTriplePattern(const Atom& atom) {
+  assert(atom.args.size() == 3);
+  auto convert = [](const AtomArg& arg) {
+    return arg.is_var() ? PatternTerm::Var(arg.var())
+                        : PatternTerm::Const(arg.term());
+  };
+  return TriplePattern{convert(atom.args[0]), convert(atom.args[1]),
+                       convert(atom.args[2])};
+}
+
+void RpsSystem::CompileToTgds(PredTable* preds,
+                              std::vector<Tgd>* source_to_target,
+                              std::vector<Tgd>* target) const {
+  PredId tt = preds->Intern("tt", 3);
+  PredId rt = preds->Intern("rt", 1);
+  PredId ts = preds->Intern("ts", 3);
+  PredId rs = preds->Intern("rs", 1);
+
+  if (source_to_target != nullptr) {
+    // ∀x∀y∀z ts(x,y,z) → tt(x,y,z)
+    VarId x = vars_->Fresh("st_x");
+    VarId y = vars_->Fresh("st_y");
+    VarId z = vars_->Fresh("st_z");
+    Tgd copy_triples;
+    copy_triples.label = "st:triples";
+    copy_triples.body = {Atom{
+        ts, {AtomArg::Var(x), AtomArg::Var(y), AtomArg::Var(z)}}};
+    copy_triples.head = {Atom{
+        tt, {AtomArg::Var(x), AtomArg::Var(y), AtomArg::Var(z)}}};
+    source_to_target->push_back(std::move(copy_triples));
+
+    // ∀x rs(x) → rt(x)
+    VarId r = vars_->Fresh("st_r");
+    Tgd copy_resources;
+    copy_resources.label = "st:resources";
+    copy_resources.body = {Atom{rs, {AtomArg::Var(r)}}};
+    copy_resources.head = {Atom{rt, {AtomArg::Var(r)}}};
+    source_to_target->push_back(std::move(copy_resources));
+  }
+
+  if (target == nullptr) return;
+  for (Tgd& tgd : CompileGmaTgds(graph_mappings_, tt, rt, vars_.get())) {
+    target->push_back(std::move(tgd));
+  }
+  for (Tgd& tgd : CompileEquivalenceTgds(equivalences_, tt, vars_.get())) {
+    target->push_back(std::move(tgd));
+  }
+}
+
+std::vector<Tgd> CompileGmaTgds(
+    const std::vector<GraphMappingAssertion>& gmas, PredId tt, PredId rt,
+    VarPool* vars) {
+  std::vector<Tgd> out;
+  // Qbody(x,y) ∧ rt(x1) ∧ ... ∧ rt(xn) → ∃z Q'body(x,z), with the head
+  // variables of Q' identified with those of Q and the existential
+  // variables of Q' renamed fresh.
+  for (const GraphMappingAssertion& gma : gmas) {
+    Tgd tgd;
+    tgd.label = gma.label.empty() ? "gma" : "gma:" + gma.label;
+    for (const TriplePattern& tp : gma.from.body.patterns()) {
+      tgd.body.push_back(TriplePatternToAtom(tp, tt));
+    }
+    for (VarId head_var : gma.from.head) {
+      tgd.body.push_back(Atom{rt, {AtomArg::Var(head_var)}});
+    }
+    std::unordered_map<VarId, VarId> renaming;
+    for (size_t i = 0; i < gma.to.head.size(); ++i) {
+      renaming[gma.to.head[i]] = gma.from.head[i];
+    }
+    for (const TriplePattern& tp : gma.to.body.patterns()) {
+      Atom atom = TriplePatternToAtom(tp, tt);
+      for (AtomArg& arg : atom.args) {
+        if (!arg.is_var()) continue;
+        auto it = renaming.find(arg.var());
+        if (it == renaming.end()) {
+          VarId fresh = vars->Fresh("z");
+          it = renaming.emplace(arg.var(), fresh).first;
+        }
+        arg = AtomArg::Var(it->second);
+      }
+      tgd.head.push_back(std::move(atom));
+    }
+    out.push_back(std::move(tgd));
+  }
+  return out;
+}
+
+std::vector<Tgd> CompileEquivalenceTgds(
+    const std::vector<EquivalenceMapping>& equivalences, PredId tt,
+    VarPool* vars) {
+  std::vector<Tgd> out;
+  for (const EquivalenceMapping& eq : equivalences) {
+    auto make = [&](const char* label, AtomArg b0, AtomArg b1, AtomArg b2,
+                    AtomArg h0, AtomArg h1, AtomArg h2) {
+      Tgd tgd;
+      tgd.label = label;
+      tgd.body = {Atom{tt, {b0, b1, b2}}};
+      tgd.head = {Atom{tt, {h0, h1, h2}}};
+      out.push_back(std::move(tgd));
+    };
+    AtomArg c = AtomArg::Const(eq.left);
+    AtomArg c2 = AtomArg::Const(eq.right);
+    VarId y = vars->Fresh("eq_y");
+    VarId z = vars->Fresh("eq_z");
+    AtomArg vy = AtomArg::Var(y), vz = AtomArg::Var(z);
+    make("eq:subj:l->r", c, vy, vz, c2, vy, vz);
+    make("eq:subj:r->l", c2, vy, vz, c, vy, vz);
+    make("eq:pred:l->r", vy, c, vz, vy, c2, vz);
+    make("eq:pred:r->l", vy, c2, vz, vy, c, vz);
+    make("eq:obj:l->r", vy, vz, c, vy, vz, c2);
+    make("eq:obj:r->l", vy, vz, c2, vy, vz, c);
+  }
+  return out;
+}
+
+void EncodeStoredDatabase(const RpsSystem& system, PredId ts, PredId rs,
+                          RelationalInstance* instance) {
+  Graph stored = system.StoredDatabase();
+  const Dictionary& dict = *system.dict();
+  for (const Triple& t : stored.triples()) {
+    instance->Insert(ts, {t.s, t.p, t.o});
+  }
+  for (TermId id : stored.TermsInUse()) {
+    if (!dict.IsBlank(id)) {
+      instance->Insert(rs, {id});
+    }
+  }
+}
+
+}  // namespace rps

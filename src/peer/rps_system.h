@@ -1,0 +1,132 @@
+#ifndef RPS_PEER_RPS_SYSTEM_H_
+#define RPS_PEER_RPS_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "peer/mapping.h"
+#include "peer/schema.h"
+#include "rdf/dataset.h"
+#include "tgd/tgd.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// An RDF Peer System P = (S, G, E) (§2.2) together with its stored
+/// database D (§2.3):
+///  * S — peer schemas, derived from the peers' stored graphs (plus any
+///    explicitly registered IRIs);
+///  * G — graph mapping assertions Q ⇝ Q';
+///  * E — equivalence mappings c ≡ₑ c';
+///  * one named graph per peer holding its stored triples.
+///
+/// The system owns the shared Dictionary and VarPool: every graph,
+/// pattern and mapping of the system uses these, so TermIds/VarIds are
+/// comparable across peers.
+class RpsSystem {
+ public:
+  RpsSystem();
+
+  RpsSystem(const RpsSystem&) = delete;
+  RpsSystem& operator=(const RpsSystem&) = delete;
+  RpsSystem(RpsSystem&&) = default;
+
+  /// The shared dictionary / variable pool. Returned non-const even from
+  /// a const system: interning terms and minting fresh variables are
+  /// shared-state services (the chase and the rewriter both need them),
+  /// not logical mutations of the peer system.
+  Dictionary* dict() const { return dict_.get(); }
+  VarPool* vars() const { return vars_.get(); }
+
+  /// Registers a peer (idempotent) and returns its stored graph.
+  Graph& AddPeer(const std::string& name);
+
+  /// Peer stored graphs, by name.
+  const Dataset& dataset() const { return *dataset_; }
+  Dataset& dataset() { return *dataset_; }
+
+  /// Number of registered peers.
+  size_t PeerCount() const { return dataset_->graphs().size(); }
+
+  /// The schema of a peer: the IRIs in use in its stored graph. Recomputed
+  /// on call (stored graphs are mutable).
+  PeerSchema SchemaOf(const std::string& peer_name) const;
+
+  /// Adds a graph mapping assertion after validation.
+  Status AddGraphMapping(GraphMappingAssertion assertion);
+
+  /// Adds an equivalence mapping c ≡ₑ c'. Both must be IRIs.
+  Status AddEquivalence(TermId left, TermId right);
+
+  /// Scans every peer graph for owl:sameAs triples and registers an
+  /// equivalence mapping per triple (the construction of Example 2).
+  /// Returns the number of equivalences added.
+  size_t AddEquivalencesFromSameAs();
+
+  const std::vector<GraphMappingAssertion>& graph_mappings() const {
+    return graph_mappings_;
+  }
+  const std::vector<EquivalenceMapping>& equivalences() const {
+    return equivalences_;
+  }
+
+  /// The stored database D: the union of all peer graphs.
+  Graph StoredDatabase() const { return dataset_->Merged(); }
+
+  /// §2.2 conformance diagnostics: each side of a graph mapping assertion
+  /// should be "expressed over the schema of a peer" — its constant IRIs
+  /// drawn from one peer's IRI set — and equivalence mappings should
+  /// relate IRIs that some peer actually uses. Violations are reported as
+  /// human-readable warnings (not errors: peers may grow their schemas
+  /// after mappings are declared). Empty result = fully conformant.
+  std::vector<std::string> SchemaDiagnostics() const;
+
+  /// The data-exchange encoding of §3. Interns `tt`, `rt`, `ts`, `rs` into
+  /// `preds` (outputs in the pointer parameters, each optional):
+  ///  * source-to-target: ts(x,y,z) → tt(x,y,z) and rs(x) → rt(x);
+  ///  * target: one TGD per graph mapping assertion
+  ///      Qbody(x,y) ∧ rt(x1) ∧ ... ∧ rt(xn) → ∃z Q'body(x,z)
+  ///    and six tt-copying TGDs per equivalence mapping.
+  void CompileToTgds(PredTable* preds, std::vector<Tgd>* source_to_target,
+                     std::vector<Tgd>* target) const;
+
+ private:
+  std::unique_ptr<Dictionary> dict_;
+  std::unique_ptr<VarPool> vars_;
+  std::unique_ptr<Dataset> dataset_;
+  std::vector<GraphMappingAssertion> graph_mappings_;
+  std::vector<EquivalenceMapping> equivalences_;
+};
+
+class RelationalInstance;
+
+/// Compiles graph mapping assertions into target TGDs (§3):
+///   Qbody(x,y) ∧ rt(x1) ∧ ... ∧ rt(xn) → ∃z Q'body(x,z).
+std::vector<Tgd> CompileGmaTgds(
+    const std::vector<GraphMappingAssertion>& gmas, PredId tt, PredId rt,
+    VarPool* vars);
+
+/// Compiles equivalence mappings into the six tt-copying TGDs each (§3).
+std::vector<Tgd> CompileEquivalenceTgds(
+    const std::vector<EquivalenceMapping>& equivalences, PredId tt,
+    VarPool* vars);
+
+/// Loads the stored database D of `system` into `instance` over {ts, rs}:
+/// one ts(s,p,o) fact per stored triple and one rs(x) fact per IRI or
+/// literal occurring in D (blank nodes are *not* identified resources).
+void EncodeStoredDatabase(const RpsSystem& system, PredId ts, PredId rs,
+                          RelationalInstance* instance);
+
+/// Converts a triple pattern into a `tt(s,p,o)` atom (helper shared by the
+/// TGD encoding and the rewriting module).
+Atom TriplePatternToAtom(const TriplePattern& tp, PredId tt);
+
+/// Converts a `tt(s,p,o)` atom back into a triple pattern. The atom must
+/// have exactly three arguments.
+TriplePattern AtomToTriplePattern(const Atom& atom);
+
+}  // namespace rps
+
+#endif  // RPS_PEER_RPS_SYSTEM_H_

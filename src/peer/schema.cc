@@ -1,0 +1,14 @@
+#include "peer/schema.h"
+
+namespace rps {
+
+PeerSchema PeerSchema::FromGraph(std::string name, const Graph& graph) {
+  PeerSchema schema(std::move(name));
+  const Dictionary& dict = *graph.dict();
+  for (TermId id : graph.TermsInUse()) {
+    schema.Add(id, dict);
+  }
+  return schema;
+}
+
+}  // namespace rps

@@ -1,0 +1,42 @@
+#ifndef RPS_PEER_SCHEMA_H_
+#define RPS_PEER_SCHEMA_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "rdf/graph.h"
+
+namespace rps {
+
+/// A peer schema (§2.2): the set of IRIs a peer uses to model its data.
+/// Peer schemas need not be disjoint — Linked Data sources commonly share
+/// IRIs.
+class PeerSchema {
+ public:
+  explicit PeerSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an IRI to the schema. Non-IRI terms are ignored (schemas contain
+  /// only constants from I).
+  void Add(TermId id, const Dictionary& dict) {
+    if (dict.IsIri(id)) iris_.insert(id);
+  }
+
+  bool Contains(TermId id) const { return iris_.count(id) > 0; }
+
+  const std::unordered_set<TermId>& iris() const { return iris_; }
+  size_t size() const { return iris_.size(); }
+
+  /// Builds a schema from the IRIs occurring in `graph` — the natural
+  /// schema of a peer given its stored database.
+  static PeerSchema FromGraph(std::string name, const Graph& graph);
+
+ private:
+  std::string name_;
+  std::unordered_set<TermId> iris_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_PEER_SCHEMA_H_

@@ -1,0 +1,166 @@
+#include "query/algebra.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace rps {
+
+namespace {
+
+// Tries to interpret a literal as a number (xsd:integer / xsd:decimal /
+// plain numeric lexical form).
+std::optional<double> AsNumber(const Term& term) {
+  if (!term.is_literal()) return std::nullopt;
+  const std::string& dt = term.datatype();
+  bool numeric_type = dt.empty() ||
+                      dt == "http://www.w3.org/2001/XMLSchema#integer" ||
+                      dt == "http://www.w3.org/2001/XMLSchema#decimal" ||
+                      dt == "http://www.w3.org/2001/XMLSchema#double";
+  if (!numeric_type) return std::nullopt;
+  const std::string& lex = term.lexical();
+  if (lex.empty()) return std::nullopt;
+  char* end = nullptr;
+  double value = std::strtod(lex.c_str(), &end);
+  if (end != lex.c_str() + lex.size()) return std::nullopt;
+  return value;
+}
+
+// Three-way comparison of two terms: numeric when both are numeric
+// literals, otherwise the Term total order.
+int CompareTerms(const Term& a, const Term& b) {
+  std::optional<double> na = AsNumber(a);
+  std::optional<double> nb = AsNumber(b);
+  if (na.has_value() && nb.has_value()) {
+    if (*na < *nb) return -1;
+    if (*na > *nb) return 1;
+    return 0;
+  }
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+}  // namespace
+
+bool EvalFilter(const FilterCondition& filter, const Binding& binding,
+                const Dictionary& dict) {
+  std::optional<TermId> lhs = binding.Get(filter.lhs);
+
+  switch (filter.op) {
+    case FilterCondition::Op::kBound:
+      return lhs.has_value();
+    case FilterCondition::Op::kNotBound:
+      return !lhs.has_value();
+    case FilterCondition::Op::kIsIri:
+      return lhs.has_value() && dict.IsIri(*lhs);
+    case FilterCondition::Op::kIsLiteral:
+      return lhs.has_value() && dict.IsLiteral(*lhs);
+    case FilterCondition::Op::kIsBlank:
+      return lhs.has_value() && dict.IsBlank(*lhs);
+    default:
+      break;
+  }
+
+  // Binary comparison: SPARQL error semantics on unbound operands.
+  if (!lhs.has_value()) return false;
+  TermId rhs_id;
+  if (filter.rhs.is_var()) {
+    std::optional<TermId> rhs = binding.Get(filter.rhs.var());
+    if (!rhs.has_value()) return false;
+    rhs_id = *rhs;
+  } else {
+    rhs_id = filter.rhs.term();
+  }
+
+  int cmp = CompareTerms(dict.term(*lhs), dict.term(rhs_id));
+  switch (filter.op) {
+    case FilterCondition::Op::kEq:
+      return cmp == 0;
+    case FilterCondition::Op::kNe:
+      return cmp != 0;
+    case FilterCondition::Op::kLt:
+      return cmp < 0;
+    case FilterCondition::Op::kLe:
+      return cmp <= 0;
+    case FilterCondition::Op::kGt:
+      return cmp > 0;
+    case FilterCondition::Op::kGe:
+      return cmp >= 0;
+    default:
+      return false;  // unary ops handled above
+  }
+}
+
+BindingSet LeftJoin(const BindingSet& left, const BindingSet& right) {
+  BindingSet out;
+  for (const Binding& l : left) {
+    bool matched = false;
+    for (const Binding& r : right) {
+      std::optional<Binding> merged = Binding::Merge(l, r);
+      if (merged.has_value()) {
+        out.push_back(std::move(*merged));
+        matched = true;
+      }
+    }
+    if (!matched) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<PartialTuple> EvalExtendedQuery(const Graph& graph,
+                                            const ExtendedQuery& query,
+                                            QuerySemantics semantics,
+                                            const EvalOptions& options) {
+  const Dictionary& dict = *graph.dict();
+
+  BindingSet current = EvalGraphPattern(graph, query.required, options);
+  for (const GraphPattern& optional : query.optionals) {
+    BindingSet side = EvalGraphPattern(graph, optional, options);
+    current = LeftJoin(current, side);
+  }
+  if (!query.filters.empty()) {
+    BindingSet filtered;
+    for (Binding& b : current) {
+      bool keep = true;
+      for (const FilterCondition& filter : query.filters) {
+        if (!EvalFilter(filter, b, dict)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(std::move(b));
+    }
+    current = std::move(filtered);
+  }
+
+  // Project, deduplicate, sort.
+  std::set<PartialTuple> rows;
+  for (const Binding& b : current) {
+    PartialTuple row;
+    row.reserve(query.head.size());
+    bool keep = true;
+    for (VarId v : query.head) {
+      std::optional<TermId> value = b.Get(v);
+      if (value.has_value() && semantics == QuerySemantics::kDropBlanks &&
+          dict.IsBlank(*value)) {
+        keep = false;
+        break;
+      }
+      row.push_back(value);
+    }
+    if (keep) rows.insert(std::move(row));
+  }
+  return std::vector<PartialTuple>(rows.begin(), rows.end());
+}
+
+std::string FormatPartialTuple(const PartialTuple& row,
+                               const Dictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += "\t";
+    out += row[i].has_value() ? dict.ToString(*row[i]) : "-";
+  }
+  return out;
+}
+
+}  // namespace rps

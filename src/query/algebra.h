@@ -1,0 +1,81 @@
+#ifndef RPS_QUERY_ALGEBRA_H_
+#define RPS_QUERY_ALGEBRA_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/eval.h"
+
+namespace rps {
+
+/// A filter condition from the supported SPARQL FILTER subset:
+/// comparisons between a variable and a term or second variable
+/// (numeric when both sides are numeric literals, term/string order
+/// otherwise), and the unary tests BOUND / isIRI / isLiteral / isBlank.
+struct FilterCondition {
+  enum class Op {
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kBound,
+    kNotBound,
+    kIsIri,
+    kIsLiteral,
+    kIsBlank,
+  };
+  Op op = Op::kEq;
+  VarId lhs = 0;
+  /// Right-hand side for binary comparisons; ignored for unary tests.
+  PatternTerm rhs;
+};
+
+/// Evaluates a filter under a binding. SPARQL error semantics: a
+/// comparison over an unbound variable evaluates to false (the solution
+/// is discarded), except for kNotBound which is true exactly when the
+/// variable is unbound.
+bool EvalFilter(const FilterCondition& filter, const Binding& binding,
+                const Dictionary& dict);
+
+/// An extended graph pattern query (§5 item 2 of the paper: "larger
+/// subsets of SPARQL"): a required BGP, a sequence of OPTIONAL BGPs
+/// (applied as left joins, in order), and FILTER conditions (applied
+/// last). An empty head means ASK.
+struct ExtendedQuery {
+  std::vector<VarId> head;
+  GraphPattern required;
+  std::vector<GraphPattern> optionals;
+  std::vector<FilterCondition> filters;
+};
+
+/// A projected row that may leave OPTIONAL-only variables unbound.
+using PartialTuple = std::vector<std::optional<TermId>>;
+
+/// The left (outer) join Ω1 ⟕ Ω2: compatible merges, plus the left
+/// bindings with no compatible partner.
+BindingSet LeftJoin(const BindingSet& left, const BindingSet& right);
+
+/// Evaluates the extended query over a graph: required BGP, then each
+/// OPTIONAL via left join, then filters; projects the head (deduplicated;
+/// with kDropBlanks, *bound* blank values discard the row — unbound stays
+/// unbound).
+///
+/// Certain-answer caveat: OPTIONAL and NOT-BOUND are non-monotone, so
+/// evaluating them over a universal solution yields the answers *of that
+/// solution*, not certain answers in the Definition 3 sense; the
+/// conjunctive core (required + filters without kNotBound) remains
+/// certain. This matches the paper's positioning of larger SPARQL
+/// fragments as future work beyond the formal development.
+std::vector<PartialTuple> EvalExtendedQuery(
+    const Graph& graph, const ExtendedQuery& query, QuerySemantics semantics,
+    const EvalOptions& options = EvalOptions());
+
+/// Renders a partial tuple row ("<iri>", "-" for unbound) for display.
+std::string FormatPartialTuple(const PartialTuple& row,
+                               const Dictionary& dict);
+
+}  // namespace rps
+
+#endif  // RPS_QUERY_ALGEBRA_H_

@@ -1,0 +1,189 @@
+#include "query/binding.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rps {
+
+std::optional<TermId> Binding::Get(VarId v) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const std::pair<VarId, TermId>& e, VarId key) { return e.first < key; });
+  if (it != entries_.end() && it->first == v) return it->second;
+  return std::nullopt;
+}
+
+bool Binding::Bind(VarId v, TermId value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const std::pair<VarId, TermId>& e, VarId key) { return e.first < key; });
+  if (it != entries_.end() && it->first == v) {
+    return it->second == value;
+  }
+  entries_.insert(it, {v, value});
+  return true;
+}
+
+bool Binding::Compatible(const Binding& a, const Binding& b) {
+  // Merge-scan over the two sorted entry lists.
+  size_t i = 0, j = 0;
+  while (i < a.entries_.size() && j < b.entries_.size()) {
+    VarId va = a.entries_[i].first;
+    VarId vb = b.entries_[j].first;
+    if (va < vb) {
+      ++i;
+    } else if (vb < va) {
+      ++j;
+    } else {
+      if (a.entries_[i].second != b.entries_[j].second) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+std::optional<Binding> Binding::Merge(const Binding& a, const Binding& b) {
+  Binding out;
+  out.entries_.reserve(a.entries_.size() + b.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < a.entries_.size() || j < b.entries_.size()) {
+    if (j == b.entries_.size() ||
+        (i < a.entries_.size() && a.entries_[i].first < b.entries_[j].first)) {
+      out.entries_.push_back(a.entries_[i++]);
+    } else if (i == a.entries_.size() ||
+               b.entries_[j].first < a.entries_[i].first) {
+      out.entries_.push_back(b.entries_[j++]);
+    } else {
+      if (a.entries_[i].second != b.entries_[j].second) return std::nullopt;
+      out.entries_.push_back(a.entries_[i++]);
+      ++j;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Key of the shared variables of a binding, for hash joins.
+std::vector<TermId> KeyOf(const Binding& b, const std::vector<VarId>& vars) {
+  std::vector<TermId> key;
+  key.reserve(vars.size());
+  for (VarId v : vars) {
+    key.push_back(*b.Get(v));
+  }
+  return key;
+}
+
+struct KeyHash {
+  size_t operator()(const std::vector<TermId>& key) const {
+    size_t h = 1469598103934665603ULL;
+    for (TermId t : key) h = (h ^ t) * 1099511628211ULL;
+    return h;
+  }
+};
+
+}  // namespace
+
+BindingSet Join(const BindingSet& left, const BindingSet& right) {
+  if (left.empty() || right.empty()) return {};
+
+  // Shared variables: variables bound in the first binding of each side.
+  // All bindings produced by evaluating one graph pattern share the same
+  // domain, so sampling the first element is sound for pattern evaluation.
+  // For robustness with heterogeneous domains we still re-check
+  // compatibility on the full binding below.
+  std::vector<VarId> shared;
+  for (const auto& [var, _] : left[0].entries()) {
+    if (right[0].Has(var)) shared.push_back(var);
+  }
+
+  BindingSet out;
+  if (shared.empty()) {
+    // Cross product.
+    out.reserve(left.size() * right.size());
+    for (const Binding& l : left) {
+      for (const Binding& r : right) {
+        auto merged = Binding::Merge(l, r);
+        if (merged) out.push_back(std::move(*merged));
+      }
+    }
+    return out;
+  }
+
+  // Hash join on the shared variables; build on the smaller side.
+  const BindingSet& build = left.size() <= right.size() ? left : right;
+  const BindingSet& probe = left.size() <= right.size() ? right : left;
+
+  std::unordered_map<std::vector<TermId>, std::vector<const Binding*>, KeyHash>
+      table;
+  table.reserve(build.size());
+  bool build_total = true;  // every build binding has all shared vars bound
+  for (const Binding& b : build) {
+    bool all_bound = true;
+    for (VarId v : shared) {
+      if (!b.Has(v)) {
+        all_bound = false;
+        break;
+      }
+    }
+    if (!all_bound) {
+      build_total = false;
+      break;
+    }
+    table[KeyOf(b, shared)].push_back(&b);
+  }
+
+  if (!build_total) {
+    // Heterogeneous domains: fall back to nested loops.
+    for (const Binding& l : left) {
+      for (const Binding& r : right) {
+        auto merged = Binding::Merge(l, r);
+        if (merged) out.push_back(std::move(*merged));
+      }
+    }
+    return out;
+  }
+
+  for (const Binding& p : probe) {
+    bool all_bound = true;
+    for (VarId v : shared) {
+      if (!p.Has(v)) {
+        all_bound = false;
+        break;
+      }
+    }
+    if (!all_bound) {
+      // Probe binding missing a shared var: compatible with any build
+      // binding on that var; nested-loop against all build entries.
+      for (const Binding& b : build) {
+        auto merged = Binding::Merge(p, b);
+        if (merged) out.push_back(std::move(*merged));
+      }
+      continue;
+    }
+    auto it = table.find(KeyOf(p, shared));
+    if (it == table.end()) continue;
+    for (const Binding* b : it->second) {
+      auto merged = Binding::Merge(p, *b);
+      if (merged) out.push_back(std::move(*merged));
+    }
+  }
+  return out;
+}
+
+void Dedup(BindingSet* bindings) {
+  std::unordered_set<Binding, BindingHash> seen;
+  seen.reserve(bindings->size());
+  BindingSet out;
+  out.reserve(bindings->size());
+  for (Binding& b : *bindings) {
+    if (seen.insert(b).second) {
+      out.push_back(std::move(b));
+    }
+  }
+  *bindings = std::move(out);
+}
+
+}  // namespace rps

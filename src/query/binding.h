@@ -1,0 +1,81 @@
+#ifndef RPS_QUERY_BINDING_H_
+#define RPS_QUERY_BINDING_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "query/pattern.h"
+
+namespace rps {
+
+/// A solution mapping µ : V → (I ∪ B ∪ L) — a partial function from
+/// variables to terms (Pérez et al. semantics, §2.1 of the paper).
+///
+/// Stored as a sorted vector of (var, term) pairs: bindings are tiny (a
+/// handful of variables), so sorted-vector lookup beats hashing and gives
+/// cheap equality and hashing for distinct-ing result sets.
+class Binding {
+ public:
+  Binding() = default;
+
+  /// Returns the value bound to `v`, if any.
+  std::optional<TermId> Get(VarId v) const;
+
+  bool Has(VarId v) const { return Get(v).has_value(); }
+
+  /// Binds `v` to `value`. Returns false (and leaves the binding
+  /// unchanged) if `v` is already bound to a different value.
+  bool Bind(VarId v, TermId value);
+
+  /// dom(µ) size.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Sorted (var, term) pairs.
+  const std::vector<std::pair<VarId, TermId>>& entries() const {
+    return entries_;
+  }
+
+  /// Compatibility test of §2.1: µ1 and µ2 agree on dom(µ1) ∩ dom(µ2).
+  static bool Compatible(const Binding& a, const Binding& b);
+
+  /// µ1 ∪ µ2 when compatible, std::nullopt otherwise.
+  static std::optional<Binding> Merge(const Binding& a, const Binding& b);
+
+  friend bool operator==(const Binding& a, const Binding& b) {
+    return a.entries_ == b.entries_;
+  }
+  friend bool operator<(const Binding& a, const Binding& b) {
+    return a.entries_ < b.entries_;
+  }
+
+ private:
+  std::vector<std::pair<VarId, TermId>> entries_;
+};
+
+struct BindingHash {
+  size_t operator()(const Binding& b) const {
+    size_t h = 1469598103934665603ULL;
+    for (const auto& [var, term] : b.entries()) {
+      h = (h ^ var) * 1099511628211ULL;
+      h = (h ^ term) * 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// A set of solution mappings Ω.
+using BindingSet = std::vector<Binding>;
+
+/// The join Ω1 ⋈ Ω2 of Definition 1: all unions of compatible pairs.
+/// Implemented as a hash join on the shared variables when both sides are
+/// non-trivial, falling back to nested loops for small inputs.
+BindingSet Join(const BindingSet& left, const BindingSet& right);
+
+/// Removes duplicate bindings (set semantics for Ω).
+void Dedup(BindingSet* bindings);
+
+}  // namespace rps
+
+#endif  // RPS_QUERY_BINDING_H_

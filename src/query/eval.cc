@@ -1,0 +1,173 @@
+#include "query/eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rps {
+
+namespace {
+
+// Extends `base` with the bindings induced by matching `tp` against `t`.
+// Returns false when a repeated variable or an already-bound variable
+// disagrees with the triple.
+bool ExtendBinding(const TriplePattern& tp, const Triple& t, Binding* base) {
+  if (tp.s.is_var() && !base->Bind(tp.s.var(), t.s)) return false;
+  if (tp.p.is_var() && !base->Bind(tp.p.var(), t.p)) return false;
+  if (tp.o.is_var() && !base->Bind(tp.o.var(), t.o)) return false;
+  return true;
+}
+
+// Match key for a pattern position given the current partial binding.
+std::optional<TermId> KeyFor(const PatternTerm& pt, const Binding& binding) {
+  if (pt.is_const()) return pt.term();
+  return binding.Get(pt.var());
+}
+
+// Greedy pattern order: repeatedly pick the remaining pattern with the
+// lowest static cost, where positions that are constants or
+// already-covered variables count as bound. Cost = (unbound positions,
+// index-estimated matches on constant positions).
+std::vector<size_t> OrderPatterns(const Graph& graph,
+                                  const std::vector<TriplePattern>& patterns) {
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  std::set<VarId> bound;
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    size_t best = patterns.size();
+    size_t best_unbound = SIZE_MAX;
+    size_t best_estimate = SIZE_MAX;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      const TriplePattern& tp = patterns[i];
+      size_t unbound = 0;
+      for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
+        if (pt->is_var() && bound.find(pt->var()) == bound.end()) ++unbound;
+      }
+      size_t estimate = graph.EstimateMatches(
+          tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey());
+      if (unbound < best_unbound ||
+          (unbound == best_unbound && estimate < best_estimate)) {
+        best = i;
+        best_unbound = unbound;
+        best_estimate = estimate;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+    for (VarId v : patterns[best].Vars()) bound.insert(v);
+  }
+  return order;
+}
+
+}  // namespace
+
+BindingSet EvalTriplePattern(const Graph& graph, const TriplePattern& tp) {
+  BindingSet out;
+  graph.Match(tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey(),
+              [&](const Triple& t) {
+                Binding b;
+                if (ExtendBinding(tp, t, &b)) out.push_back(std::move(b));
+                return true;
+              });
+  // Repeated variables within the pattern are checked by ExtendBinding via
+  // Bind; duplicates cannot arise because triples are a set.
+  return out;
+}
+
+BindingSet ExtendBindings(const Graph& graph,
+                          const std::vector<TriplePattern>& patterns,
+                          BindingSet seed, const EvalOptions& options) {
+  BindingSet current = std::move(seed);
+  if (patterns.empty() || current.empty()) return current;
+
+  std::vector<size_t> order;
+  if (options.reorder_patterns) {
+    order = OrderPatterns(graph, patterns);
+  } else {
+    order.resize(patterns.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  }
+
+  for (size_t idx : order) {
+    const TriplePattern& tp = patterns[idx];
+    BindingSet next;
+    for (const Binding& b : current) {
+      graph.Match(KeyFor(tp.s, b), KeyFor(tp.p, b), KeyFor(tp.o, b),
+                  [&](const Triple& t) {
+                    Binding extended = b;
+                    if (ExtendBinding(tp, t, &extended)) {
+                      next.push_back(std::move(extended));
+                    }
+                    return true;
+                  });
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+std::optional<Binding> MatchTriple(const TriplePattern& tp, const Triple& t) {
+  Binding binding;
+  if (!ExtendBinding(tp, t, &binding)) return std::nullopt;
+  if (tp.s.is_const() && tp.s.term() != t.s) return std::nullopt;
+  if (tp.p.is_const() && tp.p.term() != t.p) return std::nullopt;
+  if (tp.o.is_const() && tp.o.term() != t.o) return std::nullopt;
+  return binding;
+}
+
+BindingSet EvalGraphPattern(const Graph& graph, const GraphPattern& gp,
+                            const EvalOptions& options) {
+  // ⟦empty AND⟧ = { µ∅ }: the neutral element of the join.
+  if (gp.empty()) return {Binding()};
+  return ExtendBindings(graph, gp.patterns(), {Binding()}, options);
+}
+
+std::vector<Tuple> EvalQuery(const Graph& graph, const GraphPatternQuery& q,
+                             QuerySemantics semantics,
+                             const EvalOptions& options) {
+  BindingSet solutions = EvalGraphPattern(graph, q.body, options);
+  std::vector<Tuple> out;
+  std::unordered_set<Binding, BindingHash> seen;  // projected dedup
+  const Dictionary& dict = *graph.dict();
+  for (const Binding& b : solutions) {
+    Tuple tuple;
+    tuple.reserve(q.head.size());
+    bool keep = true;
+    Binding projected;
+    for (VarId v : q.head) {
+      std::optional<TermId> value = b.Get(v);
+      if (!value.has_value()) {
+        keep = false;  // head var unbound (cannot happen for valid queries)
+        break;
+      }
+      if (semantics == QuerySemantics::kDropBlanks && dict.IsBlank(*value)) {
+        keep = false;
+        break;
+      }
+      tuple.push_back(*value);
+      projected.Bind(v, *value);
+    }
+    if (!keep) continue;
+    if (seen.insert(projected).second) {
+      out.push_back(std::move(tuple));
+    }
+  }
+  return out;
+}
+
+bool EvalBoolean(const Graph& graph, const GraphPatternQuery& q,
+                 QuerySemantics semantics, const EvalOptions& options) {
+  if (q.head.empty()) {
+    // Pure ASK: any solution of the body suffices.
+    BindingSet solutions = EvalGraphPattern(graph, q.body, options);
+    return !solutions.empty();
+  }
+  return !EvalQuery(graph, q, semantics, options).empty();
+}
+
+void SortTuples(std::vector<Tuple>* tuples) {
+  std::sort(tuples->begin(), tuples->end());
+}
+
+}  // namespace rps

@@ -1,0 +1,78 @@
+#ifndef RPS_QUERY_EVAL_H_
+#define RPS_QUERY_EVAL_H_
+
+#include <vector>
+
+#include "query/binding.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+
+namespace rps {
+
+/// Which query semantics to apply when projecting answers (§2.1):
+/// * kDropBlanks  — Q_D: tuples containing blank nodes are dropped
+///   (blank nodes behave like labelled nulls; only full information is
+///   returned). This is the certain-answer-compatible semantics.
+/// * kKeepBlanks  — Q*_D: tuples may contain blank nodes. Used internally
+///   by the equivalence-mapping semantics (Definition 2, item 3).
+enum class QuerySemantics {
+  kDropBlanks,
+  kKeepBlanks,
+};
+
+/// Evaluation options.
+struct EvalOptions {
+  /// Reorder triple patterns greedily by estimated selectivity before
+  /// joining (ablation: §5 of DESIGN.md). Evaluation results are
+  /// order-independent; this only affects cost.
+  bool reorder_patterns = true;
+};
+
+/// An answer tuple: the head variables' values in head order.
+using Tuple = std::vector<TermId>;
+
+/// ⟦t⟧_D for a single triple pattern: all µ with dom(µ) = var(t) and
+/// µ(t) ∈ D.
+BindingSet EvalTriplePattern(const Graph& graph, const TriplePattern& tp);
+
+/// ⟦GP⟧_D (Definition 1): iterated join of the triple-pattern evaluations.
+/// Implemented as an index nested-loop join seeded by the most selective
+/// pattern (when options.reorder_patterns), extending partial bindings via
+/// indexed Match calls.
+BindingSet EvalGraphPattern(const Graph& graph, const GraphPattern& gp,
+                            const EvalOptions& options = EvalOptions());
+
+/// Extends every binding of `seed` over `patterns` (index nested-loop
+/// join against `graph`). Building block for delta-driven evaluation:
+/// seed with the bindings of one pattern against a delta and join the
+/// rest against the full graph.
+BindingSet ExtendBindings(const Graph& graph,
+                          const std::vector<TriplePattern>& patterns,
+                          BindingSet seed,
+                          const EvalOptions& options = EvalOptions());
+
+/// Matches a triple pattern against one concrete triple; returns the
+/// induced binding or nullopt (constant mismatch / inconsistent repeated
+/// variables).
+std::optional<Binding> MatchTriple(const TriplePattern& tp, const Triple& t);
+
+/// Q_D or Q*_D: evaluates the body and projects the head, deduplicating
+/// tuples. With kDropBlanks, any tuple binding a head variable to a blank
+/// node is discarded.
+std::vector<Tuple> EvalQuery(const Graph& graph, const GraphPatternQuery& q,
+                             QuerySemantics semantics,
+                             const EvalOptions& options = EvalOptions());
+
+/// Boolean evaluation: true iff the body has at least one solution whose
+/// head projection satisfies `semantics`. For arity-0 queries this is plain
+/// ASK.
+bool EvalBoolean(const Graph& graph, const GraphPatternQuery& q,
+                 QuerySemantics semantics = QuerySemantics::kDropBlanks,
+                 const EvalOptions& options = EvalOptions());
+
+/// Sorts tuples lexicographically (by TermId) for deterministic output.
+void SortTuples(std::vector<Tuple>* tuples);
+
+}  // namespace rps
+
+#endif  // RPS_QUERY_EVAL_H_

@@ -1,0 +1,69 @@
+#include "query/pattern.h"
+
+namespace rps {
+
+VarId VarPool::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  VarId id = static_cast<VarId>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+VarId VarPool::Fresh(const std::string& prefix) {
+  while (true) {
+    std::string candidate = prefix + std::to_string(next_fresh_);
+    ++next_fresh_;
+    if (index_.find(candidate) == index_.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+std::vector<VarId> TriplePattern::Vars() const {
+  std::vector<VarId> out;
+  auto add = [&](const PatternTerm& t) {
+    if (!t.is_var()) return;
+    for (VarId v : out) {
+      if (v == t.var()) return;
+    }
+    out.push_back(t.var());
+  };
+  add(s);
+  add(p);
+  add(o);
+  return out;
+}
+
+std::set<VarId> GraphPattern::Vars() const {
+  std::set<VarId> out;
+  for (const TriplePattern& tp : patterns_) {
+    for (VarId v : tp.Vars()) out.insert(v);
+  }
+  return out;
+}
+
+std::string ToString(const PatternTerm& t, const Dictionary& dict,
+                     const VarPool& vars) {
+  if (t.is_var()) return "?" + vars.name(t.var());
+  return dict.ToString(t.term());
+}
+
+std::string ToString(const TriplePattern& tp, const Dictionary& dict,
+                     const VarPool& vars) {
+  return ToString(tp.s, dict, vars) + " " + ToString(tp.p, dict, vars) + " " +
+         ToString(tp.o, dict, vars);
+}
+
+std::string ToString(const GraphPattern& gp, const Dictionary& dict,
+                     const VarPool& vars) {
+  std::string out;
+  for (size_t i = 0; i < gp.patterns().size(); ++i) {
+    if (i > 0) out += " . ";
+    out += ToString(gp.patterns()[i], dict, vars);
+  }
+  return out;
+}
+
+}  // namespace rps

@@ -1,0 +1,144 @@
+#ifndef RPS_QUERY_PATTERN_H_
+#define RPS_QUERY_PATTERN_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace rps {
+
+/// Dense handle for an interned query variable name.
+using VarId = uint32_t;
+
+/// Interning table for variable names (the set V of the paper). One pool
+/// is shared per RPS / workbench so that VarIds are comparable across
+/// queries and mappings.
+class VarPool {
+ public:
+  VarPool() = default;
+  VarPool(const VarPool&) = delete;
+  VarPool& operator=(const VarPool&) = delete;
+
+  /// Interns a variable name (without the leading '?').
+  VarId Intern(const std::string& name);
+
+  /// Mints a fresh variable with a unique name of the form `<prefix><n>`.
+  VarId Fresh(const std::string& prefix = "v");
+
+  const std::string& name(VarId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VarId> index_;
+  uint64_t next_fresh_ = 0;
+};
+
+/// One element of a triple pattern: either a variable or a constant term.
+class PatternTerm {
+ public:
+  PatternTerm() : is_var_(false), id_(kInvalidTermId) {}
+
+  static PatternTerm Var(VarId v) {
+    PatternTerm t;
+    t.is_var_ = true;
+    t.id_ = v;
+    return t;
+  }
+  static PatternTerm Const(TermId c) {
+    PatternTerm t;
+    t.is_var_ = false;
+    t.id_ = c;
+    return t;
+  }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+  VarId var() const { return id_; }
+  TermId term() const { return id_; }
+
+  /// As a match key: the constant if const, else wildcard.
+  std::optional<TermId> AsMatchKey() const {
+    if (is_var_) return std::nullopt;
+    return id_;
+  }
+
+  friend bool operator==(const PatternTerm& a, const PatternTerm& b) {
+    return a.is_var_ == b.is_var_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(const PatternTerm& a, const PatternTerm& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const PatternTerm& a, const PatternTerm& b) {
+    if (a.is_var_ != b.is_var_) return a.is_var_ < b.is_var_;
+    return a.id_ < b.id_;
+  }
+
+ private:
+  bool is_var_;
+  uint32_t id_;  // VarId or TermId depending on is_var_
+};
+
+/// A triple pattern from (I ∪ L ∪ V) × (I ∪ V) × (I ∪ L ∪ V).
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  /// Variables of this pattern, in s,p,o order without duplicates.
+  std::vector<VarId> Vars() const;
+
+  friend bool operator==(const TriplePattern& a, const TriplePattern& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator<(const TriplePattern& a, const TriplePattern& b) {
+    if (!(a.s == b.s)) return a.s < b.s;
+    if (!(a.p == b.p)) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+/// A conjunctive graph pattern (GP1 AND ... AND GPn). The paper defines
+/// graph patterns recursively with a binary AND; since AND is associative
+/// and commutative under the join semantics of Definition 1, we keep the
+/// flattened list of triple patterns (the BGP).
+class GraphPattern {
+ public:
+  GraphPattern() = default;
+  explicit GraphPattern(std::vector<TriplePattern> patterns)
+      : patterns_(std::move(patterns)) {}
+
+  void Add(const TriplePattern& tp) { patterns_.push_back(tp); }
+
+  const std::vector<TriplePattern>& patterns() const { return patterns_; }
+  size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  /// var(GP): all variables appearing in the pattern (sorted, unique).
+  std::set<VarId> Vars() const;
+
+  friend bool operator==(const GraphPattern& a, const GraphPattern& b) {
+    return a.patterns_ == b.patterns_;
+  }
+
+ private:
+  std::vector<TriplePattern> patterns_;
+};
+
+/// Renders a pattern term / triple pattern for debugging, using `?name`
+/// for variables.
+std::string ToString(const PatternTerm& t, const Dictionary& dict,
+                     const VarPool& vars);
+std::string ToString(const TriplePattern& tp, const Dictionary& dict,
+                     const VarPool& vars);
+std::string ToString(const GraphPattern& gp, const Dictionary& dict,
+                     const VarPool& vars);
+
+}  // namespace rps
+
+#endif  // RPS_QUERY_PATTERN_H_

@@ -1,0 +1,91 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+namespace rps {
+
+std::vector<VarId> GraphPatternQuery::ExistentialVars() const {
+  std::vector<VarId> out;
+  for (VarId v : body.Vars()) {
+    if (std::find(head.begin(), head.end(), v) == head.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Status GraphPatternQuery::Validate() const {
+  std::set<VarId> body_vars = body.Vars();
+  for (VarId v : head) {
+    if (body_vars.find(v) == body_vars.end()) {
+      return Status::InvalidArgument(
+          "head variable does not occur in the query body");
+    }
+  }
+  return Status::OK();
+}
+
+GraphPatternQuery SubjQ(TermId c, VarPool* vars) {
+  VarId xp = vars->Fresh("pred_");
+  VarId xo = vars->Fresh("obj_");
+  GraphPatternQuery q;
+  q.head = {xp, xo};
+  q.body.Add(TriplePattern{PatternTerm::Const(c), PatternTerm::Var(xp),
+                           PatternTerm::Var(xo)});
+  return q;
+}
+
+GraphPatternQuery PredQ(TermId c, VarPool* vars) {
+  VarId xs = vars->Fresh("subj_");
+  VarId xo = vars->Fresh("obj_");
+  GraphPatternQuery q;
+  q.head = {xs, xo};
+  q.body.Add(TriplePattern{PatternTerm::Var(xs), PatternTerm::Const(c),
+                           PatternTerm::Var(xo)});
+  return q;
+}
+
+GraphPatternQuery ObjQ(TermId c, VarPool* vars) {
+  VarId xs = vars->Fresh("subj_");
+  VarId xp = vars->Fresh("pred_");
+  GraphPatternQuery q;
+  q.head = {xs, xp};
+  q.body.Add(TriplePattern{PatternTerm::Var(xs), PatternTerm::Var(xp),
+                           PatternTerm::Const(c)});
+  return q;
+}
+
+GraphPatternQuery BindHead(const GraphPatternQuery& q,
+                           const std::vector<TermId>& tuple) {
+  std::unordered_map<VarId, TermId> map;
+  for (size_t i = 0; i < q.head.size() && i < tuple.size(); ++i) {
+    map[q.head[i]] = tuple[i];
+  }
+  auto substitute = [&](const PatternTerm& pt) {
+    if (pt.is_var()) {
+      auto it = map.find(pt.var());
+      if (it != map.end()) return PatternTerm::Const(it->second);
+    }
+    return pt;
+  };
+  GraphPatternQuery out;  // Boolean: empty head
+  for (const TriplePattern& tp : q.body.patterns()) {
+    out.body.Add(TriplePattern{substitute(tp.s), substitute(tp.p),
+                               substitute(tp.o)});
+  }
+  return out;
+}
+
+std::string ToString(const GraphPatternQuery& q, const Dictionary& dict,
+                     const VarPool& vars) {
+  std::string out = "q(";
+  for (size_t i = 0; i < q.head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "?" + vars.name(q.head[i]);
+  }
+  out += ") <- ";
+  out += ToString(q.body, dict, vars);
+  return out;
+}
+
+}  // namespace rps

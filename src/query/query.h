@@ -1,0 +1,56 @@
+#ifndef RPS_QUERY_QUERY_H_
+#define RPS_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/pattern.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// A graph pattern query `q(x1,...,xn) ← GP` (§2.1). The head lists the
+/// free variables; every other variable of the body is existentially
+/// quantified. Arity-0 queries are Boolean (ASK) queries.
+struct GraphPatternQuery {
+  std::vector<VarId> head;
+  GraphPattern body;
+
+  size_t arity() const { return head.size(); }
+  bool is_boolean() const { return head.empty(); }
+
+  /// The existentially quantified variables: var(GP) minus the head.
+  std::vector<VarId> ExistentialVars() const;
+
+  /// Validates that every head variable occurs in the body (required by
+  /// the paper's definition of graph pattern queries).
+  Status Validate() const;
+
+  friend bool operator==(const GraphPatternQuery& a,
+                         const GraphPatternQuery& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+};
+
+/// The special neighbourhood queries of §2.3, used by the semantics of
+/// equivalence mappings:
+///   subjQ(c) := q(x_pred, x_obj)  ← (c, x_pred, x_obj)
+///   predQ(c) := q(x_subj, x_obj)  ← (x_subj, c, x_obj)
+///   objQ(c)  := q(x_subj, x_pred) ← (x_subj, x_pred, c)
+GraphPatternQuery SubjQ(TermId c, VarPool* vars);
+GraphPatternQuery PredQ(TermId c, VarPool* vars);
+GraphPatternQuery ObjQ(TermId c, VarPool* vars);
+
+/// Substitutes the head variables of `q` with the constants of `tuple`
+/// (same arity required), yielding the Boolean query "is `tuple` an answer
+/// of q?" — the reduction used in Example 3 / Listing 2.
+GraphPatternQuery BindHead(const GraphPatternQuery& q,
+                           const std::vector<TermId>& tuple);
+
+/// Renders the query as `q(?x, ?y) <- t1 . t2 . ...` for debugging.
+std::string ToString(const GraphPatternQuery& q, const Dictionary& dict,
+                     const VarPool& vars);
+
+}  // namespace rps
+
+#endif  // RPS_QUERY_QUERY_H_

@@ -1,0 +1,40 @@
+#include "rdf/dataset.h"
+
+namespace rps {
+
+Graph& Dataset::GetOrCreate(const std::string& name) {
+  auto it = graphs_.find(name);
+  if (it != graphs_.end()) return it->second;
+  auto [pos, _] = graphs_.emplace(name, Graph(dict_));
+  return pos->second;
+}
+
+const Graph* Dataset::Find(const std::string& name) const {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) return nullptr;
+  return &it->second;
+}
+
+Graph* Dataset::Find(const std::string& name) {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) return nullptr;
+  return &it->second;
+}
+
+Graph Dataset::Merged() const {
+  Graph merged(dict_);
+  for (const auto& [name, graph] : graphs_) {
+    merged.InsertAll(graph);
+  }
+  return merged;
+}
+
+size_t Dataset::TotalTriples() const {
+  size_t n = 0;
+  for (const auto& [name, graph] : graphs_) {
+    n += graph.size();
+  }
+  return n;
+}
+
+}  // namespace rps

@@ -1,0 +1,44 @@
+#ifndef RPS_RDF_DATASET_H_
+#define RPS_RDF_DATASET_H_
+
+#include <map>
+#include <string>
+
+#include "rdf/graph.h"
+
+namespace rps {
+
+/// A collection of named RDF graphs sharing one Dictionary. In an RPS
+/// setting each named graph holds the stored database `d` of one peer; the
+/// union of all of them is the stored database `D` of the system (§2.3).
+class Dataset {
+ public:
+  explicit Dataset(Dictionary* dict) : dict_(dict) {}
+
+  /// Returns the graph with the given name, creating it if absent.
+  Graph& GetOrCreate(const std::string& name);
+
+  /// Returns the graph with the given name, or nullptr.
+  const Graph* Find(const std::string& name) const;
+  Graph* Find(const std::string& name);
+
+  /// All named graphs (ordered by name, for deterministic iteration).
+  const std::map<std::string, Graph>& graphs() const { return graphs_; }
+
+  /// Union of all named graphs — the stored database D of the RPS.
+  Graph Merged() const;
+
+  /// Total number of triples across all graphs (an upper bound on the size
+  /// of the merged graph, since peers may share triples).
+  size_t TotalTriples() const;
+
+  Dictionary* dict() const { return dict_; }
+
+ private:
+  Dictionary* dict_;
+  std::map<std::string, Graph> graphs_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_RDF_DATASET_H_

@@ -1,0 +1,31 @@
+#include "rdf/dictionary.h"
+
+namespace rps {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+TermId Dictionary::NewBlank() {
+  // Skip over labels that happen to be taken by parsed data.
+  while (true) {
+    Term candidate = Term::Blank("n" + std::to_string(next_null_));
+    ++next_null_;
+    if (index_.find(candidate) == index_.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+}  // namespace rps

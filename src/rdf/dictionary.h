@@ -1,0 +1,83 @@
+#ifndef RPS_RDF_DICTIONARY_H_
+#define RPS_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rps {
+
+/// Dense integer handle for an interned Term. Ids are assigned in
+/// interning order starting from 0 and are stable for the lifetime of the
+/// Dictionary.
+using TermId = uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Dictionary encoding of RDF terms: maps each distinct Term to a dense
+/// TermId and back. All graphs, patterns and mappings in one RPS share a
+/// single Dictionary so that TermIds are comparable across peers.
+///
+/// Also the factory for *fresh* blank nodes, which the chase uses as
+/// labelled nulls (§3 of the paper): NewBlank() mints labels that cannot
+/// collide with parsed blank labels.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Dictionaries are shared by reference; copying one is almost always a
+  // bug (ids would silently diverge), so forbid it.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns `term`, returning its id (existing or fresh).
+  TermId Intern(const Term& term);
+
+  /// Convenience interning helpers.
+  TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
+  TermId InternBlank(std::string label) {
+    return Intern(Term::Blank(std::move(label)));
+  }
+  TermId InternLiteral(std::string lexical) {
+    return Intern(Term::Literal(std::move(lexical)));
+  }
+
+  /// Returns the id of `term` if already interned.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  /// Returns the term for a valid id. Id must come from this dictionary.
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  /// True if `id` denotes a blank node (i.e., an element of B, including
+  /// labelled nulls created by the chase).
+  bool IsBlank(TermId id) const { return terms_[id].is_blank(); }
+  bool IsIri(TermId id) const { return terms_[id].is_iri(); }
+  bool IsLiteral(TermId id) const { return terms_[id].is_literal(); }
+
+  /// Mints a fresh blank node (labelled null) with a unique label of the
+  /// form `n<counter>`. Guaranteed not to collide with previously interned
+  /// blanks (the counter skips taken labels).
+  TermId NewBlank();
+
+  /// Number of interned terms. Valid ids are [0, size).
+  size_t size() const { return terms_.size(); }
+
+  /// Renders `id` in N-Triples syntax.
+  std::string ToString(TermId id) const { return terms_[id].ToString(); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+  uint64_t next_null_ = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_RDF_DICTIONARY_H_

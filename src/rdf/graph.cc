@@ -1,0 +1,137 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rps {
+
+Result<bool> Graph::Insert(const Triple& t) {
+  if (t.s == kInvalidTermId || t.p == kInvalidTermId ||
+      t.o == kInvalidTermId) {
+    return Status::InvalidArgument("triple contains an invalid term id");
+  }
+  if (dict_->IsLiteral(t.s)) {
+    return Status::InvalidArgument(
+        "triple subject must be an IRI or blank node, got literal " +
+        dict_->ToString(t.s));
+  }
+  if (!dict_->IsIri(t.p)) {
+    return Status::InvalidArgument("triple predicate must be an IRI, got " +
+                                   dict_->ToString(t.p));
+  }
+  return InsertUnchecked(t);
+}
+
+Result<bool> Graph::Insert(const Term& s, const Term& p, const Term& o) {
+  return Insert(Triple{dict_->Intern(s), dict_->Intern(p), dict_->Intern(o)});
+}
+
+bool Graph::InsertUnchecked(const Triple& t) {
+  auto [it, inserted] = set_.insert(t);
+  if (!inserted) return false;
+  uint32_t pos = static_cast<uint32_t>(triples_.size());
+  triples_.push_back(t);
+  by_s_[t.s].push_back(pos);
+  by_p_[t.p].push_back(pos);
+  by_o_[t.o].push_back(pos);
+  return true;
+}
+
+size_t Graph::InsertAll(const Graph& other) {
+  size_t added = 0;
+  for (const Triple& t : other.triples()) {
+    if (InsertUnchecked(t)) ++added;
+  }
+  return added;
+}
+
+const std::vector<uint32_t>* Graph::Postings(
+    const std::unordered_map<TermId, std::vector<uint32_t>>& index,
+    TermId id) const {
+  auto it = index.find(id);
+  if (it == index.end()) return nullptr;
+  return &it->second;
+}
+
+void Graph::Match(std::optional<TermId> s, std::optional<TermId> p,
+                  std::optional<TermId> o,
+                  const std::function<bool(const Triple&)>& fn) const {
+  // Pick the most selective available posting list.
+  const std::vector<uint32_t>* best = nullptr;
+  size_t best_size = std::numeric_limits<size_t>::max();
+  bool bound_position_empty = false;
+  auto consider = [&](const std::unordered_map<TermId, std::vector<uint32_t>>&
+                          index,
+                      std::optional<TermId> key) {
+    if (!key.has_value()) return;
+    const std::vector<uint32_t>* postings = Postings(index, *key);
+    if (postings == nullptr) {
+      bound_position_empty = true;
+      return;
+    }
+    if (postings->size() < best_size) {
+      best = postings;
+      best_size = postings->size();
+    }
+  };
+  consider(by_s_, s);
+  consider(by_p_, p);
+  consider(by_o_, o);
+  if (bound_position_empty) return;  // some bound term never occurs there
+
+  auto matches = [&](const Triple& t) {
+    return (!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o);
+  };
+
+  if (best != nullptr) {
+    for (uint32_t pos : *best) {
+      const Triple& t = triples_[pos];
+      if (matches(t) && !fn(t)) return;
+    }
+    return;
+  }
+  // Fully unbound pattern: scan everything.
+  for (const Triple& t : triples_) {
+    if (!fn(t)) return;
+  }
+}
+
+std::vector<Triple> Graph::MatchAll(std::optional<TermId> s,
+                                    std::optional<TermId> p,
+                                    std::optional<TermId> o) const {
+  std::vector<Triple> out;
+  Match(s, p, o, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+size_t Graph::EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
+                              std::optional<TermId> o) const {
+  size_t best = triples_.size();
+  auto consider = [&](const std::unordered_map<TermId, std::vector<uint32_t>>&
+                          index,
+                      std::optional<TermId> key) {
+    if (!key.has_value()) return;
+    const std::vector<uint32_t>* postings = Postings(index, *key);
+    size_t n = postings == nullptr ? 0 : postings->size();
+    best = std::min(best, n);
+  };
+  consider(by_s_, s);
+  consider(by_p_, p);
+  consider(by_o_, o);
+  return best;
+}
+
+std::unordered_set<TermId> Graph::TermsInUse() const {
+  std::unordered_set<TermId> out;
+  for (const Triple& t : triples_) {
+    out.insert(t.s);
+    out.insert(t.p);
+    out.insert(t.o);
+  }
+  return out;
+}
+
+}  // namespace rps

@@ -1,0 +1,97 @@
+#ifndef RPS_RDF_GRAPH_H_
+#define RPS_RDF_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// An in-memory RDF graph (a set of dictionary-encoded triples) with
+/// per-position inverted indexes for pattern matching.
+///
+/// The graph borrows its Dictionary (non-owning): all graphs participating
+/// in one RPS share a dictionary so TermIds are comparable across peers.
+///
+/// Insertion validates the RDF typing constraint of the paper:
+/// (s, p, o) ∈ (I ∪ B) × I × (I ∪ B ∪ L).
+class Graph {
+ public:
+  explicit Graph(Dictionary* dict) : dict_(dict) {}
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Inserts a triple after validating term kinds. Returns true if the
+  /// triple was new, false if it was already present; error status if the
+  /// triple violates the RDF typing constraint.
+  Result<bool> Insert(const Triple& t);
+
+  /// Inserts without kind validation (used on hot paths where the caller
+  /// guarantees validity, e.g. the chase copying existing triples).
+  /// Returns true if the triple was new.
+  bool InsertUnchecked(const Triple& t);
+
+  /// Convenience: interns the three terms and inserts.
+  Result<bool> Insert(const Term& s, const Term& p, const Term& o);
+
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+
+  /// All triples in insertion order. Stable across Match calls.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Inserts every triple of `other` (which must share this dictionary).
+  /// Returns the number of newly added triples.
+  size_t InsertAll(const Graph& other);
+
+  /// Matches a triple pattern where std::nullopt is a wildcard. Invokes
+  /// `fn` for every matching triple; if `fn` returns false, matching stops
+  /// early.
+  void Match(std::optional<TermId> s, std::optional<TermId> p,
+             std::optional<TermId> o,
+             const std::function<bool(const Triple&)>& fn) const;
+
+  /// Collects all matches of the pattern.
+  std::vector<Triple> MatchAll(std::optional<TermId> s,
+                               std::optional<TermId> p,
+                               std::optional<TermId> o) const;
+
+  /// Upper bound on the number of matches for the pattern; used by the
+  /// query evaluator to order joins most-selective-first.
+  size_t EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
+                         std::optional<TermId> o) const;
+
+  /// The set of term ids that occur in some triple of this graph, at any
+  /// position. Computed on demand.
+  std::unordered_set<TermId> TermsInUse() const;
+
+  Dictionary* dict() const { return dict_; }
+
+ private:
+  // Returns the index posting list for the given position/term, or nullptr.
+  const std::vector<uint32_t>* Postings(
+      const std::unordered_map<TermId, std::vector<uint32_t>>& index,
+      TermId id) const;
+
+  Dictionary* dict_;
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> set_;
+  std::unordered_map<TermId, std::vector<uint32_t>> by_s_;
+  std::unordered_map<TermId, std::vector<uint32_t>> by_p_;
+  std::unordered_map<TermId, std::vector<uint32_t>> by_o_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_RDF_GRAPH_H_

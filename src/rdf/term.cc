@@ -1,0 +1,87 @@
+#include "rdf/term.h"
+
+#include <ostream>
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace rps {
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind_ = TermKind::kIri;
+  t.lexical_ = std::move(iri);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind_ = TermKind::kBlank;
+  t.lexical_ = std::move(label);
+  return t;
+}
+
+Term Term::Literal(std::string lexical) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  return t;
+}
+
+Term Term::TypedLiteral(std::string lexical, std::string datatype) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  if (datatype != kXsdString) {
+    t.datatype_ = std::move(datatype);
+  }
+  return t;
+}
+
+Term Term::LangLiteral(std::string lexical, std::string lang) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  t.lang_ = std::move(lang);
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + lexical_ + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical_;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(lexical_) + "\"";
+      if (!lang_.empty()) {
+        out += "@" + lang_;
+      } else if (!datatype_.empty()) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+bool operator<(const Term& a, const Term& b) {
+  return std::tie(a.kind_, a.lexical_, a.datatype_, a.lang_) <
+         std::tie(b.kind_, b.lexical_, b.datatype_, b.lang_);
+}
+
+size_t TermHash::operator()(const Term& t) const {
+  size_t h = std::hash<std::string>()(t.lexical());
+  h = h * 1099511628211ULL ^ static_cast<size_t>(t.kind());
+  if (t.is_literal()) {
+    h = h * 1099511628211ULL ^ std::hash<std::string>()(t.datatype());
+    h = h * 1099511628211ULL ^ std::hash<std::string>()(t.lang());
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToString();
+}
+
+}  // namespace rps

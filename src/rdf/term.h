@@ -1,0 +1,94 @@
+#ifndef RPS_RDF_TERM_H_
+#define RPS_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace rps {
+
+/// The three disjoint sets of RDF terms from the paper's formalization:
+/// I (IRIs), B (blank nodes) and L (literals).
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kBlank = 1,
+  kLiteral = 2,
+};
+
+/// Well-known IRIs used across the library.
+inline constexpr std::string_view kOwlSameAs =
+    "http://www.w3.org/2002/07/owl#sameAs";
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kLangString =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+
+/// An RDF term: an IRI, a blank node, or a (possibly typed or
+/// language-tagged) literal. Immutable value type.
+///
+/// Representation notes:
+/// * for IRIs, `lexical()` is the IRI string (without angle brackets);
+/// * for blank nodes, `lexical()` is the label (without the `_:` prefix);
+/// * for literals, `lexical()` is the lexical form, `datatype()` the
+///   datatype IRI (empty means xsd:string per RDF 1.1), and `lang()` the
+///   language tag (non-empty implies datatype rdf:langString).
+class Term {
+ public:
+  /// Builds an IRI term.
+  static Term Iri(std::string iri);
+  /// Builds a blank node with the given label.
+  static Term Blank(std::string label);
+  /// Builds a plain (xsd:string) literal.
+  static Term Literal(std::string lexical);
+  /// Builds a datatyped literal.
+  static Term TypedLiteral(std::string lexical, std::string datatype);
+  /// Builds a language-tagged literal.
+  static Term LangLiteral(std::string lexical, std::string lang);
+
+  Term() : kind_(TermKind::kIri) {}
+
+  TermKind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  bool is_blank() const { return kind_ == TermKind::kBlank; }
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+
+  const std::string& lexical() const { return lexical_; }
+  const std::string& datatype() const { return datatype_; }
+  const std::string& lang() const { return lang_; }
+
+  /// Renders the term in N-Triples syntax: `<iri>`, `_:label`,
+  /// `"escaped"`, `"escaped"@lang` or `"escaped"^^<datatype>`.
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.lexical_ == b.lexical_ &&
+           a.datatype_ == b.datatype_ && a.lang_ == b.lang_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+  /// Total order (kind, lexical, datatype, lang); used for deterministic
+  /// output ordering.
+  friend bool operator<(const Term& a, const Term& b);
+
+ private:
+  TermKind kind_;
+  std::string lexical_;
+  std::string datatype_;  // literals only; empty = xsd:string
+  std::string lang_;      // literals only
+};
+
+/// Hash functor for Term, suitable for unordered containers.
+struct TermHash {
+  size_t operator()(const Term& t) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+}  // namespace rps
+
+#endif  // RPS_RDF_TERM_H_

@@ -1,0 +1,43 @@
+#ifndef RPS_RDF_TRIPLE_H_
+#define RPS_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "rdf/dictionary.h"
+
+namespace rps {
+
+/// A dictionary-encoded RDF triple (s, p, o). Validity constraints from the
+/// paper ((s,p,o) ∈ (I∪B) × I × (I∪B∪L)) are enforced at insertion time by
+/// Graph::Insert, not by this passive struct.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator!=(const Triple& a, const Triple& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t h = t.s;
+    h = h * 1099511628211ULL ^ t.p;
+    h = h * 1099511628211ULL ^ t.o;
+    return h;
+  }
+};
+
+}  // namespace rps
+
+#endif  // RPS_RDF_TRIPLE_H_

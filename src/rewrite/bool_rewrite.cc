@@ -1,0 +1,113 @@
+#include "rewrite/bool_rewrite.h"
+
+#include "peer/equivalence.h"
+
+namespace rps {
+
+Result<RpsRewriteResult> RewriteGraphQuery(const RpsSystem& system,
+                                           const GraphPatternQuery& query,
+                                           const RpsRewriteOptions& options) {
+  RPS_RETURN_IF_ERROR(query.Validate());
+  PredTable preds;
+  PredId tt = preds.Intern("tt", 3);
+  PredId rt = preds.Intern("rt", 1);
+  VarPool* vars = system.vars();
+
+  RpsRewriteResult result;
+
+  if (options.equivalence_mode == EquivalenceRewriteMode::kTgdResolution) {
+    std::vector<Tgd> target;
+    system.CompileToTgds(&preds, /*source_to_target=*/nullptr, &target);
+    std::vector<Tgd> stripped = StripGuardAtoms(target, rt);
+    std::vector<Tgd> normalized = NormalizeTgds(stripped, &preds, vars);
+    ConjunctiveQuery cq = FromGraphQuery(query, tt);
+    RPS_ASSIGN_OR_RETURN(
+        result.stats,
+        RewriteUnderTgds(cq, normalized, preds, vars, options.rewrite));
+    result.ucq = result.stats.ucq;
+    return result;
+  }
+
+  // kCanonical: canonicalize query and GMAs by equivalence clique, rewrite
+  // under the (guard-stripped, normalized) GMA TGDs only. The UCQ is in
+  // canonical terms; the caller evaluates it over canonicalized sources
+  // and expands the answers over the cliques.
+  EquivalenceClosure closure(system.equivalences(), *system.dict());
+  bool has_cliques = closure.CliqueCount() > 0;
+  std::vector<GraphMappingAssertion> canonical_gmas;
+  canonical_gmas.reserve(system.graph_mappings().size());
+  for (const GraphMappingAssertion& gma : system.graph_mappings()) {
+    canonical_gmas.push_back(closure.CanonicalizeMapping(gma));
+  }
+  std::vector<Tgd> target = CompileGmaTgds(canonical_gmas, tt, rt, vars);
+  std::vector<Tgd> stripped = StripGuardAtoms(target, rt);
+  std::vector<Tgd> normalized = NormalizeTgds(stripped, &preds, vars);
+
+  ConjunctiveQuery cq = FromGraphQuery(closure.CanonicalizeQuery(query), tt);
+  RPS_ASSIGN_OR_RETURN(
+      result.stats,
+      RewriteUnderTgds(cq, normalized, preds, vars, options.rewrite));
+  result.ucq = result.stats.ucq;
+  // Without cliques, canonicalization was the identity: the UCQ evaluates
+  // directly over the raw sources and callers can skip the canonical copy.
+  result.canonical_terms = has_cliques;
+  return result;
+}
+
+Result<RewriteAnswers> CertainAnswersViaRewriting(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const RpsRewriteOptions& options) {
+  RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
+                       RewriteGraphQuery(system, query, options));
+  RewriteAnswers out;
+  Graph stored = system.StoredDatabase();
+  if (rewritten.canonical_terms) {
+    EquivalenceClosure closure(system.equivalences(), *system.dict());
+    Graph canonical = closure.CanonicalizeGraph(stored);
+    std::vector<Tuple> canonical_answers =
+        EvalUcqOverGraph(canonical, rewritten.ucq);
+    out.answers = closure.ExpandTuples(canonical_answers);
+  } else {
+    out.answers = EvalUcqOverGraph(stored, rewritten.ucq);
+  }
+  out.stats = std::move(rewritten.stats);
+  return out;
+}
+
+Result<BooleanRewriteCheck> CheckTupleByRewriting(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const Tuple& tuple, const RpsRewriteOptions& options) {
+  if (tuple.size() != query.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity does not match the query arity");
+  }
+  BooleanRewriteCheck check;
+  check.boolean_query = BindHead(query, tuple);
+
+  Graph stored = system.StoredDatabase();
+  check.value_before = EvalBoolean(stored, check.boolean_query,
+                                   QuerySemantics::kDropBlanks);
+
+  RPS_ASSIGN_OR_RETURN(
+      RpsRewriteResult rewritten,
+      RewriteGraphQuery(system, check.boolean_query, options));
+  check.stats = std::move(rewritten.stats);
+
+  if (rewritten.canonical_terms) {
+    EquivalenceClosure closure(system.equivalences(), *system.dict());
+    Graph canonical = closure.CanonicalizeGraph(stored);
+    check.value_after = !EvalUcqOverGraph(canonical, rewritten.ucq).empty();
+  } else {
+    check.value_after = !EvalUcqOverGraph(stored, rewritten.ucq).empty();
+  }
+
+  for (const ConjunctiveQuery& cq : rewritten.ucq) {
+    Result<GraphPatternQuery> branch = ToGraphQuery(cq);
+    if (branch.ok()) {
+      check.rewritten_union.push_back(std::move(branch).value());
+    }
+  }
+  return check;
+}
+
+}  // namespace rps

@@ -1,0 +1,93 @@
+#ifndef RPS_REWRITE_BOOL_REWRITE_H_
+#define RPS_REWRITE_BOOL_REWRITE_H_
+
+#include <vector>
+
+#include "peer/rps_system.h"
+#include "rewrite/rewriter.h"
+
+namespace rps {
+
+/// How the RPS-level rewriter treats equivalence mappings.
+enum class EquivalenceRewriteMode {
+  /// Canonicalize the query and the graph mapping assertions by
+  /// equivalence clique (union-find) and rewrite under the GMA TGDs only.
+  /// The resulting UCQ uses canonical terms: it must be evaluated over
+  /// clique-canonicalized sources (each peer can canonicalize locally
+  /// given the shared sameAs closure) and the answers expanded back over
+  /// the cliques — which CertainAnswersViaRewriting and the Federator do.
+  /// Tractable: avoids enumerating clique variants during resolution.
+  kCanonical,
+  /// Resolve the six equivalence TGDs like any other dependency — the
+  /// literal §4 construction, demonstrated in Listing 2, producing a UCQ
+  /// directly evaluable on the raw sources. Exponential in clique sizes
+  /// (every join variable gets instantiated with clique constants); use
+  /// for small queries / demonstrations and ablations.
+  kTgdResolution,
+};
+
+/// Options for the RPS-level rewriting entry points.
+struct RpsRewriteOptions {
+  RewriteOptions rewrite;
+  EquivalenceRewriteMode equivalence_mode =
+      EquivalenceRewriteMode::kCanonical;
+};
+
+/// Result of rewriting a graph pattern query under the mappings of an
+/// RPS (the Proposition 2 path: evaluate the rewriting over the sources
+/// instead of materializing the universal solution).
+struct RpsRewriteResult {
+  /// The rewritten UCQ over tt atoms. In kTgdResolution mode it is
+  /// directly evaluable on the raw stored database; in kCanonical mode
+  /// its constants are canonical representatives and it must be evaluated
+  /// over canonicalized sources (see `canonical_terms`).
+  std::vector<ConjunctiveQuery> ucq;
+  /// True when the UCQ is expressed in canonical representatives.
+  bool canonical_terms = false;
+  /// Statistics of the underlying rewriting run.
+  RewriteResult stats;
+};
+
+/// Rewrites `query` under the target TGDs of `system` (§3 encoding with
+/// the rt guards dropped — sound per §4 — and normalized to the
+/// restricted class). If the mapping set is linear / sticky / sticky-join
+/// the result is a perfect rewriting (Proposition 2) and stats.complete
+/// is true; for non-FO-rewritable sets the budget is exhausted and
+/// stats.complete is false (Proposition 3).
+Result<RpsRewriteResult> RewriteGraphQuery(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const RpsRewriteOptions& options = RpsRewriteOptions());
+
+/// Certain answers computed by rewriting: rewrite, then evaluate the UCQ
+/// over the stored database D. Equals Algorithm 1's output whenever the
+/// rewriting is complete.
+struct RewriteAnswers {
+  std::vector<Tuple> answers;
+  RewriteResult stats;
+};
+Result<RewriteAnswers> CertainAnswersViaRewriting(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const RpsRewriteOptions& options = RpsRewriteOptions());
+
+/// The Example 3 / Listing 2 flow: substitute `tuple` into `query` to
+/// obtain a Boolean query, evaluate it over the sources (typically false),
+/// rewrite it under the RPS mappings, and evaluate the rewritten union.
+struct BooleanRewriteCheck {
+  /// The Boolean (ASK) query with the tuple substituted.
+  GraphPatternQuery boolean_query;
+  /// ASK over the stored database before rewriting.
+  bool value_before = false;
+  /// ASK of the rewritten union over the stored database.
+  bool value_after = false;
+  /// Branches of the rewritten union expressible as SPARQL ASK queries.
+  std::vector<GraphPatternQuery> rewritten_union;
+  RewriteResult stats;
+};
+Result<BooleanRewriteCheck> CheckTupleByRewriting(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const Tuple& tuple,
+    const RpsRewriteOptions& options = RpsRewriteOptions());
+
+}  // namespace rps
+
+#endif  // RPS_REWRITE_BOOL_REWRITE_H_

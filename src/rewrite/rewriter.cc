@@ -1,0 +1,509 @@
+#include "rewrite/rewriter.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rps {
+
+std::vector<VarId> ConjunctiveQuery::HeadVars() const {
+  std::vector<VarId> out;
+  for (const AtomArg& arg : head) {
+    if (arg.is_var() &&
+        std::find(out.begin(), out.end(), arg.var()) == out.end()) {
+      out.push_back(arg.var());
+    }
+  }
+  return out;
+}
+
+ConjunctiveQuery FromGraphQuery(const GraphPatternQuery& q, PredId tt) {
+  ConjunctiveQuery cq;
+  cq.head.reserve(q.head.size());
+  for (VarId v : q.head) cq.head.push_back(AtomArg::Var(v));
+  for (const TriplePattern& tp : q.body.patterns()) {
+    Atom atom;
+    atom.pred = tt;
+    auto convert = [](const PatternTerm& pt) {
+      return pt.is_var() ? AtomArg::Var(pt.var())
+                         : AtomArg::Const(pt.term());
+    };
+    atom.args = {convert(tp.s), convert(tp.p), convert(tp.o)};
+    cq.body.push_back(std::move(atom));
+  }
+  return cq;
+}
+
+Result<GraphPatternQuery> ToGraphQuery(const ConjunctiveQuery& cq) {
+  GraphPatternQuery q;
+  for (const AtomArg& arg : cq.head) {
+    if (!arg.is_var()) {
+      return Status::FailedPrecondition(
+          "CQ head contains a constant; not expressible as a SPARQL SELECT");
+    }
+    q.head.push_back(arg.var());
+  }
+  for (const Atom& atom : cq.body) {
+    if (atom.args.size() != 3) {
+      return Status::FailedPrecondition(
+          "CQ body contains a non-triple atom");
+    }
+    auto convert = [](const AtomArg& arg) {
+      return arg.is_var() ? PatternTerm::Var(arg.var())
+                          : PatternTerm::Const(arg.term());
+    };
+    q.body.Add(TriplePattern{convert(atom.args[0]), convert(atom.args[1]),
+                             convert(atom.args[2])});
+  }
+  return q;
+}
+
+std::string ToString(const ConjunctiveQuery& cq, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars) {
+  std::string out = "q(";
+  for (size_t i = 0; i < cq.head.size(); ++i) {
+    if (i > 0) out += ", ";
+    const AtomArg& arg = cq.head[i];
+    out += arg.is_var() ? "?" + vars.name(arg.var()) : dict.ToString(arg.term());
+  }
+  out += ") <- ";
+  for (size_t i = 0; i < cq.body.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += ToString(cq.body[i], preds, dict, vars);
+  }
+  return out;
+}
+
+std::vector<Tgd> StripGuardAtoms(const std::vector<Tgd>& tgds, PredId guard) {
+  std::vector<Tgd> out;
+  out.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) {
+    Tgd stripped;
+    stripped.label = tgd.label;
+    stripped.head = tgd.head;
+    for (const Atom& atom : tgd.body) {
+      if (atom.pred != guard) stripped.body.push_back(atom);
+    }
+    if (stripped.body.empty()) {
+      stripped.body = tgd.body;  // keep guards rather than a bodyless TGD
+    }
+    out.push_back(std::move(stripped));
+  }
+  return out;
+}
+
+namespace {
+
+/// True if the TGD is already in the restricted class of [13]: one head
+/// atom whose existential variables number at most one, occurring once.
+bool IsRestricted(const Tgd& tgd) {
+  if (tgd.head.size() != 1) return false;
+  std::set<VarId> existential = tgd.ExistentialVars();
+  if (existential.size() > 1) return false;
+  if (existential.empty()) return true;
+  VarId z = *existential.begin();
+  size_t occurrences = 0;
+  for (const AtomArg& arg : tgd.head[0].args) {
+    if (arg.is_var() && arg.var() == z) ++occurrences;
+  }
+  return occurrences == 1;
+}
+
+}  // namespace
+
+std::vector<Tgd> NormalizeTgds(const std::vector<Tgd>& tgds, PredTable* preds,
+                               VarPool* vars) {
+  (void)vars;  // variables are reused; aux atoms only permute existing ones
+  std::vector<Tgd> out;
+  size_t aux_counter = 0;
+  for (const Tgd& tgd : tgds) {
+    if (IsRestricted(tgd)) {
+      out.push_back(tgd);
+      continue;
+    }
+    // Chain normalization: body → aux_1(u, z1) → ... → aux_k(u, z) → h_i.
+    std::vector<VarId> frontier;
+    for (VarId v : tgd.FrontierVars()) frontier.push_back(v);
+    std::vector<VarId> existential;
+    for (VarId v : tgd.ExistentialVars()) existential.push_back(v);
+
+    auto make_aux_atom = [&](size_t num_existentials) {
+      std::string name = "aux_" + std::to_string(preds->size()) + "_" +
+                         std::to_string(aux_counter);
+      Atom atom;
+      atom.pred = preds->Intern(
+          name,
+          static_cast<uint32_t>(frontier.size() + num_existentials));
+      for (VarId v : frontier) atom.args.push_back(AtomArg::Var(v));
+      for (size_t i = 0; i < num_existentials; ++i) {
+        atom.args.push_back(AtomArg::Var(existential[i]));
+      }
+      ++aux_counter;
+      return atom;
+    };
+
+    std::vector<Atom> chain_atoms;
+    size_t links = existential.empty() ? 1 : existential.size();
+    for (size_t i = 1; i <= links; ++i) {
+      chain_atoms.push_back(
+          make_aux_atom(existential.empty() ? 0 : i));
+    }
+
+    // body → first link.
+    {
+      Tgd link;
+      link.label = tgd.label + ":aux0";
+      link.body = tgd.body;
+      link.head = {chain_atoms[0]};
+      out.push_back(std::move(link));
+    }
+    // link i-1 → link i (introduces existential z_{i}).
+    for (size_t i = 1; i < chain_atoms.size(); ++i) {
+      Tgd link;
+      link.label = tgd.label + ":aux" + std::to_string(i);
+      link.body = {chain_atoms[i - 1]};
+      link.head = {chain_atoms[i]};
+      out.push_back(std::move(link));
+    }
+    // last link → each original head atom (no existentials remain).
+    for (size_t i = 0; i < tgd.head.size(); ++i) {
+      Tgd final_link;
+      final_link.label = tgd.label + ":head" + std::to_string(i);
+      final_link.body = {chain_atoms.back()};
+      final_link.head = {tgd.head[i]};
+      out.push_back(std::move(final_link));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Canonical keys for CQ deduplication. Variables are renamed by first
+// occurrence over (head, then body atoms pre-sorted by a variable-
+// independent shape); the result is rendered to a string.
+std::string CanonicalKey(const ConjunctiveQuery& cq) {
+  // Shape of an atom ignoring variable identity.
+  auto shape = [](const Atom& atom) {
+    std::string s = std::to_string(atom.pred) + "(";
+    for (const AtomArg& arg : atom.args) {
+      s += arg.is_var() ? "v," : "c" + std::to_string(arg.term()) + ",";
+    }
+    return s + ")";
+  };
+  std::vector<size_t> order(cq.body.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return shape(cq.body[a]) < shape(cq.body[b]);
+  });
+
+  std::unordered_map<VarId, uint32_t> renaming;
+  auto canon_var = [&](VarId v) {
+    auto it = renaming.find(v);
+    if (it == renaming.end()) {
+      it = renaming.emplace(v, static_cast<uint32_t>(renaming.size())).first;
+    }
+    return it->second;
+  };
+  auto render_arg = [&](const AtomArg& arg) {
+    return arg.is_var() ? "V" + std::to_string(canon_var(arg.var()))
+                        : "C" + std::to_string(arg.term());
+  };
+
+  std::string key = "H:";
+  for (const AtomArg& arg : cq.head) key += render_arg(arg) + ",";
+  key += "|B:";
+  std::vector<std::string> rendered;
+  for (size_t idx : order) {
+    const Atom& atom = cq.body[idx];
+    std::string r = std::to_string(atom.pred) + "(";
+    for (const AtomArg& arg : atom.args) r += render_arg(arg) + ",";
+    rendered.push_back(r + ")");
+  }
+  // Second sort pass now that variables have canonical names (stabilizes
+  // ties among same-shape atoms).
+  std::sort(rendered.begin(), rendered.end());
+  for (const std::string& r : rendered) key += r + ";";
+  return key;
+}
+
+// Removes duplicate atoms from a body.
+void DedupAtoms(std::vector<Atom>* body) {
+  std::vector<Atom> out;
+  for (const Atom& atom : *body) {
+    if (std::find(out.begin(), out.end(), atom) == out.end()) {
+      out.push_back(atom);
+    }
+  }
+  *body = std::move(out);
+}
+
+// Counts occurrences of variable v across all body atom arguments.
+size_t CountOccurrences(const std::vector<Atom>& body, VarId v) {
+  size_t count = 0;
+  for (const Atom& atom : body) {
+    for (const AtomArg& arg : atom.args) {
+      if (arg.is_var() && arg.var() == v) ++count;
+    }
+  }
+  return count;
+}
+
+// Applicability of resolving query atom `qa` with restricted TGD `tgd`
+// (renamed apart): every existential position of the head must meet a
+// non-distinguished query variable that occurs exactly once in the query.
+bool Applicable(const ConjunctiveQuery& cq, const Atom& qa, const Tgd& tgd) {
+  std::set<VarId> existential = tgd.ExistentialVars();
+  if (existential.empty()) return true;
+  std::set<VarId> distinguished;
+  for (const AtomArg& arg : cq.head) {
+    if (arg.is_var()) distinguished.insert(arg.var());
+  }
+  const Atom& head = tgd.head[0];
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    const AtomArg& harg = head.args[i];
+    if (!harg.is_var() || existential.count(harg.var()) == 0) continue;
+    const AtomArg& qarg = qa.args[i];
+    if (qarg.is_const()) return false;
+    if (distinguished.count(qarg.var()) > 0) return false;
+    if (CountOccurrences(cq.body, qarg.var()) != 1) return false;
+  }
+  return true;
+}
+
+bool UsesAuxPred(const ConjunctiveQuery& cq, const PredTable& preds) {
+  for (const Atom& atom : cq.body) {
+    if (preds.name(atom.pred).rfind("aux_", 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<RewriteResult> RewriteUnderTgds(const ConjunctiveQuery& query,
+                                       const std::vector<Tgd>& tgds,
+                                       const PredTable& preds, VarPool* vars,
+                                       const RewriteOptions& options) {
+  RewriteResult result;
+  std::deque<ConjunctiveQuery> queue;
+  std::unordered_set<std::string> seen;
+  std::vector<ConjunctiveQuery> explored;
+
+  auto push = [&](ConjunctiveQuery cq) -> bool {
+    DedupAtoms(&cq.body);
+    std::string key = CanonicalKey(cq);
+    if (!seen.insert(std::move(key)).second) return true;
+    ++result.generated;
+    if (seen.size() > options.max_queries) return false;
+    explored.push_back(cq);
+    queue.push_back(std::move(cq));
+    return true;
+  };
+
+  bool budget_ok = push(query);
+
+  while (budget_ok && !queue.empty()) {
+    if (result.steps >= options.max_steps) {
+      budget_ok = false;
+      break;
+    }
+    ++result.steps;
+    ConjunctiveQuery cq = std::move(queue.front());
+    queue.pop_front();
+
+    // Resolution: replace one body atom by a TGD body.
+    for (size_t ai = 0; ai < cq.body.size() && budget_ok; ++ai) {
+      for (const Tgd& tgd_orig : tgds) {
+        if (tgd_orig.head.size() != 1) continue;  // must be normalized
+        Tgd tgd = RenameApart(tgd_orig, vars);
+        if (tgd.head[0].pred != cq.body[ai].pred) continue;
+        if (!Applicable(cq, cq.body[ai], tgd)) continue;
+        std::optional<Subst> mgu = Unify(cq.body[ai], tgd.head[0]);
+        if (!mgu.has_value()) continue;
+
+        ConjunctiveQuery rewritten;
+        rewritten.head.reserve(cq.head.size());
+        for (const AtomArg& arg : cq.head) {
+          rewritten.head.push_back(Resolve(*mgu, arg));
+        }
+        for (size_t j = 0; j < cq.body.size(); ++j) {
+          if (j == ai) continue;
+          rewritten.body.push_back(ApplySubst(*mgu, cq.body[j]));
+        }
+        for (const Atom& atom : tgd.body) {
+          rewritten.body.push_back(ApplySubst(*mgu, atom));
+        }
+        if (!push(std::move(rewritten))) {
+          budget_ok = false;
+          break;
+        }
+      }
+    }
+
+    // Factorization: unify same-predicate body atom pairs.
+    if (options.factorize && budget_ok) {
+      for (size_t i = 0; i < cq.body.size() && budget_ok; ++i) {
+        for (size_t j = i + 1; j < cq.body.size() && budget_ok; ++j) {
+          if (cq.body[i].pred != cq.body[j].pred) continue;
+          std::optional<Subst> mgu = Unify(cq.body[i], cq.body[j]);
+          if (!mgu.has_value()) continue;
+          ConjunctiveQuery factored;
+          for (const AtomArg& arg : cq.head) {
+            factored.head.push_back(Resolve(*mgu, arg));
+          }
+          for (const Atom& atom : cq.body) {
+            factored.body.push_back(ApplySubst(*mgu, atom));
+          }
+          if (!push(std::move(factored))) budget_ok = false;
+        }
+      }
+    }
+  }
+
+  result.complete = budget_ok;
+
+  // Emit the auxiliary-free CQs.
+  for (ConjunctiveQuery& cq : explored) {
+    if (!UsesAuxPred(cq, preds)) {
+      result.ucq.push_back(std::move(cq));
+    }
+  }
+
+  if (options.minimize) {
+    std::vector<bool> removed(result.ucq.size(), false);
+    for (size_t i = 0; i < result.ucq.size(); ++i) {
+      if (removed[i]) continue;
+      for (size_t j = 0; j < result.ucq.size(); ++j) {
+        if (i == j || removed[j]) continue;
+        if (Subsumes(result.ucq[i], result.ucq[j])) {
+          removed[j] = true;
+          ++result.pruned;
+        }
+      }
+    }
+    std::vector<ConjunctiveQuery> kept;
+    for (size_t i = 0; i < result.ucq.size(); ++i) {
+      if (!removed[i]) kept.push_back(std::move(result.ucq[i]));
+    }
+    result.ucq = std::move(kept);
+  }
+  return result;
+}
+
+bool Subsumes(const ConjunctiveQuery& general,
+              const ConjunctiveQuery& specific) {
+  if (general.head.size() != specific.head.size()) return false;
+
+  // Homomorphism h: vars(general) → frozen terms of `specific`.
+  // Frozen terms are represented as AtomArg (specific's variables are
+  // treated as distinct constants).
+  std::unordered_map<VarId, AtomArg> hom;
+
+  // Heads must align: h(general.head[i]) == specific.head[i].
+  for (size_t i = 0; i < general.head.size(); ++i) {
+    const AtomArg& g = general.head[i];
+    const AtomArg& s = specific.head[i];
+    if (g.is_const()) {
+      if (!(g == s)) return false;
+    } else {
+      auto it = hom.find(g.var());
+      if (it != hom.end()) {
+        if (!(it->second == s)) return false;
+      } else {
+        hom.emplace(g.var(), s);
+      }
+    }
+  }
+
+  // Backtracking over general's body atoms.
+  std::function<bool(size_t)> match = [&](size_t idx) -> bool {
+    if (idx == general.body.size()) return true;
+    const Atom& g = general.body[idx];
+    for (const Atom& s : specific.body) {
+      if (s.pred != g.pred || s.args.size() != g.args.size()) continue;
+      std::vector<VarId> bound;
+      bool ok = true;
+      for (size_t i = 0; i < g.args.size(); ++i) {
+        const AtomArg& garg = g.args[i];
+        const AtomArg& sarg = s.args[i];
+        if (garg.is_const()) {
+          if (!(garg == sarg)) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        auto it = hom.find(garg.var());
+        if (it != hom.end()) {
+          if (!(it->second == sarg)) {
+            ok = false;
+            break;
+          }
+        } else {
+          hom.emplace(garg.var(), sarg);
+          bound.push_back(garg.var());
+        }
+      }
+      if (ok && match(idx + 1)) return true;
+      for (VarId v : bound) hom.erase(v);
+    }
+    return false;
+  };
+  return match(0);
+}
+
+std::vector<Tuple> EvalUcqOverGraph(const Graph& graph,
+                                    const std::vector<ConjunctiveQuery>& ucq,
+                                    const EvalOptions& options) {
+  const Dictionary& dict = *graph.dict();
+  std::vector<Tuple> out;
+  for (const ConjunctiveQuery& cq : ucq) {
+    GraphPattern gp;
+    bool convertible = true;
+    for (const Atom& atom : cq.body) {
+      if (atom.args.size() != 3) {
+        convertible = false;
+        break;
+      }
+      auto convert = [](const AtomArg& arg) {
+        return arg.is_var() ? PatternTerm::Var(arg.var())
+                            : PatternTerm::Const(arg.term());
+      };
+      gp.Add(TriplePattern{convert(atom.args[0]), convert(atom.args[1]),
+                           convert(atom.args[2])});
+    }
+    if (!convertible) continue;  // auxiliary leftovers are never evaluable
+    BindingSet bindings = EvalGraphPattern(graph, gp, options);
+    for (const Binding& b : bindings) {
+      Tuple tuple;
+      tuple.reserve(cq.head.size());
+      bool keep = true;
+      for (const AtomArg& arg : cq.head) {
+        TermId value;
+        if (arg.is_const()) {
+          value = arg.term();
+        } else {
+          std::optional<TermId> bound = b.Get(arg.var());
+          if (!bound.has_value()) {
+            keep = false;
+            break;
+          }
+          value = *bound;
+        }
+        if (dict.IsBlank(value)) {
+          keep = false;
+          break;
+        }
+        tuple.push_back(value);
+      }
+      if (keep) out.push_back(std::move(tuple));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace rps

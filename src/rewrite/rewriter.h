@@ -1,0 +1,119 @@
+#ifndef RPS_REWRITE_REWRITER_H_
+#define RPS_REWRITE_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/eval.h"
+#include "rdf/graph.h"
+#include "tgd/unification.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// A conjunctive query over relational atoms, used by the rewriting
+/// engine. Head arguments may be variables or constants: rewriting can
+/// unify a distinguished variable with a constant, in which case the
+/// constant is pinned in the head of the rewritten query.
+struct ConjunctiveQuery {
+  std::vector<AtomArg> head;
+  std::vector<Atom> body;
+
+  size_t arity() const { return head.size(); }
+  bool is_boolean() const { return head.empty(); }
+
+  /// Distinguished variables: head arguments that are variables.
+  std::vector<VarId> HeadVars() const;
+
+  friend bool operator==(const ConjunctiveQuery& a,
+                         const ConjunctiveQuery& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+};
+
+/// Converts a graph pattern query into a CQ over `tt/3` atoms.
+ConjunctiveQuery FromGraphQuery(const GraphPatternQuery& q, PredId tt);
+
+/// Converts back; fails if the head contains constants (SPARQL SELECT
+/// cannot pin constants without extensions).
+Result<GraphPatternQuery> ToGraphQuery(const ConjunctiveQuery& cq);
+
+/// Renders a CQ for diagnostics.
+std::string ToString(const ConjunctiveQuery& cq, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars);
+
+/// Budgets and switches for RewriteUnderTgds.
+struct RewriteOptions {
+  /// Maximum number of distinct CQs explored. When exceeded the rewriting
+  /// returns with complete=false — the signal used by the Proposition 3
+  /// experiment (non-FO-rewritable sets never converge).
+  size_t max_queries = 20000;
+  /// Maximum queue pops.
+  size_t max_steps = 200000;
+  /// Subsumption-prune the final UCQ (ablation in E6).
+  bool minimize = true;
+  /// Also apply the factorization ("reduction") step: unify unifiable
+  /// body-atom pairs of the same predicate. Needed for completeness
+  /// beyond linear TGD sets.
+  bool factorize = true;
+};
+
+/// Outcome of a rewriting run.
+struct RewriteResult {
+  /// The rewritten UCQ: all explored CQs free of auxiliary predicates.
+  std::vector<ConjunctiveQuery> ucq;
+  /// True iff the fixpoint was reached within budget, i.e. the UCQ is a
+  /// perfect rewriting (Proposition 2 situations). False means the TGD
+  /// set kept generating new CQs — the Proposition 3 behaviour.
+  bool complete = false;
+  size_t steps = 0;
+  size_t generated = 0;  // distinct CQs generated (pre-minimization)
+  size_t pruned = 0;     // CQs removed by subsumption minimization
+};
+
+/// Normalizes arbitrary TGDs into the restricted class required by
+/// TGD-rewrite [13]: single-head-atom TGDs whose at most one existential
+/// variable occurs exactly once. Multi-atom heads and multi-existential
+/// TGDs are split through chains of fresh auxiliary predicates
+/// ("aux_<n>"), which is the logspace reduction the paper invokes in §4.
+/// Auxiliary predicates never occur in data or user queries, so certain
+/// answers are preserved.
+std::vector<Tgd> NormalizeTgds(const std::vector<Tgd>& tgds, PredTable* preds,
+                               VarPool* vars);
+
+/// Removes `guard` atoms (the rt(x) guards of the §3 encoding) from TGD
+/// bodies — sound because D ⊨ ∀x rt(x) holds for the stored database, as
+/// observed in §4 of the paper.
+std::vector<Tgd> StripGuardAtoms(const std::vector<Tgd>& tgds, PredId guard);
+
+/// UCQ rewriting by backward resolution (TGD-rewrite / XRewrite style):
+/// repeatedly unifies a body atom of a CQ with the head of a (renamed-
+/// apart) normalized TGD, subject to the applicability condition on
+/// existential positions (the unified query term must be a non-
+/// distinguished variable occurring exactly once in the CQ), replacing the
+/// atom with the TGD body. CQs mentioning auxiliary predicates are
+/// explored but not emitted. `tgds` must already be normalized.
+Result<RewriteResult> RewriteUnderTgds(const ConjunctiveQuery& query,
+                                       const std::vector<Tgd>& tgds,
+                                       const PredTable& preds, VarPool* vars,
+                                       const RewriteOptions& options =
+                                           RewriteOptions());
+
+/// Evaluates a UCQ of tt-atom CQs directly over an RDF graph: each CQ body
+/// is matched as a BGP, head variables are projected (blank-valued answers
+/// dropped), head constants are pinned. Results are deduplicated across
+/// branches and sorted.
+std::vector<Tuple> EvalUcqOverGraph(const Graph& graph,
+                                    const std::vector<ConjunctiveQuery>& ucq,
+                                    const EvalOptions& options =
+                                        EvalOptions());
+
+/// CQ subsumption: true iff `general` homomorphically maps into
+/// `specific` with heads aligned — then every answer of `specific` is an
+/// answer of `general` and `specific` can be pruned from a UCQ.
+bool Subsumes(const ConjunctiveQuery& general,
+              const ConjunctiveQuery& specific);
+
+}  // namespace rps
+
+#endif  // RPS_REWRITE_REWRITER_H_

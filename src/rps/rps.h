@@ -1,0 +1,63 @@
+#ifndef RPS_RPS_RPS_H_
+#define RPS_RPS_RPS_H_
+
+/// Umbrella header for rpslib — a from-scratch C++ implementation of
+/// "Peer-to-Peer Semantic Integration of Linked Data" (Dimartino, Calì,
+/// Poulovassilis, Wood; EDBT/ICDT 2015 workshops).
+///
+/// Layering (each header is also usable on its own):
+///  * rdf/      — terms, dictionary encoding, indexed triple store
+///  * parser/   — N-Triples, Turtle and conjunctive-SPARQL parsers
+///  * query/    — graph patterns, solution mappings, BGP evaluation
+///  * tgd/      — relational atoms, TGDs, class tests (sticky, linear, …)
+///  * chase/    — relational chase + Algorithm 1 (universal solutions)
+///  * peer/     — RDF Peer Systems, certain answers, equivalence closure
+///  * rewrite/  — UCQ perfect rewriting, Boolean-query rewriting
+///  * federation/ — simulated peer network and federated execution
+///  * gen/      — synthetic workload generators and the paper's example
+
+#include "chase/relational_chase.h"
+#include "config/mapping_dsl.h"
+#include "chase/rps_chase.h"
+#include "datalog/engine.h"
+#include "discovery/discovery.h"
+#include "datalog/program.h"
+#include "datalog/translate.h"
+#include "federation/federator.h"
+#include "federation/network.h"
+#include "federation/peer_node.h"
+#include "gen/generators.h"
+#include "gen/paper_example.h"
+#include "parser/ntriples.h"
+#include "parser/sparql.h"
+#include "parser/turtle.h"
+#include "peer/certain_answers.h"
+#include "peer/equivalence.h"
+#include "peer/incremental.h"
+#include "peer/provenance.h"
+#include "peer/mapping.h"
+#include "peer/rps_system.h"
+#include "peer/schema.h"
+#include "query/algebra.h"
+#include "query/binding.h"
+#include "query/eval.h"
+#include "query/pattern.h"
+#include "query/query.h"
+#include "rdf/dataset.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rewrite/bool_rewrite.h"
+#include "rewrite/rewriter.h"
+#include "tgd/atom.h"
+#include "tgd/classify.h"
+#include "tgd/tgd.h"
+#include "tgd/unification.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/union_find.h"
+
+#endif  // RPS_RPS_RPS_H_

@@ -1,0 +1,60 @@
+#include "tgd/atom.h"
+
+#include <cassert>
+
+namespace rps {
+
+PredId PredTable::Intern(const std::string& name, uint32_t arity) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    assert(arities_[it->second] == arity &&
+           "predicate re-interned with a different arity");
+    return it->second;
+  }
+  PredId id = static_cast<PredId>(names_.size());
+  names_.push_back(name);
+  arities_.push_back(arity);
+  index_.emplace(name, id);
+  return id;
+}
+
+std::vector<VarId> Atom::Vars() const {
+  std::vector<VarId> out;
+  for (const AtomArg& arg : args) {
+    if (!arg.is_var()) continue;
+    bool seen = false;
+    for (VarId v : out) {
+      if (v == arg.var()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(arg.var());
+  }
+  return out;
+}
+
+bool Atom::Mentions(VarId v) const {
+  for (const AtomArg& arg : args) {
+    if (arg.is_var() && arg.var() == v) return true;
+  }
+  return false;
+}
+
+std::string ToString(const Atom& atom, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars) {
+  std::string out = preds.name(atom.pred) + "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    const AtomArg& arg = atom.args[i];
+    if (arg.is_var()) {
+      out += "?" + vars.name(arg.var());
+    } else {
+      out += dict.ToString(arg.term());
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rps

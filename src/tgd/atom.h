@@ -1,0 +1,129 @@
+#ifndef RPS_TGD_ATOM_H_
+#define RPS_TGD_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/pattern.h"
+#include "rdf/dictionary.h"
+
+namespace rps {
+
+/// Dense handle for an interned predicate symbol.
+using PredId = uint32_t;
+
+/// Interning table for relational predicate symbols with fixed arities.
+/// The RPS→data-exchange encoding of §3 uses `tt/3` (triples of the
+/// peer-to-peer database) and `rt/1` (identified resources); rewriting
+/// normalization and the Proposition 3 construction add auxiliary
+/// predicates.
+class PredTable {
+ public:
+  PredTable() = default;
+  PredTable(const PredTable&) = delete;
+  PredTable& operator=(const PredTable&) = delete;
+
+  /// Interns a predicate. If the name exists with a different arity the
+  /// call aborts in debug builds (predicates are identified by name).
+  PredId Intern(const std::string& name, uint32_t arity);
+
+  const std::string& name(PredId id) const { return names_[id]; }
+  uint32_t arity(PredId id) const { return arities_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<uint32_t> arities_;
+  std::unordered_map<std::string, PredId> index_;
+};
+
+/// One argument of an atom: a variable or a constant term.
+/// (Same representation idea as PatternTerm, kept distinct because atoms
+/// and triple patterns live at different layers and evolve independently.)
+class AtomArg {
+ public:
+  AtomArg() : is_var_(false), id_(kInvalidTermId) {}
+
+  static AtomArg Var(VarId v) {
+    AtomArg a;
+    a.is_var_ = true;
+    a.id_ = v;
+    return a;
+  }
+  static AtomArg Const(TermId c) {
+    AtomArg a;
+    a.is_var_ = false;
+    a.id_ = c;
+    return a;
+  }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+  VarId var() const { return id_; }
+  TermId term() const { return id_; }
+
+  friend bool operator==(const AtomArg& a, const AtomArg& b) {
+    return a.is_var_ == b.is_var_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(const AtomArg& a, const AtomArg& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const AtomArg& a, const AtomArg& b) {
+    if (a.is_var_ != b.is_var_) return a.is_var_ < b.is_var_;
+    return a.id_ < b.id_;
+  }
+
+ private:
+  bool is_var_;
+  uint32_t id_;
+};
+
+/// A relational atom p(a1, ..., ak).
+struct Atom {
+  PredId pred = 0;
+  std::vector<AtomArg> args;
+
+  /// Variables of this atom, without duplicates, in argument order.
+  std::vector<VarId> Vars() const;
+
+  /// True if `v` occurs among the arguments.
+  bool Mentions(VarId v) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.pred == b.pred && a.args == b.args;
+  }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.pred != b.pred) return a.pred < b.pred;
+    return a.args < b.args;
+  }
+};
+
+/// Renders an atom as `p(?x, <iri>, "lit")` for diagnostics.
+std::string ToString(const Atom& atom, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars);
+
+/// A (pred, argument-index) pair — the "position r[i]" of Definition 4.
+struct Position {
+  PredId pred;
+  uint32_t index;
+
+  friend bool operator==(const Position& a, const Position& b) {
+    return a.pred == b.pred && a.index == b.index;
+  }
+  friend bool operator<(const Position& a, const Position& b) {
+    if (a.pred != b.pred) return a.pred < b.pred;
+    return a.index < b.index;
+  }
+};
+
+struct PositionHash {
+  size_t operator()(const Position& p) const {
+    return (static_cast<size_t>(p.pred) << 8) ^ p.index;
+  }
+};
+
+}  // namespace rps
+
+#endif  // RPS_TGD_ATOM_H_

@@ -1,0 +1,211 @@
+#include "tgd/classify.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rps {
+
+bool IsLinear(const std::vector<Tgd>& tgds) {
+  for (const Tgd& tgd : tgds) {
+    if (tgd.body.size() != 1) return false;
+  }
+  return true;
+}
+
+bool IsGuarded(const std::vector<Tgd>& tgds) {
+  for (const Tgd& tgd : tgds) {
+    std::set<VarId> body_vars = tgd.UniversalVars();
+    bool has_guard = false;
+    for (const Atom& atom : tgd.body) {
+      bool guards_all = true;
+      for (VarId v : body_vars) {
+        if (!atom.Mentions(v)) {
+          guards_all = false;
+          break;
+        }
+      }
+      if (guards_all) {
+        has_guard = true;
+        break;
+      }
+    }
+    if (!has_guard) return false;
+  }
+  return true;
+}
+
+std::set<std::pair<size_t, VarId>> StickyMarking(const std::vector<Tgd>& tgds,
+                                                 const PredTable& preds) {
+  (void)preds;  // arities are implicit in the atoms
+  std::set<std::pair<size_t, VarId>> marked;
+
+  // Initial step (Definition 4): for each TGD σ and variable V in body(σ),
+  // if some head atom omits V, mark (σ, V).
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    const Tgd& tgd = tgds[i];
+    for (VarId v : tgd.UniversalVars()) {
+      for (const Atom& head_atom : tgd.head) {
+        if (!head_atom.Mentions(v)) {
+          marked.insert({i, v});
+          break;
+        }
+      }
+    }
+  }
+
+  // Propagation: if a marked variable of body(σ) occurs at position π,
+  // then in every TGD σ', mark the body variables of σ' that appear in
+  // head(σ') at position π. Iterate to fixpoint.
+  while (true) {
+    // Positions where a marked variable occurs in some body.
+    std::unordered_set<Position, PositionHash> marked_positions;
+    for (const auto& [tgd_idx, var] : marked) {
+      const Tgd& tgd = tgds[tgd_idx];
+      for (const Atom& atom : tgd.body) {
+        for (uint32_t arg_idx = 0; arg_idx < atom.args.size(); ++arg_idx) {
+          const AtomArg& arg = atom.args[arg_idx];
+          if (arg.is_var() && arg.var() == var) {
+            marked_positions.insert(Position{atom.pred, arg_idx});
+          }
+        }
+      }
+    }
+
+    bool changed = false;
+    for (size_t i = 0; i < tgds.size(); ++i) {
+      const Tgd& tgd = tgds[i];
+      std::set<VarId> body_vars = tgd.UniversalVars();
+      for (const Atom& head_atom : tgd.head) {
+        for (uint32_t arg_idx = 0; arg_idx < head_atom.args.size();
+             ++arg_idx) {
+          const AtomArg& arg = head_atom.args[arg_idx];
+          if (!arg.is_var()) continue;
+          if (body_vars.find(arg.var()) == body_vars.end()) continue;
+          if (marked_positions.count(Position{head_atom.pred, arg_idx}) ==
+              0) {
+            continue;
+          }
+          if (marked.insert({i, arg.var()}).second) changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return marked;
+}
+
+bool IsSticky(const std::vector<Tgd>& tgds, const PredTable& preds,
+              TgdClassReport* report) {
+  std::set<std::pair<size_t, VarId>> marked = StickyMarking(tgds, preds);
+  for (const auto& [tgd_idx, var] : marked) {
+    if (tgds[tgd_idx].BodyOccurrences(var) > 1) {
+      if (report != nullptr) {
+        report->sticky_violation_tgd = static_cast<int>(tgd_idx);
+        report->sticky_violation_var = var;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds, const PredTable& preds) {
+  (void)preds;
+  // Build the position dependency graph. Edges are (from, to, special).
+  struct Edge {
+    Position to;
+    bool special;
+  };
+  std::unordered_map<Position, std::vector<Edge>, PositionHash> graph;
+
+  for (const Tgd& tgd : tgds) {
+    std::set<VarId> existential = tgd.ExistentialVars();
+    // Positions of each universal variable in the body.
+    std::unordered_map<VarId, std::vector<Position>> body_positions;
+    for (const Atom& atom : tgd.body) {
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        if (atom.args[i].is_var()) {
+          body_positions[atom.args[i].var()].push_back(
+              Position{atom.pred, i});
+        }
+      }
+    }
+    for (const auto& [var, from_positions] : body_positions) {
+      // Does this body variable occur in the head at all?
+      bool in_head = false;
+      for (const Atom& atom : tgd.head) {
+        if (atom.Mentions(var)) {
+          in_head = true;
+          break;
+        }
+      }
+      if (!in_head) continue;
+      for (const Position& from : from_positions) {
+        for (const Atom& atom : tgd.head) {
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            if (!atom.args[i].is_var()) continue;
+            VarId head_var = atom.args[i].var();
+            Position to{atom.pred, i};
+            if (head_var == var) {
+              graph[from].push_back(Edge{to, /*special=*/false});
+            } else if (existential.count(head_var) > 0) {
+              graph[from].push_back(Edge{to, /*special=*/true});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Not weakly acyclic iff some special edge (u -> v) lies on a cycle,
+  // i.e. u is reachable from v.
+  auto reachable = [&](const Position& from, const Position& target) {
+    std::unordered_set<Position, PositionHash> visited;
+    std::vector<Position> stack = {from};
+    while (!stack.empty()) {
+      Position cur = stack.back();
+      stack.pop_back();
+      if (cur == target) return true;
+      if (!visited.insert(cur).second) continue;
+      auto it = graph.find(cur);
+      if (it == graph.end()) continue;
+      for (const Edge& e : it->second) stack.push_back(e.to);
+    }
+    return false;
+  };
+
+  for (const auto& [from, edges] : graph) {
+    for (const Edge& e : edges) {
+      if (e.special && reachable(e.to, from)) return false;
+    }
+  }
+  return true;
+}
+
+TgdClassReport ClassifyTgds(const std::vector<Tgd>& tgds,
+                            const PredTable& preds) {
+  TgdClassReport report;
+  report.linear = IsLinear(tgds);
+  report.guarded = IsGuarded(tgds);
+  report.sticky = IsSticky(tgds, preds, &report);
+  report.weakly_acyclic = IsWeaklyAcyclic(tgds, preds);
+  report.sticky_join_sufficient = report.sticky || report.linear;
+  return report;
+}
+
+std::string TgdClassReport::Summary() const {
+  std::string out;
+  auto add = [&](const char* name, bool value) {
+    if (!out.empty()) out += ", ";
+    out += name;
+    out += value ? "=yes" : "=no";
+  };
+  add("linear", linear);
+  add("guarded", guarded);
+  add("sticky", sticky);
+  add("weakly_acyclic", weakly_acyclic);
+  add("sticky_join(sufficient)", sticky_join_sufficient);
+  return out;
+}
+
+}  // namespace rps

@@ -1,0 +1,65 @@
+#ifndef RPS_TGD_CLASSIFY_H_
+#define RPS_TGD_CLASSIFY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tgd/tgd.h"
+
+namespace rps {
+
+/// Result of running the syntactic TGD-class tests of §4 on a dependency
+/// set. These classes bound the behaviour of chase and rewriting:
+/// * sticky / linear / sticky-join → FO-rewritable (Proposition 2);
+/// * weakly acyclic → terminating chase;
+/// * none of them → the set may encode transitive closure
+///   (Proposition 3) and admits no FO rewriting in general.
+struct TgdClassReport {
+  bool linear = false;
+  bool guarded = false;
+  bool sticky = false;
+  bool weakly_acyclic = false;
+  /// Sufficient condition only: sticky-join generalizes both sticky and
+  /// linear, so `sticky || linear` implies sticky-join. False here means
+  /// "not established", not "refuted".
+  bool sticky_join_sufficient = false;
+
+  /// For a non-sticky set: one (tgd index, variable) witness — a marked
+  /// variable occurring more than once in that TGD's body.
+  int sticky_violation_tgd = -1;
+  VarId sticky_violation_var = 0;
+
+  /// Human-readable one-line summary.
+  std::string Summary() const;
+};
+
+/// Every TGD body has exactly one atom.
+bool IsLinear(const std::vector<Tgd>& tgds);
+
+/// Every TGD body has an atom mentioning all body variables.
+bool IsGuarded(const std::vector<Tgd>& tgds);
+
+/// The variable-marking test of Definition 4. `preds` supplies arities.
+/// If `report` is non-null, fills in the violation witness on failure.
+bool IsSticky(const std::vector<Tgd>& tgds, const PredTable& preds,
+              TgdClassReport* report = nullptr);
+
+/// Weak acyclicity (Fagin et al.): the position dependency graph has no
+/// cycle through a special (existential) edge.
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds, const PredTable& preds);
+
+/// Runs all tests.
+TgdClassReport ClassifyTgds(const std::vector<Tgd>& tgds,
+                            const PredTable& preds);
+
+/// The marked body-variable occurrences computed by the Definition 4
+/// marking procedure, exposed for tests and the classification bench:
+/// the set of (tgd index, variable) pairs that end up marked.
+std::set<std::pair<size_t, VarId>> StickyMarking(const std::vector<Tgd>& tgds,
+                                                 const PredTable& preds);
+
+}  // namespace rps
+
+#endif  // RPS_TGD_CLASSIFY_H_

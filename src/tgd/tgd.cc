@@ -1,0 +1,61 @@
+#include "tgd/tgd.h"
+
+namespace rps {
+
+std::set<VarId> Tgd::UniversalVars() const {
+  std::set<VarId> out;
+  for (const Atom& a : body) {
+    for (VarId v : a.Vars()) out.insert(v);
+  }
+  return out;
+}
+
+std::set<VarId> Tgd::ExistentialVars() const {
+  std::set<VarId> universal = UniversalVars();
+  std::set<VarId> out;
+  for (const Atom& a : head) {
+    for (VarId v : a.Vars()) {
+      if (universal.find(v) == universal.end()) out.insert(v);
+    }
+  }
+  return out;
+}
+
+std::set<VarId> Tgd::FrontierVars() const {
+  std::set<VarId> universal = UniversalVars();
+  std::set<VarId> out;
+  for (const Atom& a : head) {
+    for (VarId v : a.Vars()) {
+      if (universal.find(v) != universal.end()) out.insert(v);
+    }
+  }
+  return out;
+}
+
+size_t Tgd::BodyOccurrences(VarId v) const {
+  size_t count = 0;
+  for (const Atom& a : body) {
+    for (const AtomArg& arg : a.args) {
+      if (arg.is_var() && arg.var() == v) ++count;
+    }
+  }
+  return count;
+}
+
+std::string ToString(const Tgd& tgd, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars) {
+  std::string out;
+  if (!tgd.label.empty()) out += "[" + tgd.label + "] ";
+  for (size_t i = 0; i < tgd.body.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += ToString(tgd.body[i], preds, dict, vars);
+  }
+  out += " -> ";
+  for (size_t i = 0; i < tgd.head.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += ToString(tgd.head[i], preds, dict, vars);
+  }
+  return out;
+}
+
+}  // namespace rps

@@ -1,0 +1,45 @@
+#ifndef RPS_TGD_TGD_H_
+#define RPS_TGD_TGD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tgd/atom.h"
+
+namespace rps {
+
+/// A tuple-generating dependency ∀x φ(x) → ∃z ψ(x, z): `body` is the
+/// conjunction φ, `head` the conjunction ψ. Variables in the head that do
+/// not occur in the body are the existentially quantified z.
+struct Tgd {
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+  /// Optional diagnostic label ("gma:Q2->Q1", "eq:subj:c->c'", ...).
+  std::string label;
+
+  /// Universally quantified variables: all body variables.
+  std::set<VarId> UniversalVars() const;
+
+  /// Existentially quantified variables: head variables absent from the
+  /// body.
+  std::set<VarId> ExistentialVars() const;
+
+  /// Frontier: body variables that also occur in the head.
+  std::set<VarId> FrontierVars() const;
+
+  /// Total number of occurrences of `v` among the body atoms' arguments.
+  size_t BodyOccurrences(VarId v) const;
+
+  friend bool operator==(const Tgd& a, const Tgd& b) {
+    return a.body == b.body && a.head == b.head;
+  }
+};
+
+/// Renders `body -> head` for diagnostics.
+std::string ToString(const Tgd& tgd, const PredTable& preds,
+                     const Dictionary& dict, const VarPool& vars);
+
+}  // namespace rps
+
+#endif  // RPS_TGD_TGD_H_

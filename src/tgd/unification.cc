@@ -1,0 +1,90 @@
+#include "tgd/unification.h"
+
+namespace rps {
+
+AtomArg Resolve(const Subst& subst, AtomArg arg) {
+  while (arg.is_var()) {
+    auto it = subst.find(arg.var());
+    if (it == subst.end()) return arg;
+    arg = it->second;
+  }
+  return arg;
+}
+
+AtomArg ApplySubst(const Subst& subst, const AtomArg& arg) {
+  return Resolve(subst, arg);
+}
+
+Atom ApplySubst(const Subst& subst, const Atom& atom) {
+  Atom out;
+  out.pred = atom.pred;
+  out.args.reserve(atom.args.size());
+  for (const AtomArg& arg : atom.args) {
+    out.args.push_back(Resolve(subst, arg));
+  }
+  return out;
+}
+
+std::vector<Atom> ApplySubst(const Subst& subst,
+                             const std::vector<Atom>& atoms) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    out.push_back(ApplySubst(subst, atom));
+  }
+  return out;
+}
+
+std::optional<Subst> Unify(const Atom& a, const Atom& b, Subst base) {
+  if (a.pred != b.pred || a.args.size() != b.args.size()) {
+    return std::nullopt;
+  }
+  Subst subst = std::move(base);
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    AtomArg left = Resolve(subst, a.args[i]);
+    AtomArg right = Resolve(subst, b.args[i]);
+    if (left == right) continue;
+    if (left.is_var()) {
+      subst[left.var()] = right;
+    } else if (right.is_var()) {
+      subst[right.var()] = left;
+    } else {
+      return std::nullopt;  // distinct constants
+    }
+  }
+  return subst;
+}
+
+Tgd RenameApart(const Tgd& tgd, VarPool* vars) {
+  std::unordered_map<VarId, VarId> renaming;
+  auto rename_atom = [&](const Atom& atom) {
+    Atom out;
+    out.pred = atom.pred;
+    out.args.reserve(atom.args.size());
+    for (const AtomArg& arg : atom.args) {
+      if (!arg.is_var()) {
+        out.args.push_back(arg);
+        continue;
+      }
+      auto it = renaming.find(arg.var());
+      if (it == renaming.end()) {
+        VarId fresh = vars->Fresh("r");
+        renaming.emplace(arg.var(), fresh);
+        out.args.push_back(AtomArg::Var(fresh));
+      } else {
+        out.args.push_back(AtomArg::Var(it->second));
+      }
+    }
+    return out;
+  };
+
+  Tgd out;
+  out.label = tgd.label;
+  out.body.reserve(tgd.body.size());
+  for (const Atom& atom : tgd.body) out.body.push_back(rename_atom(atom));
+  out.head.reserve(tgd.head.size());
+  for (const Atom& atom : tgd.head) out.head.push_back(rename_atom(atom));
+  return out;
+}
+
+}  // namespace rps

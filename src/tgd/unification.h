@@ -1,0 +1,38 @@
+#ifndef RPS_TGD_UNIFICATION_H_
+#define RPS_TGD_UNIFICATION_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "tgd/tgd.h"
+
+namespace rps {
+
+/// A substitution mapping variables to arguments (variables or constants).
+/// Bindings may chain (x ↦ y, y ↦ c); Resolve follows chains.
+using Subst = std::unordered_map<VarId, AtomArg>;
+
+/// Follows variable chains in `subst` until a constant or an unbound
+/// variable is reached.
+AtomArg Resolve(const Subst& subst, AtomArg arg);
+
+/// Applies `subst` to an argument / atom / TGD body, resolving chains.
+AtomArg ApplySubst(const Subst& subst, const AtomArg& arg);
+Atom ApplySubst(const Subst& subst, const Atom& atom);
+std::vector<Atom> ApplySubst(const Subst& subst,
+                             const std::vector<Atom>& atoms);
+
+/// Computes a most general unifier of `a` and `b` (same predicate and
+/// arity required), extending `base`. Returns std::nullopt if the atoms do
+/// not unify. Variables of the two atoms are assumed to come from disjoint
+/// namespaces unless the caller intends sharing.
+std::optional<Subst> Unify(const Atom& a, const Atom& b, Subst base = {});
+
+/// Renames all variables of `tgd` to fresh variables from `vars`,
+/// returning the renamed copy. Used before unifying a query atom with a
+/// TGD head so namespaces cannot collide.
+Tgd RenameApart(const Tgd& tgd, VarPool* vars);
+
+}  // namespace rps
+
+#endif  // RPS_TGD_UNIFICATION_H_

@@ -1,0 +1,88 @@
+#ifndef RPS_UTIL_RESULT_H_
+#define RPS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace rps {
+
+/// A value-or-error holder in the style of arrow::Result. A `Result<T>`
+/// holds either a `T` (success) or a non-OK `Status` (failure).
+///
+/// Usage:
+///   Result<int> r = ParseCount(text);
+///   if (!r.ok()) return r.status();
+///   int n = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(status)) {
+    assert(!std::get<Status>(value_).ok());
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the status: OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define RPS_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  RPS_ASSIGN_OR_RETURN_IMPL_(                          \
+      RPS_STATUS_MACROS_CONCAT_(rps_result_, __LINE__), lhs, rexpr)
+
+#define RPS_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define RPS_STATUS_MACROS_CONCAT_(x, y) RPS_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+#define RPS_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) {                                  \
+    return result.status();                            \
+  }                                                    \
+  lhs = std::move(result).value()
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_RESULT_H_

@@ -1,0 +1,45 @@
+#ifndef RPS_UTIL_RNG_H_
+#define RPS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace rps {
+
+/// Deterministic pseudo-random source used by the synthetic-data generators
+/// and property tests. Thin wrapper over std::mt19937_64 with convenience
+/// draws; always seeded explicitly so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    std::uniform_int_distribution<uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(0, n - 1)); }
+
+  /// Bernoulli draw with probability p in [0,1].
+  bool Chance(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0,1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_RNG_H_

@@ -1,0 +1,99 @@
+#ifndef RPS_UTIL_STATUS_H_
+#define RPS_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rps {
+
+/// Error categories used throughout the library. Mirrors the coarse
+/// categories used by Arrow/RocksDB-style status objects.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("ParseError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not throw
+/// exceptions: fallible operations return `Status` (or `Result<T>`, see
+/// util/result.h) and callers are expected to check it.
+///
+/// The default-constructed Status is OK and carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. Prefer the
+  /// factory functions (Status::ParseError etc.) in new code.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define RPS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rps::Status rps_status_tmp_ = (expr);      \
+    if (!rps_status_tmp_.ok()) {                 \
+      return rps_status_tmp_;                    \
+    }                                            \
+  } while (false)
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_STATUS_H_

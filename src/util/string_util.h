@@ -1,0 +1,38 @@
+#ifndef RPS_UTIL_STRING_UTIL_H_
+#define RPS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rps {
+
+/// Escapes a literal lexical form for N-Triples output: backslash, quote,
+/// newline, carriage return and tab are escaped; other characters are
+/// passed through (we emit UTF-8 directly rather than \u escapes).
+std::string EscapeLiteral(std::string_view raw);
+
+/// Reverses EscapeLiteral, additionally understanding \u/\U escapes
+/// (decoded to UTF-8). Returns false on a malformed escape sequence.
+bool UnescapeLiteral(std::string_view escaped, std::string* out);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Encodes a Unicode code point as UTF-8, appending to `out`. Returns false
+/// for invalid code points (surrogates, > U+10FFFF).
+bool AppendUtf8(uint32_t code_point, std::string* out);
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,65 @@
+#include "util/union_find.h"
+
+namespace rps {
+
+uint32_t UnionFind::Register(uint32_t x) {
+  auto it = parent_.find(x);
+  if (it == parent_.end()) {
+    parent_[x] = x;
+    rank_[x] = 0;
+    return x;
+  }
+  return it->second;
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  auto it = parent_.find(x);
+  if (it == parent_.end()) return x;
+  // Path compression: walk to the root, then repoint everything on the path.
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  uint32_t cur = x;
+  while (parent_[cur] != root) {
+    uint32_t next = parent_[cur];
+    parent_[cur] = root;
+    cur = next;
+  }
+  return root;
+}
+
+uint32_t UnionFind::Union(uint32_t a, uint32_t b) {
+  Register(a);
+  Register(b);
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return ra;
+  uint32_t rank_a = rank_[ra];
+  uint32_t rank_b = rank_[rb];
+  if (rank_a < rank_b) {
+    parent_[ra] = rb;
+    return rb;
+  }
+  if (rank_a > rank_b) {
+    parent_[rb] = ra;
+    return ra;
+  }
+  parent_[rb] = ra;
+  rank_[ra] = rank_a + 1;
+  return ra;
+}
+
+std::vector<uint32_t> UnionFind::Members(uint32_t x) {
+  uint32_t root = Find(x);
+  std::vector<uint32_t> out;
+  bool saw_x = false;
+  for (const auto& [elem, _] : parent_) {
+    if (Find(elem) == root) {
+      out.push_back(elem);
+      if (elem == x) saw_x = true;
+    }
+  }
+  if (!saw_x) out.push_back(x);
+  return out;
+}
+
+}  // namespace rps

@@ -1,0 +1,49 @@
+#ifndef RPS_UTIL_UNION_FIND_H_
+#define RPS_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rps {
+
+/// Disjoint-set forest over sparse uint32 ids with path compression and
+/// union by rank. Elements are registered lazily: Find on an unseen id
+/// returns the id itself without allocating.
+///
+/// Used to canonicalize owl:sameAs equivalence cliques (peer/equivalence.h):
+/// merging `c ≡ c'` for every equivalence mapping yields one representative
+/// per clique.
+class UnionFind {
+ public:
+  UnionFind() = default;
+
+  /// Returns the representative of `x`'s set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of `a` and `b`. Returns the representative of the
+  /// merged set.
+  uint32_t Union(uint32_t a, uint32_t b);
+
+  /// True if `a` and `b` are in the same set.
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements that have been explicitly registered (touched by
+  /// Union, or by Find after a Union introduced them).
+  size_t size() const { return parent_.size(); }
+
+  /// Returns all members of x's set among registered elements (including
+  /// `x` itself even if unregistered).
+  std::vector<uint32_t> Members(uint32_t x);
+
+ private:
+  uint32_t Register(uint32_t x);
+
+  std::unordered_map<uint32_t, uint32_t> parent_;
+  std::unordered_map<uint32_t, uint32_t> rank_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_UNION_FIND_H_

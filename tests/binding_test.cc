@@ -1,0 +1,160 @@
+#include "query/binding.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace rps {
+namespace {
+
+TEST(BindingTest, BindAndGet) {
+  Binding b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.Bind(3, 100));
+  EXPECT_TRUE(b.Bind(1, 200));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b.Get(3), 100u);
+  EXPECT_EQ(*b.Get(1), 200u);
+  EXPECT_FALSE(b.Get(2).has_value());
+}
+
+TEST(BindingTest, RebindSameValueOk) {
+  Binding b;
+  EXPECT_TRUE(b.Bind(1, 10));
+  EXPECT_TRUE(b.Bind(1, 10));
+  EXPECT_FALSE(b.Bind(1, 11));
+  EXPECT_EQ(*b.Get(1), 10u);
+}
+
+TEST(BindingTest, EntriesAreSorted) {
+  Binding b;
+  b.Bind(9, 1);
+  b.Bind(2, 2);
+  b.Bind(5, 3);
+  std::vector<VarId> keys;
+  for (const auto& [var, term] : b.entries()) keys.push_back(var);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BindingTest, Compatibility) {
+  Binding a, b;
+  a.Bind(1, 10);
+  a.Bind(2, 20);
+  b.Bind(2, 20);
+  b.Bind(3, 30);
+  EXPECT_TRUE(Binding::Compatible(a, b));
+  b.Bind(1, 99);
+  EXPECT_FALSE(Binding::Compatible(a, b));
+}
+
+TEST(BindingTest, MergeUnionsCompatible) {
+  Binding a, b;
+  a.Bind(1, 10);
+  b.Bind(2, 20);
+  auto merged = Binding::Merge(a, b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->size(), 2u);
+  EXPECT_EQ(*merged->Get(1), 10u);
+  EXPECT_EQ(*merged->Get(2), 20u);
+}
+
+TEST(BindingTest, MergeFailsOnConflict) {
+  Binding a, b;
+  a.Bind(1, 10);
+  b.Bind(1, 11);
+  EXPECT_FALSE(Binding::Merge(a, b).has_value());
+}
+
+// Builds a random binding set over variables [0, num_vars) with values in
+// [0, num_values).
+BindingSet RandomBindings(Rng* rng, size_t count, size_t num_vars,
+                          size_t num_values) {
+  BindingSet out;
+  for (size_t i = 0; i < count; ++i) {
+    Binding b;
+    for (VarId v = 0; v < num_vars; ++v) {
+      if (rng->Chance(0.7)) {
+        b.Bind(v, static_cast<TermId>(rng->Index(num_values)));
+      }
+    }
+    out.push_back(std::move(b));
+  }
+  Dedup(&out);
+  return out;
+}
+
+// Reference join: quadratic nested loops.
+BindingSet NaiveJoin(const BindingSet& l, const BindingSet& r) {
+  BindingSet out;
+  for (const Binding& a : l) {
+    for (const Binding& b : r) {
+      auto merged = Binding::Merge(a, b);
+      if (merged) out.push_back(std::move(*merged));
+    }
+  }
+  return out;
+}
+
+std::vector<Binding> Canon(BindingSet s) {
+  Dedup(&s);
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+TEST(BindingTest, JoinMatchesNaiveJoin) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    BindingSet l = RandomBindings(&rng, rng.Index(12), 4, 3);
+    BindingSet r = RandomBindings(&rng, rng.Index(12), 4, 3);
+    EXPECT_EQ(Canon(Join(l, r)), Canon(NaiveJoin(l, r))) << "trial " << trial;
+  }
+}
+
+TEST(BindingTest, JoinIsCommutative) {
+  // Ω1 ⋈ Ω2 = Ω2 ⋈ Ω1 (Definition 1 semantics are symmetric).
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    BindingSet l = RandomBindings(&rng, 8, 3, 3);
+    BindingSet r = RandomBindings(&rng, 8, 3, 3);
+    EXPECT_EQ(Canon(Join(l, r)), Canon(Join(r, l))) << "trial " << trial;
+  }
+}
+
+TEST(BindingTest, JoinIsAssociative) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    BindingSet a = RandomBindings(&rng, 6, 3, 3);
+    BindingSet b = RandomBindings(&rng, 6, 3, 3);
+    BindingSet c = RandomBindings(&rng, 6, 3, 3);
+    EXPECT_EQ(Canon(Join(Join(a, b), c)), Canon(Join(a, Join(b, c))))
+        << "trial " << trial;
+  }
+}
+
+TEST(BindingTest, JoinWithEmptySetIsEmpty) {
+  BindingSet nonempty = {Binding()};
+  EXPECT_TRUE(Join({}, nonempty).empty());
+  EXPECT_TRUE(Join(nonempty, {}).empty());
+}
+
+TEST(BindingTest, JoinWithEmptyBindingIsIdentity) {
+  // {µ∅} is the neutral element.
+  Rng rng(19);
+  BindingSet s = RandomBindings(&rng, 10, 3, 3);
+  BindingSet unit = {Binding()};
+  EXPECT_EQ(Canon(Join(s, unit)), Canon(s));
+  EXPECT_EQ(Canon(Join(unit, s)), Canon(s));
+}
+
+TEST(BindingTest, DedupRemovesDuplicates) {
+  Binding a;
+  a.Bind(1, 10);
+  BindingSet s = {a, a, a};
+  Dedup(&s);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,248 @@
+#include "tgd/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "peer/rps_system.h"
+#include "rewrite/rewriter.h"
+
+namespace rps {
+namespace {
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  ClassifyTest() {
+    tt_ = preds_.Intern("tt", 3);
+    x_ = vars_.Intern("x");
+    y_ = vars_.Intern("y");
+    z_ = vars_.Intern("z");
+    a_ = dict_.InternIri("http://x/A");
+    b_ = dict_.InternIri("http://x/B");
+    c_ = dict_.InternIri("http://x/C");
+    c1_ = dict_.InternIri("http://x/c1");
+    c2_ = dict_.InternIri("http://x/c2");
+  }
+
+  Atom TT(AtomArg s, AtomArg p, AtomArg o) { return Atom{tt_, {s, p, o}}; }
+
+  // The six equivalence-mapping TGDs for c1 ≡ c2 (§3).
+  std::vector<Tgd> EquivalenceTgds() {
+    std::vector<Tgd> out;
+    AtomArg c1 = AtomArg::Const(c1_), c2 = AtomArg::Const(c2_);
+    AtomArg vy = AtomArg::Var(y_), vz = AtomArg::Var(z_);
+    auto add = [&](Atom body, Atom head) {
+      Tgd tgd;
+      tgd.body = {body};
+      tgd.head = {head};
+      out.push_back(tgd);
+    };
+    add(TT(c1, vy, vz), TT(c2, vy, vz));
+    add(TT(c2, vy, vz), TT(c1, vy, vz));
+    add(TT(vy, c1, vz), TT(vy, c2, vz));
+    add(TT(vy, c2, vz), TT(vy, c1, vz));
+    add(TT(vy, vz, c1), TT(vy, vz, c2));
+    add(TT(vy, vz, c2), TT(vy, vz, c1));
+    return out;
+  }
+
+  // The paper's §4 example of a non-sticky graph mapping assertion:
+  //   tt(x, A, z) ∧ tt(z, B, y) → tt(x, C, y)
+  std::vector<Tgd> JoinMappingTgds() {
+    Tgd tgd;
+    tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_)),
+                TT(AtomArg::Var(z_), AtomArg::Const(b_), AtomArg::Var(y_))};
+    tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(c_), AtomArg::Var(y_))};
+    return {tgd};
+  }
+
+  // The Proposition 3 transitive-closure mapping:
+  //   tt(x, A, z) ∧ tt(z, A, y) → tt(x, A, y)
+  std::vector<Tgd> TransitiveTgds() {
+    Tgd tgd;
+    tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_)),
+                TT(AtomArg::Var(z_), AtomArg::Const(a_), AtomArg::Var(y_))};
+    tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+    return {tgd};
+  }
+
+  PredTable preds_;
+  Dictionary dict_;
+  VarPool vars_;
+  PredId tt_;
+  VarId x_, y_, z_;
+  TermId a_, b_, c_, c1_, c2_;
+};
+
+TEST_F(ClassifyTest, EquivalenceTgdsAreLinearAndSticky) {
+  // §4: "the set E of TGDs for equivalence mappings enjoys the sticky
+  // property of the chase, as well as linearity."
+  std::vector<Tgd> tgds = EquivalenceTgds();
+  EXPECT_TRUE(IsLinear(tgds));
+  EXPECT_TRUE(IsSticky(tgds, preds_));
+  EXPECT_TRUE(IsGuarded(tgds));  // single-atom bodies are trivially guarded
+  EXPECT_TRUE(IsWeaklyAcyclic(tgds, preds_));  // no existentials at all
+  TgdClassReport report = ClassifyTgds(tgds, preds_);
+  EXPECT_TRUE(report.sticky_join_sufficient);
+}
+
+TEST_F(ClassifyTest, JoinMappingViolatesStickiness) {
+  // §4: applying the variable marking to the example marks z (it does not
+  // appear in the head), and z occurs twice in the body.
+  std::vector<Tgd> tgds = JoinMappingTgds();
+  EXPECT_FALSE(IsLinear(tgds));
+  TgdClassReport report;
+  EXPECT_FALSE(IsSticky(tgds, preds_, &report));
+  EXPECT_EQ(report.sticky_violation_tgd, 0);
+  EXPECT_EQ(report.sticky_violation_var, z_);
+}
+
+TEST_F(ClassifyTest, MarkingIdentifiesDroppedVariables) {
+  std::vector<Tgd> tgds = JoinMappingTgds();
+  auto marking = StickyMarking(tgds, preds_);
+  // z is dropped from the head, so (0, z) must be marked by the initial
+  // step.
+  EXPECT_TRUE(marking.count({0, z_}) > 0);
+  // Propagation then marks x and y too: z occurs in the body at positions
+  // tt[0] and tt[2], and the head places x at tt[0] and y at tt[2]
+  // (Definition 4 applies the step with σ' = σ).
+  EXPECT_TRUE(marking.count({0, x_}) > 0);
+  EXPECT_TRUE(marking.count({0, y_}) > 0);
+}
+
+TEST_F(ClassifyTest, MarkingPropagatesAcrossTgds) {
+  // σ1: tt(x, A, z) ∧ tt(z, A, y) → tt(x, C, y)   (marks z, and positions
+  //     tt[0], tt[2] become marked positions via z's body occurrences)
+  // σ2: tt(x, B, y) → tt(x, C, y)                 (x at head position tt[0]
+  //     → marked; y at tt[2] → marked)
+  std::vector<Tgd> tgds = TransitiveTgds();
+  Tgd sigma2;
+  sigma2.body = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  sigma2.head = {TT(AtomArg::Var(x_), AtomArg::Const(c_), AtomArg::Var(y_))};
+  tgds.push_back(sigma2);
+  auto marking = StickyMarking(tgds, preds_);
+  EXPECT_TRUE(marking.count({1, x_}) > 0);
+  EXPECT_TRUE(marking.count({1, y_}) > 0);
+}
+
+TEST_F(ClassifyTest, TransitiveClosureIsInNoGoodClass) {
+  // §4: "the set Σ of TGDs in an RPS is neither sticky, nor linear, nor
+  // weakly-acyclic, nor guarded" — in general. The transitive-closure
+  // mapping is not sticky and not linear. (This instance happens to have
+  // no existentials, so weak acyclicity holds trivially; the general
+  // statement concerns mapping sets with existential heads, see below.)
+  std::vector<Tgd> tgds = TransitiveTgds();
+  EXPECT_FALSE(IsSticky(tgds, preds_));
+  EXPECT_FALSE(IsLinear(tgds));
+  EXPECT_FALSE(IsGuarded(tgds));
+}
+
+TEST_F(ClassifyTest, ExistentialCycleBreaksWeakAcyclicity) {
+  // tt(x, A, y) → ∃z tt(y, A, z): position tt[2] feeds an existential at
+  // tt[2] through a cycle.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(y_), AtomArg::Const(a_), AtomArg::Var(z_))};
+  std::vector<Tgd> tgds = {tgd};
+  EXPECT_FALSE(IsWeaklyAcyclic(tgds, preds_));
+  // It is, however, linear (single body atom) and sticky-join-sufficient.
+  EXPECT_TRUE(IsLinear(tgds));
+}
+
+TEST_F(ClassifyTest, AcyclicExistentialIsWeaklyAcyclic) {
+  // p(x) → ∃z q(x, z) with no back-edges.
+  PredId p = preds_.Intern("p", 1);
+  PredId q = preds_.Intern("q", 2);
+  Tgd tgd;
+  tgd.body = {Atom{p, {AtomArg::Var(x_)}}};
+  tgd.head = {Atom{q, {AtomArg::Var(x_), AtomArg::Var(z_)}}};
+  std::vector<Tgd> tgds = {tgd};
+  EXPECT_TRUE(IsWeaklyAcyclic(tgds, preds_));
+}
+
+TEST_F(ClassifyTest, GuardedDetection) {
+  // r(x, y, z) ∧ s(x) → t(x): r guards all body variables.
+  PredId r = preds_.Intern("r", 3);
+  PredId s = preds_.Intern("s", 1);
+  PredId t = preds_.Intern("t", 1);
+  Tgd tgd;
+  tgd.body = {
+      Atom{r, {AtomArg::Var(x_), AtomArg::Var(y_), AtomArg::Var(z_)}},
+      Atom{s, {AtomArg::Var(x_)}}};
+  tgd.head = {Atom{t, {AtomArg::Var(x_)}}};
+  EXPECT_TRUE(IsGuarded({tgd}));
+}
+
+TEST_F(ClassifyTest, PaperExampleSystemClassification) {
+  // The Example 2 RPS compiled to TGDs. With the rt guard atoms in the
+  // body, the GMA TGD is neither linear nor sticky: the head variables
+  // each miss one of the two head atoms, so they are marked, and each
+  // occurs twice in the body (once in the tt atom, once in its rt guard).
+  // After dropping the guards (sound per §4), the TGD is linear — the
+  // situation Proposition 2 exploits in Example 3.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  TermId actor = dict.InternIri("http://x/actor");
+  TermId starring = dict.InternIri("http://x/starring");
+  TermId artist = dict.InternIri("http://x/artist");
+  sys.AddPeer("p");
+  VarId x = vars.Intern("mx"), y = vars.Intern("my"), z = vars.Intern("mz");
+  GraphMappingAssertion gma;
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(actor),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                PatternTerm::Const(starring),
+                                PatternTerm::Var(z)});
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(z),
+                                PatternTerm::Const(artist),
+                                PatternTerm::Var(y)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+
+  PredTable preds;
+  std::vector<Tgd> target;
+  sys.CompileToTgds(&preds, nullptr, &target);
+  ASSERT_EQ(target.size(), 1u);
+  TgdClassReport report = ClassifyTgds(target, preds);
+  // The body is {tt(x,actor,y), rt(x), rt(y)} — not linear, and the
+  // guarded head variables repeat in the body, so not sticky either.
+  EXPECT_FALSE(report.linear);
+  EXPECT_FALSE(report.sticky);
+}
+
+TEST_F(ClassifyTest, StrippingGuardsMakesTheExampleLinear) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  TermId actor = dict.InternIri("http://x/actor");
+  TermId starring = dict.InternIri("http://x/starring");
+  TermId artist = dict.InternIri("http://x/artist");
+  sys.AddPeer("p");
+  VarId x = vars.Intern("mx"), y = vars.Intern("my"), z = vars.Intern("mz");
+  GraphMappingAssertion gma;
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(actor),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                PatternTerm::Const(starring),
+                                PatternTerm::Var(z)});
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(z),
+                                PatternTerm::Const(artist),
+                                PatternTerm::Var(y)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+
+  PredTable preds;
+  PredId rt = preds.Intern("rt", 1);
+  std::vector<Tgd> target;
+  sys.CompileToTgds(&preds, nullptr, &target);
+  std::vector<Tgd> stripped = StripGuardAtoms(target, rt);
+  TgdClassReport report = ClassifyTgds(stripped, preds);
+  EXPECT_TRUE(report.linear);
+  EXPECT_TRUE(report.sticky_join_sufficient);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,240 @@
+#include "datalog/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/paper_example.h"
+#include "peer/certain_answers.h"
+
+namespace rps {
+namespace {
+
+class DatalogEngineTest : public ::testing::Test {
+ protected:
+  DatalogEngineTest() {
+    edge_ = preds_.Intern("edge", 2);
+    path_ = preds_.Intern("path", 2);
+    x_ = vars_.Intern("x");
+    y_ = vars_.Intern("y");
+    z_ = vars_.Intern("z");
+    for (int i = 0; i < 10; ++i) {
+      nodes_.push_back(dict_.InternIri("http://x/n" + std::to_string(i)));
+    }
+  }
+
+  DatalogProgram TransitiveClosureProgram() {
+    DatalogProgram program;
+    // path(x,y) :- edge(x,y).
+    DatalogRule base;
+    base.head = Atom{path_, {AtomArg::Var(x_), AtomArg::Var(y_)}};
+    base.body = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(y_)}}};
+    program.rules.push_back(base);
+    // path(x,y) :- path(x,z), edge(z,y).
+    DatalogRule step;
+    step.head = Atom{path_, {AtomArg::Var(x_), AtomArg::Var(y_)}};
+    step.body = {Atom{path_, {AtomArg::Var(x_), AtomArg::Var(z_)}},
+                 Atom{edge_, {AtomArg::Var(z_), AtomArg::Var(y_)}}};
+    program.rules.push_back(step);
+    return program;
+  }
+
+  PredTable preds_;
+  Dictionary dict_;
+  VarPool vars_;
+  PredId edge_, path_;
+  VarId x_, y_, z_;
+  std::vector<TermId> nodes_;
+};
+
+TEST_F(DatalogEngineTest, ValidateRejectsUnsafeRules) {
+  DatalogRule rule;
+  rule.head = Atom{path_, {AtomArg::Var(x_), AtomArg::Var(y_)}};
+  rule.body = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(x_)}}};
+  EXPECT_FALSE(rule.Validate().ok());  // y not range-restricted
+  DatalogRule empty;
+  empty.head = Atom{path_, {AtomArg::Const(nodes_[0]),
+                            AtomArg::Const(nodes_[1])}};
+  EXPECT_FALSE(empty.Validate().ok());  // empty body
+}
+
+TEST_F(DatalogEngineTest, TransitiveClosureFixpoint) {
+  RelationalInstance db(&preds_);
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    db.Insert(edge_, {nodes_[i], nodes_[i + 1]});
+  }
+  Result<DatalogEvalStats> stats =
+      EvaluateDatalog(TransitiveClosureProgram(), &db);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(db.Facts(path_).size(),
+            static_cast<size_t>(n * (n + 1) / 2));
+  // Spot check the longest path.
+  EXPECT_TRUE(db.Contains(path_, {nodes_[0], nodes_[n]}));
+}
+
+TEST_F(DatalogEngineTest, SemiNaiveRoundsAreLinearInDepth) {
+  RelationalInstance db(&preds_);
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    db.Insert(edge_, {nodes_[i], nodes_[i + 1]});
+  }
+  Result<DatalogEvalStats> stats =
+      EvaluateDatalog(TransitiveClosureProgram(), &db);
+  ASSERT_TRUE(stats.ok());
+  // Left-linear closure needs ~n rounds (+1 empty-fixpoint round).
+  EXPECT_LE(stats->rounds, static_cast<size_t>(n + 2));
+  EXPECT_GE(stats->rounds, 3u);
+}
+
+TEST_F(DatalogEngineTest, FixpointIsIdempotent) {
+  RelationalInstance db(&preds_);
+  for (int i = 0; i < 4; ++i) {
+    db.Insert(edge_, {nodes_[i], nodes_[i + 1]});
+  }
+  ASSERT_TRUE(EvaluateDatalog(TransitiveClosureProgram(), &db).ok());
+  size_t facts = db.FactCount();
+  Result<DatalogEvalStats> again =
+      EvaluateDatalog(TransitiveClosureProgram(), &db);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->facts_derived, 0u);
+  EXPECT_EQ(db.FactCount(), facts);
+}
+
+TEST_F(DatalogEngineTest, BudgetStopsRunawayPrograms) {
+  RelationalInstance db(&preds_);
+  for (int i = 0; i < 6; ++i) {
+    db.Insert(edge_, {nodes_[i], nodes_[(i + 1) % 6]});  // a cycle
+  }
+  DatalogEvalOptions options;
+  options.max_rounds = 1;
+  Result<DatalogEvalStats> stats =
+      EvaluateDatalog(TransitiveClosureProgram(), &db, options);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DatalogEngineTest, ConstantHeadsAndBodies) {
+  // flagged(n0, y) :- edge(n0, y).
+  DatalogProgram program;
+  PredId flagged = preds_.Intern("flagged", 2);
+  DatalogRule rule;
+  rule.head = Atom{flagged, {AtomArg::Const(nodes_[0]), AtomArg::Var(y_)}};
+  rule.body = {Atom{edge_, {AtomArg::Const(nodes_[0]), AtomArg::Var(y_)}}};
+  program.rules.push_back(rule);
+
+  RelationalInstance db(&preds_);
+  db.Insert(edge_, {nodes_[0], nodes_[1]});
+  db.Insert(edge_, {nodes_[2], nodes_[3]});
+  ASSERT_TRUE(EvaluateDatalog(program, &db).ok());
+  EXPECT_EQ(db.Facts(flagged).size(), 1u);
+}
+
+TEST(DatalogTranslateTest, RejectsExistentialGmas) {
+  // The paper example's GMA has an existential z in Q' — Datalog cannot
+  // express it.
+  PaperExample ex = BuildPaperExample();
+  PredTable preds;
+  Result<DatalogRewriting> rewriting =
+      CompileRpsToDatalog(*ex.system, &preds);
+  EXPECT_FALSE(rewriting.ok());
+  EXPECT_EQ(rewriting.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatalogTranslateTest, TransitiveClosureMatchesChase) {
+  // Proposition 3's mapping: FO-rewriting impossible, Datalog exact.
+  for (size_t n : {4u, 8u, 16u}) {
+    std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(n);
+    GraphPatternQuery q = TransitiveQuery(sys.get());
+
+    Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+    ASSERT_TRUE(chase.ok());
+    DatalogEvalStats stats;
+    Result<std::vector<Tuple>> datalog =
+        DatalogCertainAnswers(*sys, q, &stats);
+    ASSERT_TRUE(datalog.ok()) << datalog.status();
+    EXPECT_TRUE(stats.completed);
+    EXPECT_EQ(chase->answers, *datalog) << "n=" << n;
+  }
+}
+
+TEST(DatalogTranslateTest, ChainSystemMatchesChase) {
+  std::unique_ptr<RpsSystem> sys = GenerateChainRps(4, 10, 81);
+  GraphPatternQuery q = ChainQuery(sys.get(), 4);
+  Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+  ASSERT_TRUE(chase.ok());
+  Result<std::vector<Tuple>> datalog = DatalogCertainAnswers(*sys, q);
+  ASSERT_TRUE(datalog.ok());
+  EXPECT_EQ(chase->answers, *datalog);
+}
+
+TEST(DatalogTranslateTest, EquivalencesMatchChase) {
+  std::unique_ptr<RpsSystem> sys = GenerateSameAsCliques(6, 4, 2, 82);
+  Dictionary* dict = sys->dict();
+  VarPool* vars = sys->vars();
+  GraphPatternQuery q;
+  VarId x = vars->Intern("dx"), y = vars->Intern("dy");
+  q.head = {x, y};
+  q.body.Add(TriplePattern{PatternTerm::Var(x),
+                           PatternTerm::Const(dict->InternIri(
+                               "http://example.org/prop0")),
+                           PatternTerm::Var(y)});
+  Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+  ASSERT_TRUE(chase.ok());
+  Result<std::vector<Tuple>> datalog = DatalogCertainAnswers(*sys, q);
+  ASSERT_TRUE(datalog.ok());
+  EXPECT_EQ(chase->answers, *datalog);
+}
+
+TEST(DatalogTranslateTest, GuardsBlockBlankHeadBindings) {
+  // A stored triple with a blank object must not trigger the GMA through
+  // the nonblank guard — mirroring the rt semantics of §3.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  TermId p = dict.InternIri("http://x/p");
+  TermId q_prop = dict.InternIri("http://x/q");
+  TermId a = dict.InternIri("http://x/a");
+  TermId blank = dict.InternBlank("b");
+  sys.AddPeer("peer").InsertUnchecked(Triple{a, p, blank});
+
+  VarId x = vars.Intern("gx"), y = vars.Intern("gy");
+  GraphMappingAssertion gma;
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                PatternTerm::Const(q_prop),
+                                PatternTerm::Var(y)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+
+  GraphPatternQuery query;
+  VarId qx = vars.Intern("qx"), qy = vars.Intern("qy");
+  query.head = {qx, qy};
+  query.body.Add(TriplePattern{PatternTerm::Var(qx),
+                               PatternTerm::Const(q_prop),
+                               PatternTerm::Var(qy)});
+  Result<std::vector<Tuple>> datalog = DatalogCertainAnswers(sys, query);
+  ASSERT_TRUE(datalog.ok());
+  EXPECT_TRUE(datalog->empty());
+
+  Result<CertainAnswerResult> chase = CertainAnswers(sys, query);
+  ASSERT_TRUE(chase.ok());
+  EXPECT_EQ(chase->answers, *datalog);
+}
+
+TEST(DatalogTranslateTest, ProgramRendersReadably) {
+  std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(2);
+  PredTable preds;
+  Result<DatalogRewriting> rewriting = CompileRpsToDatalog(*sys, &preds);
+  ASSERT_TRUE(rewriting.ok());
+  std::string text = ToString(rewriting->program, preds, *sys->dict(),
+                              *sys->vars());
+  EXPECT_NE(text.find(":-"), std::string::npos);
+  EXPECT_NE(text.find("tt("), std::string::npos);
+  EXPECT_NE(text.find("ts("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,54 @@
+#include "rdf/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(DatasetTest, GetOrCreateIsStable) {
+  Dictionary dict;
+  Dataset dataset(&dict);
+  Graph& a = dataset.GetOrCreate("peer-a");
+  Graph& b = dataset.GetOrCreate("peer-a");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(dataset.graphs().size(), 1u);
+}
+
+TEST(DatasetTest, FindMissing) {
+  Dictionary dict;
+  Dataset dataset(&dict);
+  EXPECT_EQ(dataset.Find("nope"), nullptr);
+  dataset.GetOrCreate("yes");
+  EXPECT_NE(dataset.Find("yes"), nullptr);
+}
+
+TEST(DatasetTest, MergedUnionsPeerGraphs) {
+  Dictionary dict;
+  Dataset dataset(&dict);
+  TermId s = dict.InternIri("s");
+  TermId p = dict.InternIri("p");
+  TermId o1 = dict.InternIri("o1");
+  TermId o2 = dict.InternIri("o2");
+
+  dataset.GetOrCreate("a").InsertUnchecked(Triple{s, p, o1});
+  dataset.GetOrCreate("b").InsertUnchecked(Triple{s, p, o2});
+  // Shared triple across peers (schemas need not be disjoint, §2.2).
+  dataset.GetOrCreate("b").InsertUnchecked(Triple{s, p, o1});
+
+  Graph merged = dataset.Merged();
+  EXPECT_EQ(merged.size(), 2u);           // union collapses the shared triple
+  EXPECT_EQ(dataset.TotalTriples(), 3u);  // per-peer total keeps it
+}
+
+TEST(DatasetTest, IterationIsNameOrdered) {
+  Dictionary dict;
+  Dataset dataset(&dict);
+  dataset.GetOrCreate("zeta");
+  dataset.GetOrCreate("alpha");
+  std::vector<std::string> names;
+  for (const auto& [name, graph] : dataset.graphs()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,86 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternIri("http://x");
+  TermId b = dict.InternIri("http://x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, DistinctTermsGetDistinctIds) {
+  Dictionary dict;
+  TermId iri = dict.InternIri("x");
+  TermId blank = dict.InternBlank("x");
+  TermId lit = dict.InternLiteral("x");
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(blank, lit);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  Dictionary dict;
+  Term original = Term::LangLiteral("hello", "en");
+  TermId id = dict.Intern(original);
+  EXPECT_EQ(dict.term(id), original);
+  EXPECT_EQ(dict.ToString(id), "\"hello\"@en");
+}
+
+TEST(DictionaryTest, LookupWithoutIntern) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Lookup(Term::Iri("missing")).has_value());
+  TermId id = dict.InternIri("present");
+  ASSERT_TRUE(dict.Lookup(Term::Iri("present")).has_value());
+  EXPECT_EQ(*dict.Lookup(Term::Iri("present")), id);
+  EXPECT_EQ(dict.size(), 1u);  // Lookup does not intern
+}
+
+TEST(DictionaryTest, KindPredicates) {
+  Dictionary dict;
+  TermId iri = dict.InternIri("x");
+  TermId blank = dict.InternBlank("b");
+  TermId lit = dict.InternLiteral("l");
+  EXPECT_TRUE(dict.IsIri(iri));
+  EXPECT_TRUE(dict.IsBlank(blank));
+  EXPECT_TRUE(dict.IsLiteral(lit));
+  EXPECT_FALSE(dict.IsBlank(iri));
+  EXPECT_FALSE(dict.IsIri(lit));
+}
+
+TEST(DictionaryTest, NewBlankIsFresh) {
+  Dictionary dict;
+  TermId a = dict.NewBlank();
+  TermId b = dict.NewBlank();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(dict.IsBlank(a));
+  EXPECT_TRUE(dict.IsBlank(b));
+}
+
+TEST(DictionaryTest, NewBlankSkipsTakenLabels) {
+  Dictionary dict;
+  // Occupy the labels the null counter would otherwise use.
+  dict.InternBlank("n0");
+  dict.InternBlank("n1");
+  TermId fresh = dict.NewBlank();
+  EXPECT_EQ(dict.term(fresh).lexical(), "n2");
+}
+
+TEST(DictionaryTest, ManyTermsStayStable) {
+  Dictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(dict.InternIri("http://x/" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.term(ids[i]).lexical(), "http://x/" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,229 @@
+#include "discovery/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "peer/certain_answers.h"
+
+namespace rps {
+namespace {
+
+LodConfig DiscoveryConfig(uint64_t seed) {
+  LodConfig config;
+  config.num_peers = 3;
+  config.films_per_peer = 12;
+  config.actors_per_film = 2;
+  config.overlap_fraction = 0.5;
+  config.single_triple_dialect = true;
+  config.with_attributes = true;
+  config.emit_sameas = false;  // truth is hidden from the system
+  config.seed = seed;
+  return config;
+}
+
+TEST(DiscoveryTest, RecoversHiddenSameAsLinksPerfectlyWithoutNoise) {
+  std::vector<EquivalenceMapping> truth;
+  std::unique_ptr<RpsSystem> sys =
+      GenerateLod(DiscoveryConfig(101), nullptr, &truth);
+  ASSERT_FALSE(truth.empty());
+  ASSERT_TRUE(sys->equivalences().empty());  // nothing registered
+
+  std::vector<EquivalenceCandidate> proposed = DiscoverEquivalences(*sys);
+  DiscoveryEvaluation eval = EvaluateEquivalences(proposed, truth);
+  // Attribute values are unique per logical entity and shared across all
+  // peers, and the ground truth is the generator's full co-reference
+  // relation: discovery is exact without noise.
+  EXPECT_EQ(eval.recall, 1.0) << "tp=" << eval.true_positives
+                              << " fn=" << eval.false_negatives;
+  EXPECT_EQ(eval.precision, 1.0) << "fp=" << eval.false_positives;
+}
+
+TEST(DiscoveryTest, NoiseLowersRecall) {
+  LodConfig clean = DiscoveryConfig(102);
+  LodConfig noisy = DiscoveryConfig(102);
+  noisy.attribute_noise = 0.6;
+
+  std::vector<EquivalenceMapping> truth_clean, truth_noisy;
+  std::unique_ptr<RpsSystem> sys_clean =
+      GenerateLod(clean, nullptr, &truth_clean);
+  std::unique_ptr<RpsSystem> sys_noisy =
+      GenerateLod(noisy, nullptr, &truth_noisy);
+
+  DiscoveryEvaluation eval_clean = EvaluateEquivalences(
+      DiscoverEquivalences(*sys_clean), truth_clean);
+  DiscoveryEvaluation eval_noisy = EvaluateEquivalences(
+      DiscoverEquivalences(*sys_noisy), truth_noisy);
+  EXPECT_LT(eval_noisy.recall, eval_clean.recall);
+}
+
+TEST(DiscoveryTest, ThresholdTradesPrecisionForRecall) {
+  LodConfig config = DiscoveryConfig(103);
+  config.attribute_noise = 0.3;
+  std::vector<EquivalenceMapping> truth;
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config, nullptr, &truth);
+
+  DiscoveryOptions strict;
+  strict.min_jaccard = 0.9;
+  DiscoveryOptions lax;
+  lax.min_jaccard = 0.1;
+  std::vector<EquivalenceCandidate> strict_proposals =
+      DiscoverEquivalences(*sys, strict);
+  std::vector<EquivalenceCandidate> lax_proposals =
+      DiscoverEquivalences(*sys, lax);
+  // The lax threshold proposes at least as much.
+  EXPECT_GE(lax_proposals.size(), strict_proposals.size());
+  DiscoveryEvaluation strict_eval =
+      EvaluateEquivalences(strict_proposals, truth);
+  DiscoveryEvaluation lax_eval = EvaluateEquivalences(lax_proposals, truth);
+  EXPECT_GE(lax_eval.recall, strict_eval.recall);
+}
+
+TEST(DiscoveryTest, CandidatesAreSortedAndDeterministic) {
+  std::unique_ptr<RpsSystem> sys = GenerateLod(DiscoveryConfig(104));
+  std::vector<EquivalenceCandidate> a = DiscoverEquivalences(*sys);
+  std::vector<EquivalenceCandidate> b = DiscoverEquivalences(*sys);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].left, b[i].left);
+    EXPECT_EQ(a[i].right, b[i].right);
+    if (i > 0) {
+      EXPECT_GE(a[i - 1].score, a[i].score);
+    }
+  }
+}
+
+TEST(DiscoveryTest, StopWordLiteralsAreIgnored) {
+  // Two peers where every entity shares one ubiquitous literal: without
+  // the frequency cut-off this would propose all-pairs.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId label = dict.InternIri("http://x/label");
+  TermId common = dict.InternLiteral("thing");
+  Graph& a = sys.AddPeer("a");
+  Graph& b = sys.AddPeer("b");
+  for (int i = 0; i < 20; ++i) {
+    a.InsertUnchecked(Triple{
+        dict.InternIri("http://a/e" + std::to_string(i)), label, common});
+    b.InsertUnchecked(Triple{
+        dict.InternIri("http://b/e" + std::to_string(i)), label, common});
+  }
+  DiscoveryOptions options;
+  options.max_literal_frequency = 10;
+  EXPECT_TRUE(DiscoverEquivalences(sys, options).empty());
+}
+
+TEST(DiscoveryTest, PropertyAlignmentFindsDialectCorrespondence) {
+  // Two peers describing the same pairs under different property names,
+  // with shared entity IRIs (so the closure is trivial).
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId acted_in = dict.InternIri("http://a/actedIn");
+  TermId appears = dict.InternIri("http://b/appearsIn");
+  Graph& a = sys.AddPeer("a");
+  Graph& b = sys.AddPeer("b");
+  for (int i = 0; i < 6; ++i) {
+    TermId person = dict.InternIri("http://shared/p" + std::to_string(i));
+    TermId film = dict.InternIri("http://shared/f" + std::to_string(i));
+    a.InsertUnchecked(Triple{person, acted_in, film});
+    b.InsertUnchecked(Triple{person, appears, film});
+  }
+  EquivalenceClosure closure({}, dict);
+  std::vector<PropertyAlignment> alignments =
+      DiscoverPropertyAlignments(sys, closure);
+  ASSERT_EQ(alignments.size(), 2u);  // both directions, containment 1.0
+  EXPECT_EQ(alignments[0].containment, 1.0);
+}
+
+TEST(DiscoveryTest, PropertyAlignmentUsesEquivalenceClosure) {
+  // Same as above but with peer-local IRIs related by equivalences: the
+  // alignment only becomes visible modulo the closure.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId acted_in = dict.InternIri("http://a/actedIn");
+  TermId appears = dict.InternIri("http://b/appearsIn");
+  Graph& a = sys.AddPeer("a");
+  Graph& b = sys.AddPeer("b");
+  std::vector<EquivalenceMapping> links;
+  for (int i = 0; i < 5; ++i) {
+    TermId pa = dict.InternIri("http://a/p" + std::to_string(i));
+    TermId pb = dict.InternIri("http://b/p" + std::to_string(i));
+    TermId fa = dict.InternIri("http://a/f" + std::to_string(i));
+    TermId fb = dict.InternIri("http://b/f" + std::to_string(i));
+    a.InsertUnchecked(Triple{pa, acted_in, fa});
+    b.InsertUnchecked(Triple{pb, appears, fb});
+    links.push_back({pa, pb});
+    links.push_back({fa, fb});
+  }
+  EquivalenceClosure empty_closure({}, dict);
+  EXPECT_TRUE(DiscoverPropertyAlignments(sys, empty_closure).empty());
+
+  EquivalenceClosure closure(links, dict);
+  std::vector<PropertyAlignment> alignments =
+      DiscoverPropertyAlignments(sys, closure);
+  EXPECT_EQ(alignments.size(), 2u);
+}
+
+TEST(DiscoveryTest, EndToEndDiscoveredSystemAnswersLikeReference) {
+  // Build the same data twice: once with generator-provided mappings
+  // (reference), once bare + discovery. The discovered system must
+  // return at least the reference's certain answers for the demo query
+  // (it may add more if discovery finds extra, correct-by-construction
+  // co-reference pairs the generator did not link).
+  LodConfig config = DiscoveryConfig(105);
+  config.num_peers = 2;
+
+  LodConfig reference_config = config;
+  reference_config.emit_sameas = true;
+  std::unique_ptr<RpsSystem> reference = GenerateLod(reference_config);
+  // The reference also needs the property mappings — the generator made
+  // them; reuse as-is.
+  GraphPatternQuery ref_query = LodDemoQuery(reference.get(), config);
+  Result<CertainAnswerResult> ref_answers =
+      CertainAnswers(*reference, ref_query);
+  ASSERT_TRUE(ref_answers.ok());
+
+  // Bare system: same triples, no mappings at all.
+  std::unique_ptr<RpsSystem> bare = GenerateLod(config);
+  ASSERT_TRUE(bare->equivalences().empty());
+  // Remove the generator's GMAs by rebuilding?? The generator always adds
+  // GMAs; emulate "no mappings" by discovering on a fresh system and
+  // comparing against the reference modulo the shared GMAs.
+  std::vector<EquivalenceCandidate> candidates = DiscoverEquivalences(*bare);
+  EquivalenceClosure closure(bare->equivalences(), *bare->dict());
+  Result<size_t> added = ApplyDiscovery(bare.get(), candidates, {});
+  ASSERT_TRUE(added.ok());
+  EXPECT_GT(*added, 0u);
+
+  GraphPatternQuery bare_query = LodDemoQuery(bare.get(), config);
+  Result<CertainAnswerResult> bare_answers =
+      CertainAnswers(*bare, bare_query);
+  ASSERT_TRUE(bare_answers.ok());
+  // Every reference answer appears in the discovered system's answers.
+  for (const Tuple& t : ref_answers->answers) {
+    EXPECT_NE(std::find(bare_answers->answers.begin(),
+                        bare_answers->answers.end(), t),
+              bare_answers->answers.end());
+  }
+}
+
+TEST(DiscoveryTest, EvaluationMetrics) {
+  std::vector<EquivalenceCandidate> proposed;
+  EquivalenceCandidate c;
+  c.left = 1;
+  c.right = 2;
+  proposed.push_back(c);
+  c.left = 3;
+  c.right = 4;
+  proposed.push_back(c);
+  // Truth contains (2,1) — reversed orientation — and (5,6).
+  std::vector<EquivalenceMapping> truth = {{2, 1}, {5, 6}};
+  DiscoveryEvaluation eval = EvaluateEquivalences(proposed, truth);
+  EXPECT_EQ(eval.true_positives, 1u);
+  EXPECT_EQ(eval.false_positives, 1u);
+  EXPECT_EQ(eval.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(eval.precision, 0.5);
+  EXPECT_DOUBLE_EQ(eval.recall, 0.5);
+}
+
+}  // namespace
+}  // namespace rps

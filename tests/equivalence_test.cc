@@ -1,0 +1,117 @@
+#include "peer/equivalence.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  EquivalenceTest() {
+    a_ = dict_.InternIri("http://a/x");   // lexicographically smallest
+    b_ = dict_.InternIri("http://b/x");
+    c_ = dict_.InternIri("http://c/x");
+    d_ = dict_.InternIri("http://d/x");
+    p_ = dict_.InternIri("http://p/p");
+  }
+
+  Dictionary dict_;
+  TermId a_, b_, c_, d_, p_;
+};
+
+TEST_F(EquivalenceTest, CanonOfUnmappedTermIsIdentity) {
+  EquivalenceClosure closure({}, dict_);
+  EXPECT_EQ(closure.Canon(a_), a_);
+  EXPECT_TRUE(closure.IsCanonical(a_));
+  EXPECT_EQ(closure.Clique(a_), (std::vector<TermId>{a_}));
+  EXPECT_EQ(closure.CliqueCount(), 0u);
+  EXPECT_EQ(closure.LargestClique(), 1u);
+}
+
+TEST_F(EquivalenceTest, TransitiveCliqueSharesCanon) {
+  std::vector<EquivalenceMapping> mappings = {{b_, c_}, {c_, d_}};
+  EquivalenceClosure closure(mappings, dict_);
+  EXPECT_EQ(closure.Canon(b_), closure.Canon(d_));
+  EXPECT_EQ(closure.CliqueCount(), 1u);
+  EXPECT_EQ(closure.LargestClique(), 3u);
+  EXPECT_EQ(closure.Clique(c_).size(), 3u);
+}
+
+TEST_F(EquivalenceTest, CanonIsLexicographicallySmallest) {
+  // This matches the paper's "result without redundancy" convention.
+  std::vector<EquivalenceMapping> mappings = {{c_, a_}, {c_, b_}};
+  EquivalenceClosure closure(mappings, dict_);
+  EXPECT_EQ(closure.Canon(a_), a_);
+  EXPECT_EQ(closure.Canon(b_), a_);
+  EXPECT_EQ(closure.Canon(c_), a_);
+}
+
+TEST_F(EquivalenceTest, SeparateCliquesStaySeparate) {
+  std::vector<EquivalenceMapping> mappings = {{a_, b_}, {c_, d_}};
+  EquivalenceClosure closure(mappings, dict_);
+  EXPECT_NE(closure.Canon(a_), closure.Canon(c_));
+  EXPECT_EQ(closure.CliqueCount(), 2u);
+}
+
+TEST_F(EquivalenceTest, CanonicalizeGraphRewritesAllPositions) {
+  std::vector<EquivalenceMapping> mappings = {{a_, b_}};
+  EquivalenceClosure closure(mappings, dict_);
+  Graph g(&dict_);
+  g.InsertUnchecked(Triple{b_, p_, b_});
+  g.InsertUnchecked(Triple{c_, b_, c_});
+  Graph canonical = closure.CanonicalizeGraph(g);
+  EXPECT_TRUE(canonical.Contains(Triple{a_, p_, a_}));
+  EXPECT_TRUE(canonical.Contains(Triple{c_, a_, c_}));
+  EXPECT_EQ(canonical.size(), 2u);
+}
+
+TEST_F(EquivalenceTest, CanonicalizeGraphMergesEquivalentTriples) {
+  std::vector<EquivalenceMapping> mappings = {{a_, b_}};
+  EquivalenceClosure closure(mappings, dict_);
+  Graph g(&dict_);
+  g.InsertUnchecked(Triple{a_, p_, c_});
+  g.InsertUnchecked(Triple{b_, p_, c_});  // same triple after canon
+  Graph canonical = closure.CanonicalizeGraph(g);
+  EXPECT_EQ(canonical.size(), 1u);
+}
+
+TEST_F(EquivalenceTest, CanonicalizeQueryRewritesConstants) {
+  std::vector<EquivalenceMapping> mappings = {{a_, b_}};
+  EquivalenceClosure closure(mappings, dict_);
+  VarPool vars;
+  VarId x = vars.Intern("x");
+  GraphPatternQuery q;
+  q.head = {x};
+  q.body.Add(TriplePattern{PatternTerm::Const(b_), PatternTerm::Const(p_),
+                           PatternTerm::Var(x)});
+  GraphPatternQuery canonical = closure.CanonicalizeQuery(q);
+  EXPECT_EQ(canonical.body.patterns()[0].s.term(), a_);
+  EXPECT_EQ(canonical.head, q.head);
+}
+
+TEST_F(EquivalenceTest, ExpandTuplesCartesian) {
+  std::vector<EquivalenceMapping> mappings = {{a_, b_}, {c_, d_}};
+  EquivalenceClosure closure(mappings, dict_);
+  std::vector<Tuple> canonical = {{closure.Canon(a_), closure.Canon(c_)}};
+  std::vector<Tuple> expanded = closure.ExpandTuples(canonical);
+  // 2 × 2 combinations.
+  EXPECT_EQ(expanded.size(), 4u);
+}
+
+TEST_F(EquivalenceTest, ExpandTuplesLeavesUnmappedValues) {
+  std::vector<EquivalenceMapping> mappings = {{a_, b_}};
+  EquivalenceClosure closure(mappings, dict_);
+  std::vector<Tuple> expanded = closure.ExpandTuples({{a_, p_}});
+  EXPECT_EQ(expanded.size(), 2u);  // {a,p} and {b,p}
+}
+
+TEST_F(EquivalenceTest, ExpandTuplesDeduplicates) {
+  std::vector<EquivalenceMapping> mappings = {{a_, b_}};
+  EquivalenceClosure closure(mappings, dict_);
+  // Both input tuples canonicalize to the same expansion set.
+  std::vector<Tuple> expanded = closure.ExpandTuples({{a_}, {a_}});
+  EXPECT_EQ(expanded.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,268 @@
+#include "federation/federator.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/paper_example.h"
+#include "peer/certain_answers.h"
+
+namespace rps {
+namespace {
+
+TEST(TopologyTest, ChainShape) {
+  Topology t = Topology::Chain(5);
+  EXPECT_EQ(t.NodeCount(), 5u);
+  EXPECT_EQ(t.EdgeCount(), 4u);
+  EXPECT_EQ(t.HopDistance(0, 4), 4u);
+  EXPECT_EQ(t.HopDistance(2, 2), 0u);
+  EXPECT_EQ(t.Describe(), "chain(5)");
+}
+
+TEST(TopologyTest, StarShape) {
+  Topology t = Topology::Star(6);
+  EXPECT_EQ(t.EdgeCount(), 5u);
+  EXPECT_EQ(t.HopDistance(0, 3), 1u);
+  EXPECT_EQ(t.HopDistance(1, 5), 2u);  // via the hub
+}
+
+TEST(TopologyTest, RingShape) {
+  Topology t = Topology::Ring(6);
+  EXPECT_EQ(t.EdgeCount(), 6u);
+  EXPECT_EQ(t.HopDistance(0, 3), 3u);
+  EXPECT_EQ(t.HopDistance(0, 5), 1u);  // wrap-around
+}
+
+TEST(TopologyTest, RandomIsConnectedAndDeterministic) {
+  Topology a = Topology::Random(10, 0.2, 42);
+  Topology b = Topology::Random(10, 0.2, 42);
+  EXPECT_EQ(a.EdgeCount(), b.EdgeCount());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NE(a.HopDistance(0, i), SIZE_MAX) << "node " << i;
+  }
+}
+
+TEST(TopologyTest, DisconnectedDistanceIsInfinite) {
+  Topology t(4);
+  t.AddEdge(0, 1);
+  EXPECT_EQ(t.HopDistance(0, 3), SIZE_MAX);
+}
+
+TEST(TopologyTest, DuplicateAndSelfEdgesIgnored) {
+  Topology t(3);
+  t.AddEdge(0, 1);
+  t.AddEdge(1, 0);
+  t.AddEdge(1, 1);
+  EXPECT_EQ(t.EdgeCount(), 1u);
+}
+
+TEST(NetworkStatsTest, ExchangeAccounting) {
+  NetworkCostModel model;
+  NetworkStats stats;
+  stats.AddExchange(/*payload_bytes=*/1000.0, /*hops=*/2, model);
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.bytes, static_cast<size_t>(1000.0 + model.bytes_per_request));
+  EXPECT_GT(stats.latency_ms, 2 * 2 * model.latency_ms_per_hop - 1e-9);
+}
+
+TEST(FederatorTest, PaperExampleFederatedMatchesChase) {
+  PaperExample ex = BuildPaperExample();
+  Federator fed(ex.system.get(), Topology::Star(3));
+  Result<FederatedQueryResult> fed_result = fed.Execute(ex.query);
+  ASSERT_TRUE(fed_result.ok()) << fed_result.status();
+
+  Result<CertainAnswerResult> chase = CertainAnswers(*ex.system, ex.query);
+  ASSERT_TRUE(chase.ok());
+  EXPECT_EQ(fed_result->answers, chase->answers);
+  EXPECT_GT(fed_result->subqueries, 0u);
+  EXPECT_GT(fed_result->network.messages, 0u);
+}
+
+TEST(FederatorTest, CentralizedMatchesFederated) {
+  PaperExample ex = BuildPaperExample();
+  Federator fed(ex.system.get(), Topology::Chain(3));
+  Result<FederatedQueryResult> distributed = fed.Execute(ex.query);
+  Result<FederatedQueryResult> centralized = fed.ExecuteCentralized(ex.query);
+  ASSERT_TRUE(distributed.ok());
+  ASSERT_TRUE(centralized.ok());
+  EXPECT_EQ(distributed->answers, centralized->answers);
+}
+
+TEST(FederatorTest, CentralizedShipsMoreBytesOnSelectiveQueries) {
+  // A selective query should move far less data federated than shipping
+  // all sources to the coordinator.
+  LodConfig config;
+  config.num_peers = 4;
+  config.films_per_peer = 40;
+  config.single_triple_dialect = true;
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  // Selective: one specific film of peer 0.
+  Dictionary& dict = *sys->dict();
+  VarPool& vars = *sys->vars();
+  TermId film = dict.InternIri("http://peer0.example.org/film0");
+  TermId actor = dict.InternIri("http://peer0.example.org/actor");
+  VarId x = vars.Intern("fx");
+  GraphPatternQuery q;
+  q.head = {x};
+  q.body.Add(TriplePattern{PatternTerm::Const(film),
+                           PatternTerm::Const(actor), PatternTerm::Var(x)});
+
+  Federator fed(sys.get(), LodTopology(config));
+  Result<FederatedQueryResult> distributed = fed.Execute(q);
+  Result<FederatedQueryResult> centralized = fed.ExecuteCentralized(q);
+  ASSERT_TRUE(distributed.ok()) << distributed.status();
+  ASSERT_TRUE(centralized.ok());
+  EXPECT_EQ(distributed->answers, centralized->answers);
+  EXPECT_LT(distributed->network.bytes, centralized->network.bytes);
+}
+
+TEST(FederatorTest, LodSystemFederatedMatchesChase) {
+  for (auto topo : {LodConfig::MappingTopology::kChain,
+                    LodConfig::MappingTopology::kStar,
+                    LodConfig::MappingTopology::kRing}) {
+    LodConfig config;
+    config.num_peers = 3;
+    config.films_per_peer = 5;
+    config.topology = topo;
+    config.single_triple_dialect = true;
+    std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+    GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+    Federator fed(sys.get(), LodTopology(config));
+    Result<FederatedQueryResult> fed_result = fed.Execute(q);
+    ASSERT_TRUE(fed_result.ok()) << fed_result.status();
+    Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+    ASSERT_TRUE(chase.ok());
+    EXPECT_EQ(fed_result->answers, chase->answers)
+        << "topology " << static_cast<int>(topo);
+  }
+}
+
+TEST(FederatorTest, BindJoinMatchesShipExtensions) {
+  for (uint64_t seed : {61u, 62u, 63u}) {
+    LodConfig config;
+    config.num_peers = 4;
+    config.films_per_peer = 12;
+    config.seed = seed;
+    config.single_triple_dialect = (seed % 2 == 0);
+    std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+    GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+    Federator fed(sys.get(), LodTopology(config));
+    FederationOptions ship;
+    ship.join_strategy = JoinStrategy::kShipExtensions;
+    FederationOptions bind;
+    bind.join_strategy = JoinStrategy::kBindJoin;
+    bind.bind_join_batch = 4;
+
+    Result<FederatedQueryResult> a = fed.Execute(q, ship);
+    Result<FederatedQueryResult> b = fed.Execute(q, bind);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->answers, b->answers) << "seed " << seed;
+  }
+}
+
+TEST(FederatorTest, BindJoinShipsLessOnSelectiveQueries) {
+  LodConfig config;
+  config.num_peers = 4;
+  config.films_per_peer = 60;
+  config.single_triple_dialect = false;  // two-triple dialect: real joins
+  config.seed = 64;
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  // Selective: the cast of one specific film, peer-1 dialect (starring +
+  // artist join).
+  Dictionary* dict = sys->dict();
+  VarPool* vars = sys->vars();
+  GraphPatternQuery q;
+  VarId x = vars->Intern("bj_x"), z = vars->Intern("bj_z");
+  q.head = {x};
+  q.body.Add(TriplePattern{
+      PatternTerm::Const(dict->InternIri("http://peer1.example.org/film2")),
+      PatternTerm::Const(
+          dict->InternIri("http://peer1.example.org/starring")),
+      PatternTerm::Var(z)});
+  q.body.Add(TriplePattern{
+      PatternTerm::Var(z),
+      PatternTerm::Const(dict->InternIri("http://peer1.example.org/artist")),
+      PatternTerm::Var(x)});
+
+  Federator fed(sys.get(), LodTopology(config));
+  FederationOptions ship;
+  FederationOptions bind;
+  bind.join_strategy = JoinStrategy::kBindJoin;
+  Result<FederatedQueryResult> a = fed.Execute(q, ship);
+  Result<FederatedQueryResult> b = fed.Execute(q, bind);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answers, b->answers);
+  EXPECT_LT(b->network.bytes, a->network.bytes);
+}
+
+TEST(FederatorTest, CoordinatorPlacementAffectsLatencyNotAnswers) {
+  LodConfig config;
+  config.num_peers = 6;
+  config.films_per_peer = 10;
+  config.topology = LodConfig::MappingTopology::kChain;
+  config.seed = 65;
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions end_node;
+  end_node.coordinator = 0;  // chain endpoint: longest average distance
+  FederationOptions middle;
+  middle.coordinator = 3;    // near the middle: shorter paths
+
+  Result<FederatedQueryResult> from_end = fed.Execute(q, end_node);
+  Result<FederatedQueryResult> from_middle = fed.Execute(q, middle);
+  ASSERT_TRUE(from_end.ok());
+  ASSERT_TRUE(from_middle.ok());
+  EXPECT_EQ(from_end->answers, from_middle->answers);
+  EXPECT_EQ(from_end->network.bytes, from_middle->network.bytes);
+  EXPECT_GT(from_end->network.latency_ms, from_middle->network.latency_ms);
+}
+
+TEST(FederatorTest, CustomCostModelScalesAccounting) {
+  PaperExample ex = BuildPaperExample();
+  Federator fed(ex.system.get(), Topology::Chain(3));
+  FederationOptions cheap;
+  FederationOptions pricey;
+  pricey.cost.latency_ms_per_hop = 50.0;  // 10× the default
+  Result<FederatedQueryResult> a = fed.Execute(ex.query, cheap);
+  Result<FederatedQueryResult> b = fed.Execute(ex.query, pricey);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answers, b->answers);
+  EXPECT_GT(b->network.latency_ms, a->network.latency_ms);
+}
+
+TEST(FederatorTest, TopologyTooSmallRejected) {
+  PaperExample ex = BuildPaperExample();  // 3 peers
+  Federator fed(ex.system.get(), Topology::Chain(2));
+  EXPECT_FALSE(fed.Execute(ex.query).ok());
+}
+
+TEST(PeerNodeTest, MayAnswerFiltersBySchema) {
+  Dictionary dict;
+  Graph g(&dict);
+  TermId s = dict.InternIri("http://x/s");
+  TermId p = dict.InternIri("http://x/p");
+  TermId o = dict.InternIri("http://x/o");
+  TermId foreign = dict.InternIri("http://y/other");
+  g.InsertUnchecked(Triple{s, p, o});
+  PeerNode node("peer", &g);
+
+  VarPool vars;
+  VarId x = vars.Intern("x");
+  TriplePattern local{PatternTerm::Const(s), PatternTerm::Const(p),
+                      PatternTerm::Var(x)};
+  TriplePattern alien{PatternTerm::Const(foreign), PatternTerm::Const(p),
+                      PatternTerm::Var(x)};
+  EXPECT_TRUE(node.MayAnswer(local));
+  EXPECT_FALSE(node.MayAnswer(alien));
+  EXPECT_EQ(node.Answer(local).size(), 1u);
+  EXPECT_EQ(node.queries_served(), 1u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,113 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/ntriples.h"
+
+namespace rps {
+namespace {
+
+TEST(GeneratorsTest, LodIsDeterministic) {
+  LodConfig config;
+  config.num_peers = 3;
+  config.films_per_peer = 10;
+  config.seed = 77;
+  LodStats s1, s2;
+  std::unique_ptr<RpsSystem> a = GenerateLod(config, &s1);
+  std::unique_ptr<RpsSystem> b = GenerateLod(config, &s2);
+  EXPECT_EQ(s1.triples, s2.triples);
+  EXPECT_EQ(s1.sameas_links, s2.sameas_links);
+  EXPECT_EQ(WriteNTriples(a->StoredDatabase()),
+            WriteNTriples(b->StoredDatabase()));
+}
+
+TEST(GeneratorsTest, LodRespectsConfigSizes) {
+  LodConfig config;
+  config.num_peers = 4;
+  config.films_per_peer = 10;
+  config.actors_per_film = 3;
+  config.single_triple_dialect = true;
+  config.overlap_fraction = 0.0;
+  config.sameas_rate = 0.0;
+  LodStats stats;
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config, &stats);
+  EXPECT_EQ(sys->PeerCount(), 4u);
+  EXPECT_EQ(stats.films, 40u);
+  // 4 peers × 10 films × 3 actors, single triple each, no sameAs.
+  EXPECT_EQ(stats.triples, 120u);
+  EXPECT_EQ(stats.sameas_links, 0u);
+  EXPECT_TRUE(sys->equivalences().empty());
+  // Chain topology: 3 edges × 2 directions.
+  EXPECT_EQ(sys->graph_mappings().size(), 6u);
+}
+
+TEST(GeneratorsTest, LodDoubleDialectDoublesOddPeerTriples) {
+  LodConfig config;
+  config.num_peers = 2;
+  config.films_per_peer = 5;
+  config.actors_per_film = 1;
+  config.single_triple_dialect = false;  // peer1 uses starring/artist
+  config.overlap_fraction = 0.0;
+  LodStats stats;
+  GenerateLod(config, &stats);
+  // peer0: 5 triples; peer1: 10 triples.
+  EXPECT_EQ(stats.triples, 15u);
+}
+
+TEST(GeneratorsTest, LodSameAsLinksCreateEquivalences) {
+  LodConfig config;
+  config.num_peers = 2;
+  config.films_per_peer = 10;
+  config.actors_per_film = 1;
+  config.overlap_fraction = 0.5;
+  config.sameas_rate = 1.0;
+  LodStats stats;
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config, &stats);
+  // 5 overlapping films, each with 1 actor: 10 links on the single edge.
+  EXPECT_EQ(stats.sameas_links, 10u);
+  EXPECT_EQ(sys->equivalences().size(), 10u);
+}
+
+TEST(GeneratorsTest, TransitiveClosureSystemShape) {
+  std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(5);
+  EXPECT_EQ(sys->PeerCount(), 1u);
+  EXPECT_EQ(sys->StoredDatabase().size(), 5u);
+  ASSERT_EQ(sys->graph_mappings().size(), 1u);
+  const GraphMappingAssertion& gma = sys->graph_mappings()[0];
+  EXPECT_EQ(gma.from.body.size(), 2u);
+  EXPECT_EQ(gma.to.body.size(), 1u);
+  EXPECT_EQ(gma.from.arity(), 2u);
+}
+
+TEST(GeneratorsTest, SameAsCliquesShape) {
+  std::unique_ptr<RpsSystem> sys = GenerateSameAsCliques(
+      /*num_cliques=*/3, /*clique_size=*/4, /*triples_per_member=*/2,
+      /*seed=*/5);
+  // 3 cliques × 3 sameAs links each.
+  EXPECT_EQ(sys->equivalences().size(), 9u);
+  // 3 × 4 members × 2 property triples + 9 sameAs triples.
+  EXPECT_EQ(sys->StoredDatabase().size(), 33u);
+}
+
+TEST(GeneratorsTest, ChainRpsShape) {
+  std::unique_ptr<RpsSystem> sys = GenerateChainRps(4, 6, 3);
+  EXPECT_EQ(sys->PeerCount(), 4u);
+  EXPECT_EQ(sys->graph_mappings().size(), 3u);
+  // Each mapping is linear: single body pattern, single head pattern.
+  for (const GraphMappingAssertion& gma : sys->graph_mappings()) {
+    EXPECT_EQ(gma.from.body.size(), 1u);
+    EXPECT_EQ(gma.to.body.size(), 1u);
+  }
+}
+
+TEST(GeneratorsTest, LodTopologyMatchesConfig) {
+  LodConfig config;
+  config.num_peers = 6;
+  config.topology = LodConfig::MappingTopology::kStar;
+  Topology t = LodTopology(config);
+  EXPECT_EQ(t.NodeCount(), 6u);
+  EXPECT_EQ(t.EdgeCount(), 5u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,144 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() : graph_(&dict_) {
+    s1_ = dict_.InternIri("http://x/s1");
+    s2_ = dict_.InternIri("http://x/s2");
+    p1_ = dict_.InternIri("http://x/p1");
+    p2_ = dict_.InternIri("http://x/p2");
+    o1_ = dict_.InternIri("http://x/o1");
+    lit_ = dict_.InternLiteral("v");
+    blank_ = dict_.InternBlank("b");
+  }
+
+  Dictionary dict_;
+  Graph graph_;
+  TermId s1_, s2_, p1_, p2_, o1_, lit_, blank_;
+};
+
+TEST_F(GraphTest, InsertAndContains) {
+  Result<bool> r = graph_.Insert(Triple{s1_, p1_, o1_});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_TRUE(graph_.Contains(Triple{s1_, p1_, o1_}));
+  EXPECT_EQ(graph_.size(), 1u);
+
+  // Duplicate insert reports not-new.
+  Result<bool> dup = graph_.Insert(Triple{s1_, p1_, o1_});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(*dup);
+  EXPECT_EQ(graph_.size(), 1u);
+}
+
+TEST_F(GraphTest, InsertValidatesKinds) {
+  // Literal subject rejected.
+  EXPECT_FALSE(graph_.Insert(Triple{lit_, p1_, o1_}).ok());
+  // Non-IRI predicate rejected.
+  EXPECT_FALSE(graph_.Insert(Triple{s1_, lit_, o1_}).ok());
+  EXPECT_FALSE(graph_.Insert(Triple{s1_, blank_, o1_}).ok());
+  // Blank subject and literal object allowed.
+  EXPECT_TRUE(graph_.Insert(Triple{blank_, p1_, lit_}).ok());
+  // Invalid ids rejected.
+  EXPECT_FALSE(graph_.Insert(Triple{}).ok());
+}
+
+TEST_F(GraphTest, InsertTermsConvenience) {
+  ASSERT_TRUE(graph_
+                  .Insert(Term::Iri("http://x/a"), Term::Iri("http://x/p"),
+                          Term::Literal("42"))
+                  .ok());
+  EXPECT_EQ(graph_.size(), 1u);
+}
+
+TEST_F(GraphTest, MatchAllPatternShapes) {
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  graph_.InsertUnchecked(Triple{s1_, p2_, o1_});
+  graph_.InsertUnchecked(Triple{s2_, p1_, lit_});
+
+  // (s ? ?)
+  EXPECT_EQ(graph_.MatchAll(s1_, std::nullopt, std::nullopt).size(), 2u);
+  // (? p ?)
+  EXPECT_EQ(graph_.MatchAll(std::nullopt, p1_, std::nullopt).size(), 2u);
+  // (? ? o)
+  EXPECT_EQ(graph_.MatchAll(std::nullopt, std::nullopt, o1_).size(), 2u);
+  // (s p ?)
+  EXPECT_EQ(graph_.MatchAll(s1_, p1_, std::nullopt).size(), 1u);
+  // (s ? o)
+  EXPECT_EQ(graph_.MatchAll(s1_, std::nullopt, o1_).size(), 2u);
+  // (? p o)
+  EXPECT_EQ(graph_.MatchAll(std::nullopt, p1_, o1_).size(), 1u);
+  // (s p o)
+  EXPECT_EQ(graph_.MatchAll(s1_, p1_, o1_).size(), 1u);
+  // (? ? ?)
+  EXPECT_EQ(graph_.MatchAll(std::nullopt, std::nullopt, std::nullopt).size(),
+            3u);
+}
+
+TEST_F(GraphTest, MatchMissBoundTerm) {
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  // s2_ never occurs as a subject.
+  EXPECT_TRUE(graph_.MatchAll(s2_, std::nullopt, std::nullopt).empty());
+  // o1_ never occurs as a subject either.
+  EXPECT_TRUE(graph_.MatchAll(o1_, std::nullopt, std::nullopt).empty());
+}
+
+TEST_F(GraphTest, MatchEarlyStop) {
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  graph_.InsertUnchecked(Triple{s1_, p2_, o1_});
+  int count = 0;
+  graph_.Match(s1_, std::nullopt, std::nullopt, [&](const Triple&) {
+    ++count;
+    return false;  // stop after the first
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(GraphTest, EstimateMatchesBounds) {
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  graph_.InsertUnchecked(Triple{s1_, p2_, o1_});
+  graph_.InsertUnchecked(Triple{s2_, p1_, lit_});
+  EXPECT_EQ(graph_.EstimateMatches(std::nullopt, std::nullopt, std::nullopt),
+            3u);
+  EXPECT_EQ(graph_.EstimateMatches(s1_, std::nullopt, std::nullopt), 2u);
+  EXPECT_EQ(graph_.EstimateMatches(s1_, p2_, std::nullopt), 1u);
+  // Upper bound only: s2_ and p2_ each occur once (in different triples),
+  // so the estimate is 1 even though the combined pattern has no match.
+  EXPECT_EQ(graph_.EstimateMatches(s2_, p2_, std::nullopt), 1u);
+  // Estimates upper-bound the true match counts for all shapes.
+  for (auto s : {std::optional<TermId>(), std::optional<TermId>(s1_)}) {
+    for (auto p : {std::optional<TermId>(), std::optional<TermId>(p1_)}) {
+      for (auto o : {std::optional<TermId>(), std::optional<TermId>(o1_)}) {
+        EXPECT_GE(graph_.EstimateMatches(s, p, o),
+                  graph_.MatchAll(s, p, o).size());
+      }
+    }
+  }
+}
+
+TEST_F(GraphTest, InsertAllMerges) {
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  Graph other(&dict_);
+  other.InsertUnchecked(Triple{s1_, p1_, o1_});  // duplicate
+  other.InsertUnchecked(Triple{s2_, p2_, o1_});  // new
+  EXPECT_EQ(graph_.InsertAll(other), 1u);
+  EXPECT_EQ(graph_.size(), 2u);
+}
+
+TEST_F(GraphTest, TermsInUse) {
+  graph_.InsertUnchecked(Triple{s1_, p1_, lit_});
+  auto terms = graph_.TermsInUse();
+  EXPECT_EQ(terms.size(), 3u);
+  EXPECT_TRUE(terms.count(s1_));
+  EXPECT_TRUE(terms.count(p1_));
+  EXPECT_TRUE(terms.count(lit_));
+  EXPECT_FALSE(terms.count(s2_));
+}
+
+}  // namespace
+}  // namespace rps

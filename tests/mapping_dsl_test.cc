@@ -1,0 +1,277 @@
+#include "config/mapping_dsl.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "gen/paper_example.h"
+#include "peer/certain_answers.h"
+
+namespace rps {
+namespace {
+
+// Writes a temp file under the test's scratch dir and returns its path.
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+
+constexpr const char* kSource1Ttl = R"(
+@prefix DB1: <http://example.org/db1/> .
+@prefix DB2: <http://example.org/db2/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix voc: <http://example.org/voc/> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+DB1:Spiderman voc:starring _:c1 , _:c2 ; owl:sameAs DB2:Spiderman2002 .
+_:c1 voc:artist DB1:Toby_Maguire .
+_:c2 voc:artist DB1:Kirsten_Dunst .
+DB1:Toby_Maguire owl:sameAs foaf:Toby_Maguire .
+DB1:Kirsten_Dunst owl:sameAs foaf:Kirsten_Dunst .
+)";
+
+constexpr const char* kSource2Nt = R"(
+<http://example.org/db2/Spiderman2002> <http://example.org/voc/actor> <http://example.org/db2/Willem_Dafoe> .
+<http://example.org/db2/Pleasantville> <http://example.org/voc/actor> <http://example.org/db2/Willem_Dafoe> .
+)";
+
+constexpr const char* kSource3Ttl = R"(
+@prefix DB2: <http://example.org/db2/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix voc: <http://example.org/voc/> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+foaf:Toby_Maguire voc:age "39" .
+foaf:Kirsten_Dunst voc:age "32" .
+foaf:Willem_Dafoe voc:age "59" .
+DB2:Willem_Dafoe owl:sameAs foaf:Willem_Dafoe .
+)";
+
+class MappingDslTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1_ = WriteTempFile("dsl_source1.ttl", kSource1Ttl);
+    s2_ = WriteTempFile("dsl_source2.nt", kSource2Nt);
+    s3_ = WriteTempFile("dsl_source3.ttl", kSource3Ttl);
+  }
+
+  std::string Config() {
+    return "PREFIX voc: <http://example.org/voc/>\n"
+           "PEER source1 FROM " + s1_ + "\n"
+           "PEER source2 FROM " + s2_ + "\n"
+           "PEER source3 FROM " + s3_ + "\n"
+           "MAPPING \"Q2->Q1\" HEAD ?x ?y\n"
+           "  FROM { ?x voc:actor ?y }\n"
+           "  TO   { ?x voc:starring ?z . ?z voc:artist ?y }\n"
+           "SAMEAS\n";
+  }
+
+  std::string s1_, s2_, s3_;
+};
+
+TEST_F(MappingDslTest, LoadsPeersMappingsAndEquivalences) {
+  Result<std::unique_ptr<RpsSystem>> loaded = LoadRpsConfig(Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  RpsSystem& sys = **loaded;
+  EXPECT_EQ(sys.PeerCount(), 3u);
+  EXPECT_EQ(sys.dataset().TotalTriples(), 13u);
+  EXPECT_EQ(sys.graph_mappings().size(), 1u);
+  EXPECT_EQ(sys.equivalences().size(), 4u);
+}
+
+TEST_F(MappingDslTest, LoadedSystemMatchesProgrammaticFixture) {
+  Result<std::unique_ptr<RpsSystem>> loaded = LoadRpsConfig(Config());
+  ASSERT_TRUE(loaded.ok());
+  RpsSystem& sys = **loaded;
+
+  // Re-express the Listing 1 query against the loaded system's ids.
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  GraphPatternQuery q;
+  VarId x = vars.Intern("qx"), y = vars.Intern("qy"), z = vars.Intern("qz");
+  q.head = {x, y};
+  auto iri = [&](const char* s) { return dict.InternIri(s); };
+  q.body.Add(TriplePattern{
+      PatternTerm::Const(iri("http://example.org/db1/Spiderman")),
+      PatternTerm::Const(iri("http://example.org/voc/starring")),
+      PatternTerm::Var(z)});
+  q.body.Add(TriplePattern{
+      PatternTerm::Var(z),
+      PatternTerm::Const(iri("http://example.org/voc/artist")),
+      PatternTerm::Var(x)});
+  q.body.Add(TriplePattern{
+      PatternTerm::Var(x),
+      PatternTerm::Const(iri("http://example.org/voc/age")),
+      PatternTerm::Var(y)});
+
+  Result<CertainAnswerResult> loaded_answers = CertainAnswers(sys, q);
+  ASSERT_TRUE(loaded_answers.ok());
+  EXPECT_EQ(loaded_answers->answers.size(), 6u);  // Listing 1
+
+  // Cross-check against the programmatic fixture's rendered answers.
+  // (TermIds differ between the two dictionaries, so compare the rendered
+  // rows as sets.)
+  PaperExample ex = BuildPaperExample();
+  Result<CertainAnswerResult> fixture_answers =
+      CertainAnswers(*ex.system, ex.query);
+  ASSERT_TRUE(fixture_answers.ok());
+  auto sorted_lines = [](const std::string& text) {
+    std::vector<std::string> lines;
+    std::string current;
+    for (char c : text) {
+      if (c == '\n') {
+        lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(sorted_lines(FormatAnswers(loaded_answers->answers, dict)),
+            sorted_lines(FormatAnswers(fixture_answers->answers,
+                                       *ex.system->dict())));
+}
+
+TEST_F(MappingDslTest, ExplicitEquivDirective) {
+  std::string config =
+      "PREFIX db1: <http://example.org/db1/>\n"
+      "PREFIX db2: <http://example.org/db2/>\n"
+      "PEER source1 FROM " + s1_ + "\n"
+      "EQUIV db1:Spiderman db2:Spiderman2002\n"
+      "EQUIV <http://example.org/db1/Toby_Maguire> "
+      "<http://xmlns.com/foaf/0.1/Toby_Maguire>\n";
+  Result<std::unique_ptr<RpsSystem>> loaded = LoadRpsConfig(config);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->equivalences().size(), 2u);
+}
+
+TEST_F(MappingDslTest, BaseDirResolution) {
+  // Write a config referencing a bare filename, resolved via base_dir.
+  std::string config_text =
+      "PEER only FROM dsl_source2.nt\n";
+  RpsConfigOptions options;
+  options.base_dir = ::testing::TempDir();
+  Result<std::unique_ptr<RpsSystem>> loaded =
+      LoadRpsConfig(config_text, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->dataset().TotalTriples(), 2u);
+}
+
+TEST_F(MappingDslTest, LoadRpsConfigFileResolvesSiblingPaths) {
+  std::string config_path = WriteTempFile(
+      "dsl_config.rps",
+      "PEER only FROM dsl_source3.ttl\nSAMEAS\n");
+  Result<std::unique_ptr<RpsSystem>> loaded = LoadRpsConfigFile(config_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->PeerCount(), 1u);
+  EXPECT_EQ((*loaded)->equivalences().size(), 1u);
+}
+
+TEST_F(MappingDslTest, Errors) {
+  const std::string missing_file = "PEER x FROM /nonexistent/file.ttl\n";
+  EXPECT_EQ(LoadRpsConfig(missing_file).status().code(),
+            StatusCode::kNotFound);
+
+  const std::string bad_directive = "FROB x\n";
+  EXPECT_EQ(LoadRpsConfig(bad_directive).status().code(),
+            StatusCode::kParseError);
+
+  const std::string headless_mapping =
+      "MAPPING \"m\" FROM { ?x <http://p> ?y } TO { ?x <http://q> ?y }\n";
+  EXPECT_FALSE(LoadRpsConfig(headless_mapping).ok());
+
+  const std::string undefined_prefix =
+      "MAPPING \"m\" HEAD ?x ?y FROM { ?x nope:p ?y } "
+      "TO { ?x nope:q ?y }\n";
+  EXPECT_FALSE(LoadRpsConfig(undefined_prefix).ok());
+
+  const std::string arity_head_not_in_body =
+      "PREFIX p: <http://p/>\n"
+      "MAPPING \"m\" HEAD ?x ?missing FROM { ?x p:a ?y } TO { ?x p:b ?y }\n";
+  EXPECT_FALSE(LoadRpsConfig(arity_head_not_in_body).ok());
+}
+
+TEST_F(MappingDslTest, CommentsAndWhitespaceTolerated) {
+  std::string config =
+      "# leading comment\n"
+      "\n"
+      "PEER only FROM " + s2_ + "   # trailing comment\n"
+      "# done\n";
+  EXPECT_TRUE(LoadRpsConfig(config).ok());
+}
+
+TEST_F(MappingDslTest, SaveLoadRoundTrip) {
+  // Load the paper config, save it to a workspace, reload, and compare
+  // certain answers.
+  Result<std::unique_ptr<RpsSystem>> original = LoadRpsConfig(Config());
+  ASSERT_TRUE(original.ok()) << original.status();
+
+  std::string out_dir = ::testing::TempDir() + "/dsl_roundtrip";
+  std::string mkdir_cmd = "mkdir -p " + out_dir;
+  ASSERT_EQ(std::system(mkdir_cmd.c_str()), 0);
+  std::map<std::string, std::string> prefixes = {
+      {"voc", "http://example.org/voc/"},
+      {"DB1", "http://example.org/db1/"},
+      {"DB2", "http://example.org/db2/"},
+      {"foaf", "http://xmlns.com/foaf/0.1/"},
+      {"owl", "http://www.w3.org/2002/07/owl#"}};
+  Result<std::string> config_path =
+      SaveRpsConfig(**original, out_dir, prefixes);
+  ASSERT_TRUE(config_path.ok()) << config_path.status();
+
+  Result<std::unique_ptr<RpsSystem>> reloaded =
+      LoadRpsConfigFile(*config_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ((*reloaded)->PeerCount(), (*original)->PeerCount());
+  EXPECT_EQ((*reloaded)->dataset().TotalTriples(),
+            (*original)->dataset().TotalTriples());
+  EXPECT_EQ((*reloaded)->graph_mappings().size(),
+            (*original)->graph_mappings().size());
+  EXPECT_EQ((*reloaded)->equivalences().size(),
+            (*original)->equivalences().size());
+
+  // Same certain answers for the Listing 1 query on both systems.
+  auto answers_of = [](RpsSystem& sys) {
+    Dictionary& dict = *sys.dict();
+    VarPool& vars = *sys.vars();
+    GraphPatternQuery q;
+    VarId x = vars.Intern("rt_x"), y = vars.Intern("rt_y"),
+          z = vars.Intern("rt_z");
+    q.head = {x, y};
+    q.body.Add(TriplePattern{
+        PatternTerm::Const(
+            dict.InternIri("http://example.org/db1/Spiderman")),
+        PatternTerm::Const(dict.InternIri("http://example.org/voc/starring")),
+        PatternTerm::Var(z)});
+    q.body.Add(TriplePattern{
+        PatternTerm::Var(z),
+        PatternTerm::Const(dict.InternIri("http://example.org/voc/artist")),
+        PatternTerm::Var(x)});
+    q.body.Add(TriplePattern{
+        PatternTerm::Var(x),
+        PatternTerm::Const(dict.InternIri("http://example.org/voc/age")),
+        PatternTerm::Var(y)});
+    Result<CertainAnswerResult> result = CertainAnswers(sys, q);
+    EXPECT_TRUE(result.ok());
+    std::vector<std::string> lines;
+    for (const Tuple& t : result->answers) {
+      lines.push_back(dict.ToString(t[0]) + "\t" + dict.ToString(t[1]));
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(answers_of(**original), answers_of(**reloaded));
+}
+
+TEST(ReadFileTest, MissingFile) {
+  EXPECT_EQ(ReadFileToString("/nonexistent/path").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,128 @@
+#include "parser/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(NTriplesTest, ParsesBasicTriples) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "<http://x/s> <http://x/p> \"literal\" .\n"
+      "_:b0 <http://x/p> _:b1 .\n";
+  Result<size_t> n = ParseNTriples(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(graph.size(), 3u);
+}
+
+TEST(NTriplesTest, ParsesCommentsAndBlankLines) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "# leading comment\n"
+      "\n"
+      "<http://x/s> <http://x/p> <http://x/o> . # trailing comment\n"
+      "   # indented comment\n";
+  Result<size_t> n = ParseNTriples(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(NTriplesTest, ParsesTypedAndLangLiterals) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "<http://x/s> <http://x/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://x/s> <http://x/p> \"hi\"@en .\n";
+  ASSERT_TRUE(ParseNTriples(doc, &graph).ok());
+  TermId typed = *dict.Lookup(
+      Term::TypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"));
+  TermId lang = *dict.Lookup(Term::LangLiteral("hi", "en"));
+  EXPECT_FALSE(graph.MatchAll(std::nullopt, std::nullopt, typed).empty());
+  EXPECT_FALSE(graph.MatchAll(std::nullopt, std::nullopt, lang).empty());
+}
+
+TEST(NTriplesTest, ParsesEscapes) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "<http://x/s> <http://x/p> \"line\\nbreak \\\"quoted\\\" \\u0041\" .\n";
+  ASSERT_TRUE(ParseNTriples(doc, &graph).ok());
+  EXPECT_TRUE(dict.Lookup(Term::Literal("line\nbreak \"quoted\" A"))
+                  .has_value());
+}
+
+TEST(NTriplesTest, DuplicateTriplesCollapse) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "<http://x/s> <http://x/p> <http://x/o> .\n";
+  Result<size_t> n = ParseNTriples(doc, &graph);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(NTriplesTest, ErrorsCarryLineNumbers) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "<http://x/s> <http://x/p> .\n";  // missing object
+  Result<size_t> n = ParseNTriples(doc, &graph);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kParseError);
+  EXPECT_NE(n.status().message().find("line 2"), std::string::npos)
+      << n.status();
+}
+
+TEST(NTriplesTest, RejectsMalformedInput) {
+  Dictionary dict;
+  for (const char* doc : {
+           "<http://x/s> <http://x/p> <http://x/o>\n",   // missing dot
+           "<http://x/s <http://x/p> <http://x/o> .\n",  // unterminated IRI
+           "\"lit\" <http://x/p> <http://x/o> .\n",      // literal subject
+           "<http://x/s> _:b <http://x/o> .\n",          // blank predicate
+           "<http://x/s> <http://x/p> \"open .\n",       // unterminated lit
+       }) {
+    Graph graph(&dict);
+    EXPECT_FALSE(ParseNTriples(doc, &graph).ok()) << doc;
+  }
+}
+
+TEST(NTriplesTest, WriterIsSortedAndReparsable) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "<http://x/z> <http://x/p> \"zzz\" .\n"
+      "<http://x/a> <http://x/p> \"a\\nb\"@en .\n"
+      "_:b <http://x/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  ASSERT_TRUE(ParseNTriples(doc, &graph).ok());
+  std::string text = WriteNTriples(graph);
+
+  // Sorted: the <http://x/a> line comes before <http://x/z>.
+  EXPECT_LT(text.find("<http://x/a>"), text.find("<http://x/z>"));
+
+  // Round trip: parsing the output reproduces the same graph.
+  Dictionary dict2;
+  Graph graph2(&dict2);
+  ASSERT_TRUE(ParseNTriples(text, &graph2).ok());
+  EXPECT_EQ(graph2.size(), graph.size());
+  EXPECT_EQ(WriteNTriples(graph2), text);
+}
+
+TEST(NTriplesTest, ParseSingleTerm) {
+  Result<Term> iri = ParseNTriplesTerm("<http://x/s>");
+  ASSERT_TRUE(iri.ok());
+  EXPECT_EQ(iri->lexical(), "http://x/s");
+  Result<Term> lit = ParseNTriplesTerm("  \"x\"@en");
+  ASSERT_TRUE(lit.ok());
+  EXPECT_EQ(lit->lang(), "en");
+  EXPECT_FALSE(ParseNTriplesTerm("??").ok());
+}
+
+}  // namespace
+}  // namespace rps

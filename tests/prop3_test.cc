@@ -1,0 +1,91 @@
+// Tests for the Proposition 3 behaviour: the transitive-closure mapping
+// assertion admits no FO (UCQ) rewriting, while chase-based query
+// answering stays PTIME (Theorem 1).
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "peer/certain_answers.h"
+#include "rewrite/bool_rewrite.h"
+
+namespace rps {
+namespace {
+
+TEST(Prop3Test, ChaseComputesTransitiveClosure) {
+  const size_t kChain = 10;
+  std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(kChain);
+  GraphPatternQuery q = TransitiveQuery(sys.get());
+  Result<CertainAnswerResult> result = CertainAnswers(*sys, q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Closure of an 11-node path: n(n+1)/2 pairs for n=10 edges.
+  EXPECT_EQ(result->answers.size(), kChain * (kChain + 1) / 2);
+  EXPECT_EQ(result->chase_stats.blanks_created, 0u);
+}
+
+TEST(Prop3Test, ChaseScalesPolynomially) {
+  // |answers| = n(n+1)/2 exactly — quadratic, not exponential.
+  for (size_t n : {4u, 8u, 16u}) {
+    std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(n);
+    GraphPatternQuery q = TransitiveQuery(sys.get());
+    Result<CertainAnswerResult> result = CertainAnswers(*sys, q);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->answers.size(), n * (n + 1) / 2) << "n=" << n;
+  }
+}
+
+TEST(Prop3Test, RewritingNeverConverges) {
+  std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(4);
+  GraphPatternQuery q = TransitiveQuery(sys.get());
+  RpsRewriteOptions options;
+  options.rewrite.max_queries = 200;
+  Result<RpsRewriteResult> result = RewriteGraphQuery(*sys, q, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Proposition 3: the UCQ keeps growing; the budget must be the stopper.
+  EXPECT_FALSE(result->stats.complete);
+}
+
+TEST(Prop3Test, BoundedRewritingGrowsWithBudget) {
+  // Increasing the budget strictly increases the number of emitted
+  // branches — the "no finite union suffices" signature.
+  std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(4);
+  GraphPatternQuery q = TransitiveQuery(sys.get());
+  size_t previous = 0;
+  for (size_t budget : {20u, 80u, 320u}) {
+    RpsRewriteOptions options;
+    options.rewrite.max_queries = budget;
+    options.rewrite.minimize = false;  // count raw branches
+    Result<RpsRewriteResult> result = RewriteGraphQuery(*sys, q, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->ucq.size(), previous) << "budget " << budget;
+    previous = result->ucq.size();
+  }
+}
+
+TEST(Prop3Test, AnyFixedRewritingMissesAnswers) {
+  // Evaluate a budget-bounded rewriting over a long chain: it finds some
+  // pairs but strictly fewer than the chase (the missing ones need deeper
+  // compositions than the bounded union covers).
+  const size_t kChain = 12;
+  std::unique_ptr<RpsSystem> sys = GenerateTransitiveClosureSystem(kChain);
+  GraphPatternQuery q = TransitiveQuery(sys.get());
+
+  Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+  ASSERT_TRUE(chase.ok());
+
+  RpsRewriteOptions options;
+  options.rewrite.max_queries = 12;  // very small bounded rewriting
+  Result<RewriteAnswers> bounded =
+      CertainAnswersViaRewriting(*sys, q, options);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_FALSE(bounded->stats.complete);
+  EXPECT_LT(bounded->answers.size(), chase->answers.size());
+  EXPECT_GE(bounded->answers.size(), kChain);  // at least the base edges
+  // Soundness: every bounded-rewriting answer is a certain answer.
+  for (const Tuple& t : bounded->answers) {
+    EXPECT_NE(std::find(chase->answers.begin(), chase->answers.end(), t),
+              chase->answers.end());
+  }
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,215 @@
+// Randomized cross-validation properties, parameterized over generator
+// seeds (TEST_P sweeps):
+//  * the graph-level Algorithm 1 chase and the generic relational chase
+//    over the §3 TGD encoding produce the same certain answers;
+//  * the universal solution satisfies Definition 2 (it is a solution);
+//  * rewriting-based answers equal chase-based answers on FO-rewritable
+//    systems (Proposition 2);
+//  * federated execution equals centralized equals chase;
+//  * generated data round-trips through the N-Triples writer/parser.
+
+#include <gtest/gtest.h>
+
+#include "chase/relational_chase.h"
+#include "chase/rps_chase.h"
+#include "federation/federator.h"
+#include "gen/generators.h"
+#include "parser/ntriples.h"
+#include "peer/certain_answers.h"
+#include "rewrite/bool_rewrite.h"
+
+namespace rps {
+namespace {
+
+LodConfig MakeConfig(uint64_t seed) {
+  LodConfig config;
+  config.seed = seed;
+  config.num_peers = 2 + seed % 3;
+  config.films_per_peer = 4 + seed % 5;
+  config.actors_per_film = 1 + seed % 2;
+  config.overlap_fraction = 0.25 * static_cast<double>(seed % 3);
+  config.single_triple_dialect = (seed % 2 == 0);
+  config.topology = static_cast<LodConfig::MappingTopology>(seed % 3);
+  return config;
+}
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Evaluates a graph pattern query over the tt facts of a relational
+// instance, dropping blank-valued head bindings — the CQ semantics of §3.
+std::vector<Tuple> EvalOverRelational(const RelationalInstance& instance,
+                                      PredId tt, const Dictionary& dict,
+                                      const GraphPatternQuery& q) {
+  std::vector<Atom> body;
+  for (const TriplePattern& tp : q.body.patterns()) {
+    body.push_back(TriplePatternToAtom(tp, tt));
+  }
+  std::vector<Tuple> out;
+  instance.FindHomomorphisms(body, {}, [&](const VarAssignment& h) {
+    Tuple tuple;
+    for (VarId v : q.head) {
+      TermId value = h.at(v);
+      if (dict.IsBlank(value)) return true;  // rt guard: skip this tuple
+      tuple.push_back(value);
+    }
+    out.push_back(std::move(tuple));
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST_P(SeededPropertyTest, GraphChaseAgreesWithRelationalChase) {
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+  // Graph-level Algorithm 1.
+  Result<CertainAnswerResult> graph_answers = CertainAnswers(*sys, q);
+  ASSERT_TRUE(graph_answers.ok()) << graph_answers.status();
+
+  // Relational data-exchange chase over the §3 encoding.
+  PredTable preds;
+  std::vector<Tgd> st, target;
+  sys->CompileToTgds(&preds, &st, &target);
+  PredId tt = preds.Intern("tt", 3);
+  PredId ts = preds.Intern("ts", 3);
+  PredId rs = preds.Intern("rs", 1);
+  RelationalInstance instance(&preds);
+  EncodeStoredDatabase(*sys, ts, rs, &instance);
+  std::vector<Tgd> all = st;
+  all.insert(all.end(), target.begin(), target.end());
+  Result<ChaseStats> stats = ChaseTgds(all, &instance, sys->dict());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_TRUE(stats->completed);
+
+  std::vector<Tuple> relational_answers =
+      EvalOverRelational(instance, tt, *sys->dict(), q);
+  EXPECT_EQ(graph_answers->answers, relational_answers)
+      << "seed " << GetParam();
+}
+
+TEST_P(SeededPropertyTest, UniversalSolutionIsASolution) {
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  Graph universal(sys->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*sys, &universal).ok());
+
+  // Definition 2, item 1: D ⊆ I.
+  for (const auto& [name, graph] : sys->dataset().graphs()) {
+    for (const Triple& t : graph.triples()) {
+      EXPECT_TRUE(universal.Contains(t));
+    }
+  }
+  // Item 2: Q_I ⊆ Q'_I for every graph mapping assertion.
+  for (const GraphMappingAssertion& gma : sys->graph_mappings()) {
+    std::vector<Tuple> from =
+        EvalQuery(universal, gma.from, QuerySemantics::kDropBlanks);
+    for (const Tuple& t : from) {
+      GraphPatternQuery check = BindHead(gma.to, t);
+      EXPECT_TRUE(EvalBoolean(universal, check, QuerySemantics::kKeepBlanks))
+          << "mapping " << gma.label;
+    }
+  }
+  // Item 3: equal neighbourhoods under Q* for every equivalence mapping.
+  VarPool* vars = sys->vars();
+  for (const EquivalenceMapping& eq : sys->equivalences()) {
+    for (auto make : {SubjQ, PredQ, ObjQ}) {
+      std::vector<Tuple> left = EvalQuery(
+          universal, make(eq.left, vars), QuerySemantics::kKeepBlanks);
+      std::vector<Tuple> right = EvalQuery(
+          universal, make(eq.right, vars), QuerySemantics::kKeepBlanks);
+      SortTuples(&left);
+      SortTuples(&right);
+      EXPECT_EQ(left, right);
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, RewritingMatchesChaseOnLinearSystems) {
+  LodConfig config = MakeConfig(GetParam());
+  config.single_triple_dialect = true;  // all mappings linear
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+  Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+  ASSERT_TRUE(chase.ok());
+  Result<RewriteAnswers> rewritten = CertainAnswersViaRewriting(*sys, q);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  EXPECT_TRUE(rewritten->stats.complete);
+  EXPECT_EQ(chase->answers, rewritten->answers) << "seed " << GetParam();
+}
+
+TEST_P(SeededPropertyTest, RewritingMatchesChaseOnExistentialSystems) {
+  LodConfig config = MakeConfig(GetParam());
+  config.single_triple_dialect = false;  // odd peers use two-triple dialect
+  config.num_peers = 3;
+  config.films_per_peer = 4;
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+  Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+  ASSERT_TRUE(chase.ok());
+  Result<RewriteAnswers> rewritten = CertainAnswersViaRewriting(*sys, q);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  EXPECT_TRUE(rewritten->stats.complete);
+  EXPECT_EQ(chase->answers, rewritten->answers) << "seed " << GetParam();
+}
+
+TEST_P(SeededPropertyTest, FederatedEqualsCentralizedEqualsChase) {
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+  Result<CertainAnswerResult> chase = CertainAnswers(*sys, q);
+  ASSERT_TRUE(chase.ok());
+
+  Federator fed(sys.get(), LodTopology(config));
+  Result<FederatedQueryResult> distributed = fed.Execute(q);
+  ASSERT_TRUE(distributed.ok()) << distributed.status();
+  Result<FederatedQueryResult> centralized = fed.ExecuteCentralized(q);
+  ASSERT_TRUE(centralized.ok());
+
+  EXPECT_EQ(distributed->answers, chase->answers) << "seed " << GetParam();
+  EXPECT_EQ(centralized->answers, chase->answers) << "seed " << GetParam();
+}
+
+TEST_P(SeededPropertyTest, SemiNaiveChaseAgreesWithNaiveChase) {
+  // Both schedules produce a universal solution, so certain answers must
+  // coincide. The solutions themselves are only homomorphically
+  // equivalent: the two firing orders create different amounts of
+  // redundant null structure, so sizes may legitimately differ.
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+  Result<CertainAnswerResult> naive = CertainAnswers(*sys, q);
+  ASSERT_TRUE(naive.ok());
+
+  CertainAnswerOptions semi;
+  semi.chase.semi_naive = true;
+  Result<CertainAnswerResult> seminaive = CertainAnswers(*sys, q, semi);
+  ASSERT_TRUE(seminaive.ok()) << seminaive.status();
+  EXPECT_EQ(naive->answers, seminaive->answers) << "seed " << GetParam();
+}
+
+TEST_P(SeededPropertyTest, NTriplesRoundTripOnGeneratedData) {
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  Graph stored = sys->StoredDatabase();
+  std::string text = WriteNTriples(stored);
+
+  Dictionary dict2;
+  Graph reparsed(&dict2);
+  Result<size_t> n = ParseNTriples(text, &reparsed);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(reparsed.size(), stored.size());
+  EXPECT_EQ(WriteNTriples(reparsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rps

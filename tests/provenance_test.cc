@@ -1,0 +1,140 @@
+#include "peer/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+
+namespace rps {
+namespace {
+
+TEST(ProvenanceTest, ChaseRecordsAllTriples) {
+  PaperExample ex = BuildPaperExample();
+  ProvenanceMap provenance;
+  RpsChaseOptions options;
+  options.provenance = &provenance;
+  Graph universal(ex.system->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*ex.system, &universal, options).ok());
+  // Every triple of J has a derivation.
+  EXPECT_EQ(provenance.size(), universal.size());
+  for (const Triple& t : universal.triples()) {
+    EXPECT_TRUE(provenance.count(t) > 0);
+  }
+}
+
+TEST(ProvenanceTest, StoredTriplesNamePeers) {
+  PaperExample ex = BuildPaperExample();
+  ProvenanceMap provenance;
+  RpsChaseOptions options;
+  options.provenance = &provenance;
+  Graph universal(ex.system->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*ex.system, &universal, options).ok());
+
+  const Triple stored =
+      ex.system->dataset().Find("source2")->triples().front();
+  ASSERT_TRUE(provenance.count(stored) > 0);
+  const TripleDerivation& d = provenance.at(stored);
+  EXPECT_EQ(d.kind, TripleDerivation::Kind::kStored);
+  EXPECT_EQ(d.source, "source2");
+  EXPECT_TRUE(d.premises.empty());
+}
+
+TEST(ProvenanceTest, GmaDerivationsCarryPremises) {
+  PaperExample ex = BuildPaperExample();
+  Dictionary& dict = *ex.system->dict();
+  ProvenanceMap provenance;
+  RpsChaseOptions options;
+  options.provenance = &provenance;
+  Graph universal(ex.system->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*ex.system, &universal, options).ok());
+
+  // The starring edge the GMA created for DB2:Spiderman2002.
+  TermId db2_spiderman =
+      *dict.Lookup(Term::Iri(std::string(kDb2Ns) + "Spiderman2002"));
+  std::vector<Triple> created =
+      universal.MatchAll(db2_spiderman, ex.prop_starring, std::nullopt);
+  ASSERT_FALSE(created.empty());
+  bool found_gma = false;
+  for (const Triple& t : created) {
+    const TripleDerivation& d = provenance.at(t);
+    if (d.kind == TripleDerivation::Kind::kGma) {
+      found_gma = true;
+      EXPECT_EQ(d.source, "Q2->Q1");
+      ASSERT_FALSE(d.premises.empty());
+      // The premise is the stored actor triple.
+      EXPECT_EQ(d.premises[0].p, ex.prop_actor);
+    }
+  }
+  EXPECT_TRUE(found_gma);
+}
+
+TEST(ProvenanceTest, ExplainCertainAnswer) {
+  PaperExample ex = BuildPaperExample();
+  // Willem Dafoe's row travels through the GMA and two equivalences —
+  // the most interesting derivation of Listing 1.
+  Result<Explanation> explanation = ExplainAnswer(
+      *ex.system, ex.query,
+      {ex.db2_willem, *ex.system->dict()->Lookup(Term::Literal("59"))});
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_EQ(explanation->witness.size(), 3u);  // the 3 body patterns
+  // The rendered tree mentions the mapping, an equivalence step, and the
+  // stored sources.
+  EXPECT_NE(explanation->text.find("[mapping Q2->Q1]"), std::string::npos)
+      << explanation->text;
+  EXPECT_NE(explanation->text.find("[equivalence"), std::string::npos);
+  EXPECT_NE(explanation->text.find("[stored by source2]"),
+            std::string::npos);
+  EXPECT_NE(explanation->text.find("[stored by source3]"),
+            std::string::npos);
+}
+
+TEST(ProvenanceTest, ExplainRejectsNonAnswers) {
+  PaperExample ex = BuildPaperExample();
+  Dictionary& dict = *ex.system->dict();
+  Result<Explanation> explanation = ExplainAnswer(
+      *ex.system, ex.query, {ex.db1_toby, dict.InternLiteral("99")});
+  EXPECT_EQ(explanation.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProvenanceTest, ExplainValidatesArity) {
+  PaperExample ex = BuildPaperExample();
+  EXPECT_EQ(ExplainAnswer(*ex.system, ex.query, {ex.db1_toby})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProvenanceTest, SemiNaiveChaseRecordsToo) {
+  PaperExample ex = BuildPaperExample();
+  ProvenanceMap provenance;
+  RpsChaseOptions options;
+  options.provenance = &provenance;
+  options.semi_naive = true;
+  Graph universal(ex.system->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*ex.system, &universal, options).ok());
+  EXPECT_EQ(provenance.size(), universal.size());
+}
+
+TEST(ProvenanceTest, CycleInEquivalenceDerivationsIsCut) {
+  // c1 ≡ c2 copies triples back and forth; the renderer must terminate.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId c1 = dict.InternIri("http://x/c1");
+  TermId c2 = dict.InternIri("http://x/c2");
+  TermId p = dict.InternIri("http://x/p");
+  TermId o = dict.InternIri("http://x/o");
+  sys.AddPeer("peer").InsertUnchecked(Triple{c1, p, o});
+  ASSERT_TRUE(sys.AddEquivalence(c1, c2).ok());
+
+  ProvenanceMap provenance;
+  RpsChaseOptions options;
+  options.provenance = &provenance;
+  Graph universal(sys.dict());
+  ASSERT_TRUE(BuildUniversalSolution(sys, &universal, options).ok());
+  std::string text =
+      RenderDerivation(Triple{c2, p, o}, provenance, dict);
+  EXPECT_NE(text.find("[equivalence"), std::string::npos);
+  EXPECT_NE(text.find("[stored by peer]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rps

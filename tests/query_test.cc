@@ -1,0 +1,118 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+
+namespace rps {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : graph_(&dict_) {
+    c_ = dict_.InternIri("http://x/c");
+    p_ = dict_.InternIri("http://x/p");
+    o_ = dict_.InternIri("http://x/o");
+    graph_.InsertUnchecked(Triple{c_, p_, o_});
+    graph_.InsertUnchecked(Triple{o_, c_, o_});
+    graph_.InsertUnchecked(Triple{o_, p_, c_});
+  }
+
+  Dictionary dict_;
+  VarPool vars_;
+  Graph graph_;
+  TermId c_, p_, o_;
+};
+
+TEST_F(QueryTest, ValidateRequiresHeadVarsInBody) {
+  VarId x = vars_.Intern("x");
+  VarId ghost = vars_.Intern("ghost");
+  GraphPatternQuery q;
+  q.head = {x, ghost};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p_),
+                           PatternTerm::Const(o_)});
+  EXPECT_FALSE(q.Validate().ok());
+  q.head = {x};
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST_F(QueryTest, ExistentialVars) {
+  VarId x = vars_.Intern("x"), z = vars_.Intern("z");
+  GraphPatternQuery q;
+  q.head = {x};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p_),
+                           PatternTerm::Var(z)});
+  std::vector<VarId> existential = q.ExistentialVars();
+  ASSERT_EQ(existential.size(), 1u);
+  EXPECT_EQ(existential[0], z);
+}
+
+TEST_F(QueryTest, SubjQReturnsNeighbourhood) {
+  // subjQ(c) = pairs (pred, obj) of triples with subject c (§2.3).
+  GraphPatternQuery q = SubjQ(c_, &vars_);
+  EXPECT_EQ(q.arity(), 2u);
+  std::vector<Tuple> result =
+      EvalQuery(graph_, q, QuerySemantics::kKeepBlanks);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0][0], p_);
+  EXPECT_EQ(result[0][1], o_);
+}
+
+TEST_F(QueryTest, PredQReturnsNeighbourhood) {
+  GraphPatternQuery q = PredQ(c_, &vars_);
+  std::vector<Tuple> result =
+      EvalQuery(graph_, q, QuerySemantics::kKeepBlanks);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0][0], o_);
+  EXPECT_EQ(result[0][1], o_);
+}
+
+TEST_F(QueryTest, ObjQReturnsNeighbourhood) {
+  GraphPatternQuery q = ObjQ(c_, &vars_);
+  std::vector<Tuple> result =
+      EvalQuery(graph_, q, QuerySemantics::kKeepBlanks);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0][0], o_);
+  EXPECT_EQ(result[0][1], p_);
+}
+
+TEST_F(QueryTest, BindHeadProducesBooleanQuery) {
+  VarId x = vars_.Intern("x"), y = vars_.Intern("y");
+  GraphPatternQuery q;
+  q.head = {x, y};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p_),
+                           PatternTerm::Var(y)});
+  GraphPatternQuery b = BindHead(q, {c_, o_});
+  EXPECT_TRUE(b.is_boolean());
+  ASSERT_EQ(b.body.size(), 1u);
+  EXPECT_TRUE(b.body.patterns()[0].s.is_const());
+  EXPECT_EQ(b.body.patterns()[0].s.term(), c_);
+  EXPECT_EQ(b.body.patterns()[0].o.term(), o_);
+  EXPECT_TRUE(EvalBoolean(graph_, b));
+  // A non-answer tuple gives false.
+  EXPECT_FALSE(EvalBoolean(graph_, BindHead(q, {c_, c_})));
+}
+
+TEST_F(QueryTest, BindHeadLeavesExistentialsAlone) {
+  VarId x = vars_.Intern("x"), z = vars_.Intern("z");
+  GraphPatternQuery q;
+  q.head = {x};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p_),
+                           PatternTerm::Var(z)});
+  GraphPatternQuery b = BindHead(q, {c_});
+  EXPECT_TRUE(b.body.patterns()[0].o.is_var());
+}
+
+TEST_F(QueryTest, ToStringRendersQuery) {
+  VarId x = vars_.Intern("x");
+  GraphPatternQuery q;
+  q.head = {x};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p_),
+                           PatternTerm::Const(o_)});
+  std::string rendered = ToString(q, dict_, vars_);
+  EXPECT_NE(rendered.find("q(?x)"), std::string::npos);
+  EXPECT_NE(rendered.find("<http://x/p>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rps

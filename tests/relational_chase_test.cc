@@ -1,0 +1,178 @@
+#include "chase/relational_chase.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class RelationalChaseTest : public ::testing::Test {
+ protected:
+  RelationalChaseTest() {
+    edge_ = preds_.Intern("edge", 2);
+    node_ = preds_.Intern("node", 1);
+    x_ = vars_.Intern("x");
+    y_ = vars_.Intern("y");
+    z_ = vars_.Intern("z");
+    for (int i = 0; i < 8; ++i) {
+      terms_.push_back(dict_.InternIri("http://x/n" + std::to_string(i)));
+    }
+  }
+
+  PredTable preds_;
+  Dictionary dict_;
+  VarPool vars_;
+  PredId edge_, node_;
+  VarId x_, y_, z_;
+  std::vector<TermId> terms_;
+};
+
+TEST_F(RelationalChaseTest, InsertAndContains) {
+  RelationalInstance inst(&preds_);
+  EXPECT_TRUE(inst.Insert(edge_, {terms_[0], terms_[1]}));
+  EXPECT_FALSE(inst.Insert(edge_, {terms_[0], terms_[1]}));  // duplicate
+  EXPECT_TRUE(inst.Contains(edge_, {terms_[0], terms_[1]}));
+  EXPECT_FALSE(inst.Contains(edge_, {terms_[1], terms_[0]}));
+  EXPECT_EQ(inst.FactCount(), 1u);
+  EXPECT_EQ(inst.Facts(edge_).size(), 1u);
+  EXPECT_TRUE(inst.Facts(node_).empty());
+}
+
+TEST_F(RelationalChaseTest, FindHomomorphismsSingleAtom) {
+  RelationalInstance inst(&preds_);
+  inst.Insert(edge_, {terms_[0], terms_[1]});
+  inst.Insert(edge_, {terms_[1], terms_[2]});
+  std::vector<Atom> body = {
+      Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(y_)}}};
+  int count = 0;
+  inst.FindHomomorphisms(body, {}, [&](const VarAssignment& a) {
+    EXPECT_EQ(a.size(), 2u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(RelationalChaseTest, FindHomomorphismsJoin) {
+  RelationalInstance inst(&preds_);
+  inst.Insert(edge_, {terms_[0], terms_[1]});
+  inst.Insert(edge_, {terms_[1], terms_[2]});
+  inst.Insert(edge_, {terms_[2], terms_[3]});
+  // Paths of length two: (0,1,2) and (1,2,3).
+  std::vector<Atom> body = {
+      Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(z_)}},
+      Atom{edge_, {AtomArg::Var(z_), AtomArg::Var(y_)}}};
+  int count = 0;
+  inst.FindHomomorphisms(body, {}, [&](const VarAssignment&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(RelationalChaseTest, FindHomomorphismsWithSeedAndConstants) {
+  RelationalInstance inst(&preds_);
+  inst.Insert(edge_, {terms_[0], terms_[1]});
+  inst.Insert(edge_, {terms_[0], terms_[2]});
+  std::vector<Atom> body = {
+      Atom{edge_, {AtomArg::Const(terms_[0]), AtomArg::Var(y_)}}};
+  VarAssignment seed = {{y_, terms_[2]}};
+  int count = 0;
+  inst.FindHomomorphisms(body, seed, [&](const VarAssignment& a) {
+    EXPECT_EQ(a.at(y_), terms_[2]);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(RelationalChaseTest, HasHomomorphismEarlyStop) {
+  RelationalInstance inst(&preds_);
+  for (int i = 0; i < 7; ++i) {
+    inst.Insert(edge_, {terms_[i], terms_[i + 1]});
+  }
+  std::vector<Atom> body = {
+      Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(y_)}}};
+  EXPECT_TRUE(inst.HasHomomorphism(body, {}));
+  EXPECT_FALSE(inst.HasHomomorphism(
+      {Atom{node_, {AtomArg::Var(x_)}}}, {}));
+}
+
+TEST_F(RelationalChaseTest, TransitiveClosureChase) {
+  RelationalInstance inst(&preds_);
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    inst.Insert(edge_, {terms_[i], terms_[i + 1]});
+  }
+  Tgd trans;
+  trans.body = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(z_)}},
+                Atom{edge_, {AtomArg::Var(z_), AtomArg::Var(y_)}}};
+  trans.head = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(y_)}}};
+
+  Result<ChaseStats> stats = ChaseTgds({trans}, &inst, &dict_);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->nulls_created, 0u);
+  // Full transitive closure of a 7-node path: 7*6/2 = 21 edges.
+  EXPECT_EQ(inst.Facts(edge_).size(), 21u);
+}
+
+TEST_F(RelationalChaseTest, ExistentialChaseCreatesNulls) {
+  RelationalInstance inst(&preds_);
+  inst.Insert(node_, {terms_[0]});
+  // node(x) → ∃y edge(x, y): every node gets an outgoing edge.
+  Tgd tgd;
+  tgd.body = {Atom{node_, {AtomArg::Var(x_)}}};
+  tgd.head = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(y_)}}};
+  Result<ChaseStats> stats = ChaseTgds({tgd}, &inst, &dict_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->nulls_created, 1u);
+  ASSERT_EQ(inst.Facts(edge_).size(), 1u);
+  EXPECT_TRUE(dict_.IsBlank(inst.Facts(edge_)[0][1]));
+}
+
+TEST_F(RelationalChaseTest, RestrictedChaseDoesNotRefire) {
+  RelationalInstance inst(&preds_);
+  inst.Insert(node_, {terms_[0]});
+  inst.Insert(edge_, {terms_[0], terms_[1]});
+  // node(x) → ∃y edge(x, y) is already satisfied: no new facts.
+  Tgd tgd;
+  tgd.body = {Atom{node_, {AtomArg::Var(x_)}}};
+  tgd.head = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(y_)}}};
+  Result<ChaseStats> stats = ChaseTgds({tgd}, &inst, &dict_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->facts_created, 0u);
+  EXPECT_EQ(stats->nulls_created, 0u);
+}
+
+TEST_F(RelationalChaseTest, DivergentChaseHitsBudget) {
+  RelationalInstance inst(&preds_);
+  inst.Insert(edge_, {terms_[0], terms_[1]});
+  // edge(x, y) → ∃z edge(y, z): diverges without a budget.
+  Tgd tgd;
+  tgd.body = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(y_)}}};
+  tgd.head = {Atom{edge_, {AtomArg::Var(y_), AtomArg::Var(z_)}}};
+  ChaseOptions options;
+  options.max_applications = 50;
+  Result<ChaseStats> stats = ChaseTgds({tgd}, &inst, &dict_, options);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(RelationalChaseTest, MultiHeadAtomsInsertTogether) {
+  RelationalInstance inst(&preds_);
+  inst.Insert(node_, {terms_[0]});
+  // node(x) → ∃z edge(x, z) ∧ edge(z, x)
+  Tgd tgd;
+  tgd.body = {Atom{node_, {AtomArg::Var(x_)}}};
+  tgd.head = {Atom{edge_, {AtomArg::Var(x_), AtomArg::Var(z_)}},
+              Atom{edge_, {AtomArg::Var(z_), AtomArg::Var(x_)}}};
+  Result<ChaseStats> stats = ChaseTgds({tgd}, &inst, &dict_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(inst.Facts(edge_).size(), 2u);
+  // Same null in both facts.
+  EXPECT_EQ(inst.Facts(edge_)[0][1], inst.Facts(edge_)[1][0]);
+}
+
+}  // namespace
+}  // namespace rps

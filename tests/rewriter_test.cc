@@ -1,0 +1,297 @@
+#include "rewrite/rewriter.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  RewriterTest() {
+    tt_ = preds_.Intern("tt", 3);
+    x_ = vars_.Intern("x");
+    y_ = vars_.Intern("y");
+    z_ = vars_.Intern("z");
+    a_ = dict_.InternIri("http://x/A");
+    b_ = dict_.InternIri("http://x/B");
+    c_ = dict_.InternIri("http://x/c");
+    d_ = dict_.InternIri("http://x/d");
+  }
+
+  Atom TT(AtomArg s, AtomArg p, AtomArg o) { return Atom{tt_, {s, p, o}}; }
+
+  PredTable preds_;
+  Dictionary dict_;
+  VarPool vars_;
+  PredId tt_;
+  VarId x_, y_, z_;
+  TermId a_, b_, c_, d_;
+};
+
+TEST_F(RewriterTest, FromToGraphQueryRoundTrip) {
+  GraphPatternQuery q;
+  q.head = {x_};
+  q.body.Add(TriplePattern{PatternTerm::Var(x_), PatternTerm::Const(a_),
+                           PatternTerm::Var(z_)});
+  ConjunctiveQuery cq = FromGraphQuery(q, tt_);
+  EXPECT_EQ(cq.arity(), 1u);
+  ASSERT_EQ(cq.body.size(), 1u);
+  EXPECT_EQ(cq.body[0].pred, tt_);
+  Result<GraphPatternQuery> back = ToGraphQuery(cq);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back == q, true);
+}
+
+TEST_F(RewriterTest, ToGraphQueryRejectsConstantHead) {
+  ConjunctiveQuery cq;
+  cq.head = {AtomArg::Const(c_)};
+  cq.body = {TT(AtomArg::Const(c_), AtomArg::Const(a_), AtomArg::Var(x_))};
+  EXPECT_FALSE(ToGraphQuery(cq).ok());
+}
+
+TEST_F(RewriterTest, StripGuardAtomsRemovesGuards) {
+  PredId rt = preds_.Intern("rt", 1);
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_)),
+              Atom{rt, {AtomArg::Var(x_)}},
+              Atom{rt, {AtomArg::Var(y_)}}};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  std::vector<Tgd> stripped = StripGuardAtoms({tgd}, rt);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0].body.size(), 1u);
+  EXPECT_EQ(stripped[0].head, tgd.head);
+}
+
+TEST_F(RewriterTest, NormalizeKeepsRestrictedTgds) {
+  // Single head atom, one existential occurring once: already restricted.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(z_))};
+  std::vector<Tgd> normalized = NormalizeTgds({tgd}, &preds_, &vars_);
+  ASSERT_EQ(normalized.size(), 1u);
+  EXPECT_EQ(normalized[0], tgd);
+}
+
+TEST_F(RewriterTest, NormalizeSplitsMultiHead) {
+  // tt(x,A,y) → ∃z tt(x,B,z) ∧ tt(z,B,y) becomes a chain through aux.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(z_)),
+              TT(AtomArg::Var(z_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  size_t preds_before = preds_.size();
+  std::vector<Tgd> normalized = NormalizeTgds({tgd}, &preds_, &vars_);
+  // One link (1 existential) + two final head rules.
+  EXPECT_EQ(normalized.size(), 3u);
+  EXPECT_GT(preds_.size(), preds_before);
+  for (const Tgd& n : normalized) {
+    EXPECT_EQ(n.head.size(), 1u);
+    EXPECT_LE(n.ExistentialVars().size(), 1u);
+  }
+}
+
+TEST_F(RewriterTest, SubsumesDetectsHomomorphism) {
+  // q1() <- tt(x, A, y)  subsumes  q2() <- tt(c, A, d).
+  ConjunctiveQuery general;
+  general.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  ConjunctiveQuery specific;
+  specific.body = {TT(AtomArg::Const(c_), AtomArg::Const(a_),
+                      AtomArg::Const(d_))};
+  EXPECT_TRUE(Subsumes(general, specific));
+  EXPECT_FALSE(Subsumes(specific, general));
+}
+
+TEST_F(RewriterTest, SubsumesRespectsHeads) {
+  // q(x) <- tt(x, A, y) does NOT subsume q(y) <- tt(x, A, y): the head
+  // positions differ.
+  ConjunctiveQuery g;
+  g.head = {AtomArg::Var(x_)};
+  g.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  ConjunctiveQuery s;
+  s.head = {AtomArg::Var(y_)};
+  s.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  EXPECT_TRUE(Subsumes(g, g));
+  EXPECT_FALSE(Subsumes(g, s));
+}
+
+TEST_F(RewriterTest, SubsumesJoinStructure) {
+  // q() <- tt(x,A,z), tt(z,A,y) subsumes q() <- tt(u,A,u) (collapse), but
+  // not vice versa.
+  ConjunctiveQuery path;
+  path.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_)),
+               TT(AtomArg::Var(z_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  ConjunctiveQuery loop;
+  VarId u = vars_.Intern("u");
+  loop.body = {TT(AtomArg::Var(u), AtomArg::Const(a_), AtomArg::Var(u))};
+  EXPECT_TRUE(Subsumes(path, loop));
+  EXPECT_FALSE(Subsumes(loop, path));
+}
+
+TEST_F(RewriterTest, LinearRewritingProducesUnion) {
+  // TGD: tt(x, B, y) → tt(x, A, y). Query: q(x,y) <- tt(x, A, y).
+  // Perfect rewriting: { q<-tt(x,A,y), q<-tt(x,B,y) }.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+
+  ConjunctiveQuery q;
+  q.head = {AtomArg::Var(x_), AtomArg::Var(y_)};
+  q.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+
+  Result<RewriteResult> result =
+      RewriteUnderTgds(q, {tgd}, preds_, &vars_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(result->ucq.size(), 2u);
+}
+
+TEST_F(RewriterTest, RewritingChainsThroughTgds) {
+  // B→A and C→B (as properties): query over A gains three branches.
+  TermId c_prop = dict_.InternIri("http://x/C");
+  Tgd t1;
+  t1.body = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  t1.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  Tgd t2;
+  t2.body = {TT(AtomArg::Var(x_), AtomArg::Const(c_prop), AtomArg::Var(y_))};
+  t2.head = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+
+  ConjunctiveQuery q;
+  q.head = {AtomArg::Var(x_), AtomArg::Var(y_)};
+  q.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+
+  Result<RewriteResult> result =
+      RewriteUnderTgds(q, {t1, t2}, preds_, &vars_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(result->ucq.size(), 3u);
+}
+
+TEST_F(RewriterTest, ApplicabilityBlocksConstantAtExistentialPosition) {
+  // TGD: tt(x,B,y) → ∃z tt(x,A,z). Query atom tt(x,A,c): the existential
+  // position holds a constant — not applicable; rewriting returns only
+  // the original query.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_))};
+
+  ConjunctiveQuery q;
+  q.head = {AtomArg::Var(x_)};
+  q.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Const(c_))};
+
+  Result<RewriteResult> result =
+      RewriteUnderTgds(q, {tgd}, preds_, &vars_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(result->ucq.size(), 1u);
+}
+
+TEST_F(RewriterTest, ApplicabilityBlocksSharedVariableAtExistentialPosition) {
+  // Query: q(x) <- tt(x,A,w), tt(w,B,x): w is a join variable, so the
+  // existential head position cannot unify with it.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_))};
+
+  VarId w = vars_.Intern("w");
+  ConjunctiveQuery q;
+  q.head = {AtomArg::Var(x_)};
+  q.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(w)),
+            TT(AtomArg::Var(w), AtomArg::Const(b_), AtomArg::Var(x_))};
+
+  Result<RewriteResult> result =
+      RewriteUnderTgds(q, {tgd}, preds_, &vars_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(result->ucq.size(), 1u);
+}
+
+TEST_F(RewriterTest, ApplicabilityAllowsUnsharedExistentialVariable) {
+  // Query: q(x) <- tt(x,A,w) with w unshared: applicable. The rewriting
+  // gains q(x) <- tt(x,B,y').
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_))};
+
+  VarId w = vars_.Intern("w2");
+  ConjunctiveQuery q;
+  q.head = {AtomArg::Var(x_)};
+  q.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(w))};
+
+  Result<RewriteResult> result =
+      RewriteUnderTgds(q, {tgd}, preds_, &vars_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(result->ucq.size(), 2u);
+}
+
+TEST_F(RewriterTest, MinimizationPrunesSubsumedBranches) {
+  // Craft TGDs that make a branch subsumed by another:
+  // tt(x,B,y) → tt(x,A,y) and query q() <- tt(x,A,y), tt(u,A,v).
+  // Factorization produces the single-atom version which subsumes the
+  // two-atom one.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(b_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+
+  VarId u = vars_.Intern("u3"), v = vars_.Intern("v3");
+  ConjunctiveQuery q;
+  q.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_)),
+            TT(AtomArg::Var(u), AtomArg::Const(a_), AtomArg::Var(v))};
+
+  RewriteOptions with_min;
+  with_min.minimize = true;
+  RewriteOptions no_min;
+  no_min.minimize = false;
+  Result<RewriteResult> minimized =
+      RewriteUnderTgds(q, {tgd}, preds_, &vars_, with_min);
+  Result<RewriteResult> full =
+      RewriteUnderTgds(q, {tgd}, preds_, &vars_, no_min);
+  ASSERT_TRUE(minimized.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(minimized->ucq.size(), full->ucq.size());
+  EXPECT_GT(minimized->pruned, 0u);
+}
+
+TEST_F(RewriterTest, EvalUcqOverGraphPinsHeadConstants) {
+  Graph g(&dict_);
+  g.InsertUnchecked(Triple{c_, a_, d_});
+  ConjunctiveQuery cq;
+  cq.head = {AtomArg::Const(c_), AtomArg::Var(y_)};
+  cq.body = {TT(AtomArg::Const(c_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  std::vector<Tuple> tuples = EvalUcqOverGraph(g, {cq});
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0][0], c_);
+  EXPECT_EQ(tuples[0][1], d_);
+}
+
+TEST_F(RewriterTest, EvalUcqDeduplicatesAcrossBranches) {
+  Graph g(&dict_);
+  g.InsertUnchecked(Triple{c_, a_, d_});
+  ConjunctiveQuery cq;
+  cq.head = {AtomArg::Var(x_)};
+  cq.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  std::vector<Tuple> tuples = EvalUcqOverGraph(g, {cq, cq});
+  EXPECT_EQ(tuples.size(), 1u);
+}
+
+TEST_F(RewriterTest, BudgetExhaustionReportsIncomplete) {
+  // Transitive closure: the rewriting never converges.
+  Tgd trans;
+  trans.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_)),
+                TT(AtomArg::Var(z_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  trans.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+
+  ConjunctiveQuery q;
+  q.head = {AtomArg::Var(x_), AtomArg::Var(y_)};
+  q.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+
+  RewriteOptions options;
+  options.max_queries = 40;
+  Result<RewriteResult> result =
+      RewriteUnderTgds(q, {trans}, preds_, &vars_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->complete);
+  EXPECT_GT(result->ucq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,240 @@
+#include "chase/rps_chase.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+
+namespace rps {
+namespace {
+
+TEST(RpsChaseTest, SeedsWithStoredDatabase) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId s = dict.InternIri("http://x/s");
+  TermId p = dict.InternIri("http://x/p");
+  TermId o = dict.InternIri("http://x/o");
+  sys.AddPeer("a").InsertUnchecked(Triple{s, p, o});
+
+  Graph universal(&dict);
+  Result<RpsChaseStats> stats = BuildUniversalSolution(sys, &universal);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(universal.size(), 1u);
+  EXPECT_TRUE(universal.Contains(Triple{s, p, o}));
+}
+
+TEST(RpsChaseTest, RejectsForeignDictionary) {
+  RpsSystem sys;
+  Dictionary other;
+  Graph universal(&other);
+  EXPECT_FALSE(BuildUniversalSolution(sys, &universal).ok());
+}
+
+TEST(RpsChaseTest, RejectsNonEmptyOutput) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  Graph universal(&dict);
+  universal.InsertUnchecked(Triple{dict.InternIri("a"), dict.InternIri("b"),
+                                   dict.InternIri("c")});
+  EXPECT_FALSE(BuildUniversalSolution(sys, &universal).ok());
+}
+
+TEST(RpsChaseTest, GmaFiresWithFreshBlanks) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  TermId actor = dict.InternIri("http://x/actor");
+  TermId starring = dict.InternIri("http://x/starring");
+  TermId artist = dict.InternIri("http://x/artist");
+  TermId film = dict.InternIri("http://x/film");
+  TermId person = dict.InternIri("http://x/person");
+  sys.AddPeer("a").InsertUnchecked(Triple{film, actor, person});
+
+  VarId x = vars.Intern("x"), y = vars.Intern("y"), z = vars.Intern("z");
+  GraphMappingAssertion gma;
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(actor),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                PatternTerm::Const(starring),
+                                PatternTerm::Var(z)});
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(z),
+                                PatternTerm::Const(artist),
+                                PatternTerm::Var(y)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+
+  Graph universal(&dict);
+  Result<RpsChaseStats> stats = BuildUniversalSolution(sys, &universal);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->gma_firings, 1u);
+  EXPECT_EQ(stats->blanks_created, 1u);
+  EXPECT_EQ(universal.size(), 3u);  // original + 2 inferred
+
+  // The inferred triples share one fresh blank node.
+  auto starring_triples = universal.MatchAll(film, starring, std::nullopt);
+  ASSERT_EQ(starring_triples.size(), 1u);
+  TermId blank = starring_triples[0].o;
+  EXPECT_TRUE(dict.IsBlank(blank));
+  EXPECT_TRUE(universal.Contains(Triple{blank, artist, person}));
+}
+
+TEST(RpsChaseTest, GmaDoesNotRefireWhenSatisfied) {
+  // If the target pattern already holds, the restricted chase must not
+  // add a redundant copy with new blanks.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  TermId p = dict.InternIri("http://x/p");
+  TermId q = dict.InternIri("http://x/q");
+  TermId a = dict.InternIri("http://x/a");
+  TermId b = dict.InternIri("http://x/b");
+  Graph& g = sys.AddPeer("peer");
+  g.InsertUnchecked(Triple{a, p, b});
+  g.InsertUnchecked(Triple{a, q, b});
+
+  VarId x = vars.Intern("x"), y = vars.Intern("y");
+  GraphMappingAssertion gma;
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(q),
+                                PatternTerm::Var(y)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+
+  Graph universal(&dict);
+  Result<RpsChaseStats> stats = BuildUniversalSolution(sys, &universal);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->gma_firings, 0u);
+  EXPECT_EQ(universal.size(), 2u);
+}
+
+TEST(RpsChaseTest, GmaGuardsAgainstBlankHeadValues) {
+  // A tuple whose head value is a blank node is not in Q_J (rt guard), so
+  // the GMA must not fire on it.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  TermId p = dict.InternIri("http://x/p");
+  TermId q = dict.InternIri("http://x/q");
+  TermId a = dict.InternIri("http://x/a");
+  TermId blank = dict.InternBlank("b0");
+  sys.AddPeer("peer").InsertUnchecked(Triple{a, p, blank});
+
+  VarId x = vars.Intern("x"), y = vars.Intern("y");
+  GraphMappingAssertion gma;
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(q),
+                                PatternTerm::Var(y)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+
+  Graph universal(&dict);
+  Result<RpsChaseStats> stats = BuildUniversalSolution(sys, &universal);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->gma_firings, 0u);
+}
+
+TEST(RpsChaseTest, EquivalenceCopiesAllThreePositions) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId c1 = dict.InternIri("http://x/c1");
+  TermId c2 = dict.InternIri("http://x/c2");
+  TermId p = dict.InternIri("http://x/p");
+  TermId o = dict.InternIri("http://x/o");
+  TermId s = dict.InternIri("http://x/s");
+  Graph& g = sys.AddPeer("peer");
+  g.InsertUnchecked(Triple{c1, p, o});  // c1 as subject
+  g.InsertUnchecked(Triple{s, c1, o});  // c1 as predicate
+  g.InsertUnchecked(Triple{s, p, c1});  // c1 as object
+  ASSERT_TRUE(sys.AddEquivalence(c1, c2).ok());
+
+  Graph universal(&dict);
+  Result<RpsChaseStats> stats = BuildUniversalSolution(sys, &universal);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(universal.Contains(Triple{c2, p, o}));
+  EXPECT_TRUE(universal.Contains(Triple{s, c2, o}));
+  EXPECT_TRUE(universal.Contains(Triple{s, p, c2}));
+  EXPECT_EQ(universal.size(), 6u);
+}
+
+TEST(RpsChaseTest, EquivalenceClosureAcrossCliques) {
+  // c1 ≡ c2 and c2 ≡ c3: triples of c1 must reach c3 (via rounds).
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId c1 = dict.InternIri("http://x/c1");
+  TermId c2 = dict.InternIri("http://x/c2");
+  TermId c3 = dict.InternIri("http://x/c3");
+  TermId p = dict.InternIri("http://x/p");
+  TermId o = dict.InternIri("http://x/o");
+  sys.AddPeer("peer").InsertUnchecked(Triple{c1, p, o});
+  ASSERT_TRUE(sys.AddEquivalence(c1, c2).ok());
+  ASSERT_TRUE(sys.AddEquivalence(c2, c3).ok());
+
+  Graph universal(&dict);
+  ASSERT_TRUE(BuildUniversalSolution(sys, &universal).ok());
+  EXPECT_TRUE(universal.Contains(Triple{c2, p, o}));
+  EXPECT_TRUE(universal.Contains(Triple{c3, p, o}));
+}
+
+TEST(RpsChaseTest, ChaseIsIdempotent) {
+  // Chasing the paper example, then using the result as a stored database
+  // and chasing again, adds nothing: the universal solution is a solution.
+  PaperExample ex = BuildPaperExample();
+  Graph universal(ex.system->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*ex.system, &universal).ok());
+
+  Graph again = universal;
+  Result<RpsChaseStats> stats =
+      ChaseGraph(&again, ex.system->graph_mappings(),
+                 ex.system->equivalences());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->triples_added, 0u);
+  EXPECT_EQ(again.size(), universal.size());
+}
+
+TEST(RpsChaseTest, BudgetTriggersResourceExhausted) {
+  PaperExample ex = BuildPaperExample();
+  RpsChaseOptions options;
+  options.max_triples = 5;  // far below what the chase needs
+  Graph universal(ex.system->dict());
+  Result<RpsChaseStats> stats =
+      BuildUniversalSolution(*ex.system, &universal, options);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RpsChaseTest, PaperExampleUniversalSolution) {
+  // Figure 2 spot checks: the universal solution contains the inferred
+  // dashed triples (from the GMA) and dotted triples (from sameAs).
+  PaperExample ex = BuildPaperExample();
+  Dictionary& dict = *ex.system->dict();
+  Graph universal(&dict);
+  Result<RpsChaseStats> stats = BuildUniversalSolution(*ex.system, &universal);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  TermId db2_spiderman =
+      *dict.Lookup(Term::Iri(std::string(kDb2Ns) + "Spiderman2002"));
+  TermId db1_spiderman = ex.db1_spiderman;
+
+  // GMA: DB2:Spiderman2002 gained starring/artist structure.
+  auto starring = universal.MatchAll(db2_spiderman, ex.prop_starring,
+                                     std::nullopt);
+  ASSERT_FALSE(starring.empty());
+  // sameAs: DB1:Spiderman inherited it too.
+  EXPECT_FALSE(universal.MatchAll(db1_spiderman, ex.prop_starring,
+                                  std::nullopt)
+                   .empty());
+  // Ages copied onto the DB1/DB2 names.
+  EXPECT_FALSE(universal.MatchAll(ex.db1_toby, ex.prop_age, std::nullopt)
+                   .empty());
+  EXPECT_FALSE(universal.MatchAll(ex.db2_willem, ex.prop_age, std::nullopt)
+                   .empty());
+}
+
+}  // namespace
+}  // namespace rps

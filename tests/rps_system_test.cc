@@ -1,0 +1,167 @@
+#include "peer/rps_system.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/relational_chase.h"
+#include "gen/paper_example.h"
+
+namespace rps {
+namespace {
+
+TEST(RpsSystemTest, AddPeerIsIdempotent) {
+  RpsSystem sys;
+  Graph& a = sys.AddPeer("p");
+  Graph& b = sys.AddPeer("p");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(sys.PeerCount(), 1u);
+}
+
+TEST(RpsSystemTest, SchemaOfCollectsIris) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  Graph& g = sys.AddPeer("p");
+  TermId s = dict.InternIri("http://x/s");
+  TermId p = dict.InternIri("http://x/p");
+  TermId lit = dict.InternLiteral("v");
+  g.InsertUnchecked(Triple{s, p, lit});
+  PeerSchema schema = sys.SchemaOf("p");
+  EXPECT_TRUE(schema.Contains(s));
+  EXPECT_TRUE(schema.Contains(p));
+  EXPECT_FALSE(schema.Contains(lit));  // literals are not schema members
+  EXPECT_EQ(schema.size(), 2u);
+  // Unknown peer: empty schema.
+  EXPECT_EQ(sys.SchemaOf("nope").size(), 0u);
+}
+
+TEST(RpsSystemTest, AddGraphMappingValidatesArity) {
+  RpsSystem sys;
+  VarPool& vars = *sys.vars();
+  Dictionary& dict = *sys.dict();
+  TermId p = dict.InternIri("http://x/p");
+  VarId x = vars.Intern("x"), y = vars.Intern("y");
+  GraphMappingAssertion gma;
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x};  // arity mismatch
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                                PatternTerm::Var(x)});
+  EXPECT_FALSE(sys.AddGraphMapping(gma).ok());
+}
+
+TEST(RpsSystemTest, AddEquivalenceRejectsNonIris) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId iri = dict.InternIri("http://x/a");
+  TermId lit = dict.InternLiteral("v");
+  TermId blank = dict.InternBlank("b");
+  EXPECT_FALSE(sys.AddEquivalence(iri, lit).ok());
+  EXPECT_FALSE(sys.AddEquivalence(blank, iri).ok());
+  EXPECT_TRUE(sys.AddEquivalence(iri, dict.InternIri("http://x/b")).ok());
+  // Reflexive equivalences are accepted but not stored.
+  EXPECT_TRUE(sys.AddEquivalence(iri, iri).ok());
+  EXPECT_EQ(sys.equivalences().size(), 1u);
+}
+
+TEST(RpsSystemTest, SameAsScanSkipsNonIriEndpoints) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  Graph& g = sys.AddPeer("p");
+  TermId same_as = dict.Intern(Term::Iri(std::string(kOwlSameAs)));
+  TermId a = dict.InternIri("http://x/a");
+  TermId b = dict.InternIri("http://x/b");
+  TermId blank = dict.InternBlank("n");
+  g.InsertUnchecked(Triple{a, same_as, b});
+  g.InsertUnchecked(Triple{blank, same_as, b});  // blank endpoint: skip
+  g.InsertUnchecked(Triple{a, same_as, dict.InternLiteral("x")});  // skip
+  EXPECT_EQ(sys.AddEquivalencesFromSameAs(), 1u);
+}
+
+TEST(RpsSystemTest, SchemaDiagnosticsCleanOnPaperExample) {
+  PaperExample ex = BuildPaperExample();
+  std::vector<std::string> diagnostics = ex.system->SchemaDiagnostics();
+  EXPECT_TRUE(diagnostics.empty())
+      << (diagnostics.empty() ? "" : diagnostics[0]);
+}
+
+TEST(RpsSystemTest, SchemaDiagnosticsFlagForeignIris) {
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  Graph& g = sys.AddPeer("p");
+  TermId p_prop = dict.InternIri("http://x/p");
+  TermId s = dict.InternIri("http://x/s");
+  g.InsertUnchecked(Triple{s, p_prop, s});
+
+  // A mapping whose target property no peer uses.
+  TermId ghost = dict.InternIri("http://ghost/prop");
+  VarId x = vars.Intern("x"), y = vars.Intern("y");
+  GraphMappingAssertion gma;
+  gma.label = "to-ghost";
+  gma.from.head = {x, y};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(p_prop),
+                                  PatternTerm::Var(y)});
+  gma.to.head = {x, y};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                PatternTerm::Const(ghost),
+                                PatternTerm::Var(y)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+  // And an equivalence with one unknown endpoint.
+  ASSERT_TRUE(sys.AddEquivalence(s, dict.InternIri("http://ghost/e")).ok());
+
+  std::vector<std::string> diagnostics = sys.SchemaDiagnostics();
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_NE(diagnostics[0].find("to-ghost"), std::string::npos);
+  EXPECT_NE(diagnostics[1].find("unknown IRI"), std::string::npos);
+}
+
+TEST(RpsSystemTest, SchemaDiagnosticsRequireSingleCoveringPeer) {
+  // Each IRI exists in *some* peer, but no single peer covers both — the
+  // mapping side straddles two schemas, which §2.2 does not allow.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  VarPool& vars = *sys.vars();
+  TermId pa = dict.InternIri("http://a/p");
+  TermId pb = dict.InternIri("http://b/p");
+  TermId ea = dict.InternIri("http://a/e");
+  TermId eb = dict.InternIri("http://b/e");
+  sys.AddPeer("a").InsertUnchecked(Triple{ea, pa, ea});
+  sys.AddPeer("b").InsertUnchecked(Triple{eb, pb, eb});
+
+  VarId x = vars.Intern("x");
+  GraphMappingAssertion gma;
+  gma.label = "straddler";
+  gma.from.head = {x};
+  gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(pa),
+                                  PatternTerm::Const(eb)});  // a + b mix
+  gma.to.head = {x};
+  gma.to.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(pb),
+                                PatternTerm::Var(x)});
+  ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+  std::vector<std::string> diagnostics = sys.SchemaDiagnostics();
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_NE(diagnostics[0].find("straddler"), std::string::npos);
+}
+
+TEST(RpsSystemTest, EncodeStoredDatabaseProducesTsAndRsFacts) {
+  PaperExample ex = BuildPaperExample();
+  PredTable preds;
+  PredId ts = preds.Intern("ts", 3);
+  PredId rs = preds.Intern("rs", 1);
+  RelationalInstance instance(&preds);
+  EncodeStoredDatabase(*ex.system, ts, rs, &instance);
+
+  Graph stored = ex.system->StoredDatabase();
+  EXPECT_EQ(instance.Facts(ts).size(), stored.size());
+  // rs holds exactly the non-blank terms in use.
+  size_t non_blank = 0;
+  for (TermId id : stored.TermsInUse()) {
+    if (!ex.system->dict()->IsBlank(id)) ++non_blank;
+  }
+  EXPECT_EQ(instance.Facts(rs).size(), non_blank);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,157 @@
+#include "parser/sparql.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class SparqlTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  VarPool vars_;
+};
+
+TEST_F(SparqlTest, BasicSelect) {
+  const char* text =
+      "PREFIX ex: <http://example.org/>\n"
+      "SELECT ?x ?y WHERE { ex:film ex:starring ?z . ?z ex:artist ?x . "
+      "?x ex:age ?y }";
+  Result<ParsedQuery> q = ParseSparql(text, &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_FALSE(q->is_ask);
+  EXPECT_EQ(q->projection.size(), 2u);
+  ASSERT_EQ(q->branches.size(), 1u);
+  EXPECT_EQ(q->branches[0].size(), 3u);
+  EXPECT_EQ(vars_.name(q->projection[0]), "x");
+}
+
+TEST_F(SparqlTest, SelectWithoutWhereKeyword) {
+  Result<ParsedQuery> q = ParseSparql(
+      "SELECT ?s { ?s <http://p> <http://o> }", &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->projection.size(), 1u);
+}
+
+TEST_F(SparqlTest, Ask) {
+  Result<ParsedQuery> q = ParseSparql(
+      "ASK { <http://s> <http://p> \"42\" }", &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->is_ask);
+  EXPECT_TRUE(q->projection.empty());
+}
+
+TEST_F(SparqlTest, AskWithUnion) {
+  // The Listing 2 shape.
+  const char* text =
+      "PREFIX ex: <http://x/>\n"
+      "ASK {{ ex:s ex:p ?z . ?z ex:q ex:a } UNION { ex:s ex:p ?z . "
+      "?z ex:q ex:b }}";
+  Result<ParsedQuery> q = ParseSparql(text, &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->is_ask);
+  EXPECT_EQ(q->branches.size(), 2u);
+}
+
+TEST_F(SparqlTest, NestedUnionsFlatten) {
+  const char* text =
+      "ASK {{ <http://s> <http://p> ?a } UNION {{ <http://s> <http://q> ?a }"
+      " UNION { <http://s> <http://r> ?a }}}";
+  Result<ParsedQuery> q = ParseSparql(text, &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->branches.size(), 3u);
+}
+
+TEST_F(SparqlTest, SelectStar) {
+  Result<ParsedQuery> q = ParseSparql(
+      "SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c }", &dict_,
+      &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->select_all);
+  ASSERT_EQ(q->projection.size(), 3u);
+  EXPECT_EQ(vars_.name(q->projection[0]), "a");
+  EXPECT_EQ(vars_.name(q->projection[1]), "b");
+  EXPECT_EQ(vars_.name(q->projection[2]), "c");
+}
+
+TEST_F(SparqlTest, SelectStarRejectsMismatchedBranches) {
+  const char* text =
+      "SELECT * WHERE {{ ?a <http://p> ?b } UNION { ?a <http://p> ?c }}";
+  EXPECT_FALSE(ParseSparql(text, &dict_, &vars_).ok());
+}
+
+TEST_F(SparqlTest, LiteralsNumbersAndA) {
+  const char* text =
+      "SELECT ?x WHERE { ?x a <http://x/Film> . ?x <http://x/age> 42 . "
+      "?x <http://x/name> \"Sam\"@en }";
+  Result<ParsedQuery> q = ParseSparql(text, &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(dict_.Lookup(Term::Iri(std::string(kRdfType))).has_value());
+  EXPECT_TRUE(
+      dict_.Lookup(Term::TypedLiteral("42", std::string(kXsdInteger)))
+          .has_value());
+  EXPECT_TRUE(dict_.Lookup(Term::LangLiteral("Sam", "en")).has_value());
+}
+
+TEST_F(SparqlTest, DollarVariables) {
+  Result<ParsedQuery> q =
+      ParseSparql("SELECT $x WHERE { $x <http://p> $y }", &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(vars_.name(q->projection[0]), "x");
+}
+
+TEST_F(SparqlTest, Errors) {
+  for (const char* text : {
+           "FETCH ?x WHERE { ?x <http://p> ?y }",       // bad verb
+           "SELECT WHERE { ?x <http://p> ?y }",          // no projection
+           "SELECT ?x { ?x <http://p> }",                // incomplete triple
+           "SELECT ?x { ?x <http://p> ?y",               // missing brace
+           "SELECT ?x { ?x nope:p ?y }",                 // undefined prefix
+           "SELECT ?x { ?x <http://p> ?y } trailing",    // trailing junk
+           "SELECT ?x { ?x \"lit\" ?y }",                // literal predicate
+           "SELECT ?x { _:b <http://p> ?y }",            // blank node
+           "SELECT ?x { }",                              // empty pattern
+       }) {
+    EXPECT_FALSE(ParseSparql(text, &dict_, &vars_).ok()) << text;
+  }
+}
+
+TEST_F(SparqlTest, ToQueriesValidatesProjection) {
+  Result<ParsedQuery> q = ParseSparql(
+      "SELECT ?x WHERE {{ ?x <http://p> ?y } UNION { ?z <http://p> ?y }}",
+      &dict_, &vars_);
+  ASSERT_TRUE(q.ok()) << q.status();
+  // ?x is not bound in the second branch.
+  EXPECT_FALSE(q->ToQueries().ok());
+}
+
+TEST_F(SparqlTest, WriterRoundTrip) {
+  const char* text =
+      "PREFIX ex: <http://example.org/>\n"
+      "SELECT ?x ?y WHERE { ex:film ex:starring ?z . ?z ex:artist ?x . "
+      "?x ex:age ?y }";
+  Result<ParsedQuery> q = ParseSparql(text, &dict_, &vars_);
+  ASSERT_TRUE(q.ok());
+  std::map<std::string, std::string> prefixes = {
+      {"ex", "http://example.org/"}};
+  std::string rendered = WriteSparql(*q, dict_, vars_, prefixes);
+  Result<ParsedQuery> reparsed = ParseSparql(rendered, &dict_, &vars_);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << rendered;
+  EXPECT_EQ(reparsed->projection, q->projection);
+  EXPECT_EQ(reparsed->branches.size(), q->branches.size());
+  EXPECT_EQ(reparsed->branches[0], q->branches[0]);
+}
+
+TEST_F(SparqlTest, WriterRendersUnion) {
+  const char* text =
+      "ASK {{ <http://s> <http://p> ?a } UNION { <http://s> <http://q> ?a }}";
+  Result<ParsedQuery> q = ParseSparql(text, &dict_, &vars_);
+  ASSERT_TRUE(q.ok());
+  std::string rendered = WriteSparql(*q, dict_, vars_, {});
+  EXPECT_NE(rendered.find("UNION"), std::string::npos);
+  Result<ParsedQuery> reparsed = ParseSparql(rendered, &dict_, &vars_);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(reparsed->branches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,95 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace rps {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kParseError, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailsThrough() {
+  RPS_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailsThrough();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  RPS_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  RPS_ASSIGN_OR_RETURN(int quarter, HalfOf(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> ok = QuarterOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> err = QuarterOf(6);  // 6/2 = 3, odd
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rps

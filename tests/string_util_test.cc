@@ -1,0 +1,104 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rps {
+namespace {
+
+TEST(StringUtilTest, EscapeBasics) {
+  EXPECT_EQ(EscapeLiteral("plain"), "plain");
+  EXPECT_EQ(EscapeLiteral("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLiteral("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLiteral("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeLiteral("tab\there"), "tab\\there");
+  EXPECT_EQ(EscapeLiteral("cr\rhere"), "cr\\rhere");
+}
+
+TEST(StringUtilTest, UnescapeBasics) {
+  std::string out;
+  ASSERT_TRUE(UnescapeLiteral("a\\\"b", &out));
+  EXPECT_EQ(out, "a\"b");
+  ASSERT_TRUE(UnescapeLiteral("a\\nb", &out));
+  EXPECT_EQ(out, "a\nb");
+  ASSERT_TRUE(UnescapeLiteral("a\\tb\\rc\\\\d", &out));
+  EXPECT_EQ(out, "a\tb\rc\\d");
+}
+
+TEST(StringUtilTest, UnescapeUnicode) {
+  std::string out;
+  ASSERT_TRUE(UnescapeLiteral("\\u0041", &out));
+  EXPECT_EQ(out, "A");
+  ASSERT_TRUE(UnescapeLiteral("\\u00e9", &out));  // é
+  EXPECT_EQ(out, "\xc3\xa9");
+  ASSERT_TRUE(UnescapeLiteral("\\U0001F600", &out));  // emoji, 4-byte UTF-8
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(StringUtilTest, UnescapeRejectsMalformed) {
+  std::string out;
+  EXPECT_FALSE(UnescapeLiteral("trailing\\", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\q", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\u00", &out));       // too short
+  EXPECT_FALSE(UnescapeLiteral("\\uZZZZ", &out));     // not hex
+  EXPECT_FALSE(UnescapeLiteral("\\UDDDD0000", &out)); // out of range
+}
+
+TEST(StringUtilTest, EscapeUnescapeRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string original;
+    size_t len = rng.Index(40);
+    for (size_t i = 0; i < len; ++i) {
+      // Mix of printable ASCII and the characters needing escapes.
+      const char alphabet[] = "ab\"\\\n\r\tXYZ 09~";
+      original.push_back(alphabet[rng.Index(sizeof(alphabet) - 1)]);
+    }
+    std::string decoded;
+    ASSERT_TRUE(UnescapeLiteral(EscapeLiteral(original), &decoded));
+    EXPECT_EQ(decoded, original);
+  }
+}
+
+TEST(StringUtilTest, AppendUtf8Boundaries) {
+  std::string out;
+  EXPECT_TRUE(AppendUtf8(0x7F, &out));     // 1 byte
+  EXPECT_TRUE(AppendUtf8(0x80, &out));     // 2 bytes
+  EXPECT_TRUE(AppendUtf8(0x7FF, &out));
+  EXPECT_TRUE(AppendUtf8(0x800, &out));    // 3 bytes
+  EXPECT_TRUE(AppendUtf8(0xFFFF, &out));
+  EXPECT_TRUE(AppendUtf8(0x10000, &out));  // 4 bytes
+  EXPECT_TRUE(AppendUtf8(0x10FFFF, &out));
+  EXPECT_FALSE(AppendUtf8(0x110000, &out));
+  EXPECT_FALSE(AppendUtf8(0xD800, &out));  // surrogate
+  EXPECT_FALSE(AppendUtf8(0xDFFF, &out));
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',')[0], "abc");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("\t\n x y \r\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,103 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rps {
+namespace {
+
+TEST(TermTest, IriFactory) {
+  Term t = Term::Iri("http://example.org/x");
+  EXPECT_TRUE(t.is_iri());
+  EXPECT_FALSE(t.is_blank());
+  EXPECT_FALSE(t.is_literal());
+  EXPECT_EQ(t.lexical(), "http://example.org/x");
+  EXPECT_EQ(t.ToString(), "<http://example.org/x>");
+}
+
+TEST(TermTest, BlankFactory) {
+  Term t = Term::Blank("b0");
+  EXPECT_TRUE(t.is_blank());
+  EXPECT_EQ(t.ToString(), "_:b0");
+}
+
+TEST(TermTest, PlainLiteral) {
+  Term t = Term::Literal("hello");
+  EXPECT_TRUE(t.is_literal());
+  EXPECT_EQ(t.ToString(), "\"hello\"");
+  EXPECT_TRUE(t.datatype().empty());
+  EXPECT_TRUE(t.lang().empty());
+}
+
+TEST(TermTest, TypedLiteral) {
+  Term t = Term::TypedLiteral("42", std::string(kXsdInteger));
+  EXPECT_EQ(t.ToString(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST(TermTest, XsdStringDatatypeIsCanonicalizedAway) {
+  // RDF 1.1: a literal typed xsd:string equals the plain literal.
+  Term typed = Term::TypedLiteral("x", std::string(kXsdString));
+  Term plain = Term::Literal("x");
+  EXPECT_EQ(typed, plain);
+  EXPECT_EQ(typed.ToString(), "\"x\"");
+}
+
+TEST(TermTest, LangLiteral) {
+  Term t = Term::LangLiteral("bonjour", "fr");
+  EXPECT_EQ(t.ToString(), "\"bonjour\"@fr");
+}
+
+TEST(TermTest, LiteralEscapingInToString) {
+  Term t = Term::Literal("say \"hi\"\n");
+  EXPECT_EQ(t.ToString(), "\"say \\\"hi\\\"\\n\"");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  // Same lexical form, different kinds: all distinct.
+  Term iri = Term::Iri("x");
+  Term blank = Term::Blank("x");
+  Term lit = Term::Literal("x");
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(blank, lit);
+}
+
+TEST(TermTest, EqualityDistinguishesLangAndDatatype) {
+  EXPECT_NE(Term::LangLiteral("x", "en"), Term::LangLiteral("x", "fr"));
+  EXPECT_NE(Term::TypedLiteral("1", std::string(kXsdInteger)),
+            Term::Literal("1"));
+  EXPECT_NE(Term::LangLiteral("x", "en"), Term::Literal("x"));
+}
+
+TEST(TermTest, OrderingIsTotalAndConsistent) {
+  std::vector<Term> terms = {
+      Term::Iri("a"),           Term::Iri("b"),
+      Term::Blank("a"),         Term::Literal("a"),
+      Term::LangLiteral("a", "en"),
+      Term::TypedLiteral("a", std::string(kXsdInteger)),
+  };
+  for (const Term& x : terms) {
+    EXPECT_FALSE(x < x);
+    for (const Term& y : terms) {
+      if (x == y) continue;
+      EXPECT_NE(x < y, y < x) << x.ToString() << " vs " << y.ToString();
+    }
+  }
+}
+
+TEST(TermTest, HashAgreesWithEquality) {
+  TermHash hash;
+  EXPECT_EQ(hash(Term::Iri("x")), hash(Term::Iri("x")));
+  EXPECT_EQ(hash(Term::LangLiteral("x", "en")),
+            hash(Term::LangLiteral("x", "en")));
+  std::unordered_set<Term, TermHash> set;
+  set.insert(Term::Iri("x"));
+  set.insert(Term::Iri("x"));
+  set.insert(Term::Blank("x"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,91 @@
+#include "tgd/tgd.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class TgdTest : public ::testing::Test {
+ protected:
+  TgdTest() {
+    tt_ = preds_.Intern("tt", 3);
+    rt_ = preds_.Intern("rt", 1);
+    x_ = vars_.Intern("x");
+    y_ = vars_.Intern("y");
+    z_ = vars_.Intern("z");
+    a_ = dict_.InternIri("http://x/A");
+  }
+
+  Atom TT(AtomArg s, AtomArg p, AtomArg o) {
+    return Atom{tt_, {s, p, o}};
+  }
+
+  PredTable preds_;
+  Dictionary dict_;
+  VarPool vars_;
+  PredId tt_, rt_;
+  VarId x_, y_, z_;
+  TermId a_;
+};
+
+TEST_F(TgdTest, PredTableInternsByName) {
+  EXPECT_EQ(preds_.Intern("tt", 3), tt_);
+  EXPECT_EQ(preds_.name(tt_), "tt");
+  EXPECT_EQ(preds_.arity(tt_), 3u);
+  EXPECT_EQ(preds_.size(), 2u);
+}
+
+TEST_F(TgdTest, AtomVars) {
+  Atom atom = TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(x_));
+  std::vector<VarId> vars = atom.Vars();
+  ASSERT_EQ(vars.size(), 1u);  // deduplicated
+  EXPECT_EQ(vars[0], x_);
+  EXPECT_TRUE(atom.Mentions(x_));
+  EXPECT_FALSE(atom.Mentions(y_));
+}
+
+TEST_F(TgdTest, VariableClassification) {
+  // tt(x, A, z) ∧ tt(z, A, y) → tt(x, A, y): all universal, frontier x,y.
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_)),
+              TT(AtomArg::Var(z_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+
+  EXPECT_EQ(tgd.UniversalVars(), (std::set<VarId>{x_, y_, z_}));
+  EXPECT_EQ(tgd.FrontierVars(), (std::set<VarId>{x_, y_}));
+  EXPECT_TRUE(tgd.ExistentialVars().empty());
+}
+
+TEST_F(TgdTest, ExistentialVars) {
+  // tt(x, A, y) → ∃z tt(x, A, z) ∧ tt(z, A, y)
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_)),
+              TT(AtomArg::Var(z_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  EXPECT_EQ(tgd.ExistentialVars(), (std::set<VarId>{z_}));
+  EXPECT_EQ(tgd.FrontierVars(), (std::set<VarId>{x_, y_}));
+}
+
+TEST_F(TgdTest, BodyOccurrences) {
+  Tgd tgd;
+  tgd.body = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(z_)),
+              TT(AtomArg::Var(z_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(y_))};
+  EXPECT_EQ(tgd.BodyOccurrences(z_), 2u);
+  EXPECT_EQ(tgd.BodyOccurrences(x_), 1u);
+  EXPECT_EQ(tgd.BodyOccurrences(vars_.Intern("unused")), 0u);
+}
+
+TEST_F(TgdTest, ToStringIncludesLabelAndArrow) {
+  Tgd tgd;
+  tgd.label = "test-tgd";
+  tgd.body = {Atom{rt_, {AtomArg::Var(x_)}}};
+  tgd.head = {TT(AtomArg::Var(x_), AtomArg::Const(a_), AtomArg::Var(x_))};
+  std::string s = ToString(tgd, preds_, dict_, vars_);
+  EXPECT_NE(s.find("[test-tgd]"), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+  EXPECT_NE(s.find("rt(?x)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rps

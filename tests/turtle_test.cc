@@ -1,0 +1,236 @@
+#include "parser/turtle.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/ntriples.h"
+
+namespace rps {
+namespace {
+
+TEST(TurtleTest, PrefixedNamesAndA) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:alice a ex:Person .\n";
+  Result<size_t> n = ParseTurtle(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+  EXPECT_TRUE(dict.Lookup(Term::Iri("http://example.org/alice")).has_value());
+  EXPECT_TRUE(dict.Lookup(Term::Iri(std::string(kRdfType))).has_value());
+}
+
+TEST(TurtleTest, SparqlStylePrefix) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "PREFIX ex: <http://example.org/>\n"
+      "ex:a ex:p ex:b .\n";
+  ASSERT_TRUE(ParseTurtle(doc, &graph).ok());
+  EXPECT_EQ(graph.size(), 1u);
+}
+
+TEST(TurtleTest, PredicateObjectLists) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:film ex:starring ex:a , ex:b ;\n"
+      "        ex:year 2002 ;\n"
+      "        ex:title \"Spiderman\" .\n";
+  Result<size_t> n = ParseTurtle(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 4u);
+}
+
+TEST(TurtleTest, NumbersAndBooleans) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:int 42 ; ex:neg -7 ; ex:dec 3.14 ; ex:t true ; ex:f false .\n";
+  ASSERT_TRUE(ParseTurtle(doc, &graph).ok());
+  EXPECT_TRUE(dict.Lookup(Term::TypedLiteral("42", std::string(kXsdInteger)))
+                  .has_value());
+  EXPECT_TRUE(dict.Lookup(Term::TypedLiteral("-7", std::string(kXsdInteger)))
+                  .has_value());
+  EXPECT_TRUE(
+      dict.Lookup(Term::TypedLiteral(
+                      "3.14", "http://www.w3.org/2001/XMLSchema#decimal"))
+          .has_value());
+  EXPECT_TRUE(
+      dict.Lookup(Term::TypedLiteral(
+                      "true", "http://www.w3.org/2001/XMLSchema#boolean"))
+          .has_value());
+}
+
+TEST(TurtleTest, BaseResolution) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@base <http://example.org/data/> .\n"
+      "<item1> <prop> <item2> .\n";
+  ASSERT_TRUE(ParseTurtle(doc, &graph).ok());
+  EXPECT_TRUE(dict.Lookup(Term::Iri("http://example.org/data/item1"))
+                  .has_value());
+}
+
+TEST(TurtleTest, BlankNodesAndAnon) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "_:b1 ex:p ex:o .\n"
+      "[] ex:p ex:o2 .\n";
+  Result<size_t> n = ParseTurtle(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST(TurtleTest, BlankNodePropertyLists) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "ex:film ex:crew [ ex:role \"director\" ; ex:person ex:raimi ] .\n"
+      "[ ex:a ex:b ] ex:p ex:o .\n"
+      "[ ex:standalone true ] .\n";
+  Result<size_t> n = ParseTurtle(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  // 1 (crew) + 2 (inside first []) + 1 (inside second []) + 1 (its own
+  // statement) + 1 (standalone) = 6.
+  EXPECT_EQ(*n, 6u);
+  // The crew object is a blank with the two inner properties.
+  TermId crew = *dict.Lookup(Term::Iri("http://x/crew"));
+  auto crew_triples = graph.MatchAll(std::nullopt, crew, std::nullopt);
+  ASSERT_EQ(crew_triples.size(), 1u);
+  TermId b = crew_triples[0].o;
+  EXPECT_TRUE(dict.IsBlank(b));
+  EXPECT_EQ(graph.MatchAll(b, std::nullopt, std::nullopt).size(), 2u);
+}
+
+TEST(TurtleTest, NestedPropertyLists) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p [ ex:q [ ex:r ex:deep ] ] .\n";
+  Result<size_t> n = ParseTurtle(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+}
+
+TEST(TurtleTest, Collections) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "ex:film ex:cast ( ex:a ex:b ex:c ) .\n"
+      "ex:film ex:empty ( ) .\n";
+  Result<size_t> n = ParseTurtle(doc, &graph);
+  ASSERT_TRUE(n.ok()) << n.status();
+  // cast triple + 3 × (first, rest) + empty triple = 8.
+  EXPECT_EQ(*n, 8u);
+  const std::string rdf = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+  TermId nil = *dict.Lookup(Term::Iri(rdf + "nil"));
+  TermId first = *dict.Lookup(Term::Iri(rdf + "first"));
+  TermId rest = *dict.Lookup(Term::Iri(rdf + "rest"));
+  // Walk the list.
+  TermId empty_prop = *dict.Lookup(Term::Iri("http://x/empty"));
+  EXPECT_EQ(graph.MatchAll(std::nullopt, empty_prop, nil).size(), 1u);
+  TermId cast = *dict.Lookup(Term::Iri("http://x/cast"));
+  TermId node = graph.MatchAll(std::nullopt, cast, std::nullopt)[0].o;
+  std::vector<std::string> elements;
+  while (node != nil) {
+    auto firsts = graph.MatchAll(node, first, std::nullopt);
+    ASSERT_EQ(firsts.size(), 1u);
+    elements.push_back(dict.term(firsts[0].o).lexical());
+    auto rests = graph.MatchAll(node, rest, std::nullopt);
+    ASSERT_EQ(rests.size(), 1u);
+    node = rests[0].o;
+  }
+  EXPECT_EQ(elements,
+            (std::vector<std::string>{"http://x/a", "http://x/b",
+                                      "http://x/c"}));
+}
+
+TEST(TurtleTest, UnterminatedBracketsFail) {
+  Dictionary dict;
+  for (const char* doc : {
+           "@prefix ex: <http://x/> .\nex:s ex:p [ ex:q ex:o .\n",
+           "@prefix ex: <http://x/> .\nex:s ex:p ( ex:a ex:b .\n",
+       }) {
+    Graph graph(&dict);
+    EXPECT_FALSE(ParseTurtle(doc, &graph).ok()) << doc;
+  }
+}
+
+TEST(TurtleTest, LangAndDatatypeLiterals) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "ex:s ex:p \"hi\"@en-GB , \"42\"^^xsd:integer , \"x\"^^<http://dt> .\n";
+  ASSERT_TRUE(ParseTurtle(doc, &graph).ok());
+  EXPECT_TRUE(dict.Lookup(Term::LangLiteral("hi", "en-GB")).has_value());
+  EXPECT_TRUE(dict.Lookup(Term::TypedLiteral("42", std::string(kXsdInteger)))
+                  .has_value());
+  EXPECT_TRUE(dict.Lookup(Term::TypedLiteral("x", "http://dt")).has_value());
+}
+
+TEST(TurtleTest, UndefinedPrefixFails) {
+  Dictionary dict;
+  Graph graph(&dict);
+  Result<size_t> n = ParseTurtle("nope:s nope:p nope:o .\n", &graph);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("undefined prefix"), std::string::npos);
+}
+
+TEST(TurtleTest, MissingDotFails) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p ex:o\n";
+  EXPECT_FALSE(ParseTurtle(doc, &graph).ok());
+}
+
+TEST(TurtleTest, WriterRoundTripsThroughParser) {
+  Dictionary dict;
+  Graph graph(&dict);
+  const char* doc =
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:film ex:starring ex:a , ex:b ; ex:title \"Sp\\\"ider\" .\n"
+      "_:b0 ex:p 42 .\n";
+  ASSERT_TRUE(ParseTurtle(doc, &graph).ok());
+
+  std::map<std::string, std::string> prefixes = {
+      {"ex", "http://example.org/"}};
+  std::string text = WriteTurtle(graph, prefixes);
+
+  Dictionary dict2;
+  Graph graph2(&dict2);
+  Result<size_t> n = ParseTurtle(text, &graph2);
+  ASSERT_TRUE(n.ok()) << n.status() << "\n" << text;
+  EXPECT_EQ(graph2.size(), graph.size());
+  // Semantic equality via the canonical N-Triples rendering.
+  EXPECT_EQ(WriteNTriples(graph2), WriteNTriples(graph));
+}
+
+TEST(TurtleTest, CompactsWithLongestPrefix) {
+  Dictionary dict;
+  Graph graph(&dict);
+  ASSERT_TRUE(graph
+                  .Insert(Term::Iri("http://x/sub/a"), Term::Iri("http://x/p"),
+                          Term::Iri("http://x/sub/b"))
+                  .ok());
+  std::map<std::string, std::string> prefixes = {
+      {"x", "http://x/"}, {"sub", "http://x/sub/"}};
+  std::string text = WriteTurtle(graph, prefixes);
+  EXPECT_NE(text.find("sub:a"), std::string::npos) << text;
+  EXPECT_NE(text.find("x:p"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace rps

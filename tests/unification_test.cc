@@ -1,0 +1,128 @@
+#include "tgd/unification.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class UnificationTest : public ::testing::Test {
+ protected:
+  UnificationTest() {
+    p_ = preds_.Intern("p", 2);
+    q_ = preds_.Intern("q", 2);
+    x_ = vars_.Intern("x");
+    y_ = vars_.Intern("y");
+    u_ = vars_.Intern("u");
+    v_ = vars_.Intern("v");
+    a_ = dict_.InternIri("http://x/a");
+    b_ = dict_.InternIri("http://x/b");
+  }
+
+  Atom P(AtomArg l, AtomArg r) { return Atom{p_, {l, r}}; }
+
+  PredTable preds_;
+  Dictionary dict_;
+  VarPool vars_;
+  PredId p_, q_;
+  VarId x_, y_, u_, v_;
+  TermId a_, b_;
+};
+
+TEST_F(UnificationTest, VarWithConst) {
+  auto mgu = Unify(P(AtomArg::Var(x_), AtomArg::Var(y_)),
+                   P(AtomArg::Const(a_), AtomArg::Const(b_)));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(Resolve(*mgu, AtomArg::Var(x_)), AtomArg::Const(a_));
+  EXPECT_EQ(Resolve(*mgu, AtomArg::Var(y_)), AtomArg::Const(b_));
+}
+
+TEST_F(UnificationTest, ConstConflictFails) {
+  EXPECT_FALSE(Unify(P(AtomArg::Const(a_), AtomArg::Var(x_)),
+                     P(AtomArg::Const(b_), AtomArg::Var(y_)))
+                   .has_value());
+}
+
+TEST_F(UnificationTest, DifferentPredicatesFail) {
+  EXPECT_FALSE(Unify(P(AtomArg::Var(x_), AtomArg::Var(y_)),
+                     Atom{q_, {AtomArg::Var(u_), AtomArg::Var(v_)}})
+                   .has_value());
+}
+
+TEST_F(UnificationTest, VarVarChains) {
+  // p(x, x) with p(u, a): x↦u then u↦a (or equivalent) — both resolve to a.
+  auto mgu = Unify(P(AtomArg::Var(x_), AtomArg::Var(x_)),
+                   P(AtomArg::Var(u_), AtomArg::Const(a_)));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(Resolve(*mgu, AtomArg::Var(x_)), AtomArg::Const(a_));
+  EXPECT_EQ(Resolve(*mgu, AtomArg::Var(u_)), AtomArg::Const(a_));
+}
+
+TEST_F(UnificationTest, RepeatedVarConflict) {
+  // p(x, x) with p(a, b) cannot unify.
+  EXPECT_FALSE(Unify(P(AtomArg::Var(x_), AtomArg::Var(x_)),
+                     P(AtomArg::Const(a_), AtomArg::Const(b_)))
+                   .has_value());
+}
+
+TEST_F(UnificationTest, ExtendsBaseSubstitution) {
+  Subst base;
+  base[x_] = AtomArg::Const(a_);
+  auto mgu = Unify(P(AtomArg::Var(x_), AtomArg::Var(y_)),
+                   P(AtomArg::Var(u_), AtomArg::Const(b_)), base);
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(Resolve(*mgu, AtomArg::Var(u_)), AtomArg::Const(a_));
+}
+
+TEST_F(UnificationTest, ApplySubstToAtom) {
+  Subst subst;
+  subst[x_] = AtomArg::Const(a_);
+  Atom atom = ApplySubst(subst, P(AtomArg::Var(x_), AtomArg::Var(y_)));
+  EXPECT_EQ(atom.args[0], AtomArg::Const(a_));
+  EXPECT_EQ(atom.args[1], AtomArg::Var(y_));
+}
+
+TEST_F(UnificationTest, RenameApartPreservesStructure) {
+  Tgd tgd;
+  tgd.label = "orig";
+  tgd.body = {P(AtomArg::Var(x_), AtomArg::Var(y_))};
+  tgd.head = {P(AtomArg::Var(y_), AtomArg::Var(x_))};
+  Tgd renamed = RenameApart(tgd, &vars_);
+  EXPECT_EQ(renamed.label, "orig");
+  ASSERT_EQ(renamed.body.size(), 1u);
+  // Structure preserved: body(l, r), head(r, l).
+  EXPECT_EQ(renamed.body[0].args[0], renamed.head[0].args[1]);
+  EXPECT_EQ(renamed.body[0].args[1], renamed.head[0].args[0]);
+  // All variables fresh.
+  for (const Atom& atom : renamed.body) {
+    for (const AtomArg& arg : atom.args) {
+      ASSERT_TRUE(arg.is_var());
+      EXPECT_NE(arg.var(), x_);
+      EXPECT_NE(arg.var(), y_);
+    }
+  }
+}
+
+TEST_F(UnificationTest, RenameApartKeepsConstants) {
+  Tgd tgd;
+  tgd.body = {P(AtomArg::Const(a_), AtomArg::Var(x_))};
+  tgd.head = {P(AtomArg::Var(x_), AtomArg::Const(b_))};
+  Tgd renamed = RenameApart(tgd, &vars_);
+  EXPECT_EQ(renamed.body[0].args[0], AtomArg::Const(a_));
+  EXPECT_EQ(renamed.head[0].args[1], AtomArg::Const(b_));
+}
+
+TEST_F(UnificationTest, RenameApartTwiceGivesDisjointVars) {
+  Tgd tgd;
+  tgd.body = {P(AtomArg::Var(x_), AtomArg::Var(y_))};
+  tgd.head = {P(AtomArg::Var(x_), AtomArg::Var(y_))};
+  Tgd r1 = RenameApart(tgd, &vars_);
+  Tgd r2 = RenameApart(tgd, &vars_);
+  for (const AtomArg& a1 : r1.body[0].args) {
+    for (const AtomArg& a2 : r2.body[0].args) {
+      EXPECT_NE(a1.var(), a2.var());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,64 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace rps {
+namespace {
+
+TEST(UnionFindTest, UnseenElementIsItsOwnRoot) {
+  UnionFind uf;
+  EXPECT_EQ(uf.Find(17), 17u);
+  EXPECT_EQ(uf.size(), 0u);  // Find on unseen ids does not register
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf;
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Same(1, 2));
+  EXPECT_FALSE(uf.Same(1, 3));
+  uf.Union(2, 3);
+  EXPECT_TRUE(uf.Same(1, 3));
+}
+
+TEST(UnionFindTest, MembersOfClique) {
+  UnionFind uf;
+  uf.Union(1, 2);
+  uf.Union(2, 3);
+  uf.Union(10, 11);
+  std::vector<uint32_t> members = uf.Members(1);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(uf.Members(42), (std::vector<uint32_t>{42}));
+}
+
+TEST(UnionFindTest, TransitivityProperty) {
+  Rng rng(3);
+  UnionFind uf;
+  // Merge elements into 8 buckets via a reference map, compare behaviour.
+  std::vector<uint32_t> bucket(200);
+  for (uint32_t i = 0; i < 200; ++i) bucket[i] = i % 8;
+  for (uint32_t i = 8; i < 200; ++i) {
+    uf.Union(i, bucket[i]);  // representative seeds 0..7
+  }
+  for (int trial = 0; trial < 500; ++trial) {
+    uint32_t a = static_cast<uint32_t>(rng.Index(200));
+    uint32_t b = static_cast<uint32_t>(rng.Index(200));
+    EXPECT_EQ(uf.Same(a, b), bucket[a] == bucket[b])
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(UnionFindTest, UnionReturnsRepresentative) {
+  UnionFind uf;
+  uint32_t rep = uf.Union(5, 6);
+  EXPECT_TRUE(rep == 5 || rep == 6);
+  EXPECT_EQ(uf.Find(5), rep);
+  EXPECT_EQ(uf.Find(6), rep);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalog_rewriting.dir/bench/bench_datalog_rewriting.cc.o"
+  "CMakeFiles/bench_datalog_rewriting.dir/bench/bench_datalog_rewriting.cc.o.d"
+  "bench/bench_datalog_rewriting"
+  "bench/bench_datalog_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalog_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_equivalence_ablation.dir/bench/bench_equivalence_ablation.cc.o"
+  "CMakeFiles/bench_equivalence_ablation.dir/bench/bench_equivalence_ablation.cc.o.d"
+  "bench/bench_equivalence_ablation"
+  "bench/bench_equivalence_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_equivalence_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

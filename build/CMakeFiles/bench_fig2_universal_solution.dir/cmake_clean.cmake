@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_universal_solution.dir/bench/bench_fig2_universal_solution.cc.o"
+  "CMakeFiles/bench_fig2_universal_solution.dir/bench/bench_fig2_universal_solution.cc.o.d"
+  "bench/bench_fig2_universal_solution"
+  "bench/bench_fig2_universal_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_universal_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

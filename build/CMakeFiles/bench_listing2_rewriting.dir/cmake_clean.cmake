@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listing2_rewriting.dir/bench/bench_listing2_rewriting.cc.o"
+  "CMakeFiles/bench_listing2_rewriting.dir/bench/bench_listing2_rewriting.cc.o.d"
+  "bench/bench_listing2_rewriting"
+  "bench/bench_listing2_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listing2_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop3_non_fo.dir/bench/bench_prop3_non_fo.cc.o"
+  "CMakeFiles/bench_prop3_non_fo.dir/bench/bench_prop3_non_fo.cc.o.d"
+  "bench/bench_prop3_non_fo"
+  "bench/bench_prop3_non_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop3_non_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

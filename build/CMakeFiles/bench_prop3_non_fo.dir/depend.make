@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_prop3_non_fo.
+# This may be replaced when dependencies are built.

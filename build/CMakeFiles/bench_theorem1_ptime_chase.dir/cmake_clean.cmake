@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_ptime_chase.dir/bench/bench_theorem1_ptime_chase.cc.o"
+  "CMakeFiles/bench_theorem1_ptime_chase.dir/bench/bench_theorem1_ptime_chase.cc.o.d"
+  "bench/bench_theorem1_ptime_chase"
+  "bench/bench_theorem1_ptime_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_ptime_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

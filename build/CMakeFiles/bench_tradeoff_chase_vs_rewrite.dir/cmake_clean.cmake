@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tradeoff_chase_vs_rewrite.dir/bench/bench_tradeoff_chase_vs_rewrite.cc.o"
+  "CMakeFiles/bench_tradeoff_chase_vs_rewrite.dir/bench/bench_tradeoff_chase_vs_rewrite.cc.o.d"
+  "bench/bench_tradeoff_chase_vs_rewrite"
+  "bench/bench_tradeoff_chase_vs_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff_chase_vs_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

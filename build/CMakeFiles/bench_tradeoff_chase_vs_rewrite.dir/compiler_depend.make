@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tradeoff_chase_vs_rewrite.
+# This may be replaced when dependencies are built.

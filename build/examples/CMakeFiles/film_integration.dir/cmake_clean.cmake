@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/film_integration.dir/film_integration.cpp.o"
+  "CMakeFiles/film_integration.dir/film_integration.cpp.o.d"
+  "film_integration"
+  "film_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/film_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_federation.dir/lod_federation.cpp.o"
+  "CMakeFiles/lod_federation.dir/lod_federation.cpp.o.d"
+  "lod_federation"
+  "lod_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

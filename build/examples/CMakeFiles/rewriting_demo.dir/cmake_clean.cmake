@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriting_demo.dir/rewriting_demo.cpp.o"
+  "CMakeFiles/rewriting_demo.dir/rewriting_demo.cpp.o.d"
+  "rewriting_demo"
+  "rewriting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_gen.dir/rps_gen.cpp.o"
+  "CMakeFiles/rps_gen.dir/rps_gen.cpp.o.d"
+  "rps_gen"
+  "rps_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

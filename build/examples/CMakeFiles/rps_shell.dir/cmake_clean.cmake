@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_shell.dir/rps_shell.cpp.o"
+  "CMakeFiles/rps_shell.dir/rps_shell.cpp.o.d"
+  "rps_shell"
+  "rps_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

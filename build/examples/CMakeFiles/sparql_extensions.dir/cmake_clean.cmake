@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_extensions.dir/sparql_extensions.cpp.o"
+  "CMakeFiles/sparql_extensions.dir/sparql_extensions.cpp.o.d"
+  "sparql_extensions"
+  "sparql_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

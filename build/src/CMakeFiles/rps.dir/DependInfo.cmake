@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/relational_chase.cc" "src/CMakeFiles/rps.dir/chase/relational_chase.cc.o" "gcc" "src/CMakeFiles/rps.dir/chase/relational_chase.cc.o.d"
+  "/root/repo/src/chase/rps_chase.cc" "src/CMakeFiles/rps.dir/chase/rps_chase.cc.o" "gcc" "src/CMakeFiles/rps.dir/chase/rps_chase.cc.o.d"
+  "/root/repo/src/config/mapping_dsl.cc" "src/CMakeFiles/rps.dir/config/mapping_dsl.cc.o" "gcc" "src/CMakeFiles/rps.dir/config/mapping_dsl.cc.o.d"
+  "/root/repo/src/datalog/engine.cc" "src/CMakeFiles/rps.dir/datalog/engine.cc.o" "gcc" "src/CMakeFiles/rps.dir/datalog/engine.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/rps.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/rps.dir/datalog/program.cc.o.d"
+  "/root/repo/src/datalog/translate.cc" "src/CMakeFiles/rps.dir/datalog/translate.cc.o" "gcc" "src/CMakeFiles/rps.dir/datalog/translate.cc.o.d"
+  "/root/repo/src/discovery/discovery.cc" "src/CMakeFiles/rps.dir/discovery/discovery.cc.o" "gcc" "src/CMakeFiles/rps.dir/discovery/discovery.cc.o.d"
+  "/root/repo/src/federation/federator.cc" "src/CMakeFiles/rps.dir/federation/federator.cc.o" "gcc" "src/CMakeFiles/rps.dir/federation/federator.cc.o.d"
+  "/root/repo/src/federation/network.cc" "src/CMakeFiles/rps.dir/federation/network.cc.o" "gcc" "src/CMakeFiles/rps.dir/federation/network.cc.o.d"
+  "/root/repo/src/federation/peer_node.cc" "src/CMakeFiles/rps.dir/federation/peer_node.cc.o" "gcc" "src/CMakeFiles/rps.dir/federation/peer_node.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/CMakeFiles/rps.dir/gen/generators.cc.o" "gcc" "src/CMakeFiles/rps.dir/gen/generators.cc.o.d"
+  "/root/repo/src/gen/paper_example.cc" "src/CMakeFiles/rps.dir/gen/paper_example.cc.o" "gcc" "src/CMakeFiles/rps.dir/gen/paper_example.cc.o.d"
+  "/root/repo/src/parser/cursor.cc" "src/CMakeFiles/rps.dir/parser/cursor.cc.o" "gcc" "src/CMakeFiles/rps.dir/parser/cursor.cc.o.d"
+  "/root/repo/src/parser/ntriples.cc" "src/CMakeFiles/rps.dir/parser/ntriples.cc.o" "gcc" "src/CMakeFiles/rps.dir/parser/ntriples.cc.o.d"
+  "/root/repo/src/parser/sparql.cc" "src/CMakeFiles/rps.dir/parser/sparql.cc.o" "gcc" "src/CMakeFiles/rps.dir/parser/sparql.cc.o.d"
+  "/root/repo/src/parser/turtle.cc" "src/CMakeFiles/rps.dir/parser/turtle.cc.o" "gcc" "src/CMakeFiles/rps.dir/parser/turtle.cc.o.d"
+  "/root/repo/src/peer/certain_answers.cc" "src/CMakeFiles/rps.dir/peer/certain_answers.cc.o" "gcc" "src/CMakeFiles/rps.dir/peer/certain_answers.cc.o.d"
+  "/root/repo/src/peer/equivalence.cc" "src/CMakeFiles/rps.dir/peer/equivalence.cc.o" "gcc" "src/CMakeFiles/rps.dir/peer/equivalence.cc.o.d"
+  "/root/repo/src/peer/incremental.cc" "src/CMakeFiles/rps.dir/peer/incremental.cc.o" "gcc" "src/CMakeFiles/rps.dir/peer/incremental.cc.o.d"
+  "/root/repo/src/peer/mapping.cc" "src/CMakeFiles/rps.dir/peer/mapping.cc.o" "gcc" "src/CMakeFiles/rps.dir/peer/mapping.cc.o.d"
+  "/root/repo/src/peer/provenance.cc" "src/CMakeFiles/rps.dir/peer/provenance.cc.o" "gcc" "src/CMakeFiles/rps.dir/peer/provenance.cc.o.d"
+  "/root/repo/src/peer/rps_system.cc" "src/CMakeFiles/rps.dir/peer/rps_system.cc.o" "gcc" "src/CMakeFiles/rps.dir/peer/rps_system.cc.o.d"
+  "/root/repo/src/peer/schema.cc" "src/CMakeFiles/rps.dir/peer/schema.cc.o" "gcc" "src/CMakeFiles/rps.dir/peer/schema.cc.o.d"
+  "/root/repo/src/query/algebra.cc" "src/CMakeFiles/rps.dir/query/algebra.cc.o" "gcc" "src/CMakeFiles/rps.dir/query/algebra.cc.o.d"
+  "/root/repo/src/query/binding.cc" "src/CMakeFiles/rps.dir/query/binding.cc.o" "gcc" "src/CMakeFiles/rps.dir/query/binding.cc.o.d"
+  "/root/repo/src/query/eval.cc" "src/CMakeFiles/rps.dir/query/eval.cc.o" "gcc" "src/CMakeFiles/rps.dir/query/eval.cc.o.d"
+  "/root/repo/src/query/pattern.cc" "src/CMakeFiles/rps.dir/query/pattern.cc.o" "gcc" "src/CMakeFiles/rps.dir/query/pattern.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/rps.dir/query/query.cc.o" "gcc" "src/CMakeFiles/rps.dir/query/query.cc.o.d"
+  "/root/repo/src/rdf/dataset.cc" "src/CMakeFiles/rps.dir/rdf/dataset.cc.o" "gcc" "src/CMakeFiles/rps.dir/rdf/dataset.cc.o.d"
+  "/root/repo/src/rdf/dictionary.cc" "src/CMakeFiles/rps.dir/rdf/dictionary.cc.o" "gcc" "src/CMakeFiles/rps.dir/rdf/dictionary.cc.o.d"
+  "/root/repo/src/rdf/graph.cc" "src/CMakeFiles/rps.dir/rdf/graph.cc.o" "gcc" "src/CMakeFiles/rps.dir/rdf/graph.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/rps.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/rps.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rewrite/bool_rewrite.cc" "src/CMakeFiles/rps.dir/rewrite/bool_rewrite.cc.o" "gcc" "src/CMakeFiles/rps.dir/rewrite/bool_rewrite.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/CMakeFiles/rps.dir/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/rps.dir/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/tgd/atom.cc" "src/CMakeFiles/rps.dir/tgd/atom.cc.o" "gcc" "src/CMakeFiles/rps.dir/tgd/atom.cc.o.d"
+  "/root/repo/src/tgd/classify.cc" "src/CMakeFiles/rps.dir/tgd/classify.cc.o" "gcc" "src/CMakeFiles/rps.dir/tgd/classify.cc.o.d"
+  "/root/repo/src/tgd/tgd.cc" "src/CMakeFiles/rps.dir/tgd/tgd.cc.o" "gcc" "src/CMakeFiles/rps.dir/tgd/tgd.cc.o.d"
+  "/root/repo/src/tgd/unification.cc" "src/CMakeFiles/rps.dir/tgd/unification.cc.o" "gcc" "src/CMakeFiles/rps.dir/tgd/unification.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/rps.dir/util/status.cc.o" "gcc" "src/CMakeFiles/rps.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/rps.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/rps.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/union_find.cc" "src/CMakeFiles/rps.dir/util/union_find.cc.o" "gcc" "src/CMakeFiles/rps.dir/util/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bool_rewrite_test.dir/bool_rewrite_test.cc.o"
+  "CMakeFiles/bool_rewrite_test.dir/bool_rewrite_test.cc.o.d"
+  "bool_rewrite_test"
+  "bool_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bool_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

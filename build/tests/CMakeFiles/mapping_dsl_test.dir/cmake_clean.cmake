@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_dsl_test.dir/mapping_dsl_test.cc.o"
+  "CMakeFiles/mapping_dsl_test.dir/mapping_dsl_test.cc.o.d"
+  "mapping_dsl_test"
+  "mapping_dsl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_dsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop3_test.dir/prop3_test.cc.o"
+  "CMakeFiles/prop3_test.dir/prop3_test.cc.o.d"
+  "prop3_test"
+  "prop3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

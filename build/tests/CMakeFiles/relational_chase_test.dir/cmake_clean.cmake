@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_chase_test.dir/relational_chase_test.cc.o"
+  "CMakeFiles/relational_chase_test.dir/relational_chase_test.cc.o.d"
+  "relational_chase_test"
+  "relational_chase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

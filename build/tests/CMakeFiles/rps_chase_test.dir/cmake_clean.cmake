@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_chase_test.dir/rps_chase_test.cc.o"
+  "CMakeFiles/rps_chase_test.dir/rps_chase_test.cc.o.d"
+  "rps_chase_test"
+  "rps_chase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -160,5 +160,6 @@ int main() {
     std::printf("answers equal: %s\n",
                 distributed->answers == centralized->answers ? "yes" : "NO");
   }
+  rps_bench::PrintMetricsJson("federation_scalability");
   return 0;
 }

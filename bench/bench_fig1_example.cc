@@ -42,5 +42,6 @@ int main() {
   std::printf("N-Triples round trip  : %s (%zu triples)\n",
               n.ok() && reparsed.size() == stored.size() ? "ok" : "FAILED",
               reparsed.size());
+  rps_bench::PrintMetricsJson("fig1_example");
   return 0;
 }

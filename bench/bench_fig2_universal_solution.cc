@@ -110,5 +110,6 @@ int main() {
     std::printf("  reorder=%-5s  %8.2f ms   (checksum %zu)\n",
                 reorder ? "true" : "false", timer.ElapsedMs(), checksum);
   }
+  rps_bench::PrintMetricsJson("fig2_universal_solution");
   return (match6 && match3) ? 0 : 1;
 }

@@ -81,5 +81,6 @@ int main() {
   run({ex.db2_willem, age32}, /*expected=*/false);
 
   std::printf("\noverall: [%s]\n", all_ok ? "MATCH" : "MISMATCH");
+  rps_bench::PrintMetricsJson("listing2_rewriting");
   return all_ok ? 0 : 1;
 }

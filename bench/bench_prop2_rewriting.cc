@@ -108,5 +108,6 @@ int main() {
     std::printf("%-8zu %-10zu %-12.2f %-12s\n", k, r->ucq.size(), ms,
                 r->stats.complete ? "yes" : "no");
   }
+  rps_bench::PrintMetricsJson("prop2_rewriting");
   return all_equal ? 0 : 1;
 }

@@ -84,5 +84,6 @@ int main() {
   }
   std::printf("=> chase computes the exact closure: [%s]\n",
               chase_exact ? "MATCH" : "MISMATCH");
+  rps_bench::PrintMetricsJson("prop3_non_fo");
   return (never_complete && monotone_and_partial && chase_exact) ? 0 : 1;
 }

@@ -135,5 +135,6 @@ int main() {
                 sys->StoredDatabase().size(), universal.size(),
                 stats->rounds, ms, stats->completed ? "yes" : "no");
   }
+  rps_bench::PrintMetricsJson("theorem1_ptime_chase");
   return 0;
 }

@@ -113,5 +113,6 @@ int main() {
   std::printf(
       "(expected shape: rewriting wins for few queries, materialization "
       "amortizes as the workload grows)\n");
+  rps_bench::PrintMetricsJson("tradeoff_chase_vs_rewrite");
   return 0;
 }

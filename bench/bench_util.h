@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace rps_bench {
 
 /// Wall-clock stopwatch for the experiment harnesses.
@@ -27,6 +29,24 @@ inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("paper: %s\n", claim);
   std::printf("================================================================\n");
+}
+
+/// Snapshots the global metrics registry since `since` and prints the
+/// delta as one JSON line tagged `tag`, so every harness emits a
+/// machine-readable observability record next to its timing table:
+///
+///   METRICS {"tag":"fig1","counters":{...},"histograms":{...}}
+///
+/// Call with Registry::Global().Snapshot() taken before the measured
+/// work; pass a default-constructed snapshot for process-lifetime totals.
+inline void PrintMetricsJson(const char* tag,
+                             const rps::obs::MetricsSnapshot& since =
+                                 rps::obs::MetricsSnapshot()) {
+  rps::obs::MetricsSnapshot delta =
+      rps::obs::Registry::Global().Snapshot().DeltaSince(since);
+  std::string json = delta.ToJson();
+  // Splice the tag into the object so one grep collects every record.
+  std::printf("METRICS {\"tag\":\"%s\",%s\n", tag, json.c_str() + 1);
 }
 
 }  // namespace rps_bench

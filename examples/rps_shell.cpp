@@ -7,9 +7,14 @@
 //   --engine=chase|unionfind|rewrite|datalog   answering engine
 //   --extended                                 allow OPTIONAL / FILTER
 //   --show-mappings                            print the loaded system
+//   --explain                                  print an EXPLAIN report:
+//                                              chase rounds, facts derived,
+//                                              nulls created, per-mapping
+//                                              TGD firings, metrics, trace
 //
 // Examples:
 //   rps_shell data/paper.rps data/listing1.sparql
+//   rps_shell data/paper.rps data/listing1.sparql --explain
 //   rps_shell data/paper.rps -e 'SELECT ?x ?y WHERE { ... }' --engine=rewrite
 
 #include <cstdio>
@@ -24,7 +29,7 @@ int Usage() {
   std::printf(
       "usage: rps_shell <config.rps> [query.sparql | -e 'SPARQL'] "
       "[--engine=chase|unionfind|rewrite|datalog] [--extended] "
-      "[--show-mappings]\n\n"
+      "[--show-mappings] [--explain]\n\n"
       "Loads an RDF Peer System from a mapping-DSL configuration and\n"
       "answers SPARQL queries with certain-answer semantics.\n"
       "Try: rps_shell data/paper.rps data/listing1.sparql\n");
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
   std::string engine = "chase";
   bool extended = false;
   bool show_mappings = false;
+  bool explain = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -52,6 +58,8 @@ int main(int argc, char** argv) {
       extended = true;
     } else if (arg == "--show-mappings") {
       show_mappings = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (config_path.empty()) {
@@ -101,6 +109,11 @@ int main(int argc, char** argv) {
   if (query_text.empty()) return 0;
 
   if (extended) {
+    if (explain) {
+      std::fprintf(stderr,
+                   "--explain does not support --extended queries yet\n");
+      return 1;
+    }
     rps::Result<rps::ParsedExtendedQuery> parsed = rps::ParseSparqlExtended(
         query_text, system.dict(), system.vars());
     if (!parsed.ok()) {
@@ -136,6 +149,32 @@ int main(int argc, char** argv) {
     return 1;
   }
   const rps::GraphPatternQuery& query = (*queries)[0];
+
+  if (explain) {
+    rps::ExplainOptions options;
+    if (engine == "chase") {
+      options.engine = rps::ExplainEngine::kChase;
+    } else if (engine == "unionfind") {
+      options.engine = rps::ExplainEngine::kUnionFind;
+    } else if (engine == "rewrite") {
+      options.engine = rps::ExplainEngine::kRewrite;
+    } else {
+      std::fprintf(stderr, "--explain supports engines chase, unionfind "
+                           "and rewrite (got: %s)\n", engine.c_str());
+      return 1;
+    }
+    rps::Result<rps::ExplainReport> report =
+        rps::ExplainQuery(system, query, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "answering: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report->text.c_str());
+    std::printf("%s", rps::FormatAnswers(report->answers,
+                                         *system.dict()).c_str());
+    return 0;
+  }
 
   std::vector<rps::Tuple> answers;
   if (engine == "chase" || engine == "unionfind") {

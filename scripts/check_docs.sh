@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# check_docs.sh — keep the documentation honest.
+#
+# Extracts every `rps::`-qualified symbol mentioned inside fenced code
+# blocks of README.md and docs/*.md, and verifies that each component of
+# the qualified name (class, function, method — after stripping the
+# rps:: / rps::obs:: namespace prefix) exists somewhere in the library
+# headers under src/. A doc that references a renamed or deleted symbol
+# fails the check, so the docs cannot silently rot as the API evolves.
+#
+# Runs as a ctest test (see the top-level CMakeLists.txt); also runnable
+# standalone:
+#
+#   scripts/check_docs.sh            # check the repo the script lives in
+#
+# Exit status: 0 when every symbol resolves, 1 otherwise.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+docs=(README.md docs/*.md)
+
+headers_index="$(mktemp)"
+trap 'rm -f "$headers_index"' EXIT
+find src -name '*.h' -exec cat {} + > "$headers_index"
+
+failures=0
+checked=0
+
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+
+  # Lines inside ``` fences only — prose may name concepts loosely, but
+  # code blocks must reference the real API.
+  symbols="$(awk '/^[[:space:]]*```/ { fence = !fence; next } fence' "$doc" |
+      grep -oE 'rps(::[A-Za-z_][A-Za-z0-9_]*)+' | sort -u)"
+
+  for qualified in $symbols; do
+    # rps::obs::Registry::Global -> "Registry Global" etc.; namespace
+    # segments rps / obs are part of the prefix, not symbols to check.
+    components="$(printf '%s' "$qualified" | sed 's/::/ /g')"
+    for component in $components; do
+      case "$component" in
+        rps|obs) continue ;;
+      esac
+      checked=$((checked + 1))
+      if ! grep -qw "$component" "$headers_index"; then
+        echo "FAIL: $doc references $qualified but '$component' is not" \
+             "declared in any header under src/"
+        failures=$((failures + 1))
+      fi
+    done
+  done
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs: $failures unresolved symbol component(s)"
+  exit 1
+fi
+echo "check_docs: OK ($checked symbol components verified against src headers)"

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rps {
 
 bool RelationalInstance::Insert(PredId pred, std::vector<TermId> args) {
@@ -195,10 +198,57 @@ bool RelationalInstance::HasHomomorphism(const std::vector<Atom>& atoms,
   return found;
 }
 
+namespace {
+
+// Flushes the run's statistics into the global metrics registry on scope
+// exit — also on the budget-exhausted error paths, which discard their
+// ChaseStats. relchase.term.* records why the run stopped.
+class RelationalChaseMetricsFlusher {
+ public:
+  explicit RelationalChaseMetricsFlusher(const ChaseStats* stats)
+      : stats_(stats) {}
+  RelationalChaseMetricsFlusher(const RelationalChaseMetricsFlusher&) =
+      delete;
+  RelationalChaseMetricsFlusher& operator=(
+      const RelationalChaseMetricsFlusher&) = delete;
+  ~RelationalChaseMetricsFlusher() {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.counter("relchase.runs")->Increment();
+    reg.counter("relchase.rounds")->Add(stats_->rounds);
+    reg.counter("relchase.applications")->Add(stats_->applications);
+    reg.counter("relchase.facts_created")->Add(stats_->facts_created);
+    reg.counter("relchase.nulls_created")->Add(stats_->nulls_created);
+    reg.counter(stats_->completed ? "relchase.term.fixpoint"
+                                  : "relchase.term.budget_exhausted")
+        ->Increment();
+  }
+
+ private:
+  const ChaseStats* stats_;
+};
+
+}  // namespace
+
 Result<ChaseStats> ChaseTgds(const std::vector<Tgd>& tgds,
                              RelationalInstance* instance, Dictionary* dict,
                              const ChaseOptions& options) {
   ChaseStats stats;
+  RelationalChaseMetricsFlusher flusher(&stats);
+  obs::Registry& reg = obs::Registry::Global();
+  obs::ScopedTimerMs run_timer(reg.histogram("relchase.run_ms"));
+  obs::AutoSpan span("chase.tgds");
+
+  // Per-TGD firing counters, resolved once per run:
+  // relchase.tgd_firings{<label>}.
+  std::vector<obs::Counter*> firing_counters;
+  firing_counters.reserve(tgds.size());
+  for (size_t t = 0; t < tgds.size(); ++t) {
+    std::string label = tgds[t].label.empty()
+                            ? "tgd" + std::to_string(t)
+                            : tgds[t].label;
+    firing_counters.push_back(
+        reg.counter(obs::WithLabel("relchase.tgd_firings", label)));
+  }
 
   // Pre-compute per-TGD frontier and existential variable lists.
   struct TgdInfo {
@@ -284,11 +334,15 @@ Result<ChaseStats> ChaseTgds(const std::vector<Tgd>& tgds,
           }
         }
         ++stats.applications;
+        firing_counters[t]->Increment();
         progress = true;
       }
     }
   }
   stats.completed = true;
+  span.Annotate("rounds", stats.rounds);
+  span.Annotate("applications", stats.applications);
+  span.Annotate("nulls_created", stats.nulls_created);
   return stats;
 }
 

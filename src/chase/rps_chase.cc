@@ -4,9 +4,45 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rps {
 
 namespace {
+
+// Flushes the run's statistics into the global metrics registry on scope
+// exit, so budget-aborted runs (which return an error Status and discard
+// their RpsChaseStats) still report the work they did. The termination
+// counters chase.term.{fixpoint,budget_exhausted} record Algorithm 1's
+// exit reason.
+class ChaseMetricsFlusher {
+ public:
+  explicit ChaseMetricsFlusher(const RpsChaseStats* stats) : stats_(stats) {}
+  ChaseMetricsFlusher(const ChaseMetricsFlusher&) = delete;
+  ChaseMetricsFlusher& operator=(const ChaseMetricsFlusher&) = delete;
+  ~ChaseMetricsFlusher() {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.counter("chase.runs")->Increment();
+    reg.counter("chase.rounds")->Add(stats_->rounds);
+    reg.counter("chase.triples_added")->Add(stats_->triples_added);
+    reg.counter("chase.nulls_created")->Add(stats_->blanks_created);
+    reg.counter("chase.gma_firings")->Add(stats_->gma_firings);
+    reg.counter("chase.eq_triples")->Add(stats_->eq_triples);
+    reg.counter(stats_->completed ? "chase.term.fixpoint"
+                                  : "chase.term.budget_exhausted")
+        ->Increment();
+  }
+
+ private:
+  const RpsChaseStats* stats_;
+};
+
+// Per-mapping firing counter: chase.gma_firings{<label>}.
+obs::Counter* GmaFiringCounter(const GraphMappingAssertion& gma) {
+  return obs::Registry::Global().counter(obs::WithLabel(
+      "chase.gma_firings", gma.label.empty() ? "unlabeled" : gma.label));
+}
 
 // Substitutes the head variables of `q` with the constants of `tuple` in
 // the body, leaving other variables untouched.
@@ -74,6 +110,7 @@ Result<RpsChaseStats> BuildUniversalSolution(const RpsSystem& system,
   if (!out->empty()) {
     return Status::InvalidArgument("output graph must start empty");
   }
+  obs::AutoSpan span("chase.build_universal_solution");
 
   // Seed: d ⊆ J for every stored peer database d.
   for (const auto& [name, graph] : system.dataset().graphs()) {
@@ -84,6 +121,7 @@ Result<RpsChaseStats> BuildUniversalSolution(const RpsSystem& system,
       }
     }
   }
+  obs::Registry::Global().counter("chase.stored_triples")->Add(out->size());
   if (options.semi_naive) {
     // The whole stored database is the initial delta.
     return ChaseGraphDelta(out, out->triples(), system.graph_mappings(),
@@ -99,6 +137,10 @@ Result<RpsChaseStats> ChaseGraph(
     const RpsChaseOptions& options) {
   Dictionary* dict = out->dict();
   RpsChaseStats stats;
+  ChaseMetricsFlusher flusher(&stats);
+  obs::ScopedTimerMs run_timer(
+      obs::Registry::Global().histogram("chase.run_ms"));
+  obs::AutoSpan span("chase.graph");
 
   bool progress = true;
   while (progress) {
@@ -160,6 +202,7 @@ Result<RpsChaseStats> ChaseGraph(
           }
         }
         ++stats.gma_firings;
+        GmaFiringCounter(gma)->Increment();
         progress = true;
       }
     }
@@ -200,6 +243,9 @@ Result<RpsChaseStats> ChaseGraph(
   }
 
   stats.completed = true;
+  span.Annotate("rounds", stats.rounds);
+  span.Annotate("triples_added", stats.triples_added);
+  span.Annotate("nulls_created", stats.blanks_created);
   return stats;
 }
 
@@ -211,6 +257,10 @@ Result<RpsChaseStats> ChaseGraphDelta(
   Dictionary* dict = out->dict();
   const Dictionary& cdict = *dict;
   RpsChaseStats stats;
+  ChaseMetricsFlusher flusher(&stats);
+  obs::ScopedTimerMs run_timer(
+      obs::Registry::Global().histogram("chase.run_ms"));
+  obs::AutoSpan span("chase.graph_delta");
 
   while (!delta.empty()) {
     if (stats.rounds >= options.max_rounds) {
@@ -331,6 +381,7 @@ Result<RpsChaseStats> ChaseGraphDelta(
                  });
           }
           ++stats.gma_firings;
+          GmaFiringCounter(gma)->Increment();
         }
       }
     }
@@ -338,6 +389,9 @@ Result<RpsChaseStats> ChaseGraphDelta(
     delta = std::move(next_delta);
   }
   stats.completed = true;
+  span.Annotate("rounds", stats.rounds);
+  span.Annotate("triples_added", stats.triples_added);
+  span.Annotate("nulls_created", stats.blanks_created);
   return stats;
 }
 

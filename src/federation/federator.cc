@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rps {
+
+namespace {
+
+// Per-peer traffic counters: federation.subqueries{<peer>} counts the
+// sub-query messages a peer served, federation.rows_shipped{<peer>} the
+// result rows it sent back to the coordinator.
+void CountPeerTraffic(const PeerNode& peer, size_t rows) {
+  obs::Registry& reg = obs::Registry::Global();
+  reg.counter(obs::WithLabel("federation.subqueries", peer.name()))
+      ->Increment();
+  reg.counter(obs::WithLabel("federation.rows_shipped", peer.name()))
+      ->Add(rows);
+}
+
+}  // namespace
 
 Federator::Federator(const RpsSystem* system, Topology topology)
     : system_(system),
@@ -24,6 +42,10 @@ Result<FederatedQueryResult> Federator::Execute(
         "topology has fewer nodes than the system has peers");
   }
   FederatedQueryResult result;
+  obs::Registry& reg = obs::Registry::Global();
+  reg.counter("federation.executions")->Increment();
+  obs::ScopedTimerMs run_timer(reg.histogram("federation.execute_ms"));
+  obs::AutoSpan span("federation.execute");
 
   RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
                        RewriteGraphQuery(*system_, query, options.rewrite));
@@ -83,6 +105,7 @@ Result<FederatedQueryResult> Federator::Execute(
           if (!peer.MayAnswer(tp)) continue;
           BindingSet local = peer.Answer(tp);
           ++result.subqueries;
+          CountPeerTraffic(peer, local.size());
           size_t hops = topology_.HopDistance(options.coordinator, p);
           double payload = static_cast<double>(local.size()) *
                            static_cast<double>(tp.Vars().size()) *
@@ -127,6 +150,7 @@ Result<FederatedQueryResult> Federator::Execute(
             // the request carries the binding batch, the response the
             // matching rows.
             ++result.subqueries;
+            CountPeerTraffic(peer, rows_returned);
             size_t hops = topology_.HopDistance(options.coordinator, p);
             double request_payload =
                 static_cast<double>(end - start) *
@@ -180,6 +204,11 @@ Result<FederatedQueryResult> Federator::Execute(
     answers = closure_.ExpandTuples(answers);
   }
   result.answers = std::move(answers);
+  reg.counter("federation.subqueries")->Add(result.subqueries);
+  reg.counter("federation.branches")->Add(result.branches);
+  span.Annotate("branches", result.branches);
+  span.Annotate("subqueries", result.subqueries);
+  span.Annotate("answers", result.answers.size());
   return result;
 }
 
@@ -190,6 +219,9 @@ Result<FederatedQueryResult> Federator::ExecuteCentralized(
         "topology has fewer nodes than the system has peers");
   }
   FederatedQueryResult result;
+  obs::Registry::Global().counter("federation.centralized_executions")
+      ->Increment();
+  obs::AutoSpan span("federation.execute_centralized");
 
   RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
                        RewriteGraphQuery(*system_, query, options.rewrite));

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace rps {
@@ -15,6 +16,13 @@ void NetworkStats::AddExchange(double payload_bytes, size_t hops,
                        static_cast<double>(hops == SIZE_MAX ? 0 : hops);
   double transfer = total_bytes / model.bandwidth_bytes_per_ms;
   latency_ms += propagation + transfer;
+
+  static obs::Counter* message_counter =
+      obs::Registry::Global().counter("federation.messages");
+  static obs::Counter* byte_counter =
+      obs::Registry::Global().counter("federation.bytes");
+  message_counter->Add(2);
+  byte_counter->Add(static_cast<uint64_t>(total_bytes));
 }
 
 void Topology::AddEdge(size_t a, size_t b) {

@@ -1,0 +1,135 @@
+#include "obs/explain.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace rps {
+
+namespace {
+
+const char* EngineName(ExplainEngine engine) {
+  switch (engine) {
+    case ExplainEngine::kChase:
+      return "chase";
+    case ExplainEngine::kUnionFind:
+      return "unionfind";
+    case ExplainEngine::kRewrite:
+      return "rewrite";
+  }
+  return "?";
+}
+
+// The labelled counters `prefix{<label>}` of the delta, rendered as
+// "<label>: <value>" lines (empty string when none fired). The unlabelled
+// aggregate `prefix` itself is skipped.
+std::string CounterLines(const obs::MetricsSnapshot& delta,
+                         const std::string& prefix,
+                         const std::string& indent) {
+  std::string out;
+  for (const auto& [name, value] : delta.counters) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::string rest = name.substr(prefix.size());
+    if (rest.size() < 2 || rest.front() != '{' || rest.back() != '}') {
+      continue;
+    }
+    rest = rest.substr(1, rest.size() - 2);
+    out += indent + rest + ": " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+std::string RenderReport(const ExplainReport& report,
+                         const ExplainOptions& options) {
+  std::string out;
+  out += "EXPLAIN (engine=" + std::string(EngineName(options.engine)) +
+         ")\n";
+  out += "answers: " + std::to_string(report.answers.size()) + " row(s)\n";
+
+  if (options.engine != ExplainEngine::kRewrite) {
+    const RpsChaseStats& cs = report.chase_stats;
+    out += "\nchase (Algorithm 1)\n";
+    out += "  rounds             : " + std::to_string(cs.rounds) + "\n";
+    out += "  facts derived      : " + std::to_string(cs.triples_added) +
+           " triple(s) beyond the stored database\n";
+    out += "  nulls created      : " + std::to_string(cs.blanks_created) +
+           " labelled null(s)\n";
+    out += "  GMA firings        : " + std::to_string(cs.gma_firings) + "\n";
+    out += "  equivalence copies : " + std::to_string(cs.eq_triples) + "\n";
+    out += "  universal solution : " +
+           std::to_string(report.universal_solution_size) + " triple(s)\n";
+    out += "  completed          : ";
+    out += cs.completed ? "yes (fixpoint)" : "no (budget exhausted)";
+    out += "\n";
+    std::string per_mapping =
+        CounterLines(report.metrics, "chase.gma_firings", "    ");
+    if (!per_mapping.empty()) {
+      out += "  per-mapping TGD firings:\n" + per_mapping;
+    }
+  } else {
+    const RewriteResult& rs = report.rewrite_stats;
+    out += "\nrewriting (Prop. 2 UCQ)\n";
+    out += "  steps              : " + std::to_string(rs.steps) + "\n";
+    out += "  CQs generated      : " + std::to_string(rs.generated) + "\n";
+    out += "  factorization hits : " + std::to_string(rs.factorized) + "\n";
+    out += "  pruned (subsumed)  : " + std::to_string(rs.pruned) + "\n";
+    out += "  UCQ disjuncts      : " + std::to_string(rs.ucq.size()) + "\n";
+    out += "  perfect rewriting  : ";
+    out += rs.complete ? "yes (fixpoint within budget)"
+                       : "no (budget exhausted - Prop. 3 territory)";
+    out += "\n";
+  }
+
+  out += "\nmetrics (delta for this query)\n";
+  out += report.metrics.ToText("  ");
+  out += "\ntrace\n";
+  out += report.trace_text;
+  return out;
+}
+
+}  // namespace
+
+Result<ExplainReport> ExplainQuery(const RpsSystem& system,
+                                   const GraphPatternQuery& query,
+                                   const ExplainOptions& options) {
+  ExplainReport report;
+  obs::Registry& reg = obs::Registry::Global();
+  obs::MetricsSnapshot before = reg.Snapshot();
+
+  obs::Tracer tracer("explain");
+  {
+    obs::TraceScope scope(&tracer);
+    switch (options.engine) {
+      case ExplainEngine::kChase:
+      case ExplainEngine::kUnionFind: {
+        CertainAnswerOptions chase_options = options.chase;
+        chase_options.equivalence_mode =
+            options.engine == ExplainEngine::kChase
+                ? EquivalenceMode::kChase
+                : EquivalenceMode::kUnionFind;
+        RPS_ASSIGN_OR_RETURN(CertainAnswerResult result,
+                             CertainAnswers(system, query, chase_options));
+        report.answers = std::move(result.answers);
+        report.chase_stats = result.chase_stats;
+        report.universal_solution_size = result.universal_solution_size;
+        break;
+      }
+      case ExplainEngine::kRewrite: {
+        RPS_ASSIGN_OR_RETURN(
+            RewriteAnswers result,
+            CertainAnswersViaRewriting(system, query, options.rewrite));
+        report.answers = std::move(result.answers);
+        report.rewrite_stats = std::move(result.stats);
+        break;
+      }
+    }
+  }
+
+  report.metrics = reg.Snapshot().DeltaSince(before);
+  report.trace_text = tracer.ReportText("  ");
+  report.trace_json = tracer.ReportJson();
+  report.text = RenderReport(report, options);
+  return report;
+}
+
+}  // namespace rps

@@ -1,0 +1,64 @@
+#ifndef RPS_OBS_EXPLAIN_H_
+#define RPS_OBS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "peer/certain_answers.h"
+#include "rewrite/bool_rewrite.h"
+
+namespace rps {
+
+/// Which answering engine ExplainQuery drives. Mirrors the engines of
+/// docs/QUERYING.md; the report's contents depend on the choice (chase
+/// engines report Algorithm 1 statistics, the rewrite engine reports
+/// Prop. 2 UCQ statistics — both report the metrics delta and the trace).
+enum class ExplainEngine {
+  kChase,      // Algorithm 1, naive equivalence chasing
+  kUnionFind,  // Algorithm 1 over clique-canonicalized data
+  kRewrite,    // Prop. 2 UCQ rewriting evaluated over the sources
+};
+
+struct ExplainOptions {
+  ExplainEngine engine = ExplainEngine::kChase;
+  CertainAnswerOptions chase;
+  RpsRewriteOptions rewrite;
+};
+
+/// An EXPLAIN-style report: the certain answers of one query plus every
+/// observability signal the run produced — the structured statistics of
+/// the engine, the obs::Registry metrics delta isolated to this run (so
+/// per-mapping firing counts and evaluator work are attributable), and
+/// the rendered trace span tree.
+struct ExplainReport {
+  std::vector<Tuple> answers;
+  /// Algorithm 1 statistics (kChase / kUnionFind engines).
+  RpsChaseStats chase_stats;
+  size_t universal_solution_size = 0;
+  /// Rewriting statistics (kRewrite engine).
+  RewriteResult rewrite_stats;
+  /// Metrics delta attributable to this run (global registry).
+  obs::MetricsSnapshot metrics;
+  /// Rendered span tree of the run.
+  std::string trace_text;
+  std::string trace_json;
+  /// The full human-readable report (what `rps_shell --explain` prints):
+  /// engine, answer count, chase rounds / facts derived / nulls created,
+  /// per-mapping TGD firing counts, evaluator and rewriter metrics, trace.
+  std::string text;
+};
+
+/// Answers `query` over `system` with the chosen engine while collecting
+/// metrics and trace spans, and renders the report. Uses the global
+/// metrics registry: concurrent unrelated work would bleed into the delta
+/// (the report is exact when the process runs one query at a time, which
+/// is how rps_shell and the benches use it).
+Result<ExplainReport> ExplainQuery(const RpsSystem& system,
+                                   const GraphPatternQuery& query,
+                                   const ExplainOptions& options =
+                                       ExplainOptions());
+
+}  // namespace rps
+
+#endif  // RPS_OBS_EXPLAIN_H_

@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rps::obs {
+
+namespace {
+
+// Shortest round-trippable rendering of a double for the JSON reporter.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// JSON string escaping for instrument names (labels may contain quotes).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+size_t BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  size_t idx = 1 + static_cast<size_t>(std::floor(std::log2(value)));
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.count == 0) {
+    stats_.min = value;
+    stats_.max = value;
+  } else {
+    stats_.min = std::min(stats_.min, value);
+    stats_.max = std::max(stats_.max, value);
+  }
+  ++stats_.count;
+  stats_.sum += value;
+  ++buckets_[BucketIndex(value)];
+}
+
+HistogramStats Histogram::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return i < kBuckets ? buckets_[i] : 0;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = HistogramStats{};
+  std::fill(std::begin(buckets_), std::end(buckets_), 0);
+}
+
+ScopedTimerMs::~ScopedTimerMs() {
+  auto now = std::chrono::steady_clock::now();
+  hist_->Record(
+      std::chrono::duration<double, std::milli>(now - start_).count());
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    uint64_t prior = it == before.counters.end() ? 0 : it->second;
+    if (value > prior) delta.counters.emplace(name, value - prior);
+  }
+  for (const auto& [name, stats] : histograms) {
+    auto it = before.histograms.find(name);
+    HistogramStats d = stats;
+    if (it != before.histograms.end()) {
+      d.count = stats.count - std::min(stats.count, it->second.count);
+      d.sum = stats.sum - it->second.sum;
+    }
+    if (d.count > 0) delta.histograms.emplace(name, d);
+  }
+  return delta;
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::ToText(const std::string& indent) const {
+  size_t width = 0;
+  for (const auto& [name, value] : counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, stats] : histograms) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += indent + name + std::string(width - name.size() + 2, ' ') +
+           std::to_string(value) + "\n";
+  }
+  for (const auto& [name, stats] : histograms) {
+    // The `_ms` name suffix is the unit convention; other histograms are
+    // plain value distributions.
+    const char* unit =
+        name.size() >= 3 && name.compare(name.size() - 3, 3, "_ms") == 0
+            ? "ms"
+            : "";
+    out += indent + name + std::string(width - name.size() + 2, ' ') +
+           "count=" + std::to_string(stats.count) +
+           " sum=" + FormatDouble(stats.sum) + unit +
+           " mean=" + FormatDouble(stats.mean()) + unit +
+           " min=" + FormatDouble(stats.min) + unit +
+           " max=" + FormatDouble(stats.max) + unit + "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stats] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) +
+           "\":{\"count\":" + std::to_string(stats.count) +
+           ",\"sum\":" + FormatDouble(stats.sum) +
+           ",\"mean\":" + FormatDouble(stats.mean()) +
+           ",\"min\":" + FormatDouble(stats.min) +
+           ",\"max\":" + FormatDouble(stats.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: outlives statics
+  return *instance;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(name, hist->Stats());
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string WithLabel(std::string_view base, std::string_view label) {
+  std::string out;
+  out.reserve(base.size() + label.size() + 2);
+  out.append(base);
+  out += '{';
+  out.append(label);
+  out += '}';
+  return out;
+}
+
+}  // namespace rps::obs

@@ -1,0 +1,132 @@
+#ifndef RPS_OBS_METRICS_H_
+#define RPS_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rps::obs {
+
+/// A monotonic counter. Increments are relaxed atomics: safe to bump from
+/// any thread, cheap enough for the chase / evaluation hot paths. Counters
+/// only ever grow between Reset() calls, so snapshot deltas are exact.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Aggregate view of a Histogram (also the unit stored in snapshots).
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // undefined when count == 0
+  double max = 0.0;
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// A thread-safe histogram of non-negative samples — typically durations
+/// in milliseconds. Buckets are powers of two: bucket 0 holds samples
+/// < 1, bucket i holds [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(double value);
+  HistogramStats Stats() const;
+  /// Number of samples in bucket `i` (see class comment for boundaries).
+  uint64_t BucketCount(size_t i) const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  HistogramStats stats_;
+  uint64_t buckets_[kBuckets] = {};
+};
+
+/// RAII wall-clock timer recording elapsed milliseconds into a Histogram.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+  ~ScopedTimerMs();
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A point-in-time copy of every registered instrument. Snapshots are
+/// plain values: diff two of them to isolate the cost of one operation.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// This snapshot minus `before` (counter-wise subtraction; histogram
+  /// count/sum subtract, min/max are taken from `this`). Zero-valued
+  /// entries are dropped, so a delta reports only what the measured
+  /// operation actually touched.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
+
+  /// Value of one counter (0 when absent — instruments register lazily).
+  uint64_t counter(std::string_view name) const;
+
+  /// Aligned human-readable rendering, one instrument per line, with an
+  /// optional indent prefix.
+  std::string ToText(const std::string& indent = "") const;
+
+  /// Compact single-line JSON object:
+  ///   {"counters":{...},"histograms":{"name":{"count":..,"sum":..}}}
+  std::string ToJson() const;
+};
+
+/// The thread-safe instrument registry. Instruments are created lazily on
+/// first access and live for the registry's lifetime: Reset() zeroes
+/// values but never invalidates returned pointers, so hot paths may cache
+/// them (e.g. in function-local statics).
+///
+/// Naming scheme (docs/OBSERVABILITY.md): dotted lower_snake paths
+/// `<subsystem>.<metric>`, with at most one dimension appended in braces
+/// via WithLabel, e.g. `chase.gma_firings{Q2->Q1}`.
+class Registry {
+ public:
+  /// The process-wide default registry used by all built-in
+  /// instrumentation.
+  static Registry& Global();
+
+  Counter* counter(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument. Registered pointers remain valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+/// "chase.gma_firings" + "Q2->Q1" -> "chase.gma_firings{Q2->Q1}".
+std::string WithLabel(std::string_view base, std::string_view label);
+
+}  // namespace rps::obs
+
+#endif  // RPS_OBS_METRICS_H_

@@ -1,0 +1,188 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace rps::obs {
+
+namespace {
+
+// Ambient tracer + this thread's open AutoSpan stack. The stack only
+// holds spans opened on this thread, so parenting nests correctly even
+// when several threads share one tracer.
+thread_local Tracer* t_active = nullptr;
+thread_local std::vector<SpanId> t_span_stack;
+
+std::string FormatMs(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", v);
+  return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::string root_name)
+    : epoch_(std::chrono::steady_clock::now()) {
+  SpanRec root;
+  root.name = std::move(root_name);
+  spans_.push_back(std::move(root));
+}
+
+double Tracer::NowMs() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - epoch_).count();
+}
+
+SpanId Tracer::StartSpan(std::string name, SpanId parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parent == kNoSpan || parent >= spans_.size()) parent = 0;
+  SpanId id = spans_.size();
+  SpanRec rec;
+  rec.name = std::move(name);
+  rec.parent = parent;
+  rec.start_ms = NowMs();
+  spans_.push_back(std::move(rec));
+  spans_[parent].children.push_back(id);
+  return id;
+}
+
+void Tracer::EndSpan(SpanId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  if (spans_[id].end_ms < 0.0) spans_[id].end_ms = NowMs();
+}
+
+void Tracer::Annotate(SpanId id, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].notes.emplace_back(std::move(key), std::move(value));
+}
+
+size_t Tracer::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanView> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double now = NowMs();
+  std::vector<SpanView> out;
+  out.reserve(spans_.size());
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRec& rec = spans_[i];
+    SpanView view;
+    view.name = rec.name;
+    view.id = i;
+    view.parent = rec.parent;
+    view.start_ms = rec.start_ms;
+    view.open = rec.end_ms < 0.0;
+    view.duration_ms = (view.open ? now : rec.end_ms) - rec.start_ms;
+    view.notes = rec.notes;
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+std::string Tracer::ReportText(const std::string& indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double now = NowMs();
+  std::string out;
+  // Iterative pre-order walk (children in creation order).
+  std::vector<std::pair<SpanId, size_t>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const SpanRec& rec = spans_[id];
+    double duration = (rec.end_ms < 0.0 ? now : rec.end_ms) - rec.start_ms;
+    std::string line = indent + std::string(2 * depth, ' ') + rec.name;
+    if (line.size() < 40) line += std::string(40 - line.size(), ' ');
+    line += "  " + FormatMs(duration);
+    if (rec.end_ms < 0.0) line += " (open)";
+    for (const auto& [key, value] : rec.notes) {
+      line += "  " + key + "=" + value;
+    }
+    out += line + "\n";
+    for (auto it = rec.children.rbegin(); it != rec.children.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::ReportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double now = NowMs();
+  std::function<std::string(SpanId)> render = [&](SpanId id) {
+    const SpanRec& rec = spans_[id];
+    double duration = (rec.end_ms < 0.0 ? now : rec.end_ms) - rec.start_ms;
+    char dur[32];
+    std::snprintf(dur, sizeof(dur), "%.3f", duration);
+    std::string out = "{\"name\":\"" + JsonEscape(rec.name) +
+                      "\",\"duration_ms\":" + dur;
+    if (!rec.notes.empty()) {
+      out += ",\"notes\":{";
+      for (size_t i = 0; i < rec.notes.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(rec.notes[i].first) + "\":\"" +
+               JsonEscape(rec.notes[i].second) + "\"";
+      }
+      out += "}";
+    }
+    if (!rec.children.empty()) {
+      out += ",\"children\":[";
+      for (size_t i = 0; i < rec.children.size(); ++i) {
+        if (i > 0) out += ",";
+        out += render(rec.children[i]);
+      }
+      out += "]";
+    }
+    return out + "}";
+  };
+  return render(0);
+}
+
+Tracer* Tracer::Active() { return t_active; }
+
+TraceScope::TraceScope(Tracer* tracer) : previous_(t_active) {
+  t_active = tracer;
+  previous_stack_ = std::move(t_span_stack);
+  t_span_stack.clear();
+}
+
+TraceScope::~TraceScope() {
+  t_active = previous_;
+  t_span_stack = std::move(previous_stack_);
+}
+
+AutoSpan::AutoSpan(std::string_view name) : tracer_(t_active) {
+  if (tracer_ == nullptr) return;
+  SpanId parent =
+      t_span_stack.empty() ? tracer_->root() : t_span_stack.back();
+  id_ = tracer_->StartSpan(std::string(name), parent);
+  t_span_stack.push_back(id_);
+}
+
+AutoSpan::~AutoSpan() {
+  if (tracer_ == nullptr) return;
+  if (!t_span_stack.empty() && t_span_stack.back() == id_) {
+    t_span_stack.pop_back();
+  }
+  tracer_->EndSpan(id_);
+}
+
+void AutoSpan::Annotate(std::string key, std::string value) {
+  if (tracer_ != nullptr) {
+    tracer_->Annotate(id_, std::move(key), std::move(value));
+  }
+}
+
+}  // namespace rps::obs

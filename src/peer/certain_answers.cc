@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rps {
+
+namespace {
+
+void RecordUniversalSolutionSize(size_t triples) {
+  obs::Registry& reg = obs::Registry::Global();
+  reg.counter("answers.queries")->Increment();
+  reg.histogram("answers.universal_solution_triples")
+      ->Record(static_cast<double>(triples));
+}
+
+}  // namespace
 
 Result<CertainAnswerResult> CertainAnswers(
     const RpsSystem& system, const GraphPatternQuery& query,
@@ -11,17 +25,21 @@ Result<CertainAnswerResult> CertainAnswers(
   CertainAnswerResult result;
 
   if (options.equivalence_mode == EquivalenceMode::kChase) {
+    obs::AutoSpan span("answer.chase");
     Graph universal(system.dict());
     RPS_ASSIGN_OR_RETURN(result.chase_stats,
                          BuildUniversalSolution(system, &universal,
                                                 options.chase));
     result.universal_solution_size = universal.size();
+    RecordUniversalSolutionSize(universal.size());
+    obs::AutoSpan eval_span("eval.query_over_universal");
     result.answers =
         EvalQuery(universal, query, QuerySemantics::kDropBlanks,
                   options.chase.eval);
     SortTuples(&result.answers);
     return result;
   }
+  obs::AutoSpan span("answer.unionfind");
 
   // kUnionFind: canonicalize data, mappings and query; chase the graph
   // mapping assertions only; expand answers over the cliques.
@@ -45,6 +63,7 @@ Result<CertainAnswerResult> CertainAnswers(
       ChaseGraph(&canonical, canonical_gmas, /*equivalences=*/{},
                  options.chase));
   result.universal_solution_size = canonical.size();
+  RecordUniversalSolutionSize(canonical.size());
 
   GraphPatternQuery canonical_query = closure.CanonicalizeQuery(query);
   std::vector<Tuple> canonical_answers =

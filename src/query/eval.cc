@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace rps {
 
 namespace {
+
+// Hot-path instrumentation: the counter pointers are resolved once (the
+// registry never invalidates them) and bumped with one relaxed atomic add
+// per evaluation call, on locally accumulated totals.
+obs::Counter& PatternMatchCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("eval.pattern_matches");
+  return *c;
+}
+obs::Counter& BindingCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("eval.bindings_produced");
+  return *c;
+}
+obs::Counter& BgpEvalCounter() {
+  static obs::Counter* c = obs::Registry::Global().counter("eval.bgp_evals");
+  return *c;
+}
 
 // Extends `base` with the bindings induced by matching `tp` against `t`.
 // Returns false when a repeated variable or an already-bound variable
@@ -63,14 +83,18 @@ std::vector<size_t> OrderPatterns(const Graph& graph,
 
 BindingSet EvalTriplePattern(const Graph& graph, const TriplePattern& tp) {
   BindingSet out;
+  size_t scanned = 0;
   graph.Match(tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey(),
               [&](const Triple& t) {
+                ++scanned;
                 Binding b;
                 if (ExtendBinding(tp, t, &b)) out.push_back(std::move(b));
                 return true;
               });
   // Repeated variables within the pattern are checked by ExtendBinding via
   // Bind; duplicates cannot arise because triples are a set.
+  PatternMatchCounter().Add(scanned);
+  BindingCounter().Add(out.size());
   return out;
 }
 
@@ -88,12 +112,15 @@ BindingSet ExtendBindings(const Graph& graph,
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   }
 
+  size_t scanned = 0;
+  size_t produced = 0;
   for (size_t idx : order) {
     const TriplePattern& tp = patterns[idx];
     BindingSet next;
     for (const Binding& b : current) {
       graph.Match(KeyFor(tp.s, b), KeyFor(tp.p, b), KeyFor(tp.o, b),
                   [&](const Triple& t) {
+                    ++scanned;
                     Binding extended = b;
                     if (ExtendBinding(tp, t, &extended)) {
                       next.push_back(std::move(extended));
@@ -101,9 +128,12 @@ BindingSet ExtendBindings(const Graph& graph,
                     return true;
                   });
     }
+    produced += next.size();  // intermediate result size after this join
     current = std::move(next);
     if (current.empty()) break;
   }
+  PatternMatchCounter().Add(scanned);
+  BindingCounter().Add(produced);
   return current;
 }
 
@@ -118,6 +148,7 @@ std::optional<Binding> MatchTriple(const TriplePattern& tp, const Triple& t) {
 
 BindingSet EvalGraphPattern(const Graph& graph, const GraphPattern& gp,
                             const EvalOptions& options) {
+  BgpEvalCounter().Increment();
   // ⟦empty AND⟧ = { µ∅ }: the neutral element of the join.
   if (gp.empty()) return {Binding()};
   return ExtendBindings(graph, gp.patterns(), {Binding()}, options);

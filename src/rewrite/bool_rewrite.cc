@@ -1,5 +1,6 @@
 #include "rewrite/bool_rewrite.h"
 
+#include "obs/trace.h"
 #include "peer/equivalence.h"
 
 namespace rps {
@@ -8,6 +9,7 @@ Result<RpsRewriteResult> RewriteGraphQuery(const RpsSystem& system,
                                            const GraphPatternQuery& query,
                                            const RpsRewriteOptions& options) {
   RPS_RETURN_IF_ERROR(query.Validate());
+  obs::AutoSpan span("rewrite.graph_query");
   PredTable preds;
   PredId tt = preds.Intern("tt", 3);
   PredId rt = preds.Intern("rt", 1);
@@ -57,9 +59,11 @@ Result<RpsRewriteResult> RewriteGraphQuery(const RpsSystem& system,
 Result<RewriteAnswers> CertainAnswersViaRewriting(
     const RpsSystem& system, const GraphPatternQuery& query,
     const RpsRewriteOptions& options) {
+  obs::AutoSpan span("answer.rewrite");
   RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
                        RewriteGraphQuery(system, query, options));
   RewriteAnswers out;
+  obs::AutoSpan eval_span("rewrite.eval_ucq");
   Graph stored = system.StoredDatabase();
   if (rewritten.canonical_terms) {
     EquivalenceClosure closure(system.equivalences(), *system.dict());

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rps {
 
 std::vector<VarId> ConjunctiveQuery::HeadVars() const {
@@ -287,6 +290,9 @@ Result<RewriteResult> RewriteUnderTgds(const ConjunctiveQuery& query,
                                        const PredTable& preds, VarPool* vars,
                                        const RewriteOptions& options) {
   RewriteResult result;
+  obs::Registry& reg = obs::Registry::Global();
+  obs::ScopedTimerMs run_timer(reg.histogram("rewrite.run_ms"));
+  obs::AutoSpan span("rewrite.ucq");
   std::deque<ConjunctiveQuery> queue;
   std::unordered_set<std::string> seen;
   std::vector<ConjunctiveQuery> explored;
@@ -356,7 +362,9 @@ Result<RewriteResult> RewriteUnderTgds(const ConjunctiveQuery& query,
           for (const Atom& atom : cq.body) {
             factored.body.push_back(ApplySubst(*mgu, atom));
           }
+          size_t generated_before = result.generated;
           if (!push(std::move(factored))) budget_ok = false;
+          if (result.generated > generated_before) ++result.factorized;
         }
       }
     }
@@ -389,6 +397,19 @@ Result<RewriteResult> RewriteUnderTgds(const ConjunctiveQuery& query,
     }
     result.ucq = std::move(kept);
   }
+
+  reg.counter("rewrite.runs")->Increment();
+  reg.counter("rewrite.steps")->Add(result.steps);
+  reg.counter("rewrite.generated")->Add(result.generated);
+  reg.counter("rewrite.factorized")->Add(result.factorized);
+  reg.counter("rewrite.pruned")->Add(result.pruned);
+  reg.counter("rewrite.ucq_disjuncts")->Add(result.ucq.size());
+  reg.counter(result.complete ? "rewrite.term.fixpoint"
+                              : "rewrite.term.budget_exhausted")
+      ->Increment();
+  span.Annotate("steps", result.steps);
+  span.Annotate("generated", result.generated);
+  span.Annotate("ucq_disjuncts", result.ucq.size());
   return result;
 }
 

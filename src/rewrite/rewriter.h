@@ -67,8 +67,9 @@ struct RewriteResult {
   /// set kept generating new CQs — the Proposition 3 behaviour.
   bool complete = false;
   size_t steps = 0;
-  size_t generated = 0;  // distinct CQs generated (pre-minimization)
-  size_t pruned = 0;     // CQs removed by subsumption minimization
+  size_t generated = 0;    // distinct CQs generated (pre-minimization)
+  size_t factorized = 0;   // distinct CQs produced by the factorization step
+  size_t pruned = 0;       // CQs removed by subsumption minimization
 };
 
 /// Normalizes arbitrary TGDs into the restricted class required by

@@ -15,6 +15,7 @@
 ///  * rewrite/  — UCQ perfect rewriting, Boolean-query rewriting
 ///  * federation/ — simulated peer network and federated execution
 ///  * gen/      — synthetic workload generators and the paper's example
+///  * obs/      — metrics counters, trace spans, EXPLAIN query reports
 
 #include "chase/relational_chase.h"
 #include "config/mapping_dsl.h"
@@ -28,6 +29,9 @@
 #include "federation/peer_node.h"
 #include "gen/generators.h"
 #include "gen/paper_example.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/ntriples.h"
 #include "parser/sparql.h"
 #include "parser/turtle.h"

@@ -1,0 +1,113 @@
+#include "obs/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/rps_chase.h"
+#include "gen/paper_example.h"
+#include "obs/metrics.h"
+
+namespace rps {
+namespace {
+
+// The chase must report its work through the metrics registry, and the
+// registry deltas must agree with the structured RpsChaseStats it returns.
+TEST(ChaseInstrumentationTest, RegistryDeltaMatchesChaseStats) {
+  PaperExample ex = BuildPaperExample();
+  obs::Registry& reg = obs::Registry::Global();
+  obs::MetricsSnapshot before = reg.Snapshot();
+
+  Graph universal(ex.system->dict());
+  Result<RpsChaseStats> stats = BuildUniversalSolution(*ex.system,
+                                                       &universal);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->completed);
+
+  obs::MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counter("chase.runs"), 1u);
+  EXPECT_EQ(delta.counter("chase.rounds"), stats->rounds);
+  EXPECT_EQ(delta.counter("chase.triples_added"), stats->triples_added);
+  EXPECT_EQ(delta.counter("chase.nulls_created"), stats->blanks_created);
+  EXPECT_EQ(delta.counter("chase.gma_firings"), stats->gma_firings);
+  EXPECT_EQ(delta.counter("chase.eq_triples"), stats->eq_triples);
+  EXPECT_EQ(delta.counter("chase.term.fixpoint"), 1u);
+  EXPECT_EQ(delta.counter("chase.term.budget_exhausted"), 0u);
+  // The paper example's one mapping is labelled Q2->Q1; its firings are
+  // attributed per mapping.
+  EXPECT_EQ(delta.counter("chase.gma_firings{Q2->Q1}"),
+            stats->gma_firings);
+  // Fig. 1 ground truth: two rounds, two labelled nulls.
+  EXPECT_EQ(delta.counter("chase.rounds"), 2u);
+  EXPECT_EQ(delta.counter("chase.nulls_created"), 2u);
+}
+
+TEST(ExplainTest, ChaseEngineReportCoversAlgorithm1) {
+  PaperExample ex = BuildPaperExample();
+  Result<ExplainReport> report = ExplainQuery(*ex.system, ex.query);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // Example 1 has six certain answers.
+  EXPECT_EQ(report->answers.size(), 6u);
+  EXPECT_EQ(report->chase_stats.rounds, 2u);
+  EXPECT_EQ(report->chase_stats.blanks_created, 2u);
+  EXPECT_TRUE(report->chase_stats.completed);
+  EXPECT_GT(report->universal_solution_size, 0u);
+
+  // The metrics delta is isolated to this query.
+  EXPECT_EQ(report->metrics.counter("chase.runs"), 1u);
+  EXPECT_EQ(report->metrics.counter("chase.rounds"),
+            report->chase_stats.rounds);
+  EXPECT_EQ(report->metrics.counter("chase.gma_firings{Q2->Q1}"),
+            report->chase_stats.gma_firings);
+  EXPECT_GT(report->metrics.counter("eval.pattern_matches"), 0u);
+
+  // The rendered report names the acceptance-critical facts.
+  EXPECT_NE(report->text.find("EXPLAIN (engine=chase)"),
+            std::string::npos);
+  EXPECT_NE(report->text.find("rounds"), std::string::npos);
+  EXPECT_NE(report->text.find("facts derived"), std::string::npos);
+  EXPECT_NE(report->text.find("nulls created"), std::string::npos);
+  EXPECT_NE(report->text.find("per-mapping TGD firings"),
+            std::string::npos);
+  EXPECT_NE(report->text.find("Q2->Q1"), std::string::npos);
+
+  // The trace tree recorded the chase under the answering span.
+  EXPECT_NE(report->trace_text.find("answer.chase"), std::string::npos);
+  EXPECT_NE(report->trace_text.find("chase.graph"), std::string::npos);
+  EXPECT_NE(report->trace_json.find("\"answer.chase\""),
+            std::string::npos);
+}
+
+TEST(ExplainTest, RewriteEngineReportCoversProp2) {
+  PaperExample ex = BuildPaperExample();
+  ExplainOptions options;
+  options.engine = ExplainEngine::kRewrite;
+  Result<ExplainReport> report = ExplainQuery(*ex.system, ex.query,
+                                              options);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->answers.size(), 6u);
+  EXPECT_TRUE(report->rewrite_stats.complete);
+  EXPECT_GT(report->rewrite_stats.ucq.size(), 0u);
+  EXPECT_NE(report->text.find("EXPLAIN (engine=rewrite)"),
+            std::string::npos);
+  EXPECT_NE(report->text.find("UCQ disjuncts"), std::string::npos);
+  EXPECT_EQ(report->metrics.counter("rewrite.runs"), 1u);
+  EXPECT_NE(report->trace_text.find("rewrite"), std::string::npos);
+}
+
+TEST(ExplainTest, UnionFindEngineAgreesOnAnswers) {
+  PaperExample ex = BuildPaperExample();
+  ExplainOptions options;
+  options.engine = ExplainEngine::kUnionFind;
+  Result<ExplainReport> report = ExplainQuery(*ex.system, ex.query,
+                                              options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->answers.size(), 6u);
+  EXPECT_NE(report->text.find("EXPLAIN (engine=unionfind)"),
+            std::string::npos);
+  EXPECT_NE(report->trace_text.find("answer.unionfind"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,225 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rps::obs {
+namespace {
+
+// The tests below share the process-global registry with everything else
+// in the binary, so each uses its own instrument names and asserts on
+// deltas, never on absolute global state.
+
+TEST(CounterTest, AddIncrementResetValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, StatsTrackCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.Stats().count, 0u);
+  EXPECT_EQ(h.Stats().mean(), 0.0);
+  h.Record(4.0);
+  h.Record(1.0);
+  h.Record(7.0);
+  HistogramStats s = h.Stats();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 12.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  h.Reset();
+  EXPECT_EQ(h.Stats().count, 0u);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  Histogram h;
+  h.Record(0.25);  // bucket 0: < 1
+  h.Record(1.0);   // bucket 1: [1, 2)
+  h.Record(1.9);   // bucket 1
+  h.Record(2.0);   // bucket 2: [2, 4)
+  h.Record(5.0);   // bucket 3: [4, 8)
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(4), 0u);
+  EXPECT_EQ(h.BucketCount(Histogram::kBuckets + 5), 0u);  // out of range
+  // Huge samples land in the last bucket instead of overflowing.
+  h.Record(1e30);
+  EXPECT_EQ(h.BucketCount(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(ScopedTimerTest, RecordsOneSampleOnDestruction) {
+  Histogram h;
+  { ScopedTimerMs timer(&h); }
+  HistogramStats s = h.Stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.sum, 0.0);
+}
+
+TEST(RegistryTest, LazyCreationAndStablePointers) {
+  Registry& reg = Registry::Global();
+  Counter* c = reg.counter("obs_test.stable");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reg.counter("obs_test.stable"), c);  // same instrument
+  uint64_t before = c->value();
+  c->Add(3);
+  EXPECT_EQ(reg.Snapshot().counter("obs_test.stable"), before + 3);
+  // Reset zeroes values but keeps registered pointers valid.
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  EXPECT_EQ(reg.Snapshot().counter("obs_test.stable"), 1u);
+}
+
+TEST(RegistryTest, SnapshotDeltaIsolatesOneOperation) {
+  Registry& reg = Registry::Global();
+  Counter* touched = reg.counter("obs_test.touched");
+  Counter* untouched = reg.counter("obs_test.untouched");
+  untouched->Increment();  // prior activity, must not appear in the delta
+
+  MetricsSnapshot before = reg.Snapshot();
+  touched->Add(5);
+  reg.histogram("obs_test.delta_hist")->Record(2.0);
+  MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counter("obs_test.touched"), 5u);
+  EXPECT_EQ(delta.counters.count("obs_test.untouched"), 0u);  // dropped
+  ASSERT_EQ(delta.histograms.count("obs_test.delta_hist"), 1u);
+  EXPECT_EQ(delta.histograms.at("obs_test.delta_hist").count, 1u);
+}
+
+TEST(RegistryTest, WithLabelFormatsDimension) {
+  EXPECT_EQ(WithLabel("chase.gma_firings", "Q2->Q1"),
+            "chase.gma_firings{Q2->Q1}");
+}
+
+TEST(RegistryTest, ReportersRenderCountersAndHistograms) {
+  MetricsSnapshot snap;
+  snap.counters["a.count"] = 7;
+  HistogramStats s;
+  s.count = 2;
+  s.sum = 10.0;
+  s.min = 4.0;
+  s.max = 6.0;
+  snap.histograms["a.run_ms"] = s;
+
+  std::string text = snap.ToText("  ");
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("mean=5ms"), std::string::npos);
+
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"a.count\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":10"), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreExact) {
+  Registry& reg = Registry::Global();
+  Counter* c = reg.counter("obs_test.concurrent");
+  uint64_t before = c->value();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Resolve through the registry too, to exercise the lookup lock.
+      Counter* mine = reg.counter("obs_test.concurrent");
+      for (int i = 0; i < kIncrements; ++i) mine->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->value() - before,
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(TracerTest, SpansFormATreeUnderTheRoot) {
+  Tracer tracer("unit");
+  SpanId outer = tracer.StartSpan("outer");
+  SpanId inner = tracer.StartSpan("inner", outer);
+  tracer.Annotate(inner, "rounds", "3");
+  tracer.EndSpan(inner);
+  tracer.EndSpan(outer);
+
+  std::vector<SpanView> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 3u);  // root + outer + inner
+  EXPECT_EQ(spans[0].name, "unit");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, tracer.root());
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[2].parent, outer);
+  EXPECT_FALSE(spans[2].open);
+  ASSERT_EQ(spans[2].notes.size(), 1u);
+  EXPECT_EQ(spans[2].notes[0].first, "rounds");
+
+  std::string text = tracer.ReportText();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("rounds=3"), std::string::npos);
+  std::string json = tracer.ReportJson();
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+TEST(TracerTest, AutoSpanIsANoOpWithoutAmbientTracer) {
+  ASSERT_EQ(Tracer::Active(), nullptr);
+  AutoSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Annotate("ignored", uint64_t{1});  // must not crash
+}
+
+TEST(TracerTest, TraceScopeInstallsAndRestoresAmbientTracer) {
+  EXPECT_EQ(Tracer::Active(), nullptr);
+  Tracer outer_tracer("outer");
+  {
+    TraceScope outer_scope(&outer_tracer);
+    EXPECT_EQ(Tracer::Active(), &outer_tracer);
+    AutoSpan a("a");
+    EXPECT_TRUE(a.active());
+    {
+      // Nested scope with its own tracer: spans go to the inner tracer,
+      // and the outer tracer's stack is restored afterwards.
+      Tracer inner_tracer("inner");
+      TraceScope inner_scope(&inner_tracer);
+      EXPECT_EQ(Tracer::Active(), &inner_tracer);
+      AutoSpan b("b");
+      EXPECT_TRUE(b.active());
+    }
+    EXPECT_EQ(Tracer::Active(), &outer_tracer);
+    AutoSpan c("c");  // must parent under "a", not under the inner tracer
+    EXPECT_TRUE(c.active());
+  }
+  EXPECT_EQ(Tracer::Active(), nullptr);
+
+  std::vector<SpanView> spans = outer_tracer.Spans();
+  ASSERT_EQ(spans.size(), 3u);  // root + a + c
+  EXPECT_EQ(spans[2].name, "c");
+  EXPECT_EQ(spans[2].parent, spans[1].id);  // c nested inside a
+}
+
+TEST(TracerTest, NestedAutoSpansParentToTheEnclosingSpan) {
+  Tracer tracer;
+  {
+    TraceScope scope(&tracer);
+    AutoSpan outer("outer");
+    { AutoSpan inner("inner"); }
+    { AutoSpan sibling("sibling"); }
+  }
+  std::vector<SpanView> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[2].parent, spans[1].id);  // inner under outer
+  EXPECT_EQ(spans[3].parent, spans[1].id);  // sibling under outer
+}
+
+}  // namespace
+}  // namespace rps::obs

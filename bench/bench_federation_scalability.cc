@@ -9,11 +9,14 @@
 #include "bench_util.h"
 #include "rps/rps.h"
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E9  federated query processing scalability (§5 prototype, simulated)",
       "\"sub-queries are posed to the relevant RDF sources and sub-query "
       "results are joined\"");
+  // `--threads=N` fans per-peer sub-queries out concurrently.
+  rps::FederationOptions fed_options;
+  fed_options.threads = rps_bench::ThreadsFromArgs(argc, argv);
 
   std::printf("Sweep 1: peer count (chain topology, 30 films/peer)\n");
   std::printf("%-7s %-9s %-9s %-10s %-10s %-11s %-12s %-10s\n", "peers",
@@ -28,7 +31,7 @@ int main() {
     rps::GraphPatternQuery q = rps::LodDemoQuery(sys.get(), config);
 
     rps::Federator fed(sys.get(), rps::LodTopology(config));
-    rps::Result<rps::FederatedQueryResult> r = fed.Execute(q);
+    rps::Result<rps::FederatedQueryResult> r = fed.Execute(q, fed_options);
     if (!r.ok()) {
       std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
       return 1;
@@ -64,7 +67,7 @@ int main() {
     rps::GraphPatternQuery q = rps::LodDemoQuery(sys.get(), config);
     rps::Topology topo = rps::LodTopology(config);
     rps::Federator fed(sys.get(), topo);
-    rps::Result<rps::FederatedQueryResult> r = fed.Execute(q);
+    rps::Result<rps::FederatedQueryResult> r = fed.Execute(q, fed_options);
     if (!r.ok()) return 1;
     std::printf("%-10s %-9zu %-10zu %-10zu %-11.1f %-12.2f\n",
                 topo.Describe().c_str(), r->answers.size(), r->subqueries,
@@ -105,7 +108,7 @@ int main() {
     rps::Federator fed(sys.get(), rps::LodTopology(config));
     for (auto strategy : {rps::JoinStrategy::kShipExtensions,
                           rps::JoinStrategy::kBindJoin}) {
-      rps::FederationOptions opts;
+      rps::FederationOptions opts = fed_options;
       opts.join_strategy = strategy;
       rps::Result<rps::FederatedQueryResult> r = fed.Execute(q, opts);
       if (!r.ok()) return 1;
@@ -145,9 +148,10 @@ int main() {
         rps::PatternTerm::Var(x)});
 
     rps::Federator fed(sys.get(), rps::LodTopology(config));
-    rps::Result<rps::FederatedQueryResult> distributed = fed.Execute(q);
+    rps::Result<rps::FederatedQueryResult> distributed =
+        fed.Execute(q, fed_options);
     rps::Result<rps::FederatedQueryResult> centralized =
-        fed.ExecuteCentralized(q);
+        fed.ExecuteCentralized(q, fed_options);
     if (!distributed.ok() || !centralized.ok()) return 1;
     std::printf("%-14s %-9zu %-10zu %-11.1f %-12.2f\n", "federated",
                 distributed->answers.size(), distributed->network.messages,

@@ -7,10 +7,12 @@
 #include "bench_util.h"
 #include "rps/rps.h"
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E1  Figure 1 + Example 1 — raw-source evaluation",
       "\"This query returns an empty result on the data of Figure 1\"");
+  rps::EvalOptions eval_options;
+  eval_options.threads = rps_bench::ThreadsFromArgs(argc, argv);
 
   rps::PaperExample ex = rps::BuildPaperExample();
   rps::Graph stored = ex.system->StoredDatabase();
@@ -22,8 +24,8 @@ int main() {
   std::printf("merged D        %zu\n\n", stored.size());
 
   rps_bench::Timer timer;
-  std::vector<rps::Tuple> raw =
-      rps::EvalQuery(stored, ex.query, rps::QuerySemantics::kDropBlanks);
+  std::vector<rps::Tuple> raw = rps::EvalQuery(
+      stored, ex.query, rps::QuerySemantics::kDropBlanks, eval_options);
   double eval_ms = timer.ElapsedMs();
 
   std::printf("query: %s\n",

@@ -39,10 +39,14 @@ bool Matches(const std::vector<rps::Tuple>& answers,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E2  Figure 2 + Listing 1 — universal solution & certain answers",
       "6 rows with redundancy; 3 rows without (Listing 1)");
+  size_t threads = rps_bench::ThreadsFromArgs(argc, argv);
+  rps::CertainAnswerOptions ca_options;
+  ca_options.chase.threads = threads;
+  ca_options.chase.eval.threads = threads;
 
   rps::PaperExample ex = rps::BuildPaperExample();
   const rps::Dictionary& dict = *ex.system->dict();
@@ -50,7 +54,7 @@ int main() {
   rps_bench::Timer timer;
   rps::Graph universal(ex.system->dict());
   rps::Result<rps::RpsChaseStats> stats =
-      rps::BuildUniversalSolution(*ex.system, &universal);
+      rps::BuildUniversalSolution(*ex.system, &universal, ca_options.chase);
   double chase_ms = timer.ElapsedMs();
   if (!stats.ok()) {
     std::fprintf(stderr, "chase failed: %s\n",
@@ -70,7 +74,7 @@ int main() {
   // Listing 1, with redundancy (naive Algorithm 1).
   timer.Reset();
   rps::Result<rps::CertainAnswerResult> redundant =
-      rps::CertainAnswers(*ex.system, ex.query);
+      rps::CertainAnswers(*ex.system, ex.query, ca_options);
   double answer_ms = timer.ElapsedMs();
   if (!redundant.ok()) return 1;
   bool match6 = Matches(redundant->answers, dict, kExpectedWithRedundancy, 6);
@@ -81,7 +85,7 @@ int main() {
               rps::FormatAnswers(redundant->answers, dict).c_str());
 
   // Listing 1, without redundancy (canonical representatives).
-  rps::CertainAnswerOptions compact;
+  rps::CertainAnswerOptions compact = ca_options;
   compact.equivalence_mode = rps::EquivalenceMode::kUnionFind;
   compact.expand_equivalent_answers = false;
   timer.Reset();
@@ -100,6 +104,7 @@ int main() {
   for (bool reorder : {false, true}) {
     rps::EvalOptions options;
     options.reorder_patterns = reorder;
+    options.threads = threads;
     timer.Reset();
     size_t checksum = 0;
     for (int i = 0; i < 10000; ++i) {

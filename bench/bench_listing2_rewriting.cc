@@ -9,10 +9,11 @@
 #include "bench_util.h"
 #include "rps/rps.h"
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E3  Listing 2 — Boolean query rewriting",
       "ASK false on sources; rewritten UNION true (Example 3)");
+  size_t threads = rps_bench::ThreadsFromArgs(argc, argv);
 
   rps::PaperExample ex = rps::BuildPaperExample();
   rps::Dictionary& dict = *ex.system->dict();
@@ -45,8 +46,11 @@ int main() {
 
   // Sweep: every certain answer must pass the Boolean check; wrong pairs
   // must not.
+  rps::CertainAnswerOptions truth_options;
+  truth_options.chase.threads = threads;
+  truth_options.chase.eval.threads = threads;
   rps::Result<rps::CertainAnswerResult> truth =
-      rps::CertainAnswers(*ex.system, ex.query);
+      rps::CertainAnswers(*ex.system, ex.query, truth_options);
   if (!truth.ok()) return 1;
 
   std::printf("%-55s %-8s %-8s %-8s\n", "candidate tuple", "before",

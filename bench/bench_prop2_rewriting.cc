@@ -9,10 +9,14 @@
 #include "bench_util.h"
 #include "rps/rps.h"
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E6  Proposition 2 — perfect UCQ rewriting for linear/sticky G",
       "\"we can generate a FO-query q^P such that q^P(D) = q(J)\"");
+  size_t threads = rps_bench::ThreadsFromArgs(argc, argv);
+  rps::CertainAnswerOptions ca_options;
+  ca_options.chase.threads = threads;
+  ca_options.chase.eval.threads = threads;
 
   std::printf("Perfectness check (rewriting answers == chase answers):\n");
   std::printf("%-28s %-10s %-10s %-10s\n", "system", "complete", "equal",
@@ -21,7 +25,7 @@ int main() {
   {
     rps::PaperExample ex = rps::BuildPaperExample();
     rps::Result<rps::CertainAnswerResult> chase =
-        rps::CertainAnswers(*ex.system, ex.query);
+        rps::CertainAnswers(*ex.system, ex.query, ca_options);
     rps::Result<rps::RewriteAnswers> rewritten =
         rps::CertainAnswersViaRewriting(*ex.system, ex.query);
     if (!chase.ok() || !rewritten.ok()) return 1;
@@ -36,7 +40,7 @@ int main() {
         rps::GenerateChainRps(peers, 10, 31);
     rps::GraphPatternQuery q = rps::ChainQuery(sys.get(), peers);
     rps::Result<rps::CertainAnswerResult> chase =
-        rps::CertainAnswers(*sys, q);
+        rps::CertainAnswers(*sys, q, ca_options);
     rps::Result<rps::RewriteAnswers> rewritten =
         rps::CertainAnswersViaRewriting(*sys, q);
     if (!chase.ok() || !rewritten.ok()) return 1;

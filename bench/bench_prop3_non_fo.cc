@@ -9,11 +9,15 @@
 #include "bench_util.h"
 #include "rps/rps.h"
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E7  Proposition 3 — no FO rewriting for general RPS mappings",
       "\"the sets of TGDs corresponding to the mapping assertions of RPSs "
       "are not FO-rewritable\"");
+  size_t threads = rps_bench::ThreadsFromArgs(argc, argv);
+  rps::CertainAnswerOptions ca_options;
+  ca_options.chase.threads = threads;
+  ca_options.chase.eval.threads = threads;
 
   std::printf("UCQ growth under increasing budgets (chain of 6 A-edges):\n");
   std::printf("%-12s %-12s %-12s %-12s\n", "budget", "branches", "explored",
@@ -44,7 +48,8 @@ int main() {
   std::unique_ptr<rps::RpsSystem> big =
       rps::GenerateTransitiveClosureSystem(14);
   rps::GraphPatternQuery bq = rps::TransitiveQuery(big.get());
-  rps::Result<rps::CertainAnswerResult> chase = rps::CertainAnswers(*big, bq);
+  rps::Result<rps::CertainAnswerResult> chase =
+      rps::CertainAnswers(*big, bq, ca_options);
   if (!chase.ok()) return 1;
   bool monotone_and_partial = true;
   size_t prev = 0;
@@ -74,7 +79,8 @@ int main() {
     std::unique_ptr<rps::RpsSystem> s = rps::GenerateTransitiveClosureSystem(n);
     rps::GraphPatternQuery tq = rps::TransitiveQuery(s.get());
     rps_bench::Timer timer;
-    rps::Result<rps::CertainAnswerResult> r = rps::CertainAnswers(*s, tq);
+    rps::Result<rps::CertainAnswerResult> r =
+        rps::CertainAnswers(*s, tq, ca_options);
     double ms = timer.ElapsedMs();
     if (!r.ok()) return 1;
     size_t expected = n * (n + 1) / 2;

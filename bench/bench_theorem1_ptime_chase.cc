@@ -11,10 +11,16 @@
 #include "bench_util.h"
 #include "rps/rps.h"
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E4  Theorem 1 — PTIME data complexity of the chase",
       "\"finding all certain answers ... has PTIME data complexity\"");
+  // `--threads=N` runs sweeps 1–3 on the parallel engine; sweep 4 always
+  // compares thread counts explicitly.
+  size_t threads = rps_bench::ThreadsFromArgs(argc, argv);
+  rps::CertainAnswerOptions ca_options;
+  ca_options.chase.threads = threads;
+  ca_options.chase.eval.threads = threads;
 
   std::printf(
       "Sweep 1: |D| grows (4 peers, chain mappings, sameAs links)\n");
@@ -34,8 +40,8 @@ int main() {
     size_t d_size = sys->StoredDatabase().size();
 
     rps_bench::Timer timer;
-    rps::Result<rps::CertainAnswerResult> result =
-        rps::CertainAnswers(*sys, rps::LodDemoQuery(sys.get(), config));
+    rps::Result<rps::CertainAnswerResult> result = rps::CertainAnswers(
+        *sys, rps::LodDemoQuery(sys.get(), config), ca_options);
     double ms = timer.ElapsedMs();
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -71,8 +77,8 @@ int main() {
     std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
     size_t d_size = sys->StoredDatabase().size();
     rps_bench::Timer timer;
-    rps::Result<rps::CertainAnswerResult> result =
-        rps::CertainAnswers(*sys, rps::LodDemoQuery(sys.get(), config));
+    rps::Result<rps::CertainAnswerResult> result = rps::CertainAnswers(
+        *sys, rps::LodDemoQuery(sys.get(), config), ca_options);
     double ms = timer.ElapsedMs();
     if (!result.ok()) return 1;
     std::printf("%-8zu %-10zu %-12zu %-10zu %-12.2f %-12zu\n", peers, d_size,
@@ -96,10 +102,12 @@ int main() {
 
     rps_bench::Timer t1;
     rps::Graph naive(sys->dict());
-    if (!rps::BuildUniversalSolution(*sys, &naive).ok()) return 1;
+    if (!rps::BuildUniversalSolution(*sys, &naive, ca_options.chase).ok()) {
+      return 1;
+    }
     double naive_ms = t1.ElapsedMs();
 
-    rps::RpsChaseOptions semi;
+    rps::RpsChaseOptions semi = ca_options.chase;
     semi.semi_naive = true;
     rps_bench::Timer t2;
     rps::Graph delta(sys->dict());
@@ -134,6 +142,57 @@ int main() {
     std::printf("%-8zu %-10zu %-12zu %-10zu %-12.2f %-10s\n", peers,
                 sys->StoredDatabase().size(), universal.size(),
                 stats->rounds, ms, stats->completed ? "yes" : "no");
+  }
+  std::printf(
+      "\nSweep 4: parallel chase engine — thread-count sweep on the largest "
+      "instance (400 films/peer, 4 peers)\n");
+  std::printf("%-9s %-10s %-12s %-12s %-10s %-10s %-12s\n", "threads", "|D|",
+              "|J|", "chase_ms", "speedup", "answers", "identical");
+  {
+    rps::LodConfig config;
+    config.num_peers = 4;
+    config.films_per_peer = 400;
+    config.actors_per_film = 2;
+    config.overlap_fraction = 0.25;
+    config.seed = 11;
+    std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+    rps::GraphPatternQuery q = rps::LodDemoQuery(sys.get(), config);
+    size_t d_size = sys->StoredDatabase().size();
+
+    // Answers are sorted by CertainAnswers, so equality below is a
+    // byte-identical comparison against the serial baseline.
+    std::vector<rps::Tuple> baseline;
+    double serial_ms = 0.0;
+    bool identical = true;
+    for (size_t t : {1u, 2u, 4u}) {
+      rps::CertainAnswerOptions options;
+      options.chase.threads = t;
+      options.chase.eval.threads = t;
+      rps_bench::Timer timer;
+      rps::Result<rps::CertainAnswerResult> result =
+          rps::CertainAnswers(*sys, q, options);
+      double ms = timer.ElapsedMs();
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      bool equal = true;
+      if (t == 1) {
+        baseline = result->answers;
+        serial_ms = ms;
+      } else {
+        equal = result->answers == baseline;
+        identical = identical && equal;
+      }
+      std::printf("%-9zu %-10zu %-12zu %-12.2f %-10.2f %-10zu %-12s\n", t,
+                  d_size, result->universal_solution_size, ms,
+                  ms > 0.0 ? serial_ms / ms : 0.0, result->answers.size(),
+                  equal ? "yes" : "NO");
+    }
+    std::printf("=> sorted certain answers byte-identical across thread "
+                "counts: [%s]\n",
+                identical ? "MATCH" : "MISMATCH");
+    if (!identical) return 1;
   }
   rps_bench::PrintMetricsJson("theorem1_ptime_chase");
   return 0;

@@ -31,11 +31,15 @@ rps::GraphPatternQuery SelectiveQuery(rps::RpsSystem* sys, size_t peers,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   rps_bench::PrintHeader(
       "E8  chase materialization vs rewriting (§5 future-work study)",
       "\"materialising the universal solution ... may be impractical ... a "
       "more efficient approach would involve a rewriting\"");
+  size_t threads = rps_bench::ThreadsFromArgs(argc, argv);
+  rps::CertainAnswerOptions ca_options;
+  ca_options.chase.threads = threads;
+  ca_options.chase.eval.threads = threads;
 
   const size_t kPeers = 4;
 
@@ -48,7 +52,8 @@ int main() {
     rps::GraphPatternQuery q = rps::ChainQuery(sys.get(), kPeers);
 
     rps_bench::Timer t1;
-    rps::Result<rps::CertainAnswerResult> chase = rps::CertainAnswers(*sys, q);
+    rps::Result<rps::CertainAnswerResult> chase =
+        rps::CertainAnswers(*sys, q, ca_options);
     double chase_ms = t1.ElapsedMs();
 
     rps_bench::Timer t2;
@@ -75,7 +80,7 @@ int main() {
   rps_bench::Timer build_timer;
   rps::Graph universal(sys->dict());
   rps::Result<rps::RpsChaseStats> build =
-      rps::BuildUniversalSolution(*sys, &universal);
+      rps::BuildUniversalSolution(*sys, &universal, ca_options.chase);
   double build_ms = build_timer.ElapsedMs();
   if (!build.ok()) return 1;
 

@@ -3,6 +3,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "obs/metrics.h"
 
@@ -23,6 +25,19 @@ class Timer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Parses an optional `--threads=N` harness argument (parallel chase /
+/// evaluation / federation engine). Returns `fallback` when absent or
+/// not a positive number, so every harness stays runnable with no args.
+inline size_t ThreadsFromArgs(int argc, char** argv, size_t fallback = 1) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      int parsed = std::atoi(argv[i] + 10);
+      if (parsed > 0) return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
+}
 
 inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("================================================================\n");

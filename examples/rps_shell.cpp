@@ -5,6 +5,9 @@
 //   rps_shell <config.rps> [query.sparql | -e 'SPARQL'] [options]
 //
 //   --engine=chase|unionfind|rewrite|datalog   answering engine
+//   --threads=N                                parallel chase / evaluation
+//                                              engine (N > 1; chase and
+//                                              unionfind engines)
 //   --extended                                 allow OPTIONAL / FILTER
 //   --show-mappings                            print the loaded system
 //   --explain                                  print an EXPLAIN report:
@@ -18,6 +21,7 @@
 //   rps_shell data/paper.rps -e 'SELECT ?x ?y WHERE { ... }' --engine=rewrite
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -28,8 +32,8 @@ namespace {
 int Usage() {
   std::printf(
       "usage: rps_shell <config.rps> [query.sparql | -e 'SPARQL'] "
-      "[--engine=chase|unionfind|rewrite|datalog] [--extended] "
-      "[--show-mappings] [--explain]\n\n"
+      "[--engine=chase|unionfind|rewrite|datalog] [--threads=N] "
+      "[--extended] [--show-mappings] [--explain]\n\n"
       "Loads an RDF Peer System from a mapping-DSL configuration and\n"
       "answers SPARQL queries with certain-answer semantics.\n"
       "Try: rps_shell data/paper.rps data/listing1.sparql\n");
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string query_text;
   std::string engine = "chase";
+  size_t threads = 1;
   bool extended = false;
   bool show_mappings = false;
   bool explain = false;
@@ -54,6 +59,9 @@ int main(int argc, char** argv) {
       query_text = argv[++i];
     } else if (arg.rfind("--engine=", 0) == 0) {
       engine = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      int parsed = std::atoi(arg.c_str() + 10);
+      threads = parsed > 1 ? static_cast<size_t>(parsed) : 1;
     } else if (arg == "--extended") {
       extended = true;
     } else if (arg == "--show-mappings") {
@@ -121,8 +129,11 @@ int main(int argc, char** argv) {
                    parsed.status().ToString().c_str());
       return 1;
     }
+    rps::CertainAnswerOptions ext_options;
+    ext_options.chase.threads = threads;
+    ext_options.chase.eval.threads = threads;
     rps::Result<rps::ExtendedAnswerResult> result =
-        rps::ExtendedCertainAnswers(system, parsed->query);
+        rps::ExtendedCertainAnswers(system, parsed->query, ext_options);
     if (!result.ok()) {
       std::fprintf(stderr, "answering: %s\n",
                    result.status().ToString().c_str());
@@ -182,6 +193,8 @@ int main(int argc, char** argv) {
     if (engine == "unionfind") {
       options.equivalence_mode = rps::EquivalenceMode::kUnionFind;
     }
+    options.chase.threads = threads;
+    options.chase.eval.threads = threads;
     rps::Result<rps::CertainAnswerResult> result =
         rps::CertainAnswers(system, query, options);
     if (!result.ok()) {

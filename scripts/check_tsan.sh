@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# check_tsan.sh — run the concurrency-sensitive test suites under
+# ThreadSanitizer.
+#
+# The parallel chase/eval engine (util/thread_pool.h and the
+# threads-option paths of rps_chase.cc, eval.cc, federator.cc) is only
+# trustworthy if its evaluate-phase tasks really are data-race free.
+# This script configures the `tsan` preset into build-tsan/, builds the
+# suites that exercise the pool, and runs them with TSAN_OPTIONS set to
+# fail on the first report.
+#
+# Runs as a ctest test (check_tsan, see the top-level CMakeLists.txt);
+# also runnable standalone:
+#
+#   scripts/check_tsan.sh
+#
+# Exit status: 0 on a clean run, 77 (ctest SKIP_RETURN_CODE) when the
+# toolchain cannot produce working TSan binaries, 1 on build failure or
+# any race report.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+build_dir="build-tsan"
+
+# --- Probe: can this toolchain compile, link and run -fsanitize=thread? ---
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cc" <<'EOF'
+#include <thread>
+int main() {
+  int x = 0;
+  std::thread t([&] { x = 1; });
+  t.join();
+  return x - 1;
+}
+EOF
+cxx="${CXX:-c++}"
+if ! "$cxx" -fsanitize=thread -g -o "$probe_dir/probe" "$probe_dir/probe.cc" \
+      >/dev/null 2>&1; then
+  echo "check_tsan: SKIP ($cxx cannot compile/link -fsanitize=thread)"
+  exit 77
+fi
+if ! "$probe_dir/probe" >/dev/null 2>&1; then
+  echo "check_tsan: SKIP (TSan runtime does not work on this machine)"
+  exit 77
+fi
+
+# --- Configure + build the tsan tree. ---
+targets=(thread_pool_test rps_chase_test eval_test federation_test property_test)
+
+if ! cmake --preset tsan >/dev/null; then
+  echo "check_tsan: FAIL (cmake configure of the tsan preset failed)"
+  exit 1
+fi
+if ! cmake --build "$build_dir" -j "$(nproc)" --target "${targets[@]}"; then
+  echo "check_tsan: FAIL (tsan build failed)"
+  exit 1
+fi
+
+# --- Run. halt_on_error turns any race report into a nonzero exit. ---
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+failures=0
+for t in thread_pool_test rps_chase_test eval_test federation_test; do
+  echo "check_tsan: running $t"
+  if ! "$build_dir/tests/$t" >/dev/null; then
+    echo "check_tsan: FAIL ($t reported a race or failed under TSan)"
+    failures=$((failures + 1))
+  fi
+done
+
+# property_test is the expensive suite; only its parallel-parity cases
+# stress the pool, so restrict to those.
+echo "check_tsan: running property_test --gtest_filter='*Parallel*'"
+if ! "$build_dir/tests/property_test" --gtest_filter='*Parallel*' >/dev/null; then
+  echo "check_tsan: FAIL (property_test parallel cases under TSan)"
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_tsan: $failures suite(s) failed"
+  exit 1
+fi
+echo "check_tsan: OK (no data races in ${#targets[@]} suites)"

@@ -3,9 +3,11 @@
 #include <functional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace rps {
 
@@ -98,6 +100,210 @@ std::string EquivalenceLabel(const Dictionary& dict,
   return dict.ToString(eq.left) + " = " + dict.ToString(eq.right);
 }
 
+// Fires `gma` for head tuple `t`: instantiates the to-body with fresh
+// blank nodes for the existential variables and inserts it. Newly added
+// triples are recorded in provenance and appended to `new_triples` (when
+// non-null — the semi-naive schedules feed them into the next delta).
+void FireGma(Graph* out, Dictionary* dict, const GraphMappingAssertion& gma,
+             const Tuple& t, const std::vector<Triple>& premises,
+             RpsChaseStats* stats, ProvenanceMap* provenance,
+             std::vector<Triple>* new_triples) {
+  std::unordered_map<VarId, TermId> assignment;
+  for (size_t i = 0; i < gma.to.head.size(); ++i) {
+    assignment[gma.to.head[i]] = t[i];
+  }
+  for (const TriplePattern& tp : gma.to.body.patterns()) {
+    auto materialize = [&](const PatternTerm& pt) -> TermId {
+      if (pt.is_const()) return pt.term();
+      auto it = assignment.find(pt.var());
+      if (it != assignment.end()) return it->second;
+      TermId fresh = dict->NewBlank();
+      ++stats->blanks_created;
+      assignment.emplace(pt.var(), fresh);
+      return fresh;
+    };
+    Triple triple{materialize(tp.s), materialize(tp.p), materialize(tp.o)};
+    if (out->InsertUnchecked(triple)) {
+      ++stats->triples_added;
+      if (new_triples != nullptr) new_triples->push_back(triple);
+      Record(provenance, triple,
+             TripleDerivation{TripleDerivation::Kind::kGma, gma.label,
+                              premises});
+    }
+  }
+  ++stats->gma_firings;
+  GmaFiringCounter(gma)->Increment();
+}
+
+// Equivalence phase of a naive round: mutual neighbourhood copying for
+// every mapping (the six switch blocks of Algorithm 1, Q* semantics —
+// blank nodes are copied as-is). The triple budget is enforced per
+// insertion, so a budget-aborted run never grows J past max_triples on
+// this path. Returns whether any triple was added.
+Result<bool> CopyEquivalenceNeighbourhoods(
+    Graph* out, const std::vector<EquivalenceMapping>& equivalences,
+    const RpsChaseOptions& options, RpsChaseStats* stats) {
+  Dictionary* dict = out->dict();
+  bool progress = false;
+  for (const EquivalenceMapping& eq : equivalences) {
+    for (int position = 0; position < 3; ++position) {
+      for (auto [from, to] : {std::pair(eq.left, eq.right),
+                              std::pair(eq.right, eq.left)}) {
+        std::optional<TermId> s, p, o;
+        if (position == 0) s = from;
+        if (position == 1) p = from;
+        if (position == 2) o = from;
+        // Materialize matches first: we mutate `out` while copying.
+        std::vector<Triple> matches = out->MatchAll(s, p, o);
+        for (const Triple& t : matches) {
+          Triple copied = t;
+          if (position == 0) copied.s = to;
+          if (position == 1) copied.p = to;
+          if (position == 2) copied.o = to;
+          if (out->Contains(copied)) continue;
+          if (out->size() >= options.max_triples) {
+            return Status::ResourceExhausted(
+                "rps chase: max_triples reached");
+          }
+          out->InsertUnchecked(copied);
+          ++stats->triples_added;
+          ++stats->eq_triples;
+          progress = true;
+          if (options.provenance != nullptr) {
+            Record(options.provenance, copied,
+                   TripleDerivation{TripleDerivation::Kind::kEquivalence,
+                                    EquivalenceLabel(*dict, eq), {t}});
+          }
+        }
+      }
+    }
+  }
+  return progress;
+}
+
+// One Algorithm-1 equivalence copy step of the semi-naive schedule: the
+// delta triple `t` is copied with `to` substituted for `from` at every
+// position where `from` occurs, for both orientations of `eq`. Budget is
+// enforced per insertion and eq_triples is bumped at the insertion
+// itself, so an early ResourceExhausted return still leaves a consistent
+// eq_triples / triples_added pair for the metrics flusher.
+Status CopyDeltaTriple(Graph* out, const Triple& t,
+                       const EquivalenceMapping& eq,
+                       const RpsChaseOptions& options, RpsChaseStats* stats,
+                       std::vector<Triple>* next_delta) {
+  const Dictionary& dict = *out->dict();
+  auto copy_if = [&](TermId from, TermId to) -> Status {
+    Triple candidates[3];
+    size_t n = 0;
+    if (t.s == from) candidates[n++] = Triple{to, t.p, t.o};
+    if (t.p == from) candidates[n++] = Triple{t.s, to, t.o};
+    if (t.o == from) candidates[n++] = Triple{t.s, t.p, to};
+    for (size_t i = 0; i < n; ++i) {
+      const Triple& copied = candidates[i];
+      if (out->Contains(copied)) continue;
+      if (out->size() >= options.max_triples) {
+        return Status::ResourceExhausted("delta chase: max_triples reached");
+      }
+      out->InsertUnchecked(copied);
+      ++stats->triples_added;
+      ++stats->eq_triples;
+      next_delta->push_back(copied);
+      if (options.provenance != nullptr) {
+        Record(options.provenance, copied,
+               TripleDerivation{TripleDerivation::Kind::kEquivalence,
+                                EquivalenceLabel(dict, eq), {t}});
+      }
+    }
+    return Status();
+  };
+  RPS_RETURN_IF_ERROR(copy_if(eq.left, eq.right));
+  return copy_if(eq.right, eq.left);
+}
+
+// A GMA head tuple that survived the snapshot membership precheck, plus
+// its provenance witness (both computed read-only in the parallel phase).
+struct GmaCandidate {
+  Tuple tuple;
+  std::vector<Triple> premises;
+};
+
+// Appends `t` to `candidates` unless Q'(t) already holds in `snapshot`.
+// The precheck is exact for skipping: J only grows, so a tuple satisfied
+// in the snapshot is still satisfied at the barrier. Survivors are
+// re-checked under the barrier before firing.
+void ConsiderCandidate(const Graph& snapshot,
+                       const GraphMappingAssertion& gma, const Tuple& t,
+                       const RpsChaseOptions& options,
+                       std::vector<GmaCandidate>* candidates) {
+  GraphPattern check = SubstituteHead(gma.to, t);
+  if (!EvalGraphPattern(snapshot, check, options.eval).empty()) return;
+  GmaCandidate c;
+  c.tuple = t;
+  if (options.provenance != nullptr) {
+    GraphPattern from_check = SubstituteHead(gma.from, t);
+    BindingSet witnesses =
+        EvalGraphPattern(snapshot, from_check, options.eval);
+    if (!witnesses.empty()) {
+      c.premises = InstantiateBody(gma.from, t, witnesses.front());
+    }
+  }
+  candidates->push_back(std::move(c));
+}
+
+// Applies one candidate under the single-writer barrier: re-checks Q'
+// membership against the live graph (an earlier firing this round may
+// have satisfied it), enforces the pre-firing triple budget, then fires.
+// Returns whether the firing happened.
+Result<bool> ApplyCandidate(Graph* out, Dictionary* dict,
+                            const GraphMappingAssertion& gma,
+                            const GmaCandidate& c,
+                            const RpsChaseOptions& options,
+                            RpsChaseStats* stats,
+                            std::vector<Triple>* new_triples,
+                            const char* budget_message) {
+  GraphPattern check = SubstituteHead(gma.to, c.tuple);
+  if (!EvalGraphPattern(*out, check, options.eval).empty()) return false;
+  if (out->size() >= options.max_triples) {
+    return Status::ResourceExhausted(budget_message);
+  }
+  FireGma(out, dict, gma, c.tuple, c.premises, stats, options.provenance,
+          new_triples);
+  return true;
+}
+
+// Distinct head tuples with non-blank values (the rt guards of the §3
+// encoding) from a set of body solutions, in sorted order.
+std::set<Tuple> DistinctHeadTuples(const GraphPatternQuery& from,
+                                   const BindingSet& solutions,
+                                   const Dictionary& dict) {
+  std::set<Tuple> tuples;
+  for (const Binding& b : solutions) {
+    Tuple tuple;
+    bool keep = true;
+    for (VarId v : from.head) {
+      std::optional<TermId> value = b.Get(v);
+      if (!value.has_value() || dict.IsBlank(*value)) {
+        keep = false;
+        break;
+      }
+      tuple.push_back(*value);
+    }
+    if (keep) tuples.insert(std::move(tuple));
+  }
+  return tuples;
+}
+
+void AnnotateRun(obs::AutoSpan* span, const RpsChaseStats& stats,
+                 const RpsChaseOptions& options, size_t parallel_tasks) {
+  span->Annotate("rounds", stats.rounds);
+  span->Annotate("triples_added", stats.triples_added);
+  span->Annotate("nulls_created", stats.blanks_created);
+  if (options.threads > 1) {
+    span->Annotate("threads", static_cast<uint64_t>(options.threads));
+    span->Annotate("parallel_tasks", static_cast<uint64_t>(parallel_tasks));
+  }
+}
+
 }  // namespace
 
 Result<RpsChaseStats> BuildUniversalSolution(const RpsSystem& system,
@@ -138,9 +344,14 @@ Result<RpsChaseStats> ChaseGraph(
   Dictionary* dict = out->dict();
   RpsChaseStats stats;
   ChaseMetricsFlusher flusher(&stats);
-  obs::ScopedTimerMs run_timer(
-      obs::Registry::Global().histogram("chase.run_ms"));
+  obs::Registry& reg = obs::Registry::Global();
+  obs::ScopedTimerMs run_timer(reg.histogram("chase.run_ms"));
   obs::AutoSpan span("chase.graph");
+  const bool parallel = options.threads > 1;
+  size_t parallel_tasks = 0;
+  if (parallel) {
+    reg.counter("chase.parallel.threads")->Add(options.threads);
+  }
 
   bool progress = true;
   while (progress) {
@@ -150,102 +361,83 @@ Result<RpsChaseStats> ChaseGraph(
     }
     ++stats.rounds;
 
-    // Graph mapping assertions: Q_J ⊆ Q'_J.
-    for (const GraphMappingAssertion& gma : graph_mappings) {
-      // Q_J under the blank-dropping semantics: the rt(x) guard atoms of
-      // the §3 encoding are exactly "head values are not blank nodes".
-      std::vector<Tuple> q_result =
-          EvalQuery(*out, gma.from, QuerySemantics::kDropBlanks,
-                    options.eval);
-      for (const Tuple& t : q_result) {
-        // Membership of t in Q'_J: does the body of Q' with head := t
-        // match J (existentials may bind anything, including blanks)?
-        GraphPattern check = SubstituteHead(gma.to, t);
-        BindingSet witnesses = EvalGraphPattern(*out, check, options.eval);
-        if (!witnesses.empty()) continue;
+    if (!parallel) {
+      // Graph mapping assertions, serial (Gauss–Seidel within the round:
+      // each mapping sees the insertions of the previous ones).
+      for (const GraphMappingAssertion& gma : graph_mappings) {
+        // Q_J under the blank-dropping semantics: the rt(x) guard atoms
+        // of the §3 encoding are exactly "head values are not blanks".
+        std::vector<Tuple> q_result = EvalQuery(
+            *out, gma.from, QuerySemantics::kDropBlanks, options.eval);
+        for (const Tuple& t : q_result) {
+          // Membership of t in Q'_J: does the body of Q' with head := t
+          // match J (existentials may bind anything, including blanks)?
+          GraphPattern check = SubstituteHead(gma.to, t);
+          if (!EvalGraphPattern(*out, check, options.eval).empty()) {
+            continue;
+          }
+          if (out->size() >= options.max_triples) {
+            return Status::ResourceExhausted(
+                "rps chase: max_triples reached");
+          }
+          // Provenance: one witness instantiation of the Q body.
+          std::vector<Triple> premises;
+          if (options.provenance != nullptr) {
+            GraphPattern from_check = SubstituteHead(gma.from, t);
+            BindingSet from_witnesses =
+                EvalGraphPattern(*out, from_check, options.eval);
+            if (!from_witnesses.empty()) {
+              premises = InstantiateBody(gma.from, t, from_witnesses.front());
+            }
+          }
+          FireGma(out, dict, gma, t, premises, &stats, options.provenance,
+                  /*new_triples=*/nullptr);
+          progress = true;
+        }
+      }
+    } else {
+      // Parallel round (Jacobi): every mapping's premises are evaluated
+      // concurrently against the round-start snapshot of J — Phase 1 is
+      // strictly read-only. Insertions, fresh blanks, provenance and
+      // stats all happen afterwards under the single-writer barrier, in
+      // (mapping, tuple) order, so the result is deterministic and
+      // independent of the thread count.
+      std::vector<std::vector<GmaCandidate>> per_gma(graph_mappings.size());
+      ThreadPool::Global().ParallelFor(
+          graph_mappings.size(), options.threads, [&](size_t g) {
+            const GraphMappingAssertion& gma = graph_mappings[g];
+            std::vector<Tuple> q_result = EvalQuery(
+                *out, gma.from, QuerySemantics::kDropBlanks, options.eval);
+            for (const Tuple& t : q_result) {
+              ConsiderCandidate(*out, gma, t, options, &per_gma[g]);
+            }
+          });
+      parallel_tasks += graph_mappings.size();
+      reg.counter("chase.parallel.tasks")->Add(graph_mappings.size());
 
-        if (out->size() >= options.max_triples) {
-          return Status::ResourceExhausted("rps chase: max_triples reached");
+      obs::ScopedTimerMs barrier_timer(
+          reg.histogram("chase.parallel.barrier_ms"));
+      for (size_t g = 0; g < graph_mappings.size(); ++g) {
+        for (const GmaCandidate& c : per_gma[g]) {
+          RPS_ASSIGN_OR_RETURN(
+              bool fired,
+              ApplyCandidate(out, dict, graph_mappings[g], c, options,
+                             &stats, /*new_triples=*/nullptr,
+                             "rps chase: max_triples reached"));
+          progress = progress || fired;
         }
-        // Provenance: one witness instantiation of the Q body.
-        std::vector<Triple> premises;
-        if (options.provenance != nullptr) {
-          GraphPattern from_check = SubstituteHead(gma.from, t);
-          BindingSet from_witnesses =
-              EvalGraphPattern(*out, from_check, options.eval);
-          if (!from_witnesses.empty()) {
-            premises = InstantiateBody(gma.from, t, from_witnesses.front());
-          }
-        }
-        // Fire: instantiate Q' with fresh blank nodes for existentials.
-        std::unordered_map<VarId, TermId> assignment;
-        for (size_t i = 0; i < gma.to.head.size(); ++i) {
-          assignment[gma.to.head[i]] = t[i];
-        }
-        for (const TriplePattern& tp : gma.to.body.patterns()) {
-          auto materialize = [&](const PatternTerm& pt) -> TermId {
-            if (pt.is_const()) return pt.term();
-            auto it = assignment.find(pt.var());
-            if (it != assignment.end()) return it->second;
-            TermId fresh = dict->NewBlank();
-            ++stats.blanks_created;
-            assignment.emplace(pt.var(), fresh);
-            return fresh;
-          };
-          Triple triple{materialize(tp.s), materialize(tp.p),
-                        materialize(tp.o)};
-          if (out->InsertUnchecked(triple)) {
-            ++stats.triples_added;
-            Record(options.provenance, triple,
-                   TripleDerivation{TripleDerivation::Kind::kGma, gma.label,
-                                    premises});
-          }
-        }
-        ++stats.gma_firings;
-        GmaFiringCounter(gma)->Increment();
-        progress = true;
       }
     }
 
-    // Equivalence mappings: mutual neighbourhood copying (Q* semantics —
-    // blank nodes are copied as-is).
-    for (const EquivalenceMapping& eq : equivalences) {
-      auto copy_position = [&](TermId from, TermId to, int position) {
-        std::optional<TermId> s, p, o;
-        if (position == 0) s = from;
-        if (position == 1) p = from;
-        if (position == 2) o = from;
-        // Materialize matches first: we mutate `out` while copying.
-        std::vector<Triple> matches = out->MatchAll(s, p, o);
-        for (const Triple& t : matches) {
-          Triple copied = t;
-          if (position == 0) copied.s = to;
-          if (position == 1) copied.p = to;
-          if (position == 2) copied.o = to;
-          if (out->InsertUnchecked(copied)) {
-            ++stats.triples_added;
-            ++stats.eq_triples;
-            progress = true;
-            Record(options.provenance, copied,
-                   TripleDerivation{TripleDerivation::Kind::kEquivalence,
-                                    EquivalenceLabel(*dict, eq), {t}});
-          }
-        }
-      };
-      if (out->size() >= options.max_triples) {
-        return Status::ResourceExhausted("rps chase: max_triples reached");
-      }
-      for (int position = 0; position < 3; ++position) {
-        copy_position(eq.left, eq.right, position);
-        copy_position(eq.right, eq.left, position);
-      }
-    }
+    // Equivalence mappings: serial in both engines (insertion-dominated).
+    RPS_ASSIGN_OR_RETURN(
+        bool eq_progress,
+        CopyEquivalenceNeighbourhoods(out, equivalences, options, &stats));
+    progress = progress || eq_progress;
   }
 
   stats.completed = true;
-  span.Annotate("rounds", stats.rounds);
-  span.Annotate("triples_added", stats.triples_added);
-  span.Annotate("nulls_created", stats.blanks_created);
+  AnnotateRun(&span, stats, options, parallel_tasks);
   return stats;
 }
 
@@ -258,9 +450,14 @@ Result<RpsChaseStats> ChaseGraphDelta(
   const Dictionary& cdict = *dict;
   RpsChaseStats stats;
   ChaseMetricsFlusher flusher(&stats);
-  obs::ScopedTimerMs run_timer(
-      obs::Registry::Global().histogram("chase.run_ms"));
+  obs::Registry& reg = obs::Registry::Global();
+  obs::ScopedTimerMs run_timer(reg.histogram("chase.run_ms"));
   obs::AutoSpan span("chase.graph_delta");
+  const bool parallel = options.threads > 1;
+  size_t parallel_tasks = 0;
+  if (parallel) {
+    reg.counter("chase.parallel.threads")->Add(options.threads);
+  }
 
   while (!delta.empty()) {
     if (stats.rounds >= options.max_rounds) {
@@ -268,120 +465,111 @@ Result<RpsChaseStats> ChaseGraphDelta(
     }
     ++stats.rounds;
     std::vector<Triple> next_delta;
-    // `derive` is only invoked when the triple is new and provenance is
-    // being recorded.
-    auto emit = [&](const Triple& t,
-                    const std::function<TripleDerivation()>& derive) {
-      if (out->InsertUnchecked(t)) {
-        ++stats.triples_added;
-        next_delta.push_back(t);
-        if (options.provenance != nullptr) {
-          options.provenance->emplace(t, derive());
-        }
-      }
-    };
 
-    // Equivalence mappings: copy only the neighbourhood entries the delta
-    // contributes.
+    // Equivalence mappings: copy only the neighbourhood entries the
+    // delta contributes. Serial in both engines; budget per insertion.
     for (const EquivalenceMapping& eq : equivalences) {
-      size_t before = stats.triples_added;
       for (const Triple& t : delta) {
-        // One position at a time, matching Algorithm 1's per-position
-        // copy rules.
-        auto copy_if = [&](TermId from, TermId to) {
-          auto derive = [&]() {
-            return TripleDerivation{TripleDerivation::Kind::kEquivalence,
-                                    EquivalenceLabel(cdict, eq), {t}};
-          };
-          if (t.s == from) emit(Triple{to, t.p, t.o}, derive);
-          if (t.p == from) emit(Triple{t.s, to, t.o}, derive);
-          if (t.o == from) emit(Triple{t.s, t.p, to}, derive);
-        };
-        copy_if(eq.left, eq.right);
-        copy_if(eq.right, eq.left);
-      }
-      stats.eq_triples += stats.triples_added - before;
-      if (out->size() >= options.max_triples) {
-        return Status::ResourceExhausted("delta chase: max_triples reached");
+        RPS_RETURN_IF_ERROR(
+            CopyDeltaTriple(out, t, eq, options, &stats, &next_delta));
       }
     }
 
     // Graph mapping assertions, semi-naive: one body pattern is matched
     // against the delta, the rest against the full J.
-    for (const GraphMappingAssertion& gma : graph_mappings) {
-      const std::vector<TriplePattern>& patterns =
-          gma.from.body.patterns();
-      for (size_t di = 0; di < patterns.size(); ++di) {
-        // Seed bindings: delta triples matching pattern di.
-        BindingSet seeds;
-        for (const Triple& t : delta) {
-          std::optional<Binding> b = MatchTriple(patterns[di], t);
-          if (b.has_value()) seeds.push_back(std::move(*b));
-        }
-        if (seeds.empty()) continue;
-        std::vector<TriplePattern> rest;
-        for (size_t j = 0; j < patterns.size(); ++j) {
-          if (j != di) rest.push_back(patterns[j]);
-        }
-        BindingSet solutions =
-            ExtendBindings(*out, rest, std::move(seeds), options.eval);
+    if (!parallel) {
+      for (const GraphMappingAssertion& gma : graph_mappings) {
+        const std::vector<TriplePattern>& patterns = gma.from.body.patterns();
+        for (size_t di = 0; di < patterns.size(); ++di) {
+          // Seed bindings: delta triples matching pattern di.
+          BindingSet seeds;
+          for (const Triple& t : delta) {
+            std::optional<Binding> b = MatchTriple(patterns[di], t);
+            if (b.has_value()) seeds.push_back(std::move(*b));
+          }
+          if (seeds.empty()) continue;
+          std::vector<TriplePattern> rest;
+          for (size_t j = 0; j < patterns.size(); ++j) {
+            if (j != di) rest.push_back(patterns[j]);
+          }
+          BindingSet solutions =
+              ExtendBindings(*out, rest, std::move(seeds), options.eval);
 
-        // Distinct head tuples with non-blank values (the rt guards).
-        std::set<Tuple> tuples;
-        for (const Binding& b : solutions) {
-          Tuple tuple;
-          bool keep = true;
-          for (VarId v : gma.from.head) {
-            std::optional<TermId> value = b.Get(v);
-            if (!value.has_value() || cdict.IsBlank(*value)) {
-              keep = false;
-              break;
+          for (const Tuple& t :
+               DistinctHeadTuples(gma.from, solutions, cdict)) {
+            GraphPattern check = SubstituteHead(gma.to, t);
+            if (!EvalGraphPattern(*out, check, options.eval).empty()) {
+              continue;
             }
-            tuple.push_back(*value);
+            if (out->size() >= options.max_triples) {
+              return Status::ResourceExhausted(
+                  "delta chase: max_triples reached");
+            }
+            std::vector<Triple> premises;
+            if (options.provenance != nullptr) {
+              GraphPattern from_check = SubstituteHead(gma.from, t);
+              BindingSet from_witnesses =
+                  EvalGraphPattern(*out, from_check, options.eval);
+              if (!from_witnesses.empty()) {
+                premises =
+                    InstantiateBody(gma.from, t, from_witnesses.front());
+              }
+            }
+            FireGma(out, dict, gma, t, premises, &stats, options.provenance,
+                    &next_delta);
           }
-          if (keep) tuples.insert(std::move(tuple));
         }
-
-        for (const Tuple& t : tuples) {
-          GraphPattern check = SubstituteHead(gma.to, t);
-          if (!EvalGraphPattern(*out, check, options.eval).empty()) continue;
-          if (out->size() >= options.max_triples) {
-            return Status::ResourceExhausted(
-                "delta chase: max_triples reached");
-          }
-          std::vector<Triple> premises;
-          if (options.provenance != nullptr) {
-            GraphPattern from_check = SubstituteHead(gma.from, t);
-            BindingSet from_witnesses =
-                EvalGraphPattern(*out, from_check, options.eval);
-            if (!from_witnesses.empty()) {
-              premises =
-                  InstantiateBody(gma.from, t, from_witnesses.front());
+      }
+    } else {
+      // Parallel semi-naive round: one task per (mapping, seed-pattern)
+      // pair joins its delta seeds against the round-start snapshot of J
+      // (read-only), then the barrier applies firings in task order.
+      struct DeltaTask {
+        size_t g = 0;
+        size_t di = 0;
+      };
+      std::vector<DeltaTask> tasks;
+      for (size_t g = 0; g < graph_mappings.size(); ++g) {
+        size_t body = graph_mappings[g].from.body.patterns().size();
+        for (size_t di = 0; di < body; ++di) tasks.push_back({g, di});
+      }
+      std::vector<std::vector<GmaCandidate>> per_task(tasks.size());
+      ThreadPool::Global().ParallelFor(
+          tasks.size(), options.threads, [&](size_t ti) {
+            const GraphMappingAssertion& gma = graph_mappings[tasks[ti].g];
+            const std::vector<TriplePattern>& patterns =
+                gma.from.body.patterns();
+            BindingSet seeds;
+            for (const Triple& t : delta) {
+              std::optional<Binding> b =
+                  MatchTriple(patterns[tasks[ti].di], t);
+              if (b.has_value()) seeds.push_back(std::move(*b));
             }
-          }
-          std::unordered_map<VarId, TermId> assignment;
-          for (size_t i = 0; i < gma.to.head.size(); ++i) {
-            assignment[gma.to.head[i]] = t[i];
-          }
-          for (const TriplePattern& tp : gma.to.body.patterns()) {
-            auto materialize = [&](const PatternTerm& pt) -> TermId {
-              if (pt.is_const()) return pt.term();
-              auto it = assignment.find(pt.var());
-              if (it != assignment.end()) return it->second;
-              TermId fresh = dict->NewBlank();
-              ++stats.blanks_created;
-              assignment.emplace(pt.var(), fresh);
-              return fresh;
-            };
-            emit(Triple{materialize(tp.s), materialize(tp.p),
-                        materialize(tp.o)},
-                 [&]() {
-                   return TripleDerivation{TripleDerivation::Kind::kGma,
-                                           gma.label, premises};
-                 });
-          }
-          ++stats.gma_firings;
-          GmaFiringCounter(gma)->Increment();
+            if (seeds.empty()) return;
+            std::vector<TriplePattern> rest;
+            for (size_t j = 0; j < patterns.size(); ++j) {
+              if (j != tasks[ti].di) rest.push_back(patterns[j]);
+            }
+            BindingSet solutions =
+                ExtendBindings(*out, rest, std::move(seeds), options.eval);
+            for (const Tuple& t :
+                 DistinctHeadTuples(gma.from, solutions, cdict)) {
+              ConsiderCandidate(*out, gma, t, options, &per_task[ti]);
+            }
+          });
+      parallel_tasks += tasks.size();
+      reg.counter("chase.parallel.tasks")->Add(tasks.size());
+
+      obs::ScopedTimerMs barrier_timer(
+          reg.histogram("chase.parallel.barrier_ms"));
+      for (size_t ti = 0; ti < tasks.size(); ++ti) {
+        for (const GmaCandidate& c : per_task[ti]) {
+          RPS_ASSIGN_OR_RETURN(
+              bool fired,
+              ApplyCandidate(out, dict, graph_mappings[tasks[ti].g], c,
+                             options, &stats, &next_delta,
+                             "delta chase: max_triples reached"));
+          (void)fired;
         }
       }
     }
@@ -389,9 +577,7 @@ Result<RpsChaseStats> ChaseGraphDelta(
     delta = std::move(next_delta);
   }
   stats.completed = true;
-  span.Annotate("rounds", stats.rounds);
-  span.Annotate("triples_added", stats.triples_added);
-  span.Annotate("nulls_created", stats.blanks_created);
+  AnnotateRun(&span, stats, options, parallel_tasks);
   return stats;
 }
 

@@ -44,6 +44,15 @@ struct RpsChaseOptions {
   /// (including the stored seeds). Slows GMA firings slightly: a witness
   /// body instantiation is computed per fired tuple.
   ProvenanceMap* provenance = nullptr;
+  /// Maximum threads for the parallel round engine. With threads > 1,
+  /// each round evaluates all GMA premises (naive) or delta-seed joins
+  /// (semi-naive) concurrently against the round-start snapshot of J
+  /// into per-task candidate buffers, then applies insertions, fresh
+  /// blanks, provenance and metrics serially under a single-writer
+  /// barrier in (mapping, tuple) order. The result is deterministic and
+  /// identical for every thread count > 1; certain answers also coincide
+  /// with the serial (threads = 1) schedules. 1 keeps the serial engine.
+  size_t threads = 1;
   EvalOptions eval;
 };
 

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace rps {
 
@@ -99,13 +100,24 @@ Result<FederatedQueryResult> Federator::Execute(
           options.join_strategy == JoinStrategy::kBindJoin && !first_pattern;
       if (!use_bind_join) {
         // Ship the pattern's full extension and join at the coordinator.
+        // Peers are independent endpoints, so their sub-queries run
+        // concurrently; accounting and the merge happen serially at the
+        // coordinator in peer order, keeping answers identical to the
+        // serial execution.
+        std::vector<BindingSet> per_peer(endpoints.size());
+        std::vector<char> answered(endpoints.size(), 0);
+        ThreadPool::Global().ParallelFor(
+            endpoints.size(), options.threads, [&](size_t p) {
+              if (!endpoints[p].MayAnswer(tp)) return;
+              per_peer[p] = endpoints[p].Answer(tp);
+              answered[p] = 1;
+            });
         BindingSet pattern_results;
         for (size_t p = 0; p < endpoints.size(); ++p) {
-          PeerNode& peer = endpoints[p];
-          if (!peer.MayAnswer(tp)) continue;
-          BindingSet local = peer.Answer(tp);
+          if (!answered[p]) continue;
+          BindingSet& local = per_peer[p];
           ++result.subqueries;
-          CountPeerTraffic(peer, local.size());
+          CountPeerTraffic(endpoints[p], local.size());
           size_t hops = topology_.HopDistance(options.coordinator, p);
           double payload = static_cast<double>(local.size()) *
                            static_cast<double>(tp.Vars().size()) *
@@ -117,51 +129,64 @@ Result<FederatedQueryResult> Federator::Execute(
         current = Join(current, pattern_results);
       } else {
         // Bind join: send batched bound sub-queries; peers return only
-        // the rows compatible with the accumulated bindings.
+        // the rows compatible with the accumulated bindings. Within a
+        // batch the per-peer requests fan out concurrently.
         BindingSet next;
         size_t batch = std::max<size_t>(options.bind_join_batch, 1);
         for (size_t start = 0; start < current.size(); start += batch) {
           size_t end = std::min(current.size(), start + batch);
-          for (size_t p = 0; p < endpoints.size(); ++p) {
-            PeerNode& peer = endpoints[p];
-            if (!peer.MayAnswer(tp)) continue;
-            size_t rows_returned = 0;
-            for (size_t i = start; i < end; ++i) {
-              const Binding& b = current[i];
-              // Substitute the bound variables into the pattern.
-              auto bind_term = [&](const PatternTerm& pt) {
-                if (pt.is_var()) {
-                  std::optional<TermId> value = b.Get(pt.var());
-                  if (value.has_value()) return PatternTerm::Const(*value);
+          std::vector<BindingSet> per_peer(endpoints.size());
+          std::vector<size_t> per_peer_rows(endpoints.size(), 0);
+          std::vector<char> answered(endpoints.size(), 0);
+          ThreadPool::Global().ParallelFor(
+              endpoints.size(), options.threads, [&](size_t p) {
+                PeerNode& peer = endpoints[p];
+                if (!peer.MayAnswer(tp)) return;
+                answered[p] = 1;
+                for (size_t i = start; i < end; ++i) {
+                  const Binding& b = current[i];
+                  // Substitute the bound variables into the pattern.
+                  auto bind_term = [&](const PatternTerm& pt) {
+                    if (pt.is_var()) {
+                      std::optional<TermId> value = b.Get(pt.var());
+                      if (value.has_value()) {
+                        return PatternTerm::Const(*value);
+                      }
+                    }
+                    return pt;
+                  };
+                  TriplePattern bound{bind_term(tp.s), bind_term(tp.p),
+                                      bind_term(tp.o)};
+                  if (!peer.MayAnswer(bound)) continue;
+                  BindingSet local = peer.Answer(bound);
+                  per_peer_rows[p] += local.size();
+                  for (const Binding& r : local) {
+                    std::optional<Binding> merged = Binding::Merge(b, r);
+                    if (merged.has_value()) {
+                      per_peer[p].push_back(std::move(*merged));
+                    }
+                  }
                 }
-                return pt;
-              };
-              TriplePattern bound{bind_term(tp.s), bind_term(tp.p),
-                                  bind_term(tp.o)};
-              if (!peer.MayAnswer(bound)) continue;
-              BindingSet local = peer.Answer(bound);
-              rows_returned += local.size();
-              for (const Binding& r : local) {
-                std::optional<Binding> merged = Binding::Merge(b, r);
-                if (merged.has_value()) next.push_back(std::move(*merged));
-              }
-            }
+              });
+          for (size_t p = 0; p < endpoints.size(); ++p) {
+            if (!answered[p]) continue;
             // One batched request/response exchange per (batch, peer):
             // the request carries the binding batch, the response the
             // matching rows.
             ++result.subqueries;
-            CountPeerTraffic(peer, rows_returned);
+            CountPeerTraffic(endpoints[p], per_peer_rows[p]);
             size_t hops = topology_.HopDistance(options.coordinator, p);
             double request_payload =
                 static_cast<double>(end - start) *
                 static_cast<double>(tp.Vars().size()) *
                 options.cost.bytes_per_term;
             double response_payload =
-                static_cast<double>(rows_returned) *
+                static_cast<double>(per_peer_rows[p]) *
                 static_cast<double>(tp.Vars().size()) *
                 options.cost.bytes_per_term;
             result.network.AddExchange(request_payload + response_payload,
                                        hops, options.cost);
+            for (Binding& b : per_peer[p]) next.push_back(std::move(b));
           }
         }
         Dedup(&next);
@@ -209,6 +234,9 @@ Result<FederatedQueryResult> Federator::Execute(
   span.Annotate("branches", result.branches);
   span.Annotate("subqueries", result.subqueries);
   span.Annotate("answers", result.answers.size());
+  if (options.threads > 1) {
+    span.Annotate("threads", static_cast<uint64_t>(options.threads));
+  }
   return result;
 }
 

@@ -35,6 +35,12 @@ struct FederationOptions {
   JoinStrategy join_strategy = JoinStrategy::kShipExtensions;
   /// Bind-join batching: bindings per request message.
   size_t bind_join_batch = 32;
+  /// Maximum threads for the per-peer sub-query fan-out: each peer's
+  /// sub-queries are answered concurrently (peers are independent
+  /// endpoints) and the results merged at the coordinator in peer order,
+  /// so answers are identical to the serial execution. 1 disables
+  /// parallelism.
+  size_t threads = 1;
 };
 
 /// Outcome of a federated query execution.

@@ -32,6 +32,10 @@ struct CertainAnswerOptions {
   /// Listing 1 "with redundancy"). When false, answers use canonical
   /// representatives only (Listing 1 "without redundancy").
   bool expand_equivalent_answers = true;
+  /// Chase budgets and knobs. The parallel engine is enabled through
+  /// `chase.threads` (round fan-out) and `chase.eval.threads`
+  /// (seed-partitioned joins); both default to serial. Answers are
+  /// identical for every thread count.
   RpsChaseOptions chase;
 };
 

@@ -1,9 +1,11 @@
 #include "query/eval.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "util/thread_pool.h"
 
 namespace rps {
 
@@ -44,14 +46,20 @@ std::optional<TermId> KeyFor(const PatternTerm& pt, const Binding& binding) {
 }
 
 // Greedy pattern order: repeatedly pick the remaining pattern with the
-// lowest static cost, where positions that are constants or
-// already-covered variables count as bound. Cost = (unbound positions,
-// index-estimated matches on constant positions).
+// lowest cost, where positions that are constants or already-covered
+// variables count as bound. Cost = (unbound positions, index-estimated
+// matches). Variables bound by `seed` count as bound from the start, and
+// the seed's concrete values are used as sample keys in EstimateMatches —
+// a position that is highly selective once seeded must not be costed as a
+// wildcard. Variables bound by earlier-ordered patterns have no sample
+// value; they still count as bound for the unbound-position criterion.
 std::vector<size_t> OrderPatterns(const Graph& graph,
-                                  const std::vector<TriplePattern>& patterns) {
+                                  const std::vector<TriplePattern>& patterns,
+                                  const Binding& seed) {
   std::vector<size_t> order;
   std::vector<bool> used(patterns.size(), false);
   std::set<VarId> bound;
+  for (const auto& [var, term] : seed.entries()) bound.insert(var);
   for (size_t step = 0; step < patterns.size(); ++step) {
     size_t best = patterns.size();
     size_t best_unbound = SIZE_MAX;
@@ -64,7 +72,7 @@ std::vector<size_t> OrderPatterns(const Graph& graph,
         if (pt->is_var() && bound.find(pt->var()) == bound.end()) ++unbound;
       }
       size_t estimate = graph.EstimateMatches(
-          tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey());
+          KeyFor(tp.s, seed), KeyFor(tp.p, seed), KeyFor(tp.o, seed));
       if (unbound < best_unbound ||
           (unbound == best_unbound && estimate < best_estimate)) {
         best = i;
@@ -78,6 +86,10 @@ std::vector<size_t> OrderPatterns(const Graph& graph,
   }
   return order;
 }
+
+// Seed sets smaller than this are extended serially: chunking overhead
+// would dominate the join work.
+constexpr size_t kMinSeedsForParallelJoin = 32;
 
 }  // namespace
 
@@ -106,27 +118,66 @@ BindingSet ExtendBindings(const Graph& graph,
 
   std::vector<size_t> order;
   if (options.reorder_patterns) {
-    order = OrderPatterns(graph, patterns);
+    // All seeds share a domain (they come from matching one pattern), so
+    // the first one is a representative sample for the cost model.
+    order = OrderPatterns(graph, patterns, current.front());
   } else {
     order.resize(patterns.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   }
+
+  // Extends every binding of `in` [lo, hi) through `tp`, appending to
+  // `out` in input order. Returns the number of scanned candidates.
+  auto extend_range = [&graph](const TriplePattern& tp, const BindingSet& in,
+                               size_t lo, size_t hi, BindingSet* out) {
+    size_t scanned = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      const Binding& b = in[i];
+      graph.Match(KeyFor(tp.s, b), KeyFor(tp.p, b), KeyFor(tp.o, b),
+                  [&](const Triple& t) {
+                    ++scanned;
+                    Binding extended = b;
+                    if (ExtendBinding(tp, t, &extended)) {
+                      out->push_back(std::move(extended));
+                    }
+                    return true;
+                  });
+    }
+    return scanned;
+  };
 
   size_t scanned = 0;
   size_t produced = 0;
   for (size_t idx : order) {
     const TriplePattern& tp = patterns[idx];
     BindingSet next;
-    for (const Binding& b : current) {
-      graph.Match(KeyFor(tp.s, b), KeyFor(tp.p, b), KeyFor(tp.o, b),
-                  [&](const Triple& t) {
-                    ++scanned;
-                    Binding extended = b;
-                    if (ExtendBinding(tp, t, &extended)) {
-                      next.push_back(std::move(extended));
-                    }
-                    return true;
-                  });
+    if (options.threads > 1 && current.size() >= kMinSeedsForParallelJoin) {
+      // Seed-partitioned parallel extension: contiguous chunks of the
+      // seed set are joined concurrently against the (read-only) graph
+      // into per-chunk buffers, then concatenated in chunk order — the
+      // exact output order of the serial loop.
+      size_t chunks = std::min(options.threads,
+                               current.size() / (kMinSeedsForParallelJoin / 2));
+      chunks = std::max<size_t>(chunks, 1);
+      size_t per_chunk = (current.size() + chunks - 1) / chunks;
+      std::vector<BindingSet> parts(chunks);
+      std::vector<size_t> part_scans(chunks, 0);
+      ThreadPool::Global().ParallelFor(
+          chunks, options.threads, [&](size_t c) {
+            size_t lo = c * per_chunk;
+            size_t hi = std::min(current.size(), lo + per_chunk);
+            part_scans[c] = extend_range(tp, current, lo, hi, &parts[c]);
+          });
+      size_t total = 0;
+      for (const BindingSet& part : parts) total += part.size();
+      next.reserve(total);
+      for (size_t c = 0; c < chunks; ++c) {
+        scanned += part_scans[c];
+        std::move(parts[c].begin(), parts[c].end(),
+                  std::back_inserter(next));
+      }
+    } else {
+      scanned += extend_range(tp, current, 0, current.size(), &next);
     }
     produced += next.size();  // intermediate result size after this join
     current = std::move(next);

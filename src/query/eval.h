@@ -26,6 +26,12 @@ struct EvalOptions {
   /// joining (ablation: §5 of DESIGN.md). Evaluation results are
   /// order-independent; this only affects cost.
   bool reorder_patterns = true;
+  /// Maximum threads used by seed-partitioned join extension
+  /// (ExtendBindings): the seed set is split into contiguous chunks that
+  /// are extended concurrently against the (read-only) graph and
+  /// concatenated in chunk order, so the result is byte-identical to the
+  /// serial evaluation for any value. 1 disables parallelism.
+  size_t threads = 1;
 };
 
 /// An answer tuple: the head variables' values in head order.

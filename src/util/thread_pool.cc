@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace rps {
+
+namespace {
+
+thread_local int g_task_depth = 0;
+
+// RAII marker for "this thread is running ParallelFor tasks".
+struct TaskDepthScope {
+  TaskDepthScope() { ++g_task_depth; }
+  ~TaskDepthScope() { --g_task_depth; }
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(std::max<size_t>(
+      3, static_cast<size_t>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers = std::max<size_t>(workers, 1);
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::InsideTask() { return g_task_depth > 0; }
+
+void ThreadPool::RunBatch(Batch* batch) {
+  TaskDepthScope scope;
+  size_t i;
+  while ((i = batch->next.fetch_add(1, std::memory_order_relaxed)) <
+         batch->n) {
+    (*batch->fn)(i);
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->n) {
+      // Last task: wake the joiner. Lock to pair with its cv.wait.
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tickets_.empty(); });
+      if (tickets_.empty()) return;  // stop_ and drained
+      batch = std::move(tickets_.front());
+      tickets_.erase(tickets_.begin());
+    }
+    RunBatch(batch.get());
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_threads,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Inline when parallelism is off, the batch is trivial, or we are
+  // already inside a task (nested fan-out must not wait on the pool).
+  if (max_threads <= 1 || n == 1 || InsideTask()) {
+    TaskDepthScope scope;
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  size_t helpers = std::min({max_threads - 1, workers(), n - 1});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) tickets_.push_back(batch);
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+
+  // The calling thread participates too.
+  RunBatch(batch.get());
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace rps

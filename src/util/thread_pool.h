@@ -1,0 +1,82 @@
+#ifndef RPS_UTIL_THREAD_POOL_H_
+#define RPS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rps {
+
+/// A small work-queue thread pool for data-parallel fan-out on the hot
+/// paths (chase rounds, seed-partitioned joins, federated per-peer
+/// sub-queries).
+///
+/// The only scheduling primitive is ParallelFor: a blocking index-space
+/// fan-out with dynamic task claiming. Determinism is the caller's
+/// contract — tasks write to disjoint, index-addressed output slots, and
+/// the caller merges the slots in index order after the join, so results
+/// are identical for any thread count (including 1).
+class ThreadPool {
+ public:
+  /// The process-wide pool used by the chase / eval / federation layers.
+  /// Sized to the hardware concurrency, but never below 3 workers so a
+  /// `threads = 4` request exercises real concurrency (and catches data
+  /// races under TSan) even on small machines.
+  static ThreadPool& Global();
+
+  /// Spawns `workers` worker threads (at least 1).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  /// Invokes fn(i) exactly once for every i in [0, n), using up to
+  /// `max_threads` participants (the calling thread plus pool workers),
+  /// and blocks until all n invocations have finished. Indices are
+  /// claimed dynamically, so uneven tasks load-balance.
+  ///
+  /// fn must be safe to call concurrently from different threads for
+  /// different i. With max_threads <= 1 (or n <= 1) the loop runs inline
+  /// on the calling thread. A nested ParallelFor issued from inside a
+  /// task also runs inline — nesting never deadlocks, it just serializes
+  /// the inner loop.
+  void ParallelFor(size_t n, size_t max_threads,
+                   const std::function<void(size_t)>& fn);
+
+  /// True while the calling thread is executing inside a ParallelFor task
+  /// (used to run nested fan-outs inline).
+  static bool InsideTask();
+
+ private:
+  // Shared state of one ParallelFor call. Workers that pop a ticket for
+  // the batch claim indices from `next` until the space is exhausted.
+  struct Batch {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void WorkerLoop();
+  static void RunBatch(Batch* batch);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Participation tickets, FIFO. One entry per helper slot requested.
+  std::vector<std::shared_ptr<Batch>> tickets_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_THREAD_POOL_H_

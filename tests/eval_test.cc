@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "parser/ntriples.h"
 #include "util/rng.h"
 
@@ -169,6 +170,48 @@ TEST_F(EvalTest, ReorderingDoesNotChangeResults) {
     SortTuples(&b);
     EXPECT_EQ(a, b) << "trial " << trial;
   }
+}
+
+TEST_F(EvalTest, SeedAwareOrderingReducesScannedCandidates) {
+  // The cost model consults the seed binding's concrete values: a pattern
+  // that looks expensive unseeded (201 pa-triples) but is selective for
+  // the seeded subject must run before a statically smaller pattern (50
+  // pb-triples). The scanned-candidate counter separates the two orders:
+  // seeded-first scans 1 + 50 candidates, static-first scans 50 + 50.
+  Graph g(&dict_);
+  TermId a = dict_.InternIri("http://x/jo_a");
+  TermId c = dict_.InternIri("http://x/jo_c");
+  TermId pa = dict_.InternIri("http://x/jo_pa");
+  TermId pb = dict_.InternIri("http://x/jo_pb");
+  TermId y0 = dict_.InternIri("http://x/jo_y0");
+  g.InsertUnchecked(Triple{a, pa, y0});
+  for (int i = 0; i < 200; ++i) {
+    g.InsertUnchecked(
+        Triple{dict_.InternIri("http://x/jo_s" + std::to_string(i)), pa,
+               dict_.InternIri("http://x/jo_o" + std::to_string(i))});
+  }
+  for (int i = 0; i < 50; ++i) {
+    g.InsertUnchecked(Triple{
+        c, pb, dict_.InternIri("http://x/jo_z" + std::to_string(i))});
+  }
+
+  VarId x = vars_.Intern("jo_x"), y = vars_.Intern("jo_y"),
+        z = vars_.Intern("jo_z");
+  std::vector<TriplePattern> patterns = {
+      TriplePattern{PatternTerm::Var(x), PatternTerm::Const(pa),
+                    PatternTerm::Var(y)},
+      TriplePattern{PatternTerm::Const(c), PatternTerm::Const(pb),
+                    PatternTerm::Var(z)},
+  };
+  Binding seed;
+  ASSERT_TRUE(seed.Bind(x, a));
+
+  obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
+  BindingSet result = ExtendBindings(g, patterns, {seed});
+  obs::MetricsSnapshot delta =
+      obs::Registry::Global().Snapshot().DeltaSince(before);
+  EXPECT_EQ(result.size(), 50u);  // (a, y0) × the 50 pb-objects
+  EXPECT_LE(delta.counter("eval.pattern_matches"), 60u);
 }
 
 TEST_F(EvalTest, CartesianProductAcrossDisconnectedPatterns) {

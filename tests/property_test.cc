@@ -194,6 +194,129 @@ TEST_P(SeededPropertyTest, SemiNaiveChaseAgreesWithNaiveChase) {
   EXPECT_EQ(naive->answers, seminaive->answers) << "seed " << GetParam();
 }
 
+TEST_P(SeededPropertyTest, ParallelChaseMatchesSerialAnswers) {
+  // The parallel round engine (Jacobi schedule) builds a different — but
+  // homomorphically equivalent — universal solution than the serial
+  // Gauss–Seidel loop, so only the blank-free certain answers are
+  // required to coincide, for every thread count and both schedules.
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+  Result<CertainAnswerResult> serial = CertainAnswers(*sys, q);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : {2u, 4u}) {
+    for (bool semi_naive : {false, true}) {
+      CertainAnswerOptions options;
+      options.chase.threads = threads;
+      options.chase.eval.threads = threads;
+      options.chase.semi_naive = semi_naive;
+      Result<CertainAnswerResult> parallel = CertainAnswers(*sys, q, options);
+      ASSERT_TRUE(parallel.ok())
+          << parallel.status() << " threads=" << threads;
+      EXPECT_EQ(serial->answers, parallel->answers)
+          << "seed " << GetParam() << " threads=" << threads
+          << " semi_naive=" << semi_naive;
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, ParallelChaseDeterministicAcrossThreadCounts) {
+  // The barrier applies candidate insertions in (mapping, tuple) order
+  // with serial blank minting, so the parallel engine's universal
+  // solution is byte-identical for every thread count > 1. Each run uses
+  // a freshly generated system: blank TermIds are relative to the
+  // dictionary state at chase start.
+  LodConfig config = MakeConfig(GetParam());
+
+  auto build = [&](size_t threads) {
+    std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+    RpsChaseOptions options;
+    options.threads = threads;
+    options.eval.threads = threads;
+    Graph universal(sys->dict());
+    Result<RpsChaseStats> stats =
+        BuildUniversalSolution(*sys, &universal, options);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    std::vector<Triple> triples = universal.triples();
+    std::sort(triples.begin(), triples.end());
+    return triples;
+  };
+  std::vector<Triple> two = build(2);
+  std::vector<Triple> four = build(4);
+  EXPECT_EQ(two, four) << "seed " << GetParam();
+}
+
+TEST_P(SeededPropertyTest, ParallelUniversalSolutionIsASolution) {
+  // Definition 2 holds for the parallel engine's output too: D ⊆ I and
+  // every graph mapping assertion is satisfied.
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  RpsChaseOptions options;
+  options.threads = 4;
+  options.eval.threads = 4;
+  Graph universal(sys->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*sys, &universal, options).ok());
+
+  for (const auto& [name, graph] : sys->dataset().graphs()) {
+    for (const Triple& t : graph.triples()) {
+      EXPECT_TRUE(universal.Contains(t));
+    }
+  }
+  for (const GraphMappingAssertion& gma : sys->graph_mappings()) {
+    std::vector<Tuple> from =
+        EvalQuery(universal, gma.from, QuerySemantics::kDropBlanks);
+    for (const Tuple& t : from) {
+      GraphPatternQuery check = BindHead(gma.to, t);
+      EXPECT_TRUE(EvalBoolean(universal, check, QuerySemantics::kKeepBlanks))
+          << "mapping " << gma.label;
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, ParallelFederationMatchesSerial) {
+  LodConfig config = MakeConfig(GetParam());
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+
+  Federator fed(sys.get(), LodTopology(config));
+  Result<FederatedQueryResult> serial = fed.Execute(q);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  for (auto strategy :
+       {JoinStrategy::kShipExtensions, JoinStrategy::kBindJoin}) {
+    FederationOptions options;
+    options.join_strategy = strategy;
+    options.threads = 4;
+    Result<FederatedQueryResult> parallel = fed.Execute(q, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(serial->answers, parallel->answers) << "seed " << GetParam();
+  }
+}
+
+TEST_P(SeededPropertyTest, ParallelEvalMatchesSerial) {
+  // Seed-partitioned parallel joins concatenate chunk results in chunk
+  // order, so the binding sets — not just the answers — are identical.
+  LodConfig config = MakeConfig(GetParam());
+  config.films_per_peer += 40;  // enough seeds to cross the parallel gate
+  std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Graph universal(sys->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*sys, &universal).ok());
+
+  std::vector<Tuple> serial =
+      EvalQuery(universal, q, QuerySemantics::kDropBlanks);
+  for (size_t threads : {2u, 4u}) {
+    EvalOptions options;
+    options.threads = threads;
+    std::vector<Tuple> parallel =
+        EvalQuery(universal, q, QuerySemantics::kDropBlanks, options);
+    EXPECT_EQ(serial, parallel)
+        << "seed " << GetParam() << " threads=" << threads;
+  }
+}
+
 TEST_P(SeededPropertyTest, NTriplesRoundTripOnGeneratedData) {
   LodConfig config = MakeConfig(GetParam());
   std::unique_ptr<RpsSystem> sys = GenerateLod(config);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/paper_example.h"
+#include "obs/metrics.h"
 
 namespace rps {
 namespace {
@@ -206,6 +207,153 @@ TEST(RpsChaseTest, BudgetTriggersResourceExhausted) {
       BuildUniversalSolution(*ex.system, &universal, options);
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RpsChaseTest, BudgetEquivalenceCopyingNeverOvershoots) {
+  // Equivalence copies are inserted one triple at a time, so the budget
+  // check runs per insertion: an aborted run leaves |J| at exactly
+  // max_triples, never beyond, under both schedules.
+  for (bool semi_naive : {false, true}) {
+    RpsSystem sys;
+    Dictionary& dict = *sys.dict();
+    TermId c1 = dict.InternIri("http://x/c1");
+    TermId c2 = dict.InternIri("http://x/c2");
+    TermId p = dict.InternIri("http://x/p");
+    Graph& g = sys.AddPeer("peer");
+    for (int i = 0; i < 10; ++i) {
+      g.InsertUnchecked(Triple{
+          c1, p, dict.InternIri("http://x/o" + std::to_string(i))});
+    }
+    ASSERT_TRUE(sys.AddEquivalence(c1, c2).ok());
+
+    RpsChaseOptions options;
+    options.semi_naive = semi_naive;
+    options.max_triples = 13;  // 10 stored + room for only 3 of 10 copies
+    Graph universal(&dict);
+    Result<RpsChaseStats> stats =
+        BuildUniversalSolution(sys, &universal, options);
+    ASSERT_FALSE(stats.ok()) << "semi_naive=" << semi_naive;
+    EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(universal.size(), options.max_triples)
+        << "semi_naive=" << semi_naive;
+  }
+}
+
+TEST(RpsChaseTest, BudgetGmaOvershootBoundedByBodySize) {
+  // A GMA firing inserts its whole instantiated to-body atomically, so an
+  // aborted run may overshoot max_triples by at most one body — never by
+  // a second firing — under both schedules.
+  for (bool semi_naive : {false, true}) {
+    RpsSystem sys;
+    Dictionary& dict = *sys.dict();
+    VarPool& vars = *sys.vars();
+    TermId actor = dict.InternIri("http://x/actor");
+    TermId starring = dict.InternIri("http://x/starring");
+    TermId artist = dict.InternIri("http://x/artist");
+    Graph& g = sys.AddPeer("peer");
+    for (int i = 0; i < 10; ++i) {
+      g.InsertUnchecked(
+          Triple{dict.InternIri("http://x/f" + std::to_string(i)), actor,
+                 dict.InternIri("http://x/a" + std::to_string(i))});
+    }
+    VarId x = vars.Intern("x"), y = vars.Intern("y"), z = vars.Intern("z");
+    GraphMappingAssertion gma;
+    gma.from.head = {x, y};
+    gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                    PatternTerm::Const(actor),
+                                    PatternTerm::Var(y)});
+    gma.to.head = {x, y};
+    gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(starring),
+                                  PatternTerm::Var(z)});
+    gma.to.body.Add(TriplePattern{PatternTerm::Var(z),
+                                  PatternTerm::Const(artist),
+                                  PatternTerm::Var(y)});
+    ASSERT_TRUE(sys.AddGraphMapping(gma).ok());
+
+    RpsChaseOptions options;
+    options.semi_naive = semi_naive;
+    options.max_triples = 13;  // 10 stored + room for 1.5 firings
+    Graph universal(&dict);
+    Result<RpsChaseStats> stats =
+        BuildUniversalSolution(sys, &universal, options);
+    ASSERT_FALSE(stats.ok()) << "semi_naive=" << semi_naive;
+    EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+    size_t body_size = gma.to.body.patterns().size();
+    EXPECT_LE(universal.size(), options.max_triples + body_size)
+        << "semi_naive=" << semi_naive;
+  }
+}
+
+TEST(RpsChaseTest, DeltaBudgetAbortFlushesConsistentStats) {
+  // A budget-aborted ChaseGraphDelta discards its RpsChaseStats with the
+  // error Status, but the metrics flusher must still report exactly the
+  // insertions that happened before the abort.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId c1 = dict.InternIri("http://x/c1");
+  TermId c2 = dict.InternIri("http://x/c2");
+  TermId c3 = dict.InternIri("http://x/c3");
+  TermId p = dict.InternIri("http://x/p");
+  TermId o1 = dict.InternIri("http://x/o1");
+  TermId o2 = dict.InternIri("http://x/o2");
+  sys.AddPeer("peer").InsertUnchecked(Triple{c1, p, o1});
+  ASSERT_TRUE(sys.AddEquivalence(c1, c2).ok());
+  ASSERT_TRUE(sys.AddEquivalence(c1, c3).ok());
+
+  Graph j(&dict);
+  ASSERT_TRUE(BuildUniversalSolution(sys, &j).ok());
+
+  // New fact about c1: the delta chase owes one copy per clique member,
+  // but the budget admits only the first.
+  Triple fresh{c1, p, o2};
+  j.InsertUnchecked(fresh);
+  size_t before_size = j.size();
+  RpsChaseOptions options;
+  options.max_triples = before_size + 1;
+  obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
+  Result<RpsChaseStats> stats = ChaseGraphDelta(
+      &j, {fresh}, sys.graph_mappings(), sys.equivalences(), options);
+  obs::MetricsSnapshot delta =
+      obs::Registry::Global().Snapshot().DeltaSince(before);
+
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(j.size(), options.max_triples);  // per-insertion enforcement
+  EXPECT_EQ(delta.counter("chase.eq_triples"), j.size() - before_size);
+  EXPECT_EQ(delta.counter("chase.triples_added"), j.size() - before_size);
+  EXPECT_EQ(delta.counter("chase.term.budget_exhausted"), 1u);
+}
+
+TEST(RpsChaseTest, ParallelBudgetEnforcement) {
+  // The parallel engine's barrier applies the same per-insertion (eq) and
+  // per-firing (GMA) budget checks as the serial loops.
+  RpsSystem sys;
+  Dictionary& dict = *sys.dict();
+  TermId c1 = dict.InternIri("http://x/c1");
+  TermId c2 = dict.InternIri("http://x/c2");
+  TermId p = dict.InternIri("http://x/p");
+  Graph& g = sys.AddPeer("peer");
+  for (int i = 0; i < 10; ++i) {
+    g.InsertUnchecked(
+        Triple{c1, p, dict.InternIri("http://x/o" + std::to_string(i))});
+  }
+  ASSERT_TRUE(sys.AddEquivalence(c1, c2).ok());
+
+  for (bool semi_naive : {false, true}) {
+    RpsChaseOptions options;
+    options.semi_naive = semi_naive;
+    options.threads = 4;
+    options.eval.threads = 4;
+    options.max_triples = 13;
+    Graph universal(&dict);
+    Result<RpsChaseStats> stats =
+        BuildUniversalSolution(sys, &universal, options);
+    ASSERT_FALSE(stats.ok()) << "semi_naive=" << semi_naive;
+    EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(universal.size(), options.max_triples)
+        << "semi_naive=" << semi_naive;
+  }
 }
 
 TEST(RpsChaseTest, PaperExampleUniversalSolution) {

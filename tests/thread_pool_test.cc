@@ -1,0 +1,69 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace rps {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ThreadPool::Global().ParallelFor(kN, 4, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  // max_threads <= 1 must not involve workers at all: the body runs on
+  // the calling thread, in index order.
+  std::vector<size_t> order;
+  ThreadPool::Global().ParallelFor(10, 1,
+                                   [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInline) {
+  // A ParallelFor issued from inside a task must not block on the shared
+  // worker pool (deadlock risk); it degrades to the inline loop.
+  std::atomic<size_t> total{0};
+  EXPECT_FALSE(ThreadPool::InsideTask());
+  ThreadPool::Global().ParallelFor(8, 4, [&](size_t) {
+    EXPECT_TRUE(ThreadPool::InsideTask());
+    ThreadPool::Global().ParallelFor(
+        8, 4, [&](size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_FALSE(ThreadPool::InsideTask());
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleItemBatches) {
+  std::atomic<size_t> count{0};
+  ThreadPool::Global().ParallelFor(0, 4, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  ThreadPool::Global().ParallelFor(1, 4, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ConcurrentWritesToDisjointSlots) {
+  // The chase and eval engines hand each task its own output slot; the
+  // pool must make those writes race-free without extra locking.
+  constexpr size_t kN = 256;
+  std::vector<std::vector<int>> slots(kN);
+  ThreadPool::Global().ParallelFor(kN, 4, [&](size_t i) {
+    for (int j = 0; j < 100; ++j) slots[i].push_back(static_cast<int>(i));
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(slots[i].size(), 100u);
+    EXPECT_EQ(slots[i].front(), static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace rps

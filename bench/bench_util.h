@@ -39,6 +39,20 @@ inline size_t ThreadsFromArgs(int argc, char** argv, size_t fallback = 1) {
   return fallback;
 }
 
+/// Parses an optional `--n=N` harness argument (problem-size budget:
+/// films per peer, iterations, ...). Returns `fallback` when absent or
+/// not a positive number. CI's bench-smoke job passes a tiny `--n` to
+/// every harness; harnesses without a size knob simply ignore it.
+inline size_t SizeFromArgs(int argc, char** argv, size_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      int parsed = std::atoi(argv[i] + 4);
+      if (parsed > 0) return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
 inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment);

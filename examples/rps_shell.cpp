@@ -4,21 +4,29 @@
 //
 //   rps_shell <config.rps> [query.sparql | -e 'SPARQL'] [options]
 //
-//   --engine=chase|unionfind|rewrite|datalog   answering engine
+//   --engine=chase|unionfind|rewrite|datalog|federated   answering engine
 //   --threads=N                                parallel chase / evaluation
-//                                              engine (N > 1; chase and
-//                                              unionfind engines)
+//                                              engine (N > 1; chase,
+//                                              unionfind and federated
+//                                              engines)
 //   --extended                                 allow OPTIONAL / FILTER
 //   --show-mappings                            print the loaded system
 //   --explain                                  print an EXPLAIN report:
 //                                              chase rounds, facts derived,
 //                                              nulls created, per-mapping
 //                                              TGD firings, metrics, trace
+//   --faults=SPEC                              federated engine only:
+//                                              deterministic fault
+//                                              injection, e.g.
+//                                              drop:0.3,seed:42,crash:1
+//   --retries=N --timeout-ms=X                 federated retry policy
 //
 // Examples:
 //   rps_shell data/paper.rps data/listing1.sparql
 //   rps_shell data/paper.rps data/listing1.sparql --explain
 //   rps_shell data/paper.rps -e 'SELECT ?x ?y WHERE { ... }' --engine=rewrite
+//   rps_shell data/paper.rps data/listing1.sparql --engine=federated
+//       --faults=drop:0.3,seed:7 --retries=2 --timeout-ms=50
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,10 +40,16 @@ namespace {
 int Usage() {
   std::printf(
       "usage: rps_shell <config.rps> [query.sparql | -e 'SPARQL'] "
-      "[--engine=chase|unionfind|rewrite|datalog] [--threads=N] "
-      "[--extended] [--show-mappings] [--explain]\n\n"
+      "[--engine=chase|unionfind|rewrite|datalog|federated] [--threads=N] "
+      "[--extended] [--show-mappings] [--explain] [--faults=SPEC] "
+      "[--retries=N] [--timeout-ms=X]\n\n"
       "Loads an RDF Peer System from a mapping-DSL configuration and\n"
       "answers SPARQL queries with certain-answer semantics.\n"
+      "The federated engine simulates the paper's SS5 prototype over a\n"
+      "star topology; --faults injects deterministic failures\n"
+      "(drop:P,seed:S,jitter:MS,crash:I|J,crashp:P,crashafter:I=K,\n"
+      "slow:I|J,slowp:P,slowf:F) and the retry/backoff/hedging pipeline\n"
+      "reports degraded peers and a completeness marker.\n"
       "Try: rps_shell data/paper.rps data/listing1.sparql\n");
   return 0;
 }
@@ -48,10 +62,12 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string query_text;
   std::string engine = "chase";
+  std::string fault_spec;
   size_t threads = 1;
   bool extended = false;
   bool show_mappings = false;
   bool explain = false;
+  rps::RetryPolicy retry;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -62,6 +78,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       int parsed = std::atoi(arg.c_str() + 10);
       threads = parsed > 1 ? static_cast<size_t>(parsed) : 1;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      fault_spec = arg.substr(9);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      int parsed = std::atoi(arg.c_str() + 10);
+      retry.max_retries = parsed > 0 ? static_cast<size_t>(parsed) : 0;
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      double parsed = std::atof(arg.c_str() + 13);
+      if (parsed > 0.0) retry.timeout_ms = parsed;
     } else if (arg == "--extended") {
       extended = true;
     } else if (arg == "--show-mappings") {
@@ -226,6 +250,50 @@ int main(int argc, char** argv) {
       return 1;
     }
     answers = std::move(*result);
+  } else if (engine == "federated") {
+    // The SS5 prototype: rewrite the query and execute it over the peers
+    // as simulated endpoints on a star topology, with optional fault
+    // injection and the retry/backoff/hedging pipeline.
+    rps::FederationOptions options;
+    options.threads = threads;
+    options.retry = retry;
+    if (!fault_spec.empty()) {
+      rps::Result<rps::FaultOptions> faults =
+          rps::ParseFaultSpec(fault_spec);
+      if (!faults.ok()) {
+        std::fprintf(stderr, "%s\n", faults.status().ToString().c_str());
+        return 1;
+      }
+      options.faults = *faults;
+    }
+    rps::Federator federator(&system,
+                             rps::Topology::Star(system.PeerCount()));
+    rps::Result<rps::FederatedQueryResult> result =
+        federator.Execute(query, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "answering: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("federation: %zu subquery(ies), %zu message(s), "
+                "%zu byte(s), %.2f ms simulated\n",
+                result->subqueries, result->network.messages,
+                result->network.bytes, result->network.latency_ms);
+    if (result->retries + result->timeouts + result->hedged > 0) {
+      std::printf("federation: %zu retry(ies), %zu timeout(s), "
+                  "%zu hedged\n",
+                  result->retries, result->timeouts, result->hedged);
+    }
+    std::printf("completeness: %s", rps::ToString(result->completeness));
+    if (!result->degraded_peers.empty()) {
+      std::printf(" (degraded:");
+      for (const std::string& peer : result->degraded_peers) {
+        std::printf(" %s", peer.c_str());
+      }
+      std::printf(")");
+    }
+    std::printf("\n");
+    answers = std::move(result->answers);
   } else {
     std::fprintf(stderr, "unknown engine: %s\n", engine.c_str());
     return 1;

@@ -1,6 +1,8 @@
 #include "federation/federator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -21,6 +23,91 @@ void CountPeerTraffic(const PeerNode& peer, size_t rows) {
       ->Add(rows);
 }
 
+// Attempt ordinal base for hedged re-dispatches: keeps their fault draws
+// disjoint from every primary/retry attempt of any peer (retry budgets
+// are far below this).
+constexpr uint64_t kHedgeAttemptBase = 1u << 20;
+
+// Per-task accumulator for one peer's sub-query on one pattern (or
+// bind-join batch). Fan-out tasks write only their own instance; the
+// coordinator merges them in peer order after the join, so the totals —
+// including the floating-point latency sum — are identical for every
+// thread count.
+struct SubQueryStats {
+  NetworkStats net;
+  size_t retries = 0;
+  size_t timeouts = 0;
+  size_t hedged = 0;
+  // The peer never delivered, even after retries and hedging.
+  bool degraded = false;
+};
+
+// Read-only environment shared by the retry pipeline across tasks.
+struct ExchangeEnv {
+  const FaultInjector* injector;
+  const RetryPolicy* retry;
+  const NetworkCostModel* cost;
+  const Topology* topology;
+  size_t coordinator;
+};
+
+// Simulates one request/response exchange of `payload_bytes` with
+// `target`. On delivery, charges the exchange (with the peer's latency
+// factor and the key's fault jitter) to `stats` and returns true; on a
+// loss (crashed peer, dropped message, or response past the timeout)
+// charges a lost request plus the full timeout wait and returns false.
+bool AttemptExchange(const ExchangeEnv& env, size_t target,
+                     size_t primary_seq, uint64_t key, double payload_bytes,
+                     SubQueryStats* stats) {
+  const FaultInjector& injector = *env.injector;
+  if (!injector.PeerUp(target, primary_seq) || injector.DropExchange(key)) {
+    stats->net.AddLostExchange(env.retry->timeout_ms, *env.cost);
+    return false;
+  }
+  size_t hops = env.topology->HopDistance(env.coordinator, target);
+  double propagation = 2.0 * env.cost->latency_ms_per_hop *
+                       static_cast<double>(hops == SIZE_MAX ? 0 : hops);
+  double transfer = (payload_bytes + env.cost->bytes_per_request) /
+                    env.cost->bandwidth_bytes_per_ms;
+  double factor = injector.PeerLatencyFactor(target);
+  double jitter = injector.LatencyJitterMs(key);
+  if ((propagation + transfer) * factor + jitter > env.retry->timeout_ms) {
+    stats->net.AddLostExchange(env.retry->timeout_ms, *env.cost);
+    return false;
+  }
+  stats->net.AddExchange(payload_bytes, hops, *env.cost, factor, jitter);
+  return true;
+}
+
+// Runs the bounded-retry loop for one sub-query exchange with `peer`:
+// initial attempt plus up to max_retries retries, each preceded by
+// exponential backoff with deterministic jitter. Returns true once an
+// attempt delivers.
+bool DeliverWithRetries(const ExchangeEnv& env, size_t peer,
+                        size_t primary_seq, uint64_t branch,
+                        uint64_t pattern, uint64_t batch,
+                        double payload_bytes, SubQueryStats* stats) {
+  const RetryPolicy& retry = *env.retry;
+  for (size_t attempt = 0; attempt <= retry.max_retries; ++attempt) {
+    uint64_t key =
+        FaultInjector::RequestKey(branch, pattern, batch, peer, attempt);
+    if (attempt > 0) {
+      stats->retries += 1;
+      double backoff =
+          retry.backoff_base_ms *
+          std::pow(retry.backoff_multiplier,
+                   static_cast<double>(attempt - 1)) *
+          (1.0 + retry.backoff_jitter_frac * env.injector->UnitJitter(key));
+      stats->net.AddWait(backoff);
+    }
+    if (AttemptExchange(env, peer, primary_seq, key, payload_bytes, stats)) {
+      return true;
+    }
+    stats->timeouts += 1;
+  }
+  return false;
+}
+
 }  // namespace
 
 Federator::Federator(const RpsSystem* system, Topology topology)
@@ -33,6 +120,26 @@ Federator::Federator(const RpsSystem* system, Topology topology)
     peers_.emplace_back(name, &graph);
     canonical_graphs_.push_back(closure_.CanonicalizeGraph(graph));
     canonical_peers_.emplace_back(name, &canonical_graphs_.back());
+  }
+  // Replica detection for hedged re-dispatch: peers whose raw graphs are
+  // equal as triple sets host the same data (their canonicalized copies
+  // are then equal too), so either can serve the other's sub-queries.
+  replicas_.resize(peers_.size());
+  for (size_t p = 0; p < peers_.size(); ++p) {
+    for (size_t q = 0; q < peers_.size(); ++q) {
+      if (p == q) continue;
+      const Graph& a = peers_[p].graph();
+      const Graph& b = peers_[q].graph();
+      if (a.size() != b.size() || a.size() == 0) continue;
+      bool equal = true;
+      for (const Triple& t : a.triples()) {
+        if (!b.Contains(t)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) replicas_[p].push_back(q);
+    }
   }
 }
 
@@ -61,6 +168,67 @@ Result<FederatedQueryResult> Federator::Execute(
   const Dictionary& dict = *system_->dict();
   std::vector<Tuple> answers;
 
+  // Fault-tolerance machinery. On a perfect network (the default) the
+  // injector is inactive and every sub-query takes the zero-overhead
+  // direct path.
+  FaultInjector injector(options.faults, endpoints.size());
+  ExchangeEnv env{&injector, &options.retry, &options.cost, &topology_,
+                  options.coordinator};
+  // Per-peer ordinal of the next primary sub-query, advanced serially at
+  // dispatch so crash-after schedules are independent of thread count.
+  std::vector<size_t> primary_seq(endpoints.size(), 0);
+  // Peer indices that failed to deliver after retries + hedging.
+  std::set<size_t> degraded;
+
+  // Simulates the delivery of one sub-query whose response was computed
+  // by `eval` (the simulation evaluates first, then "transmits"):
+  // retries with backoff against `peer`, then hedges to its replicas.
+  // Returns false (and flags degradation) when every attempt failed;
+  // `rows`/`raw_rows` hold the delivered response on success.
+  auto deliver = [&](size_t p, size_t seq, uint64_t branch_i,
+                     uint64_t pattern_i, uint64_t batch_i,
+                     double request_payload, double bytes_per_row,
+                     const std::function<BindingSet(PeerNode&, size_t*)>&
+                         eval,
+                     SubQueryStats* st, BindingSet* rows,
+                     size_t* raw_rows) {
+    size_t raw = 0;
+    BindingSet local = eval(endpoints[p], &raw);
+    double payload =
+        request_payload + static_cast<double>(raw) * bytes_per_row;
+    if (!injector.active()) {
+      size_t hops = topology_.HopDistance(options.coordinator, p);
+      st->net.AddExchange(payload, hops, options.cost);
+      *rows = std::move(local);
+      *raw_rows = raw;
+      return true;
+    }
+    if (DeliverWithRetries(env, p, seq, branch_i, pattern_i, batch_i,
+                           payload, st)) {
+      *rows = std::move(local);
+      *raw_rows = raw;
+      return true;
+    }
+    if (options.retry.hedge) {
+      for (size_t q : Replicas(p)) {
+        uint64_t key = FaultInjector::RequestKey(branch_i, pattern_i,
+                                                 batch_i, p,
+                                                 kHedgeAttemptBase + q);
+        if (AttemptExchange(env, q, SIZE_MAX, key, payload, st)) {
+          st->hedged += 1;
+          size_t hedged_raw = 0;
+          *rows = eval(endpoints[q], &hedged_raw);
+          *raw_rows = hedged_raw;
+          return true;
+        }
+        st->timeouts += 1;
+      }
+    }
+    st->degraded = true;
+    return false;
+  };
+
+  uint64_t branch_index = 0;
   for (const ConjunctiveQuery& cq : rewritten.ucq) {
     // Branch body as triple patterns.
     std::vector<TriplePattern> patterns;
@@ -98,75 +266,114 @@ Result<FederatedQueryResult> Federator::Execute(
 
       bool use_bind_join =
           options.join_strategy == JoinStrategy::kBindJoin && !first_pattern;
+      double bytes_per_row = static_cast<double>(tp.Vars().size()) *
+                             options.cost.bytes_per_term;
       if (!use_bind_join) {
         // Ship the pattern's full extension and join at the coordinator.
         // Peers are independent endpoints, so their sub-queries run
-        // concurrently; accounting and the merge happen serially at the
-        // coordinator in peer order, keeping answers identical to the
-        // serial execution.
+        // concurrently; each task accumulates its own SubQueryStats and
+        // the merge happens serially at the coordinator in peer order,
+        // keeping answers and accounting identical to the serial
+        // execution for any thread count.
         std::vector<BindingSet> per_peer(endpoints.size());
         std::vector<char> answered(endpoints.size(), 0);
+        std::vector<SubQueryStats> task_stats(endpoints.size());
+        std::vector<size_t> seq(endpoints.size(), 0);
+        for (size_t p = 0; p < endpoints.size(); ++p) {
+          if (endpoints[p].MayAnswer(tp)) seq[p] = primary_seq[p]++;
+        }
         ThreadPool::Global().ParallelFor(
             endpoints.size(), options.threads, [&](size_t p) {
               if (!endpoints[p].MayAnswer(tp)) return;
-              per_peer[p] = endpoints[p].Answer(tp);
               answered[p] = 1;
+              size_t raw = 0;
+              deliver(
+                  p, seq[p], branch_index, idx, /*batch_i=*/0,
+                  /*request_payload=*/0.0, bytes_per_row,
+                  [&](PeerNode& target, size_t* raw_rows) {
+                    BindingSet rows = target.Answer(tp);
+                    *raw_rows = rows.size();
+                    return rows;
+                  },
+                  &task_stats[p], &per_peer[p], &raw);
             });
         BindingSet pattern_results;
         for (size_t p = 0; p < endpoints.size(); ++p) {
           if (!answered[p]) continue;
-          BindingSet& local = per_peer[p];
           ++result.subqueries;
-          CountPeerTraffic(endpoints[p], local.size());
-          size_t hops = topology_.HopDistance(options.coordinator, p);
-          double payload = static_cast<double>(local.size()) *
-                           static_cast<double>(tp.Vars().size()) *
-                           options.cost.bytes_per_term;
-          result.network.AddExchange(payload, hops, options.cost);
-          for (Binding& b : local) pattern_results.push_back(std::move(b));
+          CountPeerTraffic(endpoints[p], per_peer[p].size());
+          result.network.Merge(task_stats[p].net);
+          result.retries += task_stats[p].retries;
+          result.timeouts += task_stats[p].timeouts;
+          result.hedged += task_stats[p].hedged;
+          if (task_stats[p].degraded) degraded.insert(p);
+          for (Binding& b : per_peer[p]) {
+            pattern_results.push_back(std::move(b));
+          }
         }
         Dedup(&pattern_results);
         current = Join(current, pattern_results);
       } else {
         // Bind join: send batched bound sub-queries; peers return only
         // the rows compatible with the accumulated bindings. Within a
-        // batch the per-peer requests fan out concurrently.
+        // batch the per-peer requests fan out concurrently, with the
+        // same per-task-and-merge stats discipline as extension
+        // shipping.
         BindingSet next;
         size_t batch = std::max<size_t>(options.bind_join_batch, 1);
-        for (size_t start = 0; start < current.size(); start += batch) {
+        uint64_t batch_index = 0;
+        for (size_t start = 0; start < current.size();
+             start += batch, ++batch_index) {
           size_t end = std::min(current.size(), start + batch);
           std::vector<BindingSet> per_peer(endpoints.size());
           std::vector<size_t> per_peer_rows(endpoints.size(), 0);
           std::vector<char> answered(endpoints.size(), 0);
-          ThreadPool::Global().ParallelFor(
-              endpoints.size(), options.threads, [&](size_t p) {
-                PeerNode& peer = endpoints[p];
-                if (!peer.MayAnswer(tp)) return;
-                answered[p] = 1;
-                for (size_t i = start; i < end; ++i) {
-                  const Binding& b = current[i];
-                  // Substitute the bound variables into the pattern.
-                  auto bind_term = [&](const PatternTerm& pt) {
-                    if (pt.is_var()) {
-                      std::optional<TermId> value = b.Get(pt.var());
-                      if (value.has_value()) {
-                        return PatternTerm::Const(*value);
-                      }
-                    }
-                    return pt;
-                  };
-                  TriplePattern bound{bind_term(tp.s), bind_term(tp.p),
-                                      bind_term(tp.o)};
-                  if (!peer.MayAnswer(bound)) continue;
-                  BindingSet local = peer.Answer(bound);
-                  per_peer_rows[p] += local.size();
-                  for (const Binding& r : local) {
-                    std::optional<Binding> merged = Binding::Merge(b, r);
-                    if (merged.has_value()) {
-                      per_peer[p].push_back(std::move(*merged));
-                    }
+          std::vector<SubQueryStats> task_stats(endpoints.size());
+          std::vector<size_t> seq(endpoints.size(), 0);
+          for (size_t p = 0; p < endpoints.size(); ++p) {
+            if (endpoints[p].MayAnswer(tp)) seq[p] = primary_seq[p]++;
+          }
+          // Evaluates the batch's bound sub-queries against `target`,
+          // returning the merged rows and the raw matching row count.
+          auto eval_batch = [&](PeerNode& target, size_t* raw_rows) {
+            BindingSet merged_rows;
+            size_t raw = 0;
+            for (size_t i = start; i < end; ++i) {
+              const Binding& b = current[i];
+              // Substitute the bound variables into the pattern.
+              auto bind_term = [&](const PatternTerm& pt) {
+                if (pt.is_var()) {
+                  std::optional<TermId> value = b.Get(pt.var());
+                  if (value.has_value()) {
+                    return PatternTerm::Const(*value);
                   }
                 }
+                return pt;
+              };
+              TriplePattern bound{bind_term(tp.s), bind_term(tp.p),
+                                  bind_term(tp.o)};
+              if (!target.MayAnswer(bound)) continue;
+              BindingSet local = target.Answer(bound);
+              raw += local.size();
+              for (const Binding& r : local) {
+                std::optional<Binding> merged = Binding::Merge(b, r);
+                if (merged.has_value()) {
+                  merged_rows.push_back(std::move(*merged));
+                }
+              }
+            }
+            *raw_rows = raw;
+            return merged_rows;
+          };
+          ThreadPool::Global().ParallelFor(
+              endpoints.size(), options.threads, [&](size_t p) {
+                if (!endpoints[p].MayAnswer(tp)) return;
+                answered[p] = 1;
+                double request_payload =
+                    static_cast<double>(end - start) * bytes_per_row;
+                deliver(p, seq[p], branch_index, idx, batch_index,
+                        request_payload, bytes_per_row, eval_batch,
+                        &task_stats[p], &per_peer[p], &per_peer_rows[p]);
               });
           for (size_t p = 0; p < endpoints.size(); ++p) {
             if (!answered[p]) continue;
@@ -175,17 +382,11 @@ Result<FederatedQueryResult> Federator::Execute(
             // matching rows.
             ++result.subqueries;
             CountPeerTraffic(endpoints[p], per_peer_rows[p]);
-            size_t hops = topology_.HopDistance(options.coordinator, p);
-            double request_payload =
-                static_cast<double>(end - start) *
-                static_cast<double>(tp.Vars().size()) *
-                options.cost.bytes_per_term;
-            double response_payload =
-                static_cast<double>(per_peer_rows[p]) *
-                static_cast<double>(tp.Vars().size()) *
-                options.cost.bytes_per_term;
-            result.network.AddExchange(request_payload + response_payload,
-                                       hops, options.cost);
+            result.network.Merge(task_stats[p].net);
+            result.retries += task_stats[p].retries;
+            result.timeouts += task_stats[p].timeouts;
+            result.hedged += task_stats[p].hedged;
+            if (task_stats[p].degraded) degraded.insert(p);
             for (Binding& b : per_peer[p]) next.push_back(std::move(b));
           }
         }
@@ -221,6 +422,7 @@ Result<FederatedQueryResult> Federator::Execute(
       }
       if (keep) answers.push_back(std::move(tuple));
     }
+    ++branch_index;
   }
 
   std::sort(answers.begin(), answers.end());
@@ -229,11 +431,33 @@ Result<FederatedQueryResult> Federator::Execute(
     answers = closure_.ExpandTuples(answers);
   }
   result.answers = std::move(answers);
+  // A run is partial exactly when some peer stayed unreachable: the
+  // answers are then a sound subset of the zero-fault certain answers
+  // (faults only remove rows from pattern extensions, and every
+  // downstream operator — join, projection, blank-dropping, expansion —
+  // is monotone).
+  for (size_t p : degraded) {
+    result.degraded_peers.push_back(endpoints[p].name());
+  }
+  result.completeness = degraded.empty() ? Completeness::kComplete
+                                         : Completeness::kPartialSound;
   reg.counter("federation.subqueries")->Add(result.subqueries);
   reg.counter("federation.branches")->Add(result.branches);
+  reg.counter("federation.retries")->Add(result.retries);
+  reg.counter("federation.timeouts")->Add(result.timeouts);
+  reg.counter("federation.hedged")->Add(result.hedged);
+  reg.counter("federation.degraded_peers")
+      ->Add(result.degraded_peers.size());
   span.Annotate("branches", result.branches);
   span.Annotate("subqueries", result.subqueries);
   span.Annotate("answers", result.answers.size());
+  if (injector.active()) {
+    span.Annotate("completeness", std::string(ToString(result.completeness)));
+    span.Annotate("retries", result.retries);
+    span.Annotate("timeouts", result.timeouts);
+    span.Annotate("hedged", result.hedged);
+    span.Annotate("degraded_peers", result.degraded_peers.size());
+  }
   if (options.threads > 1) {
     span.Annotate("threads", static_cast<uint64_t>(options.threads));
   }

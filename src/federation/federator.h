@@ -1,10 +1,12 @@
 #ifndef RPS_FEDERATION_FEDERATOR_H_
 #define RPS_FEDERATION_FEDERATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "federation/network.h"
 #include "federation/peer_node.h"
+#include "peer/certain_answers.h"
 #include "peer/equivalence.h"
 #include "peer/rps_system.h"
 #include "rewrite/bool_rewrite.h"
@@ -25,10 +27,39 @@ enum class JoinStrategy {
   kBindJoin,
 };
 
+/// Retry policy for sub-queries whose exchange failed (dropped message,
+/// crashed peer, or response past the timeout). Only consulted when
+/// fault injection is active — on a perfect network (the default) the
+/// federator takes the original zero-overhead path.
+struct RetryPolicy {
+  /// Simulated per-sub-query timeout: an exchange whose end-to-end
+  /// latency exceeds this counts as failed and the coordinator charges
+  /// itself the full wait.
+  double timeout_ms = 200.0;
+  /// Retries after the initial attempt (0 = fail on first loss).
+  size_t max_retries = 2;
+  /// Exponential backoff before retry k (1-based):
+  ///   backoff_base_ms * backoff_multiplier^(k-1) * (1 + jitter)
+  /// with `jitter` a deterministic per-attempt draw in
+  /// [0, backoff_jitter_frac).
+  double backoff_base_ms = 4.0;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter_frac = 0.5;
+  /// After a peer exhausts its retry budget, re-dispatch the sub-query
+  /// once to each replica peer (a peer hosting an identical graph) until
+  /// one delivers. Replicas are detected at Federator construction.
+  bool hedge = true;
+};
+
 /// Options for a federated query execution.
 struct FederationOptions {
   RpsRewriteOptions rewrite;
   NetworkCostModel cost;
+  /// Deterministic fault injection on the simulated transport. Inactive
+  /// by default (perfect network, identical to the pre-fault behaviour).
+  FaultOptions faults;
+  /// Applied per sub-query when `faults` is active.
+  RetryPolicy retry;
   /// Coordinator node index in the topology (sub-queries are issued from
   /// here and results joined here).
   size_t coordinator = 0;
@@ -52,6 +83,19 @@ struct FederatedQueryResult {
   size_t subqueries = 0;
   /// Branches of the rewritten UCQ that were executed.
   size_t branches = 0;
+  /// kComplete on a clean run; kPartialSound iff some peer stayed
+  /// unreachable after retries and hedging (see `degraded_peers`).
+  /// Every returned answer is a certain answer either way.
+  Completeness completeness = Completeness::kComplete;
+  /// Names of peers that failed to deliver at least one sub-query after
+  /// the full retry + hedge budget, in peer order, deduplicated.
+  std::vector<std::string> degraded_peers;
+  /// Retry attempts issued beyond first attempts.
+  size_t retries = 0;
+  /// Sub-query exchanges that failed (drop, crash, or over-timeout).
+  size_t timeouts = 0;
+  /// Hedged re-dispatches to replica peers that delivered.
+  size_t hedged = 0;
 };
 
 /// The §5 prototype, simulated: a query engine that provides unified
@@ -90,6 +134,12 @@ class Federator {
   const std::vector<PeerNode>& peers() const { return peers_; }
   const Topology& topology() const { return topology_; }
 
+  /// Peers hosting a graph identical to peer `p`'s (hedging targets),
+  /// ascending, excluding `p` itself. Empty when `p` has no replica.
+  const std::vector<size_t>& Replicas(size_t p) const {
+    return replicas_[p];
+  }
+
  private:
   const RpsSystem* system_;
   Topology topology_;
@@ -99,6 +149,9 @@ class Federator {
   /// Raw-graph endpoints and canonicalized endpoints, same order.
   std::vector<PeerNode> peers_;
   std::vector<PeerNode> canonical_peers_;
+  /// replicas_[p] = peers whose raw graph equals peer p's as a triple
+  /// set (hedged re-dispatch targets), ascending, excluding p.
+  std::vector<std::vector<size_t>> replicas_;
 };
 
 }  // namespace rps

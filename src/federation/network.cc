@@ -1,21 +1,25 @@
 #include "federation/network.h"
 
+#include <cstdlib>
 #include <deque>
 
 #include "obs/metrics.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace rps {
 
 void NetworkStats::AddExchange(double payload_bytes, size_t hops,
-                               const NetworkCostModel& model) {
+                               const NetworkCostModel& model,
+                               double latency_scale,
+                               double extra_latency_ms) {
   messages += 2;  // request + response
   double total_bytes = payload_bytes + model.bytes_per_request;
   bytes += static_cast<size_t>(total_bytes);
   double propagation = 2.0 * model.latency_ms_per_hop *
                        static_cast<double>(hops == SIZE_MAX ? 0 : hops);
   double transfer = total_bytes / model.bandwidth_bytes_per_ms;
-  latency_ms += propagation + transfer;
+  latency_ms += (propagation + transfer) * latency_scale + extra_latency_ms;
 
   static obs::Counter* message_counter =
       obs::Registry::Global().counter("federation.messages");
@@ -23,6 +27,208 @@ void NetworkStats::AddExchange(double payload_bytes, size_t hops,
       obs::Registry::Global().counter("federation.bytes");
   message_counter->Add(2);
   byte_counter->Add(static_cast<uint64_t>(total_bytes));
+}
+
+void NetworkStats::AddLostExchange(double waited_ms,
+                                   const NetworkCostModel& model) {
+  messages += 1;  // the request crosses the network; the response never does
+  bytes += static_cast<size_t>(model.bytes_per_request);
+  latency_ms += waited_ms;
+
+  static obs::Counter* message_counter =
+      obs::Registry::Global().counter("federation.messages");
+  static obs::Counter* byte_counter =
+      obs::Registry::Global().counter("federation.bytes");
+  message_counter->Add(1);
+  byte_counter->Add(static_cast<uint64_t>(model.bytes_per_request));
+}
+
+void NetworkStats::Merge(const NetworkStats& other) {
+  messages += other.messages;
+  bytes += other.bytes;
+  latency_ms += other.latency_ms;
+}
+
+bool FaultOptions::Any() const {
+  return drop_rate > 0.0 || latency_jitter_ms > 0.0 || crash_rate > 0.0 ||
+         !crashed_peers.empty() || !crash_after.empty() || slow_rate > 0.0 ||
+         !slow_peers.empty();
+}
+
+namespace {
+
+// SplitMix64 finalizer: a high-quality 64-bit mix used to derive
+// independent per-peer / per-exchange draws from (seed, key, salt)
+// without any shared RNG state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kSaltDrop = 0x1;
+constexpr uint64_t kSaltJitter = 0x2;
+constexpr uint64_t kSaltBackoff = 0x3;
+constexpr uint64_t kSaltCrash = 0x4;
+constexpr uint64_t kSaltSlow = 0x5;
+
+double UnitFrom(uint64_t seed, uint64_t key, uint64_t salt) {
+  uint64_t h = Mix64(Mix64(seed ^ Mix64(salt)) ^ key);
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultOptions& options, size_t peer_count)
+    : active_(options.Any()),
+      options_(options),
+      crashed_(peer_count, 0),
+      slow_(peer_count, 0),
+      crash_after_(peer_count, SIZE_MAX) {
+  for (size_t p = 0; p < peer_count; ++p) {
+    if (options_.crash_rate > 0.0 &&
+        UnitFrom(options_.seed, p, kSaltCrash) < options_.crash_rate) {
+      crashed_[p] = 1;
+    }
+    if (options_.slow_rate > 0.0 &&
+        UnitFrom(options_.seed, p, kSaltSlow) < options_.slow_rate) {
+      slow_[p] = 1;
+    }
+  }
+  for (size_t p : options_.crashed_peers) {
+    if (p < peer_count) crashed_[p] = 1;
+  }
+  for (size_t p : options_.slow_peers) {
+    if (p < peer_count) slow_[p] = 1;
+  }
+  for (const auto& [peer, served] : options_.crash_after) {
+    if (peer < peer_count) crash_after_[peer] = served;
+  }
+}
+
+uint64_t FaultInjector::RequestKey(uint64_t branch, uint64_t pattern,
+                                   uint64_t batch, uint64_t peer,
+                                   uint64_t attempt) {
+  // Mix the coordinates pairwise so every component perturbs all bits.
+  uint64_t key = Mix64(branch);
+  key = Mix64(key ^ pattern);
+  key = Mix64(key ^ batch);
+  key = Mix64(key ^ peer);
+  key = Mix64(key ^ attempt);
+  return key;
+}
+
+bool FaultInjector::PeerUp(size_t peer, size_t primary_seq) const {
+  if (peer < crashed_.size() && crashed_[peer]) return false;
+  if (peer < crash_after_.size() && crash_after_[peer] != SIZE_MAX) {
+    // Scheduled crash. Hedged requests (primary_seq == SIZE_MAX) arrive
+    // only after some peer exhausted its retries, so a peer with a crash
+    // schedule is conservatively down for them too.
+    if (primary_seq >= crash_after_[peer]) return false;
+  }
+  return true;
+}
+
+double FaultInjector::PeerLatencyFactor(size_t peer) const {
+  if (peer < slow_.size() && slow_[peer]) return options_.slow_factor;
+  return 1.0;
+}
+
+bool FaultInjector::DropExchange(uint64_t request_key) const {
+  if (options_.drop_rate <= 0.0) return false;
+  return Unit(request_key, kSaltDrop) < options_.drop_rate;
+}
+
+double FaultInjector::LatencyJitterMs(uint64_t request_key) const {
+  if (options_.latency_jitter_ms <= 0.0) return 0.0;
+  return Unit(request_key, kSaltJitter) * options_.latency_jitter_ms;
+}
+
+double FaultInjector::UnitJitter(uint64_t request_key) const {
+  return Unit(request_key, kSaltBackoff);
+}
+
+double FaultInjector::Unit(uint64_t key, uint64_t salt) const {
+  return UnitFrom(options_.seed, key, salt);
+}
+
+namespace {
+
+Result<double> ParseFaultNumber(const std::string& key,
+                                const std::string& value) {
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || parsed < 0.0) {
+    return Status::InvalidArgument("faults: bad value for '" + key +
+                                   "': " + value);
+  }
+  return parsed;
+}
+
+Result<std::vector<size_t>> ParseFaultPeerList(const std::string& key,
+                                               const std::string& value) {
+  std::vector<size_t> peers;
+  for (const std::string& part : Split(value, '|')) {
+    RPS_ASSIGN_OR_RETURN(double n, ParseFaultNumber(key, part));
+    peers.push_back(static_cast<size_t>(n));
+  }
+  return peers;
+}
+
+}  // namespace
+
+Result<FaultOptions> ParseFaultSpec(const std::string& spec) {
+  FaultOptions options;
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("faults: expected key:value, got '" +
+                                     entry + "'");
+    }
+    std::string key = entry.substr(0, colon);
+    std::string value = entry.substr(colon + 1);
+    if (key == "seed") {
+      RPS_ASSIGN_OR_RETURN(double n, ParseFaultNumber(key, value));
+      options.seed = static_cast<uint64_t>(n);
+    } else if (key == "drop") {
+      RPS_ASSIGN_OR_RETURN(options.drop_rate, ParseFaultNumber(key, value));
+    } else if (key == "jitter") {
+      RPS_ASSIGN_OR_RETURN(options.latency_jitter_ms,
+                           ParseFaultNumber(key, value));
+    } else if (key == "crashp") {
+      RPS_ASSIGN_OR_RETURN(options.crash_rate, ParseFaultNumber(key, value));
+    } else if (key == "crash") {
+      RPS_ASSIGN_OR_RETURN(options.crashed_peers,
+                           ParseFaultPeerList(key, value));
+    } else if (key == "crashafter") {
+      for (const std::string& pair : Split(value, '|')) {
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          return Status::InvalidArgument(
+              "faults: crashafter expects peer=count, got '" + pair + "'");
+        }
+        RPS_ASSIGN_OR_RETURN(double peer,
+                             ParseFaultNumber(key, pair.substr(0, eq)));
+        RPS_ASSIGN_OR_RETURN(double count,
+                             ParseFaultNumber(key, pair.substr(eq + 1)));
+        options.crash_after.emplace_back(static_cast<size_t>(peer),
+                                         static_cast<size_t>(count));
+      }
+    } else if (key == "slowp") {
+      RPS_ASSIGN_OR_RETURN(options.slow_rate, ParseFaultNumber(key, value));
+    } else if (key == "slow") {
+      RPS_ASSIGN_OR_RETURN(options.slow_peers,
+                           ParseFaultPeerList(key, value));
+    } else if (key == "slowf") {
+      RPS_ASSIGN_OR_RETURN(options.slow_factor, ParseFaultNumber(key, value));
+    } else {
+      return Status::InvalidArgument("faults: unknown key '" + key + "'");
+    }
+  }
+  return options;
 }
 
 void Topology::AddEdge(size_t a, size_t b) {

@@ -4,7 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/result.h"
 
 namespace rps {
 
@@ -24,16 +27,125 @@ struct NetworkCostModel {
 };
 
 /// Accumulated traffic statistics of a federated query execution.
+///
+/// Not thread-safe: concurrent fan-out tasks each accumulate into their
+/// own per-task instance, which the coordinator merges in peer order
+/// after the join (`Merge`), so totals are deterministic for every
+/// thread count.
 struct NetworkStats {
   size_t messages = 0;
   size_t bytes = 0;
   double latency_ms = 0.0;
 
   /// Records a request/response exchange of `payload_bytes` over a path
-  /// of `hops` edges.
+  /// of `hops` edges. `latency_scale` multiplies the propagation +
+  /// transfer time (slow peers), `extra_latency_ms` is added on top
+  /// (fault-injected jitter).
   void AddExchange(double payload_bytes, size_t hops,
-                   const NetworkCostModel& model);
+                   const NetworkCostModel& model,
+                   double latency_scale = 1.0,
+                   double extra_latency_ms = 0.0);
+
+  /// Records a request whose response never arrived (dropped message,
+  /// crashed peer, or timeout): the request still crosses the network,
+  /// and the coordinator waits `waited_ms` before giving up.
+  void AddLostExchange(double waited_ms, const NetworkCostModel& model);
+
+  /// Records pure coordinator-side waiting (retry backoff).
+  void AddWait(double waited_ms) { latency_ms += waited_ms; }
+
+  /// Accumulates `other` into this (per-task-and-merge pattern).
+  void Merge(const NetworkStats& other);
 };
+
+/// Deterministic fault model for the simulated transport. All draws are
+/// hashes of (seed, request key), not a shared RNG stream, so the fault
+/// schedule is a pure function of the configuration: identical seeds
+/// produce identical failures regardless of thread count or scheduling.
+struct FaultOptions {
+  /// Master seed for every per-peer and per-exchange draw.
+  uint64_t seed = 1;
+  /// Per-exchange probability that a message is lost in transit.
+  double drop_rate = 0.0;
+  /// Uniform extra latency in [0, latency_jitter_ms) per exchange.
+  double latency_jitter_ms = 0.0;
+  /// Per-peer probability of being crashed for the whole execution.
+  double crash_rate = 0.0;
+  /// Peers that are down from the start, by node index.
+  std::vector<size_t> crashed_peers;
+  /// Crash schedule: peer `first` answers its first `second` primary
+  /// sub-queries, then goes down for the rest of the execution.
+  std::vector<std::pair<size_t, size_t>> crash_after;
+  /// Per-peer probability of being a slow peer.
+  double slow_rate = 0.0;
+  /// Peers that are slow for the whole execution, by node index.
+  std::vector<size_t> slow_peers;
+  /// Latency multiplier applied to slow peers' exchanges (large values
+  /// push them past the federator's per-sub-query timeout).
+  double slow_factor = 10.0;
+
+  /// True when any fault source is configured.
+  bool Any() const;
+};
+
+/// Evaluates FaultOptions into per-peer state and per-exchange decisions.
+/// Default-constructed injectors are inactive (a perfect network); the
+/// federator skips the retry pipeline entirely in that case.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultOptions& options, size_t peer_count);
+
+  bool active() const { return active_; }
+
+  /// Deterministic key of one sub-query attempt. `pattern` is the
+  /// pattern's index in the branch body, `batch` the bind-join batch
+  /// ordinal (0 for extension shipping), `attempt` the retry ordinal —
+  /// all independent of thread scheduling.
+  static uint64_t RequestKey(uint64_t branch, uint64_t pattern,
+                             uint64_t batch, uint64_t peer,
+                             uint64_t attempt);
+
+  /// True if the peer responds to its `primary_seq`-th primary sub-query
+  /// (crashed peers never respond; scheduled crashes stop at the
+  /// configured count). Pass SIZE_MAX for hedged requests: they never
+  /// advance a schedule, and a peer with a crash schedule is
+  /// conservatively down for them (hedges fire after retries, i.e. late).
+  bool PeerUp(size_t peer, size_t primary_seq) const;
+
+  /// Latency multiplier for the peer (1.0, or slow_factor when slow).
+  double PeerLatencyFactor(size_t peer) const;
+
+  /// True if the exchange identified by `request_key` loses a message.
+  bool DropExchange(uint64_t request_key) const;
+
+  /// Fault-injected extra latency for the exchange, in [0, jitter).
+  double LatencyJitterMs(uint64_t request_key) const;
+
+  /// Deterministic uniform draw in [0, 1) for the key (backoff jitter).
+  double UnitJitter(uint64_t request_key) const;
+
+ private:
+  /// Uniform [0,1) from (seed, key, salt).
+  double Unit(uint64_t key, uint64_t salt) const;
+
+  bool active_ = false;
+  FaultOptions options_;
+  std::vector<char> crashed_;
+  std::vector<char> slow_;
+  /// Per peer: primary sub-queries served before crashing (SIZE_MAX =
+  /// no scheduled crash).
+  std::vector<size_t> crash_after_;
+};
+
+/// Parses a `--faults` specification of comma-separated `key:value`
+/// entries into FaultOptions, e.g.
+///   "drop:0.3,seed:42,jitter:5,crash:1|3,slow:2,slowf:8"
+/// Keys: seed, drop, jitter, crash (|-separated peer indices), crashp
+/// (crash_rate), crashafter (peer|count pairs as p=k with | separators),
+/// slow (|-separated peer indices), slowp (slow_rate), slowf
+/// (slow_factor). Unknown keys or malformed numbers are errors.
+Result<FaultOptions> ParseFaultSpec(const std::string& spec);
 
 /// An undirected peer topology over node indices 0..n-1.
 class Topology {

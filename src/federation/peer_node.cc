@@ -13,7 +13,7 @@ bool PeerNode::MayAnswer(const TriplePattern& tp) const {
 }
 
 BindingSet PeerNode::Answer(const TriplePattern& tp) {
-  ++queries_served_;
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
   return EvalTriplePattern(*graph_, tp);
 }
 

@@ -1,7 +1,9 @@
 #ifndef RPS_FEDERATION_PEER_NODE_H_
 #define RPS_FEDERATION_PEER_NODE_H_
 
+#include <atomic>
 #include <string>
+#include <utility>
 
 #include "peer/schema.h"
 #include "query/eval.h"
@@ -11,12 +13,41 @@ namespace rps {
 /// A simulated peer endpoint: wraps one peer's stored graph and answers
 /// triple-pattern sub-queries against it, with request accounting. This
 /// stands in for a remote SPARQL access point in the §5 prototype.
+///
+/// Answer() may be called concurrently: the federator's fan-out queries
+/// distinct peers from distinct tasks, but a hedged re-dispatch can hit
+/// a replica while that replica serves its own sub-query, so the served
+/// counter is a relaxed atomic.
 class PeerNode {
  public:
   PeerNode(std::string name, const Graph* graph)
       : name_(std::move(name)),
         graph_(graph),
         schema_(PeerSchema::FromGraph(name_, *graph)) {}
+
+  // Copy/move keep the counter's point-in-time value (std::atomic is
+  // neither copyable nor movable); only used during container setup,
+  // never concurrently with Answer().
+  PeerNode(const PeerNode& other)
+      : name_(other.name_),
+        graph_(other.graph_),
+        schema_(other.schema_),
+        queries_served_(other.queries_served()) {}
+  PeerNode(PeerNode&& other) noexcept
+      : name_(std::move(other.name_)),
+        graph_(other.graph_),
+        schema_(std::move(other.schema_)),
+        queries_served_(other.queries_served()) {}
+  PeerNode& operator=(const PeerNode& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      graph_ = other.graph_;
+      schema_ = other.schema_;
+      queries_served_.store(other.queries_served(),
+                            std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   const std::string& name() const { return name_; }
   const Graph& graph() const { return *graph_; }
@@ -33,13 +64,15 @@ class PeerNode {
   BindingSet Answer(const TriplePattern& tp);
 
   /// Number of sub-queries served so far.
-  size_t queries_served() const { return queries_served_; }
+  size_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
   const Graph* graph_;
   PeerSchema schema_;
-  size_t queries_served_ = 0;
+  std::atomic<size_t> queries_served_{0};
 };
 
 }  // namespace rps

@@ -45,6 +45,8 @@ std::string RenderReport(const ExplainReport& report,
   out += "EXPLAIN (engine=" + std::string(EngineName(options.engine)) +
          ")\n";
   out += "answers: " + std::to_string(report.answers.size()) + " row(s)\n";
+  out += "completeness: " + std::string(ToString(report.completeness)) +
+         "\n";
 
   if (options.engine != ExplainEngine::kRewrite) {
     const RpsChaseStats& cs = report.chase_stats;
@@ -112,6 +114,7 @@ Result<ExplainReport> ExplainQuery(const RpsSystem& system,
         report.answers = std::move(result.answers);
         report.chase_stats = result.chase_stats;
         report.universal_solution_size = result.universal_solution_size;
+        report.completeness = result.completeness;
         break;
       }
       case ExplainEngine::kRewrite: {
@@ -120,6 +123,9 @@ Result<ExplainReport> ExplainQuery(const RpsSystem& system,
             CertainAnswersViaRewriting(system, query, options.rewrite));
         report.answers = std::move(result.answers);
         report.rewrite_stats = std::move(result.stats);
+        report.completeness = report.rewrite_stats.complete
+                                  ? Completeness::kComplete
+                                  : Completeness::kPartialSound;
         break;
       }
     }

@@ -33,6 +33,12 @@ struct ExplainOptions {
 /// the rendered trace span tree.
 struct ExplainReport {
   std::vector<Tuple> answers;
+  /// Whether `answers` is the full certain-answer set or a sound subset
+  /// (kPartialSound when the rewrite engine exhausted its budget —
+  /// Prop. 3 territory). The chase engines are always complete; the
+  /// federated executor reports the same marker on
+  /// FederatedQueryResult.
+  Completeness completeness = Completeness::kComplete;
   /// Algorithm 1 statistics (kChase / kUnionFind engines).
   RpsChaseStats chase_stats;
   size_t universal_solution_size = 0;

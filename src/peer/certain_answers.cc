@@ -7,6 +7,11 @@
 
 namespace rps {
 
+const char* ToString(Completeness completeness) {
+  return completeness == Completeness::kComplete ? "complete"
+                                                 : "partial-sound";
+}
+
 namespace {
 
 void RecordUniversalSolutionSize(size_t triples) {

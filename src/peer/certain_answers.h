@@ -11,6 +11,24 @@
 
 namespace rps {
 
+/// Whether a result set is the full certain-answer set or a sound
+/// subset of it. Every engine preserves the paper's soundness guarantee
+/// (a returned tuple is always a certain answer — Algorithm 1's
+/// blank-dropping is unaffected); this marker makes *incompleteness*
+/// explicit instead of silent when a budget was exhausted or, in the
+/// federated executor, a peer stayed unreachable after retries.
+enum class Completeness {
+  /// The result is the complete certain-answer set.
+  kComplete,
+  /// The result is a sound subset: every returned tuple is a certain
+  /// answer, but some certain answers may be missing (degraded peers,
+  /// exhausted rewrite budget).
+  kPartialSound,
+};
+
+/// Short lowercase rendering ("complete" / "partial-sound").
+const char* ToString(Completeness completeness);
+
 /// How the certain-answer engine handles equivalence mappings.
 enum class EquivalenceMode {
   /// Naive Algorithm 1: the six copying rules per mapping are chased into
@@ -47,6 +65,10 @@ struct CertainAnswerResult {
   RpsChaseStats chase_stats;
   /// Triples in the (possibly canonicalized) universal solution.
   size_t universal_solution_size = 0;
+  /// Always kComplete for the chase engines (the chase is local and
+  /// lossless); carried so every answering pipeline reports the same
+  /// marker shape as the federated executor.
+  Completeness completeness = Completeness::kComplete;
 };
 
 /// Computes ans(q, P, D) (Definition 3) by Algorithm 1: materializes a

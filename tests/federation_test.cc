@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gen/generators.h"
 #include "gen/paper_example.h"
 #include "peer/certain_answers.h"
@@ -240,6 +242,405 @@ TEST(FederatorTest, TopologyTooSmallRejected) {
   PaperExample ex = BuildPaperExample();  // 3 peers
   Federator fed(ex.system.get(), Topology::Chain(2));
   EXPECT_FALSE(fed.Execute(ex.query).ok());
+}
+
+TEST(NetworkStatsTest, MergeMatchesSequentialAccumulation) {
+  NetworkCostModel model;
+  NetworkStats sequential;
+  sequential.AddExchange(500.0, 1, model);
+  sequential.AddLostExchange(60.0, model);
+  sequential.AddWait(4.0);
+  sequential.AddExchange(200.0, 3, model, /*latency_scale=*/2.0,
+                         /*extra_latency_ms=*/1.5);
+
+  NetworkStats task_a;
+  task_a.AddExchange(500.0, 1, model);
+  task_a.AddLostExchange(60.0, model);
+  NetworkStats task_b;
+  task_b.AddWait(4.0);
+  task_b.AddExchange(200.0, 3, model, 2.0, 1.5);
+  NetworkStats merged;
+  merged.Merge(task_a);
+  merged.Merge(task_b);
+
+  EXPECT_EQ(merged.messages, sequential.messages);
+  EXPECT_EQ(merged.bytes, sequential.bytes);
+  EXPECT_DOUBLE_EQ(merged.latency_ms, sequential.latency_ms);
+}
+
+TEST(NetworkStatsTest, LostExchangeChargesRequestAndWait) {
+  NetworkCostModel model;
+  NetworkStats stats;
+  stats.AddLostExchange(/*waited_ms=*/60.0, model);
+  EXPECT_EQ(stats.messages, 1u);  // the request crossed; no response
+  EXPECT_EQ(stats.bytes, static_cast<size_t>(model.bytes_per_request));
+  EXPECT_DOUBLE_EQ(stats.latency_ms, 60.0);
+}
+
+TEST(FaultInjectorTest, DefaultConstructedIsInactive) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.active());
+  FaultOptions none;
+  EXPECT_FALSE(none.Any());
+  FaultOptions some;
+  some.drop_rate = 0.1;
+  EXPECT_TRUE(some.Any());
+}
+
+TEST(FaultInjectorTest, DropDrawsAreDeterministicAndSeedSensitive) {
+  FaultOptions options;
+  options.drop_rate = 0.5;
+  options.seed = 7;
+  FaultInjector a(options, 4);
+  FaultInjector b(options, 4);
+  options.seed = 8;
+  FaultInjector c(options, 4);
+
+  size_t differs = 0;
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t key = FaultInjector::RequestKey(0, i, 0, i % 4, 0);
+    EXPECT_EQ(a.DropExchange(key), b.DropExchange(key)) << i;
+    if (a.DropExchange(key) != c.DropExchange(key)) ++differs;
+  }
+  EXPECT_GT(differs, 0u);  // a different seed is a different schedule
+}
+
+TEST(FaultInjectorTest, CrashScheduleStopsAfterConfiguredCount) {
+  FaultOptions options;
+  options.crash_after = {{1, 2}};
+  options.crashed_peers = {3};
+  FaultInjector injector(options, 4);
+  EXPECT_TRUE(injector.PeerUp(0, 0));
+  EXPECT_TRUE(injector.PeerUp(1, 0));
+  EXPECT_TRUE(injector.PeerUp(1, 1));
+  EXPECT_FALSE(injector.PeerUp(1, 2));  // third primary sub-query: down
+  EXPECT_FALSE(injector.PeerUp(3, 0));  // crashed from the start
+  // Hedged requests (SIZE_MAX): up for unscheduled peers, down for
+  // hard-crashed peers and (conservatively) for crash-scheduled ones.
+  EXPECT_TRUE(injector.PeerUp(0, SIZE_MAX));
+  EXPECT_FALSE(injector.PeerUp(1, SIZE_MAX));
+  EXPECT_FALSE(injector.PeerUp(3, SIZE_MAX));
+}
+
+TEST(ParseFaultSpecTest, ParsesFullSpec) {
+  Result<FaultOptions> parsed = ParseFaultSpec(
+      "drop:0.25,seed:42,jitter:3,crash:1|3,crashp:0.5,"
+      "crashafter:2=1|4=0,slowp:0.1,slow:2,slowf:8");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->drop_rate, 0.25);
+  EXPECT_EQ(parsed->seed, 42u);
+  EXPECT_DOUBLE_EQ(parsed->latency_jitter_ms, 3.0);
+  EXPECT_EQ(parsed->crashed_peers, (std::vector<size_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(parsed->crash_rate, 0.5);
+  ASSERT_EQ(parsed->crash_after.size(), 2u);
+  EXPECT_EQ(parsed->crash_after[0], (std::pair<size_t, size_t>{2, 1}));
+  EXPECT_EQ(parsed->crash_after[1], (std::pair<size_t, size_t>{4, 0}));
+  EXPECT_DOUBLE_EQ(parsed->slow_rate, 0.1);
+  EXPECT_EQ(parsed->slow_peers, (std::vector<size_t>{2}));
+  EXPECT_DOUBLE_EQ(parsed->slow_factor, 8.0);
+  EXPECT_TRUE(parsed->Any());
+}
+
+TEST(ParseFaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultSpec("bogus:1").ok());
+  EXPECT_FALSE(ParseFaultSpec("drop").ok());
+  EXPECT_FALSE(ParseFaultSpec("drop:abc").ok());
+  EXPECT_FALSE(ParseFaultSpec("drop:-0.5").ok());
+  EXPECT_FALSE(ParseFaultSpec("drop:0.5x").ok());
+  EXPECT_FALSE(ParseFaultSpec("crashafter:2").ok());
+  EXPECT_TRUE(ParseFaultSpec("").ok());  // empty spec: no faults
+}
+
+namespace fault_test {
+
+// True if every tuple of `subset` also occurs in `superset` (the
+// federator returns sorted, deduplicated answers).
+bool IsSubset(const std::vector<Tuple>& subset,
+              const std::vector<Tuple>& superset) {
+  return std::includes(superset.begin(), superset.end(), subset.begin(),
+                       subset.end());
+}
+
+// The LOD fixture the fault tests share.
+std::unique_ptr<RpsSystem> MakeLodSystem(LodConfig* config_out) {
+  LodConfig config;
+  config.num_peers = 5;
+  config.films_per_peer = 10;
+  config.seed = 81;
+  config.single_triple_dialect = true;
+  *config_out = config;
+  return GenerateLod(config);
+}
+
+// A two-peer system where both peers host the same graph (replicas), so
+// hedged re-dispatch has somewhere to go.
+std::unique_ptr<RpsSystem> MakeReplicatedSystem(GraphPatternQuery* query) {
+  auto sys = std::make_unique<RpsSystem>();
+  Graph& a = sys->AddPeer("alpha");
+  Graph& b = sys->AddPeer("beta");
+  Dictionary& dict = *sys->dict();
+  TermId p = dict.InternIri("http://r.example.org/knows");
+  for (int i = 0; i < 4; ++i) {
+    TermId s = dict.InternIri("http://r.example.org/s" +
+                              std::to_string(i));
+    TermId o = dict.InternIri("http://r.example.org/o" +
+                              std::to_string(i));
+    a.InsertUnchecked(Triple{s, p, o});
+    b.InsertUnchecked(Triple{s, p, o});
+  }
+  VarId x = sys->vars()->Intern("rx");
+  VarId y = sys->vars()->Intern("ry");
+  query->head = {x, y};
+  query->body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                                PatternTerm::Var(y)});
+  return sys;
+}
+
+}  // namespace fault_test
+
+TEST(FaultToleranceTest, InactiveFaultsMatchCleanRunExactly) {
+  // Default FaultOptions must leave the execution byte-identical to the
+  // pre-fault code path: same answers, same accounting, kComplete.
+  PaperExample ex = BuildPaperExample();
+  Federator fed(ex.system.get(), Topology::Star(3));
+  Result<FederatedQueryResult> clean = fed.Execute(ex.query);
+  FederationOptions with_defaults;
+  with_defaults.retry.max_retries = 7;  // irrelevant on a perfect network
+  Result<FederatedQueryResult> defaulted = fed.Execute(ex.query,
+                                                       with_defaults);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(clean->answers, defaulted->answers);
+  EXPECT_EQ(clean->network.messages, defaulted->network.messages);
+  EXPECT_EQ(clean->network.bytes, defaulted->network.bytes);
+  EXPECT_DOUBLE_EQ(clean->network.latency_ms,
+                   defaulted->network.latency_ms);
+  EXPECT_EQ(defaulted->completeness, Completeness::kComplete);
+  EXPECT_EQ(defaulted->retries, 0u);
+  EXPECT_EQ(defaulted->timeouts, 0u);
+  EXPECT_TRUE(defaulted->degraded_peers.empty());
+}
+
+TEST(FaultToleranceTest, DropsAreSoundAndMarked) {
+  // Acceptance criterion: at drop rate 0.3, (a) every answer is also a
+  // zero-fault answer, (b) the marker is kPartialSound iff some peer
+  // degraded.
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  Result<FederatedQueryResult> baseline = fed.Execute(q);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_FALSE(baseline->answers.empty());
+
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (size_t budget : {0u, 2u}) {
+      FederationOptions options;
+      options.faults.drop_rate = 0.3;
+      options.faults.seed = seed;
+      options.retry.timeout_ms = 60.0;
+      options.retry.max_retries = budget;
+      Result<FederatedQueryResult> r = fed.Execute(q, options);
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_TRUE(fault_test::IsSubset(r->answers, baseline->answers))
+          << "seed " << seed << " budget " << budget;
+      EXPECT_EQ(r->completeness == Completeness::kPartialSound,
+                !r->degraded_peers.empty())
+          << "seed " << seed << " budget " << budget;
+      if (budget == 0) {
+        EXPECT_EQ(r->retries, 0u);
+      }
+    }
+  }
+}
+
+TEST(FaultToleranceTest, IdenticalSeedsAreByteIdenticalAcrossThreads) {
+  // Acceptance criterion: identical seeds yield byte-identical results
+  // (answers, stats, degraded set) for every thread count 1..8. All
+  // fault draws hash deterministic request coordinates and per-task
+  // stats merge in peer order, so even latency sums match bit-for-bit.
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions options;
+  options.faults.drop_rate = 0.3;
+  options.faults.latency_jitter_ms = 2.0;
+  options.faults.slow_peers = {1};
+  options.faults.seed = 321;
+  options.retry.timeout_ms = 60.0;
+  options.retry.max_retries = 2;
+
+  options.threads = 1;
+  Result<FederatedQueryResult> reference = fed.Execute(q, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (size_t threads = 2; threads <= 8; ++threads) {
+    options.threads = threads;
+    Result<FederatedQueryResult> r = fed.Execute(q, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->answers, reference->answers) << threads << " threads";
+    EXPECT_EQ(r->network.messages, reference->network.messages);
+    EXPECT_EQ(r->network.bytes, reference->network.bytes);
+    EXPECT_EQ(r->network.latency_ms, reference->network.latency_ms)
+        << threads << " threads (exact double equality intended)";
+    EXPECT_EQ(r->retries, reference->retries);
+    EXPECT_EQ(r->timeouts, reference->timeouts);
+    EXPECT_EQ(r->hedged, reference->hedged);
+    EXPECT_EQ(r->degraded_peers, reference->degraded_peers);
+    EXPECT_EQ(r->completeness, reference->completeness);
+  }
+}
+
+TEST(FaultToleranceTest, ReplayOfSeededScheduleIsDeterministic) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions options;
+  options.faults.drop_rate = 0.4;
+  options.faults.seed = 77;
+  options.retry.max_retries = 1;
+  options.retry.timeout_ms = 50.0;
+  Result<FederatedQueryResult> first = fed.Execute(q, options);
+  Result<FederatedQueryResult> second = fed.Execute(q, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->answers, second->answers);
+  EXPECT_EQ(first->network.latency_ms, second->network.latency_ms);
+  EXPECT_EQ(first->retries, second->retries);
+  EXPECT_EQ(first->timeouts, second->timeouts);
+  EXPECT_EQ(first->degraded_peers, second->degraded_peers);
+}
+
+TEST(FaultToleranceTest, AllPeersDeadReturnsEmptyPartialSound) {
+  // Satellite edge case: with every peer crashed the federator must
+  // return (not hang), with no answers and an explicit kPartialSound.
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions options;
+  for (size_t p = 0; p < sys->PeerCount(); ++p) {
+    options.faults.crashed_peers.push_back(p);
+  }
+  options.retry.max_retries = 2;
+  options.threads = 4;
+  Result<FederatedQueryResult> r = fed.Execute(q, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->answers.empty());
+  EXPECT_EQ(r->completeness, Completeness::kPartialSound);
+  EXPECT_FALSE(r->degraded_peers.empty());
+  EXPECT_GT(r->timeouts, 0u);
+}
+
+TEST(FaultToleranceTest, CrashAfterZeroEqualsCrashedFromStart) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions scheduled;
+  scheduled.faults.crash_after = {{2, 0}};
+  FederationOptions hard;
+  hard.faults.crashed_peers = {2};
+  Result<FederatedQueryResult> a = fed.Execute(q, scheduled);
+  Result<FederatedQueryResult> b = fed.Execute(q, hard);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answers, b->answers);
+  EXPECT_EQ(a->degraded_peers, b->degraded_peers);
+  EXPECT_EQ(a->completeness, Completeness::kPartialSound);
+}
+
+TEST(FaultToleranceTest, HedgingRecoversFromReplicaPeer) {
+  // Crash one of two replica peers: the hedge re-dispatch reaches the
+  // surviving copy, so the run stays complete with zero degraded peers.
+  GraphPatternQuery q;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeReplicatedSystem(&q);
+  Federator fed(sys.get(), Topology::Star(2));
+  EXPECT_EQ(fed.Replicas(0), (std::vector<size_t>{1}));
+  EXPECT_EQ(fed.Replicas(1), (std::vector<size_t>{0}));
+
+  Result<FederatedQueryResult> baseline = fed.Execute(q);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_EQ(baseline->answers.size(), 4u);
+
+  FederationOptions options;
+  options.faults.crashed_peers = {0};
+  options.retry.max_retries = 1;
+  Result<FederatedQueryResult> hedged = fed.Execute(q, options);
+  ASSERT_TRUE(hedged.ok()) << hedged.status();
+  EXPECT_EQ(hedged->answers, baseline->answers);
+  EXPECT_EQ(hedged->completeness, Completeness::kComplete);
+  EXPECT_GT(hedged->hedged, 0u);
+  EXPECT_TRUE(hedged->degraded_peers.empty());
+
+  FederationOptions no_hedge = options;
+  no_hedge.retry.hedge = false;
+  Result<FederatedQueryResult> degraded = fed.Execute(q, no_hedge);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->completeness, Completeness::kPartialSound);
+  EXPECT_EQ(degraded->degraded_peers, (std::vector<std::string>{"alpha"}));
+  EXPECT_EQ(degraded->hedged, 0u);
+  // The surviving replica still answers, so hedging only changed the
+  // marker, not soundness.
+  EXPECT_EQ(degraded->answers, baseline->answers);
+}
+
+TEST(FaultToleranceTest, BindJoinUnderFaultsIsSound) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions clean;
+  clean.join_strategy = JoinStrategy::kBindJoin;
+  clean.bind_join_batch = 4;
+  Result<FederatedQueryResult> baseline = fed.Execute(q, clean);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  FederationOptions faulty = clean;
+  faulty.faults.drop_rate = 0.3;
+  faulty.faults.seed = 17;
+  faulty.retry.timeout_ms = 60.0;
+  faulty.retry.max_retries = 1;
+  faulty.threads = 4;
+  Result<FederatedQueryResult> r = fed.Execute(q, faulty);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(fault_test::IsSubset(r->answers, baseline->answers));
+  EXPECT_EQ(r->completeness == Completeness::kPartialSound,
+            !r->degraded_peers.empty());
+}
+
+TEST(FaultToleranceTest, ConcurrentFanOutWithHedgingIsRaceFree) {
+  // Regression for the stats data race: the threaded fan-out used to
+  // need a shared NetworkStats; now every task accumulates its own
+  // SubQueryStats and the coordinator merges serially. With replicas
+  // plus drops, hedged re-dispatch also hits a replica's endpoint while
+  // that replica answers its own primaries concurrently (atomic
+  // queries_served_). Run under TSan via scripts/check_tsan.sh.
+  GraphPatternQuery q;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeReplicatedSystem(&q);
+  Federator fed(sys.get(), Topology::Star(2));
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    FederationOptions options;
+    options.threads = 8;
+    options.faults.drop_rate = 0.5;
+    options.faults.seed = seed;
+    options.retry.timeout_ms = 40.0;
+    options.retry.max_retries = 1;
+    Result<FederatedQueryResult> r = fed.Execute(q, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->completeness == Completeness::kPartialSound,
+              !r->degraded_peers.empty());
+  }
+  EXPECT_GT(fed.peers()[0].queries_served() +
+                fed.peers()[1].queries_served(),
+            0u);
 }
 
 TEST(PeerNodeTest, MayAnswerFiltersBySchema) {

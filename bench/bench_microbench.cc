@@ -68,6 +68,57 @@ void BM_GraphMatchByPredicate(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphMatchByPredicate);
 
+// 2-bound shapes — the dominant access of seeded BGP joins and bind
+// joins; served by the permuted sorted runs (SPO here).
+void BM_GraphMatchSubjectPredicate(benchmark::State& state) {
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(SmallConfig());
+  rps::Graph merged = sys->StoredDatabase();
+  rps::TermId actor = sys->dict()->InternIri("http://peer0.example.org/actor");
+  std::vector<rps::TermId> subjects;
+  merged.Match(std::nullopt, actor, std::nullopt, [&](const rps::Triple& t) {
+    subjects.push_back(t.s);
+    return true;
+  });
+  for (auto _ : state) {
+    size_t count = 0;
+    for (rps::TermId s : subjects) {
+      merged.Match(s, actor, std::nullopt, [&](const rps::Triple&) {
+        ++count;
+        return true;
+      });
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(subjects.size()));
+}
+BENCHMARK(BM_GraphMatchSubjectPredicate);
+
+// (? p o) over the POS run, probing every distinct object of a predicate.
+void BM_GraphMatchPredicateObject(benchmark::State& state) {
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(SmallConfig());
+  rps::Graph merged = sys->StoredDatabase();
+  rps::TermId actor = sys->dict()->InternIri("http://peer0.example.org/actor");
+  std::vector<rps::TermId> objects;
+  merged.Match(std::nullopt, actor, std::nullopt, [&](const rps::Triple& t) {
+    objects.push_back(t.o);
+    return true;
+  });
+  for (auto _ : state) {
+    size_t count = 0;
+    for (rps::TermId o : objects) {
+      merged.Match(std::nullopt, actor, o, [&](const rps::Triple&) {
+        ++count;
+        return true;
+      });
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(objects.size()));
+}
+BENCHMARK(BM_GraphMatchPredicateObject);
+
 void BM_BindingJoin(benchmark::State& state) {
   rps::Rng rng(7);
   rps::BindingSet left, right;

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the whole bench suite at smoke sizes and consolidates every
+# harness's METRICS line into one bench/baselines/BENCH_<label>.json —
+# a committed per-PR performance baseline and a CI artifact.
+#
+# Usage:
+#   scripts/bench_baseline.sh [--label L] [--n N] [--build-dir DIR] [--out DIR]
+#
+#   --label L      baseline name (default: current git short SHA)
+#   --n N          scale knob passed to every harness (default: 8)
+#   --build-dir D  reuse an existing build tree (skips configure+build);
+#                  otherwise the release preset is configured and built
+#   --out D        output directory (default: bench/baselines)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+label="$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+n=8
+build_dir=""
+out_dir="bench/baselines"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --label) label="$2"; shift 2 ;;
+    --n) n="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out_dir="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ -z "$build_dir" ]; then
+  build_dir="build-release"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$(nproc)" >/dev/null
+fi
+
+bench_dir="$build_dir/bench"
+[ -d "$bench_dir" ] || { echo "no bench dir at $bench_dir" >&2; exit 1; }
+
+mkdir -p "$out_dir"
+out_file="$out_dir/BENCH_${label}.json"
+tmp_metrics="$(mktemp)"
+trap 'rm -f "$tmp_metrics"' EXIT
+
+for b in "$bench_dir"/*; do
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  # bench_microbench is a Google Benchmark binary: it rejects foreign
+  # flags, so it runs bare (its benchmarks are already micro-sized).
+  if [ "$name" = bench_microbench ]; then
+    "$b" --benchmark_min_time=0.01 > /dev/null
+    continue
+  fi
+  echo "== $name --n=$n" >&2
+  # Not every harness publishes METRICS; a missing line is not an error,
+  # but a non-zero harness exit is.
+  "$b" --n="$n" \
+    | { grep '^METRICS ' || true; } \
+    | sed 's/^METRICS //' >> "$tmp_metrics"
+done
+
+{
+  printf '{\n  "label": "%s",\n  "n": %s,\n  "runs": [\n' "$label" "$n"
+  sed '$!s/$/,/; s/^/    /' "$tmp_metrics"
+  printf '  ]\n}\n'
+} > "$out_file"
+
+echo "wrote $out_file ($(grep -c '"tag"' "$out_file") runs)"

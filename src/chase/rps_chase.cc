@@ -318,7 +318,10 @@ Result<RpsChaseStats> BuildUniversalSolution(const RpsSystem& system,
   }
   obs::AutoSpan span("chase.build_universal_solution");
 
-  // Seed: d ⊆ J for every stored peer database d.
+  // Seed: d ⊆ J for every stored peer database d. Reserving the combined
+  // size up front keeps the copy from rehashing `out`'s containers once
+  // per growth step.
+  out->Reserve(system.dataset().TotalTriples());
   for (const auto& [name, graph] : system.dataset().graphs()) {
     for (const Triple& t : graph.triples()) {
       if (out->InsertUnchecked(t)) {

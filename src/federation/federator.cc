@@ -243,8 +243,10 @@ Result<FederatedQueryResult> Federator::Execute(
     if (!convertible) continue;
 
     // Fetch each pattern's extension from the peers that may answer it,
-    // most selective (fewest estimated candidates) first, and join at the
-    // coordinator.
+    // most selective first, and join at the coordinator. The permuted
+    // graph indexes make each per-peer estimate the exact pattern
+    // cardinality, so the sort key is the true federation-wide extension
+    // size — the order the bind-join path wants.
     std::vector<size_t> order(patterns.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     auto estimate = [&](const TriplePattern& tp) {

@@ -52,6 +52,7 @@ Result<CertainAnswerResult> CertainAnswers(
 
   Graph canonical(system.dict());
   Graph stored = system.StoredDatabase();
+  canonical.Reserve(stored.size());
   for (const Triple& t : stored.triples()) {
     canonical.InsertUnchecked(Triple{closure.Canon(t.s), closure.Canon(t.p),
                                      closure.Canon(t.o)});

@@ -47,19 +47,31 @@ std::optional<TermId> KeyFor(const PatternTerm& pt, const Binding& binding) {
 
 // Greedy pattern order: repeatedly pick the remaining pattern with the
 // lowest cost, where positions that are constants or already-covered
-// variables count as bound. Cost = (unbound positions, index-estimated
-// matches). Variables bound by `seed` count as bound from the start, and
-// the seed's concrete values are used as sample keys in EstimateMatches —
-// a position that is highly selective once seeded must not be costed as a
-// wildcard. Variables bound by earlier-ordered patterns have no sample
-// value; they still count as bound for the unbound-position criterion.
+// variables count as bound. Cost = (unbound positions, index-counted
+// matches — the permuted indexes make EstimateMatches *exact* for every
+// shape, so the tie-break is the true per-pattern cardinality, not a
+// posting-list upper bound). Variables bound by `seed` count as bound
+// from the start, and the seed's concrete values are used as sample keys
+// in EstimateMatches — a position that is highly selective once seeded
+// must not be costed as a wildcard. Variables bound by earlier-ordered
+// patterns have no sample value; they still count as bound for the
+// unbound-position criterion.
 std::vector<size_t> OrderPatterns(const Graph& graph,
                                   const std::vector<TriplePattern>& patterns,
                                   const Binding& seed) {
+  if (patterns.size() == 1) return {0};
   std::vector<size_t> order;
   std::vector<bool> used(patterns.size(), false);
   std::set<VarId> bound;
   for (const auto& [var, term] : seed.entries()) bound.insert(var);
+  // Per-pattern cardinalities depend only on the seed, not on which
+  // patterns were picked earlier — compute each once, not per step.
+  std::vector<size_t> estimates(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const TriplePattern& tp = patterns[i];
+    estimates[i] = graph.EstimateMatches(
+        KeyFor(tp.s, seed), KeyFor(tp.p, seed), KeyFor(tp.o, seed));
+  }
   for (size_t step = 0; step < patterns.size(); ++step) {
     size_t best = patterns.size();
     size_t best_unbound = SIZE_MAX;
@@ -71,13 +83,11 @@ std::vector<size_t> OrderPatterns(const Graph& graph,
       for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
         if (pt->is_var() && bound.find(pt->var()) == bound.end()) ++unbound;
       }
-      size_t estimate = graph.EstimateMatches(
-          KeyFor(tp.s, seed), KeyFor(tp.p, seed), KeyFor(tp.o, seed));
       if (unbound < best_unbound ||
-          (unbound == best_unbound && estimate < best_estimate)) {
+          (unbound == best_unbound && estimates[i] < best_estimate)) {
         best = i;
         best_unbound = unbound;
-        best_estimate = estimate;
+        best_estimate = estimates[i];
       }
     }
     order.push_back(best);

@@ -23,6 +23,7 @@ Graph* Dataset::Find(const std::string& name) {
 
 Graph Dataset::Merged() const {
   Graph merged(dict_);
+  merged.Reserve(TotalTriples());
   for (const auto& [name, graph] : graphs_) {
     merged.InsertAll(graph);
   }

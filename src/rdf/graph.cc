@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace rps {
+
+namespace {
+
+// Hot-path instrumentation: pointers resolved once (the registry never
+// invalidates them), one relaxed atomic add per call — not per triple.
+obs::Counter& RangeScanCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("graph.index.range_scans");
+  return *c;
+}
+obs::Counter& DeltaScanCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("graph.index.delta_scans");
+  return *c;
+}
+obs::Counter& MergeCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("graph.index.merges");
+  return *c;
+}
+obs::Counter& ExactEstimateCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("graph.index.exact_estimates");
+  return *c;
+}
+
+// A 2-bound probe whose shorter posting list is at most this long skips
+// the binary search: filtering a handful of sequential positions is
+// cheaper than two O(log n) probes, and the emission order is the same
+// (posting lists are position-ascending and cover base + delta alike).
+constexpr size_t kSmallPostingScan = 16;
+
+}  // namespace
 
 Result<bool> Graph::Insert(const Triple& t) {
   if (t.s == kInvalidTermId || t.p == kInvalidTermId ||
@@ -34,10 +69,56 @@ bool Graph::InsertUnchecked(const Triple& t) {
   by_s_[t.s].push_back(pos);
   by_p_[t.p].push_back(pos);
   by_o_[t.o].push_back(pos);
+  // Merge points depend only on the insertion sequence, which the chase
+  // keeps deterministic (single-writer barriers), so the index state —
+  // and with it every Match enumeration — is reproducible across runs
+  // and thread counts.
+  if (triples_.size() - base_n_ >= MergeThreshold()) MergeDelta();
   return true;
 }
 
+std::pair<TermId, TermId> Graph::PermKey(Permutation perm, const Triple& t) {
+  switch (perm) {
+    case kSpo:
+      return {t.s, t.p};
+    case kPos:
+      return {t.p, t.o};
+    default:
+      return {t.o, t.s};
+  }
+}
+
+void Graph::MergeDelta() {
+  size_t n = triples_.size();
+  for (int perm = 0; perm < kPermutations; ++perm) {
+    std::vector<PermEntry>& run = perm_[perm];
+    size_t old_size = run.size();
+    // No reserve(n): an exact-size reserve would reallocate every merge;
+    // push_back's geometric growth amortizes instead (Reserve() still
+    // pre-sizes bulk loads).
+    for (size_t pos = base_n_; pos < n; ++pos) {
+      auto [k1, k2] = PermKey(static_cast<Permutation>(perm), triples_[pos]);
+      run.push_back(PermEntry{k1, k2, static_cast<uint32_t>(pos)});
+    }
+    std::sort(run.begin() + old_size, run.end());
+    // Tail positions all exceed base positions, so within one (k1, k2)
+    // group the merge keeps base entries first — the range stays
+    // position-ascending.
+    std::inplace_merge(run.begin(), run.begin() + old_size, run.end());
+  }
+  base_n_ = n;
+  MergeCounter().Increment();
+}
+
+void Graph::Reserve(size_t n) {
+  if (n <= triples_.capacity()) return;
+  triples_.reserve(n);
+  set_.reserve(n);
+  for (int perm = 0; perm < kPermutations; ++perm) perm_[perm].reserve(n);
+}
+
 size_t Graph::InsertAll(const Graph& other) {
+  Reserve(triples_.size() + other.size());
   size_t added = 0;
   for (const Triple& t : other.triples()) {
     if (InsertUnchecked(t)) ++added;
@@ -49,51 +130,138 @@ const std::vector<uint32_t>* Graph::Postings(
     const std::unordered_map<TermId, std::vector<uint32_t>>& index,
     TermId id) const {
   auto it = index.find(id);
-  if (it == index.end()) return nullptr;
-  return &it->second;
+  return it == index.end() ? nullptr : &it->second;
 }
 
-void Graph::Match(std::optional<TermId> s, std::optional<TermId> p,
-                  std::optional<TermId> o,
-                  const std::function<bool(const Triple&)>& fn) const {
-  // Pick the most selective available posting list.
-  const std::vector<uint32_t>* best = nullptr;
-  size_t best_size = std::numeric_limits<size_t>::max();
-  bool bound_position_empty = false;
-  auto consider = [&](const std::unordered_map<TermId, std::vector<uint32_t>>&
-                          index,
-                      std::optional<TermId> key) {
-    if (!key.has_value()) return;
-    const std::vector<uint32_t>* postings = Postings(index, *key);
-    if (postings == nullptr) {
-      bound_position_empty = true;
-      return;
+std::pair<size_t, size_t> Graph::BaseRange(Permutation perm, TermId k1,
+                                           TermId k2) const {
+  struct PrefixLess {
+    bool operator()(const PermEntry& e, std::pair<TermId, TermId> k) const {
+      return e.k1 != k.first ? e.k1 < k.first : e.k2 < k.second;
     }
-    if (postings->size() < best_size) {
-      best = postings;
-      best_size = postings->size();
+    bool operator()(std::pair<TermId, TermId> k, const PermEntry& e) const {
+      return k.first != e.k1 ? k.first < e.k1 : k.second < e.k2;
     }
   };
-  consider(by_s_, s);
-  consider(by_p_, p);
-  consider(by_o_, o);
-  if (bound_position_empty) return;  // some bound term never occurs there
+  const std::vector<PermEntry>& run = perm_[perm];
+  auto [lo, hi] = std::equal_range(run.begin(), run.end(),
+                                   std::make_pair(k1, k2), PrefixLess{});
+  return {static_cast<size_t>(lo - run.begin()),
+          static_cast<size_t>(hi - run.begin())};
+}
+
+namespace {
+
+// Tail of a posting list holding positions >= base_n (the unmerged
+// delta). Lists are position-ascending, so one back() probe rules out
+// the common post-merge case before the binary search.
+size_t TailStart(const std::vector<uint32_t>& list, size_t base_n) {
+  if (list.back() < base_n) return list.size();
+  return static_cast<size_t>(
+      std::lower_bound(list.begin(), list.end(),
+                       static_cast<uint32_t>(base_n)) -
+      list.begin());
+}
+
+}  // namespace
+
+void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
+                     std::optional<TermId> o,
+                     FunctionRef<bool(const Triple&)> fn) const {
+  const int bound = (s.has_value() ? 1 : 0) + (p.has_value() ? 1 : 0) +
+                    (o.has_value() ? 1 : 0);
+  if (bound == 0) {
+    // Fully unbound pattern: scan everything in insertion order.
+    for (const Triple& t : triples_) {
+      if (!fn(t)) return;
+    }
+    return;
+  }
+  if (bound == 3) {
+    Triple probe{*s, *p, *o};
+    if (set_.count(probe) > 0) fn(probe);
+    return;
+  }
+  if (bound == 1) {
+    // A 1-bound pattern is its posting list: every listed triple matches
+    // (no filtering) and positions are already insertion-ordered.
+    const std::vector<uint32_t>* list =
+        s ? Postings(by_s_, *s) : p ? Postings(by_p_, *p) : Postings(by_o_, *o);
+    if (list == nullptr) return;
+    RangeScanCounter().Increment();
+    for (uint32_t pos : *list) {
+      if (!fn(triples_[pos])) return;
+    }
+    return;
+  }
+
+  // 2-bound: both bound terms must occur at their position somewhere in
+  // the graph (posting lists cover base + delta), else no triple matches.
+  const std::vector<uint32_t>* first;
+  const std::vector<uint32_t>* second;
+  Permutation perm;
+  TermId k1, k2;
+  if (s && p) {
+    perm = kSpo, k1 = *s, k2 = *p;
+    first = Postings(by_s_, *s), second = Postings(by_p_, *p);
+  } else if (p && o) {
+    perm = kPos, k1 = *p, k2 = *o;
+    first = Postings(by_p_, *p), second = Postings(by_o_, *o);
+  } else {
+    perm = kOsp, k1 = *o, k2 = *s;
+    first = Postings(by_o_, *o), second = Postings(by_s_, *s);
+  }
+  if (first == nullptr || second == nullptr) return;
+  RangeScanCounter().Increment();
 
   auto matches = [&](const Triple& t) {
     return (!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o);
   };
 
-  if (best != nullptr) {
-    for (uint32_t pos : *best) {
+  const std::vector<uint32_t>* shorter =
+      first->size() <= second->size() ? first : second;
+  if (shorter->size() <= kSmallPostingScan) {
+    for (uint32_t pos : *shorter) {
       const Triple& t = triples_[pos];
       if (matches(t) && !fn(t)) return;
     }
     return;
   }
-  // Fully unbound pattern: scan everything.
-  for (const Triple& t : triples_) {
-    if (!fn(t)) return;
+
+  // Base range: contiguous, position-ascending — every base position
+  // precedes every delta position, so emitting range-then-tail is exactly
+  // ascending insertion order.
+  auto [lo, hi] = BaseRange(perm, k1, k2);
+  const std::vector<PermEntry>& run = perm_[perm];
+  for (size_t i = lo; i < hi; ++i) {
+    if (!fn(triples_[run[i].pos])) return;
   }
+  if (base_n_ == triples_.size()) return;  // no unmerged delta
+  size_t first_start = TailStart(*first, base_n_);
+  size_t second_start = TailStart(*second, base_n_);
+  const std::vector<uint32_t>* tail = first;
+  size_t start = first_start;
+  if (second->size() - second_start < first->size() - first_start) {
+    tail = second;
+    start = second_start;
+  }
+  if (start < tail->size()) {
+    DeltaScanCounter().Increment();
+    for (size_t i = start; i < tail->size(); ++i) {
+      const Triple& t = triples_[(*tail)[i]];
+      if (matches(t) && !fn(t)) return;
+    }
+  }
+}
+
+const std::unordered_set<TermId>& Graph::TermsInUse() const {
+  for (; terms_scanned_ < triples_.size(); ++terms_scanned_) {
+    const Triple& t = triples_[terms_scanned_];
+    terms_in_use_.insert(t.s);
+    terms_in_use_.insert(t.p);
+    terms_in_use_.insert(t.o);
+  }
+  return terms_in_use_;
 }
 
 std::vector<Triple> Graph::MatchAll(std::optional<TermId> s,
@@ -109,29 +277,61 @@ std::vector<Triple> Graph::MatchAll(std::optional<TermId> s,
 
 size_t Graph::EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
                               std::optional<TermId> o) const {
-  size_t best = triples_.size();
-  auto consider = [&](const std::unordered_map<TermId, std::vector<uint32_t>>&
-                          index,
-                      std::optional<TermId> key) {
-    if (!key.has_value()) return;
-    const std::vector<uint32_t>* postings = Postings(index, *key);
-    size_t n = postings == nullptr ? 0 : postings->size();
-    best = std::min(best, n);
-  };
-  consider(by_s_, s);
-  consider(by_p_, p);
-  consider(by_o_, o);
-  return best;
-}
+  const int bound = (s.has_value() ? 1 : 0) + (p.has_value() ? 1 : 0) +
+                    (o.has_value() ? 1 : 0);
+  if (bound == 0) return triples_.size();
+  if (bound == 3) return Contains(Triple{*s, *p, *o}) ? 1 : 0;
 
-std::unordered_set<TermId> Graph::TermsInUse() const {
-  std::unordered_set<TermId> out;
-  for (const Triple& t : triples_) {
-    out.insert(t.s);
-    out.insert(t.p);
-    out.insert(t.o);
+  ExactEstimateCounter().Increment();
+  if (bound == 1) {
+    const std::vector<uint32_t>* list =
+        s ? Postings(by_s_, *s) : p ? Postings(by_p_, *p) : Postings(by_o_, *o);
+    return list == nullptr ? 0 : list->size();
   }
-  return out;
+
+  const std::vector<uint32_t>* first;
+  const std::vector<uint32_t>* second;
+  Permutation perm;
+  TermId k1, k2;
+  if (s && p) {
+    perm = kSpo, k1 = *s, k2 = *p;
+    first = Postings(by_s_, *s), second = Postings(by_p_, *p);
+  } else if (p && o) {
+    perm = kPos, k1 = *p, k2 = *o;
+    first = Postings(by_p_, *p), second = Postings(by_o_, *o);
+  } else {
+    perm = kOsp, k1 = *o, k2 = *s;
+    first = Postings(by_o_, *o), second = Postings(by_s_, *s);
+  }
+  if (first == nullptr || second == nullptr) return 0;
+
+  const std::vector<uint32_t>* shorter =
+      first->size() <= second->size() ? first : second;
+  if (shorter->size() <= kSmallPostingScan) {
+    size_t count = 0;
+    for (uint32_t pos : *shorter) {
+      const Triple& t = triples_[pos];
+      if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) ++count;
+    }
+    return count;
+  }
+
+  auto [lo, hi] = BaseRange(perm, k1, k2);
+  size_t count = hi - lo;
+  if (base_n_ == triples_.size()) return count;  // no unmerged delta
+  size_t first_start = TailStart(*first, base_n_);
+  size_t second_start = TailStart(*second, base_n_);
+  const std::vector<uint32_t>* tail = first;
+  size_t start = first_start;
+  if (second->size() - second_start < first->size() - first_start) {
+    tail = second;
+    start = second_start;
+  }
+  for (size_t i = start; i < tail->size(); ++i) {
+    const Triple& t = triples_[(*tail)[i]];
+    if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) ++count;
+  }
+  return count;
 }
 
 }  // namespace rps

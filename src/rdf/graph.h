@@ -4,17 +4,49 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "rdf/triple.h"
+#include "util/function_ref.h"
 #include "util/result.h"
 
 namespace rps {
 
 /// An in-memory RDF graph (a set of dictionary-encoded triples) with
-/// per-position inverted indexes for pattern matching.
+/// RDF-3X-style permuted sorted indexes for pattern matching.
+///
+/// Storage layout (docs/ARCHITECTURE.md "Storage & indexing"):
+///
+///  - `triples_` holds every triple in insertion order (the public
+///    `triples()` view, stable across Match calls).
+///  - One posting list per position (`by_s_`, `by_p_`, `by_o_`) maps a
+///    term to the ascending insertion positions where it occurs. A
+///    1-bound pattern *is* its posting list: emitted verbatim, no
+///    filtering, and its exact cardinality is the list length.
+///  - Three sorted permutation runs — SPO, POS, OSP — cover the 2-bound
+///    shapes. Each run holds (key1, key2, position) entries for the first
+///    `base_n_` triples, sorted lexicographically, so a 2-bound pattern
+///    is a binary-searched contiguous range:
+///        (s p ?) -> SPO    (? p o) -> POS    (s ? o) -> OSP
+///    Within one (key1, key2) group entries are ordered by position.
+///  - Triples inserted since the last merge (positions >= `base_n_`) form
+///    an append-only LSM-style delta. A 2-bound match unions its base
+///    range with a filtered scan of the delta *tail* of the shorter
+///    applicable posting list. When the delta outgrows a threshold
+///    proportional to the base, the runs absorb it (amortized O(n log n)
+///    total merge work over any insertion sequence).
+///  - A fully bound probe is one hash lookup; a fully unbound pattern
+///    scans `triples_`.
+///
+/// Every path emits matches in ascending insertion position (base range
+/// entries are position-sorted within a key group and all precede the
+/// delta tail). That order is (a) independent of merge timing and thread
+/// count and (b) identical to the historical posting-list engine, so
+/// everything downstream — chase firing order, fresh blank numbering,
+/// certain answers — is byte-identical to the pre-index engine.
 ///
 /// The graph borrows its Dictionary (non-owning): all graphs participating
 /// in one RPS share a dictionary so TermIds are comparable across peers.
@@ -51,35 +83,117 @@ class Graph {
   /// All triples in insertion order. Stable across Match calls.
   const std::vector<Triple>& triples() const { return triples_; }
 
+  /// Pre-sizes the containers for `n` total triples. Call before bulk
+  /// insertion (InsertAll, the chase's copy-existing-triples seed) to
+  /// avoid incremental rehashing and vector growth.
+  void Reserve(size_t n);
+
   /// Inserts every triple of `other` (which must share this dictionary).
   /// Returns the number of newly added triples.
   size_t InsertAll(const Graph& other);
 
   /// Matches a triple pattern where std::nullopt is a wildcard. Invokes
-  /// `fn` for every matching triple; if `fn` returns false, matching stops
-  /// early.
+  /// `fn` for every matching triple in insertion order; if `fn` returns
+  /// false, matching stops early.
+  ///
+  /// The callback is passed by lightweight FunctionRef: lambdas bind with
+  /// no allocation and a single indirect call per match.
+  void MatchRef(std::optional<TermId> s, std::optional<TermId> p,
+                std::optional<TermId> o,
+                FunctionRef<bool(const Triple&)> fn) const;
+
+  template <typename Fn,
+            std::enable_if_t<std::is_invocable_r_v<bool, Fn&, const Triple&>,
+                             int> = 0>
+  void Match(std::optional<TermId> s, std::optional<TermId> p,
+             std::optional<TermId> o, Fn&& fn) const {
+    MatchRef(s, p, o, FunctionRef<bool(const Triple&)>(fn));
+  }
+
+  /// Thin ABI-stable overload for callers that hold a std::function.
   void Match(std::optional<TermId> s, std::optional<TermId> p,
              std::optional<TermId> o,
-             const std::function<bool(const Triple&)>& fn) const;
+             const std::function<bool(const Triple&)>& fn) const {
+    MatchRef(s, p, o, FunctionRef<bool(const Triple&)>(fn));
+  }
 
-  /// Collects all matches of the pattern.
+  /// Collects all matches of the pattern, in insertion order.
   std::vector<Triple> MatchAll(std::optional<TermId> s,
                                std::optional<TermId> p,
                                std::optional<TermId> o) const;
 
-  /// Upper bound on the number of matches for the pattern; used by the
-  /// query evaluator to order joins most-selective-first.
+  /// The *exact* number of matches for the pattern, for all eight
+  /// bound/unbound shapes: posting-list length (1-bound), permutation
+  /// range width plus a bounded delta count (2-bound), hash membership
+  /// (3-bound). Used by the query evaluator, the chase's OrderPatterns
+  /// and the federator to order joins most-selective-first.
   size_t EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
                          std::optional<TermId> o) const;
 
   /// The set of term ids that occur in some triple of this graph, at any
-  /// position. Computed on demand.
-  std::unordered_set<TermId> TermsInUse() const;
+  /// position. Maintained incrementally behind a high-water mark: a call
+  /// scans only the triples appended since the previous call (graphs
+  /// never shrink), so it is O(new triples) instead of a full rescan and
+  /// costs inserts nothing. Not safe to call concurrently with itself;
+  /// callers use it at system-construction/translation time, outside the
+  /// parallel chase phases.
+  const std::unordered_set<TermId>& TermsInUse() const;
+
+  /// Index introspection (tests, benches): triples covered by the sorted
+  /// permutation runs vs. still in the append-only delta.
+  size_t base_size() const { return base_n_; }
+  size_t delta_size() const { return triples_.size() - base_n_; }
 
   Dictionary* dict() const { return dict_; }
 
  private:
-  // Returns the index posting list for the given position/term, or nullptr.
+  // One entry of a permutation run: the two leading permuted components
+  // plus the insertion position (which doubles as the tie-break, so a
+  // (k1, k2) range is position-ascending). The third component is not
+  // needed: fully bound probes use the hash set.
+  struct PermEntry {
+    TermId k1;
+    TermId k2;
+    uint32_t pos;
+
+    friend bool operator<(const PermEntry& a, const PermEntry& b) {
+      if (a.k1 != b.k1) return a.k1 < b.k1;
+      if (a.k2 != b.k2) return a.k2 < b.k2;
+      return a.pos < b.pos;
+    }
+  };
+
+  // The three permutations; kPermutations is the array size of `perm_`.
+  enum Permutation { kSpo = 0, kPos = 1, kOsp = 2, kPermutations = 3 };
+
+  // Delta below this size is never merged — on tiny graphs the filtered
+  // posting-list path is already exact and binary search gains nothing,
+  // while a low floor would make small insert bursts pay a merge every
+  // few dozen triples.
+  static constexpr size_t kMinMergeDelta = 256;
+
+  // Merge trigger: keeps the delta a bounded fraction of the base while
+  // amortizing total merge work to O(n log n) over any insertion
+  // sequence.
+  size_t MergeThreshold() const {
+    size_t proportional = base_n_ / 4;
+    return proportional > kMinMergeDelta ? proportional : kMinMergeDelta;
+  }
+
+  // The (k1, k2) key of triple `t` under a permutation.
+  static std::pair<TermId, TermId> PermKey(Permutation perm, const Triple& t);
+
+  // Sorts the pending delta positions and merges them into the three
+  // permutation runs.
+  void MergeDelta();
+
+  // Half-open range [lo, hi) of perm_[perm] whose (k1, k2) equals the
+  // probe.
+  std::pair<size_t, size_t> BaseRange(Permutation perm, TermId k1,
+                                      TermId k2) const;
+
+  // Returns the posting list for the given position index/term, or
+  // nullptr.
   const std::vector<uint32_t>* Postings(
       const std::unordered_map<TermId, std::vector<uint32_t>>& index,
       TermId id) const;
@@ -87,9 +201,20 @@ class Graph {
   Dictionary* dict_;
   std::vector<Triple> triples_;
   std::unordered_set<Triple, TripleHash> set_;
+
+  // Lazily filled cache behind TermsInUse(); terms_scanned_ is the
+  // high-water mark of triples already folded in.
+  mutable std::unordered_set<TermId> terms_in_use_;
+  mutable size_t terms_scanned_ = 0;
+
+  // Full single-position posting lists (ascending insertion positions).
   std::unordered_map<TermId, std::vector<uint32_t>> by_s_;
   std::unordered_map<TermId, std::vector<uint32_t>> by_p_;
   std::unordered_map<TermId, std::vector<uint32_t>> by_o_;
+
+  // Sorted permutation runs over triples_[0 .. base_n_).
+  std::vector<PermEntry> perm_[kPermutations];
+  size_t base_n_ = 0;
 };
 
 }  // namespace rps

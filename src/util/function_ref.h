@@ -1,0 +1,53 @@
+#ifndef RPS_UTIL_FUNCTION_REF_H_
+#define RPS_UTIL_FUNCTION_REF_H_
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rps {
+
+template <typename Signature>
+class FunctionRef;
+
+/// A lightweight non-owning reference to a callable, in the spirit of
+/// C++26 std::function_ref: one `void*` plus one function pointer, no
+/// allocation, no virtual dispatch through std::function's vtable-like
+/// manager. Used on hot loops (Graph::Match) where a std::function
+/// parameter would cost a per-call construction and a double-indirect
+/// invocation.
+///
+/// The referenced callable must outlive the FunctionRef — bind only to
+/// arguments of a call (the usual borrowing rule for reference
+/// parameters).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return std::invoke(
+              *static_cast<std::remove_reference_t<F>*>(obj),
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_FUNCTION_REF_H_

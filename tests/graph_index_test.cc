@@ -1,0 +1,213 @@
+// Randomized parity tests for the permuted sorted triple indexes: the
+// Graph's Match / MatchAll / EstimateMatches must agree with a naive
+// full-scan oracle on every one of the eight bound/unbound pattern
+// shapes, including while inserts interleave with matches (delta-buffer
+// path, merges landing mid-stream) and under early-exit callbacks.
+//
+// Parity is asserted on the *sequence*, not just the set: the index
+// contract is that matches are emitted in insertion order, which is what
+// keeps chase firing order — and with it certain answers — byte-identical
+// to the historical posting-list engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/rng.h"
+
+namespace rps {
+namespace {
+
+// Full-scan oracle: matches of the pattern in insertion order.
+std::vector<Triple> OracleMatches(const std::vector<Triple>& triples,
+                                  std::optional<TermId> s,
+                                  std::optional<TermId> p,
+                                  std::optional<TermId> o) {
+  std::vector<Triple> out;
+  for (const Triple& t : triples) {
+    if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+struct TermUniverse {
+  std::vector<TermId> subjects;
+  std::vector<TermId> predicates;
+  std::vector<TermId> objects;
+};
+
+// Small universes so that patterns frequently hit multi-triple ranges.
+TermUniverse MakeUniverse(Dictionary* dict, size_t ns, size_t np, size_t no) {
+  TermUniverse u;
+  for (size_t i = 0; i < ns; ++i) {
+    u.subjects.push_back(dict->InternIri("http://t/s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < np; ++i) {
+    u.predicates.push_back(dict->InternIri("http://t/p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < no; ++i) {
+    u.objects.push_back(i % 3 == 0
+                            ? dict->InternLiteral("lit" + std::to_string(i))
+                            : dict->InternIri("http://t/o" +
+                                              std::to_string(i)));
+  }
+  return u;
+}
+
+Triple RandomTriple(Rng* rng, const TermUniverse& u) {
+  return Triple{u.subjects[rng->Index(u.subjects.size())],
+                u.predicates[rng->Index(u.predicates.size())],
+                u.objects[rng->Index(u.objects.size())]};
+}
+
+// A pattern for shape mask `shape` (bit 0 = s bound, 1 = p, 2 = o). Keys
+// are drawn from the universe, so they may or may not have matches.
+void RandomPattern(Rng* rng, const TermUniverse& u, int shape,
+                   std::optional<TermId>* s, std::optional<TermId>* p,
+                   std::optional<TermId>* o) {
+  *s = (shape & 1) != 0
+           ? std::optional<TermId>(u.subjects[rng->Index(u.subjects.size())])
+           : std::nullopt;
+  *p = (shape & 2) != 0
+           ? std::optional<TermId>(
+                 u.predicates[rng->Index(u.predicates.size())])
+           : std::nullopt;
+  *o = (shape & 4) != 0
+           ? std::optional<TermId>(u.objects[rng->Index(u.objects.size())])
+           : std::nullopt;
+}
+
+TEST(GraphIndexTest, ParityWithOracleInterleavedInserts) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 37, 7, 23);
+  Graph graph(&dict);
+  std::vector<Triple> oracle;
+  Rng rng(20260806);
+
+  // 2000 inserts force many delta merges (threshold starts at 64); after
+  // every small batch, all 8 shapes are compared against the oracle.
+  for (int step = 0; step < 200; ++step) {
+    for (int b = 0; b < 10; ++b) {
+      Triple t = RandomTriple(&rng, u);
+      bool was_new = graph.InsertUnchecked(t);
+      bool oracle_new =
+          std::find(oracle.begin(), oracle.end(), t) == oracle.end();
+      ASSERT_EQ(was_new, oracle_new);
+      if (was_new) oracle.push_back(t);
+    }
+    for (int shape = 0; shape < 8; ++shape) {
+      std::optional<TermId> s, p, o;
+      RandomPattern(&rng, u, shape, &s, &p, &o);
+      std::vector<Triple> expected = OracleMatches(oracle, s, p, o);
+      // MatchAll: same triples in the same (insertion) order.
+      ASSERT_EQ(graph.MatchAll(s, p, o), expected)
+          << "shape mask " << shape << " at step " << step;
+      // EstimateMatches: exact cardinality for every shape.
+      ASSERT_EQ(graph.EstimateMatches(s, p, o), expected.size())
+          << "shape mask " << shape << " at step " << step;
+    }
+  }
+  EXPECT_GT(graph.base_size(), 0u);  // merges actually happened
+  ASSERT_EQ(graph.size(), oracle.size());
+}
+
+TEST(GraphIndexTest, EarlyExitStopsMidSequence) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 11, 3, 7);
+  Graph graph(&dict);
+  std::vector<Triple> oracle;
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    Triple t = RandomTriple(&rng, u);
+    if (graph.InsertUnchecked(t)) oracle.push_back(t);
+  }
+
+  for (int shape = 0; shape < 8; ++shape) {
+    std::optional<TermId> s, p, o;
+    RandomPattern(&rng, u, shape, &s, &p, &o);
+    std::vector<Triple> expected = OracleMatches(oracle, s, p, o);
+    // Stop after k emissions: the emitted prefix must equal the oracle's
+    // first k matches, in order.
+    for (size_t k : {size_t{0}, size_t{1}, expected.size() / 2}) {
+      std::vector<Triple> got;
+      graph.Match(s, p, o, [&](const Triple& t) {
+        got.push_back(t);
+        return got.size() < k;
+      });
+      if (expected.empty()) {
+        EXPECT_TRUE(got.empty());
+        continue;
+      }
+      size_t want = std::max<size_t>(k, 1);  // callback runs once to say stop
+      want = std::min(want, expected.size());
+      ASSERT_EQ(got.size(), want) << "shape mask " << shape << " k=" << k;
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+    }
+  }
+}
+
+TEST(GraphIndexTest, MatchSupportsFunctionRefAndStdFunction) {
+  Dictionary dict;
+  Graph graph(&dict);
+  TermId s = dict.InternIri("http://t/s");
+  TermId p = dict.InternIri("http://t/p");
+  TermId o = dict.InternIri("http://t/o");
+  graph.InsertUnchecked(Triple{s, p, o});
+
+  // Template (FunctionRef) path: plain lambda, no std::function.
+  size_t via_lambda = 0;
+  graph.Match(s, std::nullopt, std::nullopt, [&](const Triple&) {
+    ++via_lambda;
+    return true;
+  });
+  EXPECT_EQ(via_lambda, 1u);
+
+  // ABI-stable std::function overload.
+  size_t via_function = 0;
+  std::function<bool(const Triple&)> fn = [&](const Triple&) {
+    ++via_function;
+    return true;
+  };
+  graph.Match(s, std::nullopt, std::nullopt, fn);
+  EXPECT_EQ(via_function, 1u);
+}
+
+TEST(GraphIndexTest, EstimateExactAcrossMergeBoundaries) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 10, 3, 10);
+  Graph graph(&dict);
+  std::vector<Triple> oracle;
+  Rng rng(7);
+  // Dense universe (300 distinct triples): inserts are mostly duplicates,
+  // so the delta crosses the merge threshold slowly — the estimate must
+  // stay exact on both sides of every merge.
+  size_t last_base = 0;
+  size_t merges_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    Triple t = RandomTriple(&rng, u);
+    if (graph.InsertUnchecked(t)) oracle.push_back(t);
+    if (graph.base_size() != last_base) {
+      ++merges_seen;
+      last_base = graph.base_size();
+    }
+    if (i % 97 == 0) {
+      for (int shape = 0; shape < 8; ++shape) {
+        std::optional<TermId> s, p, o;
+        RandomPattern(&rng, u, shape, &s, &p, &o);
+        ASSERT_EQ(graph.EstimateMatches(s, p, o),
+                  OracleMatches(oracle, s, p, o).size());
+      }
+    }
+  }
+  EXPECT_GE(merges_seen, 1u);
+  EXPECT_LE(graph.size(), 300u);
+}
+
+}  // namespace
+}  // namespace rps

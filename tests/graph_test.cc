@@ -99,7 +99,7 @@ TEST_F(GraphTest, MatchEarlyStop) {
   EXPECT_EQ(count, 1);
 }
 
-TEST_F(GraphTest, EstimateMatchesBounds) {
+TEST_F(GraphTest, EstimateMatchesExact) {
   graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
   graph_.InsertUnchecked(Triple{s1_, p2_, o1_});
   graph_.InsertUnchecked(Triple{s2_, p1_, lit_});
@@ -107,14 +107,15 @@ TEST_F(GraphTest, EstimateMatchesBounds) {
             3u);
   EXPECT_EQ(graph_.EstimateMatches(s1_, std::nullopt, std::nullopt), 2u);
   EXPECT_EQ(graph_.EstimateMatches(s1_, p2_, std::nullopt), 1u);
-  // Upper bound only: s2_ and p2_ each occur once (in different triples),
-  // so the estimate is 1 even though the combined pattern has no match.
-  EXPECT_EQ(graph_.EstimateMatches(s2_, p2_, std::nullopt), 1u);
-  // Estimates upper-bound the true match counts for all shapes.
+  // Exact, not an upper bound: s2_ and p2_ each occur once (in different
+  // triples), and the permuted indexes see that the combined pattern has
+  // no match.
+  EXPECT_EQ(graph_.EstimateMatches(s2_, p2_, std::nullopt), 0u);
+  // Estimates equal the true match counts for all shapes.
   for (auto s : {std::optional<TermId>(), std::optional<TermId>(s1_)}) {
     for (auto p : {std::optional<TermId>(), std::optional<TermId>(p1_)}) {
       for (auto o : {std::optional<TermId>(), std::optional<TermId>(o1_)}) {
-        EXPECT_GE(graph_.EstimateMatches(s, p, o),
+        EXPECT_EQ(graph_.EstimateMatches(s, p, o),
                   graph_.MatchAll(s, p, o).size());
       }
     }
@@ -138,6 +139,47 @@ TEST_F(GraphTest, TermsInUse) {
   EXPECT_TRUE(terms.count(p1_));
   EXPECT_TRUE(terms.count(lit_));
   EXPECT_FALSE(terms.count(s2_));
+}
+
+TEST_F(GraphTest, TermsInUseGrowsIncrementally) {
+  EXPECT_TRUE(graph_.TermsInUse().empty());
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  EXPECT_EQ(graph_.TermsInUse().size(), 3u);
+  graph_.InsertUnchecked(Triple{s1_, p1_, lit_});  // only lit_ is new
+  EXPECT_EQ(graph_.TermsInUse().size(), 4u);
+  EXPECT_TRUE(graph_.TermsInUse().count(lit_));
+}
+
+TEST_F(GraphTest, DeltaMergesIntoSortedBase) {
+  // Below the merge threshold everything lives in the append-only delta.
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  EXPECT_EQ(graph_.base_size(), 0u);
+  EXPECT_EQ(graph_.delta_size(), 1u);
+
+  // Push far past the threshold: the base absorbs the delta and queries
+  // stay exact across the merge boundary.
+  Dictionary& d = dict_;
+  for (int i = 0; i < 400; ++i) {
+    graph_.InsertUnchecked(
+        Triple{d.InternIri("http://x/s" + std::to_string(i % 40)), p1_,
+               d.InternIri("http://x/o" + std::to_string(i))});
+  }
+  EXPECT_GT(graph_.base_size(), 0u);
+  EXPECT_EQ(graph_.base_size() + graph_.delta_size(), graph_.size());
+  EXPECT_EQ(graph_.EstimateMatches(std::nullopt, p1_, std::nullopt),
+            graph_.MatchAll(std::nullopt, p1_, std::nullopt).size());
+  TermId s7 = d.InternIri("http://x/s7");
+  EXPECT_EQ(graph_.EstimateMatches(s7, p1_, std::nullopt),
+            graph_.MatchAll(s7, p1_, std::nullopt).size());
+  EXPECT_EQ(graph_.MatchAll(s7, p1_, std::nullopt).size(), 10u);
+}
+
+TEST_F(GraphTest, ReserveKeepsContents) {
+  graph_.InsertUnchecked(Triple{s1_, p1_, o1_});
+  graph_.Reserve(1000);
+  EXPECT_EQ(graph_.size(), 1u);
+  graph_.InsertUnchecked(Triple{s2_, p2_, o1_});
+  EXPECT_EQ(graph_.MatchAll(std::nullopt, std::nullopt, o1_).size(), 2u);
 }
 
 }  // namespace

@@ -336,6 +336,140 @@ int main(int argc, char** argv) {
     if (rows_idx != rows_base) return 1;
   }
 
+  // ---- Sweep 4: multi-pattern BGP joins, probe vs cost-based plan ----
+  // Unanchored star / clique joins on the hub-skewed data are where the
+  // per-binding probe loop degrades: the intermediate grows to thousands
+  // of rows and each one pays an index probe per remaining pattern. The
+  // plan engine (query/plan.h) materializes + sorts each extension once
+  // and merge-joins (collapsing same-variable runs into a leapfrog
+  // intersection), then restores the probe engine's emission order — so
+  // the row counts must match exactly, byte for byte.
+  std::printf("\nSweep 4: BGP joins, probe engine vs cost-based plan "
+              "(times in ms)\n");
+  std::printf("%-12s %-10s %-12s %-12s %-9s %-14s\n", "query", "patterns",
+              "probe_ms", "planned_ms", "speedup", "rows(checksum)");
+  {
+    rps::VarPool vars;
+    rps::VarId vx = vars.Intern("x");
+    rps::VarId va = vars.Intern("a");
+    rps::VarId vb = vars.Intern("b");
+    rps::VarId vc = vars.Intern("c");
+    auto var = [](rps::VarId v) { return rps::PatternTerm::Var(v); };
+    auto cst = [](TermId t) { return rps::PatternTerm::Const(t); };
+
+    struct BgpCase {
+      const char* name;
+      const Graph* graph;
+      std::vector<rps::TriplePattern> patterns;
+    };
+    std::vector<BgpCase> cases;
+
+    // The greedy-trap graph: hub—p0→ x_i (anchor, nx rows); each x_i
+    // —p1→ 20 z's from a wide pool; 10 z's carry a rare —p2→ w triple.
+    // Greedy order (fewest-unbound-first) runs anchor → p1 → p2 and
+    // drags a 20·nx-row intermediate through the last join. The DP
+    // instead anchors on the 10-row p2 pattern and keeps every
+    // intermediate small — the order a selectivity-only heuristic cannot
+    // find because p2 starts with two unbound positions.
+    Graph trap(&dict);
+    TermId trap_hub = dict.InternIri("http://b/trap-hub");
+    TermId tp0 = dict.InternIri("http://b/tp0");
+    TermId tp1 = dict.InternIri("http://b/tp1");
+    TermId tp2 = dict.InternIri("http://b/tp2");
+    {
+      const size_t nx = std::max<size_t>(100, n_knob * 25);
+      const size_t fan = 20;
+      const size_t zpool = nx * 5;
+      std::vector<TermId> xs, zs;
+      for (size_t i = 0; i < nx; ++i) {
+        xs.push_back(dict.InternIri("http://b/tx" + std::to_string(i)));
+      }
+      for (size_t i = 0; i < zpool; ++i) {
+        zs.push_back(dict.InternIri("http://b/tz" + std::to_string(i)));
+      }
+      rps::Rng trap_rng(99);
+      for (size_t i = 0; i < nx; ++i) {
+        trap.InsertUnchecked(Triple{trap_hub, tp0, xs[i]});
+        for (size_t k = 0; k < fan; ++k) {
+          trap.InsertUnchecked(Triple{xs[i], tp1, zs[trap_rng.Index(zpool)]});
+        }
+      }
+      for (size_t i = 0; i < 10; ++i) {
+        trap.InsertUnchecked(
+            Triple{zs[i], tp2,
+                   dict.InternIri("http://b/tw" + std::to_string(i))});
+      }
+    }
+    cases.push_back({"greedy-trap",
+                     &trap,
+                     {{cst(trap_hub), cst(tp0), var(vx)},
+                      {var(vx), cst(tp1), var(va)},
+                      {var(va), cst(tp2), var(vb)}}});
+    // 3-pattern with two predicates over the same (s, o) pair — a
+    // selective pair-key merge join.
+    cases.push_back({"clique3",
+                     &indexed,
+                     {{var(vx), cst(predicates[1]), var(va)},
+                      {var(vx), cst(predicates[2]), var(va)},
+                      {var(vx), cst(predicates[3]), var(vb)}}});
+    // Output-dominated subject star: every pattern shares ?x and the hub
+    // subjects make the result itself huge. Any engine is Ω(output)
+    // here; the plan engine additionally pays the canonical-order
+    // restore sort, so this is the documented worst case, committed to
+    // the baseline on purpose (docs/QUERY_PLANNING.md "caveats").
+    cases.push_back({"star3",
+                     &indexed,
+                     {{var(vx), cst(predicates[0]), var(va)},
+                      {var(vx), cst(predicates[1]), var(vb)},
+                      {var(vx), cst(predicates[2]), var(vc)}}});
+
+    for (const BgpCase& c : cases) {
+      const Graph& g = *c.graph;
+      rps::EvalOptions probe_opts;
+      probe_opts.use_plan = false;
+      rps::EvalOptions plan_opts;
+      rps::QueryPlan plan;
+      plan_opts.plan_capture = &plan;
+
+      // Warmup once per engine (page in the index ranges), then take the
+      // best of three timed runs so first-touch effects don't pollute
+      // the ratio.
+      rps::BindingSet probe_rows = rps::ExtendBindings(
+          g, c.patterns, {rps::Binding()}, probe_opts);
+      rps::BindingSet planned_rows = rps::ExtendBindings(
+          g, c.patterns, {rps::Binding()}, plan_opts);
+      double probe_ms = std::numeric_limits<double>::max();
+      double plan_ms = std::numeric_limits<double>::max();
+      for (int rep = 0; rep < 3; ++rep) {
+        rps_bench::Timer t0;
+        probe_rows = rps::ExtendBindings(g, c.patterns,
+                                         {rps::Binding()}, probe_opts);
+        probe_ms = std::min(probe_ms, t0.ElapsedMs());
+        rps_bench::Timer t1;
+        planned_rows = rps::ExtendBindings(g, c.patterns,
+                                           {rps::Binding()}, plan_opts);
+        plan_ms = std::min(plan_ms, t1.ElapsedMs());
+      }
+
+      // Publish both timings (in µs) so the committed baseline JSON
+      // carries the probe-vs-planned ratio for every sweep case.
+      rps::obs::Registry::Global()
+          .counter(std::string("bench.join.") + c.name + ".probe_us")
+          ->Add(static_cast<uint64_t>(probe_ms * 1000.0));
+      rps::obs::Registry::Global()
+          .counter(std::string("bench.join.") + c.name + ".planned_us")
+          ->Add(static_cast<uint64_t>(plan_ms * 1000.0));
+
+      bool identical = probe_rows == planned_rows;
+      std::printf("%-12s %-10zu %-12.3f %-12.3f %-9.2f %zu%s\n", c.name,
+                  c.patterns.size(), probe_ms, plan_ms,
+                  probe_ms / std::max(plan_ms, 1e-9), planned_rows.size(),
+                  identical ? "" : "  [MISMATCH]");
+      std::printf("%-12s   %s", "", rps::RenderPlan(plan, &dict, &vars).c_str());
+      if (!identical) return 1;
+    }
+  }
+
   rps_bench::PrintMetricsJson("index_scan", before);
   return 0;
 }

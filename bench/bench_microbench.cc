@@ -150,6 +150,59 @@ void BM_BgpEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_BgpEvaluation);
 
+// 3-pattern BGP join where the fewest-unbound-first heuristic walks
+// into a fan-out trap: the anchor pattern reaches 500 subjects, each
+// fanning out 20 ways, while a 10-row two-unbound pattern prunes the
+// join to a handful of rows. The probe engine (range(0) == 0) follows
+// the greedy order and drags the 10k-row intermediate through the last
+// join; the cost-based plan engine (range(0) == 1, query/plan.h)
+// anchors on the selective pattern via DP. Both produce byte-identical
+// bindings; the ratio is what bench/baselines records for the join
+// sweeps.
+void BM_BgpJoin3(benchmark::State& state) {
+  rps::Dictionary dict;
+  rps::Graph graph(&dict);
+  rps::Rng rng(17);
+  rps::TermId hub = dict.InternIri("http://m/hub");
+  rps::TermId p0 = dict.InternIri("http://m/p0");
+  rps::TermId p1 = dict.InternIri("http://m/p1");
+  rps::TermId p2 = dict.InternIri("http://m/p2");
+  std::vector<rps::TermId> xs, zs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(dict.InternIri("http://m/x" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2500; ++i) {
+    zs.push_back(dict.InternIri("http://m/z" + std::to_string(i)));
+  }
+  for (const rps::TermId x : xs) {
+    graph.InsertUnchecked(rps::Triple{hub, p0, x});
+    for (int k = 0; k < 20; ++k) {
+      graph.InsertUnchecked(rps::Triple{x, p1, zs[rng.Index(zs.size())]});
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    graph.InsertUnchecked(
+        rps::Triple{zs[i], p2, dict.InternIri("http://m/w" + std::to_string(i))});
+  }
+  rps::VarPool vars;
+  rps::VarId vx = vars.Intern("x");
+  rps::VarId va = vars.Intern("a");
+  rps::VarId vb = vars.Intern("b");
+  auto var = [](rps::VarId v) { return rps::PatternTerm::Var(v); };
+  auto cst = [](rps::TermId t) { return rps::PatternTerm::Const(t); };
+  std::vector<rps::TriplePattern> patterns = {
+      {cst(hub), cst(p0), var(vx)},
+      {var(vx), cst(p1), var(va)},
+      {var(va), cst(p2), var(vb)}};
+  rps::EvalOptions options;
+  options.use_plan = state.range(0) == 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rps::ExtendBindings(graph, patterns, {rps::Binding()}, options));
+  }
+}
+BENCHMARK(BM_BgpJoin3)->Arg(0)->Arg(1);
+
 void BM_UniversalSolutionChase(benchmark::State& state) {
   rps::LodConfig config = SmallConfig();
   config.films_per_peer = static_cast<size_t>(state.range(0));

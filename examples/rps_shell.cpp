@@ -14,7 +14,14 @@
 //   --explain                                  print an EXPLAIN report:
 //                                              chase rounds, facts derived,
 //                                              nulls created, per-mapping
-//                                              TGD firings, metrics, trace
+//                                              TGD firings, the join plan
+//                                              of the final query (operators,
+//                                              estimated vs actual rows),
+//                                              metrics, trace
+//   --no-plan                                  force the per-binding probe
+//                                              engine (disable the
+//                                              cost-based join planner;
+//                                              chase / unionfind engines)
 //   --faults=SPEC                              federated engine only:
 //                                              deterministic fault
 //                                              injection, e.g.
@@ -41,7 +48,7 @@ int Usage() {
   std::printf(
       "usage: rps_shell <config.rps> [query.sparql | -e 'SPARQL'] "
       "[--engine=chase|unionfind|rewrite|datalog|federated] [--threads=N] "
-      "[--extended] [--show-mappings] [--explain] [--faults=SPEC] "
+      "[--extended] [--show-mappings] [--explain] [--no-plan] [--faults=SPEC] "
       "[--retries=N] [--timeout-ms=X]\n\n"
       "Loads an RDF Peer System from a mapping-DSL configuration and\n"
       "answers SPARQL queries with certain-answer semantics.\n"
@@ -67,6 +74,7 @@ int main(int argc, char** argv) {
   bool extended = false;
   bool show_mappings = false;
   bool explain = false;
+  bool use_plan = true;
   rps::RetryPolicy retry;
 
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +100,8 @@ int main(int argc, char** argv) {
       show_mappings = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--no-plan") {
+      use_plan = false;
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (config_path.empty()) {
@@ -198,6 +208,9 @@ int main(int argc, char** argv) {
                            "and rewrite (got: %s)\n", engine.c_str());
       return 1;
     }
+    options.chase.chase.threads = threads;
+    options.chase.chase.eval.threads = threads;
+    options.chase.chase.eval.use_plan = use_plan;
     rps::Result<rps::ExplainReport> report =
         rps::ExplainQuery(system, query, options);
     if (!report.ok()) {
@@ -219,6 +232,7 @@ int main(int argc, char** argv) {
     }
     options.chase.threads = threads;
     options.chase.eval.threads = threads;
+    options.chase.eval.use_plan = use_plan;
     rps::Result<rps::CertainAnswerResult> result =
         rps::CertainAnswers(system, query, options);
     if (!result.ok()) {

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # check_docs.sh — keep the documentation honest.
 #
-# Extracts every `rps::`-qualified symbol mentioned inside fenced code
-# blocks of README.md and docs/*.md, and verifies that each component of
-# the qualified name (class, function, method — after stripping the
-# rps:: / rps::obs:: namespace prefix) exists somewhere in the library
-# headers under src/. A doc that references a renamed or deleted symbol
-# fails the check, so the docs cannot silently rot as the API evolves.
+# Three checks:
+#
+# 1. Extracts every `rps::`-qualified symbol mentioned inside fenced
+#    code blocks of README.md and docs/*.md, and verifies that each
+#    component of the qualified name (class, function, method — after
+#    stripping the rps:: / rps::obs:: namespace prefix) exists somewhere
+#    in the library headers under src/. A doc that references a renamed
+#    or deleted symbol fails the check, so the docs cannot silently rot
+#    as the API evolves.
+# 2. Every metric name registered with a string literal in src/
+#    (`counter("...")` / `histogram("...")`) must appear in the
+#    docs/OBSERVABILITY.md catalog, either verbatim or covered by a
+#    documented wildcard entry such as `relchase.*`. A new instrument
+#    without a catalog row fails the check.
+# 3. Every relative markdown link in README.md and docs/*.md must point
+#    at a file that exists — renaming a doc without fixing the links
+#    that reach it fails the check.
 #
 # Runs as a ctest test (see the top-level CMakeLists.txt); also runnable
 # standalone:
@@ -55,8 +66,55 @@ for doc in "${docs[@]}"; do
   done
 done
 
+# ---- Check 2: every registered metric is in the OBSERVABILITY catalog ----
+#
+# Only full-string-literal registrations are checked: dynamically built
+# names (e.g. counter("chase.gma_firings{" + label + "}")) are covered
+# by their documented wildcard / templated forms.
+catalog=docs/OBSERVABILITY.md
+wildcards="$(grep -oE '`[a-z_.]+\.\*`' "$catalog" | tr -d '\`' | sed 's/\.\*$/./' | sort -u)"
+metrics="$(grep -rhoE '(counter|histogram)\("[^"]+"\)' src/ |
+    sed -E 's/^(counter|histogram)\("//; s/"\)$//' | sort -u)"
+for metric in $metrics; do
+  checked=$((checked + 1))
+  if grep -qF "$metric" "$catalog"; then continue; fi
+  covered=0
+  for prefix in $wildcards; do
+    case "$metric" in
+      "$prefix"*) covered=1; break ;;
+    esac
+  done
+  if [ "$covered" -eq 0 ]; then
+    echo "FAIL: metric '$metric' is registered in src/ but missing from" \
+         "the $catalog instrument catalog"
+    failures=$((failures + 1))
+  fi
+done
+
+# ---- Check 3: every relative markdown cross-link resolves ----
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  doc_dir="$(dirname "$doc")"
+  links="$(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//; s/#.*$//' |
+      grep -v '^$' | grep -vE '^[a-z]+://' | sort -u)"
+  for link in $links; do
+    # Links that resolve outside the repo tree are GitHub web-UI paths
+    # (e.g. the ../../actions/... badge links) — not files to check.
+    resolved="$(realpath -m "$doc_dir/$link")"
+    case "$resolved" in
+      "$repo_root"/*) ;;
+      *) continue ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$doc_dir/$link" ] && [ ! -e "$link" ]; then
+      echo "FAIL: $doc links to '$link' which does not exist"
+      failures=$((failures + 1))
+    fi
+  done
+done
+
 if [ "$failures" -ne 0 ]; then
-  echo "check_docs: $failures unresolved symbol component(s)"
+  echo "check_docs: $failures documentation failure(s)"
   exit 1
 fi
-echo "check_docs: OK ($checked symbol components verified against src headers)"
+echo "check_docs: OK ($checked symbols, metrics and links verified)"

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/plan.h"
 #include "util/thread_pool.h"
 
 namespace rps {
@@ -242,24 +243,25 @@ Result<FederatedQueryResult> Federator::Execute(
     }
     if (!convertible) continue;
 
-    // Fetch each pattern's extension from the peers that may answer it,
-    // most selective first, and join at the coordinator. The permuted
-    // graph indexes make each per-peer estimate the exact pattern
-    // cardinality, so the sort key is the true federation-wide extension
-    // size — the order the bind-join path wants.
-    std::vector<size_t> order(patterns.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    auto estimate = [&](const TriplePattern& tp) {
+    // Fetch each pattern's extension from the peers that may answer it
+    // in cost-based plan order, and join at the coordinator. The
+    // permuted graph indexes make each per-peer estimate the exact
+    // pattern cardinality, so the planner's leaf statistic is the true
+    // federation-wide extension size; PlanJoinOrder runs the same join
+    // DP as the local engine over those totals, which also accounts for
+    // join-variable connectivity (a selectivity-only sort can pick a
+    // cross product between disconnected cheap patterns).
+    std::vector<size_t> cardinalities(patterns.size());
+    for (size_t i = 0; i < patterns.size(); ++i) {
       size_t total = 0;
       for (const PeerNode& peer : endpoints) {
-        total += peer.graph().EstimateMatches(
-            tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey());
+        total += peer.graph().EstimateMatches(patterns[i].s.AsMatchKey(),
+                                              patterns[i].p.AsMatchKey(),
+                                              patterns[i].o.AsMatchKey());
       }
-      return total;
-    };
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return estimate(patterns[a]) < estimate(patterns[b]);
-    });
+      cardinalities[i] = total;
+    }
+    std::vector<size_t> order = PlanJoinOrder(patterns, cardinalities);
 
     BindingSet current = {Binding()};
     bool first_pattern = true;

@@ -39,7 +39,7 @@ std::string CounterLines(const obs::MetricsSnapshot& delta,
   return out;
 }
 
-std::string RenderReport(const ExplainReport& report,
+std::string RenderReport(const RpsSystem& system, const ExplainReport& report,
                          const ExplainOptions& options) {
   std::string out;
   out += "EXPLAIN (engine=" + std::string(EngineName(options.engine)) +
@@ -67,6 +67,10 @@ std::string RenderReport(const ExplainReport& report,
         CounterLines(report.metrics, "chase.gma_firings", "    ");
     if (!per_mapping.empty()) {
       out += "  per-mapping TGD firings:\n" + per_mapping;
+    }
+    if (!report.plan.steps.empty()) {
+      out += "\nquery plan (final query over the universal solution)\n";
+      out += RenderPlan(report.plan, system.dict(), system.vars());
     }
   } else {
     const RewriteResult& rs = report.rewrite_stats;
@@ -105,6 +109,7 @@ Result<ExplainReport> ExplainQuery(const RpsSystem& system,
       case ExplainEngine::kChase:
       case ExplainEngine::kUnionFind: {
         CertainAnswerOptions chase_options = options.chase;
+        chase_options.chase.eval.plan_capture = &report.plan;
         chase_options.equivalence_mode =
             options.engine == ExplainEngine::kChase
                 ? EquivalenceMode::kChase
@@ -134,7 +139,7 @@ Result<ExplainReport> ExplainQuery(const RpsSystem& system,
   report.metrics = reg.Snapshot().DeltaSince(before);
   report.trace_text = tracer.ReportText("  ");
   report.trace_json = tracer.ReportJson();
-  report.text = RenderReport(report, options);
+  report.text = RenderReport(system, report, options);
   return report;
 }
 

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "peer/certain_answers.h"
+#include "query/plan.h"
 #include "rewrite/bool_rewrite.h"
 
 namespace rps {
@@ -42,6 +43,11 @@ struct ExplainReport {
   /// Algorithm 1 statistics (kChase / kUnionFind engines).
   RpsChaseStats chase_stats;
   size_t universal_solution_size = 0;
+  /// The cost-based join plan of the final query-over-universal-solution
+  /// evaluation (kChase / kUnionFind engines; empty for kRewrite and for
+  /// single-run queries that never evaluated a BGP). Estimated and actual
+  /// per-step cardinalities are both filled in.
+  QueryPlan plan;
   /// Rewriting statistics (kRewrite engine).
   RewriteResult rewrite_stats;
   /// Metrics delta attributable to this run (global registry).

@@ -29,12 +29,18 @@ Result<CertainAnswerResult> CertainAnswers(
   RPS_RETURN_IF_ERROR(query.Validate());
   CertainAnswerResult result;
 
+  // The chase reuses the evaluator many times (and in parallel); a plan
+  // capture slot would race and would be overwritten anyway. Capture only
+  // the final query-over-universal-solution plan.
+  RpsChaseOptions chase_run = options.chase;
+  chase_run.eval.plan_capture = nullptr;
+
   if (options.equivalence_mode == EquivalenceMode::kChase) {
     obs::AutoSpan span("answer.chase");
     Graph universal(system.dict());
     RPS_ASSIGN_OR_RETURN(result.chase_stats,
                          BuildUniversalSolution(system, &universal,
-                                                options.chase));
+                                                chase_run));
     result.universal_solution_size = universal.size();
     RecordUniversalSolutionSize(universal.size());
     obs::AutoSpan eval_span("eval.query_over_universal");
@@ -67,7 +73,7 @@ Result<CertainAnswerResult> CertainAnswers(
   RPS_ASSIGN_OR_RETURN(
       result.chase_stats,
       ChaseGraph(&canonical, canonical_gmas, /*equivalences=*/{},
-                 options.chase));
+                 chase_run));
   result.universal_solution_size = canonical.size();
   RecordUniversalSolutionSize(canonical.size());
 

@@ -64,6 +64,25 @@ std::optional<Binding> Binding::Merge(const Binding& a, const Binding& b) {
   return out;
 }
 
+bool ExtendWithTriple(const TriplePattern& tp, const Triple& t,
+                      Binding* base) {
+  if (tp.s.is_var() && !base->Bind(tp.s.var(), t.s)) return false;
+  if (tp.p.is_var() && !base->Bind(tp.p.var(), t.p)) return false;
+  if (tp.o.is_var() && !base->Bind(tp.o.var(), t.o)) return false;
+  return true;
+}
+
+std::optional<TermId> MatchKey(const PatternTerm& pt, const Binding& binding) {
+  if (pt.is_const()) return pt.term();
+  return binding.Get(pt.var());
+}
+
+Triple SubstituteTriple(const TriplePattern& tp, const Binding& b) {
+  return Triple{tp.s.is_var() ? *b.Get(tp.s.var()) : tp.s.term(),
+                tp.p.is_var() ? *b.Get(tp.p.var()) : tp.p.term(),
+                tp.o.is_var() ? *b.Get(tp.o.var()) : tp.o.term()};
+}
+
 namespace {
 
 // Key of the shared variables of a binding, for hash joins.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "query/pattern.h"
+#include "rdf/triple.h"
 
 namespace rps {
 
@@ -67,6 +68,22 @@ struct BindingHash {
 
 /// A set of solution mappings Ω.
 using BindingSet = std::vector<Binding>;
+
+/// Extends `base` in place with the bindings induced by matching `tp`
+/// against `t` (variable positions only — the caller guarantees constant
+/// positions agree, as Graph::Match does). Returns false when a repeated
+/// variable or an already-bound variable disagrees with the triple.
+bool ExtendWithTriple(const TriplePattern& tp, const Triple& t,
+                      Binding* base);
+
+/// The match key of one pattern position under a partial binding: the
+/// constant if const, the bound value if the variable is bound, else
+/// wildcard.
+std::optional<TermId> MatchKey(const PatternTerm& pt, const Binding& binding);
+
+/// µ(tp): the concrete triple obtained by substituting `b` into the
+/// pattern. Every variable of `tp` must be bound in `b`.
+Triple SubstituteTriple(const TriplePattern& tp, const Binding& b);
 
 /// The join Ω1 ⋈ Ω2 of Definition 1: all unions of compatible pairs.
 /// Implemented as a hash join on the shared variables when both sides are

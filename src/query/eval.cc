@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "query/plan.h"
 #include "util/thread_pool.h"
 
 namespace rps {
@@ -29,74 +30,6 @@ obs::Counter& BgpEvalCounter() {
   return *c;
 }
 
-// Extends `base` with the bindings induced by matching `tp` against `t`.
-// Returns false when a repeated variable or an already-bound variable
-// disagrees with the triple.
-bool ExtendBinding(const TriplePattern& tp, const Triple& t, Binding* base) {
-  if (tp.s.is_var() && !base->Bind(tp.s.var(), t.s)) return false;
-  if (tp.p.is_var() && !base->Bind(tp.p.var(), t.p)) return false;
-  if (tp.o.is_var() && !base->Bind(tp.o.var(), t.o)) return false;
-  return true;
-}
-
-// Match key for a pattern position given the current partial binding.
-std::optional<TermId> KeyFor(const PatternTerm& pt, const Binding& binding) {
-  if (pt.is_const()) return pt.term();
-  return binding.Get(pt.var());
-}
-
-// Greedy pattern order: repeatedly pick the remaining pattern with the
-// lowest cost, where positions that are constants or already-covered
-// variables count as bound. Cost = (unbound positions, index-counted
-// matches — the permuted indexes make EstimateMatches *exact* for every
-// shape, so the tie-break is the true per-pattern cardinality, not a
-// posting-list upper bound). Variables bound by `seed` count as bound
-// from the start, and the seed's concrete values are used as sample keys
-// in EstimateMatches — a position that is highly selective once seeded
-// must not be costed as a wildcard. Variables bound by earlier-ordered
-// patterns have no sample value; they still count as bound for the
-// unbound-position criterion.
-std::vector<size_t> OrderPatterns(const Graph& graph,
-                                  const std::vector<TriplePattern>& patterns,
-                                  const Binding& seed) {
-  if (patterns.size() == 1) return {0};
-  std::vector<size_t> order;
-  std::vector<bool> used(patterns.size(), false);
-  std::set<VarId> bound;
-  for (const auto& [var, term] : seed.entries()) bound.insert(var);
-  // Per-pattern cardinalities depend only on the seed, not on which
-  // patterns were picked earlier — compute each once, not per step.
-  std::vector<size_t> estimates(patterns.size());
-  for (size_t i = 0; i < patterns.size(); ++i) {
-    const TriplePattern& tp = patterns[i];
-    estimates[i] = graph.EstimateMatches(
-        KeyFor(tp.s, seed), KeyFor(tp.p, seed), KeyFor(tp.o, seed));
-  }
-  for (size_t step = 0; step < patterns.size(); ++step) {
-    size_t best = patterns.size();
-    size_t best_unbound = SIZE_MAX;
-    size_t best_estimate = SIZE_MAX;
-    for (size_t i = 0; i < patterns.size(); ++i) {
-      if (used[i]) continue;
-      const TriplePattern& tp = patterns[i];
-      size_t unbound = 0;
-      for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
-        if (pt->is_var() && bound.find(pt->var()) == bound.end()) ++unbound;
-      }
-      if (unbound < best_unbound ||
-          (unbound == best_unbound && estimates[i] < best_estimate)) {
-        best = i;
-        best_unbound = unbound;
-        best_estimate = estimates[i];
-      }
-    }
-    order.push_back(best);
-    used[best] = true;
-    for (VarId v : patterns[best].Vars()) bound.insert(v);
-  }
-  return order;
-}
-
 // Seed sets smaller than this are extended serially: chunking overhead
 // would dominate the join work.
 constexpr size_t kMinSeedsForParallelJoin = 32;
@@ -110,11 +43,11 @@ BindingSet EvalTriplePattern(const Graph& graph, const TriplePattern& tp) {
               [&](const Triple& t) {
                 ++scanned;
                 Binding b;
-                if (ExtendBinding(tp, t, &b)) out.push_back(std::move(b));
+                if (ExtendWithTriple(tp, t, &b)) out.push_back(std::move(b));
                 return true;
               });
-  // Repeated variables within the pattern are checked by ExtendBinding via
-  // Bind; duplicates cannot arise because triples are a set.
+  // Repeated variables within the pattern are checked by ExtendWithTriple
+  // via Bind; duplicates cannot arise because triples are a set.
   PatternMatchCounter().Add(scanned);
   BindingCounter().Add(out.size());
   return out;
@@ -126,11 +59,21 @@ BindingSet ExtendBindings(const Graph& graph,
   BindingSet current = std::move(seed);
   if (patterns.empty() || current.empty()) return current;
 
+  if (options.use_plan) {
+    // Cost-based plan engine: DP join ordering plus merge / leapfrog
+    // operators where they are cheaper, with the output restored to this
+    // probe loop's canonical emission order (byte-identical results).
+    QueryPlan plan = PlanBgp(graph, patterns, current, options);
+    BindingSet out = ExecutePlan(graph, &plan, std::move(current), options);
+    if (options.plan_capture != nullptr) {
+      *options.plan_capture = std::move(plan);
+    }
+    return out;
+  }
+
   std::vector<size_t> order;
   if (options.reorder_patterns) {
-    // All seeds share a domain (they come from matching one pattern), so
-    // the first one is a representative sample for the cost model.
-    order = OrderPatterns(graph, patterns, current.front());
+    order = OrderPatternsGreedy(graph, patterns, current);
   } else {
     order.resize(patterns.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -143,11 +86,11 @@ BindingSet ExtendBindings(const Graph& graph,
     size_t scanned = 0;
     for (size_t i = lo; i < hi; ++i) {
       const Binding& b = in[i];
-      graph.Match(KeyFor(tp.s, b), KeyFor(tp.p, b), KeyFor(tp.o, b),
+      graph.Match(MatchKey(tp.s, b), MatchKey(tp.p, b), MatchKey(tp.o, b),
                   [&](const Triple& t) {
                     ++scanned;
                     Binding extended = b;
-                    if (ExtendBinding(tp, t, &extended)) {
+                    if (ExtendWithTriple(tp, t, &extended)) {
                       out->push_back(std::move(extended));
                     }
                     return true;
@@ -200,7 +143,7 @@ BindingSet ExtendBindings(const Graph& graph,
 
 std::optional<Binding> MatchTriple(const TriplePattern& tp, const Triple& t) {
   Binding binding;
-  if (!ExtendBinding(tp, t, &binding)) return std::nullopt;
+  if (!ExtendWithTriple(tp, t, &binding)) return std::nullopt;
   if (tp.s.is_const() && tp.s.term() != t.s) return std::nullopt;
   if (tp.p.is_const() && tp.p.term() != t.p) return std::nullopt;
   if (tp.o.is_const() && tp.o.term() != t.o) return std::nullopt;

@@ -9,6 +9,8 @@
 
 namespace rps {
 
+struct QueryPlan;  // query/plan.h
+
 /// Which query semantics to apply when projecting answers (§2.1):
 /// * kDropBlanks  — Q_D: tuples containing blank nodes are dropped
 ///   (blank nodes behave like labelled nulls; only full information is
@@ -32,6 +34,16 @@ struct EvalOptions {
   /// concatenated in chunk order, so the result is byte-identical to the
   /// serial evaluation for any value. 1 disables parallelism.
   size_t threads = 1;
+  /// Evaluate BGP joins through the cost-based plan engine (query/plan.h):
+  /// DP join ordering plus merge/leapfrog operators, with the output
+  /// restored to the probe engine's canonical emission order — results are
+  /// byte-identical either way. false forces the historical per-binding
+  /// index nested-loop probe engine (the reference oracle in tests).
+  bool use_plan = true;
+  /// When non-null, the last executed BGP plan (with actual cardinalities
+  /// filled in) is copied here for EXPLAIN rendering. Leave null on
+  /// parallel paths that would race on the capture slot.
+  QueryPlan* plan_capture = nullptr;
 };
 
 /// An answer tuple: the head variables' values in head order.

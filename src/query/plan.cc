@@ -1,0 +1,948 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "query/eval.h"
+#include "util/thread_pool.h"
+
+namespace rps {
+
+namespace {
+
+obs::Counter& DpPlanCounter() {
+  static obs::Counter* c = obs::Registry::Global().counter("query.plan.dp_plans");
+  return *c;
+}
+obs::Counter& FallbackCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("query.plan.fallbacks");
+  return *c;
+}
+obs::Counter& ProbeJoinCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("query.plan.probe_joins");
+  return *c;
+}
+obs::Counter& MergeJoinCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("query.plan.merge_joins");
+  return *c;
+}
+obs::Counter& LeapfrogJoinCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("query.plan.leapfrog_joins");
+  return *c;
+}
+// The plan executor feeds the same eval.* counters as the probe loop so
+// existing dashboards / tests see comparable scan and intermediate-size
+// numbers regardless of engine.
+obs::Counter& PatternMatchCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("eval.pattern_matches");
+  return *c;
+}
+obs::Counter& BindingCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("eval.bindings_produced");
+  return *c;
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (documented in docs/QUERY_PLANNING.md).
+//
+// All leaf statistics are *exact*: Graph::EstimateMatches is exact for
+// every bound/unbound shape, and the per-position distinct counts are the
+// posting-index sizes. Only join selectivities are estimated, with the
+// classic System-R independence rule
+//     |A ⋈ B| = |A| · |B| / Π_{v ∈ joinvars} max(d_A(v), d_B(v)).
+// ---------------------------------------------------------------------------
+
+// Abstract per-row cost of one index probe (hash lookups / binary
+// searches) in the nested-loop operator.
+constexpr double kProbeOverhead = 8.0;
+// Per-triple cost of materializing a pattern extension for a merge join.
+constexpr double kMaterializeCost = 1.0;
+// Weight of the n·log2(n) sort terms of a merge join.
+constexpr double kSortWeight = 0.25;
+
+// Up to this many seeds are sampled (first / middle / last) when costing
+// seeded pattern cardinalities.
+constexpr size_t kSeedSamples = 3;
+
+// Rebuilt from eval.cc: seed sets below this size are extended serially
+// in the probe operator; chunking overhead would dominate.
+constexpr size_t kMinRowsForParallelProbe = 32;
+
+// Everything the planner needs, precomputed once per BGP.
+struct PlanStats {
+  size_t n = 0;
+  double seed_rows = 1.0;
+  std::vector<double> card_unseeded;        // exact |ext(tp_i)|
+  std::vector<double> card_seeded;          // median per-seed cardinality
+  std::vector<std::vector<VarId>> vars;     // vars of each pattern
+  std::vector<VarId> seed_vars;             // dom of the sample seeds
+  // Graph-wide distinct-value upper bound per variable: the minimum
+  // posting-index size over every (pattern, position) the var occurs at.
+  std::unordered_map<VarId, double> d_graph;
+};
+
+double DistinctAtPosition(const Graph& graph, int position) {
+  switch (position) {
+    case 0:
+      return static_cast<double>(std::max<size_t>(1, graph.DistinctSubjects()));
+    case 1:
+      return static_cast<double>(
+          std::max<size_t>(1, graph.DistinctPredicates()));
+    default:
+      return static_cast<double>(std::max<size_t>(1, graph.DistinctObjects()));
+  }
+}
+
+// Indices of up to kSeedSamples representative seeds: first, middle, last.
+std::vector<size_t> SampleSeedIndices(size_t n_seeds) {
+  std::vector<size_t> idx;
+  if (n_seeds == 0) return idx;
+  idx.push_back(0);
+  if (n_seeds > 2) idx.push_back(n_seeds / 2);
+  if (n_seeds > 1) idx.push_back(n_seeds - 1);
+  return idx;
+}
+
+// Median of the pattern's exact cardinality under each sample seed. The
+// median (not the first sample) keeps one unrepresentative seed — e.g. a
+// hub node that matches everything — from mis-ordering the whole join.
+size_t SeededCardinality(const Graph& graph, const TriplePattern& tp,
+                         const BindingSet& seeds,
+                         const std::vector<size_t>& samples) {
+  if (samples.empty()) {
+    return graph.EstimateMatches(tp.s.AsMatchKey(), tp.p.AsMatchKey(),
+                                 tp.o.AsMatchKey());
+  }
+  std::vector<size_t> cards;
+  cards.reserve(samples.size());
+  for (size_t si : samples) {
+    const Binding& seed = seeds[si];
+    cards.push_back(graph.EstimateMatches(
+        MatchKey(tp.s, seed), MatchKey(tp.p, seed), MatchKey(tp.o, seed)));
+  }
+  std::sort(cards.begin(), cards.end());
+  return cards[cards.size() / 2];
+}
+
+PlanStats ComputeStats(const Graph& graph,
+                       const std::vector<TriplePattern>& patterns,
+                       const BindingSet& seeds) {
+  PlanStats st;
+  st.n = patterns.size();
+  st.seed_rows = static_cast<double>(std::max<size_t>(1, seeds.size()));
+  std::vector<size_t> samples = SampleSeedIndices(seeds.size());
+  st.card_unseeded.reserve(st.n);
+  st.card_seeded.reserve(st.n);
+  st.vars.reserve(st.n);
+  for (const TriplePattern& tp : patterns) {
+    st.card_unseeded.push_back(static_cast<double>(graph.EstimateMatches(
+        tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey())));
+    st.card_seeded.push_back(
+        static_cast<double>(SeededCardinality(graph, tp, seeds, samples)));
+    st.vars.push_back(tp.Vars());
+    int position = 0;
+    for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
+      if (pt->is_var()) {
+        double d = DistinctAtPosition(graph, position);
+        auto [it, inserted] = st.d_graph.try_emplace(pt->var(), d);
+        if (!inserted) it->second = std::min(it->second, d);
+      }
+      ++position;
+    }
+  }
+  if (!seeds.empty()) {
+    for (const auto& [var, term] : seeds.front().entries()) {
+      st.seed_vars.push_back(var);
+      // A seed var may not occur in any pattern; give it a neutral bound.
+      st.d_graph.try_emplace(var, st.seed_rows);
+    }
+  }
+  return st;
+}
+
+// Join-selectivity denominator and output estimate for joining pattern j
+// into an intermediate of `rows` rows whose bound variables are `bound`.
+struct JoinEstimate {
+  std::vector<VarId> join_vars;
+  double out_rows = 0.0;
+};
+
+JoinEstimate EstimateJoin(const PlanStats& st, double rows,
+                          const std::set<VarId>& bound, size_t j) {
+  JoinEstimate est;
+  double denom = 1.0;
+  for (VarId v : st.vars[j]) {
+    if (bound.find(v) == bound.end()) continue;
+    est.join_vars.push_back(v);
+    double dg = 1.0;
+    auto it = st.d_graph.find(v);
+    if (it != st.d_graph.end()) dg = it->second;
+    double d_pattern = std::min(st.card_unseeded[j], dg);
+    double d_inter = std::min(rows, dg);
+    denom *= std::max({d_pattern, d_inter, 1.0});
+  }
+  est.out_rows = rows * st.card_unseeded[j] / denom;
+  return est;
+}
+
+double ProbeCost(double rows, double out_rows) {
+  return rows * kProbeOverhead + out_rows;
+}
+
+double MergeCost(double rows, double card_unseeded, double out_rows) {
+  double sort_ext =
+      card_unseeded * std::log2(std::max(2.0, card_unseeded)) * kSortWeight;
+  double sort_rows = rows * std::log2(std::max(2.0, rows)) * kSortWeight;
+  return card_unseeded * kMaterializeCost + sort_ext + sort_rows + out_rows;
+}
+
+// Chooses the cheaper physical operator for one join step and returns
+// (op, cost). The first step over the trivial seed {µ∅} is a plain range
+// scan; merge never wins there (rows == 1 makes the probe side free).
+std::pair<PlanOp, double> ChooseOperator(double rows, double card_unseeded,
+                                         double out_rows, bool has_join_vars) {
+  double probe = ProbeCost(rows, out_rows);
+  if (!has_join_vars) {
+    // Cross product: probing scans the whole extension once per row;
+    // merge materializes it once. Probe only wins for tiny extensions.
+    probe = rows * kProbeOverhead + rows * card_unseeded;
+  }
+  if (rows <= 1.0) {
+    // A one-row intermediate touches exactly the matching index range
+    // with a single probe; materializing and sorting the whole extension
+    // can never beat that.
+    return {PlanOp::kProbeJoin, probe};
+  }
+  double merge = MergeCost(rows, card_unseeded, out_rows);
+  if (merge < probe) return {PlanOp::kMergeJoin, merge};
+  return {PlanOp::kProbeJoin, probe};
+}
+
+// Builds plan steps for a fixed join order by choosing the operator per
+// step with a running cardinality estimate. Used by the greedy fallback
+// and the reorder_patterns=false (textual order) path.
+std::vector<PlanStep> StepsForOrder(const PlanStats& st,
+                                    const std::vector<size_t>& order,
+                                    double* total_cost) {
+  std::vector<PlanStep> steps;
+  steps.reserve(order.size());
+  std::set<VarId> bound(st.seed_vars.begin(), st.seed_vars.end());
+  double rows = st.seed_rows;
+  double cost = 0.0;
+  bool first = true;
+  for (size_t j : order) {
+    PlanStep step;
+    step.patterns = {j};
+    double out;
+    if (first) {
+      out = st.seed_rows * st.card_seeded[j];
+      JoinEstimate est = EstimateJoin(st, rows, bound, j);
+      step.join_vars = std::move(est.join_vars);
+    } else {
+      JoinEstimate est = EstimateJoin(st, rows, bound, j);
+      out = est.out_rows;
+      step.join_vars = std::move(est.join_vars);
+    }
+    auto [op, step_cost] = ChooseOperator(rows, st.card_unseeded[j], out,
+                                          !step.join_vars.empty());
+    step.op = op;
+    step.est_rows = out;
+    cost += step_cost;
+    rows = std::max(out, 1.0);
+    for (VarId v : st.vars[j]) bound.insert(v);
+    steps.push_back(std::move(step));
+    first = false;
+  }
+  *total_cost = cost;
+  return steps;
+}
+
+// Exhaustive left-deep dynamic program over join orders (n ≤
+// kMaxDpPatterns). State = subset of joined patterns; transition = join
+// one more pattern with the cheaper of probe / merge.
+std::vector<PlanStep> DpSteps(const PlanStats& st, double* total_cost) {
+  const size_t n = st.n;
+  const size_t full = (size_t{1} << n) - 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> cost(full + 1, kInf);
+  std::vector<double> rows(full + 1, 0.0);
+  std::vector<uint16_t> last(full + 1, 0);
+  std::vector<PlanOp> op(full + 1, PlanOp::kProbeJoin);
+  cost[0] = 0.0;
+  rows[0] = st.seed_rows;
+
+  // Bound variables of a subset (seed vars plus member pattern vars).
+  auto bound_of = [&](size_t mask) {
+    std::set<VarId> bound(st.seed_vars.begin(), st.seed_vars.end());
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) {
+        bound.insert(st.vars[i].begin(), st.vars[i].end());
+      }
+    }
+    return bound;
+  };
+
+  for (size_t mask = 1; mask <= full; ++mask) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!(mask & (size_t{1} << j))) continue;
+      size_t prev = mask ^ (size_t{1} << j);
+      if (cost[prev] == kInf) continue;
+      std::set<VarId> bound = bound_of(prev);
+      JoinEstimate est = EstimateJoin(st, rows[prev], bound, j);
+      double out = prev == 0 ? st.seed_rows * st.card_seeded[j] : est.out_rows;
+      auto [step_op, step_cost] = ChooseOperator(
+          rows[prev], st.card_unseeded[j], out, !est.join_vars.empty());
+      double total = cost[prev] + step_cost;
+      if (total < cost[mask]) {
+        cost[mask] = total;
+        rows[mask] = std::max(out, 1.0);
+        last[mask] = static_cast<uint16_t>(j);
+        op[mask] = step_op;
+      }
+    }
+  }
+
+  // Reconstruct the winning order, then rebuild the steps front-to-back
+  // so join_vars / estimates are stored per step.
+  std::vector<size_t> order;
+  for (size_t mask = full; mask != 0; mask ^= size_t{1} << last[mask]) {
+    order.push_back(last[mask]);
+  }
+  std::reverse(order.begin(), order.end());
+
+  std::vector<PlanStep> steps;
+  steps.reserve(n);
+  std::set<VarId> bound(st.seed_vars.begin(), st.seed_vars.end());
+  double r = st.seed_rows;
+  size_t mask = 0;
+  for (size_t j : order) {
+    JoinEstimate est = EstimateJoin(st, r, bound, j);
+    double out = mask == 0 ? st.seed_rows * st.card_seeded[j] : est.out_rows;
+    mask |= size_t{1} << j;
+    PlanStep step;
+    step.op = op[mask];
+    step.patterns = {j};
+    step.join_vars = std::move(est.join_vars);
+    step.est_rows = out;
+    steps.push_back(std::move(step));
+    r = std::max(out, 1.0);
+    bound.insert(st.vars[j].begin(), st.vars[j].end());
+  }
+  *total_cost = cost[full];
+  return steps;
+}
+
+// Collapses runs of ≥2 consecutive merge joins keyed on the same single
+// variable into one leapfrog-style k-way intersection. The collapse
+// condition guarantees the grouped patterns pairwise share only that
+// variable (any other shared var would have appeared in the later step's
+// join key).
+void CollapseLeapfrog(std::vector<PlanStep>* steps) {
+  std::vector<PlanStep> out;
+  out.reserve(steps->size());
+  size_t i = 0;
+  while (i < steps->size()) {
+    PlanStep& s = (*steps)[i];
+    if (s.op == PlanOp::kMergeJoin && s.join_vars.size() == 1) {
+      size_t j = i + 1;
+      while (j < steps->size() && (*steps)[j].op == PlanOp::kMergeJoin &&
+             (*steps)[j].join_vars == s.join_vars) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        PlanStep group;
+        group.op = PlanOp::kLeapfrogJoin;
+        group.join_vars = s.join_vars;
+        for (size_t k = i; k < j; ++k) {
+          group.patterns.push_back((*steps)[k].patterns[0]);
+        }
+        group.est_rows = (*steps)[j - 1].est_rows;
+        out.push_back(std::move(group));
+        i = j;
+        continue;
+      }
+    }
+    out.push_back(std::move(s));
+    ++i;
+  }
+  *steps = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+// One intermediate tuple: the binding plus the index of the seed row it
+// grew from (the major component of the canonical emission order).
+struct Row {
+  Binding b;
+  uint32_t seed;
+};
+
+// Extends rows [lo, hi) of `in` through `tp` by index probes, appending
+// to `out` in input order. Returns scanned candidate count.
+size_t ProbeRange(const Graph& graph, const TriplePattern& tp,
+                  const std::vector<Row>& in, size_t lo, size_t hi,
+                  std::vector<Row>* out) {
+  size_t scanned = 0;
+  for (size_t i = lo; i < hi; ++i) {
+    const Row& row = in[i];
+    graph.Match(MatchKey(tp.s, row.b), MatchKey(tp.p, row.b),
+                MatchKey(tp.o, row.b), [&](const Triple& t) {
+                  ++scanned;
+                  Row extended{row.b, row.seed};
+                  if (ExtendWithTriple(tp, t, &extended.b)) {
+                    out->push_back(std::move(extended));
+                  }
+                  return true;
+                });
+  }
+  return scanned;
+}
+
+// Index nested-loop step, seed-chunk parallel above the serial floor.
+// Chunks concatenate in order, so output order is thread-count invariant.
+std::vector<Row> ExecuteProbe(const Graph& graph, const TriplePattern& tp,
+                              const std::vector<Row>& in,
+                              const EvalOptions& options, size_t* scanned) {
+  std::vector<Row> out;
+  if (options.threads > 1 && in.size() >= kMinRowsForParallelProbe) {
+    size_t chunks =
+        std::min(options.threads, in.size() / (kMinRowsForParallelProbe / 2));
+    chunks = std::max<size_t>(chunks, 1);
+    size_t per_chunk = (in.size() + chunks - 1) / chunks;
+    std::vector<std::vector<Row>> parts(chunks);
+    std::vector<size_t> part_scans(chunks, 0);
+    ThreadPool::Global().ParallelFor(chunks, options.threads, [&](size_t c) {
+      size_t lo = c * per_chunk;
+      size_t hi = std::min(in.size(), lo + per_chunk);
+      part_scans[c] = ProbeRange(graph, tp, in, lo, hi, &parts[c]);
+    });
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    out.reserve(total);
+    for (size_t c = 0; c < chunks; ++c) {
+      *scanned += part_scans[c];
+      std::move(parts[c].begin(), parts[c].end(), std::back_inserter(out));
+    }
+  } else {
+    *scanned += ProbeRange(graph, tp, in, 0, in.size(), &out);
+  }
+  return out;
+}
+
+// A materialized pattern extension entry: the pattern-only binding plus
+// its join-key values.
+struct ExtEntry {
+  std::vector<TermId> key;
+  Binding b;
+};
+
+// Materializes ⟦tp⟧ and extracts the join key of every solution.
+std::vector<ExtEntry> MaterializeExtension(const Graph& graph,
+                                           const TriplePattern& tp,
+                                           const std::vector<VarId>& join_vars,
+                                           size_t* scanned) {
+  std::vector<ExtEntry> ext;
+  graph.Match(tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey(),
+              [&](const Triple& t) {
+                ++*scanned;
+                Binding b;
+                if (!ExtendWithTriple(tp, t, &b)) return true;
+                ExtEntry e;
+                e.b = std::move(b);
+                e.key.reserve(join_vars.size());
+                bool ok = true;
+                for (VarId v : join_vars) {
+                  auto bound = e.b.Get(v);
+                  if (!bound) {
+                    ok = false;
+                    break;
+                  }
+                  e.key.push_back(*bound);
+                }
+                if (ok) ext.push_back(std::move(e));
+                return true;
+              });
+  return ext;
+}
+
+// Sorted merge join of the intermediate with one pattern extension.
+// Rows missing a join-var value (heterogeneous seed domains) fall back to
+// per-row index probes — always correct, never taken on the homogeneous
+// seeds the evaluator produces.
+std::vector<Row> ExecuteMerge(const Graph& graph, const TriplePattern& tp,
+                              const std::vector<VarId>& join_vars,
+                              const std::vector<Row>& in, size_t* scanned) {
+  std::vector<Row> out;
+  std::vector<ExtEntry> ext =
+      MaterializeExtension(graph, tp, join_vars, scanned);
+
+  if (join_vars.empty()) {
+    // Cross product, row-major.
+    out.reserve(in.size() * ext.size());
+    for (const Row& row : in) {
+      for (const ExtEntry& e : ext) {
+        auto merged = Binding::Merge(row.b, e.b);
+        if (merged) out.push_back(Row{std::move(*merged), row.seed});
+      }
+    }
+    return out;
+  }
+
+  std::stable_sort(ext.begin(), ext.end(),
+                   [](const ExtEntry& a, const ExtEntry& b) {
+                     return a.key < b.key;
+                   });
+
+  // Key every input row; rows lacking a join var probe individually.
+  std::vector<std::pair<std::vector<TermId>, size_t>> keyed;
+  keyed.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    std::vector<TermId> key;
+    key.reserve(join_vars.size());
+    bool ok = true;
+    for (VarId v : join_vars) {
+      auto val = in[i].b.Get(v);
+      if (!val) {
+        ok = false;
+        break;
+      }
+      key.push_back(*val);
+    }
+    if (ok) {
+      keyed.emplace_back(std::move(key), i);
+    } else {
+      *scanned += ProbeRange(graph, tp, in, i, i + 1, &out);
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Two-pointer merge over the sorted sides with block products.
+  size_t ri = 0, ei = 0;
+  while (ri < keyed.size() && ei < ext.size()) {
+    const std::vector<TermId>& rk = keyed[ri].first;
+    if (rk < ext[ei].key) {
+      ++ri;
+    } else if (ext[ei].key < rk) {
+      ++ei;
+    } else {
+      size_t re = ri;
+      while (re < keyed.size() && keyed[re].first == rk) ++re;
+      size_t ee = ei;
+      while (ee < ext.size() && ext[ee].key == rk) ++ee;
+      for (size_t r = ri; r < re; ++r) {
+        const Row& row = in[keyed[r].second];
+        for (size_t e = ei; e < ee; ++e) {
+          auto merged = Binding::Merge(row.b, ext[e].b);
+          if (merged) out.push_back(Row{std::move(*merged), row.seed});
+        }
+      }
+      ri = re;
+      ei = ee;
+    }
+  }
+  return out;
+}
+
+// Leapfrog-style multiway intersection on a single shared variable:
+// intersect the sorted key sets of all pattern extensions (and the
+// intermediate) first, then emit per-key products only for surviving
+// keys. Grouped patterns pairwise share only the intersection variable
+// (guaranteed by CollapseLeapfrog).
+std::vector<Row> ExecuteLeapfrog(const Graph& graph,
+                                 const std::vector<TriplePattern>& patterns,
+                                 const PlanStep& step,
+                                 const std::vector<Row>& in, size_t* scanned) {
+  VarId v = step.join_vars[0];
+  std::vector<VarId> key_vars = {v};
+
+  // Materialize each grouped pattern, bucketed by the key value.
+  struct Grouped {
+    std::unordered_map<TermId, std::vector<Binding>> buckets;
+    std::vector<TermId> keys;  // sorted unique
+  };
+  std::vector<Grouped> rels(step.patterns.size());
+  for (size_t g = 0; g < step.patterns.size(); ++g) {
+    std::vector<ExtEntry> ext = MaterializeExtension(
+        graph, patterns[step.patterns[g]], key_vars, scanned);
+    for (ExtEntry& e : ext) {
+      rels[g].buckets[e.key[0]].push_back(std::move(e.b));
+    }
+    rels[g].keys.reserve(rels[g].buckets.size());
+    for (const auto& [k, _] : rels[g].buckets) rels[g].keys.push_back(k);
+    std::sort(rels[g].keys.begin(), rels[g].keys.end());
+  }
+
+  // Bucket the intermediate rows; rows lacking the var fall back to
+  // sequential probes through the grouped patterns.
+  std::vector<Row> out;
+  std::unordered_map<TermId, std::vector<size_t>> row_buckets;
+  std::vector<size_t> fallback;
+  for (size_t i = 0; i < in.size(); ++i) {
+    auto val = in[i].b.Get(v);
+    if (val) {
+      row_buckets[*val].push_back(i);
+    } else {
+      fallback.push_back(i);
+    }
+  }
+  if (!fallback.empty()) {
+    std::vector<Row> cur;
+    cur.reserve(fallback.size());
+    for (size_t i : fallback) cur.push_back(in[i]);
+    for (size_t pi : step.patterns) {
+      std::vector<Row> next;
+      *scanned += ProbeRange(graph, patterns[pi], cur, 0, cur.size(), &next);
+      cur = std::move(next);
+      if (cur.empty()) break;
+    }
+    std::move(cur.begin(), cur.end(), std::back_inserter(out));
+  }
+
+  // Galloping intersection seeded from the smallest relation's key list.
+  size_t smallest = 0;
+  for (size_t g = 1; g < rels.size(); ++g) {
+    if (rels[g].keys.size() < rels[smallest].keys.size()) smallest = g;
+  }
+  for (TermId key : rels[smallest].keys) {
+    auto rb = row_buckets.find(key);
+    if (rb == row_buckets.end()) continue;
+    bool everywhere = true;
+    for (size_t g = 0; g < rels.size(); ++g) {
+      if (g == smallest) continue;
+      if (rels[g].buckets.find(key) == rels[g].buckets.end()) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (!everywhere) continue;
+    // Per-key product: rows × ext_1 × ... × ext_k, depth-first in group
+    // pattern order. Order is irrelevant here — the canonical sort at the
+    // end of ExecutePlan restores the probe-engine emission order.
+    for (size_t ri : rb->second) {
+      std::vector<Row> partial = {in[ri]};
+      for (size_t g = 0; g < rels.size() && !partial.empty(); ++g) {
+        const std::vector<Binding>& bucket = rels[g].buckets.at(key);
+        std::vector<Row> next;
+        next.reserve(partial.size() * bucket.size());
+        for (const Row& row : partial) {
+          for (const Binding& b : bucket) {
+            auto merged = Binding::Merge(row.b, b);
+            if (merged) next.push_back(Row{std::move(*merged), row.seed});
+          }
+        }
+        partial = std::move(next);
+      }
+      std::move(partial.begin(), partial.end(), std::back_inserter(out));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScan:
+      return "scan";
+    case PlanOp::kProbeJoin:
+      return "probe";
+    case PlanOp::kMergeJoin:
+      return "merge";
+    case PlanOp::kLeapfrogJoin:
+      return "leapfrog";
+  }
+  return "?";
+}
+
+std::vector<size_t> OrderPatternsGreedy(
+    const Graph& graph, const std::vector<TriplePattern>& patterns,
+    const BindingSet& seeds) {
+  if (patterns.empty()) return {};
+  if (patterns.size() == 1) return {0};
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  std::set<VarId> bound;
+  if (!seeds.empty()) {
+    for (const auto& [var, term] : seeds.front().entries()) bound.insert(var);
+  }
+  // Per-pattern cardinalities depend only on the seeds, not on which
+  // patterns were picked earlier — compute each once, sampling up to
+  // three seeds (first / middle / last) and taking the median, so one
+  // unrepresentative seed cannot pick a bad order.
+  std::vector<size_t> samples = SampleSeedIndices(seeds.size());
+  std::vector<size_t> estimates(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    estimates[i] = SeededCardinality(graph, patterns[i], seeds, samples);
+  }
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    size_t best = patterns.size();
+    size_t best_unbound = SIZE_MAX;
+    size_t best_estimate = SIZE_MAX;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      const TriplePattern& tp = patterns[i];
+      size_t unbound = 0;
+      for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
+        if (pt->is_var() && bound.find(pt->var()) == bound.end()) ++unbound;
+      }
+      if (unbound < best_unbound ||
+          (unbound == best_unbound && estimates[i] < best_estimate)) {
+        best = i;
+        best_unbound = unbound;
+        best_estimate = estimates[i];
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+    for (VarId v : patterns[best].Vars()) bound.insert(v);
+  }
+  return order;
+}
+
+QueryPlan PlanBgp(const Graph& graph,
+                  const std::vector<TriplePattern>& patterns,
+                  const BindingSet& seed, const EvalOptions& options) {
+  QueryPlan plan;
+  plan.patterns = patterns;
+  if (patterns.empty()) return plan;
+
+  if (options.reorder_patterns) {
+    plan.probe_order = OrderPatternsGreedy(graph, patterns, seed);
+  } else {
+    plan.probe_order.resize(patterns.size());
+    for (size_t i = 0; i < patterns.size(); ++i) plan.probe_order[i] = i;
+  }
+
+  PlanStats st = ComputeStats(graph, patterns, seed);
+
+  if (!options.reorder_patterns) {
+    // Textual order (reordering ablated): keep the user's order, still
+    // choosing the physical operator per step.
+    plan.steps = StepsForOrder(st, plan.probe_order, &plan.est_cost);
+  } else if (patterns.size() <= kMaxDpPatterns && patterns.size() >= 2) {
+    plan.steps = DpSteps(st, &plan.est_cost);
+    plan.used_dp = true;
+    DpPlanCounter().Increment();
+  } else {
+    plan.steps = StepsForOrder(st, plan.probe_order, &plan.est_cost);
+    if (patterns.size() > kMaxDpPatterns) FallbackCounter().Increment();
+  }
+
+  CollapseLeapfrog(&plan.steps);
+
+  // A scan label for a probe over the trivial seed reads better in
+  // EXPLAIN and matches the operator catalog.
+  if (!plan.steps.empty() && plan.steps[0].op == PlanOp::kProbeJoin &&
+      seed.size() <= 1 && (seed.empty() || seed.front().empty())) {
+    plan.steps[0].op = PlanOp::kScan;
+  }
+
+  // When the executed sequence is the probe engine's own order with only
+  // probe/scan steps, the output is already canonical — no restore sort.
+  plan.canonical_order = true;
+  if (plan.steps.size() != plan.probe_order.size()) {
+    plan.canonical_order = false;
+  } else {
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const PlanStep& s = plan.steps[i];
+      bool probe_like =
+          s.op == PlanOp::kProbeJoin || s.op == PlanOp::kScan;
+      if (!probe_like || s.patterns.size() != 1 ||
+          s.patterns[0] != plan.probe_order[i]) {
+        plan.canonical_order = false;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+BindingSet ExecutePlan(const Graph& graph, QueryPlan* plan, BindingSet seed,
+                       const EvalOptions& options) {
+  if (plan->patterns.empty() || seed.empty()) return seed;
+
+  std::vector<Row> rows;
+  rows.reserve(seed.size());
+  for (size_t i = 0; i < seed.size(); ++i) {
+    rows.push_back(Row{std::move(seed[i]), static_cast<uint32_t>(i)});
+  }
+
+  size_t scanned_total = 0;
+  size_t produced_total = 0;
+  for (PlanStep& step : plan->steps) {
+    size_t scanned = 0;
+    std::vector<Row> next;
+    switch (step.op) {
+      case PlanOp::kScan:
+      case PlanOp::kProbeJoin:
+        next = ExecuteProbe(graph, plan->patterns[step.patterns[0]], rows,
+                            options, &scanned);
+        ProbeJoinCounter().Increment();
+        break;
+      case PlanOp::kMergeJoin:
+        next = ExecuteMerge(graph, plan->patterns[step.patterns[0]],
+                            step.join_vars, rows, &scanned);
+        MergeJoinCounter().Increment();
+        break;
+      case PlanOp::kLeapfrogJoin:
+        next = ExecuteLeapfrog(graph, plan->patterns, step, rows, &scanned);
+        LeapfrogJoinCounter().Increment();
+        break;
+    }
+    step.scanned = scanned;
+    step.actual_rows = next.size();
+    scanned_total += scanned;
+    produced_total += next.size();
+    rows = std::move(next);
+    if (rows.empty()) break;
+  }
+  PatternMatchCounter().Add(scanned_total);
+  BindingCounter().Add(produced_total);
+
+  if (!plan->canonical_order && rows.size() > 1) {
+    // Restore the probe engine's emission order. A full binding uniquely
+    // determines the triple each pattern matched; the probe engine emits
+    // in lexicographic (seed row, insertion position of pattern
+    // probe_order[0]'s triple, position of probe_order[1]'s, ...) order,
+    // so that key — recovered via Graph::PositionOf — sorts any
+    // execution order back to byte-identical output.
+    const size_t stride = plan->probe_order.size() + 1;
+    std::vector<uint64_t> keys(rows.size() * stride);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      uint64_t* key = keys.data() + i * stride;
+      key[0] = rows[i].seed;
+      for (size_t k = 0; k < plan->probe_order.size(); ++k) {
+        Triple t =
+            SubstituteTriple(plan->patterns[plan->probe_order[k]], rows[i].b);
+        key[k + 1] = graph.PositionOf(t).value_or(UINT32_MAX);
+      }
+    }
+    std::vector<uint32_t> idx(rows.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
+    std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+      const uint64_t* ka = keys.data() + size_t{a} * stride;
+      const uint64_t* kb = keys.data() + size_t{b} * stride;
+      return std::lexicographical_compare(ka, ka + stride, kb, kb + stride);
+    });
+    BindingSet out;
+    out.reserve(rows.size());
+    for (uint32_t i : idx) out.push_back(std::move(rows[i].b));
+    return out;
+  }
+
+  BindingSet out;
+  out.reserve(rows.size());
+  for (Row& row : rows) out.push_back(std::move(row.b));
+  return out;
+}
+
+std::vector<size_t> PlanJoinOrder(const std::vector<TriplePattern>& patterns,
+                                  const std::vector<size_t>& cardinalities) {
+  const size_t n = patterns.size();
+  if (n <= 1) {
+    return n == 0 ? std::vector<size_t>{} : std::vector<size_t>{0};
+  }
+
+  if (n > kMaxDpPatterns) {
+    // Selectivity sort (the historical federator order).
+    FallbackCounter().Increment();
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cardinalities[a] < cardinalities[b];
+    });
+    return order;
+  }
+
+  // Same DP as PlanBgp with probe-only costing and no graph statistics:
+  // the only distinct-value bound available for a join var is each side's
+  // relation size.
+  PlanStats st;
+  st.n = n;
+  st.seed_rows = 1.0;
+  st.card_unseeded.reserve(n);
+  st.card_seeded.reserve(n);
+  st.vars.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double c = static_cast<double>(std::max<size_t>(1, cardinalities[i]));
+    st.card_unseeded.push_back(c);
+    st.card_seeded.push_back(c);
+    st.vars.push_back(patterns[i].Vars());
+    for (VarId v : st.vars.back()) {
+      auto [it, inserted] = st.d_graph.try_emplace(v, c);
+      if (!inserted) it->second = std::min(it->second, c);
+    }
+  }
+  double cost = 0.0;
+  std::vector<PlanStep> steps = DpSteps(st, &cost);
+  DpPlanCounter().Increment();
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (const PlanStep& s : steps) {
+    for (size_t p : s.patterns) order.push_back(p);
+  }
+  return order;
+}
+
+std::string RenderPlan(const QueryPlan& plan, const Dictionary* dict,
+                       const VarPool* vars) {
+  std::ostringstream os;
+  os << "plan: " << (plan.used_dp ? "dp" : "greedy") << " order, est cost "
+     << static_cast<long long>(plan.est_cost)
+     << (plan.canonical_order ? " (native canonical order)"
+                              : " (canonical restore sort)")
+     << "\n";
+  auto render_pattern = [&](size_t i) {
+    if (dict != nullptr && vars != nullptr) {
+      return ToString(plan.patterns[i], *dict, *vars);
+    }
+    std::ostringstream p;
+    p << "t" << i;
+    return p.str();
+  };
+  auto render_var = [&](VarId v) {
+    std::ostringstream s;
+    if (vars != nullptr) {
+      s << "?" << vars->name(v);
+    } else {
+      s << "?v" << v;
+    }
+    return s.str();
+  };
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    os << "  step " << (i + 1) << ": " << ToString(s.op) << " ";
+    for (size_t k = 0; k < s.patterns.size(); ++k) {
+      if (k > 0) os << " & ";
+      os << "[" << render_pattern(s.patterns[k]) << "]";
+    }
+    if (!s.join_vars.empty()) {
+      os << " on ";
+      for (size_t k = 0; k < s.join_vars.size(); ++k) {
+        if (k > 0) os << ",";
+        os << render_var(s.join_vars[k]);
+      }
+    }
+    os << "  est " << static_cast<long long>(s.est_rows) << " rows, actual "
+       << s.actual_rows << ", scanned " << s.scanned << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rps

@@ -1,0 +1,136 @@
+#ifndef RPS_QUERY_PLAN_H_
+#define RPS_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/binding.h"
+#include "query/pattern.h"
+#include "rdf/graph.h"
+
+namespace rps {
+
+struct EvalOptions;  // query/eval.h (eval.h includes this header)
+
+/// Physical operator of one plan step (docs/QUERY_PLANNING.md has the
+/// full operator catalog and the cost formulas that choose between
+/// them).
+enum class PlanOp {
+  /// Leaf range scan of one pattern over the permuted indexes; the
+  /// first step of a plan whose input is the trivial seed {µ∅}.
+  kScan,
+  /// Index nested-loop step: for every row of the running intermediate,
+  /// probe the graph with the pattern's constants plus the row's bound
+  /// values. The historical engine is a plan of only these steps.
+  kProbeJoin,
+  /// Sorted merge join: materialize the pattern's extension once, sort
+  /// both sides by the shared variables, merge. Wins when the running
+  /// intermediate is large relative to the pattern's extension.
+  kMergeJoin,
+  /// Multiway leapfrog-style intersection: ≥2 consecutive merge joins
+  /// on the same single variable collapsed into one k-way sorted
+  /// intersection — keys are intersected across all relations before
+  /// any per-key product is emitted.
+  kLeapfrogJoin,
+};
+
+/// Short lowercase operator name ("scan", "probe", "merge", "leapfrog").
+const char* ToString(PlanOp op);
+
+/// One step of a left-deep plan: joins `patterns` (one pattern, or
+/// several for a leapfrog group) into the running intermediate result.
+struct PlanStep {
+  PlanOp op = PlanOp::kProbeJoin;
+  /// Indices into the planned pattern list joined at this step.
+  std::vector<size_t> patterns;
+  /// Join key: variables shared between the running intermediate and
+  /// the step's patterns. Empty = cross product.
+  std::vector<VarId> join_vars;
+  /// Planner's estimate of the intermediate cardinality after this step.
+  double est_rows = 0.0;
+  /// Filled in by execution: the actual intermediate cardinality.
+  size_t actual_rows = 0;
+  /// Filled in by execution: candidate triples scanned by this step.
+  size_t scanned = 0;
+};
+
+/// A complete plan for one BGP join, produced by PlanBgp and executed by
+/// ExecutePlan. The plan is explicit so EXPLAIN can render it with
+/// estimated vs. actual cardinalities.
+struct QueryPlan {
+  /// The planned patterns (copied so the plan is self-describing for
+  /// EXPLAIN rendering after the query objects are gone).
+  std::vector<TriplePattern> patterns;
+  /// Execution steps in order; steps[0] consumes the seed relation.
+  std::vector<PlanStep> steps;
+  /// True when the join order came from the dynamic program; false for
+  /// the greedy fallback (> kMaxDpPatterns patterns) or textual order
+  /// (reorder_patterns off).
+  bool used_dp = false;
+  /// The reference probe engine's pattern order (greedy, multi-seed
+  /// sampled). Execution restores this engine's emission order, so
+  /// results are byte-identical to the probe engine regardless of the
+  /// plan's own join order.
+  std::vector<size_t> probe_order;
+  /// True when the executed step sequence already emits in the probe
+  /// engine's order (all probe joins, in probe_order) and the canonical
+  /// restoration sort was skipped.
+  bool canonical_order = false;
+  /// Planner's total cost of the chosen plan (unitless; see the cost
+  /// model in docs/QUERY_PLANNING.md).
+  double est_cost = 0.0;
+};
+
+/// DP search is exhaustive up to this many patterns (2^n subset states);
+/// larger BGPs fall back to the greedy order with per-step operator
+/// selection and bump `query.plan.fallbacks`.
+inline constexpr size_t kMaxDpPatterns = 10;
+
+/// Greedy pattern order (the reference probe engine's order): repeatedly
+/// pick the remaining pattern with the fewest unbound positions,
+/// tie-broken by exact index cardinality. Per-pattern cardinalities are
+/// sampled from up to three seeds (first / middle / last of `seeds`) and
+/// combined by median, so one unrepresentative seed cannot pick a bad
+/// order.
+std::vector<size_t> OrderPatternsGreedy(
+    const Graph& graph, const std::vector<TriplePattern>& patterns,
+    const BindingSet& seeds);
+
+/// Plans the join of `patterns` against `graph` for the given seed
+/// relation: exact leaf cardinalities from Graph::EstimateMatches
+/// (sampled over up to three seeds), System-R-style dynamic programming
+/// over join orders, and per-step probe/merge operator choice. The seed
+/// set itself is only consulted for its size and sample values.
+QueryPlan PlanBgp(const Graph& graph,
+                  const std::vector<TriplePattern>& patterns,
+                  const BindingSet& seed, const EvalOptions& options);
+
+/// Executes `plan` over the seed relation and returns the joined
+/// bindings in the probe engine's exact emission order (byte-identical
+/// to the per-binding probe loop for any plan). Fills the plan's
+/// actual_rows / scanned fields. Probe steps parallelize over seed-row
+/// chunks when options.threads > 1; the output is identical for every
+/// thread count.
+BindingSet ExecutePlan(const Graph& graph, QueryPlan* plan,
+                       BindingSet seed, const EvalOptions& options);
+
+/// Join order from whole-pattern cardinalities alone (no graph access) —
+/// the federator's case, where each pattern's federation-wide extension
+/// size is the sum of exact per-peer estimates. Same DP as PlanBgp with
+/// probe-only costing; falls back to a selectivity sort above
+/// kMaxDpPatterns.
+std::vector<size_t> PlanJoinOrder(
+    const std::vector<TriplePattern>& patterns,
+    const std::vector<size_t>& cardinalities);
+
+/// Renders the plan for EXPLAIN: one line per step with operator, join
+/// key, patterns, and estimated vs. actual cardinalities. `vars` may be
+/// null (variables render as ?v<id>); `dict` may be null (terms render
+/// as raw ids).
+std::string RenderPlan(const QueryPlan& plan, const Dictionary* dict,
+                       const VarPool* vars);
+
+}  // namespace rps
+
+#endif  // RPS_QUERY_PLAN_H_

@@ -62,9 +62,9 @@ Result<bool> Graph::Insert(const Term& s, const Term& p, const Term& o) {
 }
 
 bool Graph::InsertUnchecked(const Triple& t) {
-  auto [it, inserted] = set_.insert(t);
-  if (!inserted) return false;
   uint32_t pos = static_cast<uint32_t>(triples_.size());
+  auto [it, inserted] = pos_.try_emplace(t, pos);
+  if (!inserted) return false;
   triples_.push_back(t);
   by_s_[t.s].push_back(pos);
   by_p_[t.p].push_back(pos);
@@ -113,7 +113,7 @@ void Graph::MergeDelta() {
 void Graph::Reserve(size_t n) {
   if (n <= triples_.capacity()) return;
   triples_.reserve(n);
-  set_.reserve(n);
+  pos_.reserve(n);
   for (int perm = 0; perm < kPermutations; ++perm) perm_[perm].reserve(n);
 }
 
@@ -179,7 +179,7 @@ void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
   }
   if (bound == 3) {
     Triple probe{*s, *p, *o};
-    if (set_.count(probe) > 0) fn(probe);
+    if (pos_.count(probe) > 0) fn(probe);
     return;
   }
   if (bound == 1) {

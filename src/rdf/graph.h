@@ -75,7 +75,17 @@ class Graph {
   /// Convenience: interns the three terms and inserts.
   Result<bool> Insert(const Term& s, const Term& p, const Term& o);
 
-  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+  bool Contains(const Triple& t) const { return pos_.count(t) > 0; }
+
+  /// Insertion position of `t` — its index in `triples()` — or nullopt
+  /// when absent. One hash probe; the query planner uses it to restore
+  /// the canonical (probe-engine) emission order after out-of-order
+  /// merge joins.
+  std::optional<uint32_t> PositionOf(const Triple& t) const {
+    auto it = pos_.find(t);
+    if (it == pos_.end()) return std::nullopt;
+    return it->second;
+  }
 
   size_t size() const { return triples_.size(); }
   bool empty() const { return triples_.empty(); }
@@ -144,6 +154,14 @@ class Graph {
   size_t base_size() const { return base_n_; }
   size_t delta_size() const { return triples_.size() - base_n_; }
 
+  /// Number of distinct terms occurring at each position (the sizes of
+  /// the per-position posting indexes). O(1); the query planner's cost
+  /// model uses them as graph-wide distinct-value upper bounds for join
+  /// selectivity.
+  size_t DistinctSubjects() const { return by_s_.size(); }
+  size_t DistinctPredicates() const { return by_p_.size(); }
+  size_t DistinctObjects() const { return by_o_.size(); }
+
   Dictionary* dict() const { return dict_; }
 
  private:
@@ -200,7 +218,9 @@ class Graph {
 
   Dictionary* dict_;
   std::vector<Triple> triples_;
-  std::unordered_set<Triple, TripleHash> set_;
+  // Membership hash doubling as the triple -> insertion position index
+  // behind PositionOf.
+  std::unordered_map<Triple, uint32_t, TripleHash> pos_;
 
   // Lazily filled cache behind TermsInUse(); terms_scanned_ is the
   // high-water mark of triples already folded in.

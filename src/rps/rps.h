@@ -46,6 +46,7 @@
 #include "query/binding.h"
 #include "query/eval.h"
 #include "query/pattern.h"
+#include "query/plan.h"
 #include "query/query.h"
 #include "rdf/dataset.h"
 #include "rdf/dictionary.h"

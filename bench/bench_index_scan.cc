@@ -428,8 +428,8 @@ int main(int argc, char** argv) {
       rps::EvalOptions probe_opts;
       probe_opts.use_plan = false;
       rps::EvalOptions plan_opts;
-      rps::QueryPlan plan;
-      plan_opts.plan_capture = &plan;
+      rps::PlanCapture capture;
+      plan_opts.plan_capture = &capture;
 
       // Warmup once per engine (page in the index ranges), then take the
       // best of three timed runs so first-touch effects don't pollute
@@ -465,6 +465,7 @@ int main(int argc, char** argv) {
                   c.patterns.size(), probe_ms, plan_ms,
                   probe_ms / std::max(plan_ms, 1e-9), planned_rows.size(),
                   identical ? "" : "  [MISMATCH]");
+      rps::QueryPlan plan = capture.Take();
       std::printf("%-12s   %s", "", rps::RenderPlan(plan, &dict, &vars).c_str());
       if (!identical) return 1;
     }

@@ -1,0 +1,264 @@
+// rps_server — concurrent query serving over an RDF Peer System with
+// snapshot isolation: the universal solution is chased once, then a
+// QueryServer answers N simultaneous clients while an ingest feed
+// appends live triples. Every query runs against the snapshot epoch it
+// captured at execution start, so answers are always a consistent
+// database state — never a torn scan.
+//
+//   rps_server [config.rps] [options]
+//
+//   -e 'SPARQL'        serve this conjunctive query (default: queries
+//                      synthesized from the data — per-predicate scans,
+//                      plus the film/actor join on synthetic data)
+//   --films=N          synthetic workload size when no config is given
+//                      (films per peer; default 40)
+//   --serve-threads=T  server worker loops, i.e. queries in flight
+//                      (default 4)
+//   --clients=N        closed-loop client threads (default 2*T)
+//   --requests=R       requests issued per client (default 25)
+//   --ingest=K         live triples to append while serving (default 512;
+//                      0 disables the feed)
+//   --deadline-ms=X    per-query deadline; late queries return their
+//                      sound partial answer flagged budget_exceeded
+//
+// Example:
+//   rps_server --serve-threads=8 --clients=16 --ingest=2048
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rps/rps.h"
+
+namespace {
+
+struct ClientStats {
+  size_t completed = 0;
+  size_t budget_exceeded = 0;
+  size_t rejected = 0;
+  double total_latency_ms = 0.0;
+  size_t min_epoch = SIZE_MAX;
+  size_t max_epoch = 0;
+};
+
+size_t SizeArg(const std::string& arg, const char* prefix, size_t fallback) {
+  if (arg.rfind(prefix, 0) != 0) return fallback;
+  int parsed = std::atoi(arg.c_str() + std::strlen(prefix));
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string query_text;
+  size_t films = 40;
+  size_t serve_threads = 4;
+  size_t clients = 0;  // 0 = 2 * serve_threads
+  size_t requests = 25;
+  size_t ingest_total = 512;
+  double deadline_ms = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-e" && i + 1 < argc) {
+      query_text = argv[++i];
+    } else if (arg.rfind("--films=", 0) == 0) {
+      films = SizeArg(arg, "--films=", films);
+    } else if (arg.rfind("--serve-threads=", 0) == 0) {
+      serve_threads = SizeArg(arg, "--serve-threads=", serve_threads);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = SizeArg(arg, "--clients=", clients);
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      requests = SizeArg(arg, "--requests=", requests);
+    } else if (arg.rfind("--ingest=", 0) == 0) {
+      ingest_total = static_cast<size_t>(
+          std::atoi(arg.c_str() + std::strlen("--ingest=")));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atof(arg.c_str() + std::strlen("--deadline-ms="));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: rps_server [config.rps] [-e 'SPARQL'] [--films=N]\n"
+          "       [--serve-threads=T] [--clients=N] [--requests=R]\n"
+          "       [--ingest=K] [--deadline-ms=X]\n");
+      return 0;
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (clients == 0) clients = 2 * serve_threads;
+
+  // 1. Load or synthesize the peer system.
+  std::unique_ptr<rps::RpsSystem> system;
+  rps::LodConfig lod;
+  bool synthetic = config_path.empty();
+  if (synthetic) {
+    lod.num_peers = 4;
+    lod.films_per_peer = films;
+    lod.seed = 7;
+    system = rps::GenerateLod(lod);
+    std::printf("synthetic LOD system: %zu peers, %zu films/peer\n",
+                lod.num_peers, lod.films_per_peer);
+  } else {
+    rps::Result<std::unique_ptr<rps::RpsSystem>> loaded =
+        rps::LoadRpsConfigFile(config_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "config: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    system = std::move(*loaded);
+    std::printf("loaded %zu peer(s), %zu stored triple(s)\n",
+                system->PeerCount(), system->dataset().TotalTriples());
+  }
+  rps::Dictionary& dict = *system->dict();
+
+  // 2. Chase once, single-threaded — the server takes over afterwards.
+  rps::Graph universal(system->dict());
+  rps::Result<rps::RpsChaseStats> chase =
+      rps::BuildUniversalSolution(*system, &universal);
+  if (!chase.ok()) {
+    std::fprintf(stderr, "chase: %s\n", chase.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("universal solution: %zu triple(s) (%zu chase round(s))\n",
+              universal.size(), chase->rounds);
+
+  // 3. The query mix.
+  std::vector<rps::GraphPatternQuery> queries;
+  if (!query_text.empty()) {
+    rps::Result<rps::ParsedQuery> parsed =
+        rps::ParseSparql(query_text, system->dict(), system->vars());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "query: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    rps::Result<std::vector<rps::GraphPatternQuery>> qs =
+        parsed->ToQueries();
+    if (!qs.ok() || qs->size() != 1) {
+      std::fprintf(stderr, "query: expected a single conjunctive query\n");
+      return 1;
+    }
+    queries.push_back((*qs)[0]);
+  } else {
+    if (synthetic) queries.push_back(rps::LodDemoQuery(system.get(), lod));
+    std::set<rps::TermId> predicates;
+    for (const rps::Triple& t : universal.triples()) {
+      if (predicates.insert(t.p).second && predicates.size() >= 4) break;
+    }
+    for (rps::TermId p : predicates) {
+      rps::GraphPatternQuery q;
+      rps::VarId x = system->vars()->Fresh("srv_x");
+      rps::VarId y = system->vars()->Fresh("srv_y");
+      q.head = {x, y};
+      q.body.Add(rps::TriplePattern{rps::PatternTerm::Var(x),
+                                    rps::PatternTerm::Const(p),
+                                    rps::PatternTerm::Var(y)});
+      queries.push_back(std::move(q));
+    }
+  }
+  std::printf("serving %zu quer%s with %zu worker(s), %zu client(s) x %zu "
+              "request(s), ingest %zu\n\n",
+              queries.size(), queries.size() == 1 ? "y" : "ies",
+              serve_threads, clients, requests, ingest_total);
+
+  // 4. Serve.
+  rps::obs::MetricsSnapshot before = rps::obs::Registry::Global().Snapshot();
+  rps::QueryServerOptions options;
+  options.worker_threads = serve_threads;
+  options.default_deadline_ms = deadline_ms;
+  rps::QueryServer server(&universal, options);
+
+  rps::TermId live_pred = universal.empty()
+                              ? dict.InternIri("urn:rps:server:pred")
+                              : universal.triples().front().p;
+  std::atomic<bool> stop_ingest{false};
+  std::thread ingester([&] {
+    size_t sent = 0;
+    while (sent < ingest_total &&
+           !stop_ingest.load(std::memory_order_acquire)) {
+      std::vector<rps::Triple> batch;
+      size_t chunk = std::min<size_t>(8, ingest_total - sent);
+      for (size_t j = 0; j < chunk; ++j, ++sent) {
+        batch.push_back(rps::Triple{
+            dict.InternIri("urn:rps:server:s" + std::to_string(sent)),
+            live_pred,
+            dict.InternIri("urn:rps:server:o" + std::to_string(sent))});
+      }
+      server.Ingest(batch);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::vector<ClientStats> stats(clients);
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  auto wall_start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (size_t r = 0; r < requests; ++r) {
+        rps::Result<rps::QueryResponse> response =
+            server.Execute(queries[(c + r) % queries.size()]);
+        if (!response.ok()) {
+          ++stats[c].rejected;
+          continue;
+        }
+        ++stats[c].completed;
+        if (response->budget_exceeded) ++stats[c].budget_exceeded;
+        stats[c].total_latency_ms += response->latency_ms;
+        stats[c].min_epoch = std::min(stats[c].min_epoch, response->epoch);
+        stats[c].max_epoch = std::max(stats[c].max_epoch, response->epoch);
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  stop_ingest.store(true, std::memory_order_release);
+  ingester.join();
+  server.Stop();
+
+  // 5. Report.
+  ClientStats total;
+  total.min_epoch = SIZE_MAX;
+  for (const ClientStats& s : stats) {
+    total.completed += s.completed;
+    total.budget_exceeded += s.budget_exceeded;
+    total.rejected += s.rejected;
+    total.total_latency_ms += s.total_latency_ms;
+    total.min_epoch = std::min(total.min_epoch, s.min_epoch);
+    total.max_epoch = std::max(total.max_epoch, s.max_epoch);
+  }
+  std::printf("completed %zu (rejected %zu, over deadline %zu) in %.1f ms "
+              "=> %.1f qps\n",
+              total.completed, total.rejected, total.budget_exceeded,
+              wall_ms,
+              wall_ms > 0 ? 1000.0 * total.completed / wall_ms : 0.0);
+  if (total.completed > 0) {
+    std::printf("mean latency %.2f ms; served epochs %zu..%zu (graph grew "
+                "to %zu)\n",
+                total.total_latency_ms / total.completed, total.min_epoch,
+                total.max_epoch, server.epoch());
+  }
+  std::printf("\nserver metrics\n%s",
+              rps::obs::Registry::Global()
+                  .Snapshot()
+                  .DeltaSince(before)
+                  .ToText("  ")
+                  .c_str());
+  return 0;
+}

@@ -11,7 +11,7 @@
 #    or deleted symbol fails the check, so the docs cannot silently rot
 #    as the API evolves.
 # 2. Every metric name registered with a string literal in src/
-#    (`counter("...")` / `histogram("...")`) must appear in the
+#    (`counter("...")` / `gauge("...")` / `histogram("...")`) must appear in the
 #    docs/OBSERVABILITY.md catalog, either verbatim or covered by a
 #    documented wildcard entry such as `relchase.*`. A new instrument
 #    without a catalog row fails the check.
@@ -73,8 +73,8 @@ done
 # by their documented wildcard / templated forms.
 catalog=docs/OBSERVABILITY.md
 wildcards="$(grep -oE '`[a-z_.]+\.\*`' "$catalog" | tr -d '\`' | sed 's/\.\*$/./' | sort -u)"
-metrics="$(grep -rhoE '(counter|histogram)\("[^"]+"\)' src/ |
-    sed -E 's/^(counter|histogram)\("//; s/"\)$//' | sort -u)"
+metrics="$(grep -rhoE '(counter|gauge|histogram)\("[^"]+"\)' src/ |
+    sed -E 's/^(counter|gauge|histogram)\("//; s/"\)$//' | sort -u)"
 for metric in $metrics; do
   checked=$((checked + 1))
   if grep -qF "$metric" "$catalog"; then continue; fi

@@ -3,11 +3,12 @@
 # ThreadSanitizer.
 #
 # The parallel chase/eval engine (util/thread_pool.h and the
-# threads-option paths of rps_chase.cc, eval.cc, federator.cc) is only
-# trustworthy if its evaluate-phase tasks really are data-race free.
-# This script configures the `tsan` preset into build-tsan/, builds the
-# suites that exercise the pool, and runs them with TSAN_OPTIONS set to
-# fail on the first report.
+# threads-option paths of rps_chase.cc, eval.cc, federator.cc) and the
+# concurrent serving path (rdf/graph.cc snapshot reads vs. appends,
+# server/query_server.cc) are only trustworthy if their concurrent
+# phases really are data-race free. This script configures the `tsan`
+# preset into build-tsan/, builds the suites that exercise them, and
+# runs them with TSAN_OPTIONS set to fail on the first report.
 #
 # Runs as a ctest test (check_tsan, see the top-level CMakeLists.txt);
 # also runnable standalone:
@@ -49,7 +50,8 @@ if ! "$probe_dir/probe" >/dev/null 2>&1; then
 fi
 
 # --- Configure + build the tsan tree. ---
-targets=(thread_pool_test rps_chase_test eval_test federation_test property_test)
+targets=(thread_pool_test rps_chase_test eval_test federation_test
+         snapshot_isolation_test query_server_test property_test)
 
 if ! cmake --preset tsan >/dev/null; then
   echo "check_tsan: FAIL (cmake configure of the tsan preset failed)"
@@ -64,7 +66,8 @@ fi
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 failures=0
-for t in thread_pool_test rps_chase_test eval_test federation_test; do
+for t in thread_pool_test rps_chase_test eval_test federation_test \
+         snapshot_isolation_test query_server_test; do
   echo "check_tsan: running $t"
   if ! "$build_dir/tests/$t" >/dev/null; then
     echo "check_tsan: FAIL ($t reported a race or failed under TSan)"

@@ -103,13 +103,16 @@ Result<ExplainReport> ExplainQuery(const RpsSystem& system,
   obs::MetricsSnapshot before = reg.Snapshot();
 
   obs::Tracer tracer("explain");
+  // Per-query capture slot: owned by this EXPLAIN invocation, so any
+  // number of concurrent EXPLAINs publish into their own slots.
+  PlanCapture plan_capture;
   {
     obs::TraceScope scope(&tracer);
     switch (options.engine) {
       case ExplainEngine::kChase:
       case ExplainEngine::kUnionFind: {
         CertainAnswerOptions chase_options = options.chase;
-        chase_options.chase.eval.plan_capture = &report.plan;
+        chase_options.chase.eval.plan_capture = &plan_capture;
         chase_options.equivalence_mode =
             options.engine == ExplainEngine::kChase
                 ? EquivalenceMode::kChase
@@ -136,6 +139,7 @@ Result<ExplainReport> ExplainQuery(const RpsSystem& system,
     }
   }
 
+  if (plan_capture.has_plan()) report.plan = plan_capture.Take();
   report.metrics = reg.Snapshot().DeltaSince(before);
   report.trace_text = tracer.ReportText("  ");
   report.trace_json = tracer.ReportJson();

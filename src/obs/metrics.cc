@@ -78,6 +78,32 @@ uint64_t Histogram::BucketCount(size_t i) const {
   return i < kBuckets ? buckets_[i] : 0;
 }
 
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The rank of the q-th sample (1-based), then the bucket holding it.
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * stats_.count));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cum + buckets_[i] < target) {
+      cum += buckets_[i];
+      continue;
+    }
+    // Interpolate within [lo, hi): bucket 0 is [0,1), bucket i is
+    // [2^(i-1), 2^i). Clamp to the observed min/max so single-sample
+    // buckets report the true extreme rather than a bucket edge.
+    double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    double hi = i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+    double frac = static_cast<double>(target - cum) / buckets_[i];
+    double value = lo + (hi - lo) * frac;
+    return std::min(stats_.max, std::max(stats_.min, value));
+  }
+  return stats_.max;
+}
+
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = HistogramStats{};
@@ -98,6 +124,9 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(
     uint64_t prior = it == before.counters.end() ? 0 : it->second;
     if (value > prior) delta.counters.emplace(name, value - prior);
   }
+  for (const auto& [name, value] : gauges) {
+    if (value != 0) delta.gauges.emplace(name, value);
+  }
   for (const auto& [name, stats] : histograms) {
     auto it = before.histograms.find(name);
     HistogramStats d = stats;
@@ -115,9 +144,17 @@ uint64_t MetricsSnapshot::counter(std::string_view name) const {
   return it == counters.end() ? 0 : it->second;
 }
 
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
 std::string MetricsSnapshot::ToText(const std::string& indent) const {
   size_t width = 0;
   for (const auto& [name, value] : counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : gauges) {
     width = std::max(width, name.size());
   }
   for (const auto& [name, stats] : histograms) {
@@ -125,6 +162,10 @@ std::string MetricsSnapshot::ToText(const std::string& indent) const {
   }
   std::string out;
   for (const auto& [name, value] : counters) {
+    out += indent + name + std::string(width - name.size() + 2, ' ') +
+           std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
     out += indent + name + std::string(width - name.size() + 2, ' ') +
            std::to_string(value) + "\n";
   }
@@ -149,6 +190,13 @@ std::string MetricsSnapshot::ToJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
     if (!first) out += ",";
     first = false;
     out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
@@ -184,6 +232,16 @@ Counter* Registry::counter(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
 Histogram* Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -201,6 +259,9 @@ MetricsSnapshot Registry::Snapshot() const {
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace(name, counter->value());
   }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
   for (const auto& [name, hist] : histograms_) {
     snap.histograms.emplace(name, hist->Stats());
   }
@@ -210,6 +271,7 @@ MetricsSnapshot Registry::Snapshot() const {
 void Registry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }
 

@@ -29,6 +29,25 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A point-in-time level (queue depth, in-flight queries, latest
+/// quantile estimate). Unlike a Counter it can go down; snapshots copy
+/// the current value rather than accumulate. Relaxed atomics — gauges
+/// are advisory observability, never synchronization.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// Aggregate view of a Histogram (also the unit stored in snapshots).
 struct HistogramStats {
   uint64_t count = 0;
@@ -49,6 +68,10 @@ class Histogram {
   HistogramStats Stats() const;
   /// Number of samples in bucket `i` (see class comment for boundaries).
   uint64_t BucketCount(size_t i) const;
+  /// Estimated value at quantile `q` in [0,1] by linear interpolation
+  /// inside the power-of-two bucket holding the q-th sample. Exact at the
+  /// resolution of the buckets (a factor of 2); 0 when empty.
+  double Quantile(double q) const;
   void Reset();
 
  private:
@@ -75,16 +98,21 @@ class ScopedTimerMs {
 /// plain values: diff two of them to isolate the cost of one operation.
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramStats> histograms;
 
   /// This snapshot minus `before` (counter-wise subtraction; histogram
   /// count/sum subtract, min/max are taken from `this`). Zero-valued
   /// entries are dropped, so a delta reports only what the measured
-  /// operation actually touched.
+  /// operation actually touched. Gauges are levels, not accumulations:
+  /// the delta keeps this snapshot's nonzero gauge values as-is.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
 
   /// Value of one counter (0 when absent — instruments register lazily).
   uint64_t counter(std::string_view name) const;
+
+  /// Value of one gauge (0 when absent).
+  int64_t gauge(std::string_view name) const;
 
   /// Aligned human-readable rendering, one instrument per line, with an
   /// optional indent prefix.
@@ -110,6 +138,7 @@ class Registry {
   static Registry& Global();
 
   Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
@@ -120,6 +149,7 @@ class Registry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
       histograms_;
 };

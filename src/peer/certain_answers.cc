@@ -29,9 +29,11 @@ Result<CertainAnswerResult> CertainAnswers(
   RPS_RETURN_IF_ERROR(query.Validate());
   CertainAnswerResult result;
 
-  // The chase reuses the evaluator many times (and in parallel); a plan
-  // capture slot would race and would be overwritten anyway. Capture only
-  // the final query-over-universal-solution plan.
+  // The chase reuses the evaluator many times; the capture slot is
+  // per-query-owned and internally locked (so this is no longer a race,
+  // just noise), but the plan EXPLAIN wants is the *final*
+  // query-over-universal-solution one — don't let chase-step plans churn
+  // through the slot.
   RpsChaseOptions chase_run = options.chase;
   chase_run.eval.plan_capture = nullptr;
 

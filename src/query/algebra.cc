@@ -107,7 +107,7 @@ BindingSet LeftJoin(const BindingSet& left, const BindingSet& right) {
   return out;
 }
 
-std::vector<PartialTuple> EvalExtendedQuery(const Graph& graph,
+std::vector<PartialTuple> EvalExtendedQuery(const GraphSnapshot& graph,
                                             const ExtendedQuery& query,
                                             QuerySemantics semantics,
                                             const EvalOptions& options) {

@@ -69,8 +69,8 @@ BindingSet LeftJoin(const BindingSet& left, const BindingSet& right);
 /// certain. This matches the paper's positioning of larger SPARQL
 /// fragments as future work beyond the formal development.
 std::vector<PartialTuple> EvalExtendedQuery(
-    const Graph& graph, const ExtendedQuery& query, QuerySemantics semantics,
-    const EvalOptions& options = EvalOptions());
+    const GraphSnapshot& graph, const ExtendedQuery& query,
+    QuerySemantics semantics, const EvalOptions& options = EvalOptions());
 
 /// Renders a partial tuple row ("<iri>", "-" for unbound) for display.
 std::string FormatPartialTuple(const PartialTuple& row,

@@ -29,6 +29,11 @@ obs::Counter& BgpEvalCounter() {
   static obs::Counter* c = obs::Registry::Global().counter("eval.bgp_evals");
   return *c;
 }
+obs::Counter& BudgetExceededCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("eval.budget_exceeded");
+  return *c;
+}
 
 // Seed sets smaller than this are extended serially: chunking overhead
 // would dominate the join work.
@@ -36,7 +41,29 @@ constexpr size_t kMinSeedsForParallelJoin = 32;
 
 }  // namespace
 
-BindingSet EvalTriplePattern(const Graph& graph, const TriplePattern& tp) {
+PlanCapture::PlanCapture() = default;
+PlanCapture::~PlanCapture() = default;
+
+void PlanCapture::Publish(QueryPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::make_unique<QueryPlan>(std::move(plan));
+}
+
+bool PlanCapture::has_plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_ != nullptr;
+}
+
+QueryPlan PlanCapture::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_ == nullptr) return QueryPlan();
+  QueryPlan out = std::move(*plan_);
+  plan_.reset();
+  return out;
+}
+
+BindingSet EvalTriplePattern(const GraphSnapshot& graph,
+                             const TriplePattern& tp) {
   BindingSet out;
   size_t scanned = 0;
   graph.Match(tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey(),
@@ -53,11 +80,12 @@ BindingSet EvalTriplePattern(const Graph& graph, const TriplePattern& tp) {
   return out;
 }
 
-BindingSet ExtendBindings(const Graph& graph,
+BindingSet ExtendBindings(const GraphSnapshot& graph,
                           const std::vector<TriplePattern>& patterns,
                           BindingSet seed, const EvalOptions& options) {
   BindingSet current = std::move(seed);
   if (patterns.empty() || current.empty()) return current;
+  EvalBudget* budget = options.budget;
 
   if (options.use_plan) {
     // Cost-based plan engine: DP join ordering plus merge / leapfrog
@@ -66,7 +94,10 @@ BindingSet ExtendBindings(const Graph& graph,
     QueryPlan plan = PlanBgp(graph, patterns, current, options);
     BindingSet out = ExecutePlan(graph, &plan, std::move(current), options);
     if (options.plan_capture != nullptr) {
-      *options.plan_capture = std::move(plan);
+      options.plan_capture->Publish(std::move(plan));
+    }
+    if (budget != nullptr && budget->exceeded()) {
+      BudgetExceededCounter().Increment();
     }
     return out;
   }
@@ -81,14 +112,20 @@ BindingSet ExtendBindings(const Graph& graph,
 
   // Extends every binding of `in` [lo, hi) through `tp`, appending to
   // `out` in input order. Returns the number of scanned candidates.
-  auto extend_range = [&graph](const TriplePattern& tp, const BindingSet& in,
-                               size_t lo, size_t hi, BindingSet* out) {
+  // Charges the per-query budget one unit per candidate and unwinds as
+  // soon as it trips (the partial output is sound; the caller reports
+  // incompleteness through budget->exceeded()).
+  auto extend_range = [&graph, budget](const TriplePattern& tp,
+                                       const BindingSet& in, size_t lo,
+                                       size_t hi, BindingSet* out) {
     size_t scanned = 0;
     for (size_t i = lo; i < hi; ++i) {
+      if (budget != nullptr && budget->exceeded()) break;
       const Binding& b = in[i];
       graph.Match(MatchKey(tp.s, b), MatchKey(tp.p, b), MatchKey(tp.o, b),
                   [&](const Triple& t) {
                     ++scanned;
+                    if (budget != nullptr && budget->Charge(1)) return false;
                     Binding extended = b;
                     if (ExtendWithTriple(tp, t, &extended)) {
                       out->push_back(std::move(extended));
@@ -102,6 +139,7 @@ BindingSet ExtendBindings(const Graph& graph,
   size_t scanned = 0;
   size_t produced = 0;
   for (size_t idx : order) {
+    if (budget != nullptr && budget->exceeded()) break;
     const TriplePattern& tp = patterns[idx];
     BindingSet next;
     if (options.threads > 1 && current.size() >= kMinSeedsForParallelJoin) {
@@ -138,6 +176,9 @@ BindingSet ExtendBindings(const Graph& graph,
   }
   PatternMatchCounter().Add(scanned);
   BindingCounter().Add(produced);
+  if (budget != nullptr && budget->exceeded()) {
+    BudgetExceededCounter().Increment();
+  }
   return current;
 }
 
@@ -150,7 +191,7 @@ std::optional<Binding> MatchTriple(const TriplePattern& tp, const Triple& t) {
   return binding;
 }
 
-BindingSet EvalGraphPattern(const Graph& graph, const GraphPattern& gp,
+BindingSet EvalGraphPattern(const GraphSnapshot& graph, const GraphPattern& gp,
                             const EvalOptions& options) {
   BgpEvalCounter().Increment();
   // ⟦empty AND⟧ = { µ∅ }: the neutral element of the join.
@@ -158,7 +199,8 @@ BindingSet EvalGraphPattern(const Graph& graph, const GraphPattern& gp,
   return ExtendBindings(graph, gp.patterns(), {Binding()}, options);
 }
 
-std::vector<Tuple> EvalQuery(const Graph& graph, const GraphPatternQuery& q,
+std::vector<Tuple> EvalQuery(const GraphSnapshot& graph,
+                             const GraphPatternQuery& q,
                              QuerySemantics semantics,
                              const EvalOptions& options) {
   BindingSet solutions = EvalGraphPattern(graph, q.body, options);
@@ -191,7 +233,7 @@ std::vector<Tuple> EvalQuery(const Graph& graph, const GraphPatternQuery& q,
   return out;
 }
 
-bool EvalBoolean(const Graph& graph, const GraphPatternQuery& q,
+bool EvalBoolean(const GraphSnapshot& graph, const GraphPatternQuery& q,
                  QuerySemantics semantics, const EvalOptions& options) {
   if (q.head.empty()) {
     // Pure ASK: any solution of the body suffices.

@@ -1,6 +1,10 @@
 #ifndef RPS_QUERY_EVAL_H_
 #define RPS_QUERY_EVAL_H_
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "query/binding.h"
@@ -22,6 +26,89 @@ enum class QuerySemantics {
   kKeepBlanks,
 };
 
+/// A per-query, internally synchronized slot for the executed plan that
+/// EXPLAIN renders. The owner (one EXPLAIN invocation) allocates a
+/// PlanCapture on its own stack/frame and points EvalOptions at it, so
+/// two queries explaining concurrently each publish into their own slot
+/// — there is no shared global to stomp. Within one query, evaluation
+/// may run several BGPs (e.g. a chase step per mapping); the slot keeps
+/// the most recently published plan, and the internal mutex makes even
+/// racy publishes from parallel sub-evaluations well-defined.
+class PlanCapture {
+ public:
+  PlanCapture();
+  ~PlanCapture();
+  PlanCapture(const PlanCapture&) = delete;
+  PlanCapture& operator=(const PlanCapture&) = delete;
+
+  /// Publishes a plan (replacing any previous one).
+  void Publish(QueryPlan plan);
+
+  /// True once a plan has been published.
+  bool has_plan() const;
+
+  /// Moves the captured plan out; default-constructed plan if none.
+  QueryPlan Take();
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<QueryPlan> plan_;
+};
+
+/// A per-query execution budget, shared by every thread evaluating one
+/// query (and never shared across queries): an optional wall-clock
+/// deadline and an optional cap on scanned candidate rows. Evaluation
+/// charges one unit per candidate row it inspects; once either limit
+/// trips, the exceeded flag is sticky and every evaluation loop unwinds
+/// at its next check, returning the (sound but possibly incomplete)
+/// answers produced so far. Deadline checks amortize the clock read to
+/// one per kCheckIntervalRows charged rows.
+class EvalBudget {
+ public:
+  /// deadline_ms <= 0 means no deadline; max_scanned == 0 means no cap.
+  explicit EvalBudget(double deadline_ms = 0.0, size_t max_scanned = 0)
+      : max_scanned_(max_scanned) {
+    if (deadline_ms > 0.0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(deadline_ms));
+    }
+  }
+
+  /// Charges `rows` scanned candidates. Returns true when the budget is
+  /// (now or already) exceeded — callers stop scanning at that point.
+  bool Charge(size_t rows) {
+    if (exceeded_.load(std::memory_order_relaxed)) return true;
+    size_t before = scanned_.fetch_add(rows, std::memory_order_relaxed);
+    size_t total = before + rows;
+    if (max_scanned_ != 0 && total > max_scanned_) {
+      exceeded_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (has_deadline_ &&
+        total / kCheckIntervalRows != before / kCheckIntervalRows) {
+      if (std::chrono::steady_clock::now() >= deadline_) {
+        exceeded_.store(true, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool exceeded() const { return exceeded_.load(std::memory_order_relaxed); }
+  size_t scanned() const { return scanned_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kCheckIntervalRows = 256;
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  size_t max_scanned_ = 0;
+  std::atomic<size_t> scanned_{0};
+  std::atomic<bool> exceeded_{false};
+};
+
 /// Evaluation options.
 struct EvalOptions {
   /// Reorder triple patterns greedily by estimated selectivity before
@@ -41,9 +128,14 @@ struct EvalOptions {
   /// index nested-loop probe engine (the reference oracle in tests).
   bool use_plan = true;
   /// When non-null, the last executed BGP plan (with actual cardinalities
-  /// filled in) is copied here for EXPLAIN rendering. Leave null on
-  /// parallel paths that would race on the capture slot.
-  QueryPlan* plan_capture = nullptr;
+  /// filled in) is published here for EXPLAIN rendering. The slot is
+  /// per-query-owned and internally locked, so concurrent EXPLAINs (and
+  /// parallel sub-evaluations within one query) cannot stomp each other.
+  PlanCapture* plan_capture = nullptr;
+  /// When non-null, the per-query budget (deadline / scan cap) charged by
+  /// every evaluation loop. Owned by the query's caller; shared by all
+  /// threads of that one query only.
+  EvalBudget* budget = nullptr;
 };
 
 /// An answer tuple: the head variables' values in head order.
@@ -51,20 +143,27 @@ using Tuple = std::vector<TermId>;
 
 /// ⟦t⟧_D for a single triple pattern: all µ with dom(µ) = var(t) and
 /// µ(t) ∈ D.
-BindingSet EvalTriplePattern(const Graph& graph, const TriplePattern& tp);
+///
+/// All read-path entry points take a GraphSnapshot — a frozen (graph,
+/// epoch) view. A `const Graph&` converts implicitly, capturing "now",
+/// so single-threaded callers are unchanged; concurrent servers pass one
+/// explicit snapshot per query so every pattern of that query sees the
+/// same database state while ingest proceeds (snapshot isolation).
+BindingSet EvalTriplePattern(const GraphSnapshot& graph,
+                             const TriplePattern& tp);
 
 /// ⟦GP⟧_D (Definition 1): iterated join of the triple-pattern evaluations.
 /// Implemented as an index nested-loop join seeded by the most selective
 /// pattern (when options.reorder_patterns), extending partial bindings via
 /// indexed Match calls.
-BindingSet EvalGraphPattern(const Graph& graph, const GraphPattern& gp,
+BindingSet EvalGraphPattern(const GraphSnapshot& graph, const GraphPattern& gp,
                             const EvalOptions& options = EvalOptions());
 
 /// Extends every binding of `seed` over `patterns` (index nested-loop
 /// join against `graph`). Building block for delta-driven evaluation:
 /// seed with the bindings of one pattern against a delta and join the
 /// rest against the full graph.
-BindingSet ExtendBindings(const Graph& graph,
+BindingSet ExtendBindings(const GraphSnapshot& graph,
                           const std::vector<TriplePattern>& patterns,
                           BindingSet seed,
                           const EvalOptions& options = EvalOptions());
@@ -77,14 +176,15 @@ std::optional<Binding> MatchTriple(const TriplePattern& tp, const Triple& t);
 /// Q_D or Q*_D: evaluates the body and projects the head, deduplicating
 /// tuples. With kDropBlanks, any tuple binding a head variable to a blank
 /// node is discarded.
-std::vector<Tuple> EvalQuery(const Graph& graph, const GraphPatternQuery& q,
+std::vector<Tuple> EvalQuery(const GraphSnapshot& graph,
+                             const GraphPatternQuery& q,
                              QuerySemantics semantics,
                              const EvalOptions& options = EvalOptions());
 
 /// Boolean evaluation: true iff the body has at least one solution whose
 /// head projection satisfies `semantics`. For arity-0 queries this is plain
 /// ASK.
-bool EvalBoolean(const Graph& graph, const GraphPatternQuery& q,
+bool EvalBoolean(const GraphSnapshot& graph, const GraphPatternQuery& q,
                  QuerySemantics semantics = QuerySemantics::kDropBlanks,
                  const EvalOptions& options = EvalOptions());
 

@@ -93,7 +93,7 @@ struct PlanStats {
   std::unordered_map<VarId, double> d_graph;
 };
 
-double DistinctAtPosition(const Graph& graph, int position) {
+double DistinctAtPosition(const GraphSnapshot& graph, int position) {
   switch (position) {
     case 0:
       return static_cast<double>(std::max<size_t>(1, graph.DistinctSubjects()));
@@ -118,7 +118,7 @@ std::vector<size_t> SampleSeedIndices(size_t n_seeds) {
 // Median of the pattern's exact cardinality under each sample seed. The
 // median (not the first sample) keeps one unrepresentative seed — e.g. a
 // hub node that matches everything — from mis-ordering the whole join.
-size_t SeededCardinality(const Graph& graph, const TriplePattern& tp,
+size_t SeededCardinality(const GraphSnapshot& graph, const TriplePattern& tp,
                          const BindingSet& seeds,
                          const std::vector<size_t>& samples) {
   if (samples.empty()) {
@@ -136,7 +136,7 @@ size_t SeededCardinality(const Graph& graph, const TriplePattern& tp,
   return cards[cards.size() / 2];
 }
 
-PlanStats ComputeStats(const Graph& graph,
+PlanStats ComputeStats(const GraphSnapshot& graph,
                        const std::vector<TriplePattern>& patterns,
                        const BindingSet& seeds) {
   PlanStats st;
@@ -394,15 +394,17 @@ struct Row {
 
 // Extends rows [lo, hi) of `in` through `tp` by index probes, appending
 // to `out` in input order. Returns scanned candidate count.
-size_t ProbeRange(const Graph& graph, const TriplePattern& tp,
+size_t ProbeRange(const GraphSnapshot& graph, const TriplePattern& tp,
                   const std::vector<Row>& in, size_t lo, size_t hi,
-                  std::vector<Row>* out) {
+                  std::vector<Row>* out, EvalBudget* budget) {
   size_t scanned = 0;
   for (size_t i = lo; i < hi; ++i) {
+    if (budget != nullptr && budget->exceeded()) break;
     const Row& row = in[i];
     graph.Match(MatchKey(tp.s, row.b), MatchKey(tp.p, row.b),
                 MatchKey(tp.o, row.b), [&](const Triple& t) {
                   ++scanned;
+                  if (budget != nullptr && budget->Charge(1)) return false;
                   Row extended{row.b, row.seed};
                   if (ExtendWithTriple(tp, t, &extended.b)) {
                     out->push_back(std::move(extended));
@@ -415,7 +417,7 @@ size_t ProbeRange(const Graph& graph, const TriplePattern& tp,
 
 // Index nested-loop step, seed-chunk parallel above the serial floor.
 // Chunks concatenate in order, so output order is thread-count invariant.
-std::vector<Row> ExecuteProbe(const Graph& graph, const TriplePattern& tp,
+std::vector<Row> ExecuteProbe(const GraphSnapshot& graph, const TriplePattern& tp,
                               const std::vector<Row>& in,
                               const EvalOptions& options, size_t* scanned) {
   std::vector<Row> out;
@@ -429,7 +431,8 @@ std::vector<Row> ExecuteProbe(const Graph& graph, const TriplePattern& tp,
     ThreadPool::Global().ParallelFor(chunks, options.threads, [&](size_t c) {
       size_t lo = c * per_chunk;
       size_t hi = std::min(in.size(), lo + per_chunk);
-      part_scans[c] = ProbeRange(graph, tp, in, lo, hi, &parts[c]);
+      part_scans[c] =
+          ProbeRange(graph, tp, in, lo, hi, &parts[c], options.budget);
     });
     size_t total = 0;
     for (const auto& part : parts) total += part.size();
@@ -439,7 +442,7 @@ std::vector<Row> ExecuteProbe(const Graph& graph, const TriplePattern& tp,
       std::move(parts[c].begin(), parts[c].end(), std::back_inserter(out));
     }
   } else {
-    *scanned += ProbeRange(graph, tp, in, 0, in.size(), &out);
+    *scanned += ProbeRange(graph, tp, in, 0, in.size(), &out, options.budget);
   }
   return out;
 }
@@ -452,14 +455,16 @@ struct ExtEntry {
 };
 
 // Materializes ⟦tp⟧ and extracts the join key of every solution.
-std::vector<ExtEntry> MaterializeExtension(const Graph& graph,
+std::vector<ExtEntry> MaterializeExtension(const GraphSnapshot& graph,
                                            const TriplePattern& tp,
                                            const std::vector<VarId>& join_vars,
-                                           size_t* scanned) {
+                                           size_t* scanned,
+                                           EvalBudget* budget) {
   std::vector<ExtEntry> ext;
   graph.Match(tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey(),
               [&](const Triple& t) {
                 ++*scanned;
+                if (budget != nullptr && budget->Charge(1)) return false;
                 Binding b;
                 if (!ExtendWithTriple(tp, t, &b)) return true;
                 ExtEntry e;
@@ -484,17 +489,19 @@ std::vector<ExtEntry> MaterializeExtension(const Graph& graph,
 // Rows missing a join-var value (heterogeneous seed domains) fall back to
 // per-row index probes — always correct, never taken on the homogeneous
 // seeds the evaluator produces.
-std::vector<Row> ExecuteMerge(const Graph& graph, const TriplePattern& tp,
+std::vector<Row> ExecuteMerge(const GraphSnapshot& graph, const TriplePattern& tp,
                               const std::vector<VarId>& join_vars,
-                              const std::vector<Row>& in, size_t* scanned) {
+                              const std::vector<Row>& in, size_t* scanned,
+                              EvalBudget* budget) {
   std::vector<Row> out;
   std::vector<ExtEntry> ext =
-      MaterializeExtension(graph, tp, join_vars, scanned);
+      MaterializeExtension(graph, tp, join_vars, scanned, budget);
 
   if (join_vars.empty()) {
     // Cross product, row-major.
     out.reserve(in.size() * ext.size());
     for (const Row& row : in) {
+      if (budget != nullptr && budget->exceeded()) break;
       for (const ExtEntry& e : ext) {
         auto merged = Binding::Merge(row.b, e.b);
         if (merged) out.push_back(Row{std::move(*merged), row.seed});
@@ -526,7 +533,7 @@ std::vector<Row> ExecuteMerge(const Graph& graph, const TriplePattern& tp,
     if (ok) {
       keyed.emplace_back(std::move(key), i);
     } else {
-      *scanned += ProbeRange(graph, tp, in, i, i + 1, &out);
+      *scanned += ProbeRange(graph, tp, in, i, i + 1, &out, budget);
     }
   }
   std::stable_sort(keyed.begin(), keyed.end(),
@@ -535,6 +542,7 @@ std::vector<Row> ExecuteMerge(const Graph& graph, const TriplePattern& tp,
   // Two-pointer merge over the sorted sides with block products.
   size_t ri = 0, ei = 0;
   while (ri < keyed.size() && ei < ext.size()) {
+    if (budget != nullptr && budget->exceeded()) break;
     const std::vector<TermId>& rk = keyed[ri].first;
     if (rk < ext[ei].key) {
       ++ri;
@@ -564,10 +572,11 @@ std::vector<Row> ExecuteMerge(const Graph& graph, const TriplePattern& tp,
 // intermediate) first, then emit per-key products only for surviving
 // keys. Grouped patterns pairwise share only the intersection variable
 // (guaranteed by CollapseLeapfrog).
-std::vector<Row> ExecuteLeapfrog(const Graph& graph,
+std::vector<Row> ExecuteLeapfrog(const GraphSnapshot& graph,
                                  const std::vector<TriplePattern>& patterns,
                                  const PlanStep& step,
-                                 const std::vector<Row>& in, size_t* scanned) {
+                                 const std::vector<Row>& in, size_t* scanned,
+                                 EvalBudget* budget) {
   VarId v = step.join_vars[0];
   std::vector<VarId> key_vars = {v};
 
@@ -579,7 +588,7 @@ std::vector<Row> ExecuteLeapfrog(const Graph& graph,
   std::vector<Grouped> rels(step.patterns.size());
   for (size_t g = 0; g < step.patterns.size(); ++g) {
     std::vector<ExtEntry> ext = MaterializeExtension(
-        graph, patterns[step.patterns[g]], key_vars, scanned);
+        graph, patterns[step.patterns[g]], key_vars, scanned, budget);
     for (ExtEntry& e : ext) {
       rels[g].buckets[e.key[0]].push_back(std::move(e.b));
     }
@@ -607,7 +616,8 @@ std::vector<Row> ExecuteLeapfrog(const Graph& graph,
     for (size_t i : fallback) cur.push_back(in[i]);
     for (size_t pi : step.patterns) {
       std::vector<Row> next;
-      *scanned += ProbeRange(graph, patterns[pi], cur, 0, cur.size(), &next);
+      *scanned +=
+          ProbeRange(graph, patterns[pi], cur, 0, cur.size(), &next, budget);
       cur = std::move(next);
       if (cur.empty()) break;
     }
@@ -620,6 +630,7 @@ std::vector<Row> ExecuteLeapfrog(const Graph& graph,
     if (rels[g].keys.size() < rels[smallest].keys.size()) smallest = g;
   }
   for (TermId key : rels[smallest].keys) {
+    if (budget != nullptr && budget->exceeded()) break;
     auto rb = row_buckets.find(key);
     if (rb == row_buckets.end()) continue;
     bool everywhere = true;
@@ -671,7 +682,7 @@ const char* ToString(PlanOp op) {
 }
 
 std::vector<size_t> OrderPatternsGreedy(
-    const Graph& graph, const std::vector<TriplePattern>& patterns,
+    const GraphSnapshot& graph, const std::vector<TriplePattern>& patterns,
     const BindingSet& seeds) {
   if (patterns.empty()) return {};
   if (patterns.size() == 1) return {0};
@@ -715,7 +726,7 @@ std::vector<size_t> OrderPatternsGreedy(
   return order;
 }
 
-QueryPlan PlanBgp(const Graph& graph,
+QueryPlan PlanBgp(const GraphSnapshot& graph,
                   const std::vector<TriplePattern>& patterns,
                   const BindingSet& seed, const EvalOptions& options) {
   QueryPlan plan;
@@ -773,7 +784,7 @@ QueryPlan PlanBgp(const Graph& graph,
   return plan;
 }
 
-BindingSet ExecutePlan(const Graph& graph, QueryPlan* plan, BindingSet seed,
+BindingSet ExecutePlan(const GraphSnapshot& graph, QueryPlan* plan, BindingSet seed,
                        const EvalOptions& options) {
   if (plan->patterns.empty() || seed.empty()) return seed;
 
@@ -786,6 +797,7 @@ BindingSet ExecutePlan(const Graph& graph, QueryPlan* plan, BindingSet seed,
   size_t scanned_total = 0;
   size_t produced_total = 0;
   for (PlanStep& step : plan->steps) {
+    if (options.budget != nullptr && options.budget->exceeded()) break;
     size_t scanned = 0;
     std::vector<Row> next;
     switch (step.op) {
@@ -797,11 +809,12 @@ BindingSet ExecutePlan(const Graph& graph, QueryPlan* plan, BindingSet seed,
         break;
       case PlanOp::kMergeJoin:
         next = ExecuteMerge(graph, plan->patterns[step.patterns[0]],
-                            step.join_vars, rows, &scanned);
+                            step.join_vars, rows, &scanned, options.budget);
         MergeJoinCounter().Increment();
         break;
       case PlanOp::kLeapfrogJoin:
-        next = ExecuteLeapfrog(graph, plan->patterns, step, rows, &scanned);
+        next = ExecuteLeapfrog(graph, plan->patterns, step, rows, &scanned,
+                               options.budget);
         LeapfrogJoinCounter().Increment();
         break;
     }

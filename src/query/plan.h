@@ -94,15 +94,18 @@ inline constexpr size_t kMaxDpPatterns = 10;
 /// combined by median, so one unrepresentative seed cannot pick a bad
 /// order.
 std::vector<size_t> OrderPatternsGreedy(
-    const Graph& graph, const std::vector<TriplePattern>& patterns,
+    const GraphSnapshot& graph, const std::vector<TriplePattern>& patterns,
     const BindingSet& seeds);
 
 /// Plans the join of `patterns` against `graph` for the given seed
 /// relation: exact leaf cardinalities from Graph::EstimateMatches
 /// (sampled over up to three seeds), System-R-style dynamic programming
 /// over join orders, and per-step probe/merge operator choice. The seed
-/// set itself is only consulted for its size and sample values.
-QueryPlan PlanBgp(const Graph& graph,
+/// set itself is only consulted for its size and sample values. Like the
+/// evaluator, the planner reads through a GraphSnapshot (a `const Graph&`
+/// converts implicitly), so its statistics are epoch-exact under
+/// concurrent ingest.
+QueryPlan PlanBgp(const GraphSnapshot& graph,
                   const std::vector<TriplePattern>& patterns,
                   const BindingSet& seed, const EvalOptions& options);
 
@@ -112,7 +115,7 @@ QueryPlan PlanBgp(const Graph& graph,
 /// actual_rows / scanned fields. Probe steps parallelize over seed-row
 /// chunks when options.threads > 1; the output is identical for every
 /// thread count.
-BindingSet ExecutePlan(const Graph& graph, QueryPlan* plan,
+BindingSet ExecutePlan(const GraphSnapshot& graph, QueryPlan* plan,
                        BindingSet seed, const EvalOptions& options);
 
 /// Join order from whole-pattern cardinalities alone (no graph access) —

@@ -2,7 +2,30 @@
 
 namespace rps {
 
+Dictionary::Dictionary(Dictionary&& other) noexcept
+    : terms_(std::move(other.terms_)),
+      index_(std::move(other.index_)),
+      next_null_(other.next_null_) {
+  concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this == &other) return *this;
+  terms_ = std::move(other.terms_);
+  index_ = std::move(other.index_);
+  next_null_ = other.next_null_;
+  concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  return *this;
+}
+
 TermId Dictionary::Intern(const Term& term) {
+  auto lock = WriterLock();
+  return InternLocked(term);
+}
+
+TermId Dictionary::InternLocked(const Term& term) {
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
@@ -12,18 +35,20 @@ TermId Dictionary::Intern(const Term& term) {
 }
 
 std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  auto lock = ReaderLock();
   auto it = index_.find(term);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
 TermId Dictionary::NewBlank() {
+  auto lock = WriterLock();
   // Skip over labels that happen to be taken by parsed data.
   while (true) {
     Term candidate = Term::Blank("n" + std::to_string(next_null_));
     ++next_null_;
     if (index_.find(candidate) == index_.end()) {
-      return Intern(candidate);
+      return InternLocked(candidate);
     }
   }
 }

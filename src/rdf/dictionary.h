@@ -1,11 +1,14 @@
 #ifndef RPS_RDF_DICTIONARY_H_
 #define RPS_RDF_DICTIONARY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 
@@ -26,16 +29,27 @@ inline constexpr TermId kInvalidTermId = UINT32_MAX;
 /// Also the factory for *fresh* blank nodes, which the chase uses as
 /// labelled nulls (§3 of the paper): NewBlank() mints labels that cannot
 /// collide with parsed blank labels.
+///
+/// Like Graph, the dictionary has an opt-in concurrent mode for live
+/// serving (docs/ARCHITECTURE.md "Concurrency & snapshots"): after
+/// EnableConcurrentMutation(), Intern/NewBlank serialize behind an
+/// exclusive lock and every lookup takes a shared lock, so queries that
+/// render or intern terms can overlap ingest. Interned terms live in a
+/// deque, so a `const Term&` returned by term() stays valid across
+/// concurrent interning (no reallocation moves elements). Outside
+/// concurrent mode every operation is lock-free, exactly as before.
 class Dictionary {
  public:
   Dictionary() = default;
 
   // Dictionaries are shared by reference; copying one is almost always a
-  // bug (ids would silently diverge), so forbid it.
+  // bug (ids would silently diverge), so forbid it. Moves are
+  // user-defined because of the lock member (never move a dictionary
+  // other threads are using).
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
-  Dictionary(Dictionary&&) = default;
-  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
 
   /// Interns `term`, returning its id (existing or fresh).
   TermId Intern(const Term& term);
@@ -53,13 +67,27 @@ class Dictionary {
   std::optional<TermId> Lookup(const Term& term) const;
 
   /// Returns the term for a valid id. Id must come from this dictionary.
-  const Term& term(TermId id) const { return terms_[id]; }
+  /// The reference stays valid for the dictionary's lifetime, including
+  /// across concurrent Intern calls (deque storage never relocates).
+  const Term& term(TermId id) const {
+    auto lock = ReaderLock();
+    return terms_[id];
+  }
 
   /// True if `id` denotes a blank node (i.e., an element of B, including
   /// labelled nulls created by the chase).
-  bool IsBlank(TermId id) const { return terms_[id].is_blank(); }
-  bool IsIri(TermId id) const { return terms_[id].is_iri(); }
-  bool IsLiteral(TermId id) const { return terms_[id].is_literal(); }
+  bool IsBlank(TermId id) const {
+    auto lock = ReaderLock();
+    return terms_[id].is_blank();
+  }
+  bool IsIri(TermId id) const {
+    auto lock = ReaderLock();
+    return terms_[id].is_iri();
+  }
+  bool IsLiteral(TermId id) const {
+    auto lock = ReaderLock();
+    return terms_[id].is_literal();
+  }
 
   /// Mints a fresh blank node (labelled null) with a unique label of the
   /// form `n<counter>`. Guaranteed not to collide with previously interned
@@ -67,15 +95,49 @@ class Dictionary {
   TermId NewBlank();
 
   /// Number of interned terms. Valid ids are [0, size).
-  size_t size() const { return terms_.size(); }
+  size_t size() const {
+    auto lock = ReaderLock();
+    return terms_.size();
+  }
 
   /// Renders `id` in N-Triples syntax.
-  std::string ToString(TermId id) const { return terms_[id].ToString(); }
+  std::string ToString(TermId id) const {
+    auto lock = ReaderLock();
+    return terms_[id].ToString();
+  }
+
+  /// Switches the dictionary into concurrent mode (see class comment).
+  /// One-way and idempotent.
+  void EnableConcurrentMutation() {
+    concurrent_.store(true, std::memory_order_release);
+  }
+  bool concurrent_mutation() const {
+    return concurrent_.load(std::memory_order_acquire);
+  }
 
  private:
-  std::vector<Term> terms_;
+  std::shared_lock<std::shared_mutex> ReaderLock() const {
+    return concurrent_.load(std::memory_order_acquire)
+               ? std::shared_lock<std::shared_mutex>(mu_)
+               : std::shared_lock<std::shared_mutex>();
+  }
+  std::unique_lock<std::shared_mutex> WriterLock() {
+    return concurrent_.load(std::memory_order_acquire)
+               ? std::unique_lock<std::shared_mutex>(mu_)
+               : std::unique_lock<std::shared_mutex>();
+  }
+
+  // Caller holds the writer lock in concurrent mode.
+  TermId InternLocked(const Term& term);
+
+  // Deque, not vector: ids keep indexing O(1) while `const Term&`
+  // references survive concurrent growth (no element relocation).
+  std::deque<Term> terms_;
   std::unordered_map<Term, TermId, TermHash> index_;
   uint64_t next_null_ = 0;
+
+  std::atomic<bool> concurrent_{false};
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace rps

@@ -40,6 +40,78 @@ constexpr size_t kSmallPostingScan = 16;
 
 }  // namespace
 
+Graph::Graph(const Graph& other) : dict_(other.dict_) {
+  std::lock_guard<std::mutex> terms_lock(other.terms_mu_);
+  triples_ = other.triples_;
+  pos_ = other.pos_;
+  terms_in_use_ = other.terms_in_use_;
+  terms_scanned_ = other.terms_scanned_;
+  by_s_ = other.by_s_;
+  by_p_ = other.by_p_;
+  by_o_ = other.by_o_;
+  for (int perm = 0; perm < kPermutations; ++perm) perm_[perm] = other.perm_[perm];
+  base_n_ = other.base_n_;
+  concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> terms_lock(other.terms_mu_);
+  dict_ = other.dict_;
+  triples_ = other.triples_;
+  pos_ = other.pos_;
+  terms_in_use_ = other.terms_in_use_;
+  terms_scanned_ = other.terms_scanned_;
+  by_s_ = other.by_s_;
+  by_p_ = other.by_p_;
+  by_o_ = other.by_o_;
+  for (int perm = 0; perm < kPermutations; ++perm) perm_[perm] = other.perm_[perm];
+  base_n_ = other.base_n_;
+  concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept : dict_(other.dict_) {
+  triples_ = std::move(other.triples_);
+  pos_ = std::move(other.pos_);
+  terms_in_use_ = std::move(other.terms_in_use_);
+  terms_scanned_ = other.terms_scanned_;
+  by_s_ = std::move(other.by_s_);
+  by_p_ = std::move(other.by_p_);
+  by_o_ = std::move(other.by_o_);
+  for (int perm = 0; perm < kPermutations; ++perm) {
+    perm_[perm] = std::move(other.perm_[perm]);
+  }
+  base_n_ = other.base_n_;
+  concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  dict_ = other.dict_;
+  triples_ = std::move(other.triples_);
+  pos_ = std::move(other.pos_);
+  terms_in_use_ = std::move(other.terms_in_use_);
+  terms_scanned_ = other.terms_scanned_;
+  by_s_ = std::move(other.by_s_);
+  by_p_ = std::move(other.by_p_);
+  by_o_ = std::move(other.by_o_);
+  for (int perm = 0; perm < kPermutations; ++perm) {
+    perm_[perm] = std::move(other.perm_[perm]);
+  }
+  base_n_ = other.base_n_;
+  concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  return *this;
+}
+
+void Graph::EnableConcurrentMutation() {
+  concurrent_.store(true, std::memory_order_release);
+}
+
 Result<bool> Graph::Insert(const Triple& t) {
   if (t.s == kInvalidTermId || t.p == kInvalidTermId ||
       t.o == kInvalidTermId) {
@@ -62,6 +134,11 @@ Result<bool> Graph::Insert(const Term& s, const Term& p, const Term& o) {
 }
 
 bool Graph::InsertUnchecked(const Triple& t) {
+  auto lock = WriterLock();
+  return InsertUncheckedLocked(t);
+}
+
+bool Graph::InsertUncheckedLocked(const Triple& t) {
   uint32_t pos = static_cast<uint32_t>(triples_.size());
   auto [it, inserted] = pos_.try_emplace(t, pos);
   if (!inserted) return false;
@@ -111,6 +188,11 @@ void Graph::MergeDelta() {
 }
 
 void Graph::Reserve(size_t n) {
+  auto lock = WriterLock();
+  ReserveLocked(n);
+}
+
+void Graph::ReserveLocked(size_t n) {
   if (n <= triples_.capacity()) return;
   triples_.reserve(n);
   pos_.reserve(n);
@@ -118,10 +200,11 @@ void Graph::Reserve(size_t n) {
 }
 
 size_t Graph::InsertAll(const Graph& other) {
-  Reserve(triples_.size() + other.size());
+  auto lock = WriterLock();
+  ReserveLocked(triples_.size() + other.size());
   size_t added = 0;
   for (const Triple& t : other.triples()) {
-    if (InsertUnchecked(t)) ++added;
+    if (InsertUncheckedLocked(t)) ++added;
   }
   return added;
 }
@@ -168,18 +251,39 @@ size_t TailStart(const std::vector<uint32_t>& list, size_t base_n) {
 void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
                      std::optional<TermId> o,
                      FunctionRef<bool(const Triple&)> fn) const {
+  MatchPrefix(s, p, o, triples_.size(), fn);
+}
+
+void Graph::MatchRefAsOf(std::optional<TermId> s, std::optional<TermId> p,
+                         std::optional<TermId> o, size_t epoch,
+                         FunctionRef<bool(const Triple&)> fn) const {
+  auto lock = ReaderLock();
+  MatchPrefix(s, p, o, std::min(epoch, triples_.size()), fn);
+}
+
+// Epoch-bounded match core. Every branch enumerates candidate positions
+// in ascending order, so the epoch bound is an early `break`: the
+// emitted sequence is exactly what MatchRef would emit on the graph
+// restricted to its first `epoch` triples, regardless of how many
+// merges have happened since the epoch was captured (a merge only moves
+// positions from the delta into the base runs, never reorders a
+// (k1, k2) group's position-ascending entries).
+void Graph::MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
+                        std::optional<TermId> o, size_t epoch,
+                        FunctionRef<bool(const Triple&)> fn) const {
   const int bound = (s.has_value() ? 1 : 0) + (p.has_value() ? 1 : 0) +
                     (o.has_value() ? 1 : 0);
   if (bound == 0) {
-    // Fully unbound pattern: scan everything in insertion order.
-    for (const Triple& t : triples_) {
-      if (!fn(t)) return;
+    // Fully unbound pattern: scan the prefix in insertion order.
+    for (size_t i = 0; i < epoch; ++i) {
+      if (!fn(triples_[i])) return;
     }
     return;
   }
   if (bound == 3) {
     Triple probe{*s, *p, *o};
-    if (pos_.count(probe) > 0) fn(probe);
+    auto it = pos_.find(probe);
+    if (it != pos_.end() && it->second < epoch) fn(probe);
     return;
   }
   if (bound == 1) {
@@ -190,6 +294,7 @@ void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
     if (list == nullptr) return;
     RangeScanCounter().Increment();
     for (uint32_t pos : *list) {
+      if (pos >= epoch) break;
       if (!fn(triples_[pos])) return;
     }
     return;
@@ -222,6 +327,7 @@ void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
       first->size() <= second->size() ? first : second;
   if (shorter->size() <= kSmallPostingScan) {
     for (uint32_t pos : *shorter) {
+      if (pos >= epoch) break;
       const Triple& t = triples_[pos];
       if (matches(t) && !fn(t)) return;
     }
@@ -234,8 +340,10 @@ void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
   auto [lo, hi] = BaseRange(perm, k1, k2);
   const std::vector<PermEntry>& run = perm_[perm];
   for (size_t i = lo; i < hi; ++i) {
+    if (run[i].pos >= epoch) break;
     if (!fn(triples_[run[i].pos])) return;
   }
+  if (base_n_ >= epoch) return;           // prefix entirely inside the base
   if (base_n_ == triples_.size()) return;  // no unmerged delta
   size_t first_start = TailStart(*first, base_n_);
   size_t second_start = TailStart(*second, base_n_);
@@ -245,16 +353,20 @@ void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
     tail = second;
     start = second_start;
   }
-  if (start < tail->size()) {
+  if (start < tail->size() && (*tail)[start] < epoch) {
     DeltaScanCounter().Increment();
     for (size_t i = start; i < tail->size(); ++i) {
-      const Triple& t = triples_[(*tail)[i]];
+      uint32_t pos = (*tail)[i];
+      if (pos >= epoch) break;
+      const Triple& t = triples_[pos];
       if (matches(t) && !fn(t)) return;
     }
   }
 }
 
-const std::unordered_set<TermId>& Graph::TermsInUse() const {
+std::unordered_set<TermId> Graph::TermsInUse() const {
+  auto lock = ReaderLock();
+  std::lock_guard<std::mutex> terms_lock(terms_mu_);
   for (; terms_scanned_ < triples_.size(); ++terms_scanned_) {
     const Triple& t = triples_[terms_scanned_];
     terms_in_use_.insert(t.s);
@@ -275,18 +387,77 @@ std::vector<Triple> Graph::MatchAll(std::optional<TermId> s,
   return out;
 }
 
+std::vector<Triple> Graph::MatchAllAsOf(std::optional<TermId> s,
+                                        std::optional<TermId> p,
+                                        std::optional<TermId> o,
+                                        size_t epoch) const {
+  std::vector<Triple> out;
+  auto collect = [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  };
+  MatchRefAsOf(s, p, o, epoch, FunctionRef<bool(const Triple&)>(collect));
+  return out;
+}
+
+size_t Graph::SnapshotEpoch() const {
+  auto lock = ReaderLock();
+  return triples_.size();
+}
+
+bool Graph::ContainsAsOf(const Triple& t, size_t epoch) const {
+  return PositionOfAsOf(t, epoch).has_value();
+}
+
+std::optional<uint32_t> Graph::PositionOfAsOf(const Triple& t,
+                                              size_t epoch) const {
+  auto lock = ReaderLock();
+  auto it = pos_.find(t);
+  if (it == pos_.end() || it->second >= epoch) return std::nullopt;
+  return it->second;
+}
+
 size_t Graph::EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
                               std::optional<TermId> o) const {
+  return CountPrefix(s, p, o, triples_.size());
+}
+
+size_t Graph::EstimateMatchesAsOf(std::optional<TermId> s,
+                                  std::optional<TermId> p,
+                                  std::optional<TermId> o,
+                                  size_t epoch) const {
+  auto lock = ReaderLock();
+  return CountPrefix(s, p, o, std::min(epoch, triples_.size()));
+}
+
+// Epoch-bounded exact count: the epoch bound is a partition_point over
+// position-ascending sequences, so the count stays exact for all eight
+// shapes (same guarantee EstimateMatches has always made).
+size_t Graph::CountPrefix(std::optional<TermId> s, std::optional<TermId> p,
+                          std::optional<TermId> o, size_t epoch) const {
   const int bound = (s.has_value() ? 1 : 0) + (p.has_value() ? 1 : 0) +
                     (o.has_value() ? 1 : 0);
-  if (bound == 0) return triples_.size();
-  if (bound == 3) return Contains(Triple{*s, *p, *o}) ? 1 : 0;
+  if (bound == 0) return epoch;
+  if (bound == 3) {
+    auto it = pos_.find(Triple{*s, *p, *o});
+    return (it != pos_.end() && it->second < epoch) ? 1 : 0;
+  }
 
   ExactEstimateCounter().Increment();
+  // Number of entries of a position-ascending posting list below the
+  // epoch: the whole list in the common no-ingest case (back() probe),
+  // else one binary search.
+  auto bounded_size = [epoch](const std::vector<uint32_t>& list) -> size_t {
+    if (list.empty() || list.back() < epoch) return list.size();
+    return static_cast<size_t>(
+        std::lower_bound(list.begin(), list.end(),
+                         static_cast<uint32_t>(epoch)) -
+        list.begin());
+  };
   if (bound == 1) {
     const std::vector<uint32_t>* list =
         s ? Postings(by_s_, *s) : p ? Postings(by_p_, *p) : Postings(by_o_, *o);
-    return list == nullptr ? 0 : list->size();
+    return list == nullptr ? 0 : bounded_size(*list);
   }
 
   const std::vector<uint32_t>* first;
@@ -310,6 +481,7 @@ size_t Graph::EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
   if (shorter->size() <= kSmallPostingScan) {
     size_t count = 0;
     for (uint32_t pos : *shorter) {
+      if (pos >= epoch) break;
       const Triple& t = triples_[pos];
       if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) ++count;
     }
@@ -317,7 +489,20 @@ size_t Graph::EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
   }
 
   auto [lo, hi] = BaseRange(perm, k1, k2);
-  size_t count = hi - lo;
+  size_t count;
+  if (epoch >= base_n_) {
+    count = hi - lo;
+  } else {
+    // Entries of a (k1, k2) group are position-ascending: the prefix
+    // below the epoch is a partition point.
+    const std::vector<PermEntry>& run = perm_[perm];
+    count = static_cast<size_t>(
+        std::partition_point(
+            run.begin() + lo, run.begin() + hi,
+            [epoch](const PermEntry& e) { return e.pos < epoch; }) -
+        (run.begin() + lo));
+  }
+  if (base_n_ >= epoch) return count;           // prefix inside the base
   if (base_n_ == triples_.size()) return count;  // no unmerged delta
   size_t first_start = TailStart(*first, base_n_);
   size_t second_start = TailStart(*second, base_n_);
@@ -328,10 +513,34 @@ size_t Graph::EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
     start = second_start;
   }
   for (size_t i = start; i < tail->size(); ++i) {
-    const Triple& t = triples_[(*tail)[i]];
+    uint32_t pos = (*tail)[i];
+    if (pos >= epoch) break;
+    const Triple& t = triples_[pos];
     if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) ++count;
   }
   return count;
+}
+
+std::vector<Triple> GraphSnapshot::Triples() const {
+  auto lock = graph_->ReaderLock();
+  size_t n = std::min(epoch_, graph_->triples_.size());
+  return std::vector<Triple>(graph_->triples_.begin(),
+                             graph_->triples_.begin() + n);
+}
+
+size_t GraphSnapshot::DistinctSubjects() const {
+  auto lock = graph_->ReaderLock();
+  return graph_->by_s_.size();
+}
+
+size_t GraphSnapshot::DistinctPredicates() const {
+  auto lock = graph_->ReaderLock();
+  return graph_->by_p_.size();
+}
+
+size_t GraphSnapshot::DistinctObjects() const {
+  auto lock = graph_->ReaderLock();
+  return graph_->by_o_.size();
 }
 
 }  // namespace rps

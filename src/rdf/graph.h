@@ -1,9 +1,12 @@
 #ifndef RPS_RDF_GRAPH_H_
 #define RPS_RDF_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
@@ -14,6 +17,8 @@
 #include "util/result.h"
 
 namespace rps {
+
+class GraphSnapshot;
 
 /// An in-memory RDF graph (a set of dictionary-encoded triples) with
 /// RDF-3X-style permuted sorted indexes for pattern matching.
@@ -48,6 +53,23 @@ namespace rps {
 /// everything downstream — chase firing order, fresh blank numbering,
 /// certain answers — is byte-identical to the pre-index engine.
 ///
+/// Snapshot reads (docs/ARCHITECTURE.md "Concurrency & snapshots"): the
+/// graph is append-only, so "the graph as of epoch E" is exactly its
+/// first E triples. The `...AsOf(..., epoch)` read methods enumerate and
+/// count only positions < epoch — every enumeration path above is
+/// position-ascending, so the bound is an early break, not a filter pass
+/// — and merges never invalidate the view (a merge only moves positions
+/// between the delta and the base runs). `GraphSnapshot` packages a
+/// (graph, epoch) pair behind the plain Match/EstimateMatches interface.
+///
+/// By default the graph is single-writer/single-phase like the chase
+/// needs, and reads are lock-free. `EnableConcurrentMutation()` switches
+/// it into concurrent mode for live serving: mutators take an exclusive
+/// lock and the `...AsOf` snapshot reads take a shared lock, so queries
+/// can overlap ingest safely (TSan-clean). The legacy lock-free read
+/// paths (Match/Contains/triples()/...) remain lock-free even then and
+/// must not race a writer — concurrent readers go through snapshots.
+///
 /// The graph borrows its Dictionary (non-owning): all graphs participating
 /// in one RPS share a dictionary so TermIds are comparable across peers.
 ///
@@ -57,10 +79,15 @@ class Graph {
  public:
   explicit Graph(Dictionary* dict) : dict_(dict) {}
 
-  Graph(const Graph&) = default;
-  Graph& operator=(const Graph&) = default;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  // Copy/move are user-defined because of the synchronization members
+  // (mutexes are not copyable); they transfer the data and the
+  // concurrent-mode flag but each graph owns a fresh lock. Copying or
+  // moving a graph that another thread is concurrently reading or
+  // writing is undefined, as for any standard container.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// Inserts a triple after validating term kinds. Returns true if the
   /// triple was new, false if it was already present; error status if the
@@ -140,14 +167,61 @@ class Graph {
   size_t EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
                          std::optional<TermId> o) const;
 
+  // ---- Snapshot reads ------------------------------------------------
+  //
+  // Each takes the epoch (exclusive insertion-position bound) captured at
+  // query start and behaves exactly like its unsuffixed counterpart
+  // evaluated on the graph's first `epoch` triples. In concurrent mode
+  // they hold a shared lock for the duration of the call (including the
+  // Match callback — do not insert into the same graph from inside one).
+
+  /// The current epoch: the number of triples inserted so far. In
+  /// concurrent mode this is read under the shared lock, so it is a safe
+  /// linearization point for starting a query mid-ingest.
+  size_t SnapshotEpoch() const;
+
+  /// True once EnableConcurrentMutation() has been called.
+  bool concurrent_mutation() const {
+    return concurrent_.load(std::memory_order_acquire);
+  }
+
+  /// Switches the graph into concurrent mode: from now on mutators
+  /// serialize behind an exclusive lock and the `...AsOf` reads take a
+  /// shared lock. One-way (there is no safe point to observe "no readers
+  /// left" from inside the graph) and idempotent. Enable *after*
+  /// single-threaded bulk loading / chasing, *before* serving overlapped
+  /// queries and ingest.
+  void EnableConcurrentMutation();
+
+  /// Match restricted to insertion positions < epoch, in ascending
+  /// insertion order (early-exit on false like MatchRef).
+  void MatchRefAsOf(std::optional<TermId> s, std::optional<TermId> p,
+                    std::optional<TermId> o, size_t epoch,
+                    FunctionRef<bool(const Triple&)> fn) const;
+
+  /// MatchAll restricted to insertion positions < epoch.
+  std::vector<Triple> MatchAllAsOf(std::optional<TermId> s,
+                                   std::optional<TermId> p,
+                                   std::optional<TermId> o,
+                                   size_t epoch) const;
+
+  /// Exact match count among insertion positions < epoch (all eight
+  /// shapes, same exactness guarantee as EstimateMatches).
+  size_t EstimateMatchesAsOf(std::optional<TermId> s, std::optional<TermId> p,
+                             std::optional<TermId> o, size_t epoch) const;
+
+  /// Membership / position among the first `epoch` triples.
+  bool ContainsAsOf(const Triple& t, size_t epoch) const;
+  std::optional<uint32_t> PositionOfAsOf(const Triple& t, size_t epoch) const;
+
   /// The set of term ids that occur in some triple of this graph, at any
-  /// position. Maintained incrementally behind a high-water mark: a call
-  /// scans only the triples appended since the previous call (graphs
-  /// never shrink), so it is O(new triples) instead of a full rescan and
-  /// costs inserts nothing. Not safe to call concurrently with itself;
-  /// callers use it at system-construction/translation time, outside the
-  /// parallel chase phases.
-  const std::unordered_set<TermId>& TermsInUse() const;
+  /// position. Maintained incrementally behind a high-water mark guarded
+  /// by its own mutex: a call scans only the triples appended since the
+  /// previous call (graphs never shrink), so it is O(new triples) instead
+  /// of a full rescan and costs inserts nothing. Returns a copy so the
+  /// result cannot be mutated under a caller by a later call; safe to
+  /// call from any number of threads.
+  std::unordered_set<TermId> TermsInUse() const;
 
   /// Index introspection (tests, benches): triples covered by the sorted
   /// permutation runs vs. still in the append-only delta.
@@ -165,6 +239,8 @@ class Graph {
   Dictionary* dict() const { return dict_; }
 
  private:
+  friend class GraphSnapshot;
+
   // One entry of a permutation run: the two leading permuted components
   // plus the insertion position (which doubles as the tie-break, so a
   // (k1, k2) range is position-ascending). The third component is not
@@ -201,6 +277,31 @@ class Graph {
   // The (k1, k2) key of triple `t` under a permutation.
   static std::pair<TermId, TermId> PermKey(Permutation perm, const Triple& t);
 
+  // Conditional locks: engaged only in concurrent mode, so the historical
+  // single-phase paths stay lock-free (one relaxed-ish atomic load).
+  std::shared_lock<std::shared_mutex> ReaderLock() const {
+    return concurrent_.load(std::memory_order_acquire)
+               ? std::shared_lock<std::shared_mutex>(mu_)
+               : std::shared_lock<std::shared_mutex>();
+  }
+  std::unique_lock<std::shared_mutex> WriterLock() {
+    return concurrent_.load(std::memory_order_acquire)
+               ? std::unique_lock<std::shared_mutex>(mu_)
+               : std::unique_lock<std::shared_mutex>();
+  }
+
+  // Insert/reserve cores; caller holds the writer lock in concurrent mode.
+  bool InsertUncheckedLocked(const Triple& t);
+  void ReserveLocked(size_t n);
+
+  // Epoch-bounded read cores (no locking; caller holds the reader lock
+  // in concurrent mode). `epoch` must be <= triples_.size().
+  void MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
+                   std::optional<TermId> o, size_t epoch,
+                   FunctionRef<bool(const Triple&)> fn) const;
+  size_t CountPrefix(std::optional<TermId> s, std::optional<TermId> p,
+                     std::optional<TermId> o, size_t epoch) const;
+
   // Sorts the pending delta positions and merges them into the three
   // permutation runs.
   void MergeDelta();
@@ -223,7 +324,9 @@ class Graph {
   std::unordered_map<Triple, uint32_t, TripleHash> pos_;
 
   // Lazily filled cache behind TermsInUse(); terms_scanned_ is the
-  // high-water mark of triples already folded in.
+  // high-water mark of triples already folded in. Guarded by terms_mu_
+  // (acquired after the reader lock, never the other way around).
+  mutable std::mutex terms_mu_;
   mutable std::unordered_set<TermId> terms_in_use_;
   mutable size_t terms_scanned_ = 0;
 
@@ -235,6 +338,103 @@ class Graph {
   // Sorted permutation runs over triples_[0 .. base_n_).
   std::vector<PermEntry> perm_[kPermutations];
   size_t base_n_ = 0;
+
+  // Concurrent mode: flag + the lock the conditional helpers use.
+  std::atomic<bool> concurrent_{false};
+  mutable std::shared_mutex mu_;
+};
+
+/// A frozen logical read view of a Graph: the graph's first `epoch()`
+/// triples, captured at construction. Because the graph is append-only
+/// and every enumeration path is position-ascending, the view is
+/// *exactly* the graph as it was at capture time — later appends and
+/// LSM merges never change what a snapshot returns, so an in-flight
+/// query keeps seeing one consistent database state (snapshot
+/// isolation) while ingest proceeds.
+///
+/// The snapshot is a cheap value type (pointer + epoch) and borrows the
+/// graph, which must outlive it. It converts *implicitly* from `const
+/// Graph&` — read-path APIs take `const GraphSnapshot&` and existing
+/// callers that pass a Graph keep compiling, getting a "now" snapshot
+/// per call. Concurrent servers construct one snapshot per query
+/// explicitly and evaluate every pattern of that query against it.
+///
+/// In concurrent mode every snapshot read holds the graph's shared lock
+/// for the duration of the call; otherwise reads are lock-free.
+class GraphSnapshot {
+ public:
+  /// Captures the graph's current epoch (implicit by design — see above).
+  GraphSnapshot(const Graph& graph)  // NOLINT(google-explicit-constructor)
+      : graph_(&graph), epoch_(graph.SnapshotEpoch()) {}
+
+  /// A view of the first `epoch` triples (clamped to the current size).
+  GraphSnapshot(const Graph& graph, size_t epoch)
+      : graph_(&graph), epoch_(epoch) {
+    size_t now = graph.SnapshotEpoch();
+    if (epoch_ > now) epoch_ = now;
+  }
+
+  const Graph& graph() const { return *graph_; }
+  size_t epoch() const { return epoch_; }
+
+  size_t size() const { return epoch_; }
+  bool empty() const { return epoch_ == 0; }
+  Dictionary* dict() const { return graph_->dict(); }
+
+  bool Contains(const Triple& t) const {
+    return graph_->ContainsAsOf(t, epoch_);
+  }
+  std::optional<uint32_t> PositionOf(const Triple& t) const {
+    return graph_->PositionOfAsOf(t, epoch_);
+  }
+
+  void MatchRef(std::optional<TermId> s, std::optional<TermId> p,
+                std::optional<TermId> o,
+                FunctionRef<bool(const Triple&)> fn) const {
+    graph_->MatchRefAsOf(s, p, o, epoch_, fn);
+  }
+
+  template <typename Fn,
+            std::enable_if_t<std::is_invocable_r_v<bool, Fn&, const Triple&>,
+                             int> = 0>
+  void Match(std::optional<TermId> s, std::optional<TermId> p,
+             std::optional<TermId> o, Fn&& fn) const {
+    MatchRef(s, p, o, FunctionRef<bool(const Triple&)>(fn));
+  }
+
+  void Match(std::optional<TermId> s, std::optional<TermId> p,
+             std::optional<TermId> o,
+             const std::function<bool(const Triple&)>& fn) const {
+    MatchRef(s, p, o, FunctionRef<bool(const Triple&)>(fn));
+  }
+
+  std::vector<Triple> MatchAll(std::optional<TermId> s,
+                               std::optional<TermId> p,
+                               std::optional<TermId> o) const {
+    return graph_->MatchAllAsOf(s, p, o, epoch_);
+  }
+
+  size_t EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
+                         std::optional<TermId> o) const {
+    return graph_->EstimateMatchesAsOf(s, p, o, epoch_);
+  }
+
+  /// A copy of the snapshot's triples in insertion order (the first
+  /// `epoch()` triples). Copies under the shared lock in concurrent
+  /// mode — parity checks and tests use it; not a hot path.
+  std::vector<Triple> Triples() const;
+
+  /// Planner statistics: distinct-value counts per position. These are
+  /// read from the live posting indexes (upper bounds for the snapshot —
+  /// the counts only grow), which can only steer operator choice, never
+  /// answers: execution restores the canonical probe order regardless.
+  size_t DistinctSubjects() const;
+  size_t DistinctPredicates() const;
+  size_t DistinctObjects() const;
+
+ private:
+  const Graph* graph_;
+  size_t epoch_;
 };
 
 }  // namespace rps

@@ -14,6 +14,7 @@
 ///  * peer/     — RDF Peer Systems, certain answers, equivalence closure
 ///  * rewrite/  — UCQ perfect rewriting, Boolean-query rewriting
 ///  * federation/ — simulated peer network and federated execution
+///  * server/   — snapshot-isolated concurrent query serving
 ///  * gen/      — synthetic workload generators and the paper's example
 ///  * obs/      — metrics counters, trace spans, EXPLAIN query reports
 
@@ -54,6 +55,7 @@
 #include "rdf/term.h"
 #include "rdf/triple.h"
 #include "rewrite/bool_rewrite.h"
+#include "server/query_server.h"
 #include "rewrite/rewriter.h"
 #include "tgd/atom.h"
 #include "tgd/classify.h"

@@ -1,0 +1,181 @@
+#include "server/query_server.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "rdf/dictionary.h"
+#include "util/thread_pool.h"
+
+namespace rps {
+
+namespace {
+
+// Function-local statics: the registry hands out pointers that stay
+// valid for the process lifetime, so the hot path pays one lazy init.
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* c = obs::Registry::Global().counter("server.admitted");
+  return c;
+}
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c = obs::Registry::Global().counter("server.rejected");
+  return c;
+}
+obs::Counter* CompletedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("server.completed");
+  return c;
+}
+obs::Counter* DeadlineExceededCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("server.deadline_exceeded");
+  return c;
+}
+obs::Counter* IngestedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("server.ingested_triples");
+  return c;
+}
+obs::Gauge* InflightGauge() {
+  static obs::Gauge* g = obs::Registry::Global().gauge("server.inflight");
+  return g;
+}
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g = obs::Registry::Global().gauge("server.queue_depth");
+  return g;
+}
+obs::Gauge* P50Gauge() {
+  static obs::Gauge* g = obs::Registry::Global().gauge("server.p50_ms");
+  return g;
+}
+obs::Gauge* P99Gauge() {
+  static obs::Gauge* g = obs::Registry::Global().gauge("server.p99_ms");
+  return g;
+}
+obs::Histogram* LatencyHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().histogram("server.latency_ms");
+  return h;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(Graph* graph, const QueryServerOptions& options)
+    : graph_(graph), options_(options) {
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+  // From here on queries overlap ingest: writers serialize behind the
+  // graph's exclusive lock, snapshot reads take the shared lock.
+  graph_->EnableConcurrentMutation();
+  graph_->dict()->EnableConcurrentMutation();
+
+  size_t workers = options_.worker_threads;
+  host_ = std::thread([this, workers] {
+    ThreadPool::Global().ParallelFor(workers, workers,
+                                     [this](size_t) { WorkerLoop(); });
+  });
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (host_.joinable()) host_.join();
+}
+
+Result<QueryResponse> QueryServer::Execute(const GraphPatternQuery& query) {
+  return Execute(query, options_.default_deadline_ms);
+}
+
+Result<QueryResponse> QueryServer::Execute(const GraphPatternQuery& query,
+                                           double deadline_ms) {
+  RPS_RETURN_IF_ERROR(query.Validate());
+
+  auto request = std::make_unique<Request>();
+  request->query = query;
+  request->budget =
+      std::make_unique<EvalBudget>(deadline_ms, options_.max_scanned);
+  request->admitted_at = std::chrono::steady_clock::now();
+  std::future<QueryResponse> answer = request->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return Status::FailedPrecondition("query server is stopped");
+    }
+    if (options_.max_queue != 0 && queue_.size() >= options_.max_queue) {
+      RejectedCounter()->Increment();
+      return Status::ResourceExhausted("query server admission queue full");
+    }
+    queue_.push_back(std::move(request));
+    AdmittedCounter()->Increment();
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return answer.get();
+}
+
+size_t QueryServer::Ingest(const std::vector<Triple>& batch) {
+  size_t added = 0;
+  // Graph mutators already serialize behind the graph's writer lock; the
+  // per-triple loop just means a snapshot may land between two triples of
+  // a batch — any prefix of an append-only graph is a consistent state.
+  for (const Triple& t : batch) {
+    if (graph_->InsertUnchecked(t)) ++added;
+  }
+  IngestedCounter()->Add(added);
+  return added;
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Request> request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopped_ and drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    }
+    InflightGauge()->Add(1);
+    QueryResponse response = Process(request.get());
+    InflightGauge()->Add(-1);
+    request->promise.set_value(std::move(response));
+  }
+}
+
+QueryResponse QueryServer::Process(Request* request) {
+  // The linearization point: every pattern of this query reads the graph
+  // as of this epoch, whatever Ingest does meanwhile.
+  GraphSnapshot snapshot(*graph_);
+
+  EvalOptions eval = options_.eval;
+  eval.plan_capture = nullptr;
+  eval.budget = request->budget.get();
+
+  QueryResponse response;
+  response.epoch = snapshot.epoch();
+  response.answers = EvalQuery(snapshot, request->query,
+                               QuerySemantics::kDropBlanks, eval);
+  SortTuples(&response.answers);
+  response.budget_exceeded = request->budget->exceeded();
+
+  auto now = std::chrono::steady_clock::now();
+  response.latency_ms = std::chrono::duration<double, std::milli>(
+                            now - request->admitted_at)
+                            .count();
+
+  obs::Histogram* latency = LatencyHistogram();
+  latency->Record(response.latency_ms);
+  P50Gauge()->Set(static_cast<int64_t>(latency->Quantile(0.50)));
+  P99Gauge()->Set(static_cast<int64_t>(latency->Quantile(0.99)));
+  CompletedCounter()->Increment();
+  if (response.budget_exceeded) DeadlineExceededCounter()->Increment();
+  return response;
+}
+
+}  // namespace rps

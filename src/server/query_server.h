@@ -1,0 +1,142 @@
+#ifndef RPS_SERVER_QUERY_SERVER_H_
+#define RPS_SERVER_QUERY_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "query/eval.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// Tuning knobs for a QueryServer.
+struct QueryServerOptions {
+  /// Number of queries executed simultaneously. Workers are hosted on the
+  /// process-wide ThreadPool, so effective concurrency is additionally
+  /// bounded by the pool size.
+  size_t worker_threads = 4;
+  /// Admission bound: Execute() calls beyond `max_queue` *waiting*
+  /// requests are rejected immediately (kResourceExhausted) instead of
+  /// building an unbounded backlog. 0 means unbounded.
+  size_t max_queue = 1024;
+  /// Default per-query wall-clock deadline in milliseconds, measured from
+  /// admission (so time spent queued counts). <= 0 means no deadline.
+  /// Overridable per call.
+  double default_deadline_ms = 0.0;
+  /// Per-query cap on scanned candidate rows. 0 means uncapped.
+  size_t max_scanned = 0;
+  /// Base evaluation options for every query. The budget and plan_capture
+  /// fields are ignored — the server installs a fresh per-query budget.
+  EvalOptions eval;
+};
+
+/// One served answer.
+struct QueryResponse {
+  /// Sorted, deduplicated answer tuples (SortTuples order), so responses
+  /// are byte-comparable across runs, thread counts and epochs.
+  std::vector<Tuple> answers;
+  /// The snapshot epoch the query ran against: the answers are exactly
+  /// EvalQuery over the graph's first `epoch` triples.
+  size_t epoch = 0;
+  /// True when the per-query budget tripped: `answers` is a sound but
+  /// possibly incomplete subset of the full snapshot answer.
+  bool budget_exceeded = false;
+  /// Admission-to-completion latency.
+  double latency_ms = 0.0;
+};
+
+/// A concurrent query server over one (already chased) Graph: N worker
+/// loops execute queries simultaneously while ingest appends triples,
+/// with snapshot isolation — each query captures a GraphSnapshot at
+/// execution start and every pattern of that query sees that frozen
+/// epoch, so in-flight scans are never invalidated by appends or LSM
+/// merges (docs/ARCHITECTURE.md "Concurrency & snapshots").
+///
+/// Scheduling is a bounded FIFO: requests are admitted in arrival order
+/// and dispatched to the first free worker, so no query can be starved
+/// by later arrivals (fairness), and arrivals beyond `max_queue` waiting
+/// requests are rejected rather than queued unboundedly. Each query gets
+/// a fresh EvalBudget (deadline / scan cap); a tripped budget returns
+/// the sound partial answer with `budget_exceeded` set.
+///
+/// The constructor switches the graph and its dictionary into concurrent
+/// mode (Graph::EnableConcurrentMutation) — do all single-threaded bulk
+/// loading and chasing *before* constructing the server.
+///
+/// Instrumentation (docs/OBSERVABILITY.md): counters server.admitted /
+/// server.rejected / server.completed / server.deadline_exceeded /
+/// server.ingested_triples, gauges server.inflight / server.queue_depth /
+/// server.p50_ms / server.p99_ms, histogram server.latency_ms.
+class QueryServer {
+ public:
+  /// The graph must outlive the server.
+  explicit QueryServer(Graph* graph,
+                       const QueryServerOptions& options = QueryServerOptions());
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Admits the query (FIFO) and blocks until its answer is ready.
+  /// Thread-safe: any number of client threads may call concurrently.
+  /// Fails fast with kResourceExhausted when the waiting queue is full
+  /// and kFailedPrecondition after Stop().
+  Result<QueryResponse> Execute(const GraphPatternQuery& query);
+
+  /// Same, overriding the default deadline (<= 0 means none).
+  Result<QueryResponse> Execute(const GraphPatternQuery& query,
+                                double deadline_ms);
+
+  /// Appends a batch of (pre-validated, dictionary-encoded) triples.
+  /// Returns the number of newly inserted triples. Ingest batches are
+  /// serialized against each other; queries are never blocked for longer
+  /// than one insert (they read snapshots). Safe to call concurrently
+  /// with Execute().
+  size_t Ingest(const std::vector<Triple>& batch);
+
+  /// The current snapshot epoch (grows with ingest).
+  size_t epoch() const { return graph_->SnapshotEpoch(); }
+
+  const Graph& graph() const { return *graph_; }
+
+  /// Stops admission, drains already-admitted queries, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  struct Request {
+    GraphPatternQuery query;
+    std::unique_ptr<EvalBudget> budget;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::promise<QueryResponse> promise;
+  };
+
+  void WorkerLoop();
+  QueryResponse Process(Request* request);
+
+  Graph* graph_;
+  QueryServerOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Request>> queue_;
+  bool stopped_ = false;
+
+  // Hosts the worker loops on the global ThreadPool (one blocking
+  // ParallelFor whose every index is a worker loop). join_mu_ makes
+  // Stop() safe to call from several threads (join once).
+  std::mutex join_mu_;
+  std::thread host_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_SERVER_QUERY_SERVER_H_

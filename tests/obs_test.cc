@@ -59,6 +59,67 @@ TEST(HistogramTest, PowerOfTwoBuckets) {
   EXPECT_EQ(h.BucketCount(Histogram::kBuckets - 1), 1u);
 }
 
+TEST(HistogramTest, QuantileInterpolatesAndClampsToObservedExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  h.Record(3.0);
+  // A single sample is every quantile, despite living in bucket [2,4).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 3.0);
+
+  Histogram spread;
+  for (int i = 1; i <= 100; ++i) spread.Record(static_cast<double>(i));
+  // Power-of-two buckets make mid quantiles approximate; they must
+  // still be monotone in q, bracketed by the observed extremes, and in
+  // the right ballpark.
+  double p50 = spread.Quantile(0.50);
+  double p99 = spread.Quantile(0.99);
+  EXPECT_DOUBLE_EQ(spread.Quantile(1.0), 100.0);
+  EXPECT_LE(spread.Quantile(0.0), p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_GE(p50, 32.0);   // rank 50 lives in bucket [32, 64)
+  EXPECT_LT(p50, 64.0);
+  EXPECT_GE(p99, 64.0);   // rank 99 lives in bucket [64, 128)
+  // Out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(spread.Quantile(-1.0), spread.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(spread.Quantile(2.0), 100.0);
+}
+
+TEST(GaugeTest, SetAddResetValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(5);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), 2);  // gauges go down, unlike counters
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(RegistryTest, GaugesSnapshotAsLevelsNotDeltas) {
+  Registry& reg = Registry::Global();
+  Gauge* g = reg.gauge("obs_test.level");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(reg.gauge("obs_test.level"), g);  // lazy + stable
+
+  g->Set(3);
+  MetricsSnapshot before = reg.Snapshot();
+  EXPECT_EQ(before.gauge("obs_test.level"), 3);
+  g->Set(8);
+  MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+  // A delta keeps the newer snapshot's level as-is (8), never 8 - 3.
+  EXPECT_EQ(delta.gauge("obs_test.level"), 8);
+
+  std::string text = reg.Snapshot().ToText("  ");
+  EXPECT_NE(text.find("obs_test.level"), std::string::npos);
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"obs_test.level\":8"), std::string::npos);
+  g->Reset();
+}
+
 TEST(ScopedTimerTest, RecordsOneSampleOnDestruction) {
   Histogram h;
   { ScopedTimerMs timer(&h); }

@@ -1,0 +1,511 @@
+// Snapshot isolation over the LSM-indexed graph: the `...AsOf(epoch)`
+// reads and GraphSnapshot must behave exactly like the same reads over
+// a graph containing only the first `epoch` triples — for every one of
+// the eight bound/unbound pattern shapes, across delta-merge boundaries,
+// and (the point of the exercise) while a writer thread appends
+// concurrently. The concurrent parity tests run under the TSan preset
+// (scripts/check_tsan.sh), so a data race on these paths fails CI, not
+// just a lucky repro.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "query/eval.h"
+#include "query/plan.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "util/rng.h"
+
+namespace rps {
+namespace {
+
+// Full-scan oracle over an explicit prefix length.
+std::vector<Triple> OracleMatches(const std::vector<Triple>& triples,
+                                  size_t epoch, std::optional<TermId> s,
+                                  std::optional<TermId> p,
+                                  std::optional<TermId> o) {
+  std::vector<Triple> out;
+  for (size_t i = 0; i < epoch && i < triples.size(); ++i) {
+    const Triple& t = triples[i];
+    if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+struct TermUniverse {
+  std::vector<TermId> subjects;
+  std::vector<TermId> predicates;
+  std::vector<TermId> objects;
+};
+
+TermUniverse MakeUniverse(Dictionary* dict, size_t ns, size_t np,
+                          size_t no) {
+  TermUniverse u;
+  for (size_t i = 0; i < ns; ++i) {
+    u.subjects.push_back(dict->InternIri("http://t/s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < np; ++i) {
+    u.predicates.push_back(
+        dict->InternIri("http://t/p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < no; ++i) {
+    u.objects.push_back(dict->InternIri("http://t/o" + std::to_string(i)));
+  }
+  return u;
+}
+
+Triple RandomTriple(Rng* rng, const TermUniverse& u) {
+  return Triple{u.subjects[rng->Index(u.subjects.size())],
+                u.predicates[rng->Index(u.predicates.size())],
+                u.objects[rng->Index(u.objects.size())]};
+}
+
+void RandomPattern(Rng* rng, const TermUniverse& u, int shape,
+                   std::optional<TermId>* s, std::optional<TermId>* p,
+                   std::optional<TermId>* o) {
+  *s = (shape & 1) != 0
+           ? std::optional<TermId>(u.subjects[rng->Index(u.subjects.size())])
+           : std::nullopt;
+  *p = (shape & 2) != 0
+           ? std::optional<TermId>(
+                 u.predicates[rng->Index(u.predicates.size())])
+           : std::nullopt;
+  *o = (shape & 4) != 0
+           ? std::optional<TermId>(u.objects[rng->Index(u.objects.size())])
+           : std::nullopt;
+}
+
+// ---- Serial epoch semantics --------------------------------------------
+
+TEST(SnapshotTest, AsOfMatchesPrefixOracleAllShapes) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 23, 5, 17);
+  Graph graph(&dict);
+  std::vector<Triple> inserted;
+  Rng rng(20260809);
+
+  // Enough inserts to cross several merge thresholds, so epochs land on
+  // both sides of base/delta boundaries.
+  for (int i = 0; i < 1500; ++i) {
+    Triple t = RandomTriple(&rng, u);
+    if (graph.InsertUnchecked(t)) inserted.push_back(t);
+  }
+  ASSERT_GT(graph.base_size(), 0u);
+
+  for (size_t epoch : {size_t{0}, size_t{1}, size_t{17}, size_t{255},
+                       size_t{256}, size_t{257}, graph.base_size(),
+                       graph.size() - 1, graph.size(), graph.size() + 99}) {
+    size_t clamped = std::min(epoch, graph.size());
+    for (int shape = 0; shape < 8; ++shape) {
+      std::optional<TermId> s, p, o;
+      RandomPattern(&rng, u, shape, &s, &p, &o);
+      std::vector<Triple> expected =
+          OracleMatches(inserted, clamped, s, p, o);
+      ASSERT_EQ(graph.MatchAllAsOf(s, p, o, epoch), expected)
+          << "shape " << shape << " epoch " << epoch;
+      ASSERT_EQ(graph.EstimateMatchesAsOf(s, p, o, epoch), expected.size())
+          << "shape " << shape << " epoch " << epoch;
+    }
+  }
+}
+
+TEST(SnapshotTest, SnapshotIsFrozenWhileGraphGrows) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 7, 3, 7);
+  Graph graph(&dict);
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) graph.InsertUnchecked(RandomTriple(&rng, u));
+
+  GraphSnapshot snap(graph);
+  size_t epoch = snap.epoch();
+  ASSERT_EQ(epoch, graph.size());
+  std::vector<Triple> before_all = snap.MatchAll(std::nullopt, std::nullopt,
+                                                 std::nullopt);
+  size_t before_count =
+      snap.EstimateMatches(std::nullopt, u.predicates[0], std::nullopt);
+
+  // Grow the graph past a merge boundary; the snapshot must not move.
+  for (int i = 0; i < 800; ++i) graph.InsertUnchecked(RandomTriple(&rng, u));
+  ASSERT_GT(graph.size(), epoch);
+
+  EXPECT_EQ(snap.epoch(), epoch);
+  EXPECT_EQ(snap.MatchAll(std::nullopt, std::nullopt, std::nullopt),
+            before_all);
+  EXPECT_EQ(snap.EstimateMatches(std::nullopt, u.predicates[0],
+                                 std::nullopt),
+            before_count);
+  EXPECT_EQ(snap.Triples(), before_all);
+
+  // Contains / PositionOf respect the epoch too.
+  const Triple& late = graph.triples().back();
+  if (std::find(before_all.begin(), before_all.end(), late) ==
+      before_all.end()) {
+    EXPECT_FALSE(snap.Contains(late));
+    EXPECT_FALSE(snap.PositionOf(late).has_value());
+  }
+  EXPECT_TRUE(graph.Contains(late));
+}
+
+TEST(SnapshotTest, ExplicitEpochClampsToCurrentSize) {
+  Dictionary dict;
+  Graph graph(&dict);
+  TermId s = dict.InternIri("http://t/s");
+  TermId p = dict.InternIri("http://t/p");
+  for (int i = 0; i < 5; ++i) {
+    graph.InsertUnchecked(
+        Triple{s, p, dict.InternIri("http://t/o" + std::to_string(i))});
+  }
+  GraphSnapshot clamped(graph, 100);
+  EXPECT_EQ(clamped.epoch(), 5u);
+  GraphSnapshot two(graph, 2);
+  EXPECT_EQ(two.epoch(), 2u);
+  EXPECT_EQ(two.MatchAll(std::nullopt, std::nullopt, std::nullopt).size(),
+            2u);
+}
+
+// ---- Concurrent reader/writer parity (runs under TSan) -----------------
+
+// The tentpole guarantee: N querying threads against a graph mid-ingest
+// each see answers byte-identical to a serial evaluation of the same
+// snapshot epoch. Readers record (epoch, answers); after the writer
+// joins, every record is replayed serially against a prefix-rebuilt
+// graph.
+TEST(SnapshotTest, ConcurrentReadersSeeSerialAnswersAtSameEpoch) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 19, 4, 13);
+
+  // The full insertion script is fixed up front so the writer thread
+  // needs no RNG coordination with readers.
+  Rng rng(4242);
+  std::vector<Triple> script;
+  for (int i = 0; i < 4000; ++i) script.push_back(RandomTriple(&rng, u));
+
+  Graph graph(&dict);
+  for (int i = 0; i < 200; ++i) graph.InsertUnchecked(script[i]);
+  graph.EnableConcurrentMutation();
+  dict.EnableConcurrentMutation();
+
+  // A fixed mix of queries over the shared universe: one scan, one
+  // subject-star join, one path join.
+  VarPool vars;
+  VarId x = vars.Intern("x"), y = vars.Intern("y"), z = vars.Intern("z");
+  std::vector<GraphPatternQuery> queries;
+  {
+    GraphPatternQuery q;
+    q.head = {x, y};
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[0]),
+                             PatternTerm::Var(y)});
+    queries.push_back(q);
+  }
+  {
+    GraphPatternQuery q;
+    q.head = {x, y, z};
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[1]),
+                             PatternTerm::Var(y)});
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[2]),
+                             PatternTerm::Var(z)});
+    queries.push_back(q);
+  }
+  {
+    GraphPatternQuery q;
+    q.head = {x, z};
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[0]),
+                             PatternTerm::Var(y)});
+    q.body.Add(TriplePattern{PatternTerm::Var(y),
+                             PatternTerm::Const(u.predicates[3]),
+                             PatternTerm::Var(z)});
+    queries.push_back(q);
+  }
+
+  struct Record {
+    size_t query_index;
+    size_t epoch;
+    std::vector<Tuple> answers;
+  };
+
+  const size_t kReaders = 4;
+  std::vector<std::vector<Record>> records(kReaders);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      size_t i = 0;
+      // do/while: at least one record per reader even if the writer
+      // finishes before this thread is scheduled.
+      do {
+        size_t qi = (r + i++) % queries.size();
+        GraphSnapshot snap(graph);
+        std::vector<Tuple> answers =
+            EvalQuery(snap, queries[qi], QuerySemantics::kDropBlanks);
+        SortTuples(&answers);
+        records[r].push_back(Record{qi, snap.epoch(), std::move(answers)});
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  std::thread writer([&] {
+    for (size_t i = 200; i < script.size(); ++i) {
+      graph.InsertUnchecked(script[i]);
+    }
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // Serial replay: rebuild each observed epoch as a fresh prefix graph
+  // and compare byte-for-byte.
+  size_t replayed = 0;
+  for (const auto& reader_records : records) {
+    for (const Record& rec : reader_records) {
+      Graph prefix(&dict);
+      prefix.Reserve(rec.epoch);
+      for (size_t i = 0; i < rec.epoch; ++i) {
+        prefix.InsertUnchecked(graph.triples()[i]);
+      }
+      std::vector<Tuple> expected =
+          EvalQuery(prefix, queries[rec.query_index],
+                    QuerySemantics::kDropBlanks);
+      SortTuples(&expected);
+      ASSERT_EQ(expected, rec.answers)
+          << "query " << rec.query_index << " at epoch " << rec.epoch;
+      ++replayed;
+      if (replayed >= 400) return;  // bound replay cost
+    }
+  }
+  EXPECT_GT(replayed, 0u);
+}
+
+// Concurrent snapshot counting/matching parity on raw AsOf reads while a
+// writer appends — no query layer, so failures localize to the graph.
+TEST(SnapshotTest, ConcurrentAsOfReadsMatchOracle) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 11, 3, 11);
+  Rng rng(777);
+  std::vector<Triple> script;
+  for (int i = 0; i < 3000; ++i) script.push_back(RandomTriple(&rng, u));
+
+  Graph graph(&dict);
+  graph.EnableConcurrentMutation();
+  dict.EnableConcurrentMutation();
+
+  struct Observation {
+    size_t epoch;
+    int shape;
+    std::optional<TermId> s, p, o;
+    std::vector<Triple> matches;
+    size_t count;
+  };
+  const size_t kReaders = 3;
+  std::vector<std::vector<Observation>> observations(kReaders);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng reader_rng(1000 + r);
+      do {
+        GraphSnapshot snap(graph);
+        int shape = static_cast<int>(reader_rng.Index(8));
+        std::optional<TermId> s, p, o;
+        RandomPattern(&reader_rng, u, shape, &s, &p, &o);
+        Observation obs;
+        obs.epoch = snap.epoch();
+        obs.shape = shape;
+        obs.s = s;
+        obs.p = p;
+        obs.o = o;
+        obs.matches = snap.MatchAll(s, p, o);
+        obs.count = snap.EstimateMatches(s, p, o);
+        observations[r].push_back(std::move(obs));
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  std::thread writer([&] {
+    for (const Triple& t : script) graph.InsertUnchecked(t);
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  size_t checked = 0;
+  for (const auto& reader_observations : observations) {
+    for (const Observation& obs : reader_observations) {
+      std::vector<Triple> expected = OracleMatches(
+          graph.triples(), obs.epoch, obs.s, obs.p, obs.o);
+      ASSERT_EQ(obs.matches, expected)
+          << "shape " << obs.shape << " epoch " << obs.epoch;
+      ASSERT_EQ(obs.count, expected.size())
+          << "shape " << obs.shape << " epoch " << obs.epoch;
+      ++checked;
+      if (checked >= 600) return;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// TermsInUse used to carry a "not safe to call concurrently" caveat; it
+// is now internally synchronized and returns a copy. Hammer it from
+// several threads against a live writer (TSan validates the locking).
+TEST(SnapshotTest, TermsInUseIsSafeUnderConcurrentInserts) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 13, 3, 13);
+  Rng rng(31337);
+  std::vector<Triple> script;
+  for (int i = 0; i < 2000; ++i) script.push_back(RandomTriple(&rng, u));
+
+  Graph graph(&dict);
+  graph.EnableConcurrentMutation();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<size_t> calls{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      size_t last = 0;
+      do {
+        std::unordered_set<TermId> terms = graph.TermsInUse();
+        // The term set only grows; a shrinking result would mean a torn
+        // read of the cache.
+        EXPECT_GE(terms.size(), last);
+        last = terms.size();
+        calls.fetch_add(1, std::memory_order_relaxed);
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+  std::thread writer([&] {
+    for (const Triple& t : script) graph.InsertUnchecked(t);
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(calls.load(), 0u);
+
+  // Final set equals the exact term set of the data.
+  std::unordered_set<TermId> expected;
+  for (const Triple& t : graph.triples()) {
+    expected.insert(t.s);
+    expected.insert(t.p);
+    expected.insert(t.o);
+  }
+  EXPECT_EQ(graph.TermsInUse(), expected);
+}
+
+// ---- Per-query budgets ---------------------------------------------------
+
+TEST(SnapshotTest, BudgetScanCapReturnsSoundPartialAnswers) {
+  Dictionary dict;
+  Graph graph(&dict);
+  TermId p = dict.InternIri("http://t/p");
+  for (int i = 0; i < 500; ++i) {
+    graph.InsertUnchecked(
+        Triple{dict.InternIri("http://t/s" + std::to_string(i)), p,
+               dict.InternIri("http://t/o" + std::to_string(i))});
+  }
+  VarPool vars;
+  VarId x = vars.Intern("x"), y = vars.Intern("y");
+  GraphPatternQuery q;
+  q.head = {x, y};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                           PatternTerm::Var(y)});
+
+  std::vector<Tuple> full = EvalQuery(graph, q, QuerySemantics::kDropBlanks);
+  ASSERT_EQ(full.size(), 500u);
+
+  EvalBudget budget(/*deadline_ms=*/0.0, /*max_scanned=*/50);
+  EvalOptions options;
+  options.budget = &budget;
+  std::vector<Tuple> partial =
+      EvalQuery(graph, q, QuerySemantics::kDropBlanks, options);
+  EXPECT_TRUE(budget.exceeded());
+  EXPECT_LT(partial.size(), full.size());
+  // Sound: every returned tuple is a real answer.
+  SortTuples(&full);
+  SortTuples(&partial);
+  EXPECT_TRUE(std::includes(full.begin(), full.end(), partial.begin(),
+                            partial.end()));
+
+  // An unexceeded budget changes nothing.
+  EvalBudget roomy(0.0, 1u << 20);
+  options.budget = &roomy;
+  std::vector<Tuple> all =
+      EvalQuery(graph, q, QuerySemantics::kDropBlanks, options);
+  SortTuples(&all);
+  EXPECT_EQ(all, full);
+  EXPECT_FALSE(roomy.exceeded());
+}
+
+TEST(SnapshotTest, BudgetDeadlineTripsAtCheckInterval) {
+  // A deadline already in the past trips at the first 256-row boundary.
+  EvalBudget budget(/*deadline_ms=*/0.0001, /*max_scanned=*/0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  bool tripped = false;
+  for (int i = 0; i < 600 && !tripped; ++i) tripped = budget.Charge(1);
+  EXPECT_TRUE(tripped);
+  EXPECT_TRUE(budget.exceeded());
+  EXPECT_TRUE(budget.Charge(1));  // sticky
+}
+
+// ---- Per-query plan capture ----------------------------------------------
+
+TEST(SnapshotTest, ConcurrentPlanCapturesDoNotInterfere) {
+  Dictionary dict;
+  Graph graph(&dict);
+  TermId p1 = dict.InternIri("http://t/p1");
+  TermId p2 = dict.InternIri("http://t/p2");
+  for (int i = 0; i < 64; ++i) {
+    TermId s = dict.InternIri("http://t/s" + std::to_string(i));
+    TermId o = dict.InternIri("http://t/o" + std::to_string(i));
+    graph.InsertUnchecked(Triple{s, p1, o});
+    graph.InsertUnchecked(Triple{s, p2, o});
+  }
+  VarPool vars;
+  VarId x = vars.Intern("x"), y = vars.Intern("y");
+  GraphPatternQuery q;
+  q.head = {x, y};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p1),
+                           PatternTerm::Var(y)});
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p2),
+                           PatternTerm::Var(y)});
+
+  const size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<size_t> captured{0};
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        PlanCapture capture;
+        EvalOptions options;
+        options.plan_capture = &capture;
+        std::vector<Tuple> answers =
+            EvalQuery(graph, q, QuerySemantics::kDropBlanks, options);
+        ASSERT_EQ(answers.size(), 64u);
+        ASSERT_TRUE(capture.has_plan());
+        QueryPlan plan = capture.Take();
+        ASSERT_FALSE(capture.has_plan());
+        ASSERT_FALSE(plan.steps.empty());
+        captured.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(captured.load(), kThreads * 20);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,231 @@
+// Persistence bench: on-disk snapshots (src/storage/) vs N-Triples
+// re-parse, plus mapped-read Match throughput.
+//
+// Three claims are measured on one synthetic LOD-ish graph:
+//  1. Cold start: LoadGraph (mmap attach) vs re-parsing the equivalent
+//     N-Triples document — the restart path of a crashed peer. The
+//     acceptance bar is >= 5x.
+//  2. Footprint: snapshot bytes on disk vs the graph's in-memory index
+//     footprint and vs the N-Triples text.
+//  3. Serving: 2-bound Match throughput straight off the mapping vs the
+//     fully in-memory graph (the recovered peer answers sub-queries
+//     without ever materializing its triples).
+//
+//   --n=N   scale knob: the graph holds N*500 triples (default 40 ->
+//           20k triples); CI smoke passes --n=4.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "rps/rps.h"
+#include "storage/storage.h"
+
+namespace {
+
+using rps::Dictionary;
+using rps::Graph;
+using rps::TermId;
+using rps::Triple;
+
+// Removes the snapshot file and its directory on scope exit.
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const char* stem) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s.XXXXXX", stem);
+    path = mkdtemp(buf) != nullptr ? buf : ".";
+  }
+  ~ScratchDir() {
+    ::unlink((path + "/g.rps").c_str());
+    ::rmdir(path.c_str());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n_knob = rps_bench::SizeFromArgs(argc, argv, 40);
+  const size_t n_triples = n_knob * 500;
+  const size_t n_probes = std::min<size_t>(4000, n_triples);
+
+  rps_bench::PrintHeader(
+      "bench_persistence — mmap snapshots vs N-Triples re-parse",
+      "long-lived autonomous peers must restart from disk, not re-parse "
+      "and re-chase (ROADMAP item 3)");
+
+  rps::obs::MetricsSnapshot before = rps::obs::Registry::Global().Snapshot();
+
+  // Same LOD-ish shape as bench_index_scan: few predicates, hub-skewed
+  // subjects/objects, with a literal object sprinkled in so the dictionary
+  // section carries every term kind.
+  Dictionary dict;
+  rps::Rng rng(20260809);
+  Graph graph(&dict);
+  const size_t n_subjects = std::max<size_t>(8, n_triples / 10);
+  const size_t n_predicates = 16;
+  const size_t n_objects = std::max<size_t>(8, n_triples / 8);
+  std::vector<TermId> subjects, predicates, objects;
+  for (size_t i = 0; i < n_subjects; ++i) {
+    subjects.push_back(dict.InternIri("http://b/s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < n_predicates; ++i) {
+    predicates.push_back(dict.InternIri("http://b/p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < n_objects; ++i) {
+    objects.push_back(
+        i % 8 == 0
+            ? dict.Intern(rps::Term::Literal("v" + std::to_string(i)))
+            : dict.InternIri("http://b/o" + std::to_string(i)));
+  }
+  while (graph.size() < n_triples) {
+    size_t pi = std::min(rng.Index(n_predicates), rng.Index(n_predicates));
+    TermId subj = rng.Chance(0.25) ? subjects[rng.Index(8)]
+                                   : subjects[rng.Index(n_subjects)];
+    TermId obj = rng.Chance(0.25) ? objects[rng.Index(8)]
+                                  : objects[rng.Index(n_objects)];
+    graph.InsertUnchecked(Triple{subj, predicates[pi], obj});
+  }
+
+  const std::string text = rps::WriteNTriples(graph);
+
+  ScratchDir scratch("rps_bench_persistence");
+  const std::string snap_path = scratch.path + "/g.rps";
+
+  // ---- Save (the delta fold) -----------------------------------------
+  rps_bench::Timer t_save;
+  rps::Status save = rps::storage::SaveGraph(snap_path, graph);
+  double save_ms = t_save.ElapsedMs();
+  if (!save.ok()) {
+    std::fprintf(stderr, "save: %s\n", save.ToString().c_str());
+    return 1;
+  }
+
+  // ---- Cold start: mmap load vs N-Triples re-parse -------------------
+  // Both sides start from a fresh dictionary, as a restarting peer
+  // process would. Best of three so first-touch noise doesn't pollute
+  // the committed ratio.
+  double parse_ms = 1e300;
+  double load_ms = 1e300;
+  size_t parsed_n = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Dictionary d2;
+    Graph g2(&d2);
+    rps_bench::Timer t0;
+    rps::Result<size_t> parsed = rps::ParseNTriples(text, &g2);
+    parse_ms = std::min(parse_ms, t0.ElapsedMs());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    parsed_n = *parsed;
+
+    Dictionary d3;
+    Graph g3(&d3);
+    rps_bench::Timer t1;
+    rps::Result<rps::storage::LoadReport> r =
+        rps::storage::LoadGraph(snap_path, &g3);
+    load_ms = std::min(load_ms, t1.ElapsedMs());
+    if (!r.ok()) {
+      std::fprintf(stderr, "load: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  // The kept instance the serving sweeps below run against.
+  Dictionary load_dict;
+  Graph loaded(&load_dict);
+  rps::Result<rps::storage::LoadReport> kept =
+      rps::storage::LoadGraph(snap_path, &loaded);
+  if (!kept.ok()) {
+    std::fprintf(stderr, "load: %s\n", kept.status().ToString().c_str());
+    return 1;
+  }
+  rps::storage::LoadReport report = *kept;
+  double speedup = parse_ms / std::max(load_ms, 1e-9);
+  std::printf("cold start (%zu triples): reparse %.3f ms, mmap load %.3f ms "
+              "-> %.1fx%s\n",
+              n_triples, parse_ms, load_ms, speedup,
+              report.mapped ? "  [mapped]" : "  [MATERIALIZED]");
+  if (!report.mapped || parsed_n != loaded.size()) return 1;
+
+  // ---- Footprint -----------------------------------------------------
+  // In-memory index footprint per triple: the insertion-order vector
+  // (12 B), three posting-list entries (3*4 B), three permutation-run
+  // entries (3*12 B), plus the dictionary's lexical bytes.
+  size_t dict_bytes = 0;
+  for (TermId id = 0; id < static_cast<TermId>(load_dict.size()); ++id) {
+    dict_bytes += load_dict.term(id).lexical().size();
+  }
+  size_t mem_bytes = n_triples * (12 + 3 * 4 + 3 * 12) + dict_bytes;
+  std::printf("footprint: %zu B on disk, ~%zu B in memory (%.2fx), "
+              "%zu B as N-Triples (%.2fx)\n",
+              static_cast<size_t>(report.bytes_on_disk), mem_bytes,
+              static_cast<double>(mem_bytes) /
+                  static_cast<double>(report.bytes_on_disk),
+              text.size(),
+              static_cast<double>(text.size()) /
+                  static_cast<double>(report.bytes_on_disk));
+
+  // ---- Mapped-read Match throughput ----------------------------------
+  // 2-bound (s p ?) probes — the chase/evaluation hot shape — answered
+  // straight off the on-disk runs vs the in-memory indexes. Row counts
+  // must agree exactly (round-trip parity).
+  std::vector<Triple> probes;
+  rps::Rng probe_rng(977);
+  for (size_t i = 0; i < n_probes; ++i) {
+    probes.push_back(graph.triples()[probe_rng.Index(graph.size())]);
+  }
+  double mem_ms = 1e300;
+  double map_ms = 1e300;
+  size_t rows_mem = 0;
+  size_t rows_map = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    rows_mem = 0;
+    rps_bench::Timer t0;
+    for (const Triple& q : probes) {
+      graph.Match(q.s, q.p, std::nullopt, [&](const Triple&) {
+        ++rows_mem;
+        return true;
+      });
+    }
+    mem_ms = std::min(mem_ms, t0.ElapsedMs());
+    rows_map = 0;
+    rps_bench::Timer t1;
+    for (const Triple& q : probes) {
+      loaded.Match(q.s, q.p, std::nullopt, [&](const Triple&) {
+        ++rows_map;
+        return true;
+      });
+    }
+    map_ms = std::min(map_ms, t1.ElapsedMs());
+  }
+  double mapped_pct = 100.0 * mem_ms / std::max(map_ms, 1e-9);
+  std::printf("(s p ?) x %zu probes: in-memory %.3f ms, mapped %.3f ms "
+              "(%.0f%% of in-memory speed), %zu rows%s\n",
+              n_probes, mem_ms, map_ms, mapped_pct, rows_map,
+              rows_map == rows_mem ? "" : "  [MISMATCH]");
+  if (rows_map != rows_mem) return 1;
+
+  // Committed-baseline counters. The `_x`/`_pct` ratios are the
+  // regression-gated keys (scripts/bench_compare.py): higher is better.
+  auto& reg = rps::obs::Registry::Global();
+  reg.counter("bench.persistence.load_speedup_x")
+      ->Add(static_cast<uint64_t>(speedup));
+  reg.counter("bench.persistence.mapped_match_pct")
+      ->Add(static_cast<uint64_t>(mapped_pct));
+  reg.counter("bench.persistence.save_us")
+      ->Add(static_cast<uint64_t>(save_ms * 1000.0));
+  reg.counter("bench.persistence.load_us")
+      ->Add(static_cast<uint64_t>(load_ms * 1000.0));
+  reg.counter("bench.persistence.reparse_us")
+      ->Add(static_cast<uint64_t>(parse_ms * 1000.0));
+  reg.counter("bench.persistence.disk_bytes")->Add(report.bytes_on_disk);
+
+  rps_bench::PrintMetricsJson("persistence", before);
+  return speedup >= 5.0 ? 0 : 1;
+}

@@ -27,6 +27,13 @@
 //                                              injection, e.g.
 //                                              drop:0.3,seed:42,crash:1
 //   --retries=N --timeout-ms=X                 federated retry policy
+//   --save=DIR                                 snapshot every peer graph
+//                                              to DIR/<peer>.rps
+//                                              (docs/PERSISTENCE.md)
+//   --load=DIR                                 replace each peer's parsed
+//                                              triples with its snapshot
+//                                              from DIR, memory-mapped
+//                                              (the peer restart path)
 //
 // Examples:
 //   rps_shell data/paper.rps data/listing1.sparql
@@ -49,7 +56,7 @@ int Usage() {
       "usage: rps_shell <config.rps> [query.sparql | -e 'SPARQL'] "
       "[--engine=chase|unionfind|rewrite|datalog|federated] [--threads=N] "
       "[--extended] [--show-mappings] [--explain] [--no-plan] [--faults=SPEC] "
-      "[--retries=N] [--timeout-ms=X]\n\n"
+      "[--retries=N] [--timeout-ms=X] [--save=DIR] [--load=DIR]\n\n"
       "Loads an RDF Peer System from a mapping-DSL configuration and\n"
       "answers SPARQL queries with certain-answer semantics.\n"
       "The federated engine simulates the paper's SS5 prototype over a\n"
@@ -57,6 +64,10 @@ int Usage() {
       "(drop:P,seed:S,jitter:MS,crash:I|J,crashp:P,crashafter:I=K,\n"
       "slow:I|J,slowp:P,slowf:F) and the retry/backoff/hedging pipeline\n"
       "reports degraded peers and a completeness marker.\n"
+      "--save/--load persist the peer graphs as mmap-able snapshots\n"
+      "(docs/PERSISTENCE.md): --save writes DIR/<peer>.rps atomically,\n"
+      "--load serves each peer straight from its snapshot instead of the\n"
+      "config's parsed triples.\n"
       "Try: rps_shell data/paper.rps data/listing1.sparql\n");
   return 0;
 }
@@ -70,6 +81,8 @@ int main(int argc, char** argv) {
   std::string query_text;
   std::string engine = "chase";
   std::string fault_spec;
+  std::string save_dir;
+  std::string load_dir;
   size_t threads = 1;
   bool extended = false;
   bool show_mappings = false;
@@ -94,6 +107,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       double parsed = std::atof(arg.c_str() + 13);
       if (parsed > 0.0) retry.timeout_ms = parsed;
+    } else if (arg.rfind("--save=", 0) == 0) {
+      save_dir = arg.substr(7);
+    } else if (arg.rfind("--load=", 0) == 0) {
+      load_dir = arg.substr(7);
     } else if (arg == "--extended") {
       extended = true;
     } else if (arg == "--show-mappings") {
@@ -132,6 +149,50 @@ int main(int argc, char** argv) {
               "%zu equivalence(s)\n",
               system.PeerCount(), system.dataset().TotalTriples(),
               system.graph_mappings().size(), system.equivalences().size());
+
+  if (!load_dir.empty()) {
+    // Peer restart path: throw away each peer's parsed triples and serve
+    // it from its snapshot instead. The config already interned every
+    // term, so the snapshot's id remap is the identity and the graphs
+    // come back memory-mapped.
+    std::vector<std::string> names;
+    for (const auto& [name, graph] : system.dataset().graphs()) {
+      names.push_back(name);
+    }
+    for (const std::string& name : names) {
+      rps::Graph* graph = system.dataset().Find(name);
+      *graph = rps::Graph(system.dict());
+      rps::Result<rps::storage::LoadReport> report = rps::storage::LoadGraph(
+          rps::storage::SnapshotPath(load_dir, name), graph);
+      if (!report.ok()) {
+        std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("loaded %s: %zu triple(s) from %llu byte(s) [%s]\n",
+                  name.c_str(), report->triples,
+                  static_cast<unsigned long long>(report->bytes_on_disk),
+                  report->mapped ? "mapped" : "materialized");
+    }
+  }
+  if (!save_dir.empty()) {
+    rps::Status dir_status = rps::storage::EnsureDir(save_dir);
+    if (!dir_status.ok()) {
+      std::fprintf(stderr, "save: %s\n", dir_status.ToString().c_str());
+      return 1;
+    }
+    for (const auto& [name, graph] : system.dataset().graphs()) {
+      std::string path = rps::storage::SnapshotPath(save_dir, name);
+      rps::Status status = rps::storage::SaveGraph(path, graph);
+      if (!status.ok()) {
+        std::fprintf(stderr, "save %s: %s\n", name.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved %s: %zu triple(s) -> %s\n", name.c_str(),
+                  graph.size(), path.c_str());
+    }
+  }
 
   if (show_mappings) {
     for (const rps::GraphMappingAssertion& gma : system.graph_mappings()) {

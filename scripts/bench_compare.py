@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench baseline against a committed one and gate CI.
+
+Usage:
+    scripts/bench_compare.py BASELINE CANDIDATE [--out DIFF]
+
+BASELINE and CANDIDATE are BENCH_<label>.json files produced by
+scripts/bench_baseline.sh. Both must have been collected at the same
+scale knob (`n`) — comparing different sizes is meaningless, so a
+mismatch is an error, not a warning.
+
+Gated keys are the *ratio counters*: counter names ending in `_x` or
+`_pct` (e.g. bench.persistence.load_speedup_x, the cold-start speedup of
+a mapped snapshot load over an N-Triples re-parse). They are
+higher-is-better by convention (bench/bench_util.h) and dimensionless,
+so they are stable across runner hardware in a way raw microsecond
+counters are not. A gated key fails when it drops by more than 25% of
+the committed value; small ratios get an absolute slack of 5 so a
+12-vs-14 jitter cannot flake the gate:
+
+    fail  iff  (base - new) > max(0.25 * base, 5)
+
+Everything else — non-ratio counters drifting, keys missing on either
+side — is reported as a warning in the diff but does not fail the run.
+
+Exit status: 0 clean, 1 regression, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+# A gated ratio counter fails when it drops by more than this fraction
+# of the committed value...
+REL_TOLERANCE = 0.25
+# ...with at least this much absolute slack, so small ratios (a mapped
+# match percentage of ~13) can jitter by a point or two without flaking.
+ABS_SLACK = 5.0
+
+
+def is_ratio_counter(name: str) -> bool:
+    return name.endswith("_x") or name.endswith("_pct")
+
+
+def load_baseline(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("label", "n", "runs"):
+        if key not in doc:
+            print(f"error: {path} is not a bench baseline (missing '{key}')",
+                  file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def counters_by_tag(doc: dict) -> dict:
+    out = {}
+    for run in doc["runs"]:
+        out[run.get("tag", "?")] = run.get("counters", {})
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate CI on bench ratio-counter regressions.")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly collected BENCH_*.json")
+    parser.add_argument("--out", help="also write the diff report here")
+    args = parser.parse_args()
+
+    base = load_baseline(args.baseline)
+    cand = load_baseline(args.candidate)
+    if base["n"] != cand["n"]:
+        print(f"error: scale mismatch: baseline n={base['n']} vs "
+              f"candidate n={cand['n']} — rerun bench_baseline.sh with "
+              f"--n {base['n']}", file=sys.stderr)
+        sys.exit(2)
+
+    base_tags = counters_by_tag(base)
+    cand_tags = counters_by_tag(cand)
+
+    lines = [f"bench compare: {base['label']} (committed) vs "
+             f"{cand['label']} (fresh), n={base['n']}"]
+    failures = []
+    warnings = []
+
+    for tag in sorted(base_tags):
+        if tag not in cand_tags:
+            warnings.append(f"[warn] harness '{tag}' missing from candidate")
+            continue
+        bc, cc = base_tags[tag], cand_tags[tag]
+        for name in sorted(bc):
+            if not is_ratio_counter(name):
+                continue
+            if name not in cc:
+                warnings.append(f"[warn] {tag}: gated key '{name}' missing "
+                                f"from candidate")
+                continue
+            b, c = float(bc[name]), float(cc[name])
+            drop = b - c
+            allowed = max(REL_TOLERANCE * b, ABS_SLACK)
+            verdict = "FAIL" if drop > allowed else "ok"
+            lines.append(f"[{verdict:>4}] {tag}: {name} {b:g} -> {c:g} "
+                         f"(drop {drop:+g}, allowed {allowed:g})")
+            if drop > allowed:
+                failures.append(f"{tag}: {name} regressed {b:g} -> {c:g}")
+
+    for tag in sorted(cand_tags):
+        if tag not in base_tags:
+            warnings.append(f"[info] new harness '{tag}' not in committed "
+                            f"baseline — commit a regenerated baseline to "
+                            f"gate it")
+
+    lines.extend(warnings)
+    if failures:
+        lines.append(f"REGRESSION: {len(failures)} gated counter(s) fell "
+                     f"past tolerance")
+        for f in failures:
+            lines.append(f"  - {f}")
+    else:
+        lines.append("all gated ratio counters within tolerance")
+
+    report = "\n".join(lines) + "\n"
+    sys.stdout.write(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

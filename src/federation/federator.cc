@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/plan.h"
+#include "storage/storage.h"
 #include "util/thread_pool.h"
 
 namespace rps {
@@ -28,6 +29,10 @@ void CountPeerTraffic(const PeerNode& peer, size_t rows) {
 // disjoint from every primary/retry attempt of any peer (retry budgets
 // are far below this).
 constexpr uint64_t kHedgeAttemptBase = 1u << 20;
+
+// Attempt ordinal base for post-recovery re-issues, disjoint from both
+// primaries/retries and hedges.
+constexpr uint64_t kRecoveryAttemptBase = 1u << 21;
 
 // Per-task accumulator for one peer's sub-query on one pattern (or
 // bind-join batch). Fan-out tasks write only their own instance; the
@@ -142,6 +147,48 @@ Federator::Federator(const RpsSystem* system, Topology topology)
       if (equal) replicas_[p].push_back(q);
     }
   }
+  recovered_.assign(peers_.size(), 0);
+}
+
+Status Federator::AttachStorage(const std::string& dir) {
+  RPS_RETURN_IF_ERROR(storage::EnsureDir(dir));
+  for (const PeerNode& peer : peers_) {
+    RPS_RETURN_IF_ERROR(storage::SaveGraph(
+        storage::SnapshotPath(dir, peer.name()), peer.graph()));
+  }
+  storage_dir_ = dir;
+  return Status::OK();
+}
+
+Status Federator::RecoverPeer(size_t p) {
+  if (p >= peers_.size()) {
+    return Status::InvalidArgument("RecoverPeer: no peer " +
+                                   std::to_string(p));
+  }
+  if (storage_dir_.empty()) {
+    return Status::FailedPrecondition(
+        "RecoverPeer: no storage attached (call AttachStorage first)");
+  }
+  if (recovered_[p]) return Status::OK();
+  // The restarted peer shares the federation dictionary its snapshot was
+  // written from, so the id remap is the identity and the load attaches
+  // the snapshot memory-mapped — the peer is back without materializing
+  // a triple.
+  recovered_graphs_.emplace_back(peers_[p].graph().dict());
+  Graph& graph = recovered_graphs_.back();
+  Result<storage::LoadReport> report = storage::LoadGraph(
+      storage::SnapshotPath(storage_dir_, peers_[p].name()), &graph);
+  if (!report.ok()) {
+    recovered_graphs_.pop_back();
+    return report.status();
+  }
+  peers_[p] = PeerNode(peers_[p].name(), &graph);
+  canonical_graphs_[p] = closure_.CanonicalizeGraph(graph);
+  canonical_peers_[p] = PeerNode(canonical_peers_[p].name(),
+                                 &canonical_graphs_[p]);
+  recovered_[p] = 1;
+  obs::Registry::Global().counter("federation.recoveries")->Increment();
+  return Status::OK();
 }
 
 Result<FederatedQueryResult> Federator::Execute(
@@ -229,6 +276,48 @@ Result<FederatedQueryResult> Federator::Execute(
     return false;
   };
 
+  // Crash-restart recovery: when a sub-query failed because the peer is
+  // crash-down (not because of drops or slowness) and snapshot storage
+  // is attached, the coordinator restarts the peer from its on-disk
+  // snapshot, waits out the restart, and re-issues the sub-query to the
+  // recovered endpoint. Runs only at the serial per-pattern merge point
+  // — never inside the fan-out — so endpoint repointing and the
+  // injector's recovery flag cannot race concurrent tasks and results
+  // stay identical for every thread count. Returns true when the
+  // re-issue delivered; `st`/`rows`/`raw_rows` are updated in place.
+  auto recover_and_retry = [&](size_t p, size_t seq, uint64_t branch_i,
+                               uint64_t pattern_i, uint64_t batch_i,
+                               double request_payload, double bytes_per_row,
+                               const std::function<BindingSet(PeerNode&,
+                                                              size_t*)>& eval,
+                               SubQueryStats* st, BindingSet* rows,
+                               size_t* raw_rows) {
+    if (storage_dir_.empty()) return false;
+    if (injector.PeerUp(p, seq)) return false;  // not a crash: no restart
+    if (!RecoverPeer(p).ok()) return false;
+    injector.MarkRecovered(p);
+    st->net.AddWait(options.retry.restart_ms);
+    size_t raw = 0;
+    BindingSet local = eval(endpoints[p], &raw);
+    double payload =
+        request_payload + static_cast<double>(raw) * bytes_per_row;
+    for (size_t attempt = 0; attempt <= options.retry.max_retries;
+         ++attempt) {
+      uint64_t key = FaultInjector::RequestKey(
+          branch_i, pattern_i, batch_i, p, kRecoveryAttemptBase + attempt);
+      if (AttemptExchange(env, p, seq, key, payload, st)) {
+        st->degraded = false;
+        *rows = std::move(local);
+        *raw_rows = raw;
+        return true;
+      }
+      st->timeouts += 1;
+    }
+    return false;
+  };
+  // Peer indices restarted from disk during this execution.
+  std::set<size_t> recovered_now;
+
   uint64_t branch_index = 0;
   for (const ConjunctiveQuery& cq : rewritten.ucq) {
     // Branch body as triple patterns.
@@ -286,24 +375,35 @@ Result<FederatedQueryResult> Federator::Execute(
         for (size_t p = 0; p < endpoints.size(); ++p) {
           if (endpoints[p].MayAnswer(tp)) seq[p] = primary_seq[p]++;
         }
+        // Evaluates the pattern against `target` (shared by the fan-out
+        // and any post-recovery re-issue).
+        std::function<BindingSet(PeerNode&, size_t*)> eval_pattern =
+            [&tp](PeerNode& target, size_t* raw_rows) {
+              BindingSet rows = target.Answer(tp);
+              *raw_rows = rows.size();
+              return rows;
+            };
         ThreadPool::Global().ParallelFor(
             endpoints.size(), options.threads, [&](size_t p) {
               if (!endpoints[p].MayAnswer(tp)) return;
               answered[p] = 1;
               size_t raw = 0;
-              deliver(
-                  p, seq[p], branch_index, idx, /*batch_i=*/0,
-                  /*request_payload=*/0.0, bytes_per_row,
-                  [&](PeerNode& target, size_t* raw_rows) {
-                    BindingSet rows = target.Answer(tp);
-                    *raw_rows = rows.size();
-                    return rows;
-                  },
-                  &task_stats[p], &per_peer[p], &raw);
+              deliver(p, seq[p], branch_index, idx, /*batch_i=*/0,
+                      /*request_payload=*/0.0, bytes_per_row, eval_pattern,
+                      &task_stats[p], &per_peer[p], &raw);
             });
         BindingSet pattern_results;
         for (size_t p = 0; p < endpoints.size(); ++p) {
           if (!answered[p]) continue;
+          if (task_stats[p].degraded) {
+            size_t raw = 0;
+            if (recover_and_retry(p, seq[p], branch_index, idx,
+                                  /*batch_i=*/0, /*request_payload=*/0.0,
+                                  bytes_per_row, eval_pattern,
+                                  &task_stats[p], &per_peer[p], &raw)) {
+              recovered_now.insert(p);
+            }
+          }
           ++result.subqueries;
           CountPeerTraffic(endpoints[p], per_peer[p].size());
           result.network.Merge(task_stats[p].net);
@@ -381,6 +481,17 @@ Result<FederatedQueryResult> Federator::Execute(
               });
           for (size_t p = 0; p < endpoints.size(); ++p) {
             if (!answered[p]) continue;
+            if (task_stats[p].degraded) {
+              double request_payload =
+                  static_cast<double>(end - start) * bytes_per_row;
+              if (recover_and_retry(p, seq[p], branch_index, idx,
+                                    batch_index, request_payload,
+                                    bytes_per_row, eval_batch,
+                                    &task_stats[p], &per_peer[p],
+                                    &per_peer_rows[p])) {
+                recovered_now.insert(p);
+              }
+            }
             // One batched request/response exchange per (batch, peer):
             // the request carries the binding batch, the response the
             // matching rows.
@@ -443,6 +554,9 @@ Result<FederatedQueryResult> Federator::Execute(
   for (size_t p : degraded) {
     result.degraded_peers.push_back(endpoints[p].name());
   }
+  for (size_t p : recovered_now) {
+    result.recovered_peers.push_back(endpoints[p].name());
+  }
   result.completeness = degraded.empty() ? Completeness::kComplete
                                          : Completeness::kPartialSound;
   reg.counter("federation.subqueries")->Add(result.subqueries);
@@ -461,6 +575,7 @@ Result<FederatedQueryResult> Federator::Execute(
     span.Annotate("timeouts", result.timeouts);
     span.Annotate("hedged", result.hedged);
     span.Annotate("degraded_peers", result.degraded_peers.size());
+    span.Annotate("recovered_peers", result.recovered_peers.size());
   }
   if (options.threads > 1) {
     span.Annotate("threads", static_cast<uint64_t>(options.threads));

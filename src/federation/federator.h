@@ -1,6 +1,7 @@
 #ifndef RPS_FEDERATION_FEDERATOR_H_
 #define RPS_FEDERATION_FEDERATOR_H_
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,10 @@ struct RetryPolicy {
   /// once to each replica peer (a peer hosting an identical graph) until
   /// one delivers. Replicas are detected at Federator construction.
   bool hedge = true;
+  /// Simulated wall time for a crashed peer to restart from its on-disk
+  /// snapshot. Charged as coordinator wait before the recovery re-issue;
+  /// only used when the federator has storage attached (AttachStorage).
+  double restart_ms = 50.0;
 };
 
 /// Options for a federated query execution.
@@ -90,6 +95,12 @@ struct FederatedQueryResult {
   /// Names of peers that failed to deliver at least one sub-query after
   /// the full retry + hedge budget, in peer order, deduplicated.
   std::vector<std::string> degraded_peers;
+  /// Names of crashed peers the coordinator restarted from their on-disk
+  /// snapshots mid-query (AttachStorage + RecoverPeer). A recovered peer
+  /// served every one of its sub-queries — possibly after a restart wait
+  /// — so it does not appear in `degraded_peers` and does not make the
+  /// run partial.
+  std::vector<std::string> recovered_peers;
   /// Retry attempts issued beyond first attempts.
   size_t retries = 0;
   /// Sub-query exchanges that failed (drop, crash, or over-timeout).
@@ -131,6 +142,32 @@ class Federator {
       const GraphPatternQuery& query,
       const FederationOptions& options = FederationOptions());
 
+  /// Snapshots every peer's raw graph into `dir` (storage::SnapshotPath
+  /// naming, atomic write-temp-then-rename per file) and enables
+  /// crash-restart recovery: from then on Execute restarts a crashed
+  /// peer from its snapshot instead of degrading the result. Returns the
+  /// first save error, in which case storage stays unattached.
+  Status AttachStorage(const std::string& dir);
+
+  /// True once AttachStorage succeeded.
+  bool has_storage() const { return !storage_dir_.empty(); }
+
+  /// Restarts peer `p` from its snapshot in the attached storage
+  /// directory: loads the snapshot — memory-mapped, since the shared
+  /// dictionary makes the id remap the identity — into a
+  /// federator-owned graph, repoints the peer's raw endpoint at it, and
+  /// rebuilds its canonicalized endpoint from the recovered data.
+  /// Idempotent: a peer already running from its snapshot is left alone.
+  /// Execute calls this at the serial per-pattern merge point when a
+  /// crash-down peer exhausted its delivery budget; tests may call it
+  /// directly.
+  Status RecoverPeer(size_t p);
+
+  /// True if peer `p` is currently serving from a recovered snapshot.
+  bool IsRecovered(size_t p) const {
+    return p < recovered_.size() && recovered_[p] != 0;
+  }
+
   const std::vector<PeerNode>& peers() const { return peers_; }
   const Topology& topology() const { return topology_; }
 
@@ -152,6 +189,13 @@ class Federator {
   /// replicas_[p] = peers whose raw graph equals peer p's as a triple
   /// set (hedged re-dispatch targets), ascending, excluding p.
   std::vector<std::vector<size_t>> replicas_;
+  /// Snapshot directory from AttachStorage; empty = recovery disabled.
+  std::string storage_dir_;
+  /// Graphs reloaded from snapshots by RecoverPeer. A deque so endpoint
+  /// graph pointers stay stable as more peers recover.
+  std::deque<Graph> recovered_graphs_;
+  /// recovered_[p] != 0 iff peer p's endpoints point at a recovered graph.
+  std::vector<char> recovered_;
 };
 
 }  // namespace rps

@@ -131,6 +131,11 @@ bool FaultInjector::PeerUp(size_t peer, size_t primary_seq) const {
   return true;
 }
 
+void FaultInjector::MarkRecovered(size_t peer) {
+  if (peer < crashed_.size()) crashed_[peer] = 0;
+  if (peer < crash_after_.size()) crash_after_[peer] = SIZE_MAX;
+}
+
 double FaultInjector::PeerLatencyFactor(size_t peer) const {
   if (peer < slow_.size() && slow_[peer]) return options_.slow_factor;
   return 1.0;

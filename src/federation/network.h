@@ -113,6 +113,14 @@ class FaultInjector {
   /// conservatively down for them (hedges fire after retries, i.e. late).
   bool PeerUp(size_t peer, size_t primary_seq) const;
 
+  /// Clears the peer's crash state — both an up-front crash and a
+  /// scheduled crash-after count — so PeerUp returns true for it from
+  /// now on. The federator calls this after restarting the peer from its
+  /// on-disk snapshot (Federator::RecoverPeer): the injector models the
+  /// fault, the storage layer models the repair. Must not race PeerUp;
+  /// the federator only recovers at the serial per-pattern merge point.
+  void MarkRecovered(size_t peer);
+
   /// Latency multiplier for the peer (1.0, or slow_factor when slow).
   double PeerLatencyFactor(size_t peer) const;
 

@@ -100,6 +100,20 @@ class Dictionary {
     return terms_.size();
   }
 
+  /// The fresh-blank counter behind NewBlank(). Persisted in snapshot
+  /// headers so a restored peer keeps minting non-colliding null labels.
+  uint64_t null_counter() const {
+    auto lock = ReaderLock();
+    return next_null_;
+  }
+
+  /// Raises the fresh-blank counter to at least `value` (snapshot load);
+  /// never lowers it.
+  void RestoreNullCounter(uint64_t value) {
+    auto lock = WriterLock();
+    if (value > next_null_) next_null_ = value;
+  }
+
   /// Renders `id` in N-Triples syntax.
   std::string ToString(TermId id) const {
     auto lock = ReaderLock();

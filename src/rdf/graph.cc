@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "storage/snapshot_reader.h"
 
 namespace rps {
 
@@ -31,6 +32,11 @@ obs::Counter& ExactEstimateCounter() {
       obs::Registry::Global().counter("graph.index.exact_estimates");
   return *c;
 }
+obs::Counter& MappedReadCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("storage.mapped_reads");
+  return *c;
+}
 
 // A 2-bound probe whose shorter posting list is at most this long skips
 // the binary search: filtering a handful of sequential positions is
@@ -51,6 +57,9 @@ Graph::Graph(const Graph& other) : dict_(other.dict_) {
   by_o_ = other.by_o_;
   for (int perm = 0; perm < kPermutations; ++perm) perm_[perm] = other.perm_[perm];
   base_n_ = other.base_n_;
+  mapped_ = other.mapped_;  // snapshots are immutable: copies share one
+  mapped_triples_ = other.mapped_triples_;
+  mapped_n_ = other.mapped_n_;
   concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
                     std::memory_order_release);
 }
@@ -68,6 +77,9 @@ Graph& Graph::operator=(const Graph& other) {
   by_o_ = other.by_o_;
   for (int perm = 0; perm < kPermutations; ++perm) perm_[perm] = other.perm_[perm];
   base_n_ = other.base_n_;
+  mapped_ = other.mapped_;
+  mapped_triples_ = other.mapped_triples_;
+  mapped_n_ = other.mapped_n_;
   concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
                     std::memory_order_release);
   return *this;
@@ -85,6 +97,11 @@ Graph::Graph(Graph&& other) noexcept : dict_(other.dict_) {
     perm_[perm] = std::move(other.perm_[perm]);
   }
   base_n_ = other.base_n_;
+  mapped_ = std::move(other.mapped_);
+  mapped_triples_ = other.mapped_triples_;
+  mapped_n_ = other.mapped_n_;
+  other.mapped_triples_ = nullptr;
+  other.mapped_n_ = 0;
   concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
                     std::memory_order_release);
 }
@@ -103,9 +120,25 @@ Graph& Graph::operator=(Graph&& other) noexcept {
     perm_[perm] = std::move(other.perm_[perm]);
   }
   base_n_ = other.base_n_;
+  mapped_ = std::move(other.mapped_);
+  mapped_triples_ = other.mapped_triples_;
+  mapped_n_ = other.mapped_n_;
+  other.mapped_triples_ = nullptr;
+  other.mapped_n_ = 0;
   concurrent_.store(other.concurrent_.load(std::memory_order_acquire),
                     std::memory_order_release);
   return *this;
+}
+
+void Graph::AttachMappedBase(
+    std::shared_ptr<const storage::MappedSnapshot> snap) {
+  auto lock = WriterLock();
+  // Precondition (storage::LoadGraph enforces it with a real error):
+  // attaching under existing triples would renumber every position.
+  if (!triples_.empty() || mapped_n_ != 0 || snap == nullptr) return;
+  mapped_triples_ = snap->triples();
+  mapped_n_ = snap->num_triples();
+  mapped_ = std::move(snap);
 }
 
 void Graph::EnableConcurrentMutation() {
@@ -139,6 +172,9 @@ bool Graph::InsertUnchecked(const Triple& t) {
 }
 
 bool Graph::InsertUncheckedLocked(const Triple& t) {
+  // The mapped base is a read-only prefix: a triple already in the
+  // snapshot is a duplicate, exactly as if it sat in pos_.
+  if (mapped_ != nullptr && mapped_->FindTriple(t).has_value()) return false;
   uint32_t pos = static_cast<uint32_t>(triples_.size());
   auto [it, inserted] = pos_.try_emplace(t, pos);
   if (!inserted) return false;
@@ -209,6 +245,30 @@ size_t Graph::InsertAll(const Graph& other) {
   return added;
 }
 
+bool Graph::Contains(const Triple& t) const {
+  if (pos_.count(t) > 0) return true;
+  return mapped_ != nullptr && mapped_->FindTriple(t).has_value();
+}
+
+std::optional<uint32_t> Graph::PositionOf(const Triple& t) const {
+  auto it = pos_.find(t);
+  if (it != pos_.end()) {
+    return static_cast<uint32_t>(it->second + mapped_n_);
+  }
+  if (mapped_ != nullptr) return mapped_->FindTriple(t);
+  return std::nullopt;
+}
+
+size_t Graph::DistinctSubjects() const {
+  return by_s_.size() + (mapped_ ? mapped_->distinct_subjects() : 0);
+}
+size_t Graph::DistinctPredicates() const {
+  return by_p_.size() + (mapped_ ? mapped_->distinct_predicates() : 0);
+}
+size_t Graph::DistinctObjects() const {
+  return by_o_.size() + (mapped_ ? mapped_->distinct_objects() : 0);
+}
+
 const std::vector<uint32_t>* Graph::Postings(
     const std::unordered_map<TermId, std::vector<uint32_t>>& index,
     TermId id) const {
@@ -251,14 +311,14 @@ size_t TailStart(const std::vector<uint32_t>& list, size_t base_n) {
 void Graph::MatchRef(std::optional<TermId> s, std::optional<TermId> p,
                      std::optional<TermId> o,
                      FunctionRef<bool(const Triple&)> fn) const {
-  MatchPrefix(s, p, o, triples_.size(), fn);
+  MatchPrefix(s, p, o, size(), fn);
 }
 
 void Graph::MatchRefAsOf(std::optional<TermId> s, std::optional<TermId> p,
                          std::optional<TermId> o, size_t epoch,
                          FunctionRef<bool(const Triple&)> fn) const {
   auto lock = ReaderLock();
-  MatchPrefix(s, p, o, std::min(epoch, triples_.size()), fn);
+  MatchPrefix(s, p, o, std::min(epoch, size()), fn);
 }
 
 // Epoch-bounded match core. Every branch enumerates candidate positions
@@ -273,20 +333,55 @@ void Graph::MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
                         FunctionRef<bool(const Triple&)> fn) const {
   const int bound = (s.has_value() ? 1 : 0) + (p.has_value() ? 1 : 0) +
                     (o.has_value() ? 1 : 0);
+  // Tier 1: the mapped snapshot serves global positions [0, mcap) from
+  // its own on-disk runs/postings; the in-memory structures below index
+  // *local* positions (global minus mapped_n_), so the epoch bound
+  // splits into a mapped cap and a local epoch. Mapped positions all
+  // precede local ones, so emitting mapped-then-local keeps the global
+  // order ascending — byte-identical to an unmapped graph.
+  const uint32_t mcap =
+      static_cast<uint32_t>(std::min(epoch, mapped_n_));
+  const size_t lepoch = epoch > mapped_n_ ? epoch - mapped_n_ : 0;
   if (bound == 0) {
+    for (uint32_t i = 0; i < mcap; ++i) {
+      if (!fn(mapped_triples_[i])) return;
+    }
     // Fully unbound pattern: scan the prefix in insertion order.
-    for (size_t i = 0; i < epoch; ++i) {
+    for (size_t i = 0; i < lepoch; ++i) {
       if (!fn(triples_[i])) return;
     }
     return;
   }
   if (bound == 3) {
     Triple probe{*s, *p, *o};
+    if (mcap > 0) {
+      // Insertion dedupes against the snapshot, so the probe lives in at
+      // most one tier.
+      std::optional<uint32_t> at = mapped_->FindTriple(probe);
+      if (at.has_value()) {
+        if (*at < mcap) fn(probe);
+        return;
+      }
+    }
     auto it = pos_.find(probe);
-    if (it != pos_.end() && it->second < epoch) fn(probe);
+    if (it != pos_.end() && it->second < lepoch) fn(probe);
     return;
   }
   if (bound == 1) {
+    if (mcap > 0) {
+      MappedReadCounter().Increment();
+      const int role = s ? 0 : p ? 1 : 2;
+      bool stopped = false;
+      mapped_->ScanPostings(role, s ? *s : p ? *p : *o, [&](uint32_t pos) {
+        if (pos >= mcap) return false;
+        if (!fn(mapped_triples_[pos])) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      });
+      if (stopped) return;
+    }
     // A 1-bound pattern is its posting list: every listed triple matches
     // (no filtering) and positions are already insertion-ordered.
     const std::vector<uint32_t>* list =
@@ -294,26 +389,49 @@ void Graph::MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
     if (list == nullptr) return;
     RangeScanCounter().Increment();
     for (uint32_t pos : *list) {
-      if (pos >= epoch) break;
+      if (pos >= lepoch) break;
       if (!fn(triples_[pos])) return;
     }
     return;
   }
 
-  // 2-bound: both bound terms must occur at their position somewhere in
-  // the graph (posting lists cover base + delta), else no triple matches.
-  const std::vector<uint32_t>* first;
-  const std::vector<uint32_t>* second;
+  // 2-bound: the probe's permutation and key.
   Permutation perm;
   TermId k1, k2;
   if (s && p) {
     perm = kSpo, k1 = *s, k2 = *p;
-    first = Postings(by_s_, *s), second = Postings(by_p_, *p);
   } else if (p && o) {
     perm = kPos, k1 = *p, k2 = *o;
-    first = Postings(by_p_, *p), second = Postings(by_o_, *o);
   } else {
     perm = kOsp, k1 = *o, k2 = *s;
+  }
+
+  if (mcap > 0) {
+    // Tier 1: the snapshot's permuted run — entries of one (k1, k2)
+    // group are position-ascending, exactly like a base range.
+    MappedReadCounter().Increment();
+    bool stopped = false;
+    mapped_->ScanRun(perm, k1, k2, [&](uint32_t pos) {
+      if (pos >= mcap) return false;
+      if (!fn(mapped_triples_[pos])) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    });
+    if (stopped) return;
+  }
+
+  // Tiers 2+3 (in-memory): both bound terms must occur at their position
+  // in the tail (posting lists cover base + delta), else nothing more
+  // matches.
+  const std::vector<uint32_t>* first;
+  const std::vector<uint32_t>* second;
+  if (perm == kSpo) {
+    first = Postings(by_s_, *s), second = Postings(by_p_, *p);
+  } else if (perm == kPos) {
+    first = Postings(by_p_, *p), second = Postings(by_o_, *o);
+  } else {
     first = Postings(by_o_, *o), second = Postings(by_s_, *s);
   }
   if (first == nullptr || second == nullptr) return;
@@ -327,7 +445,7 @@ void Graph::MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
       first->size() <= second->size() ? first : second;
   if (shorter->size() <= kSmallPostingScan) {
     for (uint32_t pos : *shorter) {
-      if (pos >= epoch) break;
+      if (pos >= lepoch) break;
       const Triple& t = triples_[pos];
       if (matches(t) && !fn(t)) return;
     }
@@ -340,10 +458,10 @@ void Graph::MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
   auto [lo, hi] = BaseRange(perm, k1, k2);
   const std::vector<PermEntry>& run = perm_[perm];
   for (size_t i = lo; i < hi; ++i) {
-    if (run[i].pos >= epoch) break;
+    if (run[i].pos >= lepoch) break;
     if (!fn(triples_[run[i].pos])) return;
   }
-  if (base_n_ >= epoch) return;           // prefix entirely inside the base
+  if (base_n_ >= lepoch) return;          // prefix entirely inside the base
   if (base_n_ == triples_.size()) return;  // no unmerged delta
   size_t first_start = TailStart(*first, base_n_);
   size_t second_start = TailStart(*second, base_n_);
@@ -353,11 +471,11 @@ void Graph::MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
     tail = second;
     start = second_start;
   }
-  if (start < tail->size() && (*tail)[start] < epoch) {
+  if (start < tail->size() && (*tail)[start] < lepoch) {
     DeltaScanCounter().Increment();
     for (size_t i = start; i < tail->size(); ++i) {
       uint32_t pos = (*tail)[i];
-      if (pos >= epoch) break;
+      if (pos >= lepoch) break;
       const Triple& t = triples_[pos];
       if (matches(t) && !fn(t)) return;
     }
@@ -367,8 +485,12 @@ void Graph::MatchPrefix(std::optional<TermId> s, std::optional<TermId> p,
 std::unordered_set<TermId> Graph::TermsInUse() const {
   auto lock = ReaderLock();
   std::lock_guard<std::mutex> terms_lock(terms_mu_);
-  for (; terms_scanned_ < triples_.size(); ++terms_scanned_) {
-    const Triple& t = triples_[terms_scanned_];
+  // terms_scanned_ is a *global* high-water mark, so a graph with a
+  // mapped base pays one lazy O(mapped) sweep on first use and O(new
+  // triples) afterwards, same as before.
+  const size_t n = mapped_n_ + triples_.size();
+  for (; terms_scanned_ < n; ++terms_scanned_) {
+    const Triple& t = TripleAt(terms_scanned_);
     terms_in_use_.insert(t.s);
     terms_in_use_.insert(t.p);
     terms_in_use_.insert(t.o);
@@ -402,7 +524,7 @@ std::vector<Triple> Graph::MatchAllAsOf(std::optional<TermId> s,
 
 size_t Graph::SnapshotEpoch() const {
   auto lock = ReaderLock();
-  return triples_.size();
+  return mapped_n_ + triples_.size();
 }
 
 bool Graph::ContainsAsOf(const Triple& t, size_t epoch) const {
@@ -413,13 +535,21 @@ std::optional<uint32_t> Graph::PositionOfAsOf(const Triple& t,
                                               size_t epoch) const {
   auto lock = ReaderLock();
   auto it = pos_.find(t);
-  if (it == pos_.end() || it->second >= epoch) return std::nullopt;
-  return it->second;
+  if (it != pos_.end()) {
+    uint32_t global = static_cast<uint32_t>(it->second + mapped_n_);
+    if (global >= epoch) return std::nullopt;
+    return global;
+  }
+  if (mapped_ != nullptr) {
+    std::optional<uint32_t> at = mapped_->FindTriple(t);
+    if (at.has_value() && *at < epoch) return at;
+  }
+  return std::nullopt;
 }
 
 size_t Graph::EstimateMatches(std::optional<TermId> s, std::optional<TermId> p,
                               std::optional<TermId> o) const {
-  return CountPrefix(s, p, o, triples_.size());
+  return CountPrefix(s, p, o, mapped_n_ + triples_.size());
 }
 
 size_t Graph::EstimateMatchesAsOf(std::optional<TermId> s,
@@ -427,7 +557,7 @@ size_t Graph::EstimateMatchesAsOf(std::optional<TermId> s,
                                   std::optional<TermId> o,
                                   size_t epoch) const {
   auto lock = ReaderLock();
-  return CountPrefix(s, p, o, std::min(epoch, triples_.size()));
+  return CountPrefix(s, p, o, std::min(epoch, mapped_n_ + triples_.size()));
 }
 
 // Epoch-bounded exact count: the epoch bound is a partition_point over
@@ -438,50 +568,77 @@ size_t Graph::CountPrefix(std::optional<TermId> s, std::optional<TermId> p,
   const int bound = (s.has_value() ? 1 : 0) + (p.has_value() ? 1 : 0) +
                     (o.has_value() ? 1 : 0);
   if (bound == 0) return epoch;
+  // Mapped/in-memory split, as in MatchPrefix: the tiers cover disjoint
+  // position ranges, so the exact count is the sum of both tiers' exact
+  // counts.
+  const uint32_t mcap =
+      static_cast<uint32_t>(std::min(epoch, mapped_n_));
+  const size_t lepoch = epoch > mapped_n_ ? epoch - mapped_n_ : 0;
   if (bound == 3) {
-    auto it = pos_.find(Triple{*s, *p, *o});
-    return (it != pos_.end() && it->second < epoch) ? 1 : 0;
+    Triple probe{*s, *p, *o};
+    if (mcap > 0) {
+      std::optional<uint32_t> at = mapped_->FindTriple(probe);
+      if (at.has_value()) return *at < mcap ? 1 : 0;
+    }
+    auto it = pos_.find(probe);
+    return (it != pos_.end() && it->second < lepoch) ? 1 : 0;
   }
 
   ExactEstimateCounter().Increment();
   // Number of entries of a position-ascending posting list below the
   // epoch: the whole list in the common no-ingest case (back() probe),
   // else one binary search.
-  auto bounded_size = [epoch](const std::vector<uint32_t>& list) -> size_t {
-    if (list.empty() || list.back() < epoch) return list.size();
+  auto bounded_size = [lepoch](const std::vector<uint32_t>& list) -> size_t {
+    if (list.empty() || list.back() < lepoch) return list.size();
     return static_cast<size_t>(
         std::lower_bound(list.begin(), list.end(),
-                         static_cast<uint32_t>(epoch)) -
+                         static_cast<uint32_t>(lepoch)) -
         list.begin());
   };
   if (bound == 1) {
+    size_t count = 0;
+    if (mcap > 0) {
+      MappedReadCounter().Increment();
+      const int role = s ? 0 : p ? 1 : 2;
+      count = mapped_->CountPostings(role, s ? *s : p ? *p : *o, mcap);
+    }
     const std::vector<uint32_t>* list =
         s ? Postings(by_s_, *s) : p ? Postings(by_p_, *p) : Postings(by_o_, *o);
-    return list == nullptr ? 0 : bounded_size(*list);
+    return list == nullptr ? count : count + bounded_size(*list);
   }
 
-  const std::vector<uint32_t>* first;
-  const std::vector<uint32_t>* second;
   Permutation perm;
   TermId k1, k2;
   if (s && p) {
     perm = kSpo, k1 = *s, k2 = *p;
-    first = Postings(by_s_, *s), second = Postings(by_p_, *p);
   } else if (p && o) {
     perm = kPos, k1 = *p, k2 = *o;
-    first = Postings(by_p_, *p), second = Postings(by_o_, *o);
   } else {
     perm = kOsp, k1 = *o, k2 = *s;
+  }
+  size_t mapped_count = 0;
+  if (mcap > 0) {
+    MappedReadCounter().Increment();
+    mapped_count = mapped_->CountRun(perm, k1, k2, mcap);
+  }
+
+  const std::vector<uint32_t>* first;
+  const std::vector<uint32_t>* second;
+  if (perm == kSpo) {
+    first = Postings(by_s_, *s), second = Postings(by_p_, *p);
+  } else if (perm == kPos) {
+    first = Postings(by_p_, *p), second = Postings(by_o_, *o);
+  } else {
     first = Postings(by_o_, *o), second = Postings(by_s_, *s);
   }
-  if (first == nullptr || second == nullptr) return 0;
+  if (first == nullptr || second == nullptr) return mapped_count;
 
   const std::vector<uint32_t>* shorter =
       first->size() <= second->size() ? first : second;
   if (shorter->size() <= kSmallPostingScan) {
-    size_t count = 0;
+    size_t count = mapped_count;
     for (uint32_t pos : *shorter) {
-      if (pos >= epoch) break;
+      if (pos >= lepoch) break;
       const Triple& t = triples_[pos];
       if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) ++count;
     }
@@ -489,20 +646,20 @@ size_t Graph::CountPrefix(std::optional<TermId> s, std::optional<TermId> p,
   }
 
   auto [lo, hi] = BaseRange(perm, k1, k2);
-  size_t count;
-  if (epoch >= base_n_) {
-    count = hi - lo;
+  size_t count = mapped_count;
+  if (lepoch >= base_n_) {
+    count += hi - lo;
   } else {
     // Entries of a (k1, k2) group are position-ascending: the prefix
     // below the epoch is a partition point.
     const std::vector<PermEntry>& run = perm_[perm];
-    count = static_cast<size_t>(
+    count += static_cast<size_t>(
         std::partition_point(
             run.begin() + lo, run.begin() + hi,
-            [epoch](const PermEntry& e) { return e.pos < epoch; }) -
+            [lepoch](const PermEntry& e) { return e.pos < lepoch; }) -
         (run.begin() + lo));
   }
-  if (base_n_ >= epoch) return count;           // prefix inside the base
+  if (base_n_ >= lepoch) return count;          // prefix inside the base
   if (base_n_ == triples_.size()) return count;  // no unmerged delta
   size_t first_start = TailStart(*first, base_n_);
   size_t second_start = TailStart(*second, base_n_);
@@ -514,7 +671,7 @@ size_t Graph::CountPrefix(std::optional<TermId> s, std::optional<TermId> p,
   }
   for (size_t i = start; i < tail->size(); ++i) {
     uint32_t pos = (*tail)[i];
-    if (pos >= epoch) break;
+    if (pos >= lepoch) break;
     const Triple& t = triples_[pos];
     if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) ++count;
   }
@@ -523,24 +680,26 @@ size_t Graph::CountPrefix(std::optional<TermId> s, std::optional<TermId> p,
 
 std::vector<Triple> GraphSnapshot::Triples() const {
   auto lock = graph_->ReaderLock();
-  size_t n = std::min(epoch_, graph_->triples_.size());
-  return std::vector<Triple>(graph_->triples_.begin(),
-                             graph_->triples_.begin() + n);
+  size_t n = std::min(epoch_, graph_->mapped_n_ + graph_->triples_.size());
+  std::vector<Triple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(graph_->TripleAt(i));
+  return out;
 }
 
 size_t GraphSnapshot::DistinctSubjects() const {
   auto lock = graph_->ReaderLock();
-  return graph_->by_s_.size();
+  return graph_->DistinctSubjects();
 }
 
 size_t GraphSnapshot::DistinctPredicates() const {
   auto lock = graph_->ReaderLock();
-  return graph_->by_p_.size();
+  return graph_->DistinctPredicates();
 }
 
 size_t GraphSnapshot::DistinctObjects() const {
   auto lock = graph_->ReaderLock();
-  return graph_->by_o_.size();
+  return graph_->DistinctObjects();
 }
 
 }  // namespace rps

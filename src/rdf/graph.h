@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -18,7 +19,112 @@
 
 namespace rps {
 
+namespace storage {
+class MappedSnapshot;
+}  // namespace storage
+
 class GraphSnapshot;
+
+/// A random-access, insertion-ordered view of a graph's triples. The
+/// graph may serve its prefix from a memory-mapped snapshot (the mapped
+/// base) and the rest from its in-memory tail, so the view spans up to
+/// two contiguous segments; for a purely in-memory graph it is just the
+/// triples vector. Converts implicitly to `std::vector<Triple>` (a
+/// copy) for callers that need a materialized container.
+///
+/// The view borrows the graph and is invalidated by mutation, exactly
+/// like the `const std::vector<Triple>&` accessor it replaces.
+class TriplesView {
+ public:
+  TriplesView(const Triple* mapped, size_t mapped_n,
+              const std::vector<Triple>* tail)
+      : mapped_(mapped), mapped_n_(mapped_n), tail_(tail) {}
+
+  size_t size() const { return mapped_n_ + tail_->size(); }
+  bool empty() const { return size() == 0; }
+
+  const Triple& operator[](size_t i) const {
+    return i < mapped_n_ ? mapped_[i] : (*tail_)[i - mapped_n_];
+  }
+  const Triple& front() const { return (*this)[0]; }
+  const Triple& back() const { return (*this)[size() - 1]; }
+
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = Triple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Triple*;
+    using reference = const Triple&;
+
+    iterator() : view_(nullptr), i_(0) {}
+    iterator(const TriplesView* view, size_t i) : view_(view), i_(i) {}
+
+    reference operator*() const { return (*view_)[i_]; }
+    pointer operator->() const { return &(*view_)[i_]; }
+    reference operator[](difference_type d) const { return (*view_)[i_ + d]; }
+
+    iterator& operator++() { ++i_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    iterator& operator--() { --i_; return *this; }
+    iterator operator--(int) { iterator t = *this; --i_; return t; }
+    iterator& operator+=(difference_type d) { i_ += d; return *this; }
+    iterator& operator-=(difference_type d) { i_ -= d; return *this; }
+    friend iterator operator+(iterator it, difference_type d) {
+      return it += d;
+    }
+    friend iterator operator+(difference_type d, iterator it) {
+      return it += d;
+    }
+    friend iterator operator-(iterator it, difference_type d) {
+      return it -= d;
+    }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.i_ != b.i_;
+    }
+    friend bool operator<(const iterator& a, const iterator& b) {
+      return a.i_ < b.i_;
+    }
+    friend bool operator<=(const iterator& a, const iterator& b) {
+      return a.i_ <= b.i_;
+    }
+    friend bool operator>(const iterator& a, const iterator& b) {
+      return a.i_ > b.i_;
+    }
+    friend bool operator>=(const iterator& a, const iterator& b) {
+      return a.i_ >= b.i_;
+    }
+
+   private:
+    const TriplesView* view_;
+    size_t i_;
+  };
+  using const_iterator = iterator;
+
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, size()); }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for the old
+  // vector accessor in copy-initialization contexts.
+  operator std::vector<Triple>() const {
+    std::vector<Triple> out;
+    out.reserve(size());
+    out.insert(out.end(), begin(), end());
+    return out;
+  }
+
+ private:
+  const Triple* mapped_;
+  size_t mapped_n_;
+  const std::vector<Triple>* tail_;
+};
 
 /// An in-memory RDF graph (a set of dictionary-encoded triples) with
 /// RDF-3X-style permuted sorted indexes for pattern matching.
@@ -45,6 +151,14 @@ class GraphSnapshot;
 ///    total merge work over any insertion sequence).
 ///  - A fully bound probe is one hash lookup; a fully unbound pattern
 ///    scans `triples_`.
+///  - Optionally, a memory-mapped snapshot (docs/PERSISTENCE.md) sits
+///    *under* all of the above as the graph's first `mapped_size()`
+///    insertion positions: its on-disk permuted runs and posting lists
+///    answer the same probes for that prefix, and the in-memory
+///    structures hold only what was inserted after the load. Every read
+///    path visits mapped tier, then merged base, then delta — all three
+///    position-ascending — so attaching a snapshot changes where bytes
+///    live, never what any Match emits.
 ///
 /// Every path emits matches in ascending insertion position (base range
 /// entries are position-sorted within a key group and all precede the
@@ -102,23 +216,49 @@ class Graph {
   /// Convenience: interns the three terms and inserts.
   Result<bool> Insert(const Term& s, const Term& p, const Term& o);
 
-  bool Contains(const Triple& t) const { return pos_.count(t) > 0; }
+  bool Contains(const Triple& t) const;
 
   /// Insertion position of `t` — its index in `triples()` — or nullopt
-  /// when absent. One hash probe; the query planner uses it to restore
-  /// the canonical (probe-engine) emission order after out-of-order
-  /// merge joins.
-  std::optional<uint32_t> PositionOf(const Triple& t) const {
-    auto it = pos_.find(t);
-    if (it == pos_.end()) return std::nullopt;
-    return it->second;
-  }
+  /// when absent. One hash probe (plus a mapped-base index probe when a
+  /// snapshot is attached); the query planner uses it to restore the
+  /// canonical (probe-engine) emission order after out-of-order merge
+  /// joins.
+  std::optional<uint32_t> PositionOf(const Triple& t) const;
 
-  size_t size() const { return triples_.size(); }
-  bool empty() const { return triples_.empty(); }
+  size_t size() const { return mapped_n_ + triples_.size(); }
+  bool empty() const { return size() == 0; }
 
   /// All triples in insertion order. Stable across Match calls.
-  const std::vector<Triple>& triples() const { return triples_; }
+  const TriplesView triples() const {
+    return TriplesView(mapped_triples_, mapped_n_, &triples_);
+  }
+
+  /// The triple at insertion position `pos` (mapped base or in-memory
+  /// tail). `pos` must be < size().
+  const Triple& TripleAt(size_t pos) const {
+    return pos < mapped_n_ ? mapped_triples_[pos]
+                           : triples_[pos - mapped_n_];
+  }
+
+  // ---- Mapped base (persistence) -------------------------------------
+
+  /// Adopts a memory-mapped snapshot as this graph's base tier: the
+  /// snapshot's triples occupy insertion positions [0, mapped_size())
+  /// and are served straight from the mapping (its permuted runs and
+  /// posting lists play the role the in-memory base runs play for
+  /// merged triples); everything inserted afterwards lands in the
+  /// ordinary in-memory structures on top. The graph must be empty and
+  /// the snapshot's term ids must already be valid in this graph's
+  /// dictionary — storage::LoadGraph (src/storage/storage.h) is the
+  /// checked entry point that guarantees both.
+  void AttachMappedBase(std::shared_ptr<const storage::MappedSnapshot> snap);
+
+  /// True when a snapshot is attached as the base tier.
+  bool has_mapped_base() const { return mapped_n_ > 0; }
+
+  /// Number of triples served from the mapped snapshot (a prefix of the
+  /// insertion order).
+  size_t mapped_size() const { return mapped_n_; }
 
   /// Pre-sizes the containers for `n` total triples. Call before bulk
   /// insertion (InsertAll, the chase's copy-existing-triples seed) to
@@ -223,18 +363,22 @@ class Graph {
   /// call from any number of threads.
   std::unordered_set<TermId> TermsInUse() const;
 
-  /// Index introspection (tests, benches): triples covered by the sorted
-  /// permutation runs vs. still in the append-only delta.
-  size_t base_size() const { return base_n_; }
+  /// Index introspection (tests, benches): triples covered by sorted
+  /// permutation runs (mapped snapshot + merged in-memory base) vs.
+  /// still in the append-only delta.
+  size_t base_size() const { return mapped_n_ + base_n_; }
   size_t delta_size() const { return triples_.size() - base_n_; }
 
-  /// Number of distinct terms occurring at each position (the sizes of
-  /// the per-position posting indexes). O(1); the query planner's cost
-  /// model uses them as graph-wide distinct-value upper bounds for join
-  /// selectivity.
-  size_t DistinctSubjects() const { return by_s_.size(); }
-  size_t DistinctPredicates() const { return by_p_.size(); }
-  size_t DistinctObjects() const { return by_o_.size(); }
+  /// Number of distinct terms occurring at each position. O(1); the
+  /// query planner's cost model uses them as graph-wide distinct-value
+  /// upper bounds for join selectivity. With a mapped base attached the
+  /// counts are the sum of the snapshot's and the in-memory tail's
+  /// per-position index sizes — an upper bound (a term occurring in
+  /// both tiers counts twice), which can only steer operator choice,
+  /// never answers.
+  size_t DistinctSubjects() const;
+  size_t DistinctPredicates() const;
+  size_t DistinctObjects() const;
 
   Dictionary* dict() const { return dict_; }
 
@@ -338,6 +482,15 @@ class Graph {
   // Sorted permutation runs over triples_[0 .. base_n_).
   std::vector<PermEntry> perm_[kPermutations];
   size_t base_n_ = 0;
+
+  // Optional memory-mapped base tier (AttachMappedBase): the snapshot's
+  // triples occupy global insertion positions [0, mapped_n_); every
+  // in-memory structure above indexes *local* positions, i.e. global
+  // minus mapped_n_. mapped_triples_ caches the snapshot's triple array
+  // so TripleAt stays a branch and a load.
+  std::shared_ptr<const storage::MappedSnapshot> mapped_;
+  const Triple* mapped_triples_ = nullptr;
+  size_t mapped_n_ = 0;
 
   // Concurrent mode: flag + the lock the conditional helpers use.
   std::atomic<bool> concurrent_{false};

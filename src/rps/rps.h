@@ -57,6 +57,7 @@
 #include "rewrite/bool_rewrite.h"
 #include "server/query_server.h"
 #include "rewrite/rewriter.h"
+#include "storage/storage.h"
 #include "tgd/atom.h"
 #include "tgd/classify.h"
 #include "tgd/tgd.h"

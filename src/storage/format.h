@@ -1,0 +1,116 @@
+#ifndef RPS_STORAGE_FORMAT_H_
+#define RPS_STORAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rps::storage {
+
+/// On-disk snapshot format, version 1 (docs/PERSISTENCE.md has the full
+/// layout diagram). All integers are little-endian; the loader refuses
+/// big-endian hosts rather than byte-swapping.
+///
+///   [ header | section table | sections... ]
+///
+/// The fixed header carries magic/version/epoch and the table carries one
+/// (id, offset, length, checksum) row per section, so a loader can mmap
+/// the file, validate the table, and address every section without
+/// touching the payload bytes. Each section starts 8-byte aligned — the
+/// triple section is reinterpreted in place as a `Triple` array.
+
+/// "RPSSNAP1" — 8 bytes of magic at offset 0.
+inline constexpr char kMagic[8] = {'R', 'P', 'S', 'S', 'N', 'A', 'P', '1'};
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Header flag bit 0: payload is little-endian (always set by the
+/// writer; a loader on a mismatched host fails cleanly).
+inline constexpr uint32_t kFlagLittleEndian = 1u << 0;
+
+/// Section identifiers, in file order.
+enum SectionId : uint32_t {
+  kSectionDict = 0,      // interned terms in id order
+  kSectionTriples = 1,   // insertion-ordered Triple array (12 B/triple)
+  kSectionRunSpo = 2,    // sorted (s, p, pos) run, delta/varint blocks
+  kSectionRunPos = 3,    // sorted (p, o, pos) run
+  kSectionRunOsp = 4,    // sorted (o, s, pos) run
+  kSectionPostS = 5,     // per-subject posting lists, delta/varint
+  kSectionPostP = 6,     // per-predicate posting lists
+  kSectionPostO = 7,     // per-object posting lists
+};
+inline constexpr uint32_t kSectionCount = 8;
+
+/// Fixed-size file header (64 bytes at offset 0).
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t flags;
+  uint64_t triple_count;
+  uint64_t term_count;
+  uint64_t next_null;      // dictionary fresh-blank counter at save time
+  uint32_t section_count;
+  uint32_t distinct_s;     // posting-index sizes (planner statistics)
+  uint32_t distinct_p;
+  uint32_t distinct_o;
+  // followed at offset 56 by a uint64_t checksum over the header bytes
+  // [0, 56) concatenated with the raw section table
+};
+static_assert(sizeof(FileHeader) == 56, "header layout is part of the format");
+
+inline constexpr size_t kHeaderBytes = 64;  // FileHeader + its checksum
+
+/// One row of the section table (directly mapped).
+struct SectionEntry {
+  uint32_t id;
+  uint32_t reserved;
+  uint64_t offset;    // absolute file offset, 8-byte aligned
+  uint64_t length;    // payload bytes
+  uint64_t checksum;  // FNV-1a 64 of the payload
+};
+static_assert(sizeof(SectionEntry) == 32, "table layout is part of the format");
+
+/// Entries per delta/varint block of a permuted run; each block gets one
+/// fixed-width row in the run's block index so a (k1, k2) probe binary
+/// searches the index and decodes at most the covering blocks.
+inline constexpr size_t kRunBlockEntries = 128;
+
+/// One row of a run's block index: the first entry's key plus the byte
+/// offset of the block inside the run payload.
+struct RunBlockIndexEntry {
+  uint32_t k1;
+  uint32_t k2;
+  uint64_t offset;
+};
+static_assert(sizeof(RunBlockIndexEntry) == 16,
+              "block index layout is part of the format");
+
+/// Term kind tags in the dictionary section.
+enum DictKind : uint8_t {
+  kDictIri = 0,
+  kDictBlank = 1,
+  kDictLiteral = 2,        // plain xsd:string literal
+  kDictTypedLiteral = 3,   // lexical + datatype IRI
+  kDictLangLiteral = 4,    // lexical + language tag
+};
+
+/// FNV-1a 64-bit checksum — cheap, dependency-free, and strong enough to
+/// catch torn writes and bit rot (crash *consistency* comes from the
+/// write-temp-then-rename protocol, not the checksum).
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  return Fnv1a64(data, len, 0xcbf29ce484222325ULL);
+}
+
+}  // namespace rps::storage
+
+#endif  // RPS_STORAGE_FORMAT_H_

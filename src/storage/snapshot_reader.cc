@@ -1,0 +1,482 @@
+#include "storage/snapshot_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/varint.h"
+
+namespace rps::storage {
+
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::DataLoss("snapshot " + path + ": " + what);
+}
+
+// Reads a little-endian u64 from a possibly unaligned address.
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// One decoded run entry (mirrors Graph::PermEntry on disk).
+struct RunEntry {
+  uint32_t k1;
+  uint32_t k2;
+  uint32_t pos;
+};
+
+// Decodes the run block starting at `p` into `out` (at most `count`
+// entries). Returns the number decoded — short on a malformed stream,
+// which callers treat as end-of-data (only reachable with
+// verify_checksums off; positions are clamped by the caller either way).
+size_t DecodeRunBlock(const uint8_t* p, const uint8_t* end, size_t count,
+                      RunEntry* out) {
+  uint32_t k1 = 0, k2 = 0, pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      if (!GetVarint32(&p, end, &k1) || !GetVarint32(&p, end, &k2) ||
+          !GetVarint32(&p, end, &pos)) {
+        return i;
+      }
+    } else {
+      uint32_t dk1;
+      if (!GetVarint32(&p, end, &dk1)) return i;
+      if (dk1 == 0) {
+        uint32_t dk2;
+        if (!GetVarint32(&p, end, &dk2)) return i;
+        if (dk2 == 0) {
+          uint32_t dpos;
+          if (!GetVarint32(&p, end, &dpos)) return i;
+          pos += dpos;
+        } else {
+          k2 += dk2;
+          if (!GetVarint32(&p, end, &pos)) return i;
+        }
+      } else {
+        k1 += dk1;
+        if (!GetVarint32(&p, end, &k2) || !GetVarint32(&p, end, &pos)) {
+          return i;
+        }
+      }
+    }
+    out[i] = RunEntry{k1, k2, pos};
+  }
+  return count;
+}
+
+bool KeyLess(uint32_t a1, uint32_t a2, uint32_t b1, uint32_t b2) {
+  return a1 != b1 ? a1 < b1 : a2 < b2;
+}
+
+}  // namespace
+
+MappedSnapshot::~MappedSnapshot() {
+  if (map_ != nullptr) munmap(map_, file_len_);
+}
+
+Result<std::shared_ptr<const MappedSnapshot>> MappedSnapshot::Open(
+    const std::string& path, const OpenOptions& options) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Unimplemented(
+        "snapshot loading requires a little-endian host");
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("snapshot not found: " + path);
+    }
+    return Status::Internal("open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat(" + path + "): " + std::strerror(err));
+  }
+  size_t len = static_cast<size_t>(st.st_size);
+  if (len < kHeaderBytes + kSectionCount * sizeof(SectionEntry)) {
+    ::close(fd);
+    return Corrupt(path, "file truncated (" + std::to_string(len) + " bytes)");
+  }
+  void* map = mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the inode alive
+  if (map == MAP_FAILED) {
+    return Status::Internal("mmap(" + path + "): " + std::strerror(errno));
+  }
+
+  // shared_ptr<const ...> via a non-const intermediate so Open can fill
+  // the members; the private constructor forces this factory path.
+  std::shared_ptr<MappedSnapshot> snap(new MappedSnapshot());
+  snap->map_ = map;
+  snap->file_len_ = len;
+  Status s = snap->ValidateAndIndex(options, path);
+  if (!s.ok()) return s;
+  return std::shared_ptr<const MappedSnapshot>(std::move(snap));
+}
+
+Status MappedSnapshot::ValidateAndIndex(const OpenOptions& options,
+                                        const std::string& path) {
+  const uint8_t* base = static_cast<const uint8_t*>(map_);
+
+  FileHeader hdr;
+  std::memcpy(&hdr, base, sizeof(hdr));
+  if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  if (hdr.version > kFormatVersion) {
+    return Status::Unimplemented(
+        "snapshot " + path + ": format version " +
+        std::to_string(hdr.version) + " is newer than this build (" +
+        std::to_string(kFormatVersion) + ")");
+  }
+  if (hdr.version != kFormatVersion) {
+    return Corrupt(path, "unsupported version " + std::to_string(hdr.version));
+  }
+  if ((hdr.flags & kFlagLittleEndian) == 0) {
+    return Status::Unimplemented("snapshot " + path +
+                                 ": big-endian payload not supported");
+  }
+  if (hdr.section_count != kSectionCount) {
+    return Corrupt(path, "unexpected section count " +
+                             std::to_string(hdr.section_count));
+  }
+
+  const size_t table_bytes = kSectionCount * sizeof(SectionEntry);
+  const uint8_t* table = base + kHeaderBytes;
+  uint64_t want = ReadU64(base + sizeof(FileHeader));
+  uint64_t got = Fnv1a64(table, table_bytes,
+                         Fnv1a64(base, sizeof(FileHeader)));
+  if (want != got) return Corrupt(path, "header checksum mismatch");
+
+  num_triples_ = hdr.triple_count;
+  num_terms_ = hdr.term_count;
+  next_null_ = hdr.next_null;
+  distinct_[0] = hdr.distinct_s;
+  distinct_[1] = hdr.distinct_p;
+  distinct_[2] = hdr.distinct_o;
+
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    SectionEntry row;
+    std::memcpy(&row, table + i * sizeof(SectionEntry), sizeof(row));
+    if (row.id != i) {
+      return Corrupt(path, "section table out of order");
+    }
+    if (row.offset % 8 != 0 || row.offset > file_len_ ||
+        row.length > file_len_ - row.offset) {
+      return Corrupt(path, "section " + std::to_string(i) + " out of bounds");
+    }
+    sections_[i].data = base + row.offset;
+    sections_[i].length = row.length;
+    if (options.verify_checksums &&
+        Fnv1a64(sections_[i].data, sections_[i].length) != row.checksum) {
+      return Corrupt(path, "section " + std::to_string(i) +
+                               " checksum mismatch");
+    }
+  }
+
+  const Section& triples = sections_[kSectionTriples];
+  if (triples.length != num_triples_ * sizeof(Triple)) {
+    return Corrupt(path, "triple section size mismatch");
+  }
+  triples_ = reinterpret_cast<const Triple*>(triples.data);
+
+  for (int perm = 0; perm < 3; ++perm) {
+    RPS_ASSIGN_OR_RETURN(
+        runs_[perm],
+        IndexRun(sections_[kSectionRunSpo + perm], path));
+    if (runs_[perm].entry_count != num_triples_) {
+      return Corrupt(path, "run entry count mismatch");
+    }
+  }
+  for (int role = 0; role < 3; ++role) {
+    RPS_ASSIGN_OR_RETURN(
+        postings_[role],
+        IndexPostings(sections_[kSectionPostS + role], path));
+  }
+  return Status::OK();
+}
+
+Result<MappedSnapshot::RunView> MappedSnapshot::IndexRun(
+    const Section& section, const std::string& path) const {
+  RunView rv;
+  if (section.length < 16) return Corrupt(path, "run section truncated");
+  rv.entry_count = ReadU64(section.data);
+  rv.block_count = ReadU64(section.data + 8);
+  uint64_t expect_blocks =
+      (rv.entry_count + kRunBlockEntries - 1) / kRunBlockEntries;
+  if (rv.block_count != expect_blocks) {
+    return Corrupt(path, "run block count mismatch");
+  }
+  uint64_t index_bytes = rv.block_count * sizeof(RunBlockIndexEntry);
+  if (section.length < 16 + index_bytes) {
+    return Corrupt(path, "run block index truncated");
+  }
+  rv.index = reinterpret_cast<const RunBlockIndexEntry*>(section.data + 16);
+  rv.payload = section.data + 16 + index_bytes;
+  rv.payload_len = section.length - 16 - index_bytes;
+  for (uint64_t b = 0; b < rv.block_count; ++b) {
+    if (rv.index[b].offset > rv.payload_len) {
+      return Corrupt(path, "run block offset out of bounds");
+    }
+  }
+  return rv;
+}
+
+Result<MappedSnapshot::PostingsView> MappedSnapshot::IndexPostings(
+    const Section& section, const std::string& path) const {
+  PostingsView pv;
+  if (section.length < 8) return Corrupt(path, "posting section truncated");
+  pv.num_terms = ReadU64(section.data);
+  // Layout: u64 m | (m + 1) x u64 offsets | m x u32 sorted term ids |
+  // payload. Offsets precede ids so both arrays stay naturally aligned
+  // off the section's 8-byte start.
+  uint64_t fixed = 8 + (pv.num_terms + 1) * 8 + pv.num_terms * 4;
+  if (pv.num_terms > section.length || section.length < fixed) {
+    return Corrupt(path, "posting index truncated");
+  }
+  pv.offsets = reinterpret_cast<const uint64_t*>(section.data + 8);
+  pv.terms = reinterpret_cast<const uint32_t*>(section.data + 8 +
+                                               (pv.num_terms + 1) * 8);
+  pv.payload = section.data + fixed;
+  pv.payload_len = section.length - fixed;
+  for (uint64_t i = 0; i <= pv.num_terms; ++i) {
+    if (pv.offsets[i] > pv.payload_len ||
+        (i > 0 && pv.offsets[i] < pv.offsets[i - 1])) {
+      return Corrupt(path, "posting offsets out of bounds");
+    }
+  }
+  return pv;
+}
+
+Status MappedSnapshot::ForEachTerm(
+    FunctionRef<void(uint32_t id, const Term& term)> fn) const {
+  const Section& dict = sections_[kSectionDict];
+  const uint8_t* p = dict.data;
+  const uint8_t* end = dict.data + dict.length;
+  uint64_t count;
+  if (!GetVarint64(&p, end, &count) || count != num_terms_) {
+    return Status::DataLoss("snapshot dictionary: term count mismatch");
+  }
+  auto read_string = [&](std::string* out) {
+    uint32_t len;
+    if (!GetVarint32(&p, end, &len) ||
+        len > static_cast<size_t>(end - p)) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(p), len);
+    p += len;
+    return true;
+  };
+  for (uint64_t id = 0; id < count; ++id) {
+    if (p >= end) return Status::DataLoss("snapshot dictionary: truncated");
+    uint8_t kind = *p++;
+    std::string lexical;
+    if (!read_string(&lexical)) {
+      return Status::DataLoss("snapshot dictionary: truncated term");
+    }
+    switch (kind) {
+      case kDictIri:
+        fn(static_cast<uint32_t>(id), Term::Iri(std::move(lexical)));
+        break;
+      case kDictBlank:
+        fn(static_cast<uint32_t>(id), Term::Blank(std::move(lexical)));
+        break;
+      case kDictLiteral:
+        fn(static_cast<uint32_t>(id), Term::Literal(std::move(lexical)));
+        break;
+      case kDictTypedLiteral: {
+        std::string datatype;
+        if (!read_string(&datatype)) {
+          return Status::DataLoss("snapshot dictionary: truncated datatype");
+        }
+        fn(static_cast<uint32_t>(id),
+           Term::TypedLiteral(std::move(lexical), std::move(datatype)));
+        break;
+      }
+      case kDictLangLiteral: {
+        std::string lang;
+        if (!read_string(&lang)) {
+          return Status::DataLoss("snapshot dictionary: truncated language");
+        }
+        fn(static_cast<uint32_t>(id),
+           Term::LangLiteral(std::move(lexical), std::move(lang)));
+        break;
+      }
+      default:
+        return Status::DataLoss("snapshot dictionary: unknown term kind " +
+                                std::to_string(kind));
+    }
+  }
+  return Status::OK();
+}
+
+void MappedSnapshot::ScanRun(int perm, uint32_t k1, uint32_t k2,
+                             FunctionRef<bool(uint32_t pos)> fn) const {
+  const RunView& rv = runs_[perm];
+  if (rv.block_count == 0) return;
+  // First block whose first key is >= the probe. The probe's group may
+  // start mid-way through the preceding block, so the scan begins one
+  // block earlier; a group spanning many blocks is then walked forward
+  // to its end (the first entry past the probe terminates the scan).
+  uint64_t lo = 0, hi = rv.block_count;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (KeyLess(rv.index[mid].k1, rv.index[mid].k2, k1, k2)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  uint64_t block = lo > 0 ? lo - 1 : 0;
+
+  RunEntry entries[kRunBlockEntries];
+  const uint8_t* end = rv.payload + rv.payload_len;
+  for (; block < rv.block_count; ++block) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kRunBlockEntries,
+                           rv.entry_count - block * kRunBlockEntries));
+    size_t n = DecodeRunBlock(rv.payload + rv.index[block].offset, end, want,
+                              entries);
+    for (size_t i = 0; i < n; ++i) {
+      const RunEntry& e = entries[i];
+      if (KeyLess(k1, k2, e.k1, e.k2)) return;  // past the probe's group
+      if (e.k1 == k1 && e.k2 == k2 && e.pos < num_triples_) {
+        if (!fn(e.pos)) return;
+      }
+    }
+    if (n < want) return;  // malformed tail: stop cleanly
+  }
+}
+
+size_t MappedSnapshot::CountRun(int perm, uint32_t k1, uint32_t k2,
+                                uint32_t pos_limit) const {
+  const RunView& rv = runs_[perm];
+  if (rv.block_count == 0) return 0;
+  if (pos_limit < num_triples_) {
+    // Bounded count (pre-snapshot epoch): entries of one key group are
+    // position-ascending, so stop at the first position past the limit.
+    size_t count = 0;
+    ScanRun(perm, k1, k2, [&](uint32_t pos) {
+      if (pos >= pos_limit) return false;
+      ++count;
+      return true;
+    });
+    return count;
+  }
+  // Unrestricted count: binary search the block index for the blocks
+  // whose first key equals the probe. Every *interior* such block (one
+  // that is followed by another block starting with the probe) is
+  // entirely the probe's group — it counts arithmetically; only the two
+  // boundary blocks are decoded.
+  uint64_t lo = 0, hi = rv.block_count;
+  while (lo < hi) {  // first block with first key >= probe
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (KeyLess(rv.index[mid].k1, rv.index[mid].k2, k1, k2)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  uint64_t first_ge = lo;
+  hi = rv.block_count;
+  while (lo < hi) {  // first block with first key > probe
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (KeyLess(k1, k2, rv.index[mid].k1, rv.index[mid].k2)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  uint64_t first_gt = lo;
+
+  RunEntry entries[kRunBlockEntries];
+  const uint8_t* end = rv.payload + rv.payload_len;
+  auto count_block = [&](uint64_t block) -> size_t {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kRunBlockEntries,
+                           rv.entry_count - block * kRunBlockEntries));
+    size_t n = DecodeRunBlock(rv.payload + rv.index[block].offset, end, want,
+                              entries);
+    size_t c = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (entries[i].k1 == k1 && entries[i].k2 == k2) ++c;
+    }
+    return c;
+  };
+
+  size_t count = 0;
+  if (first_ge > 0) count += count_block(first_ge - 1);
+  if (first_gt > first_ge) {
+    // Interior blocks [first_ge, first_gt - 1) are full and all-probe.
+    count += static_cast<size_t>(first_gt - 1 - first_ge) * kRunBlockEntries;
+    count += count_block(first_gt - 1);
+  }
+  return count;
+}
+
+void MappedSnapshot::ScanPostings(int role, uint32_t term,
+                                  FunctionRef<bool(uint32_t pos)> fn) const {
+  const PostingsView& pv = postings_[role];
+  const uint32_t* it =
+      std::lower_bound(pv.terms, pv.terms + pv.num_terms, term);
+  if (it == pv.terms + pv.num_terms || *it != term) return;
+  size_t idx = static_cast<size_t>(it - pv.terms);
+  const uint8_t* p = pv.payload + pv.offsets[idx];
+  const uint8_t* end = pv.payload + pv.offsets[idx + 1];
+  uint64_t count;
+  if (!GetVarint64(&p, end, &count)) return;
+  uint32_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t delta;
+    if (!GetVarint32(&p, end, &delta)) return;
+    pos = (i == 0) ? delta : pos + delta;
+    if (pos < num_triples_ && !fn(pos)) return;
+  }
+}
+
+size_t MappedSnapshot::CountPostings(int role, uint32_t term,
+                                     uint32_t pos_limit) const {
+  const PostingsView& pv = postings_[role];
+  const uint32_t* it =
+      std::lower_bound(pv.terms, pv.terms + pv.num_terms, term);
+  if (it == pv.terms + pv.num_terms || *it != term) return 0;
+  size_t idx = static_cast<size_t>(it - pv.terms);
+  const uint8_t* p = pv.payload + pv.offsets[idx];
+  const uint8_t* end = pv.payload + pv.offsets[idx + 1];
+  uint64_t count;
+  if (!GetVarint64(&p, end, &count)) return 0;
+  if (pos_limit >= num_triples_) return static_cast<size_t>(count);
+  size_t bounded = 0;
+  uint32_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t delta;
+    if (!GetVarint32(&p, end, &delta)) break;
+    pos = (i == 0) ? delta : pos + delta;
+    if (pos >= pos_limit) break;  // postings are position-ascending
+    ++bounded;
+  }
+  return bounded;
+}
+
+std::optional<uint32_t> MappedSnapshot::FindTriple(const Triple& t) const {
+  std::optional<uint32_t> found;
+  ScanRun(0 /* SPO */, t.s, t.p, [&](uint32_t pos) {
+    if (triples_[pos].o == t.o) {
+      found = pos;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+}  // namespace rps::storage

@@ -1,0 +1,140 @@
+#ifndef RPS_STORAGE_SNAPSHOT_READER_H_
+#define RPS_STORAGE_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "storage/format.h"
+#include "util/function_ref.h"
+#include "util/result.h"
+
+namespace rps::storage {
+
+/// Options for opening a snapshot.
+struct OpenOptions {
+  /// Verify every section's checksum at open (one linear memcmp-speed
+  /// pass over the file). Disable only for trusted local snapshots where
+  /// pure O(mmap) open matters; decode paths stay bounds-checked either
+  /// way, so corrupted payloads can return wrong matches but never read
+  /// out of bounds or crash.
+  bool verify_checksums = true;
+};
+
+/// A memory-mapped, read-only view of one snapshot file. Opening
+/// validates the header, the section table, and (by default) the
+/// per-section checksums; every accessor afterwards serves straight from
+/// the mapping, so the OS pages data in on demand and evicts it under
+/// memory pressure — datasets can exceed RAM.
+///
+/// The view is immutable and internally synchronized-free: any number of
+/// threads may read concurrently. `Graph` holds one via shared_ptr as
+/// its mapped base tier (rdf/graph.h "Storage layout").
+class MappedSnapshot {
+ public:
+  /// Opens and validates `path`. Structural damage — short file, bad
+  /// magic, table rows out of bounds, checksum mismatch — returns
+  /// kDataLoss; a future format version returns kUnimplemented; a
+  /// big-endian host returns kUnimplemented.
+  static Result<std::shared_ptr<const MappedSnapshot>> Open(
+      const std::string& path, const OpenOptions& options = OpenOptions());
+
+  ~MappedSnapshot();
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  size_t num_triples() const { return num_triples_; }
+  size_t num_terms() const { return num_terms_; }
+  uint64_t next_null() const { return next_null_; }
+  uint64_t bytes_on_disk() const { return file_len_; }
+  uint32_t distinct_subjects() const { return distinct_[0]; }
+  uint32_t distinct_predicates() const { return distinct_[1]; }
+  uint32_t distinct_objects() const { return distinct_[2]; }
+
+  /// The insertion-ordered triple array, mapped in place (positions are
+  /// indexes into it). Valid for the lifetime of the snapshot.
+  const Triple* triples() const { return triples_; }
+
+  /// Decodes the dictionary section in id order, invoking `fn` once per
+  /// term with its materialized value. Returns kDataLoss on a malformed
+  /// stream (only reachable with verify_checksums off).
+  Status ForEachTerm(FunctionRef<void(uint32_t id, const Term& term)> fn)
+      const;
+
+  /// Streams the insertion positions of every run entry whose (k1, k2)
+  /// equals the probe, in ascending position order (the permuted-run
+  /// contract BaseRange has in memory). `fn` returns false to stop
+  /// early. `perm` indexes {SPO, POS, OSP} as 0/1/2. One block-index
+  /// binary search plus decoding of the covering blocks.
+  void ScanRun(int perm, uint32_t k1, uint32_t k2,
+               FunctionRef<bool(uint32_t pos)> fn) const;
+
+  /// Exact number of run entries whose (k1, k2) equals the probe and
+  /// whose position is < `pos_limit`. With an unrestricted limit
+  /// (>= num_triples()) only the two boundary blocks are decoded —
+  /// interior blocks covered by the probe count arithmetically.
+  size_t CountRun(int perm, uint32_t k1, uint32_t k2,
+                  uint32_t pos_limit) const;
+
+  /// Streams the posting list of `term` at position role `role` (0 = s,
+  /// 1 = p, 2 = o): ascending insertion positions, early-exit on false.
+  void ScanPostings(int role, uint32_t term,
+                    FunctionRef<bool(uint32_t pos)> fn) const;
+
+  /// Exact number of postings of `term` at `role` with position
+  /// < `pos_limit`. O(1) when the limit is unrestricted (the list
+  /// length is stored); decodes the list prefix otherwise.
+  size_t CountPostings(int role, uint32_t term, uint32_t pos_limit) const;
+
+  /// Insertion position of `t` in the snapshot, or nullopt. One SPO
+  /// block-index binary search plus a bounded group scan.
+  std::optional<uint32_t> FindTriple(const Triple& t) const;
+
+ private:
+  MappedSnapshot() = default;
+
+  struct Section {
+    const uint8_t* data = nullptr;
+    size_t length = 0;
+  };
+
+  struct RunView {
+    uint64_t entry_count = 0;
+    const RunBlockIndexEntry* index = nullptr;  // [block_count]
+    uint64_t block_count = 0;
+    const uint8_t* payload = nullptr;
+    size_t payload_len = 0;
+  };
+
+  struct PostingsView {
+    uint64_t num_terms = 0;
+    const uint64_t* offsets = nullptr;  // [num_terms + 1], into payload
+    const uint32_t* terms = nullptr;    // [num_terms], sorted term ids
+    const uint8_t* payload = nullptr;
+    size_t payload_len = 0;
+  };
+
+  Status ValidateAndIndex(const OpenOptions& options, const std::string& path);
+  Result<RunView> IndexRun(const Section& section,
+                           const std::string& path) const;
+  Result<PostingsView> IndexPostings(const Section& section,
+                                     const std::string& path) const;
+
+  void* map_ = nullptr;
+  size_t file_len_ = 0;
+  size_t num_triples_ = 0;
+  size_t num_terms_ = 0;
+  uint64_t next_null_ = 0;
+  uint32_t distinct_[3] = {0, 0, 0};
+  Section sections_[kSectionCount];
+  const Triple* triples_ = nullptr;
+  RunView runs_[3];
+  PostingsView postings_[3];
+};
+
+}  // namespace rps::storage
+
+#endif  // RPS_STORAGE_SNAPSHOT_READER_H_

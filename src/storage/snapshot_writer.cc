@@ -1,0 +1,275 @@
+#include "storage/snapshot_writer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "storage/format.h"
+#include "storage/varint.h"
+
+namespace rps::storage {
+
+namespace {
+
+static_assert(sizeof(Triple) == 12,
+              "the fixed-width triple section assumes a packed 3 x u32 "
+              "Triple layout");
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+struct RunEntry {
+  uint32_t k1;
+  uint32_t k2;
+  uint32_t pos;
+
+  friend bool operator<(const RunEntry& a, const RunEntry& b) {
+    if (a.k1 != b.k1) return a.k1 < b.k1;
+    if (a.k2 != b.k2) return a.k2 < b.k2;
+    return a.pos < b.pos;
+  }
+};
+
+// Encodes a sorted run as kRunBlockEntries-sized delta/varint blocks with
+// a fixed-width block index (the mmap reader binary searches the index
+// and decodes only the covering blocks).
+std::string EncodeRun(const std::vector<RunEntry>& run) {
+  std::string payload;
+  std::string index;
+  uint64_t block_count = 0;
+  for (size_t start = 0; start < run.size(); start += kRunBlockEntries) {
+    const RunEntry& head = run[start];
+    index.reserve(index.size() + sizeof(RunBlockIndexEntry));
+    PutU32(&index, head.k1);
+    PutU32(&index, head.k2);
+    PutU64(&index, payload.size());
+    ++block_count;
+    size_t n = std::min(kRunBlockEntries, run.size() - start);
+    PutVarint32(&payload, head.k1);
+    PutVarint32(&payload, head.k2);
+    PutVarint32(&payload, head.pos);
+    for (size_t i = 1; i < n; ++i) {
+      const RunEntry& prev = run[start + i - 1];
+      const RunEntry& cur = run[start + i];
+      PutVarint32(&payload, cur.k1 - prev.k1);
+      if (cur.k1 == prev.k1) {
+        PutVarint32(&payload, cur.k2 - prev.k2);
+        if (cur.k2 == prev.k2) {
+          // Same (k1, k2) group: positions are strictly ascending.
+          PutVarint32(&payload, cur.pos - prev.pos);
+        } else {
+          PutVarint32(&payload, cur.pos);
+        }
+      } else {
+        PutVarint32(&payload, cur.k2);
+        PutVarint32(&payload, cur.pos);
+      }
+    }
+  }
+  std::string out;
+  out.reserve(16 + index.size() + payload.size());
+  PutU64(&out, run.size());
+  PutU64(&out, block_count);
+  out += index;
+  out += payload;
+  return out;
+}
+
+// Encodes one role's posting lists: sorted term ids with an offset array
+// in front (offsets before ids keeps both naturally aligned), each list
+// a stored count followed by delta/varint positions.
+std::string EncodePostings(
+    const std::unordered_map<uint32_t, std::vector<uint32_t>>& lists) {
+  std::vector<uint32_t> terms;
+  terms.reserve(lists.size());
+  for (const auto& [term, _] : lists) terms.push_back(term);
+  std::sort(terms.begin(), terms.end());
+
+  std::string payload;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(terms.size() + 1);
+  for (uint32_t term : terms) {
+    offsets.push_back(payload.size());
+    const std::vector<uint32_t>& list = lists.at(term);
+    PutVarint64(&payload, list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      PutVarint32(&payload, i == 0 ? list[i] : list[i] - list[i - 1]);
+    }
+  }
+  offsets.push_back(payload.size());
+
+  std::string out;
+  out.reserve(8 + offsets.size() * 8 + terms.size() * 4 + payload.size());
+  PutU64(&out, terms.size());
+  for (uint64_t off : offsets) PutU64(&out, off);
+  for (uint32_t term : terms) PutU32(&out, term);
+  out += payload;
+  return out;
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + "(" + path + "): " + std::strerror(errno));
+}
+
+// Writes `data` to `path + ".tmp"`, fsyncs it, renames it over `path`,
+// and fsyncs the parent directory — the crash-atomicity protocol
+// documented in docs/PERSISTENCE.md.
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoError("open", tmp);
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return IoError("write", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoError("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return IoError("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return IoError("rename", tmp);
+  }
+  // Persist the rename itself: fsync the containing directory.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, const Graph& graph) {
+  const Dictionary& dict = *graph.dict();
+  const size_t n = graph.size();
+  const size_t term_count = dict.size();
+
+  // --- Dictionary section: terms in id order, length-prefixed. ---
+  std::string dict_section;
+  PutVarint64(&dict_section, term_count);
+  for (size_t id = 0; id < term_count; ++id) {
+    const Term& t = dict.term(static_cast<TermId>(id));
+    uint8_t kind;
+    if (t.is_iri()) {
+      kind = kDictIri;
+    } else if (t.is_blank()) {
+      kind = kDictBlank;
+    } else if (!t.lang().empty()) {
+      kind = kDictLangLiteral;
+    } else if (!t.datatype().empty()) {
+      kind = kDictTypedLiteral;
+    } else {
+      kind = kDictLiteral;
+    }
+    dict_section.push_back(static_cast<char>(kind));
+    PutVarint32(&dict_section, static_cast<uint32_t>(t.lexical().size()));
+    dict_section += t.lexical();
+    if (kind == kDictTypedLiteral) {
+      PutVarint32(&dict_section, static_cast<uint32_t>(t.datatype().size()));
+      dict_section += t.datatype();
+    } else if (kind == kDictLangLiteral) {
+      PutVarint32(&dict_section, static_cast<uint32_t>(t.lang().size()));
+      dict_section += t.lang();
+    }
+  }
+
+  // --- Triples section: the insertion-ordered fixed-width array. ---
+  // One pass also collects the per-role posting lists (positions come
+  // out ascending because the pass is in insertion order).
+  std::string triples_section;
+  triples_section.reserve(n * sizeof(Triple));
+  std::unordered_map<uint32_t, std::vector<uint32_t>> post[3];
+  std::vector<RunEntry> runs[3];
+  for (int i = 0; i < 3; ++i) runs[i].reserve(n);
+  uint32_t pos = 0;
+  for (const Triple& t : graph.triples()) {
+    triples_section.append(reinterpret_cast<const char*>(&t), sizeof(Triple));
+    post[0][t.s].push_back(pos);
+    post[1][t.p].push_back(pos);
+    post[2][t.o].push_back(pos);
+    runs[0].push_back(RunEntry{t.s, t.p, pos});  // SPO
+    runs[1].push_back(RunEntry{t.p, t.o, pos});  // POS
+    runs[2].push_back(RunEntry{t.o, t.s, pos});  // OSP
+    ++pos;
+  }
+
+  std::string sections[kSectionCount];
+  sections[kSectionDict] = std::move(dict_section);
+  sections[kSectionTriples] = std::move(triples_section);
+  for (int i = 0; i < 3; ++i) {
+    std::sort(runs[i].begin(), runs[i].end());
+    sections[kSectionRunSpo + i] = EncodeRun(runs[i]);
+    runs[i].clear();
+    runs[i].shrink_to_fit();
+    sections[kSectionPostS + i] = EncodePostings(post[i]);
+  }
+
+  // --- Assemble: header | table | 8-aligned sections. ---
+  FileHeader hdr;
+  std::memset(&hdr, 0, sizeof(hdr));
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.version = kFormatVersion;
+  hdr.flags = kFlagLittleEndian;
+  hdr.triple_count = n;
+  hdr.term_count = term_count;
+  hdr.next_null = dict.null_counter();
+  hdr.section_count = kSectionCount;
+  hdr.distinct_s = static_cast<uint32_t>(post[0].size());
+  hdr.distinct_p = static_cast<uint32_t>(post[1].size());
+  hdr.distinct_o = static_cast<uint32_t>(post[2].size());
+
+  SectionEntry table[kSectionCount];
+  uint64_t offset = kHeaderBytes + sizeof(table);
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    table[i].id = i;
+    table[i].reserved = 0;
+    table[i].offset = offset;
+    table[i].length = sections[i].size();
+    table[i].checksum = Fnv1a64(sections[i].data(), sections[i].size());
+    offset += (sections[i].size() + 7) & ~uint64_t{7};
+  }
+
+  std::string file;
+  file.reserve(offset);
+  file.append(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  uint64_t header_checksum =
+      Fnv1a64(table, sizeof(table), Fnv1a64(&hdr, sizeof(hdr)));
+  PutU64(&file, header_checksum);
+  file.append(reinterpret_cast<const char*>(table), sizeof(table));
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    file += sections[i];
+    file.append((8 - file.size() % 8) % 8, '\0');
+  }
+
+  return AtomicWriteFile(path, file);
+}
+
+}  // namespace rps::storage

@@ -1,0 +1,27 @@
+#ifndef RPS_STORAGE_SNAPSHOT_WRITER_H_
+#define RPS_STORAGE_SNAPSHOT_WRITER_H_
+
+#include <string>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rps::storage {
+
+/// Serializes `graph` (all triples, mapped base and in-memory delta
+/// alike) and its entire dictionary into a version-1 snapshot at `path`.
+///
+/// The write is atomic and restart-safe: the bytes go to `path + ".tmp"`,
+/// which is fsync'd, renamed over `path`, and the parent directory
+/// fsync'd — a crash at any point leaves either the old snapshot or the
+/// new one, never a torn file, and loaders never look at `*.tmp`.
+///
+/// The writer re-derives the permuted runs and posting lists from the
+/// insertion-ordered triple sequence, so saving is indifferent to the
+/// graph's current base/delta split — `Save` *is* the fold of the delta
+/// into a fresh base.
+Status WriteSnapshot(const std::string& path, const Graph& graph);
+
+}  // namespace rps::storage
+
+#endif  // RPS_STORAGE_SNAPSHOT_WRITER_H_

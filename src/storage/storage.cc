@@ -1,0 +1,121 @@
+#include "storage/storage.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rdf/dictionary.h"
+
+namespace rps::storage {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string SnapshotPath(const std::string& dir, const std::string& name) {
+  std::string safe = name;
+  for (char& c : safe) {
+    if (c == '/') c = '_';
+  }
+  return dir + "/" + safe + ".rps";
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("EnsureDir: empty path");
+  }
+  for (size_t i = 1; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    std::string prefix = dir.substr(0, i);
+    if (prefix.empty() || prefix == "." || prefix == "..") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir(" + prefix + "): " +
+                              std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveGraph(const std::string& path, const Graph& graph) {
+  auto start = std::chrono::steady_clock::now();
+  RPS_RETURN_IF_ERROR(WriteSnapshot(path, graph));
+  auto& reg = obs::Registry::Global();
+  reg.counter("storage.saves")->Increment();
+  reg.histogram("storage.save_ms")->Record(ElapsedMs(start));
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    reg.gauge("storage.bytes_on_disk")->Set(st.st_size);
+  }
+  return Status::OK();
+}
+
+Result<LoadReport> LoadGraph(const std::string& path, Graph* graph,
+                             const OpenOptions& options) {
+  if (!graph->empty()) {
+    return Status::FailedPrecondition(
+        "LoadGraph requires an empty target graph");
+  }
+  auto start = std::chrono::steady_clock::now();
+  RPS_ASSIGN_OR_RETURN(std::shared_ptr<const MappedSnapshot> snap,
+                       MappedSnapshot::Open(path, options));
+
+  // Intern every snapshot term into the target dictionary, in id order.
+  // Ids are append-only-stable, so when the dictionary is fresh or is
+  // the lineage the snapshot came from, every Intern returns the
+  // on-disk id and the remap is the identity.
+  Dictionary* dict = graph->dict();
+  std::vector<TermId> remap(snap->num_terms());
+  bool identity = true;
+  Status dict_status =
+      snap->ForEachTerm([&](uint32_t id, const Term& term) {
+        TermId mapped = dict->Intern(term);
+        remap[id] = mapped;
+        if (mapped != id) identity = false;
+      });
+  RPS_RETURN_IF_ERROR(dict_status);
+  dict->RestoreNullCounter(snap->next_null());
+
+  LoadReport report;
+  report.terms = snap->num_terms();
+  report.bytes_on_disk = snap->bytes_on_disk();
+
+  auto& reg = obs::Registry::Global();
+  if (identity) {
+    graph->AttachMappedBase(snap);
+    report.mapped = true;
+    reg.counter("storage.mapped_loads")->Increment();
+  } else {
+    // Cross-lineage load: the dictionary already held other terms, so
+    // on-disk ids are stale. Materialize with remapped ids instead.
+    const Triple* triples = snap->triples();
+    size_t n = snap->num_triples();
+    graph->Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Triple& t = triples[i];
+      if (t.s >= remap.size() || t.p >= remap.size() || t.o >= remap.size()) {
+        return Status::DataLoss("snapshot " + path +
+                                ": triple references unknown term id");
+      }
+      graph->InsertUnchecked(Triple{remap[t.s], remap[t.p], remap[t.o]});
+    }
+  }
+  report.triples = graph->size();
+  reg.counter("storage.loads")->Increment();
+  reg.histogram("storage.load_ms")->Record(ElapsedMs(start));
+  reg.gauge("storage.bytes_on_disk")->Set(
+      static_cast<int64_t>(report.bytes_on_disk));
+  return report;
+}
+
+}  // namespace rps::storage

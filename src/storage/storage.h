@@ -1,0 +1,53 @@
+#ifndef RPS_STORAGE_STORAGE_H_
+#define RPS_STORAGE_STORAGE_H_
+
+#include <string>
+
+#include "rdf/graph.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+#include "util/result.h"
+
+namespace rps::storage {
+
+/// Canonical snapshot filename for a named graph inside a storage
+/// directory: `<dir>/<name>.rps`. `/` in the graph name is replaced by
+/// `_` so a name never escapes the directory. Save writes `<path>.tmp`
+/// transiently; loaders only ever open `<path>` itself, so stray temp
+/// files from an interrupted save are inert.
+std::string SnapshotPath(const std::string& dir, const std::string& name);
+
+/// Creates `dir` (and any missing parents, mkdir -p style) so SaveGraph
+/// has somewhere to write. Existing directories are fine; anything else
+/// (permissions, a file in the way) is kInternal.
+Status EnsureDir(const std::string& dir);
+
+/// What LoadGraph did (telemetry + tests).
+struct LoadReport {
+  size_t triples = 0;        // logical size of the loaded graph
+  size_t terms = 0;          // dictionary entries decoded from the file
+  uint64_t bytes_on_disk = 0;
+  bool mapped = false;       // true: snapshot attached as the mmap'd base
+};
+
+/// Saves `graph` (and its whole dictionary) to `path` atomically
+/// (snapshot_writer.h), recording storage.saves / storage.save_ms /
+/// storage.bytes_on_disk.
+Status SaveGraph(const std::string& path, const Graph& graph);
+
+/// Loads the snapshot at `path` into `graph`, which must be empty. All
+/// terms are interned into the graph's dictionary; when the resulting
+/// id mapping is the identity — always the case when the dictionary is
+/// fresh or is the same lineage the snapshot was saved from, since ids
+/// are append-only-stable — the snapshot is attached as the graph's
+/// memory-mapped base and no triple is materialized (O(mmap) open).
+/// Otherwise every triple is remapped through the new ids and
+/// bulk-inserted. Corrupted files fail with kDataLoss before the graph
+/// is touched. Records storage.loads / storage.mapped_loads /
+/// storage.load_ms / storage.bytes_on_disk.
+Result<LoadReport> LoadGraph(const std::string& path, Graph* graph,
+                             const OpenOptions& options = OpenOptions());
+
+}  // namespace rps::storage
+
+#endif  // RPS_STORAGE_STORAGE_H_

@@ -1,0 +1,53 @@
+#ifndef RPS_STORAGE_VARINT_H_
+#define RPS_STORAGE_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rps::storage {
+
+/// LEB128 variable-length integers, the unit of the snapshot format's
+/// delta-encoded sections (docs/PERSISTENCE.md). Encoders append to a
+/// byte buffer; decoders advance a cursor and are bounds-checked — a
+/// truncated or corrupted stream makes the decoder return false, never
+/// read past `end`.
+
+inline void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutVarint32(std::string* out, uint32_t v) {
+  PutVarint64(out, v);
+}
+
+inline bool GetVarint64(const uint8_t** p, const uint8_t* end, uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  const uint8_t* cur = *p;
+  while (cur < end && shift <= 63) {
+    uint8_t byte = *cur++;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = cur;
+      *out = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // ran off the end or overlong encoding
+}
+
+inline bool GetVarint32(const uint8_t** p, const uint8_t* end, uint32_t* out) {
+  uint64_t wide;
+  if (!GetVarint64(p, end, &wide) || wide > UINT32_MAX) return false;
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+}  // namespace rps::storage
+
+#endif  // RPS_STORAGE_VARINT_H_

@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("ParseError", ...).
@@ -64,6 +65,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,241 @@
+// Crash-restart recovery through the federation layer: once the
+// coordinator has snapshots on disk (Federator::AttachStorage), a
+// crashed peer is restarted from its snapshot mid-query instead of
+// degrading the result — the run stays kComplete, the answers equal the
+// zero-fault baseline, and the recovered peer serves its sub-queries
+// straight off the memory-mapped snapshot (the shared dictionary makes
+// the load's id remap the identity).
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "federation/federator.h"
+#include "gen/generators.h"
+#include "obs/metrics.h"
+
+namespace rps {
+namespace {
+
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    char buf[] = "rps_persist_fed_test.XXXXXX";
+    path = mkdtemp(buf) != nullptr ? buf : ".";
+  }
+  ~ScratchDir() {
+    if (DIR* d = opendir(path.c_str())) {
+      while (dirent* e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name != "." && name != "..") ::unlink((path + "/" + name).c_str());
+      }
+      closedir(d);
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+// The LOD fixture the fault-tolerance tests share (federation_test.cc).
+std::unique_ptr<RpsSystem> MakeLodSystem(LodConfig* config_out) {
+  LodConfig config;
+  config.num_peers = 5;
+  config.films_per_peer = 10;
+  config.seed = 81;
+  config.single_triple_dialect = true;
+  *config_out = config;
+  return GenerateLod(config);
+}
+
+TEST(PersistenceFederationTest, CrashedPeerRecoversFromItsSnapshot) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  Result<FederatedQueryResult> baseline = fed.Execute(q);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_FALSE(baseline->answers.empty());
+
+  ScratchDir scratch;
+  ASSERT_FALSE(fed.has_storage());
+  ASSERT_TRUE(fed.AttachStorage(scratch.path).ok());
+  ASSERT_TRUE(fed.has_storage());
+
+  uint64_t recoveries_before =
+      obs::Registry::Global().counter("federation.recoveries")->value();
+  uint64_t mapped_loads_before =
+      obs::Registry::Global().counter("storage.mapped_loads")->value();
+
+  FederationOptions options;
+  options.faults.crashed_peers = {2};
+  Result<FederatedQueryResult> r = fed.Execute(q, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  // Full answers, no degradation: the crash became a restart.
+  EXPECT_EQ(r->answers, baseline->answers);
+  EXPECT_EQ(r->completeness, Completeness::kComplete);
+  EXPECT_TRUE(r->degraded_peers.empty());
+  ASSERT_EQ(r->recovered_peers.size(), 1u);
+  EXPECT_EQ(r->recovered_peers[0], fed.peers()[2].name());
+  EXPECT_TRUE(fed.IsRecovered(2));
+  EXPECT_FALSE(fed.IsRecovered(0));
+  EXPECT_GT(obs::Registry::Global().counter("federation.recoveries")->value(),
+            recoveries_before);
+  // The restart was a memory-mapped attach, not a re-parse: the shared
+  // federation dictionary makes the snapshot's id remap the identity.
+  EXPECT_GT(obs::Registry::Global().counter("storage.mapped_loads")->value(),
+            mapped_loads_before);
+  EXPECT_TRUE(fed.peers()[2].graph().has_mapped_base());
+
+  // The restart wait was charged to the run.
+  EXPECT_GE(r->network.latency_ms,
+            baseline->network.latency_ms + options.retry.restart_ms);
+
+  // The recovered endpoint keeps serving on later fault-free queries.
+  Result<FederatedQueryResult> after = fed.Execute(q);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->answers, baseline->answers);
+}
+
+TEST(PersistenceFederationTest, WithoutStorageTheSameCrashDegrades) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions options;
+  options.faults.crashed_peers = {2};
+  options.retry.hedge = false;  // no replicas in this fixture anyway
+  Result<FederatedQueryResult> r = fed.Execute(q, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->completeness, Completeness::kPartialSound);
+  EXPECT_FALSE(r->degraded_peers.empty());
+  EXPECT_TRUE(r->recovered_peers.empty());
+  EXPECT_FALSE(fed.IsRecovered(2));
+}
+
+TEST(PersistenceFederationTest, MidQueryCrashAlsoRecovers) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+  Result<FederatedQueryResult> baseline = fed.Execute(q);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  ScratchDir scratch;
+  ASSERT_TRUE(fed.AttachStorage(scratch.path).ok());
+
+  // Peer 2 crashes after serving no requests — mid-query, from the
+  // coordinator's point of view, rather than down from the start.
+  FederationOptions options;
+  options.faults.crash_after = {{2, 0}};
+  Result<FederatedQueryResult> r = fed.Execute(q, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->answers, baseline->answers);
+  EXPECT_EQ(r->completeness, Completeness::kComplete);
+  EXPECT_TRUE(r->degraded_peers.empty());
+  EXPECT_FALSE(r->recovered_peers.empty());
+  EXPECT_TRUE(fed.IsRecovered(2));
+}
+
+TEST(PersistenceFederationTest, RecoveryWorksUnderBindJoin) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  FederationOptions clean;
+  clean.join_strategy = JoinStrategy::kBindJoin;
+  Result<FederatedQueryResult> baseline = fed.Execute(q, clean);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  ScratchDir scratch;
+  ASSERT_TRUE(fed.AttachStorage(scratch.path).ok());
+
+  FederationOptions options = clean;
+  options.faults.crashed_peers = {1};
+  Result<FederatedQueryResult> r = fed.Execute(q, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->answers, baseline->answers);
+  EXPECT_EQ(r->completeness, Completeness::kComplete);
+  EXPECT_TRUE(r->degraded_peers.empty());
+  EXPECT_TRUE(fed.IsRecovered(1));
+}
+
+TEST(PersistenceFederationTest, RecoveryIsByteIdenticalAcrossThreadCounts) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = MakeLodSystem(&config);
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Federator fed(sys.get(), LodTopology(config));
+  ScratchDir scratch;
+  ASSERT_TRUE(fed.AttachStorage(scratch.path).ok());
+
+  // Recovery happens at the serial per-pattern merge point, so thread
+  // count must not change a single byte of the outcome — answers, stats,
+  // even the simulated latency sum.
+  FederatedQueryResult reference;
+  for (size_t threads = 1; threads <= 8; ++threads) {
+    FederationOptions options;
+    options.faults.crashed_peers = {0, 3};
+    options.faults.drop_rate = 0.1;
+    options.faults.seed = 7;
+    options.threads = threads;
+    Result<FederatedQueryResult> r = fed.Execute(q, options);
+    ASSERT_TRUE(r.ok()) << "threads " << threads << ": " << r.status();
+    if (threads == 1) {
+      reference = std::move(*r);
+      EXPECT_EQ(reference.completeness, Completeness::kComplete);
+      EXPECT_EQ(reference.recovered_peers.size(), 2u);
+      continue;
+    }
+    EXPECT_EQ(r->answers, reference.answers) << "threads " << threads;
+    EXPECT_EQ(r->recovered_peers, reference.recovered_peers)
+        << "threads " << threads;
+    EXPECT_EQ(r->degraded_peers, reference.degraded_peers)
+        << "threads " << threads;
+    EXPECT_EQ(r->network.messages, reference.network.messages)
+        << "threads " << threads;
+    EXPECT_EQ(r->network.bytes, reference.network.bytes)
+        << "threads " << threads;
+    EXPECT_DOUBLE_EQ(r->network.latency_ms, reference.network.latency_ms)
+        << "threads " << threads;
+    EXPECT_EQ(r->retries, reference.retries) << "threads " << threads;
+    EXPECT_EQ(r->timeouts, reference.timeouts) << "threads " << threads;
+  }
+}
+
+TEST(PersistenceFederationTest, RecoverPeerErrorsAndIdempotence) {
+  LodConfig config;
+  std::unique_ptr<RpsSystem> sys = MakeLodSystem(&config);
+  Federator fed(sys.get(), LodTopology(config));
+
+  // No storage attached: recovery is a precondition failure, not a crash.
+  Status no_storage = fed.RecoverPeer(0);
+  EXPECT_EQ(no_storage.code(), StatusCode::kFailedPrecondition);
+
+  ScratchDir scratch;
+  ASSERT_TRUE(fed.AttachStorage(scratch.path).ok());
+  EXPECT_EQ(fed.RecoverPeer(999).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(fed.RecoverPeer(4).ok());
+  EXPECT_TRUE(fed.IsRecovered(4));
+  // Second recovery of the same peer is a no-op success.
+  ASSERT_TRUE(fed.RecoverPeer(4).ok());
+  EXPECT_TRUE(fed.IsRecovered(4));
+
+  // A recovered endpoint serves the same answers as before the swap.
+  GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+  Result<FederatedQueryResult> r = fed.Execute(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  Federator fresh(sys.get(), LodTopology(config));
+  Result<FederatedQueryResult> baseline = fresh.Execute(q);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  EXPECT_EQ(r->answers, baseline->answers);
+}
+
+}  // namespace
+}  // namespace rps

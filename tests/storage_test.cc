@@ -1,0 +1,626 @@
+// Persistence round-trip oracle (docs/PERSISTENCE.md): a graph saved to
+// an on-disk snapshot and loaded back — memory-mapped, when the
+// dictionary lineage makes the id remap the identity — must be
+// *byte-identical* to the original under every read path: all eight
+// bound/unbound Match shapes, exact EstimateMatches counts, AsOf epochs
+// on both sides of the mapped/in-memory boundary, Contains/PositionOf,
+// and certain answers through the cost-based planner. Corrupted files
+// (truncation, bad magic, bit rot, torn writes) must fail with a clean
+// kDataLoss before the graph is touched — never a crash.
+
+#include "storage/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "query/eval.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "storage/format.h"
+#include "util/rng.h"
+
+namespace rps {
+namespace {
+
+// Scratch directory under the test's working directory (the build tree),
+// removed with everything in it on scope exit.
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    char buf[] = "rps_storage_test.XXXXXX";
+    path = mkdtemp(buf) != nullptr ? buf : ".";
+  }
+  ~ScratchDir() {
+    if (DIR* d = opendir(path.c_str())) {
+      while (dirent* e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name != "." && name != "..") ::unlink((path + "/" + name).c_str());
+      }
+      closedir(d);
+    }
+    ::rmdir(path.c_str());
+  }
+  std::string File(const std::string& name) const { return path + "/" + name; }
+};
+
+// Full-scan oracle over an explicit prefix length.
+std::vector<Triple> OracleMatches(const std::vector<Triple>& triples,
+                                  size_t epoch, std::optional<TermId> s,
+                                  std::optional<TermId> p,
+                                  std::optional<TermId> o) {
+  std::vector<Triple> out;
+  for (size_t i = 0; i < epoch && i < triples.size(); ++i) {
+    const Triple& t = triples[i];
+    if ((!s || t.s == *s) && (!p || t.p == *p) && (!o || t.o == *o)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+struct TermUniverse {
+  std::vector<TermId> subjects;
+  std::vector<TermId> predicates;
+  std::vector<TermId> objects;
+};
+
+// Every dictionary-section term kind is represented: IRIs, labelled
+// blanks, plain / typed / language-tagged literals.
+TermUniverse MakeUniverse(Dictionary* dict, size_t ns, size_t np,
+                          size_t no) {
+  TermUniverse u;
+  for (size_t i = 0; i < ns; ++i) {
+    u.subjects.push_back(
+        i % 7 == 3 ? dict->Intern(Term::Blank("b" + std::to_string(i)))
+                   : dict->InternIri("http://t/s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < np; ++i) {
+    u.predicates.push_back(
+        dict->InternIri("http://t/p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < no; ++i) {
+    switch (i % 9) {
+      case 2:
+        u.objects.push_back(
+            dict->Intern(Term::Literal("plain " + std::to_string(i))));
+        break;
+      case 5:
+        u.objects.push_back(dict->Intern(Term::TypedLiteral(
+            std::to_string(i), "http://www.w3.org/2001/XMLSchema#integer")));
+        break;
+      case 7:
+        u.objects.push_back(
+            dict->Intern(Term::LangLiteral("o" + std::to_string(i), "en")));
+        break;
+      default:
+        u.objects.push_back(
+            dict->InternIri("http://t/o" + std::to_string(i)));
+    }
+  }
+  return u;
+}
+
+// Hub-skewed random triple: a quarter of the draws hit one of the first
+// 4 subjects/objects, so some (k1, k2) run groups span many 128-entry
+// snapshot blocks — the regression shape for the block-index search.
+Triple RandomTriple(Rng* rng, const TermUniverse& u) {
+  TermId s = rng->Chance(0.25) ? u.subjects[rng->Index(4)]
+                               : u.subjects[rng->Index(u.subjects.size())];
+  TermId o = rng->Chance(0.25) ? u.objects[rng->Index(4)]
+                               : u.objects[rng->Index(u.objects.size())];
+  return Triple{s, u.predicates[rng->Index(u.predicates.size())], o};
+}
+
+void RandomPattern(Rng* rng, const TermUniverse& u, int shape,
+                   std::optional<TermId>* s, std::optional<TermId>* p,
+                   std::optional<TermId>* o) {
+  // Favour the hubs so multi-block key groups get probed, not just the
+  // long tail.
+  auto pick = [&](const std::vector<TermId>& pool) {
+    return rng->Chance(0.5) ? pool[rng->Index(4)]
+                            : pool[rng->Index(pool.size())];
+  };
+  *s = (shape & 1) != 0 ? std::optional<TermId>(pick(u.subjects))
+                        : std::nullopt;
+  *p = (shape & 2) != 0
+           ? std::optional<TermId>(
+                 u.predicates[rng->Index(u.predicates.size())])
+           : std::nullopt;
+  *o = (shape & 4) != 0 ? std::optional<TermId>(pick(u.objects))
+                        : std::nullopt;
+}
+
+// Builds the shared fixture graph: enough triples that every permuted
+// run spans dozens of snapshot blocks and hub groups span several.
+void FillGraph(Rng* rng, const TermUniverse& u, Graph* graph,
+               std::vector<Triple>* inserted, size_t n) {
+  while (inserted->size() < n) {
+    Triple t = RandomTriple(rng, u);
+    if (graph->InsertUnchecked(t)) inserted->push_back(t);
+  }
+}
+
+// Asserts Match/EstimateMatches parity between `loaded` and the oracle
+// prefix for all eight shapes across `rounds` random probes.
+void ExpectShapeParity(Rng* rng, const TermUniverse& u, const Graph& loaded,
+                       const std::vector<Triple>& inserted, size_t rounds) {
+  for (size_t round = 0; round < rounds; ++round) {
+    for (int shape = 0; shape < 8; ++shape) {
+      std::optional<TermId> s, p, o;
+      RandomPattern(rng, u, shape, &s, &p, &o);
+      std::vector<Triple> expected =
+          OracleMatches(inserted, inserted.size(), s, p, o);
+      ASSERT_EQ(loaded.MatchAll(s, p, o), expected)
+          << "shape " << shape << " round " << round;
+      ASSERT_EQ(loaded.EstimateMatches(s, p, o), expected.size())
+          << "shape " << shape << " round " << round;
+    }
+  }
+}
+
+// ---- Round-trip parity -------------------------------------------------
+
+TEST(StorageTest, RoundTripIsByteIdenticalForAllShapes) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 40, 6, 36);
+  Graph graph(&dict);
+  std::vector<Triple> inserted;
+  Rng rng(20260809);
+  FillGraph(&rng, u, &graph, &inserted, 5000);
+
+  ScratchDir scratch;
+  std::string path = scratch.File("g.rps");
+  ASSERT_TRUE(storage::SaveGraph(path, graph).ok());
+
+  // Fresh dictionary: ids are assigned in the snapshot's order, the
+  // remap is the identity, and the load attaches the mapping.
+  Dictionary dict2;
+  Graph loaded(&dict2);
+  Result<storage::LoadReport> report = storage::LoadGraph(path, &loaded);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->mapped);
+  EXPECT_EQ(report->triples, inserted.size());
+  ASSERT_EQ(loaded.size(), graph.size());
+  EXPECT_TRUE(loaded.has_mapped_base());
+  EXPECT_EQ(loaded.mapped_size(), graph.size());
+
+  // Insertion order round-trips exactly, and so does every term.
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    ASSERT_EQ(loaded.TripleAt(i), inserted[i]) << "position " << i;
+  }
+  ASSERT_EQ(dict2.size(), dict.size());
+  for (TermId id = 0; id < static_cast<TermId>(dict.size()); ++id) {
+    ASSERT_EQ(dict2.term(id), dict.term(id)) << "term id " << id;
+  }
+
+  Rng probe_rng(31337);
+  ExpectShapeParity(&probe_rng, u, loaded, inserted, 40);
+
+  // Contains / PositionOf parity: every stored triple and a batch of
+  // random (mostly absent) probes.
+  for (size_t i = 0; i < inserted.size(); i += 97) {
+    ASSERT_TRUE(loaded.Contains(inserted[i]));
+    ASSERT_EQ(loaded.PositionOf(inserted[i]),
+              std::optional<uint32_t>(static_cast<uint32_t>(i)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    Triple t = RandomTriple(&probe_rng, u);
+    ASSERT_EQ(loaded.Contains(t), graph.Contains(t));
+    ASSERT_EQ(loaded.PositionOf(t), graph.PositionOf(t));
+  }
+}
+
+TEST(StorageTest, AsOfEpochsStraddleTheMappedBoundary) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 24, 5, 20);
+  Graph graph(&dict);
+  std::vector<Triple> inserted;
+  Rng rng(4711);
+  FillGraph(&rng, u, &graph, &inserted, 1800);
+
+  ScratchDir scratch;
+  std::string path = scratch.File("g.rps");
+  ASSERT_TRUE(storage::SaveGraph(path, graph).ok());
+
+  Dictionary dict2;
+  Graph loaded(&dict2);
+  Result<storage::LoadReport> report = storage::LoadGraph(path, &loaded);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->mapped);
+
+  // Grow past the mapped prefix so epochs below, at, and above the
+  // boundary all get exercised (the delta lands in in-memory indexes
+  // whose positions are offset by mapped_size()).
+  size_t boundary = loaded.mapped_size();
+  for (int i = 0; i < 700; ++i) {
+    Triple t = RandomTriple(&rng, u);
+    bool was_new = graph.InsertUnchecked(t);
+    ASSERT_EQ(loaded.InsertUnchecked(t), was_new);
+    if (was_new) inserted.push_back(t);
+  }
+  ASSERT_EQ(loaded.size(), graph.size());
+
+  for (size_t epoch : {size_t{0}, size_t{1}, boundary / 2, boundary - 1,
+                       boundary, boundary + 1, boundary + 321,
+                       loaded.size(), loaded.size() + 50}) {
+    size_t clamped = std::min(epoch, loaded.size());
+    for (int shape = 0; shape < 8; ++shape) {
+      std::optional<TermId> s, p, o;
+      RandomPattern(&rng, u, shape, &s, &p, &o);
+      std::vector<Triple> expected = OracleMatches(inserted, clamped, s, p, o);
+      ASSERT_EQ(loaded.MatchAllAsOf(s, p, o, epoch), expected)
+          << "shape " << shape << " epoch " << epoch;
+      ASSERT_EQ(loaded.EstimateMatchesAsOf(s, p, o, epoch), expected.size())
+          << "shape " << shape << " epoch " << epoch;
+    }
+    if (clamped > 0) {
+      const Triple& last = inserted[clamped - 1];
+      EXPECT_TRUE(loaded.ContainsAsOf(last, epoch));
+      EXPECT_EQ(loaded.PositionOfAsOf(last, epoch),
+                std::optional<uint32_t>(static_cast<uint32_t>(clamped - 1)));
+    }
+  }
+}
+
+TEST(StorageTest, SaveOfMappedGraphFoldsDeltaAndReloads) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 20, 4, 18);
+  Graph graph(&dict);
+  std::vector<Triple> inserted;
+  Rng rng(99);
+  FillGraph(&rng, u, &graph, &inserted, 1200);
+
+  ScratchDir scratch;
+  std::string path = scratch.File("g.rps");
+  ASSERT_TRUE(storage::SaveGraph(path, graph).ok());
+
+  Dictionary dict2;
+  Graph loaded(&dict2);
+  ASSERT_TRUE(storage::LoadGraph(path, &loaded).ok());
+
+  // Mapped base + fresh delta on top, then Save() folds both into one
+  // new snapshot (write-temp-then-rename over the old file).
+  TermUniverse u2 = MakeUniverse(&dict2, 20, 4, 18);  // same ids, new dict
+  for (int i = 0; i < 400; ++i) {
+    Triple t = RandomTriple(&rng, u2);
+    if (loaded.InsertUnchecked(t)) inserted.push_back(t);
+  }
+  ASSERT_TRUE(storage::SaveGraph(path, loaded).ok());
+
+  Dictionary dict3;
+  Graph reloaded(&dict3);
+  Result<storage::LoadReport> report = storage::LoadGraph(path, &reloaded);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->mapped);
+  ASSERT_EQ(reloaded.size(), inserted.size());
+  EXPECT_EQ(reloaded.mapped_size(), inserted.size());  // delta was folded
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    ASSERT_EQ(reloaded.TripleAt(i), inserted[i]) << "position " << i;
+  }
+  Rng probe_rng(7);
+  ExpectShapeParity(&probe_rng, u2, reloaded, inserted, 20);
+}
+
+TEST(StorageTest, CrossLineageLoadRemapsAndMaterializes) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 16, 4, 14);
+  Graph graph(&dict);
+  std::vector<Triple> inserted;
+  Rng rng(555);
+  FillGraph(&rng, u, &graph, &inserted, 600);
+
+  ScratchDir scratch;
+  std::string path = scratch.File("g.rps");
+  ASSERT_TRUE(storage::SaveGraph(path, graph).ok());
+
+  // A dictionary with a different id assignment: the remap is not the
+  // identity, so the loader must materialize remapped triples instead of
+  // attaching the mapping — and the graphs must still agree term-wise.
+  Dictionary other;
+  other.InternIri("http://elsewhere/already-interned");
+  other.InternIri("http://elsewhere/shifts-every-id");
+  Graph remapped(&other);
+  Result<storage::LoadReport> report = storage::LoadGraph(path, &remapped);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->mapped);
+  EXPECT_FALSE(remapped.has_mapped_base());
+  ASSERT_EQ(remapped.size(), graph.size());
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    const Triple& a = inserted[i];
+    const Triple& b = remapped.TripleAt(i);
+    ASSERT_EQ(other.term(b.s), dict.term(a.s)) << "position " << i;
+    ASSERT_EQ(other.term(b.p), dict.term(a.p)) << "position " << i;
+    ASSERT_EQ(other.term(b.o), dict.term(a.o)) << "position " << i;
+  }
+}
+
+TEST(StorageTest, PlannerCertainAnswersSurviveTheRoundTrip) {
+  Dictionary dict;
+  TermUniverse u = MakeUniverse(&dict, 30, 5, 26);
+  Graph graph(&dict);
+  std::vector<Triple> inserted;
+  Rng rng(2024);
+  FillGraph(&rng, u, &graph, &inserted, 2500);
+
+  ScratchDir scratch;
+  std::string path = scratch.File("g.rps");
+  ASSERT_TRUE(storage::SaveGraph(path, graph).ok());
+  Dictionary dict2;
+  Graph loaded(&dict2);
+  Result<storage::LoadReport> report = storage::LoadGraph(path, &loaded);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->mapped);
+
+  VarPool vars;
+  VarId x = vars.Intern("x"), y = vars.Intern("y"), z = vars.Intern("z");
+  std::vector<GraphPatternQuery> queries;
+  {
+    GraphPatternQuery q;  // scan
+    q.head = {x, y};
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[0]),
+                             PatternTerm::Var(y)});
+    queries.push_back(q);
+  }
+  {
+    GraphPatternQuery q;  // subject-star join
+    q.head = {x, y, z};
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[1]),
+                             PatternTerm::Var(y)});
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[2]),
+                             PatternTerm::Var(z)});
+    queries.push_back(q);
+  }
+  {
+    GraphPatternQuery q;  // path join through a hub-heavy predicate
+    q.head = {x, z};
+    q.body.Add(TriplePattern{PatternTerm::Var(x),
+                             PatternTerm::Const(u.predicates[3]),
+                             PatternTerm::Var(y)});
+    q.body.Add(TriplePattern{PatternTerm::Var(y),
+                             PatternTerm::Const(u.predicates[4]),
+                             PatternTerm::Var(z)});
+    queries.push_back(q);
+  }
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (bool use_plan : {false, true}) {
+      EvalOptions options;
+      options.use_plan = use_plan;
+      std::vector<Tuple> expected =
+          EvalQuery(graph, queries[qi], QuerySemantics::kDropBlanks, options);
+      std::vector<Tuple> got =
+          EvalQuery(loaded, queries[qi], QuerySemantics::kDropBlanks, options);
+      ASSERT_EQ(got, expected) << "query " << qi << " use_plan " << use_plan;
+    }
+  }
+}
+
+TEST(StorageTest, NullCounterSurvivesTheRoundTrip) {
+  Dictionary dict;
+  Graph graph(&dict);
+  TermId p = dict.InternIri("http://t/p");
+  for (int i = 0; i < 5; ++i) {
+    graph.InsertUnchecked(Triple{dict.NewBlank(), p, dict.NewBlank()});
+  }
+  uint64_t counter = dict.null_counter();
+  ASSERT_GT(counter, 0u);
+
+  ScratchDir scratch;
+  std::string path = scratch.File("g.rps");
+  ASSERT_TRUE(storage::SaveGraph(path, graph).ok());
+
+  // A restarting peer must not re-mint labels that already occur in its
+  // recovered data — the chase's fresh-null guarantee (§3).
+  Dictionary dict2;
+  Graph loaded(&dict2);
+  ASSERT_TRUE(storage::LoadGraph(path, &loaded).ok());
+  EXPECT_EQ(dict2.null_counter(), counter);
+  TermId fresh = dict2.NewBlank();
+  for (TermId id = 0; id < static_cast<TermId>(dict.size()); ++id) {
+    ASSERT_NE(dict2.term(fresh), dict.term(id));
+  }
+}
+
+// ---- Failure modes -----------------------------------------------------
+
+// One small valid snapshot reused by the corruption cases.
+std::string WriteValidSnapshot(const ScratchDir& scratch, Dictionary* dict) {
+  Graph graph(dict);
+  TermUniverse u = MakeUniverse(dict, 10, 3, 10);
+  std::vector<Triple> inserted;
+  Rng rng(1);
+  FillGraph(&rng, u, &graph, &inserted, 300);
+  std::string path = scratch.File("valid.rps");
+  EXPECT_TRUE(storage::SaveGraph(path, graph).ok());
+  return path;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Every corrupted variant must fail kDataLoss with the target graph left
+// untouched — corruption is detected before anything is interned.
+void ExpectDataLoss(const std::string& path) {
+  Dictionary dict;
+  Graph graph(&dict);
+  Result<storage::LoadReport> r = storage::LoadGraph(path, &graph);
+  ASSERT_FALSE(r.ok()) << path;
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << r.status();
+  EXPECT_TRUE(graph.empty());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(StorageTest, CorruptedSnapshotsFailCleanlyWithDataLoss) {
+  ScratchDir scratch;
+  Dictionary dict;
+  std::string valid = WriteValidSnapshot(scratch, &dict);
+  std::string bytes = ReadFile(valid);
+  ASSERT_GT(bytes.size(), storage::kHeaderBytes);
+
+  {  // missing file
+    Dictionary d;
+    Graph g(&d);
+    Result<storage::LoadReport> r =
+        storage::LoadGraph(scratch.File("absent.rps"), &g);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().code(), StatusCode::kDataLoss);  // NotFound, not rot
+  }
+
+  std::string truncated_header = scratch.File("short.rps");
+  WriteFile(truncated_header, bytes.substr(0, 10));
+  ExpectDataLoss(truncated_header);
+
+  std::string truncated_body = scratch.File("torn.rps");
+  WriteFile(truncated_body, bytes.substr(0, bytes.size() / 2));
+  ExpectDataLoss(truncated_body);
+
+  std::string bad_magic = scratch.File("magic.rps");
+  std::string mutated = bytes;
+  mutated[0] = 'X';
+  WriteFile(bad_magic, mutated);
+  ExpectDataLoss(bad_magic);
+
+  // Bit rot in the payload: flip one byte past the header in several
+  // spots; the per-section checksums must catch every one.
+  for (size_t frac = 1; frac <= 4; ++frac) {
+    std::string flipped = bytes;
+    size_t at = storage::kHeaderBytes +
+                (bytes.size() - storage::kHeaderBytes) * frac / 5;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x40);
+    std::string path = scratch.File("flip" + std::to_string(frac) + ".rps");
+    WriteFile(path, flipped);
+    ExpectDataLoss(path);
+  }
+
+  std::string empty = scratch.File("empty.rps");
+  WriteFile(empty, "");
+  ExpectDataLoss(empty);
+}
+
+TEST(StorageTest, FutureFormatVersionIsUnimplementedNotDataLoss) {
+  ScratchDir scratch;
+  Dictionary dict;
+  std::string valid = WriteValidSnapshot(scratch, &dict);
+  std::string bytes = ReadFile(valid);
+
+  // Bump the version field (offset 8, after the magic) and re-seal the
+  // header checksum so only the version differs from a well-formed file.
+  storage::FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof header);
+  header.version = storage::kFormatVersion + 1;
+  std::memcpy(bytes.data(), &header, sizeof header);
+  size_t table_bytes = sizeof(storage::SectionEntry) * storage::kSectionCount;
+  uint64_t checksum = storage::Fnv1a64(bytes.data(), sizeof header);
+  checksum = storage::Fnv1a64(bytes.data() + storage::kHeaderBytes,
+                              table_bytes, checksum);
+  std::memcpy(bytes.data() + sizeof header, &checksum, sizeof checksum);
+
+  std::string path = scratch.File("future.rps");
+  WriteFile(path, bytes);
+  Dictionary d;
+  Graph g(&d);
+  Result<storage::LoadReport> r = storage::LoadGraph(path, &g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented) << r.status();
+}
+
+TEST(StorageTest, StrayTempFilesAreInert) {
+  ScratchDir scratch;
+  Dictionary dict;
+  Graph graph(&dict);
+  TermUniverse u = MakeUniverse(&dict, 10, 3, 10);
+  std::vector<Triple> inserted;
+  Rng rng(3);
+  FillGraph(&rng, u, &graph, &inserted, 200);
+
+  // An interrupted earlier save left garbage at `<path>.tmp`; a new save
+  // must replace it and a load must never look at it.
+  std::string path = storage::SnapshotPath(scratch.path, "peer/one");
+  EXPECT_EQ(path.find('/', scratch.path.size() + 1), std::string::npos)
+      << "graph name must not escape the directory: " << path;
+  WriteFile(path + ".tmp", "half a snapshot");
+  ASSERT_TRUE(storage::SaveGraph(path, graph).ok());
+
+  Dictionary dict2;
+  Graph loaded(&dict2);
+  Result<storage::LoadReport> report = storage::LoadGraph(path, &loaded);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(loaded.size(), graph.size());
+
+  // And the reverse order: garbage written after the save changes
+  // nothing either.
+  WriteFile(path + ".tmp", "unrelated garbage");
+  Dictionary dict3;
+  Graph again(&dict3);
+  ASSERT_TRUE(storage::LoadGraph(path, &again).ok());
+  EXPECT_EQ(again.size(), graph.size());
+}
+
+TEST(StorageTest, LoadRequiresAnEmptyGraph) {
+  ScratchDir scratch;
+  Dictionary dict;
+  std::string valid = WriteValidSnapshot(scratch, &dict);
+
+  Dictionary d;
+  Graph g(&d);
+  TermId s = d.InternIri("http://t/s");
+  TermId p = d.InternIri("http://t/p");
+  g.InsertUnchecked(Triple{s, p, s});
+  Result<storage::LoadReport> r = storage::LoadGraph(valid, &g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(g.size(), 1u);  // untouched
+}
+
+TEST(StorageTest, EnsureDirCreatesNestedDirectoriesForSave) {
+  ScratchDir scratch;
+  std::string nested = scratch.File("a/b/c");
+  ASSERT_TRUE(storage::EnsureDir(nested).ok());
+  ASSERT_TRUE(storage::EnsureDir(nested).ok());  // idempotent
+
+  Dictionary dict;
+  Graph g(&dict);
+  TermId s = dict.InternIri("http://t/s");
+  TermId p = dict.InternIri("http://t/p");
+  g.InsertUnchecked(Triple{s, p, s});
+  std::string snap = storage::SnapshotPath(nested, "peer");
+  EXPECT_TRUE(storage::SaveGraph(snap, g).ok());
+
+  Dictionary d2;
+  Graph g2(&d2);
+  ASSERT_TRUE(storage::LoadGraph(snap, &g2).ok());
+  EXPECT_EQ(g2.size(), 1u);
+
+  EXPECT_FALSE(storage::EnsureDir("").ok());
+  // A regular file in the way is an error, not a silent success.
+  std::string blocked = scratch.File("plain");
+  { std::ofstream out(blocked); out << "x"; }
+  EXPECT_FALSE(storage::EnsureDir(blocked + "/sub").ok());
+
+  // ScratchDir only unlinks top-level entries; clear the nesting here.
+  ::unlink(snap.c_str());
+  ::rmdir(nested.c_str());
+  ::rmdir(scratch.File("a/b").c_str());
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,320 @@
+// E15 (extension) — epoch-keyed certain-answer caching under churn. The
+// same closed-loop client mix runs against a QueryServer twice — answer
+// cache off, then on — at increasing ingest churn rates. Cache hits
+// skip BGP evaluation entirely while the epoch protocol keeps every
+// served answer byte-identical to a fresh evaluation at the same
+// snapshot (spot-checked here against the serial prefix oracle).
+// Churn is paced by *completed requests*, not wall time, so the
+// invalidation pressure — and therefore the hit rates — are
+// machine-independent and safe to gate against a committed baseline.
+// Measured: QPS and p50/p99 cached vs uncached per churn rate, the
+// achieved hit rate, and committed ratio counters
+// (bench.answer_cache.*_pct) that scripts/bench_compare.py gates; the
+// raw QPS speedup is gated as a capped floor
+// (steady.speedup_floor_pct) because the uncapped ratio swings with
+// build type and machine load while "at least 4x" does not.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "rps/rps.h"
+
+namespace {
+
+double SampleQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+struct ParityRecord {
+  size_t query_index;
+  size_t epoch;
+  std::vector<rps::Tuple> answers;
+};
+
+struct SweepResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_pct = 0.0;
+  size_t completed = 0;
+  size_t ingested = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = rps_bench::SizeFromArgs(argc, argv, 8);
+  size_t threads = rps_bench::ThreadsFromArgs(argc, argv, 4);
+
+  rps_bench::PrintHeader(
+      "E15  epoch-keyed answer caching under ingest churn",
+      "repeated queries \"in a dynamic, on-demand fashion\" — cached "
+      "certain answers stay byte-identical across epochs via "
+      "footprint-based invalidation");
+
+  // Workload floor: the cache's win is eval work saved per hit, so the
+  // graph must be big enough that evaluation dominates the fixed
+  // per-request serving overhead even at CI smoke sizes (--n=8).
+  rps::LodConfig config;
+  config.num_peers = 4;
+  config.films_per_peer = std::max<size_t>(64, n * 8);
+  config.seed = 1501;
+  std::unique_ptr<rps::RpsSystem> sys = rps::GenerateLod(config);
+  rps::Dictionary& dict = *sys->dict();
+
+  rps::Graph universal(sys->dict());
+  rps::Result<rps::RpsChaseStats> chase =
+      rps::BuildUniversalSolution(*sys, &universal);
+  if (!chase.ok()) {
+    std::fprintf(stderr, "%s\n", chase.status().ToString().c_str());
+    return 1;
+  }
+
+  // Query mix: the cross-peer join plus scans over the four most common
+  // predicates. Clients round-robin the pool, so every query repeats
+  // many times per sweep — the cache's target access pattern.
+  std::vector<rps::GraphPatternQuery> queries;
+  queries.push_back(rps::LodDemoQuery(sys.get(), config));
+  {
+    std::set<rps::TermId> predicates;
+    for (const rps::Triple& t : universal.triples()) {
+      if (predicates.insert(t.p).second && predicates.size() >= 4) break;
+    }
+    rps::VarPool* vars = sys->vars();
+    for (rps::TermId p : predicates) {
+      rps::GraphPatternQuery q;
+      rps::VarId x = vars->Fresh("ac_x");
+      rps::VarId y = vars->Fresh("ac_y");
+      q.head = {x, y};
+      q.body.Add(rps::TriplePattern{rps::PatternTerm::Var(x),
+                                    rps::PatternTerm::Const(p),
+                                    rps::PatternTerm::Var(y)});
+      queries.push_back(std::move(q));
+    }
+  }
+
+  // Churn lands on the actor predicate: scans and joins over it keep
+  // invalidating, everything else promotes wholesale.
+  rps::TermId live_pred = dict.InternIri("http://peer0.example.org/actor");
+  const size_t kRequestsPerClient = 64;
+  size_t clients = threads;
+
+  std::printf("universal solution: %zu triple(s); %zu queries; %zu "
+              "client(s) x %zu request(s)\n\n",
+              universal.size(), queries.size(), clients,
+              kRequestsPerClient);
+  std::printf("%-18s %-8s %-10s %-10s %-10s %-9s %-9s\n", "sweep",
+              "cache", "qps", "p50_ms", "p99_ms", "hit_pct", "ingested");
+
+  size_t parity_failures = 0;
+  size_t parity_checked = 0;
+  rps::obs::MetricsSnapshot before = rps::obs::Registry::Global().Snapshot();
+
+  // requests_per_ingest == 0 disables the ingest feed. Nonzero K means
+  // one 4-triple batch lands after every K completed requests, so the
+  // number of invalidating deltas per run is fixed by the workload, not
+  // by how fast this machine happens to serve it.
+  struct Sweep {
+    const char* name;
+    size_t requests_per_ingest;
+  };
+  const Sweep sweeps[] = {{"steady", 0}, {"churn_mild", 16},
+                          {"churn_heavy", 4}};
+  std::map<std::string, std::pair<SweepResult, SweepResult>> results;
+
+  for (const Sweep& sweep : sweeps) {
+    for (bool cached : {false, true}) {
+      rps::Graph graph = universal;  // identical start per run
+      rps::QueryServerOptions server_options;
+      server_options.worker_threads = threads;
+      server_options.answer_cache.enabled = cached;
+      rps::QueryServer server(&graph, server_options);
+
+      std::atomic<bool> stop_ingest{false};
+      std::atomic<size_t> ingested{0};
+      std::atomic<size_t> completed_requests{0};
+      std::thread ingester;
+      if (sweep.requests_per_ingest != 0) {
+        ingester = std::thread([&] {
+          size_t i = 0;
+          size_t next_at = sweep.requests_per_ingest;
+          while (!stop_ingest.load(std::memory_order_acquire)) {
+            if (completed_requests.load(std::memory_order_acquire) <
+                next_at) {
+              std::this_thread::yield();
+              continue;
+            }
+            next_at += sweep.requests_per_ingest;
+            std::vector<rps::Triple> batch;
+            batch.reserve(4);
+            for (size_t j = 0; j < 4; ++j, ++i) {
+              batch.push_back(rps::Triple{
+                  dict.InternIri("http://peer0.example.org/churn" +
+                                 std::string(cached ? "c" : "u") +
+                                 std::to_string(sweep.requests_per_ingest) +
+                                 "/film" + std::to_string(i)),
+                  live_pred,
+                  dict.InternIri("http://peer0.example.org/churn" +
+                                 std::string(cached ? "c" : "u") +
+                                 std::to_string(sweep.requests_per_ingest) +
+                                 "/person" + std::to_string(i))});
+            }
+            ingested.fetch_add(server.Ingest(batch),
+                               std::memory_order_relaxed);
+          }
+        });
+      }
+
+      std::vector<std::vector<double>> latencies(clients);
+      std::vector<std::vector<ParityRecord>> records(clients);
+      std::atomic<size_t> errors{0};
+
+      rps_bench::Timer wall;
+      std::vector<std::thread> client_threads;
+      client_threads.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        client_threads.emplace_back([&, c] {
+          for (size_t r = 0; r < kRequestsPerClient; ++r) {
+            size_t qi = (c + r) % queries.size();
+            rps::Result<rps::QueryResponse> response =
+                server.Execute(queries[qi]);
+            if (!response.ok()) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            latencies[c].push_back(response->latency_ms);
+            completed_requests.fetch_add(1, std::memory_order_release);
+            if (cached && records[c].size() < 8) {
+              records[c].push_back(ParityRecord{
+                  qi, response->epoch, std::move(response->answers)});
+            }
+          }
+        });
+      }
+      for (std::thread& t : client_threads) t.join();
+      double wall_ms = wall.ElapsedMs();
+      stop_ingest.store(true, std::memory_order_release);
+      if (ingester.joinable()) ingester.join();
+      server.Stop();
+      if (errors.load() != 0) {
+        std::fprintf(stderr, "%zu request(s) failed\n", errors.load());
+        return 1;
+      }
+
+      // Parity oracle over a sample of the cached responses.
+      for (size_t c = 0; c < clients; ++c) {
+        for (const ParityRecord& rec : records[c]) {
+          ++parity_checked;
+          rps::Graph prefix(sys->dict());
+          prefix.Reserve(rec.epoch);
+          for (size_t i = 0; i < rec.epoch; ++i) {
+            prefix.InsertUnchecked(graph.triples()[i]);
+          }
+          std::vector<rps::Tuple> expected = rps::EvalQuery(
+              prefix, queries[rec.query_index],
+              rps::QuerySemantics::kDropBlanks);
+          rps::SortTuples(&expected);
+          if (expected != rec.answers) {
+            std::fprintf(stderr,
+                         "PARITY FAILURE: query %zu at epoch %zu\n",
+                         rec.query_index, rec.epoch);
+            ++parity_failures;
+          }
+        }
+      }
+
+      SweepResult r;
+      std::vector<double> all;
+      for (const auto& per_client : latencies) {
+        r.completed += per_client.size();
+        all.insert(all.end(), per_client.begin(), per_client.end());
+      }
+      r.qps = wall_ms > 0.0 ? 1000.0 * r.completed / wall_ms : 0.0;
+      r.p50_ms = SampleQuantile(all, 0.50);
+      r.p99_ms = SampleQuantile(all, 0.99);
+      r.ingested = ingested.load();
+      rps::AnswerCacheStats stats = server.CacheStats();
+      uint64_t looked_up = stats.hits + stats.misses;
+      r.hit_pct = looked_up != 0 ? 100.0 * stats.hits / looked_up : 0.0;
+
+      std::printf("%-18s %-8s %-10.1f %-10.3f %-10.3f %-9.1f %-9zu\n",
+                  sweep.name, cached ? "on" : "off", r.qps, r.p50_ms,
+                  r.p99_ms, r.hit_pct, r.ingested);
+      if (cached) {
+        results[sweep.name].second = r;
+      } else {
+        results[sweep.name].first = r;
+      }
+    }
+  }
+
+  // Committed ratio counters — scripts/bench_compare.py treats *_pct
+  // counters as ratios and fails the gate when they regress by more
+  // than 25% against the checked-in baseline. Hit rates are gated per
+  // sweep (deterministic thanks to the request-paced churn); the raw
+  // QPS speedup swings 2-3x with build type and machine load, so only
+  // its floor is gated: min(speedup, 400) stays pinned at 400 while
+  // the cache delivers at least ~4x and collapses the moment it stops
+  // paying for itself.
+  auto ratio_pct = [](double cached, double uncached) {
+    return uncached > 0.0
+               ? static_cast<uint64_t>(100.0 * cached / uncached + 0.5)
+               : 0;
+  };
+  uint64_t steady_speedup_pct = 0;
+  std::printf("\n%-18s %-12s %-12s %-12s\n", "sweep", "speedup_pct",
+              "p99_ratio", "hit_pct");
+  for (const Sweep& sweep : sweeps) {
+    const SweepResult& off = results[sweep.name].first;
+    const SweepResult& on = results[sweep.name].second;
+    uint64_t speedup_pct = ratio_pct(on.qps, off.qps);
+    std::printf("%-18s %-12zu %-12.2f %-12.1f\n", sweep.name,
+                static_cast<size_t>(speedup_pct),
+                on.p99_ms > 0.0 ? off.p99_ms / on.p99_ms : 0.0,
+                on.hit_pct);
+    std::string base = std::string("bench.answer_cache.") + sweep.name;
+    rps::obs::Registry::Global()
+        .counter(base + ".hit_pct")
+        ->Add(static_cast<uint64_t>(on.hit_pct + 0.5));
+    if (std::string(sweep.name) == "steady") {
+      steady_speedup_pct = speedup_pct;
+      rps::obs::Registry::Global()
+          .counter(base + ".speedup_floor_pct")
+          ->Add(std::min<uint64_t>(speedup_pct, 400));
+    }
+  }
+  std::printf(
+      "(speedup_pct: cached QPS as a percentage of uncached QPS at the "
+      "same churn; 200 = 2x. Hits skip evaluation; invalidation keeps "
+      "them sound.)\n");
+  std::printf(
+      "\n%zu cached answer(s) re-checked against the serial prefix "
+      "oracle (%zu failure(s)).\n",
+      parity_checked, parity_failures);
+
+  rps_bench::PrintMetricsJson("answer_cache", before);
+  if (parity_failures != 0) return 1;
+  // The headline claim, enforced: steady-state cached serving must be
+  // at least 2x the uncached QPS. Measured 8-18x, so tripping this
+  // means the cache path genuinely broke, not that the machine was
+  // busy.
+  if (steady_speedup_pct < 200) {
+    std::fprintf(stderr,
+                 "FAIL: steady cached/uncached QPS %zu%% < 200%%\n",
+                 static_cast<size_t>(steady_speedup_pct));
+    return 1;
+  }
+  return 0;
+}

@@ -2,22 +2,34 @@
 // universal solution. Inserting one stored triple into an already-chased
 // J re-fires only the triggers the new triple enables; rebuilding from
 // scratch re-derives everything. Measured: per-update cost of the
-// incremental path vs a full rebuild, as the base data grows.
+// incremental path vs a full rebuild as the base data grows, and the
+// batch AddTriples API vs one chase round-trip per triple. Emits a
+// METRICS line (tag "incremental") consolidated into BENCH_baseline.json
+// by scripts/bench_baseline.sh, including the gated
+// bench.incremental.batch_speedup_pct ratio counter.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "rps/rps.h"
 
-int main() {
+int main(int argc, char** argv) {
+  size_t n = rps_bench::SizeFromArgs(argc, argv, 25);
+
   rps_bench::PrintHeader(
       "E13  incremental universal-solution maintenance (§5.1, implemented)",
       "\"mappings may be subject to change and we might need to compute "
       "the information inferred from the TGDs dynamically\"");
 
+  rps::obs::MetricsSnapshot before = rps::obs::Registry::Global().Snapshot();
+
   std::printf("%-12s %-8s %-10s %-16s %-16s %-10s\n", "films/peer", "|D|",
               "|J|", "incr_update_ms", "full_rebuild_ms", "speedup");
-  for (size_t films : {25u, 50u, 100u, 200u}) {
+  for (size_t scale : {1u, 2u, 4u, 8u}) {
+    size_t films = n * scale;
     rps::LodConfig config;
     config.num_peers = 4;
     config.films_per_peer = films;
@@ -61,6 +73,75 @@ int main() {
       "(expected shape: per-update cost grows much slower than the full "
       "rebuild; the gap widens with |D|)\n");
 
+  // Batch churn: AddTriples closes J under a whole batch with ONE delta
+  // chase; the per-triple loop pays a chase fixpoint per element. Two
+  // identically generated systems keep the comparison exact.
+  std::printf("\nBatch AddTriples vs per-triple AddTriple (churn path):\n");
+  std::printf("%-12s %-12s %-16s %-16s %-10s\n", "batch", "rounds",
+              "per_triple_ms", "batch_ms", "speedup");
+  double per_triple_total = 0.0, batch_total = 0.0;
+  {
+    const size_t kBatch = 32, kRounds = 4;
+    rps::LodConfig config;
+    config.num_peers = 4;
+    config.films_per_peer = std::max<size_t>(n, 8);
+    config.seed = 413;
+    std::unique_ptr<rps::RpsSystem> serial_sys = rps::GenerateLod(config);
+    std::unique_ptr<rps::RpsSystem> batch_sys = rps::GenerateLod(config);
+    rps::IncrementalUniversalSolution serial_inc(serial_sys.get());
+    rps::IncrementalUniversalSolution batch_inc(batch_sys.get());
+    if (!serial_inc.Initialize().ok() || !batch_inc.Initialize().ok()) {
+      return 1;
+    }
+
+    auto make_batch = [&](rps::Dictionary* dict, size_t round) {
+      rps::TermId actor0 =
+          dict->InternIri("http://peer0.example.org/actor");
+      std::vector<rps::Triple> batch;
+      batch.reserve(kBatch);
+      for (size_t i = 0; i < kBatch; ++i) {
+        batch.push_back(rps::Triple{
+            dict->InternIri("http://peer0.example.org/churn_film" +
+                            std::to_string(round * kBatch + i)),
+            actor0,
+            dict->InternIri("http://peer0.example.org/churn_person" +
+                            std::to_string(round * kBatch + i))});
+      }
+      return batch;
+    };
+
+    for (size_t round = 0; round < kRounds; ++round) {
+      std::vector<rps::Triple> serial_batch =
+          make_batch(serial_sys->dict(), round);
+      rps_bench::Timer serial_timer;
+      for (const rps::Triple& t : serial_batch) {
+        if (!serial_inc.AddTriple("peer0", t).ok()) return 1;
+      }
+      per_triple_total += serial_timer.ElapsedMs();
+
+      std::vector<rps::Triple> batch =
+          make_batch(batch_sys->dict(), round);
+      rps_bench::Timer batch_timer;
+      if (!batch_inc.AddTriples("peer0", batch).ok()) return 1;
+      batch_total += batch_timer.ElapsedMs();
+    }
+    bool consistent =
+        serial_inc.universal().size() == batch_inc.universal().size();
+    std::printf("%-12zu %-12zu %-16.2f %-16.2f %-10.1fx%s\n", kBatch,
+                kRounds, per_triple_total, batch_total,
+                batch_total > 0.0 ? per_triple_total / batch_total : 0.0,
+                consistent ? "" : "  <-- INCONSISTENT");
+    if (!consistent) return 1;
+
+    uint64_t batch_speedup_pct =
+        batch_total > 0.0 ? static_cast<uint64_t>(
+                                100.0 * per_triple_total / batch_total + 0.5)
+                          : 0;
+    rps::obs::Registry::Global()
+        .counter("bench.incremental.batch_speedup_pct")
+        ->Add(batch_speedup_pct);
+  }
+
   std::printf("\nLate-arriving mappings (paper example):\n");
   {
     rps::PaperExample ex = rps::BuildPaperExample();
@@ -68,7 +149,7 @@ int main() {
     rps::VarPool& vars = *ex.system->vars();
     rps::IncrementalUniversalSolution inc(ex.system.get());
     if (!inc.Initialize().ok()) return 1;
-    size_t before = inc.universal().size();
+    size_t before_size = inc.universal().size();
 
     rps::TermId participant =
         dict.InternIri(std::string(rps::kVocNs) + "participant");
@@ -90,7 +171,9 @@ int main() {
     std::printf(
         "added mapping at runtime: J %zu -> %zu triples, %zu firing(s), "
         "no rebuild\n",
-        before, inc.universal().size(), delta->gma_firings);
+        before_size, inc.universal().size(), delta->gma_firings);
   }
+
+  rps_bench::PrintMetricsJson("incremental", before);
   return 0;
 }

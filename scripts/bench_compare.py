@@ -20,6 +20,14 @@ the committed value; small ratios get an absolute slack of 5 so a
 
     fail  iff  (base - new) > max(0.25 * base, 5)
 
+In addition to counters published with a ratio suffix, hit ratios are
+*derived* from raw instrument pairs: any `<base>.hits` / `<base>.misses`
+counter pair (labeled dimensions included, e.g. `cache.hits{answer}`)
+yields a synthetic `<base>.hit_pct` gated exactly like a published ratio
+counter — so a change that silently tanks the answer-cache hit rate
+fails the gate even though the cache only exports raw hit/miss counts.
+Pairs with fewer than MIN_RATIO_SAMPLES lookups are skipped as noise.
+
 Everything else — non-ratio counters drifting, keys missing on either
 side — is reported as a warning in the diff but does not fail the run.
 
@@ -38,8 +46,37 @@ REL_TOLERANCE = 0.25
 ABS_SLACK = 5.0
 
 
+# Derived hit ratios over fewer lookups than this are statistical noise
+# and are not gated.
+MIN_RATIO_SAMPLES = 20
+
+
 def is_ratio_counter(name: str) -> bool:
-    return name.endswith("_x") or name.endswith("_pct")
+    base = name.partition("{")[0]  # `cache.hit_pct{answer}` is a ratio too
+    return base.endswith("_x") or base.endswith("_pct")
+
+
+def derive_hit_ratios(counters: dict) -> dict:
+    """Synthesizes `<base>.hit_pct` from `<base>.hits`/`<base>.misses`.
+
+    Handles labeled dimensions: `cache.hits{answer}` pairs with
+    `cache.misses{answer}` and derives `cache.hit_pct{answer}`.
+    """
+    derived = {}
+    for name, hits in counters.items():
+        base, sep, label = name.partition("{")
+        if not base.endswith(".hits"):
+            continue
+        stem = base[:-len(".hits")]
+        miss_key = stem + ".misses" + (sep + label if sep else "")
+        if miss_key not in counters:
+            continue
+        total = float(hits) + float(counters[miss_key])
+        if total < MIN_RATIO_SAMPLES:
+            continue
+        out_key = stem + ".hit_pct" + (sep + label if sep else "")
+        derived[out_key] = 100.0 * float(hits) / total
+    return derived
 
 
 def load_baseline(path: str) -> dict:
@@ -60,7 +97,11 @@ def load_baseline(path: str) -> dict:
 def counters_by_tag(doc: dict) -> dict:
     out = {}
     for run in doc["runs"]:
-        out[run.get("tag", "?")] = run.get("counters", {})
+        counters = dict(run.get("counters", {}))
+        # Fold in the synthetic ratios so the gating loop below treats
+        # them exactly like published *_pct counters.
+        counters.update(derive_hit_ratios(counters))
+        out[run.get("tag", "?")] = counters
     return out
 
 

@@ -119,7 +119,9 @@ bool DeliverWithRetries(const ExchangeEnv& env, size_t peer,
 Federator::Federator(const RpsSystem* system, Topology topology)
     : system_(system),
       topology_(std::move(topology)),
-      closure_(system->equivalences(), *system->dict()) {
+      closure_(system->equivalences(), *system->dict()),
+      rewrite_cache_(RewriteCacheOptions{true}, "rewrite"),
+      subquery_cache_(SubQueryCacheOptions{true}, "subquery") {
   // Reserve so the PeerNodes' graph pointers stay stable.
   canonical_graphs_.reserve(system_->dataset().graphs().size());
   for (const auto& [name, graph] : system_->dataset().graphs()) {
@@ -203,15 +205,38 @@ Result<FederatedQueryResult> Federator::Execute(
   obs::ScopedTimerMs run_timer(reg.histogram("federation.execute_ms"));
   obs::AutoSpan span("federation.execute");
 
-  RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
-                       RewriteGraphQuery(*system_, query, options.rewrite));
-  result.rewrite_stats = std::move(rewritten.stats);
+  RPS_ASSIGN_OR_RETURN(
+      RewriteCache::CachedRewrite shared_rewrite,
+      RewriteGraphQueryCached(*system_, query, options.rewrite,
+                              options.use_rewrite_cache ? &rewrite_cache_
+                                                        : nullptr));
+  const RpsRewriteResult& rewritten = *shared_rewrite;
+  result.rewrite_stats = rewritten.stats;
   result.branches = rewritten.ucq.size();
 
   // Canonical-mode sub-queries are answered from the peers' locally
   // canonicalized graphs; raw-mode from the raw graphs.
+  const bool canonical_mode = rewritten.canonical_terms;
   std::vector<PeerNode>& endpoints =
-      rewritten.canonical_terms ? canonical_peers_ : peers_;
+      canonical_mode ? canonical_peers_ : peers_;
+
+  // Answers `pattern` via `target`, serving repeated sub-queries from
+  // the epoch-keyed cache when enabled. The peer's graph is append-only,
+  // so the (peer, epoch, pattern) key can never alias a different data
+  // state — a hit is byte-identical to a fresh PeerNode::Answer.
+  auto answer_subquery = [&](PeerNode& target, const TriplePattern& pattern) {
+    if (!options.use_subquery_cache) return target.Answer(pattern);
+    size_t peer_index = static_cast<size_t>(&target - endpoints.data());
+    std::string key = SubQueryKey(peer_index, target.graph().SnapshotEpoch(),
+                                  canonical_mode, pattern);
+    if (SubQueryCache::Rows cached = subquery_cache_.Lookup(key)) {
+      return *cached;
+    }
+    BindingSet rows = target.Answer(pattern);
+    subquery_cache_.Insert(std::move(key),
+                           std::make_shared<const BindingSet>(rows));
+    return rows;
+  };
 
   const Dictionary& dict = *system_->dict();
   std::vector<Tuple> answers;
@@ -378,8 +403,8 @@ Result<FederatedQueryResult> Federator::Execute(
         // Evaluates the pattern against `target` (shared by the fan-out
         // and any post-recovery re-issue).
         std::function<BindingSet(PeerNode&, size_t*)> eval_pattern =
-            [&tp](PeerNode& target, size_t* raw_rows) {
-              BindingSet rows = target.Answer(tp);
+            [&tp, &answer_subquery](PeerNode& target, size_t* raw_rows) {
+              BindingSet rows = answer_subquery(target, tp);
               *raw_rows = rows.size();
               return rows;
             };
@@ -457,7 +482,7 @@ Result<FederatedQueryResult> Federator::Execute(
               TriplePattern bound{bind_term(tp.s), bind_term(tp.p),
                                   bind_term(tp.o)};
               if (!target.MayAnswer(bound)) continue;
-              BindingSet local = target.Answer(bound);
+              BindingSet local = answer_subquery(target, bound);
               raw += local.size();
               for (const Binding& r : local) {
                 std::optional<Binding> merged = Binding::Merge(b, r);
@@ -569,6 +594,14 @@ Result<FederatedQueryResult> Federator::Execute(
   span.Annotate("branches", result.branches);
   span.Annotate("subqueries", result.subqueries);
   span.Annotate("answers", result.answers.size());
+  if (options.use_rewrite_cache) {
+    span.Annotate("rewrite_cache_hits", rewrite_cache_.Stats().hits);
+  }
+  if (options.use_subquery_cache) {
+    SubQueryCacheStats sq = subquery_cache_.Stats();
+    span.Annotate("subquery_cache_hits", sq.hits);
+    span.Annotate("subquery_cache_entries", sq.entries);
+  }
   if (injector.active()) {
     span.Annotate("completeness", std::string(ToString(result.completeness)));
     span.Annotate("retries", result.retries);
@@ -594,9 +627,13 @@ Result<FederatedQueryResult> Federator::ExecuteCentralized(
       ->Increment();
   obs::AutoSpan span("federation.execute_centralized");
 
-  RPS_ASSIGN_OR_RETURN(RpsRewriteResult rewritten,
-                       RewriteGraphQuery(*system_, query, options.rewrite));
-  result.rewrite_stats = std::move(rewritten.stats);
+  RPS_ASSIGN_OR_RETURN(
+      RewriteCache::CachedRewrite shared_rewrite,
+      RewriteGraphQueryCached(*system_, query, options.rewrite,
+                              options.use_rewrite_cache ? &rewrite_cache_
+                                                        : nullptr));
+  const RpsRewriteResult& rewritten = *shared_rewrite;
+  result.rewrite_stats = rewritten.stats;
   result.branches = rewritten.ucq.size();
 
   // Ship every peer graph to the coordinator.

@@ -7,10 +7,12 @@
 
 #include "federation/network.h"
 #include "federation/peer_node.h"
+#include "federation/subquery_cache.h"
 #include "peer/certain_answers.h"
 #include "peer/equivalence.h"
 #include "peer/rps_system.h"
 #include "rewrite/bool_rewrite.h"
+#include "rewrite/rewrite_cache.h"
 
 namespace rps {
 
@@ -77,6 +79,18 @@ struct FederationOptions {
   /// so answers are identical to the serial execution. 1 disables
   /// parallelism.
   size_t threads = 1;
+  /// Memoize UCQ rewritings in the federator's RewriteCache, keyed by
+  /// (query shape, mapping-set version, rewrite options). Rewriting is a
+  /// pure function of those inputs, so repeated executions of the same
+  /// query shape skip the rewriting engine with identical results and
+  /// stats.
+  bool use_rewrite_cache = true;
+  /// Serve repeated per-peer sub-queries — across UCQ branches,
+  /// bind-join batches, and hedged retries — from the federator's
+  /// SubQueryCache, keyed by (peer, graph epoch, pattern). Answers are
+  /// byte-identical either way (see subquery_cache.h); opt-in because it
+  /// trades coordinator memory for peer index probes.
+  bool use_subquery_cache = false;
 };
 
 /// Outcome of a federated query execution.
@@ -152,6 +166,18 @@ class Federator {
   /// True once AttachStorage succeeded.
   bool has_storage() const { return !storage_dir_.empty(); }
 
+  /// Statistics of the embedded rewriting cache (hits accrue whenever
+  /// Execute/ExecuteCentralized reuse a memoized rewriting).
+  RewriteCacheStats rewrite_cache_stats() const {
+    return rewrite_cache_.Stats();
+  }
+
+  /// Statistics of the embedded per-peer sub-query cache (populated only
+  /// by Execute calls with options.use_subquery_cache set).
+  SubQueryCacheStats subquery_cache_stats() const {
+    return subquery_cache_.Stats();
+  }
+
   /// Restarts peer `p` from its snapshot in the attached storage
   /// directory: loads the snapshot — memory-mapped, since the shared
   /// dictionary makes the id remap the identity — into a
@@ -189,6 +215,11 @@ class Federator {
   /// replicas_[p] = peers whose raw graph equals peer p's as a triple
   /// set (hedged re-dispatch targets), ascending, excluding p.
   std::vector<std::vector<size_t>> replicas_;
+  /// Memoized rewritings (hit on repeated query shapes at the same
+  /// mapping version) and per-peer sub-query results (hit on repeated
+  /// patterns at the same peer epoch). Both are internally locked.
+  RewriteCache rewrite_cache_;
+  SubQueryCache subquery_cache_;
   /// Snapshot directory from AttachStorage; empty = recovery disabled.
   std::string storage_dir_;
   /// Graphs reloaded from snapshots by RecoverPeer. A deque so endpoint

@@ -1,0 +1,132 @@
+#include "federation/subquery_cache.h"
+
+#include <cstring>
+
+namespace rps {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+void AppendPatternTerm(std::string* out, const PatternTerm& t) {
+  out->push_back(t.is_var() ? 'v' : 'c');
+  uint32_t id = t.is_var() ? t.var() : t.term();
+  char buf[4];
+  std::memcpy(buf, &id, sizeof id);
+  out->append(buf, sizeof id);
+}
+
+size_t EstimateRowBytes(const std::string& key,
+                        const SubQueryCache::Rows& rows) {
+  size_t bytes = key.size() + sizeof(BindingSet);
+  for (const Binding& b : *rows) {
+    bytes += sizeof(Binding) + b.size() * sizeof(std::pair<VarId, TermId>);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string SubQueryKey(size_t peer_index, size_t epoch, bool canonical,
+                        const TriplePattern& pattern) {
+  std::string key;
+  key.reserve(2 + 16 + 15);
+  key.push_back(canonical ? 'C' : 'R');
+  AppendU64(&key, peer_index);
+  AppendU64(&key, epoch);
+  AppendPatternTerm(&key, pattern.s);
+  AppendPatternTerm(&key, pattern.p);
+  AppendPatternTerm(&key, pattern.o);
+  return key;
+}
+
+SubQueryCache::SubQueryCache(const SubQueryCacheOptions& options,
+                             std::string label)
+    : options_(options) {
+  obs::Registry& reg = obs::Registry::Global();
+  hits_total_ = reg.counter("cache.hits");
+  hits_labeled_ = reg.counter(obs::WithLabel("cache.hits", label));
+  misses_total_ = reg.counter("cache.misses");
+  misses_labeled_ = reg.counter(obs::WithLabel("cache.misses", label));
+  evictions_total_ = reg.counter("cache.evictions");
+  evictions_labeled_ = reg.counter(obs::WithLabel("cache.evictions", label));
+  bytes_total_ = reg.gauge("cache.bytes");
+  bytes_labeled_ = reg.gauge(obs::WithLabel("cache.bytes", label));
+}
+
+SubQueryCache::~SubQueryCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_total_->Add(-static_cast<int64_t>(bytes_));
+  bytes_labeled_->Add(-static_cast<int64_t>(bytes_));
+}
+
+SubQueryCache::Rows SubQueryCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    misses_total_->Add(1);
+    misses_labeled_->Add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  hits_total_->Add(1);
+  hits_labeled_->Add(1);
+  return it->second.rows;
+}
+
+void SubQueryCache::Insert(std::string key, Rows rows) {
+  if (!rows) return;
+  size_t bytes = EstimateRowBytes(key, rows);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    bytes_total_->Add(static_cast<int64_t>(bytes) -
+                      static_cast<int64_t>(it->second.bytes));
+    bytes_labeled_->Add(static_cast<int64_t>(bytes) -
+                        static_cast<int64_t>(it->second.bytes));
+    bytes_ += bytes - it->second.bytes;
+    it->second.rows = std::move(rows);
+    it->second.bytes = bytes;
+  } else {
+    lru_.push_front(std::move(key));
+    entries_.emplace(lru_.front(), Entry{std::move(rows), bytes, lru_.begin()});
+    bytes_ += bytes;
+    bytes_total_->Add(static_cast<int64_t>(bytes));
+    bytes_labeled_->Add(static_cast<int64_t>(bytes));
+  }
+  while (!lru_.empty() &&
+         ((options_.max_entries != 0 &&
+           entries_.size() > options_.max_entries) ||
+          (options_.max_bytes != 0 && bytes_ > options_.max_bytes))) {
+    EvictLruLocked();
+  }
+}
+
+SubQueryCacheStats SubQueryCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubQueryCacheStats out = stats_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void SubQueryCache::EvictLruLocked() {
+  auto it = entries_.find(lru_.back());
+  bytes_ -= it->second.bytes;
+  bytes_total_->Add(-static_cast<int64_t>(it->second.bytes));
+  bytes_labeled_->Add(-static_cast<int64_t>(it->second.bytes));
+  entries_.erase(it);
+  lru_.pop_back();
+  ++stats_.evictions;
+  evictions_total_->Add(1);
+  evictions_labeled_->Add(1);
+}
+
+}  // namespace rps

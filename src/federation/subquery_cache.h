@@ -1,0 +1,105 @@
+#ifndef RPS_FEDERATION_SUBQUERY_CACHE_H_
+#define RPS_FEDERATION_SUBQUERY_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "query/binding.h"
+
+namespace rps {
+
+/// Tuning knobs for a SubQueryCache.
+struct SubQueryCacheOptions {
+  bool enabled = false;
+  /// Maximum cached sub-query results; LRU eviction past it. 0 = unbounded.
+  size_t max_entries = 8192;
+  /// Total byte budget (estimated binding payload). 0 = unbounded.
+  size_t max_bytes = 32ull << 20;
+};
+
+/// Point-in-time statistics of one SubQueryCache instance.
+struct SubQueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// Caches per-peer sub-query results inside the Federator, keyed by
+/// (peer, peer graph epoch, endpoint kind, verbatim triple pattern). A
+/// peer's graph is append-only, so its epoch identifies the exact data
+/// state the answer was computed from; any ingest bumps the epoch, which
+/// shifts the key — stale entries can never be served and simply age out
+/// through LRU eviction. Repeated sub-queries — the same pattern across
+/// UCQ branches, re-bound patterns recurring across bind-join batches,
+/// and hedged re-dispatches landing on the same replica — reuse the
+/// prior evaluation instead of re-probing the peer's indexes.
+///
+/// Keys carry the pattern verbatim (VarIds included, no shape
+/// canonicalization): the cached BindingSet binds those exact VarIds, so
+/// the result is byte-identical to a fresh PeerNode::Answer call —
+/// network accounting, join results, and thread-count determinism are
+/// all unchanged.
+///
+/// Thread-safe (the Federator fans sub-queries out across threads); hits
+/// hand out shared_ptr payloads so eviction cannot race a reader. Emits
+/// cache.{hits,misses,evictions,bytes} under the {cache=subquery} label.
+class SubQueryCache {
+ public:
+  using Rows = std::shared_ptr<const BindingSet>;
+
+  explicit SubQueryCache(const SubQueryCacheOptions& options,
+                         std::string label = "subquery");
+  ~SubQueryCache();
+  SubQueryCache(const SubQueryCache&) = delete;
+  SubQueryCache& operator=(const SubQueryCache&) = delete;
+
+  /// The cached rows, or nullptr (miss). A hit refreshes the entry's LRU
+  /// position.
+  Rows Lookup(const std::string& key);
+
+  /// Caches `rows` under `key` (replacing any previous entry).
+  void Insert(std::string key, Rows rows);
+
+  SubQueryCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    Rows rows;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictLruLocked();
+
+  const SubQueryCacheOptions options_;
+  obs::Counter* hits_total_;
+  obs::Counter* hits_labeled_;
+  obs::Counter* misses_total_;
+  obs::Counter* misses_labeled_;
+  obs::Counter* evictions_total_;
+  obs::Counter* evictions_labeled_;
+  obs::Gauge* bytes_total_;
+  obs::Gauge* bytes_labeled_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;
+  size_t bytes_ = 0;
+  SubQueryCacheStats stats_;
+};
+
+/// The cache key for `pattern` answered by peer `peer_index` whose graph
+/// is at `epoch`. `canonical` distinguishes the raw endpoint from the
+/// clique-canonicalized one (same peer, different data).
+std::string SubQueryKey(size_t peer_index, size_t epoch, bool canonical,
+                        const TriplePattern& pattern);
+
+}  // namespace rps
+
+#endif  // RPS_FEDERATION_SUBQUERY_CACHE_H_

@@ -18,12 +18,35 @@ Result<RpsChaseStats> IncrementalUniversalSolution::Initialize() {
 }
 
 Result<RpsChaseStats> IncrementalUniversalSolution::Reclose() {
+  size_t before = universal_.SnapshotEpoch();
   RPS_ASSIGN_OR_RETURN(
       RpsChaseStats stats,
       ChaseGraph(&universal_, system_->graph_mappings(),
                  system_->equivalences(), options_));
   ++update_count_;
+  SyncCacheFrom(before);
   return stats;
+}
+
+void IncrementalUniversalSolution::SyncCacheFrom(size_t old_epoch) {
+  if (cache_ == nullptr) return;
+  size_t now = universal_.SnapshotEpoch();
+  std::vector<Triple> delta;
+  delta.reserve(now - old_epoch);
+  for (size_t pos = old_epoch; pos < now; ++pos) {
+    delta.push_back(universal_.TripleAt(pos));
+  }
+  cache_->ApplyDelta(delta, now);
+}
+
+void IncrementalUniversalSolution::EnableAnswerCache(
+    const AnswerCacheOptions& options) {
+  if (!options.enabled) {
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<AnswerCache>(options, "incremental",
+                                         universal_.SnapshotEpoch());
 }
 
 Result<RpsChaseStats> IncrementalUniversalSolution::AddTriple(
@@ -41,6 +64,7 @@ Result<RpsChaseStats> IncrementalUniversalSolution::AddTriple(
     noop.completed = true;
     return noop;  // already stored; J unchanged
   }
+  size_t before = universal_.SnapshotEpoch();
   bool new_in_j = universal_.InsertUnchecked(triple);
   if (!new_in_j) {
     // J had already derived this triple; it is closed under it.
@@ -55,6 +79,43 @@ Result<RpsChaseStats> IncrementalUniversalSolution::AddTriple(
       ChaseGraphDelta(&universal_, {triple}, system_->graph_mappings(),
                       system_->equivalences(), options_));
   ++update_count_;
+  SyncCacheFrom(before);
+  return stats;
+}
+
+Result<RpsChaseStats> IncrementalUniversalSolution::AddTriples(
+    const std::string& peer_name, const std::vector<Triple>& triples) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  Graph* peer = system_->dataset().Find(peer_name);
+  if (peer == nullptr) {
+    return Status::NotFound("unknown peer: " + peer_name);
+  }
+  size_t before = universal_.SnapshotEpoch();
+  // Stage the whole batch, then close under it with one delta chase: the
+  // semi-naive rounds join all batch triples at once instead of paying a
+  // fixpoint round-trip per triple.
+  std::vector<Triple> delta;
+  delta.reserve(triples.size());
+  for (const Triple& triple : triples) {
+    RPS_ASSIGN_OR_RETURN(bool fresh, peer->Insert(triple));
+    if (!fresh) continue;  // already stored; J is closed under it
+    if (universal_.InsertUnchecked(triple)) delta.push_back(triple);
+  }
+  if (delta.empty()) {
+    RpsChaseStats noop;
+    noop.completed = true;
+    ++update_count_;
+    return noop;
+  }
+  RPS_ASSIGN_OR_RETURN(
+      RpsChaseStats stats,
+      ChaseGraphDelta(&universal_, std::move(delta),
+                      system_->graph_mappings(), system_->equivalences(),
+                      options_));
+  ++update_count_;
+  SyncCacheFrom(before);
   return stats;
 }
 
@@ -78,10 +139,22 @@ Result<RpsChaseStats> IncrementalUniversalSolution::AddEquivalence(
 
 std::vector<Tuple> IncrementalUniversalSolution::Answer(
     const GraphPatternQuery& query) const {
+  std::string key;
+  size_t epoch = universal_.SnapshotEpoch();
+  if (cache_ != nullptr) {
+    key = CanonicalQueryKey(query, QuerySemantics::kDropBlanks);
+    if (AnswerCache::Answers hit = cache_->Lookup(key, epoch)) {
+      return *hit;
+    }
+  }
   std::vector<Tuple> answers =
       EvalQuery(universal_, query, QuerySemantics::kDropBlanks,
                 options_.eval);
   SortTuples(&answers);
+  if (cache_ != nullptr) {
+    cache_->Insert(std::move(key), epoch, QueryFootprint(query),
+                   std::make_shared<const std::vector<Tuple>>(answers));
+  }
   return answers;
 }
 

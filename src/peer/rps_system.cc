@@ -26,6 +26,7 @@ PeerSchema RpsSystem::SchemaOf(const std::string& peer_name) const {
 Status RpsSystem::AddGraphMapping(GraphMappingAssertion assertion) {
   RPS_RETURN_IF_ERROR(assertion.Validate());
   graph_mappings_.push_back(std::move(assertion));
+  ++mapping_version_;
   return Status::OK();
 }
 
@@ -36,6 +37,7 @@ Status RpsSystem::AddEquivalence(TermId left, TermId right) {
   }
   if (left == right) return Status::OK();  // trivially satisfied
   equivalences_.push_back(EquivalenceMapping{left, right});
+  ++mapping_version_;
   return Status::OK();
 }
 

@@ -72,6 +72,14 @@ class RpsSystem {
     return equivalences_;
   }
 
+  /// Monotone version of the mapping set (G, E): bumped by every
+  /// successful AddGraphMapping / AddEquivalence (including the
+  /// equivalences registered by AddEquivalencesFromSameAs). Rewritings
+  /// are pure functions of (query, mapping set, options), so caches key
+  /// memoized rewritings by this version — a mapping change shifts every
+  /// key instead of requiring explicit invalidation.
+  uint64_t mapping_version() const { return mapping_version_; }
+
   /// The stored database D: the union of all peer graphs.
   Graph StoredDatabase() const { return dataset_->Merged(); }
 
@@ -98,6 +106,7 @@ class RpsSystem {
   std::unique_ptr<Dataset> dataset_;
   std::vector<GraphMappingAssertion> graph_mappings_;
   std::vector<EquivalenceMapping> equivalences_;
+  uint64_t mapping_version_ = 0;
 };
 
 class RelationalInstance;

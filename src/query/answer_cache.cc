@@ -1,0 +1,264 @@
+#include "query/answer_cache.h"
+
+#include <cstring>
+
+namespace rps {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+// Canonical id of one pattern term under the first-occurrence variable
+// renaming: variables get even codes 2*rank, constants odd codes
+// 2*TermId+1 — disjoint ranges, so a renamed variable can never collide
+// with a constant in the serialized key.
+uint32_t CanonicalTermCode(const PatternTerm& t,
+                           std::unordered_map<VarId, uint32_t>* rename) {
+  if (t.is_var()) {
+    auto it = rename->emplace(t.var(), static_cast<uint32_t>(rename->size()));
+    return 2u * it.first->second;
+  }
+  return 2u * t.term() + 1u;
+}
+
+size_t EstimateEntryBytes(const std::string& key,
+                          const QueryFootprintSet& footprint,
+                          const AnswerCache::Answers& answers) {
+  size_t bytes = key.size() + footprint.size() * sizeof(PatternFootprint) +
+                 sizeof(std::vector<Tuple>);
+  if (answers) {
+    bytes += answers->size() * sizeof(Tuple);
+    for (const Tuple& t : *answers) bytes += t.size() * sizeof(TermId);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const GraphPatternQuery& query,
+                              QuerySemantics semantics) {
+  std::unordered_map<VarId, uint32_t> rename;
+  rename.reserve(query.head.size() + 3 * query.body.size());
+  std::string key;
+  key.reserve(1 + 4 * (1 + query.head.size() + 3 * query.body.size()));
+  key.push_back(semantics == QuerySemantics::kDropBlanks ? 'D' : 'K');
+  AppendU32(&key, static_cast<uint32_t>(query.head.size()));
+  for (VarId v : query.head) {
+    AppendU32(&key, CanonicalTermCode(PatternTerm::Var(v), &rename));
+  }
+  for (const TriplePattern& tp : query.body.patterns()) {
+    AppendU32(&key, CanonicalTermCode(tp.s, &rename));
+    AppendU32(&key, CanonicalTermCode(tp.p, &rename));
+    AppendU32(&key, CanonicalTermCode(tp.o, &rename));
+  }
+  return key;
+}
+
+QueryFootprintSet QueryFootprint(const GraphPatternQuery& query) {
+  QueryFootprintSet footprint;
+  footprint.reserve(query.body.size());
+  for (const TriplePattern& tp : query.body.patterns()) {
+    footprint.push_back(
+        {tp.s.AsMatchKey(), tp.p.AsMatchKey(), tp.o.AsMatchKey()});
+  }
+  return footprint;
+}
+
+bool FootprintTouches(const QueryFootprintSet& footprint, const Triple& t) {
+  for (const PatternFootprint& f : footprint) {
+    if (f.s && *f.s != t.s) continue;
+    if (f.p && *f.p != t.p) continue;
+    if (f.o && *f.o != t.o) continue;
+    return true;
+  }
+  return false;
+}
+
+AnswerCache::AnswerCache(const AnswerCacheOptions& options, std::string label,
+                         size_t initial_epoch)
+    : options_(options), label_(std::move(label)),
+      known_epoch_(initial_epoch) {
+  obs::Registry& reg = obs::Registry::Global();
+  hits_total_ = reg.counter("cache.hits");
+  hits_labeled_ = reg.counter(obs::WithLabel("cache.hits", label_));
+  misses_total_ = reg.counter("cache.misses");
+  misses_labeled_ = reg.counter(obs::WithLabel("cache.misses", label_));
+  invalidations_total_ = reg.counter("cache.invalidations");
+  invalidations_labeled_ =
+      reg.counter(obs::WithLabel("cache.invalidations", label_));
+  evictions_total_ = reg.counter("cache.evictions");
+  evictions_labeled_ = reg.counter(obs::WithLabel("cache.evictions", label_));
+  bytes_total_ = reg.gauge("cache.bytes");
+  bytes_labeled_ = reg.gauge(obs::WithLabel("cache.bytes", label_));
+}
+
+AnswerCache::~AnswerCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_total_->Add(-static_cast<int64_t>(bytes_));
+  bytes_labeled_->Add(-static_cast<int64_t>(bytes_));
+}
+
+AnswerCache::Answers AnswerCache::Lookup(const std::string& key,
+                                         size_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.epoch > epoch ||
+      epoch > known_epoch_) {
+    ++stats_.misses;
+    misses_total_->Add(1);
+    misses_labeled_->Add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  hits_total_->Add(1);
+  hits_labeled_->Add(1);
+  return it->second.answers;
+}
+
+void AnswerCache::Insert(std::string key, size_t eval_epoch,
+                         QueryFootprintSet footprint, Answers answers) {
+  if (!answers) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A delta may have landed after this evaluation's snapshot without
+  // being checked against this footprint — the result could be stale at
+  // known_epoch_, so refuse it. (Deliberately no known_epoch_ advance on
+  // the eval_epoch > known_epoch_ side: see the class comment.)
+  if (eval_epoch < known_epoch_) return;
+  size_t bytes = EstimateEntryBytes(key, footprint, answers);
+  if (options_.max_entry_bytes != 0 && bytes > options_.max_entry_bytes) {
+    return;
+  }
+  EraseLocked(key, /*counts_as_invalidation=*/false);
+  lru_.push_front(key);
+  Entry entry;
+  entry.epoch = eval_epoch;
+  entry.footprint = std::move(footprint);
+  entry.answers = std::move(answers);
+  entry.bytes = bytes;
+  entry.lru_it = lru_.begin();
+  for (const PatternFootprint& f : entry.footprint) {
+    if (!f.p) {
+      entry.wildcard_predicate = true;
+      break;
+    }
+  }
+  IndexLocked(lru_.front(), entry);
+  bytes_ += bytes;
+  bytes_total_->Add(static_cast<int64_t>(bytes));
+  bytes_labeled_->Add(static_cast<int64_t>(bytes));
+  entries_.emplace(std::move(key), std::move(entry));
+  EvictToBudgetLocked();
+}
+
+void AnswerCache::ApplyDelta(const std::vector<Triple>& delta,
+                             size_t new_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_set<std::string> doomed;
+  for (const Triple& t : delta) {
+    auto bucket = by_predicate_.find(t.p);
+    if (bucket != by_predicate_.end()) {
+      for (const std::string& key : bucket->second) {
+        if (doomed.count(key)) continue;
+        if (FootprintTouches(entries_.at(key).footprint, t)) {
+          doomed.insert(key);
+        }
+      }
+    }
+    for (const std::string& key : wildcard_keys_) {
+      if (doomed.count(key)) continue;
+      if (FootprintTouches(entries_.at(key).footprint, t)) {
+        doomed.insert(key);
+      }
+    }
+  }
+  for (const std::string& key : doomed) {
+    EraseLocked(key, /*counts_as_invalidation=*/true);
+  }
+  // Surviving entries are promoted wholesale: their footprints are
+  // disjoint from the delta, so their answers are unchanged at new_epoch.
+  if (new_epoch > known_epoch_) known_epoch_ = new_epoch;
+}
+
+void AnswerCache::Clear(size_t new_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& kv : entries_) keys.push_back(kv.first);
+  for (const std::string& key : keys) {
+    EraseLocked(key, /*counts_as_invalidation=*/true);
+  }
+  if (new_epoch > known_epoch_) known_epoch_ = new_epoch;
+}
+
+size_t AnswerCache::known_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return known_epoch_;
+}
+
+AnswerCacheStats AnswerCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AnswerCacheStats out = stats_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void AnswerCache::EraseLocked(const std::string& key,
+                              bool counts_as_invalidation) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  UnindexLocked(key, it->second);
+  bytes_ -= it->second.bytes;
+  bytes_total_->Add(-static_cast<int64_t>(it->second.bytes));
+  bytes_labeled_->Add(-static_cast<int64_t>(it->second.bytes));
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  if (counts_as_invalidation) {
+    ++stats_.invalidations;
+    invalidations_total_->Add(1);
+    invalidations_labeled_->Add(1);
+  }
+}
+
+void AnswerCache::EvictToBudgetLocked() {
+  while (!lru_.empty() &&
+         ((options_.max_entries != 0 &&
+           entries_.size() > options_.max_entries) ||
+          (options_.max_bytes != 0 && bytes_ > options_.max_bytes))) {
+    std::string victim = lru_.back();
+    EraseLocked(victim, /*counts_as_invalidation=*/false);
+    ++stats_.evictions;
+    evictions_total_->Add(1);
+    evictions_labeled_->Add(1);
+  }
+}
+
+void AnswerCache::IndexLocked(const std::string& key, const Entry& entry) {
+  if (entry.wildcard_predicate) {
+    wildcard_keys_.insert(key);
+    return;
+  }
+  for (const PatternFootprint& f : entry.footprint) {
+    by_predicate_[*f.p].insert(key);
+  }
+}
+
+void AnswerCache::UnindexLocked(const std::string& key, const Entry& entry) {
+  if (entry.wildcard_predicate) {
+    wildcard_keys_.erase(key);
+    return;
+  }
+  for (const PatternFootprint& f : entry.footprint) {
+    auto it = by_predicate_.find(*f.p);
+    if (it == by_predicate_.end()) continue;
+    it->second.erase(key);
+    if (it->second.empty()) by_predicate_.erase(it);
+  }
+}
+
+}  // namespace rps

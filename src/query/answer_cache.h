@@ -1,0 +1,209 @@
+#ifndef RPS_QUERY_ANSWER_CACHE_H_
+#define RPS_QUERY_ANSWER_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "query/eval.h"
+#include "query/query.h"
+#include "rdf/triple.h"
+
+namespace rps {
+
+/// A canonical byte key for a graph pattern query: variables are
+/// renumbered by first occurrence (head first, then body in s,p,o
+/// order), so two queries that differ only in variable *names* share one
+/// key — the "query shape". The semantics flag is folded in because
+/// kDropBlanks and kKeepBlanks answers differ. Canonicalization never
+/// reorders patterns: results are order-independent, but keeping the
+/// written order makes the key a pure rename, trivially injective on
+/// shapes.
+std::string CanonicalQueryKey(const GraphPatternQuery& query,
+                              QuerySemantics semantics);
+
+/// One triple pattern of a cached evaluation's read footprint, reduced
+/// to its match keys: nullopt = wildcard (a variable position), a TermId
+/// = that constant.
+struct PatternFootprint {
+  std::optional<TermId> s;
+  std::optional<TermId> p;
+  std::optional<TermId> o;
+};
+
+/// The read footprint of a BGP query: its body patterns' match keys.
+/// Soundness of footprint-based invalidation rests on monotonicity over
+/// an append-only graph: a BGP answer set can only change between epochs
+/// E < E' if some triple appended in [E, E') matches at least one body
+/// pattern (every new answer's homomorphism must use a new triple, and
+/// that triple must match the pattern it is assigned to). A delta triple
+/// that matches no pattern of the footprint therefore cannot change the
+/// answers, and the cached entry remains byte-identical at E'.
+using QueryFootprintSet = std::vector<PatternFootprint>;
+
+QueryFootprintSet QueryFootprint(const GraphPatternQuery& query);
+
+/// True iff `t` matches at least one pattern of the footprint
+/// (constant-wise; wildcard positions always match).
+bool FootprintTouches(const QueryFootprintSet& footprint, const Triple& t);
+
+/// Tuning knobs for an AnswerCache.
+struct AnswerCacheOptions {
+  /// Master switch — consumers (QueryServer, IncrementalUniversalSolution)
+  /// construct a cache only when set, so the default serving path is
+  /// byte-for-byte the uncached PR 7 behaviour.
+  bool enabled = false;
+  /// Maximum live entries; least-recently-used entries are evicted past
+  /// it. 0 = unbounded.
+  size_t max_entries = 4096;
+  /// Total byte budget across all entries (answer payload + key +
+  /// footprint, estimated). LRU eviction past it. 0 = unbounded.
+  size_t max_bytes = 64ull << 20;
+  /// Entries whose payload alone exceeds this are never cached (one
+  /// pathological result set cannot wipe the whole cache). 0 = unbounded.
+  size_t max_entry_bytes = 8ull << 20;
+};
+
+/// Point-in-time statistics of one AnswerCache instance (the global
+/// `cache.*` instruments aggregate across instances; these are per
+/// instance, for tests and EXPLAIN).
+struct AnswerCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// An epoch-keyed certain-answer / query-result cache with
+/// footprint-based invalidation over an append-only graph.
+///
+/// Protocol (docs/ARCHITECTURE.md "Caching & invalidation"):
+///  * Every entry records the epoch its answers were computed at and the
+///    query's pattern footprint.
+///  * Every ingest MUST be reported through ApplyDelta(new_triples,
+///    new_epoch) — entries whose footprint a delta triple touches are
+///    dropped (an `invalidation`); surviving entries are implicitly
+///    promoted: the cache-wide `known_epoch` advances, and the invariant
+///    "every live entry is valid at every epoch in [entry.epoch,
+///    known_epoch]" is maintained without touching untouched entries
+///    (their answers provably cannot have changed).
+///  * Lookup(key, E) hits iff entry.epoch <= E <= known_epoch — the
+///    served answers are byte-identical to a fresh evaluation at E.
+///  * Insert with eval_epoch < known_epoch is dropped: deltas landed
+///    after the evaluation's snapshot and were never checked against
+///    this entry's footprint, so it may already be stale. Insert never
+///    *advances* known_epoch either — vouching for epochs whose deltas
+///    were not yet reported would let an unrelated insert resurrect a
+///    stale sibling entry — so an entry inserted above known_epoch lies
+///    dormant until the covering ApplyDelta arrives.
+///
+/// Invalidation cost is proportional to the entries that *could* be
+/// touched, not the cache size: entries are bucketed by their constant
+/// predicates, so a delta only walks the buckets of its own predicates
+/// (plus the entries having a wildcard-predicate pattern, which every
+/// triple may touch).
+///
+/// Thread-safe: all operations serialize on an internal mutex, and hits
+/// hand out shared_ptr payloads, so an eviction or invalidation racing a
+/// reader can never free answers out from under it.
+class AnswerCache {
+ public:
+  using Answers = std::shared_ptr<const std::vector<Tuple>>;
+
+  /// `label` names this instance in the labelled metrics dimension
+  /// (`cache.hits{<label>}`, ...). `initial_epoch` is the graph's epoch
+  /// at attach time: the preloaded prefix needs no invalidation, so the
+  /// cache starts already valid through it.
+  explicit AnswerCache(const AnswerCacheOptions& options,
+                       std::string label = "answer",
+                       size_t initial_epoch = 0);
+  ~AnswerCache();
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// Answers valid exactly at `epoch`, or nullptr (miss). A hit
+  /// refreshes the entry's LRU position.
+  Answers Lookup(const std::string& key, size_t epoch);
+
+  /// Caches `answers` as the result of evaluating the keyed query at
+  /// `eval_epoch` over a graph whose reads the footprint covers.
+  /// Replaces any previous entry under the key. Silently refuses stale
+  /// inserts (eval_epoch < known_epoch) and oversized payloads.
+  void Insert(std::string key, size_t eval_epoch,
+              QueryFootprintSet footprint, Answers answers);
+
+  /// Reports an ingest: `delta` are the triples newly appended (now at
+  /// positions < new_epoch). Drops touched entries, advances
+  /// known_epoch. Deltas must be reported in insertion order — consumers
+  /// serialize their ingest path around graph-append + ApplyDelta.
+  void ApplyDelta(const std::vector<Triple>& delta, size_t new_epoch);
+
+  /// Drops every entry (mapping change, external bulk rebuild). The
+  /// known epoch is advanced to `new_epoch`.
+  void Clear(size_t new_epoch);
+
+  /// The highest epoch invalidation has been applied through.
+  size_t known_epoch() const;
+
+  AnswerCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    size_t epoch = 0;
+    QueryFootprintSet footprint;
+    Answers answers;
+    size_t bytes = 0;
+    /// Position in lru_ (front = most recent).
+    std::list<std::string>::iterator lru_it;
+    /// True when the footprint has a wildcard-predicate pattern (the
+    /// entry then lives in wildcard_keys_ instead of predicate buckets).
+    bool wildcard_predicate = false;
+  };
+
+  // All private helpers assume mu_ is held.
+  void EraseLocked(const std::string& key, bool counts_as_invalidation);
+  void EvictToBudgetLocked();
+  void IndexLocked(const std::string& key, const Entry& entry);
+  void UnindexLocked(const std::string& key, const Entry& entry);
+
+  const AnswerCacheOptions options_;
+  const std::string label_;
+
+  // cache.* instruments: the unlabeled aggregate plus this instance's
+  // {cache=<label>} dimension, resolved once at construction (registry
+  // pointers are stable for the process lifetime).
+  obs::Counter* hits_total_;
+  obs::Counter* hits_labeled_;
+  obs::Counter* misses_total_;
+  obs::Counter* misses_labeled_;
+  obs::Counter* invalidations_total_;
+  obs::Counter* invalidations_labeled_;
+  obs::Counter* evictions_total_;
+  obs::Counter* evictions_labeled_;
+  obs::Gauge* bytes_total_;
+  obs::Gauge* bytes_labeled_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;
+  /// Constant-predicate buckets: predicate -> keys of entries with a
+  /// pattern on that predicate. Entries with any wildcard-predicate
+  /// pattern are in wildcard_keys_ and checked against every delta.
+  std::unordered_map<TermId, std::unordered_set<std::string>> by_predicate_;
+  std::unordered_set<std::string> wildcard_keys_;
+  size_t bytes_ = 0;
+  size_t known_epoch_ = 0;
+  AnswerCacheStats stats_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_QUERY_ANSWER_CACHE_H_

@@ -1,0 +1,110 @@
+#include "rewrite/rewrite_cache.h"
+
+#include <cstring>
+
+#include "query/answer_cache.h"
+
+namespace rps {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+}  // namespace
+
+RewriteCache::RewriteCache(const RewriteCacheOptions& options,
+                           std::string label)
+    : options_(options) {
+  obs::Registry& reg = obs::Registry::Global();
+  hits_total_ = reg.counter("cache.hits");
+  hits_labeled_ = reg.counter(obs::WithLabel("cache.hits", label));
+  misses_total_ = reg.counter("cache.misses");
+  misses_labeled_ = reg.counter(obs::WithLabel("cache.misses", label));
+  evictions_total_ = reg.counter("cache.evictions");
+  evictions_labeled_ = reg.counter(obs::WithLabel("cache.evictions", label));
+}
+
+RewriteCache::CachedRewrite RewriteCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    misses_total_->Add(1);
+    misses_labeled_->Add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  hits_total_->Add(1);
+  hits_labeled_->Add(1);
+  return it->second.result;
+}
+
+void RewriteCache::Insert(std::string key, CachedRewrite result) {
+  if (!result) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.result = std::move(result);
+    return;
+  }
+  lru_.push_front(std::move(key));
+  entries_.emplace(lru_.front(), Entry{std::move(result), lru_.begin()});
+  while (options_.max_entries != 0 && entries_.size() > options_.max_entries) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+    evictions_total_->Add(1);
+    evictions_labeled_->Add(1);
+  }
+}
+
+RewriteCacheStats RewriteCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RewriteCacheStats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+std::string RewriteCacheKey(const RpsSystem& system,
+                            const GraphPatternQuery& query,
+                            const RpsRewriteOptions& options) {
+  // Semantics does not influence rewriting — fixed kDropBlanks tag.
+  std::string key = CanonicalQueryKey(query, QuerySemantics::kDropBlanks);
+  AppendU64(&key, system.mapping_version());
+  AppendU64(&key, options.rewrite.max_queries);
+  AppendU64(&key, options.rewrite.max_steps);
+  key.push_back(options.rewrite.minimize ? 'm' : '-');
+  key.push_back(options.rewrite.factorize ? 'f' : '-');
+  key.push_back(options.equivalence_mode == EquivalenceRewriteMode::kCanonical
+                    ? 'C'
+                    : 'T');
+  return key;
+}
+
+Result<RewriteCache::CachedRewrite> RewriteGraphQueryCached(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const RpsRewriteOptions& options, RewriteCache* cache) {
+  std::string key;
+  if (cache != nullptr) {
+    key = RewriteCacheKey(system, query, options);
+    if (RewriteCache::CachedRewrite hit = cache->Lookup(key)) {
+      return hit;
+    }
+  }
+  Result<RpsRewriteResult> fresh = RewriteGraphQuery(system, query, options);
+  RPS_RETURN_IF_ERROR(fresh.status());
+  auto shared =
+      std::make_shared<const RpsRewriteResult>(std::move(fresh.value()));
+  if (cache != nullptr) {
+    cache->Insert(std::move(key), shared);
+  }
+  return RewriteCache::CachedRewrite(shared);
+}
+
+}  // namespace rps

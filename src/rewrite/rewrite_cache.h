@@ -1,0 +1,108 @@
+#ifndef RPS_REWRITE_REWRITE_CACHE_H_
+#define RPS_REWRITE_REWRITE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "rewrite/bool_rewrite.h"
+#include "util/result.h"
+
+namespace rps {
+
+/// Tuning knobs for a RewriteCache.
+struct RewriteCacheOptions {
+  bool enabled = false;
+  /// Maximum memoized rewritings; LRU eviction past it. 0 = unbounded.
+  size_t max_entries = 1024;
+};
+
+/// Point-in-time statistics of one RewriteCache instance.
+struct RewriteCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// Memoizes UCQ rewritings keyed by (query shape, mapping-set version,
+/// rewrite options). Rewriting is a pure function of those three inputs
+/// — the stored data plays no role — so versioning the key on
+/// `RpsSystem::mapping_version()` makes explicit invalidation
+/// unnecessary: a mapping change shifts every key, and entries for dead
+/// versions age out through LRU eviction.
+///
+/// The query-shape key (CanonicalQueryKey) identifies queries up to a
+/// bijective variable renaming. The memoized RpsRewriteResult is
+/// therefore expressed in the *first* query's VarIds; since a UCQ branch
+/// is a self-contained query whose answers are positional (head order)
+/// and invariant under bijective renaming, every consumer that evaluates
+/// the branches — Federator, CertainAnswersViaRewriting — gets
+/// byte-identical answers. Consumers that correlate the result's VarIds
+/// with their own query's VarIds must not use the cache.
+///
+/// Values are shared_ptr-to-const: a hit handed to a reader survives
+/// concurrent eviction, and concurrent readers share one immutable UCQ.
+///
+/// Thread-safe. Emits the cache.{hits,misses,evictions} instruments
+/// under the {cache=rewrite} label.
+class RewriteCache {
+ public:
+  using CachedRewrite = std::shared_ptr<const RpsRewriteResult>;
+
+  explicit RewriteCache(const RewriteCacheOptions& options,
+                        std::string label = "rewrite");
+  RewriteCache(const RewriteCache&) = delete;
+  RewriteCache& operator=(const RewriteCache&) = delete;
+
+  /// The memoized rewriting, or nullptr (miss). A hit refreshes the
+  /// entry's LRU position.
+  CachedRewrite Lookup(const std::string& key);
+
+  /// Memoizes `result` under `key` (replacing any previous entry).
+  void Insert(std::string key, CachedRewrite result);
+
+  RewriteCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    CachedRewrite result;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const RewriteCacheOptions options_;
+  obs::Counter* hits_total_;
+  obs::Counter* hits_labeled_;
+  obs::Counter* misses_total_;
+  obs::Counter* misses_labeled_;
+  obs::Counter* evictions_total_;
+  obs::Counter* evictions_labeled_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;
+  RewriteCacheStats stats_;
+};
+
+/// The cache key for rewriting `query` against `system` under `options`:
+/// canonical query shape + mapping-set version + an options fingerprint
+/// (budgets, minimize/factorize, equivalence mode — each changes the
+/// produced UCQ).
+std::string RewriteCacheKey(const RpsSystem& system,
+                            const GraphPatternQuery& query,
+                            const RpsRewriteOptions& options);
+
+/// RewriteGraphQuery memoized through `cache`: on a miss the rewriting
+/// runs and (when successful) is inserted; on a hit the shared memoized
+/// result is returned without touching the rewriting engine. A null or
+/// disabled cache degrades to a plain uncached call.
+Result<RewriteCache::CachedRewrite> RewriteGraphQueryCached(
+    const RpsSystem& system, const GraphPatternQuery& query,
+    const RpsRewriteOptions& options, RewriteCache* cache);
+
+}  // namespace rps
+
+#endif  // RPS_REWRITE_REWRITE_CACHE_H_

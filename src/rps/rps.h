@@ -28,6 +28,7 @@
 #include "federation/federator.h"
 #include "federation/network.h"
 #include "federation/peer_node.h"
+#include "federation/subquery_cache.h"
 #include "gen/generators.h"
 #include "gen/paper_example.h"
 #include "obs/explain.h"
@@ -44,6 +45,7 @@
 #include "peer/rps_system.h"
 #include "peer/schema.h"
 #include "query/algebra.h"
+#include "query/answer_cache.h"
 #include "query/binding.h"
 #include "query/eval.h"
 #include "query/pattern.h"
@@ -55,6 +57,7 @@
 #include "rdf/term.h"
 #include "rdf/triple.h"
 #include "rewrite/bool_rewrite.h"
+#include "rewrite/rewrite_cache.h"
 #include "server/query_server.h"
 #include "rewrite/rewriter.h"
 #include "storage/storage.h"

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/dictionary.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,12 @@ obs::Histogram* LatencyHistogram() {
 QueryServer::QueryServer(Graph* graph, const QueryServerOptions& options)
     : graph_(graph), options_(options) {
   if (options_.worker_threads == 0) options_.worker_threads = 1;
+  if (options_.answer_cache.enabled) {
+    // Seed the cache's known epoch with the preloaded prefix: everything
+    // already in the graph predates every cacheable evaluation.
+    cache_ = std::make_unique<AnswerCache>(options_.answer_cache, "answer",
+                                           graph_->SnapshotEpoch());
+  }
   // From here on queries overlap ingest: writers serialize behind the
   // graph's exclusive lock, snapshot reads take the shared lock.
   graph_->EnableConcurrentMutation();
@@ -119,15 +126,31 @@ Result<QueryResponse> QueryServer::Execute(const GraphPatternQuery& query,
 }
 
 size_t QueryServer::Ingest(const std::vector<Triple>& batch) {
-  size_t added = 0;
-  // Graph mutators already serialize behind the graph's writer lock; the
-  // per-triple loop just means a snapshot may land between two triples of
-  // a batch — any prefix of an append-only graph is a consistent state.
-  for (const Triple& t : batch) {
-    if (graph_->InsertUnchecked(t)) ++added;
+  if (cache_ == nullptr) {
+    size_t added = 0;
+    // Graph mutators already serialize behind the graph's writer lock;
+    // the per-triple loop just means a snapshot may land between two
+    // triples of a batch — any prefix of an append-only graph is a
+    // consistent state.
+    for (const Triple& t : batch) {
+      if (graph_->InsertUnchecked(t)) ++added;
+    }
+    IngestedCounter()->Add(added);
+    return added;
   }
-  IngestedCounter()->Add(added);
-  return added;
+  // With the cache on, a batch's graph append and its ApplyDelta form one
+  // atomic step: the cache's epoch protocol needs deltas reported in
+  // insertion order, and the epoch read below must cover exactly this
+  // batch. Queries never take ingest_mu_ — they read snapshots.
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  std::vector<Triple> fresh;
+  fresh.reserve(batch.size());
+  for (const Triple& t : batch) {
+    if (graph_->InsertUnchecked(t)) fresh.push_back(t);
+  }
+  IngestedCounter()->Add(fresh.size());
+  cache_->ApplyDelta(fresh, graph_->SnapshotEpoch());
+  return fresh.size();
 }
 
 void QueryServer::WorkerLoop() {
@@ -152,17 +175,47 @@ QueryResponse QueryServer::Process(Request* request) {
   // The linearization point: every pattern of this query reads the graph
   // as of this epoch, whatever Ingest does meanwhile.
   GraphSnapshot snapshot(*graph_);
-
-  EvalOptions eval = options_.eval;
-  eval.plan_capture = nullptr;
-  eval.budget = request->budget.get();
+  obs::AutoSpan span("server.process");
 
   QueryResponse response;
   response.epoch = snapshot.epoch();
-  response.answers = EvalQuery(snapshot, request->query,
-                               QuerySemantics::kDropBlanks, eval);
-  SortTuples(&response.answers);
-  response.budget_exceeded = request->budget->exceeded();
+
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key =
+        CanonicalQueryKey(request->query, QuerySemantics::kDropBlanks);
+    if (AnswerCache::Answers hit =
+            cache_->Lookup(cache_key, snapshot.epoch())) {
+      // Byte-identical to evaluating at this snapshot: the entry was
+      // computed at an epoch <= ours and every delta in between provably
+      // missed its footprint.
+      response.answers = *hit;
+      response.cache_hit = true;
+    }
+  }
+  if (!response.cache_hit) {
+    EvalOptions eval = options_.eval;
+    eval.plan_capture = nullptr;
+    eval.budget = request->budget.get();
+    response.answers = EvalQuery(snapshot, request->query,
+                                 QuerySemantics::kDropBlanks, eval);
+    SortTuples(&response.answers);
+    response.budget_exceeded = request->budget->exceeded();
+    // Partial (budget-tripped) answers are sound but not the full
+    // snapshot answer — never cache them.
+    if (cache_ != nullptr && !response.budget_exceeded) {
+      cache_->Insert(std::move(cache_key), snapshot.epoch(),
+                     QueryFootprint(request->query),
+                     std::make_shared<const std::vector<Tuple>>(
+                         response.answers));
+    }
+  }
+  if (span.active()) {
+    span.Annotate("epoch", static_cast<uint64_t>(response.epoch));
+    if (cache_ != nullptr) {
+      span.Annotate("cache", response.cache_hit ? "hit" : "miss");
+    }
+  }
 
   auto now = std::chrono::steady_clock::now();
   response.latency_ms = std::chrono::duration<double, std::milli>(

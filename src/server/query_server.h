@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "query/answer_cache.h"
 #include "query/eval.h"
 #include "query/query.h"
 #include "rdf/graph.h"
@@ -37,6 +38,13 @@ struct QueryServerOptions {
   /// Base evaluation options for every query. The budget and plan_capture
   /// fields are ignored — the server installs a fresh per-query budget.
   EvalOptions eval;
+  /// Opt-in epoch-keyed certain-answer cache (answer_cache.h). When
+  /// enabled, repeated queries at an unchanged-relevant epoch are served
+  /// from the cache (byte-identical to a fresh evaluation, cache_hit set
+  /// in the response) and every Ingest batch footprint-invalidates the
+  /// affected entries. Disabled by default: the serving path is then
+  /// exactly the uncached behaviour.
+  AnswerCacheOptions answer_cache;
 };
 
 /// One served answer.
@@ -50,6 +58,10 @@ struct QueryResponse {
   /// True when the per-query budget tripped: `answers` is a sound but
   /// possibly incomplete subset of the full snapshot answer.
   bool budget_exceeded = false;
+  /// True when the answers were served from the server's answer cache
+  /// (only with QueryServerOptions::answer_cache enabled). Cached
+  /// answers are byte-identical to a fresh evaluation at `epoch`.
+  bool cache_hit = false;
   /// Admission-to-completion latency.
   double latency_ms = 0.0;
 };
@@ -111,6 +123,11 @@ class QueryServer {
   /// Idempotent; also run by the destructor.
   void Stop();
 
+  /// The answer cache's statistics; zero-valued when the cache is off.
+  AnswerCacheStats CacheStats() const {
+    return cache_ ? cache_->Stats() : AnswerCacheStats{};
+  }
+
  private:
   struct Request {
     GraphPatternQuery query;
@@ -124,6 +141,14 @@ class QueryServer {
 
   Graph* graph_;
   QueryServerOptions options_;
+
+  /// Epoch-keyed answer cache; null when options_.answer_cache.enabled
+  /// is false (zero overhead on the default path).
+  std::unique_ptr<AnswerCache> cache_;
+  /// Serializes Ingest batches when the cache is on, so each batch's
+  /// graph append and its ApplyDelta form one atomic step — deltas reach
+  /// the cache in insertion order, which its epoch protocol requires.
+  std::mutex ingest_mu_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,258 @@
+// AnswerCache: canonical query keys, read footprints, and the epoch
+// protocol (hit window, footprint invalidation vs wholesale promotion,
+// stale-insert refusal, dormant inserts, LRU/byte eviction). These are
+// the soundness primitives behind the cached serving paths of
+// QueryServer and IncrementalUniversalSolution; the randomized churn
+// oracles live in query_server_test.cc.
+
+#include "query/answer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rps {
+namespace {
+
+// Raw TermIds are fine here: the cache never consults a dictionary.
+constexpr TermId kS = 10, kP = 11, kO = 12, kQ = 13;
+
+GraphPatternQuery ScanQuery(VarId x, VarId y, TermId p) {
+  GraphPatternQuery q;
+  q.head = {x, y};
+  q.body.Add(TriplePattern{PatternTerm::Var(x), PatternTerm::Const(p),
+                           PatternTerm::Var(y)});
+  return q;
+}
+
+AnswerCache::Answers MakeAnswers(std::vector<Tuple> tuples) {
+  return std::make_shared<const std::vector<Tuple>>(std::move(tuples));
+}
+
+TEST(CanonicalQueryKeyTest, InvariantUnderVariableRenaming) {
+  // Same shape, different VarIds: one key.
+  GraphPatternQuery a = ScanQuery(1, 2, kP);
+  GraphPatternQuery b = ScanQuery(700, 900, kP);
+  EXPECT_EQ(CanonicalQueryKey(a, QuerySemantics::kDropBlanks),
+            CanonicalQueryKey(b, QuerySemantics::kDropBlanks));
+}
+
+TEST(CanonicalQueryKeyTest, DistinguishesShapes) {
+  GraphPatternQuery scan = ScanQuery(1, 2, kP);
+
+  // Different predicate constant.
+  GraphPatternQuery other_pred = ScanQuery(1, 2, kQ);
+  EXPECT_NE(CanonicalQueryKey(scan, QuerySemantics::kDropBlanks),
+            CanonicalQueryKey(other_pred, QuerySemantics::kDropBlanks));
+
+  // Same body, different head projection.
+  GraphPatternQuery narrow = scan;
+  narrow.head = {1};
+  EXPECT_NE(CanonicalQueryKey(scan, QuerySemantics::kDropBlanks),
+            CanonicalQueryKey(narrow, QuerySemantics::kDropBlanks));
+
+  // Join variable vs two independent variables.
+  GraphPatternQuery joined;
+  joined.head = {1, 3};
+  joined.body.Add(TriplePattern{PatternTerm::Var(1), PatternTerm::Const(kP),
+                                PatternTerm::Var(2)});
+  joined.body.Add(TriplePattern{PatternTerm::Var(2), PatternTerm::Const(kQ),
+                                PatternTerm::Var(3)});
+  GraphPatternQuery cross = joined;
+  cross.body = GraphPattern();
+  cross.body.Add(TriplePattern{PatternTerm::Var(1), PatternTerm::Const(kP),
+                               PatternTerm::Var(2)});
+  cross.body.Add(TriplePattern{PatternTerm::Var(4), PatternTerm::Const(kQ),
+                               PatternTerm::Var(3)});
+  EXPECT_NE(CanonicalQueryKey(joined, QuerySemantics::kDropBlanks),
+            CanonicalQueryKey(cross, QuerySemantics::kDropBlanks));
+
+  // Semantics flag is part of the key.
+  EXPECT_NE(CanonicalQueryKey(scan, QuerySemantics::kDropBlanks),
+            CanonicalQueryKey(scan, QuerySemantics::kKeepBlanks));
+
+  // A variable and a constant sharing the same numeric id must not
+  // collide (codes live in disjoint ranges).
+  GraphPatternQuery const_subject;
+  const_subject.head = {1};
+  const_subject.body.Add(TriplePattern{
+      PatternTerm::Const(kS), PatternTerm::Const(kP), PatternTerm::Var(1)});
+  GraphPatternQuery var_subject;
+  var_subject.head = {1};
+  var_subject.body.Add(TriplePattern{
+      PatternTerm::Var(2), PatternTerm::Const(kP), PatternTerm::Var(1)});
+  EXPECT_NE(CanonicalQueryKey(const_subject, QuerySemantics::kDropBlanks),
+            CanonicalQueryKey(var_subject, QuerySemantics::kDropBlanks));
+}
+
+TEST(QueryFootprintTest, TouchesMatchingTriplesOnly) {
+  GraphPatternQuery q;
+  q.head = {1};
+  q.body.Add(TriplePattern{PatternTerm::Const(kS), PatternTerm::Const(kP),
+                           PatternTerm::Var(1)});
+  QueryFootprintSet fp = QueryFootprint(q);
+  ASSERT_EQ(fp.size(), 1u);
+
+  EXPECT_TRUE(FootprintTouches(fp, Triple{kS, kP, 99}));   // matches
+  EXPECT_FALSE(FootprintTouches(fp, Triple{kO, kP, 99}));  // wrong subject
+  EXPECT_FALSE(FootprintTouches(fp, Triple{kS, kQ, 99}));  // wrong predicate
+
+  // A second pattern widens the footprint.
+  q.body.Add(TriplePattern{PatternTerm::Var(1), PatternTerm::Const(kQ),
+                           PatternTerm::Var(2)});
+  q.head = {2};
+  fp = QueryFootprint(q);
+  EXPECT_TRUE(FootprintTouches(fp, Triple{kS, kQ, 99}));
+
+  // All-variable pattern: every triple touches.
+  GraphPatternQuery open;
+  open.head = {1};
+  open.body.Add(TriplePattern{PatternTerm::Var(1), PatternTerm::Var(2),
+                              PatternTerm::Var(3)});
+  EXPECT_TRUE(FootprintTouches(QueryFootprint(open), Triple{1, 2, 3}));
+}
+
+AnswerCacheOptions SmallCache() {
+  AnswerCacheOptions o;
+  o.enabled = true;
+  return o;
+}
+
+TEST(AnswerCacheTest, HitWindowFollowsEpochProtocol) {
+  AnswerCache cache(SmallCache(), "test_window", /*initial_epoch=*/5);
+  GraphPatternQuery q = ScanQuery(1, 2, kP);
+  QueryFootprintSet fp = QueryFootprint(q);
+  std::string key = CanonicalQueryKey(q, QuerySemantics::kDropBlanks);
+
+  cache.Insert(key, 5, fp, MakeAnswers({{kS, kO}}));
+  // Valid at the eval epoch itself...
+  EXPECT_NE(cache.Lookup(key, 5), nullptr);
+  // ...but not below it (the entry may contain triples a lower snapshot
+  // lacks) and not above known_epoch (deltas there were never checked).
+  EXPECT_EQ(cache.Lookup(key, 4), nullptr);
+  EXPECT_EQ(cache.Lookup(key, 6), nullptr);
+
+  // An untouched delta promotes the entry wholesale.
+  cache.ApplyDelta({Triple{kS, kQ, kO}}, 6);
+  EXPECT_EQ(cache.known_epoch(), 6u);
+  AnswerCache::Answers hit = cache.Lookup(key, 6);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, (std::vector<Tuple>{{kS, kO}}));
+  // The old epoch is still inside the window.
+  EXPECT_NE(cache.Lookup(key, 5), nullptr);
+
+  // A footprint-touching delta drops it.
+  cache.ApplyDelta({Triple{kS, kP, kO}}, 7);
+  EXPECT_EQ(cache.Lookup(key, 7), nullptr);
+  AnswerCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(AnswerCacheTest, StaleInsertRefusedDormantInsertWakes) {
+  AnswerCache cache(SmallCache(), "test_dormant", /*initial_epoch=*/10);
+  GraphPatternQuery q = ScanQuery(1, 2, kP);
+  QueryFootprintSet fp = QueryFootprint(q);
+  std::string key = CanonicalQueryKey(q, QuerySemantics::kDropBlanks);
+
+  // Evaluated below known_epoch: unreported deltas may have landed on
+  // its footprint, so the insert is dropped.
+  cache.Insert(key, 9, fp, MakeAnswers({{kS, kO}}));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+
+  // Evaluated above known_epoch: accepted but dormant — Insert must not
+  // vouch for epochs whose deltas were never reported.
+  cache.Insert(key, 12, fp, MakeAnswers({{kS, kO}}));
+  EXPECT_EQ(cache.Lookup(key, 12), nullptr);
+  // The covering ApplyDelta (an untouching delta) wakes it.
+  cache.ApplyDelta({Triple{kS, kQ, kO}}, 12);
+  EXPECT_NE(cache.Lookup(key, 12), nullptr);
+}
+
+TEST(AnswerCacheTest, WildcardPredicateEntriesSeeEveryDelta) {
+  AnswerCache cache(SmallCache(), "test_wildcard", 0);
+  GraphPatternQuery open;
+  open.head = {1};
+  open.body.Add(TriplePattern{PatternTerm::Var(1), PatternTerm::Var(2),
+                              PatternTerm::Var(3)});
+  std::string key = CanonicalQueryKey(open, QuerySemantics::kDropBlanks);
+  cache.Insert(key, 0, QueryFootprint(open), MakeAnswers({{kS}}));
+  ASSERT_NE(cache.Lookup(key, 0), nullptr);
+  // No predicate bucket covers it, yet any delta must invalidate.
+  cache.ApplyDelta({Triple{90, 91, 92}}, 1);
+  EXPECT_EQ(cache.Lookup(key, 1), nullptr);
+  EXPECT_EQ(cache.Stats().invalidations, 1u);
+}
+
+TEST(AnswerCacheTest, LruEvictionByEntriesAndBytes) {
+  AnswerCacheOptions options;
+  options.enabled = true;
+  options.max_entries = 2;
+  AnswerCache cache(options, "test_lru", 0);
+
+  GraphPatternQuery qa = ScanQuery(1, 2, kP);
+  GraphPatternQuery qb = ScanQuery(1, 2, kQ);
+  GraphPatternQuery qc = ScanQuery(1, 2, 14);
+  std::string ka = CanonicalQueryKey(qa, QuerySemantics::kDropBlanks);
+  std::string kb = CanonicalQueryKey(qb, QuerySemantics::kDropBlanks);
+  std::string kc = CanonicalQueryKey(qc, QuerySemantics::kDropBlanks);
+
+  cache.Insert(ka, 0, QueryFootprint(qa), MakeAnswers({{1, 2}}));
+  cache.Insert(kb, 0, QueryFootprint(qb), MakeAnswers({{3, 4}}));
+  // Touch A so B is the LRU victim.
+  EXPECT_NE(cache.Lookup(ka, 0), nullptr);
+  cache.Insert(kc, 0, QueryFootprint(qc), MakeAnswers({{5, 6}}));
+
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(ka, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(kb, 0), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(kc, 0), nullptr);
+
+  // Byte budget: a tiny cap evicts down to it; an entry above the
+  // per-entry cap is refused outright.
+  AnswerCacheOptions tiny;
+  tiny.enabled = true;
+  tiny.max_entry_bytes = 512;
+  AnswerCache bytes_cache(tiny, "test_bytes", 0);
+  std::vector<Tuple> huge(1000, Tuple{1, 2, 3, 4});
+  bytes_cache.Insert(ka, 0, QueryFootprint(qa), MakeAnswers(huge));
+  EXPECT_EQ(bytes_cache.Stats().entries, 0u) << "oversized entry cached";
+  bytes_cache.Insert(kb, 0, QueryFootprint(qb), MakeAnswers({{1, 2}}));
+  EXPECT_EQ(bytes_cache.Stats().entries, 1u);
+  EXPECT_GT(bytes_cache.Stats().bytes, 0u);
+}
+
+TEST(AnswerCacheTest, ClearDropsEverythingAndAdvances) {
+  AnswerCache cache(SmallCache(), "test_clear", 0);
+  GraphPatternQuery q = ScanQuery(1, 2, kP);
+  std::string key = CanonicalQueryKey(q, QuerySemantics::kDropBlanks);
+  cache.Insert(key, 0, QueryFootprint(q), MakeAnswers({{1, 2}}));
+  cache.Clear(/*new_epoch=*/3);
+  EXPECT_EQ(cache.Lookup(key, 0), nullptr);
+  EXPECT_EQ(cache.known_epoch(), 3u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+  // Inserts at the new epoch work immediately.
+  cache.Insert(key, 3, QueryFootprint(q), MakeAnswers({{1, 2}}));
+  EXPECT_NE(cache.Lookup(key, 3), nullptr);
+}
+
+TEST(AnswerCacheTest, HitPayloadSurvivesEviction) {
+  // shared_ptr payloads: answers handed to a reader stay valid after the
+  // entry is invalidated or evicted (the TSan-covered race is in
+  // query_server_test.cc; this is the single-threaded contract).
+  AnswerCache cache(SmallCache(), "test_shared", 0);
+  GraphPatternQuery q = ScanQuery(1, 2, kP);
+  std::string key = CanonicalQueryKey(q, QuerySemantics::kDropBlanks);
+  cache.Insert(key, 0, QueryFootprint(q), MakeAnswers({{kS, kO}}));
+  AnswerCache::Answers held = cache.Lookup(key, 0);
+  ASSERT_NE(held, nullptr);
+  cache.Clear(1);
+  EXPECT_EQ(*held, (std::vector<Tuple>{{kS, kO}}));
+}
+
+}  // namespace
+}  // namespace rps

@@ -643,6 +643,101 @@ TEST(FaultToleranceTest, ConcurrentFanOutWithHedgingIsRaceFree) {
             0u);
 }
 
+TEST(FederatorCacheTest, RewriteCacheReusedAcrossExecutes) {
+  PaperExample ex = BuildPaperExample();
+  Federator fed(ex.system.get(), Topology::Star(3));
+
+  Result<FederatedQueryResult> first = fed.Execute(ex.query);
+  ASSERT_TRUE(first.ok()) << first.status();
+  RewriteCacheStats after_first = fed.rewrite_cache_stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.hits, 0u);
+
+  // Repeats — distributed and centralized — reuse the memoized
+  // rewriting with byte-identical answers.
+  Result<FederatedQueryResult> second = fed.Execute(ex.query);
+  Result<FederatedQueryResult> central = fed.ExecuteCentralized(ex.query);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(central.ok());
+  EXPECT_EQ(second->answers, first->answers);
+  EXPECT_EQ(central->answers, first->answers);
+  EXPECT_EQ(fed.rewrite_cache_stats().hits, 2u);
+  EXPECT_EQ(fed.rewrite_cache_stats().misses, 1u);
+
+  // Opting out skips the cache entirely.
+  FederationOptions no_cache;
+  no_cache.use_rewrite_cache = false;
+  Result<FederatedQueryResult> bypassed = fed.Execute(ex.query, no_cache);
+  ASSERT_TRUE(bypassed.ok());
+  EXPECT_EQ(bypassed->answers, first->answers);
+  EXPECT_EQ(fed.rewrite_cache_stats().hits, 2u) << "bypass still hit";
+}
+
+TEST(FederatorCacheTest, SubQueryCacheMatchesUncachedByteForByte) {
+  for (auto strategy :
+       {JoinStrategy::kShipExtensions, JoinStrategy::kBindJoin}) {
+    LodConfig config;
+    config.num_peers = 4;
+    config.films_per_peer = 12;
+    config.seed = 91;
+    config.single_triple_dialect = false;
+    std::unique_ptr<RpsSystem> sys = GenerateLod(config);
+    GraphPatternQuery q = LodDemoQuery(sys.get(), config);
+    Federator fed(sys.get(), LodTopology(config));
+
+    FederationOptions plain;
+    plain.join_strategy = strategy;
+    plain.bind_join_batch = 4;
+    FederationOptions caching = plain;
+    caching.use_subquery_cache = true;
+
+    Result<FederatedQueryResult> baseline = fed.Execute(q, plain);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+    ASSERT_FALSE(baseline->answers.empty());
+
+    // First cached run fills the cache; the repeat hits. Both must be
+    // byte-identical to the uncached execution, including accounting
+    // (cached answers replay the same endpoint results).
+    Result<FederatedQueryResult> cold = fed.Execute(q, caching);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    EXPECT_EQ(cold->answers, baseline->answers);
+    SubQueryCacheStats after_cold = fed.subquery_cache_stats();
+    EXPECT_GT(after_cold.entries, 0u);
+
+    Result<FederatedQueryResult> warm = fed.Execute(q, caching);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm->answers, baseline->answers);
+    EXPECT_GT(fed.subquery_cache_stats().hits, after_cold.hits)
+        << "repeat run never hit the sub-query cache";
+  }
+}
+
+TEST(FederatorCacheTest, SubQueryCacheMissesAfterIngest) {
+  // The key folds the peer's graph epoch: appending a triple to a peer
+  // shifts its keys, so the next execution re-reads that peer and picks
+  // up the new answer — stale entries are unreachable by construction.
+  GraphPatternQuery q;
+  std::unique_ptr<RpsSystem> sys = fault_test::MakeReplicatedSystem(&q);
+  Federator fed(sys.get(), Topology::Star(2));
+  FederationOptions caching;
+  caching.use_subquery_cache = true;
+
+  Result<FederatedQueryResult> before = fed.Execute(q, caching);
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(before->answers.size(), 4u);
+
+  Dictionary& dict = *sys->dict();
+  TermId p = dict.InternIri("http://r.example.org/knows");
+  Triple fresh{dict.InternIri("http://r.example.org/s_new"), p,
+               dict.InternIri("http://r.example.org/o_new")};
+  sys->dataset().Find("alpha")->InsertUnchecked(fresh);
+  sys->dataset().Find("beta")->InsertUnchecked(fresh);
+
+  Result<FederatedQueryResult> after = fed.Execute(q, caching);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->answers.size(), 5u) << "stale sub-query answers served";
+}
+
 TEST(PeerNodeTest, MayAnswerFiltersBySchema) {
   Dictionary dict;
   Graph g(&dict);

@@ -162,5 +162,182 @@ TEST(IncrementalTest, SequenceOfUpdatesStaysConsistent) {
   EXPECT_EQ(inc.Answer(q), rebuilt_answers);
 }
 
+TEST(IncrementalTest, AddTriplesBatchMatchesPerTripleInserts) {
+  // One delta chase over the whole batch must land in the same J as one
+  // chase per triple (the chase is confluent), with far fewer runs.
+  LodConfig config;
+  config.num_peers = 3;
+  config.films_per_peer = 6;
+  config.seed = 313;
+  std::unique_ptr<RpsSystem> batch_sys = GenerateLod(config);
+  std::unique_ptr<RpsSystem> serial_sys = GenerateLod(config);
+  Dictionary& batch_dict = *batch_sys->dict();
+  Dictionary& serial_dict = *serial_sys->dict();
+
+  IncrementalUniversalSolution batch_inc(batch_sys.get());
+  IncrementalUniversalSolution serial_inc(serial_sys.get());
+  ASSERT_TRUE(batch_inc.Initialize().ok());
+  ASSERT_TRUE(serial_inc.Initialize().ok());
+
+  auto make_batch = [](Dictionary* dict) {
+    TermId actor0 = dict->InternIri("http://peer0.example.org/actor");
+    std::vector<Triple> batch;
+    for (int i = 0; i < 12; ++i) {
+      TermId film = dict->InternIri("http://peer0.example.org/batch_film" +
+                                    std::to_string(i));
+      TermId person = dict->InternIri(
+          "http://peer0.example.org/batch_person" + std::to_string(i % 4));
+      batch.push_back(Triple{film, actor0, person});
+    }
+    // A duplicate inside the batch: staged once, chased once.
+    batch.push_back(batch.front());
+    return batch;
+  };
+
+  Result<RpsChaseStats> stats =
+      batch_inc.AddTriples("peer0", make_batch(&batch_dict));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(batch_inc.update_count(), 1u);
+
+  for (const Triple& t : make_batch(&serial_dict)) {
+    ASSERT_TRUE(serial_inc.AddTriple("peer0", t).ok());
+  }
+  // 12 fresh triples count as updates; the duplicate is a pre-count noop.
+  EXPECT_EQ(serial_inc.update_count(), 12u);
+
+  // The two dictionaries interned identically (same call order), so J
+  // sizes and blank-free answers must agree exactly. Mirror the demo
+  // query's interning on both systems to keep them in lockstep.
+  EXPECT_EQ(batch_inc.universal().size(), serial_inc.universal().size());
+  GraphPatternQuery q = LodDemoQuery(batch_sys.get(), config);
+  (void)LodDemoQuery(serial_sys.get(), config);
+  EXPECT_EQ(batch_inc.Answer(q), serial_inc.Answer(q));
+
+  // And both match a from-scratch rebuild.
+  Graph rebuilt(batch_sys->dict());
+  ASSERT_TRUE(BuildUniversalSolution(*batch_sys, &rebuilt).ok());
+  EXPECT_EQ(batch_inc.universal().size(), rebuilt.size());
+}
+
+TEST(IncrementalTest, AddTriplesValidatesLikeAddTriple) {
+  PaperExample ex = BuildPaperExample();
+  IncrementalUniversalSolution inc(ex.system.get());
+  EXPECT_EQ(inc.AddTriples("source1", {Triple{0, 0, 0}}).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(inc.Initialize().ok());
+  EXPECT_EQ(inc.AddTriples("nope", {Triple{0, 0, 0}}).status().code(),
+            StatusCode::kNotFound);
+
+  // An all-duplicate batch is a clean noop.
+  size_t before = inc.universal().size();
+  const Triple existing =
+      ex.system->dataset().Find("source2")->triples().front();
+  Result<RpsChaseStats> noop =
+      inc.AddTriples("source2", {existing, existing});
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop->triples_added, 0u);
+  EXPECT_EQ(inc.universal().size(), before);
+}
+
+TEST(IncrementalTest, CachedAnswersStayFreshUnderChurn) {
+  // The certain-answer cache over J: repeats hit, every update — triple
+  // batches and mapping changes alike — invalidates exactly the touched
+  // entries, and every served answer equals the uncached twin's.
+  LodConfig config;
+  config.num_peers = 3;
+  config.films_per_peer = 6;
+  config.seed = 317;
+  std::unique_ptr<RpsSystem> cached_sys = GenerateLod(config);
+  std::unique_ptr<RpsSystem> plain_sys = GenerateLod(config);
+
+  IncrementalUniversalSolution cached(cached_sys.get());
+  IncrementalUniversalSolution plain(plain_sys.get());
+  ASSERT_TRUE(cached.Initialize().ok());
+  ASSERT_TRUE(plain.Initialize().ok());
+  AnswerCacheOptions cache_options;
+  cache_options.enabled = true;
+  cached.EnableAnswerCache(cache_options);
+
+  GraphPatternQuery q = LodDemoQuery(cached_sys.get(), config);
+  (void)LodDemoQuery(plain_sys.get(), config);  // keep dicts in lockstep
+  auto check_parity = [&] {
+    std::vector<Tuple> got = cached.Answer(q);
+    ASSERT_EQ(got, plain.Answer(q));
+    // Identical immediate repeat must hit and return the same bytes.
+    ASSERT_EQ(cached.Answer(q), got);
+  };
+  check_parity();
+  uint64_t hits_after_warm = cached.CacheStats().hits;
+  EXPECT_GE(hits_after_warm, 1u);
+
+  // Churn through the batch API; the demo query's footprint is touched,
+  // so the entry must drop and re-fill with fresh answers.
+  auto churn = [&](RpsSystem* sys, IncrementalUniversalSolution* inc,
+                   int round) {
+    Dictionary* dict = sys->dict();
+    TermId actor0 = dict->InternIri("http://peer0.example.org/actor");
+    std::vector<Triple> batch;
+    for (int i = 0; i < 5; ++i) {
+      batch.push_back(Triple{
+          dict->InternIri("http://peer0.example.org/churn_film" +
+                          std::to_string(round * 10 + i)),
+          actor0,
+          dict->InternIri("http://peer0.example.org/churn_person" +
+                          std::to_string(i))});
+    }
+    ASSERT_TRUE(inc->AddTriples("peer0", batch).ok());
+  };
+  for (int round = 0; round < 3; ++round) {
+    churn(cached_sys.get(), &cached, round);
+    churn(plain_sys.get(), &plain, round);
+    check_parity();
+  }
+  EXPECT_GT(cached.CacheStats().invalidations, 0u);
+
+  // A late mapping change re-closes J; cached answers must follow.
+  auto add_mapping = [&](RpsSystem* sys,
+                         IncrementalUniversalSolution* inc) {
+    Dictionary* dict = sys->dict();
+    VarPool* vars = sys->vars();
+    TermId actor0 = dict->InternIri("http://peer0.example.org/actor");
+    TermId cast = dict->InternIri("http://peer0.example.org/cast");
+    VarId x = vars->Intern("mc_x"), y = vars->Intern("mc_y");
+    GraphMappingAssertion gma;
+    gma.label = "actor->cast";
+    gma.from.head = {x, y};
+    gma.from.body.Add(TriplePattern{PatternTerm::Var(x),
+                                    PatternTerm::Const(actor0),
+                                    PatternTerm::Var(y)});
+    gma.to.head = {x, y};
+    gma.to.body.Add(TriplePattern{PatternTerm::Var(x),
+                                  PatternTerm::Const(cast),
+                                  PatternTerm::Var(y)});
+    ASSERT_TRUE(inc->AddGraphMapping(std::move(gma)).ok());
+  };
+  add_mapping(cached_sys.get(), &cached);
+  add_mapping(plain_sys.get(), &plain);
+  check_parity();
+
+  // The cast-edge query (only answerable post-mapping) also agrees.
+  GraphPatternQuery cast_q;
+  VarId cx = cached_sys->vars()->Intern("cast_x");
+  VarId cy = cached_sys->vars()->Intern("cast_y");
+  cast_q.head = {cx, cy};
+  cast_q.body.Add(TriplePattern{
+      PatternTerm::Var(cx),
+      PatternTerm::Const(
+          cached_sys->dict()->InternIri("http://peer0.example.org/cast")),
+      PatternTerm::Var(cy)});
+  std::vector<Tuple> cast_answers = cached.Answer(cast_q);
+  EXPECT_FALSE(cast_answers.empty());
+  EXPECT_EQ(cast_answers, plain.Answer(cast_q));
+
+  // Detaching restores plain evaluation.
+  AnswerCacheOptions off;
+  cached.EnableAnswerCache(off);
+  EXPECT_EQ(cached.CacheStats().hits, 0u);
+  EXPECT_EQ(cached.Answer(q), plain.Answer(q));
+}
+
 }  // namespace
 }  // namespace rps

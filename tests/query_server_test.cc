@@ -275,6 +275,203 @@ TEST(QueryServerTest, ExecuteAfterStopFailsCleanly) {
   EXPECT_EQ(added, 1u);
 }
 
+TEST(QueryServerCacheTest, RepeatHitsAndIngestBetweenIdenticalQueries) {
+  Dictionary dict;
+  Graph graph(&dict);
+  FillGraph(&graph, &dict, 100, 2);
+  VarPool vars;
+  std::vector<GraphPatternQuery> queries = MakeQueries(&dict, &vars, 2);
+
+  QueryServerOptions options;
+  options.worker_threads = 2;
+  options.answer_cache.enabled = true;
+  QueryServer server(&graph, options);
+
+  // First evaluation misses, identical repeat hits with the same bytes.
+  Result<QueryResponse> first = server.Execute(queries[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  Result<QueryResponse> repeat = server.Execute(queries[0]);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->cache_hit);
+  EXPECT_EQ(repeat->epoch, first->epoch);
+  EXPECT_EQ(repeat->answers, first->answers);
+
+  // Ingest lands between two identical queries. The new triple matches
+  // queries[0]'s footprint (predicate p0), so the next execution must
+  // observe the new epoch — never a stale hit.
+  TermId p0 = dict.InternIri("http://t/p0");
+  TermId s = dict.InternIri("http://t/fresh_s");
+  TermId o = dict.InternIri("http://t/fresh_o");
+  ASSERT_EQ(server.Ingest({Triple{s, p0, o}}), 1u);
+  Result<QueryResponse> after = server.Execute(queries[0]);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit) << "stale hit across a touching ingest";
+  EXPECT_GT(after->epoch, first->epoch);
+  EXPECT_GT(after->answers.size(), first->answers.size());
+  EXPECT_TRUE(std::find(after->answers.begin(), after->answers.end(),
+                        Tuple{s, o}) != after->answers.end());
+
+  // An ingest that misses the footprint promotes the entry: the repeat
+  // still hits, at the advanced epoch, with unchanged bytes.
+  Result<QueryResponse> warm = server.Execute(queries[0]);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  TermId other = dict.InternIri("http://t/unrelated_p");
+  ASSERT_EQ(server.Ingest({Triple{s, other, o}}), 1u);
+  Result<QueryResponse> promoted = server.Execute(queries[0]);
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_TRUE(promoted->cache_hit) << "untouching ingest dropped the entry";
+  EXPECT_GT(promoted->epoch, warm->epoch);
+  EXPECT_EQ(promoted->answers, after->answers);
+
+  server.Stop();
+  AnswerCacheStats stats = server.CacheStats();
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_GE(stats.misses, 2u);
+  EXPECT_GE(stats.invalidations, 1u);
+}
+
+TEST(QueryServerCacheTest, ChurnSoundnessOracleAcrossWorkerCounts) {
+  // The tentpole's soundness oracle: with the cache on and ingest
+  // churning, every response — hit or miss — must be byte-identical to a
+  // serial evaluation of the graph's first `epoch` triples, across
+  // worker counts 1..8. Runs under TSan via scripts/check_tsan.sh.
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    Dictionary dict;
+    Graph graph(&dict);
+    FillGraph(&graph, &dict, 150, 3);
+    VarPool vars;
+    std::vector<GraphPatternQuery> queries = MakeQueries(&dict, &vars, 3);
+
+    QueryServerOptions options;
+    options.worker_threads = workers;
+    options.answer_cache.enabled = true;
+    QueryServer server(&graph, options);
+
+    std::atomic<bool> stop_ingest{false};
+    TermId p0 = dict.InternIri("http://t/p0");
+    std::thread ingester([&] {
+      size_t i = 0;
+      while (!stop_ingest.load(std::memory_order_acquire)) {
+        std::vector<Triple> batch;
+        for (int j = 0; j < 3; ++j, ++i) {
+          batch.push_back(Triple{
+              dict.InternIri("http://t/churn_s" + std::to_string(i)), p0,
+              dict.InternIri("http://t/churn_o" + std::to_string(i))});
+        }
+        server.Ingest(batch);
+        std::this_thread::yield();
+      }
+    });
+
+    struct Record {
+      size_t query_index;
+      size_t epoch;
+      bool cache_hit;
+      std::vector<Tuple> answers;
+    };
+    const size_t kClients = 4, kRequests = 16;
+    std::vector<std::vector<Record>> records(kClients);
+    std::atomic<size_t> hits{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t r = 0; r < kRequests; ++r) {
+          // Clients repeat a small query pool so hits actually occur.
+          size_t qi = r % queries.size();
+          Result<QueryResponse> response = server.Execute(queries[qi]);
+          ASSERT_TRUE(response.ok()) << response.status().ToString();
+          if (response->cache_hit) hits.fetch_add(1);
+          records[c].push_back(Record{qi, response->epoch,
+                                      response->cache_hit,
+                                      std::move(response->answers)});
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    stop_ingest.store(true, std::memory_order_release);
+    ingester.join();
+    server.Stop();
+
+    for (const auto& client_records : records) {
+      for (const Record& rec : client_records) {
+        Graph prefix(&dict);
+        prefix.Reserve(rec.epoch);
+        for (size_t i = 0; i < rec.epoch; ++i) {
+          prefix.InsertUnchecked(graph.triples()[i]);
+        }
+        std::vector<Tuple> expected = EvalQuery(
+            prefix, queries[rec.query_index], QuerySemantics::kDropBlanks);
+        SortTuples(&expected);
+        ASSERT_EQ(expected, rec.answers)
+            << "workers " << workers << " query " << rec.query_index
+            << " epoch " << rec.epoch << " cache_hit " << rec.cache_hit;
+      }
+    }
+    // Identical repeated queries with only sporadic footprint-touching
+    // churn: some requests must have been served from the cache.
+    EXPECT_GT(hits.load(), 0u) << "workers " << workers;
+  }
+}
+
+TEST(QueryServerCacheTest, EvictionRacesConcurrentReaders) {
+  // A deliberately tiny cache (2 entries, small byte cap) under many
+  // distinct queries: inserts continually evict entries other threads
+  // are reading or about to read. shared_ptr payloads must keep every
+  // handed-out answer alive. Runs under TSan via scripts/check_tsan.sh.
+  Dictionary dict;
+  Graph graph(&dict);
+  FillGraph(&graph, &dict, 120, 6);
+  VarPool vars;
+  std::vector<GraphPatternQuery> queries = MakeQueries(&dict, &vars, 6);
+
+  QueryServerOptions options;
+  options.worker_threads = 4;
+  options.answer_cache.enabled = true;
+  options.answer_cache.max_entries = 2;
+  options.answer_cache.max_bytes = 1u << 14;
+  QueryServer server(&graph, options);
+
+  std::atomic<bool> stop_ingest{false};
+  TermId p0 = dict.InternIri("http://t/p0");
+  std::thread ingester([&] {
+    size_t i = 0;
+    while (!stop_ingest.load(std::memory_order_acquire)) {
+      server.Ingest(
+          {Triple{dict.InternIri("http://t/ev_s" + std::to_string(i)), p0,
+                  dict.InternIri("http://t/ev_o" + std::to_string(i))}});
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+
+  const size_t kClients = 6, kRequests = 20;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < kRequests; ++r) {
+        size_t qi = (c + r) % queries.size();
+        Result<QueryResponse> response = server.Execute(queries[qi]);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        // Touch every tuple: a use-after-free here is what TSan/ASan
+        // would catch if eviction freed a served payload.
+        size_t checksum = 0;
+        for (const Tuple& t : response->answers) checksum += t.size();
+        ASSERT_GE(checksum, response->answers.size());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop_ingest.store(true, std::memory_order_release);
+  ingester.join();
+  server.Stop();
+
+  AnswerCacheStats stats = server.CacheStats();
+  EXPECT_LE(stats.entries, 2u);
+  EXPECT_GT(stats.evictions, 0u) << "cache never churned — test too weak";
+}
+
 TEST(QueryServerTest, InvalidQueryIsRejectedAtAdmission) {
   Dictionary dict;
   Graph graph(&dict);

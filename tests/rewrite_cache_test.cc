@@ -1,0 +1,152 @@
+// RewriteCache and SubQueryCache: key construction (mapping-version /
+// epoch folding), memoized-rewriting parity with the uncached engine,
+// and LRU behaviour. Federation-level integration of both caches is in
+// federation_test.cc.
+
+#include "rewrite/rewrite_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "federation/subquery_cache.h"
+#include "gen/paper_example.h"
+#include "peer/rps_system.h"
+
+namespace rps {
+namespace {
+
+TEST(RewriteCacheKeyTest, StableAcrossRenamingSensitiveToVersionAndOptions) {
+  PaperExample ex = BuildPaperExample();
+  RpsRewriteOptions options;
+
+  std::string base = RewriteCacheKey(*ex.system, ex.query, options);
+  EXPECT_EQ(RewriteCacheKey(*ex.system, ex.query, options), base);
+
+  // A renamed copy of the query shares the key (same shape).
+  GraphPatternQuery renamed = ex.query;
+  // Renaming must be bijective: shift every var id past the pool.
+  VarId shift = 1000;
+  for (VarId& v : renamed.head) v += shift;
+  GraphPattern body;
+  for (TriplePattern tp : renamed.body.patterns()) {
+    if (tp.s.is_var()) tp.s = PatternTerm::Var(tp.s.var() + shift);
+    if (tp.p.is_var()) tp.p = PatternTerm::Var(tp.p.var() + shift);
+    if (tp.o.is_var()) tp.o = PatternTerm::Var(tp.o.var() + shift);
+    body.Add(tp);
+  }
+  renamed.body = std::move(body);
+  EXPECT_EQ(RewriteCacheKey(*ex.system, renamed, options), base);
+
+  // Different rewrite options fork the key.
+  RpsRewriteOptions no_minimize = options;
+  no_minimize.rewrite.minimize = false;
+  EXPECT_NE(RewriteCacheKey(*ex.system, ex.query, no_minimize), base);
+  RpsRewriteOptions resolution = options;
+  resolution.equivalence_mode = EquivalenceRewriteMode::kTgdResolution;
+  EXPECT_NE(RewriteCacheKey(*ex.system, ex.query, resolution), base);
+
+  // A mapping change bumps the system's mapping version, shifting every
+  // key — stale memoized rewritings become unreachable.
+  uint64_t before = ex.system->mapping_version();
+  TermId left = ex.system->dict()->InternIri("http://k/left");
+  TermId right = ex.system->dict()->InternIri("http://k/right");
+  ASSERT_TRUE(ex.system->AddEquivalence(left, right).ok());
+  EXPECT_GT(ex.system->mapping_version(), before);
+  EXPECT_NE(RewriteCacheKey(*ex.system, ex.query, options), base);
+}
+
+TEST(RewriteCacheTest, MemoizedRewriteMatchesEngine) {
+  PaperExample ex = BuildPaperExample();
+  RpsRewriteOptions options;
+  RewriteCacheOptions cache_options;
+  cache_options.enabled = true;
+  RewriteCache cache(cache_options, "test_rewrite");
+
+  Result<RpsRewriteResult> fresh =
+      RewriteGraphQuery(*ex.system, ex.query, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+
+  Result<RewriteCache::CachedRewrite> first =
+      RewriteGraphQueryCached(*ex.system, ex.query, options, &cache);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(cache.Stats().misses, 1u);
+  EXPECT_EQ(cache.Stats().hits, 0u);
+
+  Result<RewriteCache::CachedRewrite> second =
+      RewriteGraphQueryCached(*ex.system, ex.query, options, &cache);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  // The hit is the same shared object, and it matches the engine.
+  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ((*first)->ucq.size(), fresh->ucq.size());
+  EXPECT_EQ((*first)->canonical_terms, fresh->canonical_terms);
+
+  // A null cache degrades to a plain call.
+  Result<RewriteCache::CachedRewrite> uncached =
+      RewriteGraphQueryCached(*ex.system, ex.query, options, nullptr);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_EQ((*uncached)->ucq.size(), fresh->ucq.size());
+}
+
+TEST(RewriteCacheTest, LruEvictsPastMaxEntries) {
+  RewriteCacheOptions options;
+  options.enabled = true;
+  options.max_entries = 2;
+  RewriteCache cache(options, "test_rewrite_lru");
+  auto value = std::make_shared<const RpsRewriteResult>();
+  cache.Insert("a", value);
+  cache.Insert("b", value);
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // refresh: b is now LRU
+  cache.Insert("c", value);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(SubQueryCacheTest, KeyFoldsPeerEpochAndEndpointKind) {
+  VarId x = 1, y = 2;
+  TriplePattern tp{PatternTerm::Var(x), PatternTerm::Const(77),
+                   PatternTerm::Var(y)};
+  std::string base = SubQueryKey(0, 5, /*canonical=*/false, tp);
+  EXPECT_EQ(SubQueryKey(0, 5, false, tp), base);
+  EXPECT_NE(SubQueryKey(1, 5, false, tp), base);  // other peer
+  EXPECT_NE(SubQueryKey(0, 6, false, tp), base);  // other epoch
+  EXPECT_NE(SubQueryKey(0, 5, true, tp), base);   // canonicalized endpoint
+
+  // The pattern is keyed verbatim: a renamed variable is a different
+  // key (the cached BindingSet binds those exact VarIds).
+  TriplePattern renamed{PatternTerm::Var(y), PatternTerm::Const(77),
+                        PatternTerm::Var(x)};
+  EXPECT_NE(SubQueryKey(0, 5, false, renamed), base);
+}
+
+TEST(SubQueryCacheTest, LruAndByteBudget) {
+  SubQueryCacheOptions options;
+  options.enabled = true;
+  options.max_entries = 2;
+  SubQueryCache cache(options, "test_subquery");
+
+  Binding b;
+  ASSERT_TRUE(b.Bind(1, 42));
+  auto rows = std::make_shared<const BindingSet>(BindingSet{b});
+  cache.Insert("a", rows);
+  cache.Insert("b", rows);
+  EXPECT_EQ(cache.Stats().misses, 0u);
+  SubQueryCache::Rows hit = cache.Lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, BindingSet{b});
+  cache.Insert("c", rows);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);  // LRU victim
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(cache.Stats().misses, 1u);
+  EXPECT_GT(cache.Stats().bytes, 0u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -28,6 +28,13 @@ counter — so a change that silently tanks the answer-cache hit rate
 fails the gate even though the cache only exports raw hit/miss counts.
 Pairs with fewer than MIN_RATIO_SAMPLES lookups are skipped as noise.
 
+Improvements are reported too: a gated counter that *rises* past the
+same (symmetric) threshold is tagged `IMP` in the diff and summarized at
+the end of the report — so a PR that speeds a workload up leaves an
+auditable trace in the CI artifact, and a stale committed baseline
+(fresh runs persistently far above it) is visible at a glance.
+Improvements never affect the exit status.
+
 Everything else — non-ratio counters drifting, keys missing on either
 side — is reported as a warning in the diff but does not fail the run.
 
@@ -127,6 +134,7 @@ def main() -> int:
     lines = [f"bench compare: {base['label']} (committed) vs "
              f"{cand['label']} (fresh), n={base['n']}"]
     failures = []
+    improvements = []
     warnings = []
 
     for tag in sorted(base_tags):
@@ -144,11 +152,16 @@ def main() -> int:
             b, c = float(bc[name]), float(cc[name])
             drop = b - c
             allowed = max(REL_TOLERANCE * b, ABS_SLACK)
-            verdict = "FAIL" if drop > allowed else "ok"
+            if drop > allowed:
+                verdict = "FAIL"
+                failures.append(f"{tag}: {name} regressed {b:g} -> {c:g}")
+            elif -drop > allowed:
+                verdict = "IMP"
+                improvements.append(f"{tag}: {name} improved {b:g} -> {c:g}")
+            else:
+                verdict = "ok"
             lines.append(f"[{verdict:>4}] {tag}: {name} {b:g} -> {c:g} "
                          f"(drop {drop:+g}, allowed {allowed:g})")
-            if drop > allowed:
-                failures.append(f"{tag}: {name} regressed {b:g} -> {c:g}")
 
     for tag in sorted(cand_tags):
         if tag not in base_tags:
@@ -157,6 +170,12 @@ def main() -> int:
                             f"gate it")
 
     lines.extend(warnings)
+    if improvements:
+        lines.append(f"IMPROVED: {len(improvements)} gated counter(s) rose "
+                     f"past tolerance — consider committing a regenerated "
+                     f"baseline so the gains are locked in")
+        for i in improvements:
+            lines.append(f"  + {i}")
     if failures:
         lines.append(f"REGRESSION: {len(failures)} gated counter(s) fell "
                      f"past tolerance")

@@ -52,7 +52,7 @@ fi
 # --- Configure + build the tsan tree. ---
 targets=(thread_pool_test rps_chase_test eval_test federation_test
          snapshot_isolation_test query_server_test answer_cache_test
-         rewrite_cache_test property_test)
+         rewrite_cache_test plan_test trie_iterator_test property_test)
 
 if ! cmake --preset tsan >/dev/null; then
   echo "check_tsan: FAIL (cmake configure of the tsan preset failed)"
@@ -69,7 +69,7 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 failures=0
 for t in thread_pool_test rps_chase_test eval_test federation_test \
          snapshot_isolation_test query_server_test answer_cache_test \
-         rewrite_cache_test; do
+         rewrite_cache_test plan_test trie_iterator_test; do
   echo "check_tsan: running $t"
   if ! "$build_dir/tests/$t" >/dev/null; then
     echo "check_tsan: FAIL ($t reported a race or failed under TSan)"

@@ -366,6 +366,7 @@ Result<FederatedQueryResult> Federator::Execute(
     // join-variable connectivity (a selectivity-only sort can pick a
     // cross product between disconnected cheap patterns).
     std::vector<size_t> cardinalities(patterns.size());
+    std::vector<JoinOrderHints> hints(patterns.size());
     for (size_t i = 0; i < patterns.size(); ++i) {
       size_t total = 0;
       for (const PeerNode& peer : endpoints) {
@@ -374,8 +375,20 @@ Result<FederatedQueryResult> Federator::Execute(
                                               patterns[i].o.AsMatchKey());
       }
       cardinalities[i] = total;
+      // Constant-predicate patterns additionally carry the federation-
+      // wide distinct subject / object counts of that predicate, which
+      // tighten the DP's join-selectivity denominators (the sum across
+      // peers is a valid upper bound on the union's distinct counts).
+      if (patterns[i].p.is_const()) {
+        for (const PeerNode& peer : endpoints) {
+          Graph::PredDistinct pd =
+              peer.graph().PredicateDistincts(patterns[i].p.term());
+          hints[i].distinct_s += pd.subjects;
+          hints[i].distinct_o += pd.objects;
+        }
+      }
     }
-    std::vector<size_t> order = PlanJoinOrder(patterns, cardinalities);
+    std::vector<size_t> order = PlanJoinOrder(patterns, cardinalities, hints);
 
     BindingSet current = {Binding()};
     bool first_pattern = true;

@@ -110,6 +110,14 @@ class EvalBudget {
 };
 
 /// Evaluation options.
+/// Whether the planner may pick the worst-case-optimal (leapfrog
+/// triejoin) operator for cyclic / star BGPs (PlanOp::kWcojJoin).
+/// kAuto lets the cost model decide; kOff restricts planning to the
+/// binary-join operators; kForce takes the WCOJ path whenever the query
+/// shape is eligible (>= 3 patterns sharing variables over a trivial
+/// seed) regardless of cost — results are byte-identical in all modes.
+enum class WcojMode { kAuto, kOff, kForce };
+
 struct EvalOptions {
   /// Reorder triple patterns greedily by estimated selectivity before
   /// joining (ablation: §5 of DESIGN.md). Evaluation results are
@@ -136,6 +144,8 @@ struct EvalOptions {
   /// every evaluation loop. Owned by the query's caller; shared by all
   /// threads of that one query only.
   EvalBudget* budget = nullptr;
+  /// Worst-case-optimal join selection policy (see WcojMode above).
+  WcojMode wcoj = WcojMode::kAuto;
 };
 
 /// An answer tuple: the head variables' values in head order.

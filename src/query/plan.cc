@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <set>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "query/eval.h"
+#include "rdf/trie_iterator.h"
 #include "util/thread_pool.h"
 
 namespace rps {
@@ -38,6 +41,11 @@ obs::Counter& MergeJoinCounter() {
 obs::Counter& LeapfrogJoinCounter() {
   static obs::Counter* c =
       obs::Registry::Global().counter("query.plan.leapfrog_joins");
+  return *c;
+}
+obs::Counter& WcojJoinCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("query.plan.wcoj_joins");
   return *c;
 }
 // The plan executor feeds the same eval.* counters as the probe loop so
@@ -88,10 +96,20 @@ struct PlanStats {
   std::vector<double> card_seeded;          // median per-seed cardinality
   std::vector<std::vector<VarId>> vars;     // vars of each pattern
   std::vector<VarId> seed_vars;             // dom of the sample seeds
-  // Graph-wide distinct-value upper bound per variable: the minimum
-  // posting-index size over every (pattern, position) the var occurs at.
-  std::unordered_map<VarId, double> d_graph;
+  // Per-(pattern, variable) distinct-value upper bound: the position's
+  // distinct count — tightened to the *predicate's* distinct subjects /
+  // objects when the pattern's predicate is constant — capped by the
+  // pattern's own cardinality. Kept per pattern (not as one global
+  // minimum over all occurrences) so one highly selective pattern
+  // cannot poison the join denominator of an unrelated wide pattern.
+  std::vector<std::unordered_map<VarId, double>> d_pat;
 };
+
+// Running distinct-value bound per bound variable while a join order is
+// costed: min over the already-joined patterns containing the var of
+// their d_pat entry (seed variables start at the seed row count, a
+// neutral bound). The map's keys double as the bound-variable set.
+using DistinctMap = std::unordered_map<VarId, double>;
 
 double DistinctAtPosition(const GraphSnapshot& graph, int position) {
   switch (position) {
@@ -152,11 +170,22 @@ PlanStats ComputeStats(const GraphSnapshot& graph,
     st.card_seeded.push_back(
         static_cast<double>(SeededCardinality(graph, tp, seeds, samples)));
     st.vars.push_back(tp.Vars());
+    st.d_pat.emplace_back();
     int position = 0;
     for (const PatternTerm* pt : {&tp.s, &tp.p, &tp.o}) {
       if (pt->is_var()) {
         double d = DistinctAtPosition(graph, position);
-        auto [it, inserted] = st.d_graph.try_emplace(pt->var(), d);
+        if (position != 1 && tp.p.is_const()) {
+          // A constant predicate tightens the position-wide bound to the
+          // distinct subjects / objects *of that predicate* — exactly the
+          // skew signal that separates hub predicates from sparse ones.
+          Graph::PredDistinct pd = graph.PredicateDistincts(tp.p.term());
+          double dp =
+              static_cast<double>(position == 0 ? pd.subjects : pd.objects);
+          d = std::min(d, std::max(1.0, dp));
+        }
+        d = std::min(d, std::max(1.0, st.card_unseeded.back()));
+        auto [it, inserted] = st.d_pat.back().try_emplace(pt->var(), d);
         if (!inserted) it->second = std::min(it->second, d);
       }
       ++position;
@@ -165,11 +194,25 @@ PlanStats ComputeStats(const GraphSnapshot& graph,
   if (!seeds.empty()) {
     for (const auto& [var, term] : seeds.front().entries()) {
       st.seed_vars.push_back(var);
-      // A seed var may not occur in any pattern; give it a neutral bound.
-      st.d_graph.try_emplace(var, st.seed_rows);
     }
   }
   return st;
+}
+
+// Seed-variable initialization for a DistinctMap.
+DistinctMap SeedDistincts(const PlanStats& st) {
+  DistinctMap bound;
+  for (VarId v : st.seed_vars) bound.try_emplace(v, st.seed_rows);
+  return bound;
+}
+
+// Folds pattern j's distinct bounds into the running map after it joins.
+void BindPattern(const PlanStats& st, size_t j, DistinctMap* bound) {
+  for (VarId v : st.vars[j]) {
+    double d = st.d_pat[j].at(v);
+    auto [it, inserted] = bound->try_emplace(v, d);
+    if (!inserted) it->second = std::min(it->second, d);
+  }
 }
 
 // Join-selectivity denominator and output estimate for joining pattern j
@@ -180,17 +223,15 @@ struct JoinEstimate {
 };
 
 JoinEstimate EstimateJoin(const PlanStats& st, double rows,
-                          const std::set<VarId>& bound, size_t j) {
+                          const DistinctMap& bound, size_t j) {
   JoinEstimate est;
   double denom = 1.0;
   for (VarId v : st.vars[j]) {
-    if (bound.find(v) == bound.end()) continue;
+    auto it = bound.find(v);
+    if (it == bound.end()) continue;
     est.join_vars.push_back(v);
-    double dg = 1.0;
-    auto it = st.d_graph.find(v);
-    if (it != st.d_graph.end()) dg = it->second;
-    double d_pattern = std::min(st.card_unseeded[j], dg);
-    double d_inter = std::min(rows, dg);
+    double d_pattern = std::max(1.0, st.d_pat[j].at(v));
+    double d_inter = std::min(rows, it->second);
     denom *= std::max({d_pattern, d_inter, 1.0});
   }
   est.out_rows = rows * st.card_unseeded[j] / denom;
@@ -238,7 +279,7 @@ std::vector<PlanStep> StepsForOrder(const PlanStats& st,
                                     double* total_cost) {
   std::vector<PlanStep> steps;
   steps.reserve(order.size());
-  std::set<VarId> bound(st.seed_vars.begin(), st.seed_vars.end());
+  DistinctMap bound = SeedDistincts(st);
   double rows = st.seed_rows;
   double cost = 0.0;
   bool first = true;
@@ -261,7 +302,7 @@ std::vector<PlanStep> StepsForOrder(const PlanStats& st,
     step.est_rows = out;
     cost += step_cost;
     rows = std::max(out, 1.0);
-    for (VarId v : st.vars[j]) bound.insert(v);
+    BindPattern(st, j, &bound);
     steps.push_back(std::move(step));
     first = false;
   }
@@ -284,13 +325,12 @@ std::vector<PlanStep> DpSteps(const PlanStats& st, double* total_cost) {
   cost[0] = 0.0;
   rows[0] = st.seed_rows;
 
-  // Bound variables of a subset (seed vars plus member pattern vars).
+  // Bound variables of a subset (seed vars plus member pattern vars),
+  // with their running distinct bounds.
   auto bound_of = [&](size_t mask) {
-    std::set<VarId> bound(st.seed_vars.begin(), st.seed_vars.end());
+    DistinctMap bound = SeedDistincts(st);
     for (size_t i = 0; i < n; ++i) {
-      if (mask & (size_t{1} << i)) {
-        bound.insert(st.vars[i].begin(), st.vars[i].end());
-      }
+      if (mask & (size_t{1} << i)) BindPattern(st, i, &bound);
     }
     return bound;
   };
@@ -300,7 +340,7 @@ std::vector<PlanStep> DpSteps(const PlanStats& st, double* total_cost) {
       if (!(mask & (size_t{1} << j))) continue;
       size_t prev = mask ^ (size_t{1} << j);
       if (cost[prev] == kInf) continue;
-      std::set<VarId> bound = bound_of(prev);
+      DistinctMap bound = bound_of(prev);
       JoinEstimate est = EstimateJoin(st, rows[prev], bound, j);
       double out = prev == 0 ? st.seed_rows * st.card_seeded[j] : est.out_rows;
       auto [step_op, step_cost] = ChooseOperator(
@@ -325,7 +365,7 @@ std::vector<PlanStep> DpSteps(const PlanStats& st, double* total_cost) {
 
   std::vector<PlanStep> steps;
   steps.reserve(n);
-  std::set<VarId> bound(st.seed_vars.begin(), st.seed_vars.end());
+  DistinctMap bound = SeedDistincts(st);
   double r = st.seed_rows;
   size_t mask = 0;
   for (size_t j : order) {
@@ -339,7 +379,7 @@ std::vector<PlanStep> DpSteps(const PlanStats& st, double* total_cost) {
     step.est_rows = out;
     steps.push_back(std::move(step));
     r = std::max(out, 1.0);
-    bound.insert(st.vars[j].begin(), st.vars[j].end());
+    BindPattern(st, j, &bound);
   }
   *total_cost = cost[full];
   return steps;
@@ -665,6 +705,342 @@ std::vector<Row> ExecuteLeapfrog(const GraphSnapshot& graph,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Worst-case-optimal join (PlanOp::kWcojJoin).
+//
+// Phase A — leapfrog triejoin over the *core* variables (those shared by
+// >= 2 patterns) using the three-tier trie view of the permuted runs
+// (rdf/trie_iterator.h). One variable is eliminated per level; at each
+// level every (pattern, position) occurrence of the variable contributes
+// one sorted stream of candidate values, and the streams are intersected
+// by mutual leapfrog seeks — never materializing a bucket. Each aligned
+// candidate is additionally filtered through exact visibility probes of
+// every pattern containing the variable (fully/partially bound lookups
+// against the hash set, group ranges and postings), so the produced set
+// of core tuples is a *superset* of the projection of the true answers
+// onto the core — tight on acyclic data, worst-case-optimally bounded on
+// cyclic data.
+//
+// Phase B — expansion to full answers through the canonical probe
+// pipeline (the probe engine's own pattern order), pruning after each
+// step every row whose bound core variables do not project into the
+// phase-A core set. Because phase A is a superset, pruning can never
+// drop a real answer (and hash collisions can only *keep* a doomed row,
+// which the remaining probes then kill) — so the output is byte-
+// identical to the probe engine, natively in canonical emission order:
+// a wcoj plan needs no restore sort.
+//
+// If the evaluation budget trips during phase A the partial core is
+// discarded and phase B runs unpruned — exactly the probe engine.
+// ---------------------------------------------------------------------------
+
+// FNV-1a over the core projection of an assignment, used both to build
+// the phase-B prune sets and to test rows against them.
+uint64_t HashTerms(const TermId* terms, const size_t* pick, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ terms[pick[i]]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+// One leapfrog stream: the occurrence of the current variable at
+// `position` of pattern `pattern`, walked through permutation `perm`.
+// When the cyclic predecessor position is bound (a constant or an
+// earlier-eliminated core variable) the stream is the level-2 walk
+// within that k1; otherwise it is the level-1 walk over distinct k1.
+struct WcojStream {
+  int perm = 0;
+  bool within = false;
+  bool k1_is_const = false;
+  TermId k1_const = 0;   // when within && k1_is_const
+  size_t k1_level = 0;   // when within && !k1_is_const: elim index
+};
+
+// One variable-elimination level of the leapfrog triejoin.
+struct WcojLevel {
+  VarId v = 0;
+  std::vector<WcojStream> streams;
+  std::vector<size_t> check_patterns;  // patterns containing v
+};
+
+// Builds the per-level streams and visibility-check lists for the given
+// elimination order. `var_level` maps each core var to its elim index.
+std::vector<WcojLevel> BuildWcojLevels(
+    const std::vector<TriplePattern>& patterns,
+    const std::vector<VarId>& elim_order,
+    const std::unordered_map<VarId, size_t>& var_level) {
+  std::vector<WcojLevel> levels;
+  levels.reserve(elim_order.size());
+  for (size_t d = 0; d < elim_order.size(); ++d) {
+    WcojLevel level;
+    level.v = elim_order[d];
+    for (size_t pi = 0; pi < patterns.size(); ++pi) {
+      const TriplePattern& tp = patterns[pi];
+      const PatternTerm* terms[3] = {&tp.s, &tp.p, &tp.o};
+      bool contains = false;
+      for (int pos = 0; pos < 3; ++pos) {
+        if (!terms[pos]->is_var() || terms[pos]->var() != level.v) continue;
+        contains = true;
+        WcojStream s;
+        // Cyclic predecessor: s keys p (SPO), p keys o (POS), o keys s
+        // (OSP) — so the predecessor of position `pos` is (pos + 2) % 3.
+        const PatternTerm& pred = *terms[(pos + 2) % 3];
+        bool pred_bound = false;
+        if (pred.is_const()) {
+          pred_bound = true;
+          s.k1_is_const = true;
+          s.k1_const = pred.term();
+        } else {
+          auto it = var_level.find(pred.var());
+          if (it != var_level.end() && it->second < d) {
+            pred_bound = true;
+            s.k1_level = it->second;
+          }
+        }
+        if (pred_bound) {
+          s.within = true;
+          // Iterated position -> run keyed by its predecessor.
+          s.perm = pos == 1 ? 0 : pos == 2 ? 1 : 2;  // SPO / POS / OSP
+        } else {
+          s.within = false;
+          // Iterated position leads the run.
+          s.perm = pos;  // s->SPO, p->POS, o->OSP
+        }
+        // Identical streams intersect to themselves — a star of constant
+        // predicates yields one global walk, not one per pattern (the
+        // per-pattern constraints live in the visibility checks).
+        bool dup = false;
+        for (const WcojStream& t : level.streams) {
+          if (t.perm == s.perm && t.within == s.within &&
+              t.k1_is_const == s.k1_is_const && t.k1_const == s.k1_const &&
+              t.k1_level == s.k1_level) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) level.streams.push_back(s);
+      }
+      if (contains) level.check_patterns.push_back(pi);
+    }
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+// Phase A: enumerates the core assignments depth-first. Returns false if
+// the budget tripped (core is then unusable).
+bool WcojEnumerateCore(const TrieJoinContext& ctx,
+                       const std::vector<TriplePattern>& patterns,
+                       const std::vector<WcojLevel>& levels,
+                       const std::unordered_map<VarId, size_t>& var_level,
+                       EvalBudget* budget, size_t* scanned,
+                       std::vector<std::vector<TermId>>* core) {
+  std::vector<TermId> asg(levels.size(), 0);
+
+  // Exact visibility of pattern `pi` under the first `depth + 1`
+  // eliminated variables: probe with every bound position (constants
+  // plus assigned core vars) and any shape the indexes answer directly.
+  auto pattern_visible = [&](size_t pi, size_t depth) {
+    const TriplePattern& tp = patterns[pi];
+    const PatternTerm* terms[3] = {&tp.s, &tp.p, &tp.o};
+    TermId vals[3] = {0, 0, 0};
+    bool bnd[3] = {false, false, false};
+    for (int pos = 0; pos < 3; ++pos) {
+      if (terms[pos]->is_const()) {
+        vals[pos] = terms[pos]->term();
+        bnd[pos] = true;
+      } else {
+        auto it = var_level.find(terms[pos]->var());
+        if (it != var_level.end() && it->second <= depth) {
+          vals[pos] = asg[it->second];
+          bnd[pos] = true;
+        }
+      }
+    }
+    int nb = (bnd[0] ? 1 : 0) + (bnd[1] ? 1 : 0) + (bnd[2] ? 1 : 0);
+    switch (nb) {
+      case 3:
+        return ctx.TripleVisible(Triple{vals[0], vals[1], vals[2]});
+      case 2:
+        if (bnd[0] && bnd[1]) return ctx.GroupVisible(0, vals[0], vals[1]);
+        if (bnd[1] && bnd[2]) return ctx.GroupVisible(1, vals[1], vals[2]);
+        return ctx.GroupVisible(2, vals[2], vals[0]);
+      case 1: {
+        int role = bnd[0] ? 0 : bnd[1] ? 1 : 2;
+        return ctx.TermVisible(role, vals[role]);
+      }
+      default:
+        return true;
+    }
+  };
+
+  // One iterator per (level, stream), constructed once for the whole
+  // enumeration: every seek repositions absolutely, so reuse across
+  // sibling subtrees is sound, and within-streams re-open their k1
+  // subtree per descent (a no-op when the k1 repeats, e.g. a constant
+  // predicate) so level-2 seeks search only the subtree's window.
+  std::vector<std::vector<TrieIterator>> iters(levels.size());
+  for (size_t d = 0; d < levels.size(); ++d) {
+    iters[d].reserve(levels[d].streams.size());
+    for (const WcojStream& s : levels[d].streams) {
+      iters[d].emplace_back(ctx, s.perm);
+    }
+  }
+
+  std::function<bool(size_t)> descend = [&](size_t depth) -> bool {
+    if (depth == levels.size()) {
+      core->push_back(asg);
+      return true;
+    }
+    const WcojLevel& level = levels[depth];
+    std::vector<TrieIterator>& its = iters[depth];
+    for (size_t si = 0; si < level.streams.size(); ++si) {
+      const WcojStream& s = level.streams[si];
+      if (s.within) {
+        its[si].OpenK1(s.k1_is_const ? s.k1_const : asg[s.k1_level]);
+      }
+    }
+    // Least candidate >= target in stream `si`, or nullopt if exhausted.
+    auto seek = [&](size_t si, TermId target) -> std::optional<TermId> {
+      const WcojStream& s = level.streams[si];
+      TrieIterator& it = its[si];
+      if (s.within) {
+        it.SeekK2(target);
+        if (it.at_end()) return std::nullopt;
+        return it.k2();
+      }
+      it.SeekK1(target);
+      if (it.at_end()) return std::nullopt;
+      return it.k1();
+    };
+    TermId lo = 0;
+    while (true) {
+      // One alignment pass: stream 0 proposes the least candidate >= lo,
+      // the rest must land exactly on it, raising the bar otherwise.
+      TermId hi = lo;
+      bool exhausted = false;
+      bool aligned = true;
+      for (size_t si = 0; si < level.streams.size(); ++si) {
+        std::optional<TermId> c = seek(si, hi);
+        if (!c.has_value()) {
+          exhausted = true;
+          break;
+        }
+        if (*c > hi) {
+          hi = *c;
+          if (si > 0) aligned = false;
+        }
+      }
+      if (exhausted) return true;
+      if (!aligned) {
+        lo = hi;
+        continue;
+      }
+      ++*scanned;
+      if (budget != nullptr && budget->Charge(1)) return false;
+      asg[depth] = hi;
+      bool ok = true;
+      for (size_t pi : level.check_patterns) {
+        if (!pattern_visible(pi, depth)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && !descend(depth + 1)) return false;
+      if (hi == std::numeric_limits<TermId>::max()) return true;
+      lo = hi + 1;
+    }
+  };
+
+  return descend(0);
+}
+
+// Full two-phase WCOJ execution of the (single) kWcojJoin step.
+std::vector<Row> ExecuteWcoj(const GraphSnapshot& graph, const QueryPlan& plan,
+                             const PlanStep& step, const std::vector<Row>& in,
+                             const EvalOptions& options, size_t* scanned) {
+  const std::vector<TriplePattern>& patterns = plan.patterns;
+  const std::vector<VarId>& elim_order = step.join_vars;
+  std::unordered_map<VarId, size_t> var_level;
+  for (size_t d = 0; d < elim_order.size(); ++d) {
+    var_level.emplace(elim_order[d], d);
+  }
+  std::vector<WcojLevel> levels =
+      BuildWcojLevels(patterns, elim_order, var_level);
+
+  // Phase A. The context pins the snapshot's epoch and (in concurrent
+  // mode) holds the graph's shared lock, so it must be destroyed before
+  // phase B starts issuing locking snapshot reads.
+  std::vector<std::vector<TermId>> core;
+  bool pruning = true;
+  {
+    TrieJoinContext ctx(graph.graph(), graph.epoch());
+    pruning = WcojEnumerateCore(ctx, patterns, levels, var_level,
+                                options.budget, scanned, &core);
+  }
+  if (pruning && core.empty()) {
+    // Every answer projects into the core; an empty core means none.
+    return {};
+  }
+
+  // Phase B: canonical probe pipeline with per-step core pruning. At
+  // each probe step that binds at least one new core variable, keep only
+  // rows whose projection onto the bound core prefix appears in the
+  // core (hashed; collisions only ever keep rows).
+  std::vector<std::optional<std::unordered_set<uint64_t>>> prune(
+      plan.probe_order.size());
+  std::vector<std::vector<VarId>> prune_vars(plan.probe_order.size());
+  if (pruning) {
+    std::vector<char> bound(levels.size(), 0);
+    for (size_t k = 0; k < plan.probe_order.size(); ++k) {
+      bool changed = false;
+      for (VarId v : patterns[plan.probe_order[k]].Vars()) {
+        auto it = var_level.find(v);
+        if (it != var_level.end() && !bound[it->second]) {
+          bound[it->second] = 1;
+          changed = true;
+        }
+      }
+      if (!changed) continue;
+      std::vector<size_t> pick;
+      for (size_t d = 0; d < levels.size(); ++d) {
+        if (bound[d]) {
+          pick.push_back(d);
+          prune_vars[k].push_back(elim_order[d]);
+        }
+      }
+      std::unordered_set<uint64_t>& set = prune[k].emplace();
+      set.reserve(core.size() * 2);
+      for (const std::vector<TermId>& t : core) {
+        set.insert(HashTerms(t.data(), pick.data(), pick.size()));
+      }
+    }
+  }
+
+  std::vector<Row> rows = in;
+  for (size_t k = 0; k < plan.probe_order.size(); ++k) {
+    if (options.budget != nullptr && options.budget->exceeded()) break;
+    rows = ExecuteProbe(graph, patterns[plan.probe_order[k]], rows, options,
+                        scanned);
+    if (prune[k].has_value()) {
+      const std::unordered_set<uint64_t>& set = *prune[k];
+      const std::vector<VarId>& pv = prune_vars[k];
+      rows.erase(std::remove_if(rows.begin(), rows.end(),
+                                [&](const Row& r) {
+                                  uint64_t h = 1469598103934665603ULL;
+                                  for (VarId v : pv) {
+                                    h = (h ^ *r.b.Get(v)) * 1099511628211ULL;
+                                  }
+                                  return set.find(h) == set.end();
+                                }),
+                 rows.end());
+    }
+    if (rows.empty()) break;
+  }
+  return rows;
+}
+
 }  // namespace
 
 const char* ToString(PlanOp op) {
@@ -677,6 +1053,8 @@ const char* ToString(PlanOp op) {
       return "merge";
     case PlanOp::kLeapfrogJoin:
       return "leapfrog";
+    case PlanOp::kWcojJoin:
+      return "wcoj";
   }
   return "?";
 }
@@ -781,6 +1159,196 @@ QueryPlan PlanBgp(const GraphSnapshot& graph,
       }
     }
   }
+
+  // Worst-case-optimal alternative. Eligible when the BGP has >= 3
+  // patterns sharing ("core") variables over the trivial seed; costed as
+  // phase A (leapfrog seeks over per-variable stream bounds, tightened
+  // by the per-predicate distinct statistics) plus phase B (the
+  // canonical probe chain with intermediates clamped near the final
+  // output — the effect of core pruning). The binary-join plan pays its
+  // restore sort on top when it is not already canonical; that recovery
+  // cost is what flips skewed cyclic/star queries to wcoj.
+  bool trivial_seed =
+      seed.size() <= 1 && (seed.empty() || seed.front().empty());
+  if (options.wcoj != WcojMode::kOff && trivial_seed &&
+      patterns.size() >= 3) {
+    std::unordered_map<VarId, size_t> occurrences;
+    for (const std::vector<VarId>& vs : st.vars) {
+      for (VarId v : vs) ++occurrences[v];
+    }
+    // Per-core-var minimum stream size (the leapfrog walk never visits
+    // more candidates than its narrowest stream).
+    std::vector<std::pair<double, VarId>> core;
+    for (const auto& [v, n_occ] : occurrences) {
+      if (n_occ < 2) continue;
+      double m = static_cast<double>(std::max<size_t>(1, graph.size()));
+      for (size_t j = 0; j < st.n; ++j) {
+        auto it = st.d_pat[j].find(v);
+        if (it != st.d_pat[j].end()) m = std::min(m, it->second);
+      }
+      core.emplace_back(m, v);
+    }
+    if (!core.empty()) {
+      // Elimination order: seed with the narrowest-stream variable, then
+      // greedily prefer variables *keyed* by an already-placed one — an
+      // occurrence whose cyclic predecessor position holds a placed
+      // variable walks only that group's subtree (level-2), while an
+      // unkeyed level must intersect run-wide level-1 walks. Following
+      // the keying structure is what keeps a cyclic query's phase A near
+      // its AGM bound; ties break by stream bound then VarId, so the
+      // order is deterministic.
+      std::sort(core.begin(), core.end());
+      std::vector<VarId> elim_order;
+      elim_order.reserve(core.size());
+      std::vector<char> taken(core.size(), 0);
+      std::unordered_set<VarId> placed;
+      auto keyed_by_placed = [&](VarId v) {
+        for (const TriplePattern& tp : patterns) {
+          const PatternTerm* terms[3] = {&tp.s, &tp.p, &tp.o};
+          for (int pos = 0; pos < 3; ++pos) {
+            if (!terms[pos]->is_var() || terms[pos]->var() != v) continue;
+            const PatternTerm& pred = *terms[(pos + 2) % 3];
+            if (pred.is_var() && placed.count(pred.var()) > 0) return true;
+          }
+        }
+        return false;
+      };
+      for (size_t step = 0; step < core.size(); ++step) {
+        size_t best = core.size();
+        bool best_keyed = false;
+        // `core` is (m, v)-sorted, so the first hit in each class is the
+        // narrowest: a keyed candidate always beats an unkeyed one.
+        for (size_t i = 0; i < core.size(); ++i) {
+          if (taken[i] != 0) continue;
+          bool keyed = !placed.empty() && keyed_by_placed(core[i].second);
+          if (best == core.size() || (keyed && !best_keyed)) {
+            best = i;
+            best_keyed = keyed;
+            if (keyed) break;
+          }
+        }
+        taken[best] = 1;
+        placed.insert(core[best].second);
+        elim_order.push_back(core[best].second);
+      }
+      // Phase A cost: a cascade over the levels. Entering level d with A
+      // surviving partial assignments, the leapfrog visits ~ A * w_d
+      // aligned nodes, where w_d is the narrowest stream of the level: a
+      // stream keyed by a placed variable walks one level-2 subtree
+      // (pattern cardinality over the key's distinct count), a constant-
+      // keyed stream walks the pattern's distinct iterated values (the
+      // per-predicate statistics when the constant is the predicate),
+      // and an unkeyed stream walks the position's graph-wide distinct
+      // values. Patterns that become fully bound cap the survivors — the
+      // engine's per-level visibility checks. This is what makes the
+      // planner decline wcoj for hub-skewed cyclic queries, where the
+      // group-level (two-level-trie) walk degenerates to the same
+      // two-path blowup a binary plan pays, with worse constants.
+      double cost_a = 0.0;
+      {
+        std::unordered_set<VarId> done;
+        double surviving = 1.0;
+        for (VarId v : elim_order) {
+          double width = std::max(1.0, static_cast<double>(graph.size()));
+          for (size_t j = 0; j < st.n; ++j) {
+            const TriplePattern& tp = patterns[j];
+            const PatternTerm* terms[3] = {&tp.s, &tp.p, &tp.o};
+            for (int pos = 0; pos < 3; ++pos) {
+              if (!terms[pos]->is_var() || terms[pos]->var() != v) continue;
+              const PatternTerm& pred = *terms[(pos + 2) % 3];
+              double w;
+              if (pred.is_var() && done.count(pred.var()) > 0) {
+                // One level-2 subtree — but the run's groups are
+                // predicate-blind (e.g. OSP groups hold *every* triple
+                // with that object), so the expected width is the
+                // graph-wide triples-per-distinct-key, not the
+                // pattern's own fan-out.
+                w = std::max(1.0, static_cast<double>(graph.size())) /
+                    std::max(1.0, DistinctAtPosition(graph, (pos + 2) % 3));
+              } else if (pred.is_const()) {
+                w = std::max(1.0, st.d_pat[j].at(v));
+              } else {
+                w = DistinctAtPosition(graph, pos);
+              }
+              width = std::min(width, w);
+            }
+          }
+          cost_a += surviving * width * kProbeOverhead;
+          done.insert(v);
+          double cap = surviving * width;
+          for (size_t j = 0; j < st.n; ++j) {
+            bool all_bound = !st.vars[j].empty();
+            for (VarId u : st.vars[j]) {
+              if (done.count(u) == 0) {
+                all_bound = false;
+                break;
+              }
+            }
+            if (all_bound) {
+              cap = std::min(cap, std::max(1.0, st.card_unseeded[j]));
+            }
+          }
+          surviving = std::max(1.0, cap);
+        }
+      }
+      // Phase B: probe chain in probe order, intermediates clamped to
+      // the final-output estimate (pruning discards rows outside the
+      // core as soon as their core variables bind).
+      double out_final = 1.0;
+      {
+        DistinctMap bound;
+        double r = 1.0;
+        bool first = true;
+        for (size_t j : plan.probe_order) {
+          JoinEstimate est = EstimateJoin(st, r, bound, j);
+          r = std::max(first ? st.card_seeded[j] : est.out_rows, 1.0);
+          BindPattern(st, j, &bound);
+          first = false;
+        }
+        out_final = r;
+      }
+      // Each probe step still *produces* its unpruned output (pruning
+      // runs after the probes), but the rows *carried* into the next
+      // step are clamped to the final output — the effect of discarding
+      // rows outside the phase-A core as soon as their core vars bind.
+      double cost_b = 0.0;
+      {
+        DistinctMap bound;
+        double r = 1.0;
+        bool first = true;
+        for (size_t j : plan.probe_order) {
+          JoinEstimate est = EstimateJoin(st, r, bound, j);
+          double out = std::max(first ? st.card_seeded[j] : est.out_rows, 1.0);
+          cost_b += ProbeCost(r, out);
+          r = std::min(out, out_final);
+          BindPattern(st, j, &bound);
+          first = false;
+        }
+      }
+      double wcoj_cost = cost_a + cost_b;
+      double binary_cost = plan.est_cost;
+      if (!plan.canonical_order) {
+        // Restore sort: one PositionOf probe per (row, pattern) plus the
+        // n·log2(n) key sort.
+        double rows_out = plan.steps.empty() ? 1.0 : plan.steps.back().est_rows;
+        rows_out = std::max(rows_out, 1.0);
+        binary_cost +=
+            rows_out * (static_cast<double>(st.n) * kProbeOverhead +
+                        kSortWeight * std::log2(std::max(2.0, rows_out)));
+      }
+      if (options.wcoj == WcojMode::kForce || wcoj_cost < binary_cost) {
+        PlanStep step;
+        step.op = PlanOp::kWcojJoin;
+        step.patterns = plan.probe_order;
+        step.join_vars = std::move(elim_order);
+        step.est_rows = out_final;
+        plan.steps.clear();
+        plan.steps.push_back(std::move(step));
+        plan.est_cost = wcoj_cost;
+        plan.canonical_order = true;
+      }
+    }
+  }
   return plan;
 }
 
@@ -816,6 +1384,10 @@ BindingSet ExecutePlan(const GraphSnapshot& graph, QueryPlan* plan, BindingSet s
         next = ExecuteLeapfrog(graph, plan->patterns, step, rows, &scanned,
                                options.budget);
         LeapfrogJoinCounter().Increment();
+        break;
+      case PlanOp::kWcojJoin:
+        next = ExecuteWcoj(graph, *plan, step, rows, options, &scanned);
+        WcojJoinCounter().Increment();
         break;
     }
     step.scanned = scanned;
@@ -867,6 +1439,12 @@ BindingSet ExecutePlan(const GraphSnapshot& graph, QueryPlan* plan, BindingSet s
 
 std::vector<size_t> PlanJoinOrder(const std::vector<TriplePattern>& patterns,
                                   const std::vector<size_t>& cardinalities) {
+  return PlanJoinOrder(patterns, cardinalities, {});
+}
+
+std::vector<size_t> PlanJoinOrder(const std::vector<TriplePattern>& patterns,
+                                  const std::vector<size_t>& cardinalities,
+                                  const std::vector<JoinOrderHints>& hints) {
   const size_t n = patterns.size();
   if (n <= 1) {
     return n == 0 ? std::vector<size_t>{} : std::vector<size_t>{0};
@@ -897,9 +1475,26 @@ std::vector<size_t> PlanJoinOrder(const std::vector<TriplePattern>& patterns,
     st.card_unseeded.push_back(c);
     st.card_seeded.push_back(c);
     st.vars.push_back(patterns[i].Vars());
-    for (VarId v : st.vars.back()) {
-      auto [it, inserted] = st.d_graph.try_emplace(v, c);
-      if (!inserted) it->second = std::min(it->second, c);
+    st.d_pat.emplace_back();
+    // Position-aware distinct bounds when hints are supplied: the
+    // pattern's relation size, tightened by the federation-wide distinct
+    // subject / object counts of its predicate.
+    const JoinOrderHints* h = i < hints.size() ? &hints[i] : nullptr;
+    int position = 0;
+    for (const PatternTerm* pt :
+         {&patterns[i].s, &patterns[i].p, &patterns[i].o}) {
+      if (pt->is_var()) {
+        double d = c;
+        if (h != nullptr && position == 0 && h->distinct_s > 0) {
+          d = std::min(d, static_cast<double>(h->distinct_s));
+        }
+        if (h != nullptr && position == 2 && h->distinct_o > 0) {
+          d = std::min(d, static_cast<double>(h->distinct_o));
+        }
+        auto [it, inserted] = st.d_pat.back().try_emplace(pt->var(), d);
+        if (!inserted) it->second = std::min(it->second, d);
+      }
+      ++position;
     }
   }
   double cost = 0.0;

@@ -33,9 +33,17 @@ enum class PlanOp {
   /// intersection — keys are intersected across all relations before
   /// any per-key product is emitted.
   kLeapfrogJoin,
+  /// Worst-case-optimal join (leapfrog triejoin): a single step covering
+  /// the whole BGP. Phase A leapfrogs the shared ("core") variables over
+  /// the three-tier trie view of the permuted runs (rdf/trie_iterator.h)
+  /// without materializing any bucket; phase B expands to full answers
+  /// through the canonical probe pipeline, pruning rows inconsistent
+  /// with the core — output is natively in canonical emission order.
+  kWcojJoin,
 };
 
-/// Short lowercase operator name ("scan", "probe", "merge", "leapfrog").
+/// Short lowercase operator name ("scan", "probe", "merge", "leapfrog",
+/// "wcoj").
 const char* ToString(PlanOp op);
 
 /// One step of a left-deep plan: joins `patterns` (one pattern, or
@@ -126,6 +134,21 @@ BindingSet ExecutePlan(const GraphSnapshot& graph, QueryPlan* plan,
 std::vector<size_t> PlanJoinOrder(
     const std::vector<TriplePattern>& patterns,
     const std::vector<size_t>& cardinalities);
+
+/// Per-pattern distinct-value hints for the overload below: upper
+/// bounds on the distinct subjects / objects of the pattern's extension
+/// (0 = unknown). The federator fills them from the per-predicate
+/// distinct statistics (Graph::PredicateDistincts) summed across peers,
+/// which tightens the join-selectivity denominators exactly as the
+/// local planner's statistics do.
+struct JoinOrderHints {
+  size_t distinct_s = 0;
+  size_t distinct_o = 0;
+};
+
+std::vector<size_t> PlanJoinOrder(const std::vector<TriplePattern>& patterns,
+                                  const std::vector<size_t>& cardinalities,
+                                  const std::vector<JoinOrderHints>& hints);
 
 /// Renders the plan for EXPLAIN: one line per step with operator, join
 /// key, patterns, and estimated vs. actual cardinalities. `vars` may be

@@ -37,6 +37,21 @@ obs::Counter& MappedReadCounter() {
       obs::Registry::Global().counter("storage.mapped_reads");
   return *c;
 }
+obs::Counter& StatsLookupCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("graph.stats.lookups");
+  return *c;
+}
+obs::Counter& StatsScannedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("graph.stats.triples_scanned");
+  return *c;
+}
+obs::Counter& StatsMappedRowCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("graph.stats.mapped_rows");
+  return *c;
+}
 
 // A 2-bound probe whose shorter posting list is at most this long skips
 // the binary search: filtering a handful of sequential positions is
@@ -48,10 +63,14 @@ constexpr size_t kSmallPostingScan = 16;
 
 Graph::Graph(const Graph& other) : dict_(other.dict_) {
   std::lock_guard<std::mutex> terms_lock(other.terms_mu_);
+  std::lock_guard<std::mutex> stats_lock(other.stats_mu_);
   triples_ = other.triples_;
   pos_ = other.pos_;
   terms_in_use_ = other.terms_in_use_;
   terms_scanned_ = other.terms_scanned_;
+  pred_stats_ = other.pred_stats_;
+  stats_scanned_ = other.stats_scanned_;
+  stats_mapped_rows_ = other.stats_mapped_rows_;
   by_s_ = other.by_s_;
   by_p_ = other.by_p_;
   by_o_ = other.by_o_;
@@ -67,11 +86,15 @@ Graph::Graph(const Graph& other) : dict_(other.dict_) {
 Graph& Graph::operator=(const Graph& other) {
   if (this == &other) return *this;
   std::lock_guard<std::mutex> terms_lock(other.terms_mu_);
+  std::lock_guard<std::mutex> stats_lock(other.stats_mu_);
   dict_ = other.dict_;
   triples_ = other.triples_;
   pos_ = other.pos_;
   terms_in_use_ = other.terms_in_use_;
   terms_scanned_ = other.terms_scanned_;
+  pred_stats_ = other.pred_stats_;
+  stats_scanned_ = other.stats_scanned_;
+  stats_mapped_rows_ = other.stats_mapped_rows_;
   by_s_ = other.by_s_;
   by_p_ = other.by_p_;
   by_o_ = other.by_o_;
@@ -90,6 +113,9 @@ Graph::Graph(Graph&& other) noexcept : dict_(other.dict_) {
   pos_ = std::move(other.pos_);
   terms_in_use_ = std::move(other.terms_in_use_);
   terms_scanned_ = other.terms_scanned_;
+  pred_stats_ = std::move(other.pred_stats_);
+  stats_scanned_ = other.stats_scanned_;
+  stats_mapped_rows_ = other.stats_mapped_rows_;
   by_s_ = std::move(other.by_s_);
   by_p_ = std::move(other.by_p_);
   by_o_ = std::move(other.by_o_);
@@ -113,6 +139,9 @@ Graph& Graph::operator=(Graph&& other) noexcept {
   pos_ = std::move(other.pos_);
   terms_in_use_ = std::move(other.terms_in_use_);
   terms_scanned_ = other.terms_scanned_;
+  pred_stats_ = std::move(other.pred_stats_);
+  stats_scanned_ = other.stats_scanned_;
+  stats_mapped_rows_ = other.stats_mapped_rows_;
   by_s_ = std::move(other.by_s_);
   by_p_ = std::move(other.by_p_);
   by_o_ = std::move(other.by_o_);
@@ -496,6 +525,43 @@ std::unordered_set<TermId> Graph::TermsInUse() const {
     terms_in_use_.insert(t.o);
   }
   return terms_in_use_;
+}
+
+Graph::PredDistinct Graph::PredicateDistincts(TermId pred) const {
+  auto lock = ReaderLock();
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  const size_t n = mapped_n_ + triples_.size();
+  if (stats_scanned_ < mapped_n_ && mapped_ != nullptr &&
+      mapped_->has_pred_stats()) {
+    // The snapshot carries exact per-predicate counts for the mapped
+    // prefix, so it is never scanned: its row is added per lookup below.
+    stats_scanned_ = mapped_n_;
+    stats_mapped_rows_ = true;
+  }
+  if (stats_scanned_ < n) {
+    StatsScannedCounter().Add(n - stats_scanned_);
+    for (; stats_scanned_ < n; ++stats_scanned_) {
+      const Triple& t = TripleAt(stats_scanned_);
+      PredStatsCache& c = pred_stats_[t.p];
+      c.subjects.insert(t.s);
+      c.objects.insert(t.o);
+    }
+  }
+  StatsLookupCounter().Increment();
+  PredDistinct out;
+  auto it = pred_stats_.find(pred);
+  if (it != pred_stats_.end()) {
+    out.subjects = it->second.subjects.size();
+    out.objects = it->second.objects.size();
+  }
+  if (stats_mapped_rows_) {
+    if (auto row = mapped_->PredStats(pred)) {
+      StatsMappedRowCounter().Increment();
+      out.subjects += row->distinct_s;  // tiers may share a term: upper bound
+      out.objects += row->distinct_o;
+    }
+  }
+  return out;
 }
 
 std::vector<Triple> Graph::MatchAll(std::optional<TermId> s,

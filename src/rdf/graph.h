@@ -380,10 +380,30 @@ class Graph {
   size_t DistinctPredicates() const;
   size_t DistinctObjects() const;
 
+  /// Per-predicate distinct-value statistics: upper bounds on the number
+  /// of distinct subjects / objects occurring with `pred`. Zero for a
+  /// predicate that never occurs. Maintained incrementally behind a
+  /// high-water mark like TermsInUse — a call folds in only the triples
+  /// appended since the previous call, so inserts pay nothing. With a
+  /// mapped base whose snapshot carries the statistics section, the
+  /// mapped prefix is never scanned: its on-disk row is added to the
+  /// in-memory tail's exact count (an upper bound — a subject occurring
+  /// in both tiers counts twice). Planner statistics only: they steer
+  /// join-order and operator choice under hub skew, never answers.
+  struct PredDistinct {
+    size_t subjects = 0;
+    size_t objects = 0;
+  };
+  PredDistinct PredicateDistincts(TermId pred) const;
+
   Dictionary* dict() const { return dict_; }
 
  private:
   friend class GraphSnapshot;
+  // The WCOJ trie module (rdf/trie_iterator.h) walks the permuted runs
+  // and probes the visibility cores directly under one shared lock.
+  friend class TrieJoinContext;
+  friend class TrieIterator;
 
   // One entry of a permutation run: the two leading permuted components
   // plus the insertion position (which doubles as the tie-break, so a
@@ -473,6 +493,21 @@ class Graph {
   mutable std::mutex terms_mu_;
   mutable std::unordered_set<TermId> terms_in_use_;
   mutable size_t terms_scanned_ = 0;
+
+  // Lazily filled per-predicate distinct sets behind
+  // PredicateDistincts(); stats_scanned_ is the high-water mark of
+  // triples folded in, and stats_mapped_rows_ records that the mapped
+  // prefix is served from the snapshot's statistics section instead of
+  // being scanned. Guarded by stats_mu_ (same ordering rule as
+  // terms_mu_: acquired after the reader lock only).
+  struct PredStatsCache {
+    std::unordered_set<TermId> subjects;
+    std::unordered_set<TermId> objects;
+  };
+  mutable std::mutex stats_mu_;
+  mutable std::unordered_map<TermId, PredStatsCache> pred_stats_;
+  mutable size_t stats_scanned_ = 0;
+  mutable bool stats_mapped_rows_ = false;
 
   // Full single-position posting lists (ascending insertion positions).
   std::unordered_map<TermId, std::vector<uint32_t>> by_s_;
@@ -584,6 +619,12 @@ class GraphSnapshot {
   size_t DistinctSubjects() const;
   size_t DistinctPredicates() const;
   size_t DistinctObjects() const;
+
+  /// Per-predicate distinct upper bounds (Graph::PredicateDistincts,
+  /// which takes its own locks — safe to call on a live graph).
+  Graph::PredDistinct PredicateDistincts(TermId pred) const {
+    return graph_->PredicateDistincts(pred);
+  }
 
  private:
   const Graph* graph_;

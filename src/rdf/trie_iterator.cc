@@ -1,0 +1,337 @@
+#include "rdf/trie_iterator.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace rps {
+
+namespace {
+
+// Key-only comparators between a run entry and a (k1, k2) probe (pos is
+// ignored, so lower_bound lands on a group's head — its minimum
+// position — and equal_range spans exactly the group).
+struct KeyLess {
+  bool operator()(const storage::RunEntry& e,
+                  const std::pair<TermId, TermId>& k) const {
+    return e.k1 != k.first ? e.k1 < k.first : e.k2 < k.second;
+  }
+  bool operator()(const std::pair<TermId, TermId>& k,
+                  const storage::RunEntry& e) const {
+    return k.first != e.k1 ? k.first < e.k1 : k.second < e.k2;
+  }
+};
+
+}  // namespace
+
+TrieJoinContext::TrieJoinContext(const Graph& graph, size_t epoch)
+    : graph_(&graph) {
+  // One shared lock for the whole intersection phase (engaged only in
+  // concurrent mode). Everything below reads lock-free cores.
+  lock_ = graph.ReaderLock();
+  size_t now = graph.mapped_n_ + graph.triples_.size();
+  epoch_ = std::min(epoch, now);
+  mcap_ = static_cast<uint32_t>(std::min(epoch_, graph.mapped_n_));
+  lepoch_ = epoch_ > graph.mapped_n_ ? epoch_ - graph.mapped_n_ : 0;
+}
+
+const std::vector<storage::RunEntry>& TrieJoinContext::Delta(int perm) const {
+  std::optional<std::vector<storage::RunEntry>>& d = delta_[perm];
+  if (!d.has_value()) {
+    d.emplace();
+    const Graph& g = *graph_;
+    size_t end = std::min(lepoch_, g.triples_.size());
+    if (end > g.base_n_) {
+      d->reserve(end - g.base_n_);
+      for (size_t pos = g.base_n_; pos < end; ++pos) {
+        auto [k1, k2] = Graph::PermKey(static_cast<Graph::Permutation>(perm),
+                                       g.triples_[pos]);
+        d->push_back(
+            storage::RunEntry{k1, k2, static_cast<uint32_t>(pos)});
+      }
+      // The tail is appended in insertion order, so sorting by (k1, k2)
+      // with the stable position tie-break mirrors a merged run.
+      std::sort(d->begin(), d->end(),
+                [](const storage::RunEntry& a, const storage::RunEntry& b) {
+                  if (a.k1 != b.k1) return a.k1 < b.k1;
+                  if (a.k2 != b.k2) return a.k2 < b.k2;
+                  return a.pos < b.pos;
+                });
+    }
+  }
+  return *d;
+}
+
+bool TrieJoinContext::TripleVisible(const Triple& t) const {
+  const Graph& g = *graph_;
+  auto it = g.pos_.find(t);
+  if (it != g.pos_.end()) return it->second + g.mapped_n_ < epoch_;
+  if (g.mapped_ != nullptr) {
+    std::optional<uint32_t> at = g.mapped_->FindTriple(t);
+    return at.has_value() && *at < mcap_;
+  }
+  return false;
+}
+
+bool TrieJoinContext::GroupVisible(int perm, TermId k1, TermId k2) const {
+  const Graph& g = *graph_;
+  if (mcap_ > 0) {
+    storage::MappedSnapshot::GroupCursor cur(g.mapped_.get(), perm);
+    cur.SeekKey(k1, k2);
+    if (!cur.at_end() && cur.k1() == k1 && cur.k2() == k2 &&
+        cur.head_pos() < mcap_) {
+      return true;
+    }
+  }
+  if (lepoch_ > 0) {
+    auto [lo, hi] =
+        g.BaseRange(static_cast<Graph::Permutation>(perm), k1, k2);
+    if (lo < hi && g.perm_[perm][lo].pos < lepoch_) return true;
+    const std::vector<storage::RunEntry>& d = Delta(perm);
+    auto it = std::lower_bound(d.begin(), d.end(), std::make_pair(k1, k2),
+                               KeyLess{});
+    if (it != d.end() && it->k1 == k1 && it->k2 == k2) return true;
+  }
+  return false;
+}
+
+bool TrieJoinContext::TermVisible(int role, TermId term) const {
+  const Graph& g = *graph_;
+  if (mcap_ > 0) {
+    bool vis = false;
+    // Postings are position-ascending: the first one is the minimum.
+    g.mapped_->ScanPostings(role, term, [&](uint32_t pos) {
+      vis = pos < mcap_;
+      return false;
+    });
+    if (vis) return true;
+  }
+  if (lepoch_ > 0) {
+    const std::vector<uint32_t>* list =
+        role == 0   ? g.Postings(g.by_s_, term)
+        : role == 1 ? g.Postings(g.by_p_, term)
+                    : g.Postings(g.by_o_, term);
+    if (list != nullptr && !list->empty() && list->front() < lepoch_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t TrieJoinContext::CountGroup(int perm, TermId k1, TermId k2) const {
+  const Graph& g = *graph_;
+  size_t count = 0;
+  if (mcap_ > 0) count += g.mapped_->CountRun(perm, k1, k2, mcap_);
+  if (lepoch_ == 0) return count;
+  auto [lo, hi] = g.BaseRange(static_cast<Graph::Permutation>(perm), k1, k2);
+  const std::vector<Graph::PermEntry>& run = g.perm_[perm];
+  if (lepoch_ >= g.base_n_) {
+    count += hi - lo;
+  } else {
+    count += static_cast<size_t>(
+        std::partition_point(run.begin() + lo, run.begin() + hi,
+                             [this](const Graph::PermEntry& e) {
+                               return e.pos < lepoch_;
+                             }) -
+        (run.begin() + lo));
+  }
+  const std::vector<storage::RunEntry>& d = Delta(perm);
+  auto [dlo, dhi] = std::equal_range(d.begin(), d.end(),
+                                     std::make_pair(k1, k2), KeyLess{});
+  count += static_cast<size_t>(dhi - dlo);
+  return count;
+}
+
+TrieIterator::TrieIterator(const TrieJoinContext& ctx, int perm)
+    : ctx_(&ctx), perm_(perm), delta_(&ctx.Delta(perm)) {
+  const Graph& g = *ctx.graph_;
+  if (ctx.mcap_ > 0 && g.mapped_ != nullptr) {
+    mapped_.emplace(g.mapped_.get(), perm);
+  }
+}
+
+void TrieIterator::SeekMapped(TermId k1, TermId k2) {
+  if (!mapped_.has_value()) return;
+  mapped_->SeekKey(k1, k2);
+  // Skip groups whose head position is past the mapped cap (only
+  // reachable when the epoch falls inside the mapped prefix).
+  while (!mapped_->at_end() && mapped_->head_pos() >= ctx_->mcap_) {
+    mapped_->NextKey();
+  }
+}
+
+void TrieIterator::SeekBase(TermId k1, TermId k2) {
+  base_live_ = false;
+  if (ctx_->lepoch_ == 0) return;
+  const std::vector<Graph::PermEntry>& run = ctx_->graph_->perm_[perm_];
+  auto key_less = [](const Graph::PermEntry& e,
+                     const std::pair<TermId, TermId>& k) {
+    return e.k1 != k.first ? e.k1 < k.first : e.k2 < k.second;
+  };
+  auto it = std::lower_bound(run.begin(), run.end(), std::make_pair(k1, k2),
+                             key_less);
+  // Group heads are minimum positions; skip groups born after the
+  // epoch. With the epoch at or past the merged base (the common case)
+  // the first head already qualifies.
+  while (it != run.end() && it->pos >= ctx_->lepoch_) {
+    std::pair<TermId, TermId> cur{it->k1, it->k2};
+    it = std::upper_bound(it, run.end(), cur,
+                          [](const std::pair<TermId, TermId>& k,
+                             const Graph::PermEntry& e) {
+                            return k.first != e.k1 ? k.first < e.k1
+                                                   : k.second < e.k2;
+                          });
+  }
+  if (it != run.end()) {
+    bi_ = static_cast<size_t>(it - run.begin());
+    base_live_ = true;
+  }
+}
+
+void TrieIterator::SeekDelta(TermId k1, TermId k2) {
+  delta_live_ = false;
+  auto it = std::lower_bound(delta_->begin(), delta_->end(),
+                             std::make_pair(k1, k2), KeyLess{});
+  if (it != delta_->end()) {
+    di_ = static_cast<size_t>(it - delta_->begin());
+    delta_live_ = true;
+  }
+}
+
+void TrieIterator::Refresh() {
+  // Merged current group = minimum key among the live tiers. Several
+  // tiers may hold the same key (a group split across tiers); the key
+  // is reported once, which is all the group-level walk needs.
+  at_end_ = true;
+  bool have = false;
+  TermId mk1 = 0, mk2 = 0;
+  auto consider = [&](TermId a, TermId b) {
+    if (!have || a < mk1 || (a == mk1 && b < mk2)) {
+      mk1 = a;
+      mk2 = b;
+      have = true;
+    }
+  };
+  if (mapped_.has_value() && !mapped_->at_end()) {
+    consider(mapped_->k1(), mapped_->k2());
+  }
+  if (base_live_) {
+    const Graph::PermEntry& e = ctx_->graph_->perm_[perm_][bi_];
+    consider(e.k1, e.k2);
+  }
+  if (delta_live_) {
+    const storage::RunEntry& e = (*delta_)[di_];
+    consider(e.k1, e.k2);
+  }
+  if (have) {
+    k1_ = mk1;
+    k2_ = mk2;
+    at_end_ = false;
+  }
+}
+
+void TrieIterator::SeekGroup(TermId k1, TermId k2) {
+  SeekMapped(k1, k2);
+  SeekBase(k1, k2);
+  SeekDelta(k1, k2);
+  Refresh();
+}
+
+void TrieIterator::NextK1() {
+  if (at_end_) return;
+  if (k1_ == std::numeric_limits<TermId>::max()) {
+    at_end_ = true;
+    return;
+  }
+  SeekGroup(k1_ + 1, 0);
+}
+
+void TrieIterator::OpenK1(TermId k1) {
+  if (opened_ && open_k1_ == k1) return;
+  opened_ = true;
+  open_k1_ = k1;
+  blo_ = bhi_ = 0;
+  if (ctx_->lepoch_ > 0) {
+    const std::vector<Graph::PermEntry>& run = ctx_->graph_->perm_[perm_];
+    auto lo = std::lower_bound(run.begin(), run.end(),
+                               std::make_pair(k1, TermId{0}),
+                               [](const Graph::PermEntry& e,
+                                  const std::pair<TermId, TermId>& k) {
+                                 return e.k1 != k.first ? e.k1 < k.first
+                                                        : e.k2 < k.second;
+                               });
+    auto hi = std::upper_bound(lo, run.end(), k1,
+                               [](TermId k, const Graph::PermEntry& e) {
+                                 return k < e.k1;
+                               });
+    blo_ = static_cast<size_t>(lo - run.begin());
+    bhi_ = static_cast<size_t>(hi - run.begin());
+  }
+  auto dlo = std::lower_bound(delta_->begin(), delta_->end(),
+                              std::make_pair(k1, TermId{0}), KeyLess{});
+  auto dhi = std::upper_bound(dlo, delta_->end(), k1,
+                              [](TermId k, const storage::RunEntry& e) {
+                                return k < e.k1;
+                              });
+  dlo_ = static_cast<size_t>(dlo - delta_->begin());
+  dhi_ = static_cast<size_t>(dhi - delta_->begin());
+}
+
+void TrieIterator::SeekK2(TermId v) {
+  at_end_ = true;
+  bool have = false;
+  TermId best = 0;
+  // Mapped tier: the block index has no per-k1 window, so the seek stays
+  // absolute; entries past the open k1 mean the tier is exhausted here.
+  if (mapped_.has_value()) {
+    mapped_->SeekKey(open_k1_, v);
+    while (!mapped_->at_end() && mapped_->k1() == open_k1_ &&
+           mapped_->head_pos() >= ctx_->mcap_) {
+      mapped_->NextKey();
+    }
+    if (!mapped_->at_end() && mapped_->k1() == open_k1_) {
+      best = mapped_->k2();
+      have = true;
+    }
+  }
+  // Base tier: search only the open subtree's window, skipping groups
+  // whose head position was born at or past the epoch.
+  if (bhi_ > blo_) {
+    const std::vector<Graph::PermEntry>& run = ctx_->graph_->perm_[perm_];
+    auto end = run.begin() + static_cast<ptrdiff_t>(bhi_);
+    auto it = std::lower_bound(run.begin() + static_cast<ptrdiff_t>(blo_), end,
+                               v, [](const Graph::PermEntry& e, TermId k) {
+                                 return e.k2 < k;
+                               });
+    while (it != end && it->pos >= ctx_->lepoch_) {
+      it = std::upper_bound(it, end, it->k2,
+                            [](TermId k, const Graph::PermEntry& e) {
+                              return k < e.k2;
+                            });
+    }
+    if (it != end && (!have || it->k2 < best)) {
+      best = it->k2;
+      have = true;
+    }
+  }
+  // Delta tier: pre-filtered to the epoch, every entry is visible.
+  if (dhi_ > dlo_) {
+    auto end = delta_->begin() + static_cast<ptrdiff_t>(dhi_);
+    auto it = std::lower_bound(delta_->begin() + static_cast<ptrdiff_t>(dlo_),
+                               end, v,
+                               [](const storage::RunEntry& e, TermId k) {
+                                 return e.k2 < k;
+                               });
+    if (it != end && (!have || it->k2 < best)) {
+      best = it->k2;
+      have = true;
+    }
+  }
+  if (have) {
+    k1_ = open_k1_;
+    k2_ = best;
+    at_end_ = false;
+  }
+}
+
+}  // namespace rps

@@ -1,0 +1,162 @@
+#ifndef RPS_RDF_TRIE_ITERATOR_H_
+#define RPS_RDF_TRIE_ITERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "storage/snapshot_reader.h"
+
+namespace rps {
+
+/// The trie view of the permuted indexes that the worst-case-optimal
+/// join operator (query/plan.cc, PlanOp::kWcojJoin) walks.
+///
+/// Each permuted run — SPO (s, p), POS (p, o), OSP (o, s) — is already
+/// a two-level trie: level 1 is the distinct k1 values, level 2 the
+/// distinct k2 values within one k1. A run spans up to three
+/// position-disjoint tiers (docs/PERSISTENCE.md):
+///
+///   mapped snapshot blocks  <  merged in-memory base  <  LSM delta tail
+///
+/// TrieIterator merges the three per-tier cursors into one sorted walk
+/// over the *distinct (k1, k2) groups* of a run, with leapfrog-style
+/// `SeekGroup(k1, k2)` (galloping: binary search over the sorted base
+/// run, the mapped fixed-width block index, and the per-query sorted
+/// delta run — no bucket is ever materialized). A group is visible at
+/// the context's epoch iff its head (minimum) insertion position is
+/// below the epoch; invisible groups are skipped transparently, so the
+/// walk is exactly the run of the graph "as of" the epoch.
+///
+/// TrieJoinContext pins everything one join needs: the epoch split into
+/// the mapped cap and the local epoch, the per-permutation delta runs
+/// (sorted once per query from the unmerged tail, pre-filtered to the
+/// epoch), and — in concurrent mode — ONE shared lock held for the
+/// whole intersection phase. Every probe below is a lock-free core
+/// (never a locking Graph/GraphSnapshot entry point), because taking
+/// the graph's shared lock twice from one thread is undefined. The
+/// context is single-threaded by design: the intersection phase of one
+/// query runs on one thread; concurrent queries each build their own.
+class TrieJoinContext {
+ public:
+  /// Captures `graph` at `epoch` (clamped to the current size) and, in
+  /// concurrent mode, acquires the shared lock — the graph cannot merge
+  /// or grow under the iterators. Do not call locking Graph read
+  /// methods (MatchRefAsOf, SnapshotEpoch, GraphSnapshot::*) on the
+  /// same thread while a context is alive in concurrent mode.
+  TrieJoinContext(const Graph& graph, size_t epoch);
+
+  TrieJoinContext(const TrieJoinContext&) = delete;
+  TrieJoinContext& operator=(const TrieJoinContext&) = delete;
+
+  size_t epoch() const { return epoch_; }
+  const Graph& graph() const { return *graph_; }
+
+  /// Fully bound probe: is `t` in the graph at the epoch?
+  bool TripleVisible(const Triple& t) const;
+
+  /// 2-bound probe: does the (k1, k2) group of permutation `perm`
+  /// (0 = SPO, 1 = POS, 2 = OSP) contain a position below the epoch?
+  bool GroupVisible(int perm, TermId k1, TermId k2) const;
+
+  /// 1-bound probe: does `term` occur at position role `role` (0 = s,
+  /// 1 = p, 2 = o) below the epoch?
+  bool TermVisible(int role, TermId term) const;
+
+  /// Exact number of matches of the 2-bound pattern at the epoch
+  /// (mapped + base + delta), for leapfrog stream-size estimates.
+  size_t CountGroup(int perm, TermId k1, TermId k2) const;
+
+ private:
+  friend class TrieIterator;
+
+  // The delta tier of one permutation: the unmerged tail re-keyed and
+  // sorted by (k1, k2, pos), pre-filtered to positions < the epoch so
+  // every delta group is visible by construction. Built lazily, once
+  // per permutation per query. Positions are local (in-memory) ones.
+  const std::vector<storage::RunEntry>& Delta(int perm) const;
+
+  const Graph* graph_;
+  size_t epoch_;        // global (mapped + local) position bound
+  uint32_t mcap_;       // min(epoch, mapped size): cap for mapped tier
+  size_t lepoch_;       // epoch - mapped size: cap for in-memory tiers
+  std::shared_lock<std::shared_mutex> lock_;  // engaged in concurrent mode
+  mutable std::optional<std::vector<storage::RunEntry>> delta_[3];
+};
+
+/// A merged three-tier cursor over the distinct visible (k1, k2) groups
+/// of one permuted run, ordered by (k1, k2). The WCOJ operator drives
+/// it in two shapes:
+///
+///  * level-1 walk (unbound predecessor): distinct k1 values, via
+///    `SeekK1(v)` / `k1()` — leapfrogging a variable that keys the run.
+///  * level-2 walk (bound predecessor): distinct k2 values within a
+///    fixed k1, via `SeekGroup(c, v)` + checking `k1() == c`.
+///
+/// Seeks are O(log n) per tier (binary search over the base run and
+/// block index, <= 2 mapped block decodes) regardless of group sizes.
+class TrieIterator {
+ public:
+  TrieIterator(const TrieJoinContext& ctx, int perm);
+
+  /// Positions at the first *visible* group with key >= (k1, k2).
+  void SeekGroup(TermId k1, TermId k2);
+
+  /// Positions at the first visible group with k1 >= v.
+  void SeekK1(TermId v) { SeekGroup(v, 0); }
+
+  /// Advances to the first visible group with k1 > the current k1.
+  void NextK1();
+
+  /// Descends into the level-2 subtree of `k1`: computes the base and
+  /// delta subranges of that k1 once, so each subsequent SeekK2 binary-
+  /// searches only inside them (O(log |subtree|) instead of O(log
+  /// |run|)). Re-opening the k1 already open is a no-op, so a stream
+  /// whose k1 is a query constant pays the subrange computation once for
+  /// the whole join. Resets the level-2 walk to the subtree start.
+  void OpenK1(TermId k1);
+
+  /// Positions at the first visible k2 >= v inside the subtree opened by
+  /// OpenK1; at_end() reports subtree exhaustion (k1() keeps reporting
+  /// the open k1 while positioned).
+  void SeekK2(TermId v);
+
+  bool at_end() const { return at_end_; }
+  TermId k1() const { return k1_; }
+  TermId k2() const { return k2_; }
+
+ private:
+  // Per-tier repositioning to the first visible group with key >=
+  // (k1, k2); each leaves the tier either at such a group or exhausted.
+  void SeekMapped(TermId k1, TermId k2);
+  void SeekBase(TermId k1, TermId k2);
+  void SeekDelta(TermId k1, TermId k2);
+  // Recomputes the merged current key (min over live tiers).
+  void Refresh();
+
+  const TrieJoinContext* ctx_;
+  int perm_;
+  bool at_end_ = true;
+  TermId k1_ = 0;
+  TermId k2_ = 0;
+
+  std::optional<storage::MappedSnapshot::GroupCursor> mapped_;
+  const std::vector<storage::RunEntry>* delta_;  // pre-filtered, sorted
+  size_t di_ = 0;                                // current delta group head
+  size_t bi_ = 0;                                // current base group head
+  bool base_live_ = false;
+  bool delta_live_ = false;
+
+  // OpenK1 subtree window: [blo_, bhi_) into the base run and
+  // [dlo_, dhi_) into the delta run, valid while opened_.
+  bool opened_ = false;
+  TermId open_k1_ = 0;
+  size_t blo_ = 0, bhi_ = 0;
+  size_t dlo_ = 0, dhi_ = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_RDF_TRIE_ITERATOR_H_

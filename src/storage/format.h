@@ -30,16 +30,36 @@ inline constexpr uint32_t kFlagLittleEndian = 1u << 0;
 
 /// Section identifiers, in file order.
 enum SectionId : uint32_t {
-  kSectionDict = 0,      // interned terms in id order
-  kSectionTriples = 1,   // insertion-ordered Triple array (12 B/triple)
-  kSectionRunSpo = 2,    // sorted (s, p, pos) run, delta/varint blocks
-  kSectionRunPos = 3,    // sorted (p, o, pos) run
-  kSectionRunOsp = 4,    // sorted (o, s, pos) run
-  kSectionPostS = 5,     // per-subject posting lists, delta/varint
-  kSectionPostP = 6,     // per-predicate posting lists
-  kSectionPostO = 7,     // per-object posting lists
+  kSectionDict = 0,       // interned terms in id order
+  kSectionTriples = 1,    // insertion-ordered Triple array (12 B/triple)
+  kSectionRunSpo = 2,     // sorted (s, p, pos) run, delta/varint blocks
+  kSectionRunPos = 3,     // sorted (p, o, pos) run
+  kSectionRunOsp = 4,     // sorted (o, s, pos) run
+  kSectionPostS = 5,      // per-subject posting lists, delta/varint
+  kSectionPostP = 6,      // per-predicate posting lists
+  kSectionPostO = 7,      // per-object posting lists
+  kSectionPredStats = 8,  // per-predicate distinct-subject/object stats
 };
+
+/// Sections a version-1 file is required to carry. Files written before
+/// the per-predicate statistics section carry exactly these eight; newer
+/// writers append kSectionPredStats for a total of kSectionCountMax. The
+/// loader accepts either (stats simply absent on legacy files), so the
+/// version number stays 1.
 inline constexpr uint32_t kSectionCount = 8;
+inline constexpr uint32_t kSectionCountMax = 9;
+
+/// One row of the per-predicate statistics section: after a u64 row
+/// count, rows sorted by predicate id. distinct_s / distinct_o are the
+/// number of distinct subjects / objects appearing with that predicate
+/// in the snapshot — planner statistics only, never answer-bearing.
+struct PredStatsEntry {
+  uint32_t pred;
+  uint32_t distinct_s;
+  uint32_t distinct_o;
+};
+static_assert(sizeof(PredStatsEntry) == 12,
+              "stats layout is part of the format");
 
 /// Fixed-size file header (64 bytes at offset 0).
 struct FileHeader {
@@ -84,6 +104,15 @@ struct RunBlockIndexEntry {
 };
 static_assert(sizeof(RunBlockIndexEntry) == 16,
               "block index layout is part of the format");
+
+/// One decoded run entry (mirrors Graph::PermEntry): the two permuted
+/// key components plus the insertion position of the triple. The unit
+/// the delta/varint run blocks encode and decode.
+struct RunEntry {
+  uint32_t k1;
+  uint32_t k2;
+  uint32_t pos;
+};
 
 /// Term kind tags in the dictionary section.
 enum DictKind : uint8_t {

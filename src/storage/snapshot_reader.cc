@@ -27,13 +27,6 @@ uint64_t ReadU64(const uint8_t* p) {
   return v;
 }
 
-// One decoded run entry (mirrors Graph::PermEntry on disk).
-struct RunEntry {
-  uint32_t k1;
-  uint32_t k2;
-  uint32_t pos;
-};
-
 // Decodes the run block starting at `p` into `out` (at most `count`
 // entries). Returns the number decoded — short on a malformed stream,
 // which callers treat as end-of-data (only reachable with
@@ -145,12 +138,19 @@ Status MappedSnapshot::ValidateAndIndex(const OpenOptions& options,
     return Status::Unimplemented("snapshot " + path +
                                  ": big-endian payload not supported");
   }
-  if (hdr.section_count != kSectionCount) {
+  // Version-1 files carry either the original eight sections or nine
+  // (with the appended per-predicate statistics section); on legacy
+  // files the stats are simply absent.
+  if (hdr.section_count < kSectionCount ||
+      hdr.section_count > kSectionCountMax) {
     return Corrupt(path, "unexpected section count " +
                              std::to_string(hdr.section_count));
   }
+  if (file_len_ < kHeaderBytes + hdr.section_count * sizeof(SectionEntry)) {
+    return Corrupt(path, "section table truncated");
+  }
 
-  const size_t table_bytes = kSectionCount * sizeof(SectionEntry);
+  const size_t table_bytes = hdr.section_count * sizeof(SectionEntry);
   const uint8_t* table = base + kHeaderBytes;
   uint64_t want = ReadU64(base + sizeof(FileHeader));
   uint64_t got = Fnv1a64(table, table_bytes,
@@ -164,7 +164,7 @@ Status MappedSnapshot::ValidateAndIndex(const OpenOptions& options,
   distinct_[1] = hdr.distinct_p;
   distinct_[2] = hdr.distinct_o;
 
-  for (uint32_t i = 0; i < kSectionCount; ++i) {
+  for (uint32_t i = 0; i < hdr.section_count; ++i) {
     SectionEntry row;
     std::memcpy(&row, table + i * sizeof(SectionEntry), sizeof(row));
     if (row.id != i) {
@@ -201,6 +201,22 @@ Status MappedSnapshot::ValidateAndIndex(const OpenOptions& options,
     RPS_ASSIGN_OR_RETURN(
         postings_[role],
         IndexPostings(sections_[kSectionPostS + role], path));
+  }
+
+  if (hdr.section_count > kSectionPredStats) {
+    const Section& stats = sections_[kSectionPredStats];
+    if (stats.length < 8) return Corrupt(path, "stats section truncated");
+    uint64_t rows = ReadU64(stats.data);
+    if (stats.length < 8 + rows * sizeof(PredStatsEntry)) {
+      return Corrupt(path, "stats section truncated");
+    }
+    pred_stats_ = reinterpret_cast<const PredStatsEntry*>(stats.data + 8);
+    num_pred_stats_ = static_cast<size_t>(rows);
+    for (size_t i = 1; i < num_pred_stats_; ++i) {
+      if (pred_stats_[i - 1].pred >= pred_stats_[i].pred) {
+        return Corrupt(path, "stats section out of order");
+      }
+    }
   }
   return Status::OK();
 }
@@ -477,6 +493,76 @@ std::optional<uint32_t> MappedSnapshot::FindTriple(const Triple& t) const {
     return true;
   });
   return found;
+}
+
+std::optional<PredStatsEntry> MappedSnapshot::PredStats(uint32_t pred) const {
+  if (pred_stats_ == nullptr) return std::nullopt;
+  const PredStatsEntry* end = pred_stats_ + num_pred_stats_;
+  const PredStatsEntry* it = std::lower_bound(
+      pred_stats_, end, pred,
+      [](const PredStatsEntry& e, uint32_t p) { return e.pred < p; });
+  if (it == end || it->pred != pred) return std::nullopt;
+  return *it;
+}
+
+size_t MappedSnapshot::GroupCursor::LoadBlock(uint64_t b) {
+  if (b == buf_block_) return buf_n_;
+  const RunView& rv = snap_->runs_[perm_];
+  size_t want = static_cast<size_t>(std::min<uint64_t>(
+      kRunBlockEntries, rv.entry_count - b * kRunBlockEntries));
+  buf_n_ = DecodeRunBlock(rv.payload + rv.index[b].offset,
+                          rv.payload + rv.payload_len, want, buf_);
+  buf_block_ = b;
+  return buf_n_;
+}
+
+void MappedSnapshot::GroupCursor::SeekFirst(uint32_t k1, uint32_t k2,
+                                            bool strict) {
+  const RunView& rv = snap_->runs_[perm_];
+  at_end_ = true;
+  if (rv.block_count == 0) return;
+  // First block whose first key satisfies the probe; the wanted entry
+  // may sit mid-way through the preceding block, so start one earlier.
+  uint64_t lo = 0, hi = rv.block_count;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    bool before = strict ? !KeyLess(k1, k2, rv.index[mid].k1, rv.index[mid].k2)
+                         : KeyLess(rv.index[mid].k1, rv.index[mid].k2, k1, k2);
+    if (before) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (uint64_t b = lo > 0 ? lo - 1 : 0; b < rv.block_count; ++b) {
+    size_t n = LoadBlock(b);
+    auto past = [&](const RunEntry& e) {
+      return strict ? KeyLess(k1, k2, e.k1, e.k2)
+                    : !KeyLess(e.k1, e.k2, k1, k2);
+    };
+    const RunEntry* it = std::partition_point(
+        buf_, buf_ + n, [&](const RunEntry& e) { return !past(e); });
+    if (it != buf_ + n) {
+      cur_ = *it;
+      at_end_ = false;
+      return;
+    }
+    if (n < kRunBlockEntries) return;  // short/last block: nothing past
+    if (b >= lo) return;  // by construction only blocks < lo can all-miss
+  }
+}
+
+void MappedSnapshot::GroupCursor::SeekKey(uint32_t k1, uint32_t k2) {
+  // The first run entry with key >= the probe is its group's head: the
+  // run is (k1, k2, pos)-sorted, so same-key entries are contiguous and
+  // position-ascending, and taking the *first* one lands on the group's
+  // minimum position.
+  SeekFirst(k1, k2, /*strict=*/false);
+}
+
+void MappedSnapshot::GroupCursor::NextKey() {
+  if (at_end_) return;
+  SeekFirst(cur_.k1, cur_.k2, /*strict=*/true);
 }
 
 }  // namespace rps::storage

@@ -93,6 +93,66 @@ class MappedSnapshot {
   /// block-index binary search plus a bounded group scan.
   std::optional<uint32_t> FindTriple(const Triple& t) const;
 
+  /// True when the file carries the per-predicate statistics section
+  /// (files written before kSectionPredStats existed do not).
+  bool has_pred_stats() const { return pred_stats_ != nullptr; }
+
+  /// The statistics row for `pred`, or nullopt when the section is
+  /// absent or the predicate never occurs in the snapshot. One binary
+  /// search over the mapped, pred-sorted rows.
+  std::optional<PredStatsEntry> PredStats(uint32_t pred) const;
+
+  /// All statistics rows (pred-sorted); empty view when absent.
+  const PredStatsEntry* pred_stats() const { return pred_stats_; }
+  size_t num_pred_stats() const { return num_pred_stats_; }
+
+  /// A forward cursor over the *distinct (k1, k2) groups* of one
+  /// permuted run — the second trie level the WCOJ operator walks. The
+  /// cursor never materializes a group: it binary searches the
+  /// fixed-width block index and decodes at most two delta/varint
+  /// blocks per reposition, caching the current block. At a group the
+  /// cursor exposes the key pair and the group's *head position* (its
+  /// minimum insertion position — run entries of one group are
+  /// position-ascending), which is exactly what epoch-visibility checks
+  /// need. Seeks must be monotonically usable but the cursor also
+  /// supports arbitrary re-seeks (leapfrogging jumps backwards never,
+  /// but restarts are cheap: O(log blocks) + <= 2 block decodes).
+  class GroupCursor {
+   public:
+    GroupCursor(const MappedSnapshot* snap, int perm)
+        : snap_(snap), perm_(perm) {}
+
+    /// Positions at the first group with key >= (k1, k2). The first run
+    /// entry with key >= the probe always heads its group, so this is a
+    /// group-level seek. Clears at_end() when such a group exists.
+    void SeekKey(uint32_t k1, uint32_t k2);
+
+    /// Advances to the next distinct key group (first entry with key
+    /// strictly greater than the current group's). Block-index search,
+    /// so a group spanning many blocks is skipped without decoding it.
+    void NextKey();
+
+    bool at_end() const { return at_end_; }
+    uint32_t k1() const { return cur_.k1; }
+    uint32_t k2() const { return cur_.k2; }
+    uint32_t head_pos() const { return cur_.pos; }
+
+   private:
+    // Positions at the first entry whose key compares >= (strict=false)
+    // or > (strict=true) the probe.
+    void SeekFirst(uint32_t k1, uint32_t k2, bool strict);
+    // Decodes block `b` into buf_ (cached); returns decoded count.
+    size_t LoadBlock(uint64_t b);
+
+    const MappedSnapshot* snap_;
+    int perm_;
+    bool at_end_ = true;
+    RunEntry cur_{0, 0, 0};
+    uint64_t buf_block_ = ~0ull;  // which block buf_ holds, ~0 = none
+    size_t buf_n_ = 0;
+    RunEntry buf_[kRunBlockEntries];
+  };
+
  private:
   MappedSnapshot() = default;
 
@@ -129,10 +189,12 @@ class MappedSnapshot {
   size_t num_terms_ = 0;
   uint64_t next_null_ = 0;
   uint32_t distinct_[3] = {0, 0, 0};
-  Section sections_[kSectionCount];
+  Section sections_[kSectionCountMax];
   const Triple* triples_ = nullptr;
   RunView runs_[3];
   PostingsView postings_[3];
+  const PredStatsEntry* pred_stats_ = nullptr;  // null = section absent
+  size_t num_pred_stats_ = 0;
 };
 
 }  // namespace rps::storage

@@ -30,17 +30,11 @@ void PutU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-struct RunEntry {
-  uint32_t k1;
-  uint32_t k2;
-  uint32_t pos;
-
-  friend bool operator<(const RunEntry& a, const RunEntry& b) {
-    if (a.k1 != b.k1) return a.k1 < b.k1;
-    if (a.k2 != b.k2) return a.k2 < b.k2;
-    return a.pos < b.pos;
-  }
-};
+bool RunLess(const RunEntry& a, const RunEntry& b) {
+  if (a.k1 != b.k1) return a.k1 < b.k1;
+  if (a.k2 != b.k2) return a.k2 < b.k2;
+  return a.pos < b.pos;
+}
 
 // Encodes a sorted run as kRunBlockEntries-sized delta/varint blocks with
 // a fixed-width block index (the mmap reader binary searches the index
@@ -221,11 +215,53 @@ Status WriteSnapshot(const std::string& path, const Graph& graph) {
     ++pos;
   }
 
-  std::string sections[kSectionCount];
+  // --- Per-predicate distinct stats: one pass over the sorted POS run
+  // (distinct objects per predicate fall out of the grouping) plus a
+  // grouped pass over SPO-sorted (p, s) pairs for distinct subjects. ---
+  std::string stats_section;
+  {
+    std::sort(runs[1].begin(), runs[1].end(), RunLess);  // POS order
+    std::vector<RunEntry> ps;  // (pred, subj) pairs, then sorted
+    ps.reserve(n);
+    for (const Triple& t : graph.triples()) {
+      ps.push_back(RunEntry{t.p, t.s, 0});
+    }
+    std::sort(ps.begin(), ps.end(), RunLess);
+    std::unordered_map<uint32_t, PredStatsEntry> stats;
+    stats.reserve(post[1].size());
+    const std::vector<RunEntry>& pos_run = runs[1];
+    for (size_t i = 0; i < pos_run.size(); ++i) {
+      if (i == 0 || pos_run[i].k1 != pos_run[i - 1].k1 ||
+          pos_run[i].k2 != pos_run[i - 1].k2) {
+        ++stats[pos_run[i].k1].distinct_o;
+      }
+    }
+    for (size_t i = 0; i < ps.size(); ++i) {
+      if (i == 0 || ps[i].k1 != ps[i - 1].k1 || ps[i].k2 != ps[i - 1].k2) {
+        ++stats[ps[i].k1].distinct_s;
+      }
+    }
+    std::vector<PredStatsEntry> rows;
+    rows.reserve(stats.size());
+    for (auto& [pred, row] : stats) {
+      row.pred = pred;
+      rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const PredStatsEntry& a, const PredStatsEntry& b) {
+                return a.pred < b.pred;
+              });
+    PutU64(&stats_section, rows.size());
+    stats_section.append(reinterpret_cast<const char*>(rows.data()),
+                         rows.size() * sizeof(PredStatsEntry));
+  }
+
+  std::string sections[kSectionCountMax];
   sections[kSectionDict] = std::move(dict_section);
   sections[kSectionTriples] = std::move(triples_section);
+  sections[kSectionPredStats] = std::move(stats_section);
   for (int i = 0; i < 3; ++i) {
-    std::sort(runs[i].begin(), runs[i].end());
+    std::sort(runs[i].begin(), runs[i].end(), RunLess);
     sections[kSectionRunSpo + i] = EncodeRun(runs[i]);
     runs[i].clear();
     runs[i].shrink_to_fit();
@@ -241,14 +277,14 @@ Status WriteSnapshot(const std::string& path, const Graph& graph) {
   hdr.triple_count = n;
   hdr.term_count = term_count;
   hdr.next_null = dict.null_counter();
-  hdr.section_count = kSectionCount;
+  hdr.section_count = kSectionCountMax;
   hdr.distinct_s = static_cast<uint32_t>(post[0].size());
   hdr.distinct_p = static_cast<uint32_t>(post[1].size());
   hdr.distinct_o = static_cast<uint32_t>(post[2].size());
 
-  SectionEntry table[kSectionCount];
+  SectionEntry table[kSectionCountMax];
   uint64_t offset = kHeaderBytes + sizeof(table);
-  for (uint32_t i = 0; i < kSectionCount; ++i) {
+  for (uint32_t i = 0; i < kSectionCountMax; ++i) {
     table[i].id = i;
     table[i].reserved = 0;
     table[i].offset = offset;
@@ -264,7 +300,7 @@ Status WriteSnapshot(const std::string& path, const Graph& graph) {
       Fnv1a64(table, sizeof(table), Fnv1a64(&hdr, sizeof(hdr)));
   PutU64(&file, header_checksum);
   file.append(reinterpret_cast<const char*>(table), sizeof(table));
-  for (uint32_t i = 0; i < kSectionCount; ++i) {
+  for (uint32_t i = 0; i < kSectionCountMax; ++i) {
     file += sections[i];
     file.append((8 - file.size() % 8) % 8, '\0');
   }

@@ -12,12 +12,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "query/eval.h"
 #include "query/plan.h"
 #include "rdf/graph.h"
+#include "storage/storage.h"
 #include "util/rng.h"
 
 namespace rps {
@@ -353,6 +355,187 @@ TEST(OrderPatternsGreedyTest, MedianSamplingSurvivesHubFirstSeed) {
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 1u) << "median-of-samples must rank knows (typical "
                              "cardinality 1) before likes (2)";
+}
+
+// ---- Worst-case-optimal join (PlanOp::kWcojJoin) oracle parity ----
+//
+// Whatever WcojMode is in force, the emitted binding sequence must be
+// byte-identical to the per-binding probe engine — across random BGP
+// shapes, seeds, thread counts, tier mixes and AsOf epochs.
+
+bool PlanHasWcoj(const QueryPlan& plan) {
+  for (const PlanStep& s : plan.steps) {
+    if (s.op == PlanOp::kWcojJoin) return true;
+  }
+  return false;
+}
+
+TEST(WcojOracleTest, ForcedWcojByteIdenticalAcrossShapesSeedsThreads) {
+  for (uint64_t seed = 21; seed <= 28; ++seed) {
+    Rng rng(seed);
+    Fixture f;
+    std::vector<TermId> subjects;
+    std::vector<TermId> predicates;
+    for (size_t i = 0; i < 24; ++i) {
+      subjects.push_back(Iri(&f, "s" + std::to_string(i)));
+    }
+    for (size_t i = 0; i < 4; ++i) {
+      predicates.push_back(Iri(&f, "p" + std::to_string(i)));
+    }
+    size_t n_triples = 300 + rng.Index(300);
+    for (size_t i = 0; i < n_triples; ++i) {
+      TermId s = rng.Index(3) != 0 ? subjects[rng.Index(3)]
+                                   : subjects[rng.Index(subjects.size())];
+      TermId o = subjects[rng.Index(subjects.size())];
+      f.graph.Insert(Triple{s, predicates[rng.Index(predicates.size())], o})
+          .ok();
+    }
+    for (size_t n_patterns = 3; n_patterns <= 5; ++n_patterns) {
+      std::vector<TriplePattern> patterns =
+          RandomBgp(&rng, &f, subjects, predicates, n_patterns);
+      EvalOptions probe;
+      probe.use_plan = false;
+      std::string expected =
+          RenderBindings(ExtendBindings(f.graph, patterns, {Binding()}, probe));
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        EvalOptions forced;
+        forced.wcoj = WcojMode::kForce;
+        forced.threads = threads;
+        std::string got = RenderBindings(
+            ExtendBindings(f.graph, patterns, {Binding()}, forced));
+        ASSERT_EQ(got, expected) << "seed " << seed << " patterns "
+                                 << n_patterns << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(WcojOracleTest, ByteIdenticalAcrossTiersAndAsOfEpochs) {
+  Rng rng(99);
+  Fixture staging;
+  std::vector<TermId> subjects;
+  std::vector<TermId> predicates;
+  for (size_t i = 0; i < 16; ++i) {
+    subjects.push_back(Iri(&staging, "s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    predicates.push_back(Iri(&staging, "p" + std::to_string(i)));
+  }
+  auto fill = [&](Fixture* f, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      f->graph
+          .Insert(Triple{subjects[rng.Index(3) != 0 ? rng.Index(3)
+                                                    : rng.Index(subjects.size())],
+                         predicates[rng.Index(predicates.size())],
+                         subjects[rng.Index(subjects.size())]})
+          .ok();
+    }
+  };
+  fill(&staging, 400);
+  std::string path = std::string(::getenv("TMPDIR") ? ::getenv("TMPDIR")
+                                                    : "/tmp") +
+                     "/wcoj-tiers-" + std::to_string(::getpid()) + ".rps";
+  ASSERT_TRUE(storage::SaveGraph(path, staging.graph).ok());
+
+  Fixture f;
+  ASSERT_TRUE(storage::LoadGraph(path, &f.graph).ok());
+  ASSERT_GT(f.graph.mapped_size(), 0u);
+  subjects.clear();
+  predicates.clear();
+  for (size_t i = 0; i < 16; ++i) {
+    subjects.push_back(Iri(&f, "s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    predicates.push_back(Iri(&f, "p" + std::to_string(i)));
+  }
+  fill(&f, 450);  // merged base above the mapped tier + fresh delta tail
+
+  VarId x = f.vars.Intern("x");
+  VarId y = f.vars.Intern("y");
+  VarId z = f.vars.Intern("z");
+  // A star and a triangle — both WCOJ-eligible shapes.
+  std::vector<std::vector<TriplePattern>> bgps = {
+      {{PatternTerm::Var(x), PatternTerm::Const(predicates[0]),
+        PatternTerm::Var(y)},
+       {PatternTerm::Var(x), PatternTerm::Const(predicates[1]),
+        PatternTerm::Var(z)},
+       {PatternTerm::Var(x), PatternTerm::Const(predicates[2]),
+        PatternTerm::Var(f.vars.Intern("w"))}},
+      {{PatternTerm::Var(x), PatternTerm::Const(predicates[0]),
+        PatternTerm::Var(y)},
+       {PatternTerm::Var(y), PatternTerm::Const(predicates[1]),
+        PatternTerm::Var(z)},
+       {PatternTerm::Var(z), PatternTerm::Const(predicates[2]),
+        PatternTerm::Var(x)}}};
+
+  // Epochs straddling the mapped boundary: strictly inside the mapped
+  // prefix, exactly on the boundary, inside the in-memory tail, now.
+  std::vector<size_t> epochs = {f.graph.mapped_size() / 2,
+                                f.graph.mapped_size(),
+                                f.graph.mapped_size() + 100, f.graph.size()};
+  for (const std::vector<TriplePattern>& patterns : bgps) {
+    for (size_t epoch : epochs) {
+      GraphSnapshot snap(f.graph, epoch);
+      EvalOptions probe;
+      probe.use_plan = false;
+      std::string expected =
+          RenderBindings(ExtendBindings(snap, patterns, {Binding()}, probe));
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        EvalOptions forced;
+        forced.wcoj = WcojMode::kForce;
+        forced.threads = threads;
+        std::string got = RenderBindings(
+            ExtendBindings(snap, patterns, {Binding()}, forced));
+        ASSERT_EQ(got, expected)
+            << "epoch " << epoch << " threads " << threads;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WcojPlanTest, ModeControlsOperatorChoice) {
+  Fixture f;
+  Rng rng(5);
+  std::vector<TermId> subjects;
+  for (size_t i = 0; i < 30; ++i) {
+    subjects.push_back(Iri(&f, "s" + std::to_string(i)));
+  }
+  TermId p0 = Iri(&f, "e0");
+  TermId p1 = Iri(&f, "e1");
+  TermId p2 = Iri(&f, "e2");
+  for (size_t i = 0; i < 400; ++i) {
+    Insert(&f, subjects[rng.Index(subjects.size())],
+           rng.Index(3) == 0 ? p0 : (rng.Index(2) == 0 ? p1 : p2),
+           subjects[rng.Index(subjects.size())]);
+  }
+  VarId x = f.vars.Intern("x");
+  std::vector<TriplePattern> star = {
+      {PatternTerm::Var(x), PatternTerm::Const(p0), V(&f, "a")},
+      {PatternTerm::Var(x), PatternTerm::Const(p1), V(&f, "b")},
+      {PatternTerm::Var(x), PatternTerm::Const(p2), V(&f, "c")}};
+
+  EvalOptions forced;
+  forced.wcoj = WcojMode::kForce;
+  QueryPlan forced_plan = PlanBgp(f.graph, star, {Binding()}, forced);
+  EXPECT_TRUE(PlanHasWcoj(forced_plan))
+      << "kForce must take the WCOJ path on an eligible star";
+
+  EvalOptions off;
+  off.wcoj = WcojMode::kOff;
+  QueryPlan off_plan = PlanBgp(f.graph, star, {Binding()}, off);
+  EXPECT_FALSE(PlanHasWcoj(off_plan))
+      << "kOff must restrict planning to binary operators";
+
+  // Both execute to the same bytes as the probe engine.
+  EvalOptions probe;
+  probe.use_plan = false;
+  std::string expected =
+      RenderBindings(ExtendBindings(f.graph, star, {Binding()}, probe));
+  EXPECT_EQ(RenderBindings(ExtendBindings(f.graph, star, {Binding()}, forced)),
+            expected);
+  EXPECT_EQ(RenderBindings(ExtendBindings(f.graph, star, {Binding()}, off)),
+            expected);
 }
 
 }  // namespace

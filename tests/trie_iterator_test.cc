@@ -1,0 +1,251 @@
+// Tests for the trie view of the permuted indexes (rdf/trie_iterator.h)
+// that the worst-case-optimal join walks.
+//
+// The contract under test: for every permutation, every epoch (including
+// epochs strictly inside the mapped prefix and exactly on the
+// mapped/in-memory boundary) and every tier mix (mapped base, merged
+// in-memory base, unmerged LSM delta), the iterator's walk over distinct
+// visible (k1, k2) groups is byte-identical to a reference model built
+// from MatchAllAsOf — and the bounded level-2 descent (OpenK1 + SeekK2)
+// lands exactly where the absolute SeekGroup does.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/trie_iterator.h"
+#include "storage/storage.h"
+#include "util/rng.h"
+
+namespace rps {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  const char* dir = ::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + stem + "-" +
+         std::to_string(::getpid()) + ".rps";
+}
+
+// Distinct (k1, k2) pairs of permutation `perm` among the first `epoch`
+// triples, in sorted order — the sequence the iterator must produce.
+std::vector<std::pair<TermId, TermId>> ReferenceGroups(const Graph& g,
+                                                       int perm,
+                                                       size_t epoch) {
+  std::set<std::pair<TermId, TermId>> groups;
+  for (const Triple& t : g.MatchAllAsOf({}, {}, {}, epoch)) {
+    switch (perm) {
+      case 0: groups.insert({t.s, t.p}); break;
+      case 1: groups.insert({t.p, t.o}); break;
+      default: groups.insert({t.o, t.s}); break;
+    }
+  }
+  return {groups.begin(), groups.end()};
+}
+
+// Full walk via absolute seeks: SeekGroup(0,0) then SeekGroup(k1, k2+1).
+std::vector<std::pair<TermId, TermId>> WalkAbsolute(
+    const TrieJoinContext& ctx, int perm) {
+  std::vector<std::pair<TermId, TermId>> out;
+  TrieIterator it(ctx, perm);
+  it.SeekGroup(0, 0);
+  while (!it.at_end()) {
+    out.emplace_back(it.k1(), it.k2());
+    it.SeekGroup(it.k1(), it.k2() + 1);
+  }
+  return out;
+}
+
+// Full walk via the two-level shape the WCOJ operator uses: NextK1 over
+// level 1, OpenK1 + SeekK2 inside each subtree.
+std::vector<std::pair<TermId, TermId>> WalkTwoLevel(
+    const TrieJoinContext& ctx, int perm) {
+  std::vector<std::pair<TermId, TermId>> out;
+  TrieIterator l1(ctx, perm);
+  l1.SeekK1(0);
+  while (!l1.at_end()) {
+    TermId k1 = l1.k1();
+    TrieIterator l2(ctx, perm);
+    l2.OpenK1(k1);
+    l2.SeekK2(0);
+    while (!l2.at_end()) {
+      out.emplace_back(k1, l2.k2());
+      l2.SeekK2(l2.k2() + 1);
+    }
+    l1.NextK1();
+  }
+  return out;
+}
+
+TermId Iri(Dictionary* d, const std::string& s) {
+  return d->InternIri("http://t/" + s);
+}
+
+// A skewed random graph: a few hub terms absorb most edges.
+void FillRandom(Graph* g, Dictionary* d, Rng* rng, size_t n) {
+  std::vector<TermId> terms;
+  for (size_t i = 0; i < 20; ++i) {
+    terms.push_back(Iri(d, "t" + std::to_string(i)));
+  }
+  std::vector<TermId> preds;
+  for (size_t i = 0; i < 4; ++i) {
+    preds.push_back(Iri(d, "p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    TermId s = rng->Index(3) != 0 ? terms[rng->Index(3)]
+                                  : terms[rng->Index(terms.size())];
+    ASSERT_TRUE(g->Insert(Triple{s, preds[rng->Index(preds.size())],
+                                 terms[rng->Index(terms.size())]})
+                    .ok());
+  }
+}
+
+void CheckAllPermsAllEpochs(const Graph& g) {
+  std::vector<size_t> epochs = {0, 1, g.size() / 2, g.size()};
+  if (g.mapped_size() > 0) {
+    epochs.push_back(g.mapped_size() / 2);  // strictly inside mapped
+    epochs.push_back(g.mapped_size());      // exactly on the boundary
+    epochs.push_back(g.mapped_size() + 1);  // first in-memory triple
+  }
+  for (size_t epoch : epochs) {
+    if (epoch > g.size()) continue;
+    TrieJoinContext ctx(g, epoch);
+    for (int perm = 0; perm < 3; ++perm) {
+      std::vector<std::pair<TermId, TermId>> want =
+          ReferenceGroups(g, perm, epoch);
+      EXPECT_EQ(WalkAbsolute(ctx, perm), want)
+          << "absolute walk, perm " << perm << " epoch " << epoch;
+      EXPECT_EQ(WalkTwoLevel(ctx, perm), want)
+          << "two-level walk, perm " << perm << " epoch " << epoch;
+    }
+  }
+}
+
+TEST(TrieIteratorTest, MatchesReferenceModelInMemory) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    Dictionary dict;
+    Graph g(&dict);
+    FillRandom(&g, &dict, &rng, 500 + rng.Index(300));
+    // 500+ inserts cross the merge threshold, so the graph holds both a
+    // merged base and an unmerged delta tail.
+    CheckAllPermsAllEpochs(g);
+  }
+}
+
+TEST(TrieIteratorTest, MatchesReferenceModelAcrossThreeTiers) {
+  Rng rng(42);
+  Dictionary dict;
+  Graph g(&dict);
+  FillRandom(&g, &dict, &rng, 400);
+  std::string path = TempPath("trie-tiers");
+  ASSERT_TRUE(storage::SaveGraph(path, g).ok());
+
+  Dictionary dict2;
+  Graph g2(&dict2);
+  ASSERT_TRUE(storage::LoadGraph(path, &g2).ok());
+  ASSERT_GT(g2.mapped_size(), 0u);
+  FillRandom(&g2, &dict2, &rng, 400);  // merged base over the mapped tier
+  FillRandom(&g2, &dict2, &rng, 60);   // fresh delta tail
+  ASSERT_GT(g2.delta_size(), 0u);
+
+  CheckAllPermsAllEpochs(g2);
+  std::remove(path.c_str());
+}
+
+TEST(TrieIteratorTest, OpenK1SeekK2AgreesWithSeekGroupOnRandomProbes) {
+  Rng rng(7);
+  Dictionary dict;
+  Graph g(&dict);
+  FillRandom(&g, &dict, &rng, 600);
+  for (size_t epoch : {g.size() / 3, g.size()}) {
+    TrieJoinContext ctx(g, epoch);
+    for (int perm = 0; perm < 3; ++perm) {
+      TrieIterator bounded(ctx, perm);
+      for (size_t probe = 0; probe < 200; ++probe) {
+        TermId k1 = static_cast<TermId>(rng.Index(30));
+        TermId k2 = static_cast<TermId>(rng.Index(30));
+        TrieIterator absolute(ctx, perm);
+        absolute.SeekGroup(k1, k2);
+        bool in_subtree = !absolute.at_end() && absolute.k1() == k1;
+        bounded.OpenK1(k1);
+        bounded.SeekK2(k2);
+        ASSERT_EQ(!bounded.at_end(), in_subtree)
+            << "perm " << perm << " probe (" << k1 << "," << k2 << ")";
+        if (in_subtree) {
+          ASSERT_EQ(bounded.k1(), k1);
+          ASSERT_EQ(bounded.k2(), absolute.k2());
+        }
+      }
+    }
+  }
+}
+
+TEST(TrieIteratorTest, ContextProbesMatchGraphAsOfReads) {
+  Rng rng(11);
+  Dictionary dict;
+  Graph g(&dict);
+  FillRandom(&g, &dict, &rng, 500);
+  size_t epoch = g.size() / 2;
+  TrieJoinContext ctx(g, epoch);
+  std::set<Triple> visible;
+  for (const Triple& t : g.MatchAllAsOf({}, {}, {}, epoch)) {
+    visible.insert(t);
+  }
+  for (size_t probe = 0; probe < 300; ++probe) {
+    Triple t{static_cast<TermId>(rng.Index(30)),
+             static_cast<TermId>(rng.Index(30)),
+             static_cast<TermId>(rng.Index(30))};
+    EXPECT_EQ(ctx.TripleVisible(t), visible.count(t) > 0);
+  }
+  // Group counts: exact cardinality of each visible (s, p) group.
+  std::map<std::pair<TermId, TermId>, size_t> counts;
+  for (const Triple& t : visible) ++counts[{t.s, t.p}];
+  for (const auto& [key, n] : counts) {
+    EXPECT_TRUE(ctx.GroupVisible(0, key.first, key.second));
+    EXPECT_EQ(ctx.CountGroup(0, key.first, key.second), n);
+  }
+  EXPECT_FALSE(ctx.GroupVisible(0, 999999, 999999));
+  EXPECT_EQ(ctx.CountGroup(0, 999999, 999999), 0u);
+}
+
+// The per-predicate distinct statistics ride the snapshot's reserved
+// section: a graph loaded from disk must answer PredicateDistincts
+// without rescanning the mapped prefix, and the answers must match a
+// graph that computed them from scratch.
+TEST(TrieIteratorTest, PredicateDistinctsSurviveSnapshotRoundTrip) {
+  Rng rng(13);
+  Dictionary dict;
+  Graph g(&dict);
+  FillRandom(&g, &dict, &rng, 700);
+  std::vector<TermId> preds;
+  for (size_t i = 0; i < 4; ++i) preds.push_back(Iri(&dict, "p" + std::to_string(i)));
+
+  std::string path = TempPath("trie-stats");
+  ASSERT_TRUE(storage::SaveGraph(path, g).ok());
+  Dictionary dict2;
+  Graph g2(&dict2);
+  ASSERT_TRUE(storage::LoadGraph(path, &g2).ok());
+  ASSERT_GT(g2.mapped_size(), 0u);
+
+  for (TermId p : preds) {
+    Graph::PredDistinct want = g.PredicateDistincts(p);
+    Graph::PredDistinct got = g2.PredicateDistincts(p);
+    EXPECT_EQ(got.subjects, want.subjects) << "pred " << p;
+    EXPECT_EQ(got.objects, want.objects) << "pred " << p;
+  }
+  // A predicate that never occurs stays zero.
+  Graph::PredDistinct none = g2.PredicateDistincts(Iri(&dict2, "absent"));
+  EXPECT_EQ(none.subjects, 0u);
+  EXPECT_EQ(none.objects, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rps
